@@ -1,0 +1,240 @@
+//! # baselines — comparison fault localizers
+//!
+//! The paper positions BugAssist against two families of prior work: static
+//! slicing ("our technique is stronger than simply taking the backward slice",
+//! Sec. 2) and spectrum-based localization over multiple passing/failing runs
+//! (Renieres & Reiss, Jones et al., discussed in Related Work). This crate
+//! provides both as baselines for experiment E8:
+//!
+//! * [`slice_localizer`] — the set of lines in the backward static slice of
+//!   the specification;
+//! * [`SpectrumLocalizer`] — Tarantula and Ochia suspiciousness scores
+//!   computed from per-line coverage of passing and failing interpreter runs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use bmc::{backward_slice, run_program, InterpConfig, SliceCriterion};
+use minic::ast::Line;
+use minic::Program;
+use std::collections::BTreeMap;
+
+/// The backward-slice baseline: every line in the static slice of the
+/// specification is a suspect.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::slice_localizer;
+/// use bmc::SliceCriterion;
+/// use minic::{parse_program, ast::Line};
+/// let program = parse_program(
+///     "int main(int x) {\nint a = x + 1;\nint junk = x * 9;\nassert(a < 10);\nreturn a;\n}"
+/// ).unwrap();
+/// let suspects = slice_localizer(&program, "main", SliceCriterion::Assertions);
+/// assert!(suspects.contains(&Line(2)));
+/// assert!(!suspects.contains(&Line(3)));
+/// ```
+pub fn slice_localizer(program: &Program, entry: &str, criterion: SliceCriterion) -> Vec<Line> {
+    backward_slice(program, entry, criterion).relevant_lines
+}
+
+/// Which spectrum-based suspiciousness formula to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SpectrumFormula {
+    /// Tarantula (Jones & Harrold).
+    #[default]
+    Tarantula,
+    /// Ochiai.
+    Ochiai,
+}
+
+/// A line with its suspiciousness score.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ScoredLine {
+    /// The source line.
+    pub line: Line,
+    /// Suspiciousness in `[0, 1]` (higher = more suspicious).
+    pub score: f64,
+}
+
+/// Spectrum-based fault localization from passing/failing coverage.
+#[derive(Clone, Debug, Default)]
+pub struct SpectrumLocalizer {
+    passed_total: usize,
+    failed_total: usize,
+    passed_by_line: BTreeMap<Line, usize>,
+    failed_by_line: BTreeMap<Line, usize>,
+}
+
+impl SpectrumLocalizer {
+    /// Creates an empty localizer.
+    pub fn new() -> SpectrumLocalizer {
+        SpectrumLocalizer::default()
+    }
+
+    /// Records the line coverage of one run.
+    pub fn add_run(&mut self, covered_lines: &[Line], failed: bool) {
+        if failed {
+            self.failed_total += 1;
+        } else {
+            self.passed_total += 1;
+        }
+        for &line in covered_lines {
+            let entry = if failed {
+                self.failed_by_line.entry(line).or_insert(0)
+            } else {
+                self.passed_by_line.entry(line).or_insert(0)
+            };
+            *entry += 1;
+        }
+    }
+
+    /// Runs the program on a pool of inputs, classifying each against the
+    /// golden-output oracle, and records all coverage.
+    pub fn add_suite(
+        &mut self,
+        program: &Program,
+        entry: &str,
+        tests: &[Vec<i64>],
+        golden: impl Fn(&[i64]) -> Option<i64>,
+        config: InterpConfig,
+    ) {
+        for input in tests {
+            let outcome = run_program(program, entry, input, &[], config);
+            let failed = if outcome.is_failure() {
+                true
+            } else if let Some(expected) = golden(input) {
+                outcome.result != Some(expected)
+            } else {
+                false
+            };
+            self.add_run(&outcome.covered_lines(), failed);
+        }
+    }
+
+    /// Number of failing runs recorded.
+    pub fn failed_runs(&self) -> usize {
+        self.failed_total
+    }
+
+    /// Number of passing runs recorded.
+    pub fn passed_runs(&self) -> usize {
+        self.passed_total
+    }
+
+    /// Computes suspiciousness scores for every covered line, sorted from
+    /// most to least suspicious.
+    pub fn rank(&self, formula: SpectrumFormula) -> Vec<ScoredLine> {
+        let mut lines: Vec<Line> = self
+            .passed_by_line
+            .keys()
+            .chain(self.failed_by_line.keys())
+            .copied()
+            .collect();
+        lines.sort();
+        lines.dedup();
+        let mut scored: Vec<ScoredLine> = lines
+            .into_iter()
+            .map(|line| {
+                let failed = *self.failed_by_line.get(&line).unwrap_or(&0) as f64;
+                let passed = *self.passed_by_line.get(&line).unwrap_or(&0) as f64;
+                let total_failed = self.failed_total.max(1) as f64;
+                let total_passed = self.passed_total.max(1) as f64;
+                let score = match formula {
+                    SpectrumFormula::Tarantula => {
+                        let fail_ratio = failed / total_failed;
+                        let pass_ratio = passed / total_passed;
+                        if fail_ratio + pass_ratio == 0.0 {
+                            0.0
+                        } else {
+                            fail_ratio / (fail_ratio + pass_ratio)
+                        }
+                    }
+                    SpectrumFormula::Ochiai => {
+                        let denom = (total_failed * (failed + passed)).sqrt();
+                        if denom == 0.0 {
+                            0.0
+                        } else {
+                            failed / denom
+                        }
+                    }
+                };
+                ScoredLine { line, score }
+            })
+            .collect();
+        scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+    }
+
+    /// The 1-based rank of a line in the suspiciousness ordering (ties share
+    /// the better rank), or `None` if the line was never covered.
+    pub fn rank_of(&self, line: Line, formula: SpectrumFormula) -> Option<usize> {
+        let scored = self.rank(formula);
+        let target = scored.iter().find(|s| s.line == line)?.score;
+        Some(scored.iter().filter(|s| s.score > target).count() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse_program;
+
+    fn buggy_program() -> Program {
+        // The fault is on line 4 (wrong constant when x is odd).
+        parse_program(
+            "int main(int x) {\nint y = 0;\nif (x % 2 == 1) {\ny = x + 2;\n} else {\ny = x + 1;\n}\nreturn y;\n}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spectrum_ranks_the_faulty_branch_first() {
+        let program = buggy_program();
+        let mut spectrum = SpectrumLocalizer::new();
+        let tests: Vec<Vec<i64>> = (0..10).map(|v| vec![v]).collect();
+        spectrum.add_suite(
+            &program,
+            "main",
+            &tests,
+            |input| Some(input[0] + 1),
+            InterpConfig::default(),
+        );
+        assert_eq!(spectrum.failed_runs(), 5);
+        assert_eq!(spectrum.passed_runs(), 5);
+        for formula in [SpectrumFormula::Tarantula, SpectrumFormula::Ochiai] {
+            let ranking = spectrum.rank(formula);
+            assert_eq!(ranking[0].line, Line(4), "{formula:?}: {ranking:?}");
+            assert_eq!(spectrum.rank_of(Line(4), formula), Some(1));
+            // The else-branch line is only covered by passing runs.
+            let else_line = ranking.iter().find(|s| s.line == Line(6)).unwrap();
+            assert!(else_line.score < ranking[0].score);
+        }
+    }
+
+    #[test]
+    fn slice_baseline_is_coarser_than_bugassist_on_the_motivating_example() {
+        // Program 1 from the paper: the backward slice contains the copy and
+        // return lines as well, which is exactly the comparison made in Sec. 2.
+        let program = parse_program(
+            "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}",
+        )
+        .unwrap();
+        let suspects = slice_localizer(&program, "testme", SliceCriterion::Assertions);
+        assert!(suspects.contains(&Line(6)));
+        assert!(suspects.contains(&Line(8)), "slice keeps the copy statement");
+        assert!(suspects.len() >= 4);
+    }
+
+    #[test]
+    fn uncovered_lines_are_not_ranked() {
+        let mut spectrum = SpectrumLocalizer::new();
+        spectrum.add_run(&[Line(1), Line(2)], true);
+        spectrum.add_run(&[Line(1)], false);
+        let ranking = spectrum.rank(SpectrumFormula::Tarantula);
+        assert_eq!(ranking.len(), 2);
+        assert_eq!(spectrum.rank_of(Line(9), SpectrumFormula::Tarantula), None);
+        assert_eq!(ranking[0].line, Line(2));
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks for the solver substrates (SAT, MAX-SAT,
+//! bit-blasting) — the engineering the paper's scalability rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxsat::{solve, MaxSatInstance, Strategy};
+use sat::{SatResult, Solver, Var};
+use std::time::Duration;
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut solver = Solver::new();
+    let vars: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+        .collect();
+    for row in &vars {
+        solver.add_clause(row.iter().map(|v| v.positive()));
+    }
+    for h in 0..holes {
+        for i in 0..pigeons {
+            for j in (i + 1)..pigeons {
+                solver.add_clause([vars[i][h].negative(), vars[j][h].negative()]);
+            }
+        }
+    }
+    solver
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat");
+    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    group.bench_function("pigeonhole_7_into_6_unsat", |b| {
+        b.iter(|| {
+            let mut solver = pigeonhole(7, 6);
+            assert_eq!(solver.solve(), SatResult::Unsat);
+        })
+    });
+    group.bench_function("pigeonhole_8_into_8_sat", |b| {
+        b.iter(|| {
+            let mut solver = pigeonhole(8, 8);
+            assert_eq!(solver.solve(), SatResult::Sat);
+        })
+    });
+    group.finish();
+}
+
+fn selector_instance(statements: usize) -> MaxSatInstance {
+    // A BugAssist-shaped instance: a chain of "statements" where exactly one
+    // of the last few must be disabled to restore satisfiability.
+    let mut inst = MaxSatInstance::new();
+    inst.ensure_vars(statements + 1);
+    let val = |i: usize| sat::Var::from_index(i).positive();
+    inst.add_hard(vec![val(0)]);
+    inst.add_hard(vec![!val(statements)]);
+    for i in 0..statements {
+        let selector = inst.new_var().positive();
+        // selector -> (x_i -> x_{i+1})
+        inst.add_hard(vec![!selector, !val(i), val(i + 1)]);
+        inst.add_soft(vec![selector], 1);
+    }
+    // Last implication forces the contradiction x_{n} -> x_{n+1} with
+    // x_{n+1} hard-false: some selector must be dropped.
+    inst
+}
+
+fn bench_maxsat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxsat_strategies");
+    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    for strategy in [Strategy::FuMalik, Strategy::LinearSatUnsat] {
+        group.bench_function(format!("{strategy:?}_chain_60"), |b| {
+            let inst = selector_instance(60);
+            b.iter(|| {
+                let solution = solve(&inst, strategy).into_optimum().expect("satisfiable");
+                assert_eq!(solution.cost, 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitblast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitblast");
+    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    group.bench_function("encode_and_solve_16bit_factorization", |b| {
+        b.iter(|| {
+            let mut enc = bitblast::Encoder::new(16);
+            let x = enc.fresh_bv();
+            let y = enc.fresh_bv();
+            let product = enc.bv_mul(&x, &y);
+            let target = enc.const_bv(221);
+            let three = enc.const_bv(3);
+            let eq = enc.bv_eq(&product, &target);
+            let x_big = enc.bv_sgt(&x, &three);
+            let y_big = enc.bv_sgt(&y, &three);
+            enc.assert_true(eq);
+            enc.assert_true(x_big);
+            enc.assert_true(y_big);
+            let mut solver = Solver::from_formula(enc.cnf().formula());
+            assert_eq!(solver.solve(), SatResult::Sat);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_maxsat, bench_bitblast);
+criterion_main!(benches);

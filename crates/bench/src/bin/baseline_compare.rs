@@ -1,0 +1,8 @@
+//! Compares BugAssist against the backward-slice and spectrum-based
+//! baselines (experiment E8 in DESIGN.md).
+//!
+//! Usage: `cargo run -p bench --bin baseline_compare --release`
+
+fn main() {
+    println!("{}", bench::run_baseline_compare());
+}

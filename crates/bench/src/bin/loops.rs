@@ -1,0 +1,7 @@
+//! Regenerates the faulty-loop-iteration experiment (Sec. 6.4).
+//!
+//! Usage: `cargo run -p bench --bin loops --release`
+
+fn main() {
+    println!("{}", bench::run_loop_experiment());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the strncat off-by-one repair experiment (Sec. 6.3).
+//!
+//! Usage: `cargo run -p bench --bin repair --release`
+
+fn main() {
+    println!("{}", bench::run_repair_experiment());
+}

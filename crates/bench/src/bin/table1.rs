@@ -1,0 +1,24 @@
+//! Regenerates Table 1 of the paper (TCAS localization).
+//!
+//! Usage: `cargo run -p bench --bin table1 --release [pool_size] [max_failing_per_version]`
+//! (`max_failing_per_version = 0` localizes every failing vector, as the
+//! paper did).
+
+use bench::{run_table1, Table1Options};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut options = Table1Options::default();
+    if let Some(pool) = args.next().and_then(|a| a.parse().ok()) {
+        options.pool_size = pool;
+    }
+    if let Some(max) = args.next().and_then(|a| a.parse().ok()) {
+        options.max_failing_per_version = max;
+    }
+    eprintln!(
+        "running Table 1 with pool_size={} max_failing_per_version={}",
+        options.pool_size, options.max_failing_per_version
+    );
+    let table = run_table1(options);
+    println!("{table}");
+}

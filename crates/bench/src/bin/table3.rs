@@ -1,0 +1,7 @@
+//! Regenerates Table 3 of the paper (larger benchmarks with trace reduction).
+//!
+//! Usage: `cargo run -p bench --bin table3 --release`
+
+fn main() {
+    println!("{}", bench::run_table3());
+}

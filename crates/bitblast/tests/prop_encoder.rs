@@ -1,0 +1,75 @@
+//! Property-based tests: the bit-blasted semantics of every operator must
+//! agree with native Rust arithmetic on the same fixed width.
+
+use bitblast::{BitVec, Encoder};
+use proptest::prelude::*;
+use sat::{SatResult, Solver};
+
+const W: usize = 8;
+
+fn eval_binop(op: impl Fn(&mut Encoder, &BitVec, &BitVec) -> BitVec, a: i64, b: i64) -> i64 {
+    let mut enc = Encoder::new(W);
+    let av = enc.const_bv(a);
+    let bv = enc.const_bv(b);
+    let result = op(&mut enc, &av, &bv);
+    let out = enc.fresh_bv();
+    enc.assert_equal(&result, &out);
+    let mut solver = Solver::from_formula(enc.cnf().formula());
+    assert_eq!(solver.solve(), SatResult::Sat);
+    Encoder::bv_value(&solver.model(), &out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arithmetic_agrees_with_native(a in -128i64..=127, b in -128i64..=127) {
+        prop_assert_eq!(eval_binop(Encoder::bv_add, a, b), (a as i8).wrapping_add(b as i8) as i64);
+        prop_assert_eq!(eval_binop(Encoder::bv_sub, a, b), (a as i8).wrapping_sub(b as i8) as i64);
+        prop_assert_eq!(eval_binop(Encoder::bv_mul, a, b), (a as i8).wrapping_mul(b as i8) as i64);
+    }
+
+    #[test]
+    fn division_agrees_with_native(a in -128i64..=127, b in -128i64..=127) {
+        let expected_div = if b == 0 { 0 } else { (a as i8).wrapping_div(b as i8) as i64 };
+        let expected_rem = if b == 0 { 0 } else { (a as i8).wrapping_rem(b as i8) as i64 };
+        prop_assert_eq!(eval_binop(Encoder::bv_sdiv, a, b), expected_div);
+        prop_assert_eq!(eval_binop(Encoder::bv_srem, a, b), expected_rem);
+    }
+
+    #[test]
+    fn comparisons_agree_with_native(a in -128i64..=127, b in -128i64..=127) {
+        let mut enc = Encoder::new(W);
+        let av = enc.const_bv(a);
+        let bv = enc.const_bv(b);
+        let lt = enc.bv_slt(&av, &bv);
+        let le = enc.bv_sle(&av, &bv);
+        let eq = enc.bv_eq(&av, &bv);
+        let outputs = [lt, le, eq];
+        let fresh: Vec<_> = (0..3).map(|_| enc.fresh_bit()).collect();
+        for (o, f) in outputs.iter().zip(&fresh) {
+            let m = enc.iff(*o, *f);
+            enc.assert_true(m);
+        }
+        let mut solver = Solver::from_formula(enc.cnf().formula());
+        prop_assert_eq!(solver.solve(), SatResult::Sat);
+        let model = solver.model();
+        prop_assert_eq!(Encoder::bit_value(&model, fresh[0]), a < b);
+        prop_assert_eq!(Encoder::bit_value(&model, fresh[1]), a <= b);
+        prop_assert_eq!(Encoder::bit_value(&model, fresh[2]), a == b);
+    }
+
+    #[test]
+    fn inverse_relationship_between_add_and_sub(a in -128i64..=127, b in -128i64..=127) {
+        // (a + b) - b == a at any width.
+        let mut enc = Encoder::new(W);
+        let av = enc.const_bv(a);
+        let bv = enc.const_bv(b);
+        let sum = enc.bv_add(&av, &bv);
+        let back = enc.bv_sub(&sum, &bv);
+        let eq = enc.bv_eq(&back, &av);
+        enc.assert_true(eq);
+        let mut solver = Solver::from_formula(enc.cnf().formula());
+        prop_assert_eq!(solver.solve(), SatResult::Sat);
+    }
+}

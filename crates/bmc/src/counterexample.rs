@@ -1,0 +1,171 @@
+//! Counterexample generation (`GenerateCounterexample` in Algorithm 1).
+//!
+//! The paper obtains failing executions either from an existing test suite or
+//! from bounded model checking. Both entry points are provided here:
+//!
+//! * [`find_failing_input`] — BMC-style: solve for inputs that violate the
+//!   specification;
+//! * [`failing_tests_from_suite`] — run a pool of test vectors through the
+//!   concrete interpreter and keep the ones whose outcome deviates from the
+//!   specification (assertion failure, bounds violation, or wrong golden
+//!   output).
+
+use crate::interp::{run_program, ExecOutcome, InterpConfig};
+use crate::symbolic::{encode_program, EncodeConfig, EncodeError, Spec};
+use minic::Program;
+use sat::{SatResult, Solver};
+
+/// Searches for a test input that violates the specification using the
+/// symbolic encoding (bounded model checking).
+///
+/// Returns `Ok(Some(inputs))` with one value per entry-function parameter if
+/// a violation exists within the unwinding bound, `Ok(None)` if the bounded
+/// search proves there is none.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if the program cannot be encoded (unknown entry
+/// function, unknown callee, ...).
+///
+/// # Examples
+///
+/// ```
+/// use bmc::{find_failing_input, EncodeConfig, Spec};
+/// use minic::parse_program;
+/// let program = parse_program(
+///     "int main(int x) { int y = x * 2; assert(y != 6); return y; }"
+/// ).unwrap();
+/// let failing = find_failing_input(&program, "main", &Spec::Assertions, &EncodeConfig::default())
+///     .unwrap()
+///     .expect("some input violates the assertion");
+/// // Any reported input must indeed make 2 * x wrap to 6 at the 16-bit default width.
+/// assert_eq!((failing[0] as i16).wrapping_mul(2), 6);
+/// ```
+pub fn find_failing_input(
+    program: &Program,
+    entry: &str,
+    spec: &Spec,
+    config: &EncodeConfig,
+) -> Result<Option<Vec<i64>>, EncodeError> {
+    let trace = encode_program(program, entry, spec, config)?;
+    let mut solver = Solver::from_formula(trace.cnf.formula());
+    match solver.solve_assuming(&[!trace.property]) {
+        SatResult::Sat => Ok(Some(trace.inputs_from_model(&solver.model()))),
+        SatResult::Unsat => Ok(None),
+    }
+}
+
+/// The verdict of running one test vector against a specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestVerdict {
+    /// The input vector.
+    pub input: Vec<i64>,
+    /// The concrete execution outcome.
+    pub outcome: ExecOutcome,
+    /// Whether the test fails the specification.
+    pub failing: bool,
+}
+
+/// Runs a pool of test vectors and classifies each against the specification.
+///
+/// With [`Spec::ReturnEquals`] the expected value is ignored here — instead
+/// the *golden output* closure is consulted, mirroring how the paper derives
+/// specifications for the Siemens programs (run the original program, compare
+/// outputs).
+pub fn failing_tests_from_suite(
+    program: &Program,
+    entry: &str,
+    tests: &[Vec<i64>],
+    golden: impl Fn(&[i64]) -> Option<i64>,
+    config: InterpConfig,
+) -> Vec<TestVerdict> {
+    tests
+        .iter()
+        .map(|input| {
+            let outcome = run_program(program, entry, input, &[], config);
+            let failing = if outcome.is_failure() {
+                true
+            } else if let Some(expected) = golden(input) {
+                outcome.result != Some(expected)
+            } else {
+                false
+            };
+            TestVerdict {
+                input: input.clone(),
+                outcome,
+                failing,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse_program;
+
+    fn cfg() -> EncodeConfig {
+        EncodeConfig {
+            width: 8,
+            ..EncodeConfig::default()
+        }
+    }
+
+    #[test]
+    fn bmc_finds_a_violation_when_one_exists() {
+        let program = parse_program(
+            "int main(int a, int b) { int s = a + b; assert(s != 13); return s; }",
+        )
+        .unwrap();
+        let failing = find_failing_input(&program, "main", &Spec::Assertions, &cfg())
+            .unwrap()
+            .expect("a + b == 13 is reachable");
+        assert_eq!(failing.len(), 2);
+        assert_eq!((failing[0] as i8).wrapping_add(failing[1] as i8), 13);
+    }
+
+    #[test]
+    fn bmc_proves_absence_within_bound() {
+        let program = parse_program(
+            "int main(int x) { int y = x & 3; assert(y >= 0 && y < 4); return y; }",
+        )
+        .unwrap();
+        let result = find_failing_input(&program, "main", &Spec::Assertions, &cfg()).unwrap();
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn suite_classification_against_golden_output() {
+        // The "faulty" program doubles instead of adding 1.
+        let faulty = parse_program("int main(int x) { return x * 2; }").unwrap();
+        let tests: Vec<Vec<i64>> = (0..5).map(|v| vec![v]).collect();
+        let verdicts = failing_tests_from_suite(
+            &faulty,
+            "main",
+            &tests,
+            |input| Some(input[0] + 1), // golden: x + 1
+            InterpConfig::default(),
+        );
+        // x = 1 is the only agreeing input (2 == 2).
+        let failing: Vec<i64> = verdicts
+            .iter()
+            .filter(|v| v.failing)
+            .map(|v| v.input[0])
+            .collect();
+        assert_eq!(failing, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn suite_classification_detects_crashes() {
+        let program = parse_program("int a[2]; int main(int i) { return a[i]; }").unwrap();
+        let verdicts = failing_tests_from_suite(
+            &program,
+            "main",
+            &[vec![0], vec![5]],
+            |_| None,
+            InterpConfig::default(),
+        );
+        assert!(!verdicts[0].failing);
+        assert!(verdicts[1].failing);
+    }
+}

@@ -1,0 +1,650 @@
+//! Concrete interpreter for MinC programs.
+//!
+//! The interpreter plays three roles in the reproduction:
+//!
+//! * it runs the original (non-faulty) benchmark programs on test vectors to
+//!   produce **golden outputs** (the paper's surrogate specification for
+//!   TCAS, Sec. 6.1);
+//! * it runs faulty versions to find the **failing test cases**;
+//! * it records per-line **coverage**, which the spectrum-based baseline
+//!   localizers (Tarantula/Ochiai) consume.
+
+use crate::value::{apply_binop, apply_unop, truthy, wrap};
+use minic::ast::*;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Why an execution stopped abnormally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// An `assert(...)` evaluated to false.
+    AssertionFailure,
+    /// An array access was out of bounds (the paper's implicit assertion).
+    ArrayBounds,
+    /// An `assume(...)` evaluated to false (the execution is infeasible, not
+    /// buggy; callers usually discard such runs).
+    AssumptionFailure,
+    /// The step budget was exhausted (runaway loop or recursion).
+    StepLimit,
+    /// A call referenced an unknown function or used wrong arity.
+    BadCall,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::AssertionFailure => "assertion failure",
+            ViolationKind::ArrayBounds => "array index out of bounds",
+            ViolationKind::AssumptionFailure => "assumption violated",
+            ViolationKind::StepLimit => "step limit exceeded",
+            ViolationKind::BadCall => "invalid function call",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An abnormal stop during interpretation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The line of the statement (or expression's enclosing statement) that
+    /// triggered the stop.
+    pub line: Line,
+    /// The kind of violation.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.line)
+    }
+}
+
+/// The outcome of running a program on one input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Return value of the entry function, if it returned normally.
+    pub result: Option<i64>,
+    /// The first violation encountered, if any.
+    pub violation: Option<Violation>,
+    /// Number of times each source line was executed.
+    pub coverage: BTreeMap<Line, u64>,
+    /// Total number of statements executed.
+    pub steps: u64,
+}
+
+impl ExecOutcome {
+    /// `true` if the run finished without any violation.
+    pub fn is_ok(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// `true` if the run failed with an assertion or bounds violation (i.e.
+    /// it is a genuine failing test, not an infeasible or truncated run).
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self.violation,
+            Some(Violation {
+                kind: ViolationKind::AssertionFailure | ViolationKind::ArrayBounds,
+                ..
+            })
+        )
+    }
+
+    /// The executed lines (the "spectrum" used by the baseline localizers).
+    pub fn covered_lines(&self) -> Vec<Line> {
+        self.coverage.keys().copied().collect()
+    }
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct InterpConfig {
+    /// Integer width in bits (must match the symbolic encoder for
+    /// cross-checking).
+    pub width: usize,
+    /// Maximum number of executed statements before aborting with
+    /// [`ViolationKind::StepLimit`].
+    pub max_steps: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> InterpConfig {
+        InterpConfig {
+            width: 32,
+            max_steps: 200_000,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Slot {
+    Scalar(i64),
+    Array(Vec<i64>),
+}
+
+enum Flow {
+    Normal,
+    Returned(Option<i64>),
+}
+
+struct Interp<'a> {
+    program: &'a Program,
+    config: InterpConfig,
+    globals: HashMap<String, Slot>,
+    coverage: BTreeMap<Line, u64>,
+    steps: u64,
+    nondet_values: Vec<i64>,
+    nondet_cursor: usize,
+}
+
+type ExecResult<T> = Result<T, Violation>;
+
+/// Runs `program.entry(args…)` concretely.
+///
+/// Extra non-deterministic inputs (`nondet()` expressions) read values from
+/// `nondet_values` in order (and 0 once exhausted).
+///
+/// # Examples
+///
+/// ```
+/// use bmc::{run_program, InterpConfig};
+/// use minic::parse_program;
+/// let program = parse_program(
+///     "int main(int x) { assert(x < 10); return x + 1; }"
+/// ).unwrap();
+/// let ok = run_program(&program, "main", &[3], &[], InterpConfig::default());
+/// assert_eq!(ok.result, Some(4));
+/// assert!(ok.is_ok());
+/// let bad = run_program(&program, "main", &[12], &[], InterpConfig::default());
+/// assert!(bad.is_failure());
+/// ```
+pub fn run_program(
+    program: &Program,
+    entry: &str,
+    args: &[i64],
+    nondet_values: &[i64],
+    config: InterpConfig,
+) -> ExecOutcome {
+    let mut interp = Interp {
+        program,
+        config,
+        globals: HashMap::new(),
+        coverage: BTreeMap::new(),
+        steps: 0,
+        nondet_values: nondet_values.to_vec(),
+        nondet_cursor: 0,
+    };
+    for global in &program.globals {
+        let slot = match global.ty {
+            Type::Array(n) => Slot::Array(vec![0; n]),
+            _ => Slot::Scalar(wrap(global.init.unwrap_or(0), config.width)),
+        };
+        interp.globals.insert(global.name.clone(), slot);
+    }
+    let outcome = interp.call(entry, args, Line(0));
+    match outcome {
+        Ok(result) => ExecOutcome {
+            result,
+            violation: None,
+            coverage: interp.coverage,
+            steps: interp.steps,
+        },
+        Err(violation) => ExecOutcome {
+            result: None,
+            violation: Some(violation),
+            coverage: interp.coverage,
+            steps: interp.steps,
+        },
+    }
+}
+
+impl<'a> Interp<'a> {
+    fn call(&mut self, name: &str, args: &[i64], call_line: Line) -> ExecResult<Option<i64>> {
+        let function = self.program.function(name).ok_or(Violation {
+            line: call_line,
+            kind: ViolationKind::BadCall,
+        })?;
+        if function.params.len() != args.len() {
+            return Err(Violation {
+                line: call_line,
+                kind: ViolationKind::BadCall,
+            });
+        }
+        let mut locals: HashMap<String, Slot> = HashMap::new();
+        for ((pname, _), &value) in function.params.iter().zip(args) {
+            locals.insert(pname.clone(), Slot::Scalar(wrap(value, self.config.width)));
+        }
+        match self.exec_block(&function.body, &mut locals)? {
+            Flow::Returned(v) => Ok(v),
+            Flow::Normal => Ok(None),
+        }
+    }
+
+    fn tick(&mut self, line: Line) -> ExecResult<()> {
+        self.steps += 1;
+        *self.coverage.entry(line).or_insert(0) += 1;
+        if self.steps > self.config.max_steps {
+            Err(Violation {
+                line,
+                kind: ViolationKind::StepLimit,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        block: &[Stmt],
+        locals: &mut HashMap<String, Slot>,
+    ) -> ExecResult<Flow> {
+        for stmt in block {
+            match self.exec_stmt(stmt, locals)? {
+                Flow::Normal => {}
+                returned => return Ok(returned),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, locals: &mut HashMap<String, Slot>) -> ExecResult<Flow> {
+        let line = stmt.line();
+        self.tick(line)?;
+        match stmt {
+            Stmt::Decl { name, ty, init, .. } => {
+                let slot = match ty {
+                    Type::Array(n) => Slot::Array(vec![0; *n]),
+                    _ => {
+                        let value = match init {
+                            Some(e) => self.eval(e, locals, line)?,
+                            None => 0,
+                        };
+                        Slot::Scalar(value)
+                    }
+                };
+                locals.insert(name.clone(), slot);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, value, .. } => {
+                let rhs = self.eval(value, locals, line)?;
+                match target {
+                    LValue::Var(name) => {
+                        self.write_scalar(name, rhs, locals, line)?;
+                    }
+                    LValue::Index(name, index) => {
+                        let idx = self.eval(index, locals, line)?;
+                        self.write_array(name, idx, rhs, locals, line)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let c = self.eval(cond, locals, line)?;
+                if truthy(c) {
+                    self.exec_block(then_branch, locals)
+                } else {
+                    self.exec_block(else_branch, locals)
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                loop {
+                    let c = self.eval(cond, locals, line)?;
+                    if !truthy(c) {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.exec_block(body, locals)? {
+                        Flow::Normal => {}
+                        returned => return Ok(returned),
+                    }
+                    self.tick(line)?;
+                }
+            }
+            Stmt::Assert { cond, .. } => {
+                let c = self.eval(cond, locals, line)?;
+                if truthy(c) {
+                    Ok(Flow::Normal)
+                } else {
+                    Err(Violation {
+                        line,
+                        kind: ViolationKind::AssertionFailure,
+                    })
+                }
+            }
+            Stmt::Assume { cond, .. } => {
+                let c = self.eval(cond, locals, line)?;
+                if truthy(c) {
+                    Ok(Flow::Normal)
+                } else {
+                    Err(Violation {
+                        line,
+                        kind: ViolationKind::AssumptionFailure,
+                    })
+                }
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => Some(self.eval(e, locals, line)?),
+                    None => None,
+                };
+                Ok(Flow::Returned(v))
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                let _ = self.eval(expr, locals, line)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn read_slot<'s>(
+        globals: &'s HashMap<String, Slot>,
+        locals: &'s HashMap<String, Slot>,
+        name: &str,
+    ) -> Option<&'s Slot> {
+        locals.get(name).or_else(|| globals.get(name))
+    }
+
+    fn write_scalar(
+        &mut self,
+        name: &str,
+        value: i64,
+        locals: &mut HashMap<String, Slot>,
+        line: Line,
+    ) -> ExecResult<()> {
+        let slot = if locals.contains_key(name) {
+            locals.get_mut(name)
+        } else {
+            self.globals.get_mut(name)
+        };
+        match slot {
+            Some(Slot::Scalar(v)) => {
+                *v = value;
+                Ok(())
+            }
+            _ => Err(Violation {
+                line,
+                kind: ViolationKind::BadCall,
+            }),
+        }
+    }
+
+    fn write_array(
+        &mut self,
+        name: &str,
+        index: i64,
+        value: i64,
+        locals: &mut HashMap<String, Slot>,
+        line: Line,
+    ) -> ExecResult<()> {
+        let slot = if locals.contains_key(name) {
+            locals.get_mut(name)
+        } else {
+            self.globals.get_mut(name)
+        };
+        match slot {
+            Some(Slot::Array(values)) => {
+                if index < 0 || index as usize >= values.len() {
+                    Err(Violation {
+                        line,
+                        kind: ViolationKind::ArrayBounds,
+                    })
+                } else {
+                    values[index as usize] = value;
+                    Ok(())
+                }
+            }
+            _ => Err(Violation {
+                line,
+                kind: ViolationKind::BadCall,
+            }),
+        }
+    }
+
+    fn eval(
+        &mut self,
+        expr: &Expr,
+        locals: &HashMap<String, Slot>,
+        line: Line,
+    ) -> ExecResult<i64> {
+        let width = self.config.width;
+        match expr {
+            Expr::Int(v) => Ok(wrap(*v, width)),
+            Expr::Bool(b) => Ok(i64::from(*b)),
+            Expr::Nondet => {
+                let v = self
+                    .nondet_values
+                    .get(self.nondet_cursor)
+                    .copied()
+                    .unwrap_or(0);
+                self.nondet_cursor += 1;
+                Ok(wrap(v, width))
+            }
+            Expr::Var(name) => match Self::read_slot(&self.globals, locals, name) {
+                Some(Slot::Scalar(v)) => Ok(*v),
+                _ => Err(Violation {
+                    line,
+                    kind: ViolationKind::BadCall,
+                }),
+            },
+            Expr::Index(name, index) => {
+                let idx = self.eval(index, locals, line)?;
+                match Self::read_slot(&self.globals, locals, name) {
+                    Some(Slot::Array(values)) => {
+                        if idx < 0 || idx as usize >= values.len() {
+                            Err(Violation {
+                                line,
+                                kind: ViolationKind::ArrayBounds,
+                            })
+                        } else {
+                            Ok(values[idx as usize])
+                        }
+                    }
+                    _ => Err(Violation {
+                        line,
+                        kind: ViolationKind::BadCall,
+                    }),
+                }
+            }
+            Expr::Unary(op, e) => {
+                let v = self.eval(e, locals, line)?;
+                Ok(apply_unop(*op, v, width))
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                // Short-circuit the logical operators like C does.
+                match op {
+                    BinOp::And => {
+                        let l = self.eval(lhs, locals, line)?;
+                        if !truthy(l) {
+                            return Ok(0);
+                        }
+                        let r = self.eval(rhs, locals, line)?;
+                        Ok(i64::from(truthy(r)))
+                    }
+                    BinOp::Or => {
+                        let l = self.eval(lhs, locals, line)?;
+                        if truthy(l) {
+                            return Ok(1);
+                        }
+                        let r = self.eval(rhs, locals, line)?;
+                        Ok(i64::from(truthy(r)))
+                    }
+                    _ => {
+                        let l = self.eval(lhs, locals, line)?;
+                        let r = self.eval(rhs, locals, line)?;
+                        Ok(apply_binop(*op, l, r, width))
+                    }
+                }
+            }
+            Expr::Cond(c, t, e) => {
+                let cv = self.eval(c, locals, line)?;
+                if truthy(cv) {
+                    self.eval(t, locals, line)
+                } else {
+                    self.eval(e, locals, line)
+                }
+            }
+            Expr::Call(name, args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(self.eval(arg, locals, line)?);
+                }
+                let result = self.call(name, &values, line)?;
+                Ok(result.unwrap_or(0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse_program;
+
+    fn run(src: &str, args: &[i64]) -> ExecOutcome {
+        let program = parse_program(src).unwrap();
+        run_program(&program, "main", args, &[], InterpConfig::default())
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let out = run("int main(int x) { int y = x * 2 + 1; return y; }", &[10]);
+        assert_eq!(out.result, Some(21));
+        assert!(out.is_ok());
+        assert!(out.steps >= 2);
+    }
+
+    #[test]
+    fn branches_and_coverage() {
+        let src = "int main(int x) {\nint y = 0;\nif (x > 0) {\ny = 1;\n} else {\ny = 2;\n}\nreturn y;\n}";
+        let pos = run(src, &[5]);
+        assert_eq!(pos.result, Some(1));
+        assert!(pos.coverage.contains_key(&Line(4)));
+        assert!(!pos.coverage.contains_key(&Line(6)));
+        let neg = run(src, &[-5]);
+        assert_eq!(neg.result, Some(2));
+        assert!(neg.coverage.contains_key(&Line(6)));
+    }
+
+    #[test]
+    fn loops_terminate_and_count() {
+        let out = run(
+            "int main(int n) { int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+            &[5],
+        );
+        assert_eq!(out.result, Some(10));
+    }
+
+    #[test]
+    fn assertion_failure_is_reported_with_line() {
+        let src = "int main(int x) {\nint y = x + 1;\nassert(y < 10);\nreturn y;\n}";
+        let out = run(src, &[20]);
+        assert!(out.is_failure());
+        assert_eq!(out.violation.unwrap().line, Line(3));
+        assert_eq!(out.violation.unwrap().kind, ViolationKind::AssertionFailure);
+    }
+
+    #[test]
+    fn paper_motivating_example_fails_on_index_one() {
+        // Program 1 (Sec. 2): index == 1 drives the array access out of bounds.
+        let src = "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}";
+        let program = parse_program(src).unwrap();
+        let good = run_program(&program, "testme", &[0], &[], InterpConfig::default());
+        assert!(good.is_ok());
+        let bad = run_program(&program, "testme", &[1], &[], InterpConfig::default());
+        assert!(bad.is_failure());
+        assert_eq!(bad.violation.unwrap().kind, ViolationKind::ArrayBounds);
+        assert_eq!(bad.violation.unwrap().line, Line(9));
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        let src = r#"
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main(int n) { return fib(n); }
+        "#;
+        let out = run(src, &[10]);
+        assert_eq!(out.result, Some(55));
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let src = r#"
+            int table[4];
+            int base = 7;
+            int main(int i) {
+                table[0] = base;
+                table[1] = base + 1;
+                table[2] = base + 2;
+                table[3] = base + 3;
+                return table[i];
+            }
+        "#;
+        assert_eq!(run(src, &[2]).result, Some(9));
+        let oob = run(src, &[9]);
+        assert_eq!(oob.violation.unwrap().kind, ViolationKind::ArrayBounds);
+    }
+
+    #[test]
+    fn assume_failure_is_not_a_bug() {
+        let out = run("int main(int x) { assume(x > 0); return x; }", &[-1]);
+        assert!(!out.is_failure());
+        assert_eq!(out.violation.unwrap().kind, ViolationKind::AssumptionFailure);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let program = parse_program("int main() { int x = 0; while (true) { x = x + 1; } return x; }").unwrap();
+        let out = run_program(
+            &program,
+            "main",
+            &[],
+            &[],
+            InterpConfig {
+                width: 32,
+                max_steps: 1000,
+            },
+        );
+        assert_eq!(out.violation.unwrap().kind, ViolationKind::StepLimit);
+    }
+
+    #[test]
+    fn nondet_reads_provided_values() {
+        let program = parse_program("int main() { int a = nondet(); int b = nondet(); return a - b; }").unwrap();
+        let out = run_program(&program, "main", &[], &[30, 12], InterpConfig::default());
+        assert_eq!(out.result, Some(18));
+        // Exhausted nondet values default to zero.
+        let out = run_program(&program, "main", &[], &[30], InterpConfig::default());
+        assert_eq!(out.result, Some(30));
+    }
+
+    #[test]
+    fn short_circuit_avoids_out_of_bounds() {
+        let src = "int a[2]; int main(int i) { if (i < 2 && a[i] == 0) { return 1; } return 0; }";
+        let out = run(src, &[5]);
+        assert_eq!(out.result, Some(0));
+        assert!(out.is_ok(), "short-circuit must skip the array read");
+    }
+
+    #[test]
+    fn eight_bit_width_wraps() {
+        let program = parse_program("int main(int x) { return x + 1; }").unwrap();
+        let out = run_program(
+            &program,
+            "main",
+            &[127],
+            &[],
+            InterpConfig {
+                width: 8,
+                max_steps: 1000,
+            },
+        );
+        assert_eq!(out.result, Some(-128));
+    }
+}

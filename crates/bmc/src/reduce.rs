@@ -1,0 +1,145 @@
+//! Failure-inducing input minimization (delta debugging, the "D" trace
+//! reduction of Sec. 6.2).
+//!
+//! The paper isolates the failure-inducing part of large inputs with the
+//! ddmin algorithm of Zeller & Hildebrandt before building the trace formula,
+//! which dramatically shrinks the resulting MAX-SAT instance for the
+//! `schedule` benchmarks. [`ddmin`] is the classic algorithm over an abstract
+//! item sequence; callers decide what an "item" is (a process to create, an
+//! element of a work-list, a token of the input).
+
+/// Minimizes a failing input sequence with the ddmin algorithm.
+///
+/// `still_fails` must return `true` for the full sequence; the returned
+/// subsequence is 1-minimal: removing any single remaining item makes the
+/// failure disappear.
+///
+/// # Panics
+///
+/// Panics if the full input does not fail (`still_fails(items)` is `false`),
+/// which would indicate a misuse of the reducer.
+///
+/// # Examples
+///
+/// ```
+/// use bmc::ddmin;
+/// // The failure needs both a 3 and a 7 to be present.
+/// let input = vec![1, 3, 5, 7, 9, 11];
+/// let reduced = ddmin(&input, |items| items.contains(&3) && items.contains(&7));
+/// assert_eq!(reduced, vec![3, 7]);
+/// ```
+pub fn ddmin<T: Clone>(items: &[T], still_fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    assert!(
+        still_fails(items),
+        "ddmin requires the full input to reproduce the failure"
+    );
+    let mut current: Vec<T> = items.to_vec();
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+
+        // Try removing each chunk (testing the complement).
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<T> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .cloned()
+                .collect();
+            if !complement.is_empty() && still_fails(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Minimizes a failing scalar by bisection towards zero: the smallest
+/// magnitude value (of the same sign) that still fails. Useful for shrinking
+/// single numeric inputs such as the process count of the `schedule`
+/// analogue.
+pub fn shrink_scalar(value: i64, still_fails: impl Fn(i64) -> bool) -> i64 {
+    assert!(still_fails(value), "the starting value must fail");
+    let mut best = value;
+    let mut low = 0i64;
+    let mut high = value.abs();
+    let sign = if value < 0 { -1 } else { 1 };
+    while low < high {
+        let mid = low + (high - low) / 2;
+        if still_fails(sign * mid) {
+            best = sign * mid;
+            high = mid;
+        } else {
+            low = mid + 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_culprit_is_isolated() {
+        let input: Vec<i64> = (0..64).collect();
+        let reduced = ddmin(&input, |items| items.contains(&42));
+        assert_eq!(reduced, vec![42]);
+    }
+
+    #[test]
+    fn multiple_interacting_culprits_are_kept() {
+        let input: Vec<i64> = (0..40).collect();
+        let reduced = ddmin(&input, |items| {
+            items.contains(&3) && items.contains(&17) && items.contains(&33)
+        });
+        assert_eq!(reduced, vec![3, 17, 33]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let input: Vec<i64> = (0..32).collect();
+        let predicate = |items: &[i64]| items.iter().filter(|v| **v % 5 == 0).count() >= 3;
+        let reduced = ddmin(&input, predicate);
+        assert!(predicate(&reduced));
+        for i in 0..reduced.len() {
+            let mut without: Vec<i64> = reduced.clone();
+            without.remove(i);
+            assert!(!predicate(&without), "not 1-minimal: {reduced:?} minus index {i}");
+        }
+    }
+
+    #[test]
+    fn already_minimal_inputs_are_unchanged() {
+        let reduced = ddmin(&[7], |items| items == [7]);
+        assert_eq!(reduced, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reproduce the failure")]
+    fn non_failing_input_is_rejected() {
+        let _ = ddmin(&[1, 2, 3], |_| false);
+    }
+
+    #[test]
+    fn scalar_shrinking_finds_threshold() {
+        // Failure occurs for values >= 37.
+        assert_eq!(shrink_scalar(500, |v| v >= 37), 37);
+        assert_eq!(shrink_scalar(37, |v| v >= 37), 37);
+        // Negative side.
+        assert_eq!(shrink_scalar(-400, |v| v <= -10), -10);
+    }
+}

@@ -1,0 +1,412 @@
+//! Backward static slicing (the "S" trace-reduction technique of Sec. 6.2 and
+//! the slice-based baseline the paper compares against in Sec. 2).
+//!
+//! The slice is computed at line granularity: starting from the slicing
+//! criterion (the assertion conditions, or the returned value), data and
+//! control dependences are followed backwards until a fixpoint. The result
+//! can be used directly (set of relevant lines) or to build a reduced program
+//! whose irrelevant assignments are dropped before symbolic encoding.
+
+use minic::ast::*;
+use std::collections::BTreeSet;
+
+/// What the slice is computed with respect to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SliceCriterion {
+    /// All `assert(...)` statements (plus array index expressions, because
+    /// bounds checks are implicit assertions).
+    Assertions,
+    /// The value returned by the entry function (used with golden-output
+    /// specifications).
+    ReturnValue,
+}
+
+/// Result of a backward slice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SliceResult {
+    /// Source lines that belong to the slice.
+    pub relevant_lines: Vec<Line>,
+    /// Variables (qualified as `function::name`, or `::name` for globals)
+    /// that are relevant.
+    pub relevant_vars: Vec<String>,
+}
+
+impl SliceResult {
+    /// `true` if the given line belongs to the slice.
+    pub fn contains_line(&self, line: Line) -> bool {
+        self.relevant_lines.binary_search(&line).is_ok()
+    }
+}
+
+fn qualify(program: &Program, function: &str, var: &str) -> String {
+    if program.global(var).is_some() {
+        format!("::{var}")
+    } else {
+        format!("{function}::{var}")
+    }
+}
+
+/// Computes a conservative backward slice of the program.
+///
+/// # Examples
+///
+/// ```
+/// use bmc::{backward_slice, SliceCriterion};
+/// use minic::{parse_program, ast::Line};
+/// let program = parse_program(
+///     "int main(int x) {\nint used = x + 1;\nint unused = x * 100;\nassert(used < 10);\nreturn used;\n}"
+/// ).unwrap();
+/// let slice = backward_slice(&program, "main", SliceCriterion::Assertions);
+/// assert!(slice.contains_line(Line(2)));
+/// assert!(!slice.contains_line(Line(3)));
+/// ```
+pub fn backward_slice(program: &Program, entry: &str, criterion: SliceCriterion) -> SliceResult {
+    let mut relevant_vars: BTreeSet<String> = BTreeSet::new();
+    let mut relevant_lines: BTreeSet<Line> = BTreeSet::new();
+    // Functions whose return value is relevant.
+    let mut return_relevant: BTreeSet<String> = BTreeSet::new();
+
+    // Seed the criterion.
+    for function in &program.functions {
+        function.walk_stmts(&mut |stmt| {
+            match stmt {
+                Stmt::Assert { cond, line } => {
+                    relevant_lines.insert(*line);
+                    for v in cond.read_vars() {
+                        relevant_vars.insert(qualify(program, &function.name, &v));
+                    }
+                    mark_calls_relevant(cond, &mut return_relevant);
+                }
+                // Array index expressions feed the implicit bounds assertions.
+                Stmt::Assign {
+                    target: LValue::Index(_, idx),
+                    line,
+                    ..
+                } => {
+                    relevant_lines.insert(*line);
+                    for v in idx.read_vars() {
+                        relevant_vars.insert(qualify(program, &function.name, &v));
+                    }
+                }
+                Stmt::Return { value: Some(e), line } => {
+                    let is_entry = function.name == entry;
+                    if criterion == SliceCriterion::ReturnValue && is_entry {
+                        relevant_lines.insert(*line);
+                        for v in e.read_vars() {
+                            relevant_vars.insert(qualify(program, &function.name, &v));
+                        }
+                        mark_calls_relevant(e, &mut return_relevant);
+                    }
+                }
+                _ => {}
+            }
+            // Implicit assertions from array reads anywhere in the statement.
+            for_each_statement_expr(stmt, &mut |e| {
+                e.walk(&mut |sub| {
+                    if let Expr::Index(_, idx) = sub {
+                        relevant_lines.insert(stmt.line());
+                        for v in idx.read_vars() {
+                            relevant_vars.insert(qualify(program, &function.name, &v));
+                        }
+                    }
+                });
+            });
+        });
+    }
+
+    // Fixpoint over data and control dependences.
+    loop {
+        let before = (relevant_vars.len(), relevant_lines.len(), return_relevant.len());
+        for function in &program.functions {
+            propagate_function(
+                program,
+                function,
+                entry,
+                criterion,
+                &mut relevant_vars,
+                &mut relevant_lines,
+                &mut return_relevant,
+            );
+        }
+        let after = (relevant_vars.len(), relevant_lines.len(), return_relevant.len());
+        if before == after {
+            break;
+        }
+    }
+
+    SliceResult {
+        relevant_lines: relevant_lines.into_iter().collect(),
+        relevant_vars: relevant_vars.into_iter().collect(),
+    }
+}
+
+fn mark_calls_relevant(expr: &Expr, return_relevant: &mut BTreeSet<String>) {
+    expr.walk(&mut |e| {
+        if let Expr::Call(name, _) = e {
+            return_relevant.insert(name.clone());
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn propagate_function(
+    program: &Program,
+    function: &Function,
+    entry: &str,
+    criterion: SliceCriterion,
+    relevant_vars: &mut BTreeSet<String>,
+    relevant_lines: &mut BTreeSet<Line>,
+    return_relevant: &mut BTreeSet<String>,
+) {
+    let _ = (entry, criterion);
+    // Data dependences: an assignment to a relevant variable pulls in its
+    // right-hand side.
+    function.walk_stmts(&mut |stmt| match stmt {
+        Stmt::Assign { target, value, line } => {
+            let target_q = qualify(program, &function.name, target.name());
+            if relevant_vars.contains(&target_q) {
+                relevant_lines.insert(*line);
+                for v in value.read_vars() {
+                    relevant_vars.insert(qualify(program, &function.name, &v));
+                }
+                if let LValue::Index(_, idx) = target {
+                    for v in idx.read_vars() {
+                        relevant_vars.insert(qualify(program, &function.name, &v));
+                    }
+                }
+                mark_calls_relevant(value, return_relevant);
+            }
+        }
+        Stmt::Decl { name, init: Some(init), line, .. } => {
+            let target_q = qualify(program, &function.name, name);
+            if relevant_vars.contains(&target_q) {
+                relevant_lines.insert(*line);
+                for v in init.read_vars() {
+                    relevant_vars.insert(qualify(program, &function.name, &v));
+                }
+                mark_calls_relevant(init, return_relevant);
+            }
+        }
+        _ => {}
+    });
+
+    // Return-value relevance: if a function's return value is relevant, its
+    // return statements (and their dependences) are relevant.
+    if return_relevant.contains(&function.name) {
+        function.walk_stmts(&mut |stmt| {
+            if let Stmt::Return { value: Some(e), line } = stmt {
+                relevant_lines.insert(*line);
+                for v in e.read_vars() {
+                    relevant_vars.insert(qualify(program, &function.name, &v));
+                }
+                mark_calls_relevant(e, return_relevant);
+            }
+        });
+    }
+
+    // Parameter binding: if a parameter of a return-relevant callee is
+    // relevant inside the callee, the argument expressions at call sites are
+    // relevant in the caller. (Conservative: any relevant callee parameter
+    // pulls in all argument variables.)
+    function.walk_stmts(&mut |stmt| {
+        for_each_statement_expr(stmt, &mut |expr| {
+            expr.walk(&mut |e| {
+                if let Expr::Call(callee_name, args) = e {
+                    if let Some(callee) = program.function(callee_name) {
+                        let any_param_relevant = callee.params.iter().any(|(p, _)| {
+                            relevant_vars.contains(&qualify(program, callee_name, p))
+                        });
+                        if any_param_relevant || return_relevant.contains(callee_name) {
+                            for arg in args {
+                                for v in arg.read_vars() {
+                                    relevant_vars.insert(qualify(program, &function.name, &v));
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        });
+    });
+
+    // Control dependences: if anything inside a branch or loop body is
+    // relevant, the condition (and its variables) is relevant.
+    fn control_deps(
+        program: &Program,
+        function: &Function,
+        block: &[Stmt],
+        relevant_vars: &mut BTreeSet<String>,
+        relevant_lines: &mut BTreeSet<Line>,
+        return_relevant: &mut BTreeSet<String>,
+    ) -> bool {
+        let mut any_relevant = false;
+        for stmt in block {
+            let this_relevant = match stmt {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    line,
+                } => {
+                    let inner = control_deps(program, function, then_branch, relevant_vars, relevant_lines, return_relevant)
+                        | control_deps(program, function, else_branch, relevant_vars, relevant_lines, return_relevant);
+                    if inner {
+                        relevant_lines.insert(*line);
+                        for v in cond.read_vars() {
+                            relevant_vars.insert(qualify(program, &function.name, &v));
+                        }
+                        mark_calls_relevant(cond, return_relevant);
+                    }
+                    inner || relevant_lines.contains(line)
+                }
+                Stmt::While { cond, body, line } => {
+                    let inner = control_deps(program, function, body, relevant_vars, relevant_lines, return_relevant);
+                    if inner {
+                        relevant_lines.insert(*line);
+                        for v in cond.read_vars() {
+                            relevant_vars.insert(qualify(program, &function.name, &v));
+                        }
+                        mark_calls_relevant(cond, return_relevant);
+                    }
+                    inner || relevant_lines.contains(line)
+                }
+                other => relevant_lines.contains(&other.line()),
+            };
+            any_relevant |= this_relevant;
+        }
+        any_relevant
+    }
+    control_deps(program, function, &function.body, relevant_vars, relevant_lines, return_relevant);
+}
+
+fn for_each_statement_expr<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
+    match stmt {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                f(e);
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            if let LValue::Index(_, idx) = target {
+                f(idx);
+            }
+            f(value);
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => f(cond),
+        Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => f(cond),
+        Stmt::Return { value, .. } => {
+            if let Some(e) = value {
+                f(e);
+            }
+        }
+        Stmt::ExprStmt { expr, .. } => f(expr),
+    }
+}
+
+/// Builds a reduced program that keeps only statements in the slice
+/// (declarations, assumptions, assertions and control structure are always
+/// kept so the result remains well-formed and has the same specification).
+pub fn slice_program(program: &Program, slice: &SliceResult) -> Program {
+    fn filter_block(block: &[Stmt], slice: &SliceResult) -> Vec<Stmt> {
+        block
+            .iter()
+            .filter_map(|stmt| match stmt {
+                Stmt::Assign { line, .. } if !slice.contains_line(*line) => None,
+                Stmt::ExprStmt { line, .. } if !slice.contains_line(*line) => None,
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    line,
+                } => Some(Stmt::If {
+                    cond: cond.clone(),
+                    then_branch: filter_block(then_branch, slice),
+                    else_branch: filter_block(else_branch, slice),
+                    line: *line,
+                }),
+                Stmt::While { cond, body, line } => Some(Stmt::While {
+                    cond: cond.clone(),
+                    body: filter_block(body, slice),
+                    line: *line,
+                }),
+                other => Some(other.clone()),
+            })
+            .collect()
+    }
+    let mut reduced = program.clone();
+    for function in &mut reduced.functions {
+        function.body = filter_block(&function.body, slice);
+    }
+    reduced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse_program;
+
+    #[test]
+    fn irrelevant_assignments_are_excluded() {
+        let src = "int main(int x) {\nint a = x + 1;\nint b = x * 99;\nint c = b + 1;\nassert(a < 10);\nreturn a;\n}";
+        let program = parse_program(src).unwrap();
+        let slice = backward_slice(&program, "main", SliceCriterion::Assertions);
+        assert!(slice.contains_line(Line(2)));
+        assert!(!slice.contains_line(Line(3)));
+        assert!(!slice.contains_line(Line(4)));
+        assert!(slice.contains_line(Line(5)));
+    }
+
+    #[test]
+    fn control_dependences_are_followed() {
+        let src = "int main(int x, int flag) {\nint y = 0;\nif (flag > 0) {\ny = x;\n}\nassert(y < 10);\nreturn y;\n}";
+        let program = parse_program(src).unwrap();
+        let slice = backward_slice(&program, "main", SliceCriterion::Assertions);
+        assert!(slice.contains_line(Line(3)), "branch guarding a relevant assignment");
+        assert!(slice.contains_line(Line(4)));
+        assert!(slice.relevant_vars.contains(&"main::flag".to_string()));
+    }
+
+    #[test]
+    fn interprocedural_return_dependence() {
+        let src = r#"
+            int helper(int v) { int w = v + 1; return w; }
+            int decoy(int v) { return v * 2; }
+            int main(int x) {
+                int a = helper(x);
+                int b = decoy(x);
+                assert(a < 100);
+                return b;
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let slice = backward_slice(&program, "main", SliceCriterion::Assertions);
+        // helper's body is in the slice, decoy's is not.
+        let helper_line = program.function("helper").unwrap().body[0].line();
+        let decoy_line = program.function("decoy").unwrap().body[0].line();
+        assert!(slice.contains_line(helper_line));
+        assert!(!slice.contains_line(decoy_line));
+    }
+
+    #[test]
+    fn return_value_criterion() {
+        let src = "int main(int x) {\nint kept = x + 1;\nint dropped = x - 1;\nreturn kept;\n}";
+        let program = parse_program(src).unwrap();
+        let slice = backward_slice(&program, "main", SliceCriterion::ReturnValue);
+        assert!(slice.contains_line(Line(2)));
+        assert!(!slice.contains_line(Line(3)));
+    }
+
+    #[test]
+    fn sliced_program_still_parses_and_shrinks() {
+        let src = "int main(int x) {\nint a = x + 1;\nint junk = 0;\njunk = x * 3;\njunk = junk + 2;\nassert(a != 7);\nreturn a;\n}";
+        let program = parse_program(src).unwrap();
+        let slice = backward_slice(&program, "main", SliceCriterion::Assertions);
+        let reduced = slice_program(&program, &slice);
+        assert!(reduced.num_statements() < program.num_statements());
+        // The reduced program still contains the assertion and the relevant defs.
+        let printed = minic::pretty_program(&reduced);
+        assert!(printed.contains("assert"));
+        assert!(printed.contains("a = (x + 1)") || printed.contains("int a = (x + 1)"));
+        assert!(!printed.contains("junk = (junk + 2)"));
+    }
+}

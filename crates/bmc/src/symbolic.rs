@@ -1,0 +1,899 @@
+//! Symbolic (bounded-model-checking style) encoding of MinC programs.
+//!
+//! This module plays the role CBMC plays for the original BugAssist tool: it
+//! unrolls loops up to a bound, inlines function calls up to a depth, renames
+//! state in SSA fashion with guarded assignments, and bit-blasts everything
+//! into a [`GroupedCnf`] in which **every clause is tagged with the program
+//! statement (and loop unwinding) it came from**. The BugAssist layer turns
+//! those clause groups into selector variables (Sec. 3.4 of the paper) and
+//! the resulting formula into a partial MAX-SAT instance.
+//!
+//! The encoding covers the whole unrolled program (all branches, guarded),
+//! not just one concrete path. This is essential for localization: the
+//! MAX-SAT solver must be able to consider "the program takes the *other*
+//! branch here" as a candidate fix, which is exactly how the paper's
+//! motivating example blames the `if` condition on line 1 in addition to the
+//! faulty assignment on line 4.
+
+use crate::interp::{run_program, InterpConfig};
+use crate::value::wrap;
+use bitblast::{BitVec, Encoder, GroupId, GroupedCnf};
+use minic::ast::*;
+use sat::Lit;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What counts as "the specification" when encoding a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Spec {
+    /// The `assert(...)` statements in the program plus the implicit
+    /// array-bounds assertions.
+    Assertions,
+    /// Additionally require that the entry function returns this value — the
+    /// paper's "golden output" specification used for the Siemens programs.
+    ReturnEquals(i64),
+}
+
+/// Configuration of the symbolic encoder.
+#[derive(Clone, Debug)]
+pub struct EncodeConfig {
+    /// Integer width in bits.
+    pub width: usize,
+    /// Loop unwinding bound η.
+    pub unwind: usize,
+    /// Maximum function-inlining depth (bounds recursion).
+    pub max_inline_depth: usize,
+    /// Functions to replace by concrete execution when all their arguments
+    /// are compile-time constants (the concolic-style "C" trace reduction of
+    /// Sec. 6.2). The bug is assumed not to be inside these functions.
+    pub concretize: Vec<String>,
+}
+
+impl Default for EncodeConfig {
+    fn default() -> EncodeConfig {
+        EncodeConfig {
+            width: 16,
+            unwind: 8,
+            max_inline_depth: 16,
+            concretize: Vec::new(),
+        }
+    }
+}
+
+/// Provenance of one clause group: a statement instance in the unrolled,
+/// inlined program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StmtGroup {
+    /// The group identifier (index into [`SymbolicTrace::groups`]).
+    pub id: GroupId,
+    /// Source line of the originating statement.
+    pub line: Line,
+    /// Function the statement belongs to.
+    pub function: String,
+    /// Loop unwinding index (0-based) if the statement instance is inside an
+    /// unrolled loop iteration, `None` otherwise.
+    pub unwinding: Option<usize>,
+}
+
+/// Size statistics of an encoding, reported in Table 3 of the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncodeStats {
+    /// Number of guarded assignment instances in the unrolled program (the
+    /// paper's "assign#" column).
+    pub assignments: usize,
+    /// Number of CNF variables.
+    pub variables: usize,
+    /// Number of CNF clauses.
+    pub clauses: usize,
+    /// Number of statement groups.
+    pub groups: usize,
+}
+
+/// Error produced by the symbolic encoder.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EncodeError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "encode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// The result of symbolically encoding a program: the paper's trace formula
+/// TF with clause groups, the input variables, the property, and statistics.
+#[derive(Clone, Debug)]
+pub struct SymbolicTrace {
+    /// The grouped CNF (TF1 in the paper's Equation 2, before selector
+    /// augmentation). Ungrouped clauses are infrastructure and always hard.
+    pub cnf: GroupedCnf,
+    /// Provenance of every group, indexed by `GroupId`.
+    pub groups: Vec<StmtGroup>,
+    /// Entry-function parameters in declaration order.
+    pub inputs: Vec<(String, BitVec)>,
+    /// The bit-vector holding the entry function's return value, if any.
+    pub return_value: Option<BitVec>,
+    /// Literal that is true iff the specification holds (all assertions,
+    /// bounds checks and — if requested — the golden output equality).
+    pub property: Lit,
+    /// Bit width used by the encoding.
+    pub width: usize,
+    /// Size statistics.
+    pub stats: EncodeStats,
+}
+
+impl SymbolicTrace {
+    /// Unit literals fixing the inputs to the given concrete test values —
+    /// the `[[test]]` part of the extended trace formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` differs from the number of inputs.
+    pub fn input_assumption_lits(&self, args: &[i64]) -> Vec<Lit> {
+        assert_eq!(
+            args.len(),
+            self.inputs.len(),
+            "test vector length must match the entry function arity"
+        );
+        let mut lits = Vec::new();
+        for ((_, bv), &value) in self.inputs.iter().zip(args) {
+            let value = wrap(value, self.width);
+            for (i, &bit) in bv.bits().iter().enumerate() {
+                lits.push(bit.apply_sign(value >> i & 1 == 1));
+            }
+        }
+        lits
+    }
+
+    /// Reads the concrete input values chosen by a SAT model (used when the
+    /// encoder is asked to *find* a failing test).
+    pub fn inputs_from_model(&self, model: &[bool]) -> Vec<i64> {
+        self.inputs
+            .iter()
+            .map(|(_, bv)| Encoder::bv_value(model, bv))
+            .collect()
+    }
+
+    /// The groups whose statements lie on the given source line.
+    pub fn groups_on_line(&self, line: Line) -> Vec<&StmtGroup> {
+        self.groups.iter().filter(|g| g.line == line).collect()
+    }
+
+    /// The distinct source lines that have at least one clause group.
+    pub fn blamable_lines(&self) -> Vec<Line> {
+        let mut lines: Vec<Line> = self.groups.iter().map(|g| g.line).collect();
+        lines.sort();
+        lines.dedup();
+        lines
+    }
+}
+
+#[derive(Clone)]
+enum SymVal {
+    Scalar(BitVec),
+    Array(Vec<BitVec>),
+}
+
+struct FrameCtx {
+    locals: HashMap<String, SymVal>,
+    returned: Lit,
+    return_value: BitVec,
+}
+
+struct SymbolicEncoder<'a> {
+    program: &'a Program,
+    config: &'a EncodeConfig,
+    enc: Encoder,
+    globals: HashMap<String, SymVal>,
+    groups: Vec<StmtGroup>,
+    assertions: Vec<Lit>,
+    assumptions: Vec<Lit>,
+    assignments: usize,
+    current_function: String,
+    current_unwinding: Option<usize>,
+}
+
+/// Symbolically encodes `program.entry(...)` with unconstrained inputs.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if the entry function does not exist or a call
+/// target is missing.
+///
+/// # Examples
+///
+/// ```
+/// use bmc::{encode_program, EncodeConfig, Spec};
+/// use minic::parse_program;
+/// let program = parse_program(
+///     "int main(int x) { int y = x + 1; assert(y != 5); return y; }"
+/// ).unwrap();
+/// let trace = encode_program(&program, "main", &Spec::Assertions, &EncodeConfig::default()).unwrap();
+/// assert_eq!(trace.inputs.len(), 1);
+/// assert!(trace.stats.clauses > 0);
+/// ```
+pub fn encode_program(
+    program: &Program,
+    entry: &str,
+    spec: &Spec,
+    config: &EncodeConfig,
+) -> Result<SymbolicTrace, EncodeError> {
+    let entry_fn = program.function(entry).ok_or_else(|| EncodeError {
+        message: format!("entry function {entry:?} not found"),
+    })?;
+    let mut encoder = SymbolicEncoder {
+        program,
+        config,
+        enc: Encoder::new(config.width),
+        globals: HashMap::new(),
+        groups: Vec::new(),
+        assertions: Vec::new(),
+        assumptions: Vec::new(),
+        assignments: 0,
+        current_function: entry.to_string(),
+        current_unwinding: None,
+    };
+
+    // Globals: initial values are hard facts, not blamable statements.
+    for global in &program.globals {
+        let value = match global.ty {
+            Type::Array(n) => SymVal::Array((0..n).map(|_| encoder.enc.const_bv(0)).collect()),
+            _ => SymVal::Scalar(encoder.enc.const_bv(global.init.unwrap_or(0))),
+        };
+        encoder.globals.insert(global.name.clone(), value);
+    }
+
+    // Entry parameters are the unconstrained inputs.
+    let mut inputs = Vec::new();
+    let mut frame = FrameCtx {
+        locals: HashMap::new(),
+        returned: encoder.enc.false_lit(),
+        return_value: encoder.enc.const_bv(0),
+    };
+    for (pname, _) in &entry_fn.params {
+        let bv = encoder.enc.fresh_bv();
+        inputs.push((pname.clone(), bv.clone()));
+        frame.locals.insert(pname.clone(), SymVal::Scalar(bv));
+    }
+
+    let guard = encoder.enc.true_lit();
+    encoder.exec_block(&entry_fn.body, guard, &mut frame, 0)?;
+
+    let return_value = entry_fn.ret.map(|_| frame.return_value.clone());
+
+    // Build the property: all assertions hold, all assumptions hold (they are
+    // also asserted as hard units below), and optionally the golden output.
+    let mut property_parts = encoder.assertions.clone();
+    if let Spec::ReturnEquals(expected) = spec {
+        let expected_bv = encoder.enc.const_bv(*expected);
+        let eq = encoder.enc.bv_eq(&frame.return_value, &expected_bv);
+        property_parts.push(eq);
+    }
+    encoder.enc.set_group(None);
+    let property = encoder.enc.and_many(&property_parts);
+    // Assumptions are environmental constraints: hard units.
+    let assumption_units: Vec<Lit> = encoder.assumptions.clone();
+    for lit in assumption_units {
+        encoder.enc.assert_true(lit);
+    }
+
+    let cnf = encoder.enc.into_cnf();
+    let stats = EncodeStats {
+        assignments: encoder.assignments,
+        variables: cnf.num_vars(),
+        clauses: cnf.num_clauses(),
+        groups: encoder.groups.len(),
+    };
+    Ok(SymbolicTrace {
+        cnf,
+        groups: encoder.groups,
+        inputs,
+        return_value,
+        property,
+        width: config.width,
+        stats,
+    })
+}
+
+impl<'a> SymbolicEncoder<'a> {
+    fn new_group(&mut self, line: Line) -> GroupId {
+        let id = GroupId(self.groups.len());
+        self.groups.push(StmtGroup {
+            id,
+            line,
+            function: self.current_function.clone(),
+            unwinding: self.current_unwinding,
+        });
+        id
+    }
+
+    fn lookup(&self, frame: &FrameCtx, name: &str) -> Option<SymVal> {
+        frame
+            .locals
+            .get(name)
+            .or_else(|| self.globals.get(name))
+            .cloned()
+    }
+
+    fn store(&mut self, frame: &mut FrameCtx, name: &str, value: SymVal) {
+        if frame.locals.contains_key(name) {
+            frame.locals.insert(name.to_string(), value);
+        } else if self.globals.contains_key(name) {
+            self.globals.insert(name.to_string(), value);
+        } else {
+            frame.locals.insert(name.to_string(), value);
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        block: &[Stmt],
+        guard: Lit,
+        frame: &mut FrameCtx,
+        depth: usize,
+    ) -> Result<(), EncodeError> {
+        for stmt in block {
+            // A frame stops executing once it has returned on this path.
+            let not_returned = !frame.returned;
+            let active = self.enc.and(guard, not_returned);
+            self.exec_stmt(stmt, active, frame, depth)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        guard: Lit,
+        frame: &mut FrameCtx,
+        depth: usize,
+    ) -> Result<(), EncodeError> {
+        match stmt {
+            Stmt::Decl { name, ty, init, line } => {
+                match ty {
+                    Type::Array(n) => {
+                        let zero = self.enc.const_bv(0);
+                        frame
+                            .locals
+                            .insert(name.clone(), SymVal::Array(vec![zero; *n]));
+                    }
+                    _ => {
+                        let group = self.new_group(*line);
+                        self.enc.set_group(Some(group));
+                        let value = match init {
+                            Some(e) => self.encode_expr(e, guard, frame, depth, *line)?,
+                            None => self.enc.const_bv(0),
+                        };
+                        let fresh = self.enc.fresh_bv();
+                        self.enc.assert_equal(&fresh, &value);
+                        self.enc.set_group(None);
+                        self.assignments += 1;
+                        frame.locals.insert(name.clone(), SymVal::Scalar(fresh));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value, line } => {
+                let group = self.new_group(*line);
+                self.enc.set_group(Some(group));
+                let rhs = self.encode_expr(value, guard, frame, depth, *line)?;
+                match target {
+                    LValue::Var(name) => {
+                        let old = match self.lookup(frame, name) {
+                            Some(SymVal::Scalar(bv)) => bv,
+                            _ => self.enc.const_bv(0),
+                        };
+                        let merged = self.enc.bv_ite(guard, &rhs, &old);
+                        let fresh = self.enc.fresh_bv();
+                        self.enc.assert_equal(&fresh, &merged);
+                        self.enc.set_group(None);
+                        self.assignments += 1;
+                        self.store(frame, name, SymVal::Scalar(fresh));
+                    }
+                    LValue::Index(name, index) => {
+                        let idx = self.encode_expr(index, guard, frame, depth, *line)?;
+                        let elements = match self.lookup(frame, name) {
+                            Some(SymVal::Array(elements)) => elements,
+                            _ => Vec::new(),
+                        };
+                        let n = elements.len();
+                        let mut updated = Vec::with_capacity(n);
+                        for (j, old) in elements.iter().enumerate() {
+                            let j_bv = self.enc.const_bv(j as i64);
+                            let here = self.enc.bv_eq(&idx, &j_bv);
+                            let write_here = self.enc.and(guard, here);
+                            let merged = self.enc.bv_ite(write_here, &rhs, old);
+                            let fresh = self.enc.fresh_bv();
+                            self.enc.assert_equal(&fresh, &merged);
+                            updated.push(fresh);
+                        }
+                        self.enc.set_group(None);
+                        self.assignments += 1;
+                        // Implicit bounds assertion (hard, part of the spec).
+                        self.bounds_assertion(&idx, n, guard);
+                        self.store(frame, name, SymVal::Array(updated));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                line,
+            } => {
+                let group = self.new_group(*line);
+                self.enc.set_group(Some(group));
+                let cond_bv = self.encode_expr(cond, guard, frame, depth, *line)?;
+                let cond_bit_raw = self.enc.bv_nonzero(&cond_bv);
+                // Route the branch decision through a fresh bit defined only
+                // by this statement's clauses so that removing the group
+                // frees the decision (the "change the condition" fix).
+                let cond_bit = self.enc.fresh_bit();
+                let same = self.enc.iff(cond_bit, cond_bit_raw);
+                self.enc.assert_true(same);
+                self.enc.set_group(None);
+                let g_then = self.enc.and(guard, cond_bit);
+                let g_else = self.enc.and(guard, !cond_bit);
+                self.exec_block(then_branch, g_then, frame, depth)?;
+                self.exec_block(else_branch, g_else, frame, depth)?;
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let saved_unwinding = self.current_unwinding;
+                let mut enter = guard;
+                for k in 0..self.config.unwind {
+                    self.current_unwinding = Some(k);
+                    let group = self.new_group(*line);
+                    self.enc.set_group(Some(group));
+                    let cond_bv = self.encode_expr(cond, enter, frame, depth, *line)?;
+                    let cond_bit_raw = self.enc.bv_nonzero(&cond_bv);
+                    let cond_bit = self.enc.fresh_bit();
+                    let same = self.enc.iff(cond_bit, cond_bit_raw);
+                    self.enc.assert_true(same);
+                    self.enc.set_group(None);
+                    let g_body = self.enc.and(enter, cond_bit);
+                    self.exec_block(body, g_body, frame, depth)?;
+                    enter = g_body;
+                }
+                self.current_unwinding = saved_unwinding;
+                // Unwinding assumption (hard): after η iterations the loop
+                // condition no longer holds on any still-active path.
+                self.enc.set_group(None);
+                let cond_bv = self.encode_expr(cond, enter, frame, depth, *line)?;
+                let cond_bit = self.enc.bv_nonzero(&cond_bv);
+                let exited = self.enc.implies(enter, !cond_bit);
+                self.assumptions.push(exited);
+                Ok(())
+            }
+            Stmt::Assert { cond, line } => {
+                // The assertion is the specification: never blamable.
+                self.enc.set_group(None);
+                let cond_bv = self.encode_expr(cond, guard, frame, depth, *line)?;
+                let cond_bit = self.enc.bv_nonzero(&cond_bv);
+                let holds = self.enc.implies(guard, cond_bit);
+                self.assertions.push(holds);
+                Ok(())
+            }
+            Stmt::Assume { cond, line } => {
+                self.enc.set_group(None);
+                let cond_bv = self.encode_expr(cond, guard, frame, depth, *line)?;
+                let cond_bit = self.enc.bv_nonzero(&cond_bv);
+                let holds = self.enc.implies(guard, cond_bit);
+                self.assumptions.push(holds);
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                let group = self.new_group(*line);
+                self.enc.set_group(Some(group));
+                let value_bv = match value {
+                    Some(e) => self.encode_expr(e, guard, frame, depth, *line)?,
+                    None => self.enc.const_bv(0),
+                };
+                let merged = self.enc.bv_ite(guard, &value_bv, &frame.return_value);
+                let fresh = self.enc.fresh_bv();
+                self.enc.assert_equal(&fresh, &merged);
+                self.enc.set_group(None);
+                self.assignments += 1;
+                frame.return_value = fresh;
+                frame.returned = self.enc.or(frame.returned, guard);
+                Ok(())
+            }
+            Stmt::ExprStmt { expr, line } => {
+                let group = self.new_group(*line);
+                self.enc.set_group(Some(group));
+                let _ = self.encode_expr(expr, guard, frame, depth, *line)?;
+                self.enc.set_group(None);
+                Ok(())
+            }
+        }
+    }
+
+    fn bounds_assertion(&mut self, idx: &BitVec, len: usize, guard: Lit) {
+        let saved = self.enc.group();
+        self.enc.set_group(None);
+        let zero = self.enc.const_bv(0);
+        let n = self.enc.const_bv(len as i64);
+        let ge0 = self.enc.bv_sge(idx, &zero);
+        let lt_n = self.enc.bv_slt(idx, &n);
+        let in_bounds = self.enc.and(ge0, lt_n);
+        let ok = self.enc.implies(guard, in_bounds);
+        self.assertions.push(ok);
+        self.enc.set_group(saved);
+    }
+
+    fn encode_expr(
+        &mut self,
+        expr: &Expr,
+        guard: Lit,
+        frame: &mut FrameCtx,
+        depth: usize,
+        line: Line,
+    ) -> Result<BitVec, EncodeError> {
+        match expr {
+            Expr::Int(v) => Ok(self.enc.const_bv(*v)),
+            Expr::Bool(b) => Ok(self.enc.const_bv(i64::from(*b))),
+            Expr::Nondet => Ok(self.enc.fresh_bv()),
+            Expr::Var(name) => match self.lookup(frame, name) {
+                Some(SymVal::Scalar(bv)) => Ok(bv),
+                Some(SymVal::Array(_)) => Err(EncodeError {
+                    message: format!("array {name:?} used as a scalar at {line}"),
+                }),
+                None => Err(EncodeError {
+                    message: format!("unknown variable {name:?} at {line}"),
+                }),
+            },
+            Expr::Index(name, index) => {
+                let idx = self.encode_expr(index, guard, frame, depth, line)?;
+                let elements = match self.lookup(frame, name) {
+                    Some(SymVal::Array(elements)) => elements,
+                    _ => {
+                        return Err(EncodeError {
+                            message: format!("unknown array {name:?} at {line}"),
+                        })
+                    }
+                };
+                self.bounds_assertion(&idx, elements.len(), guard);
+                // Value = mux chain over the elements; out-of-range reads 0.
+                let mut value = self.enc.const_bv(0);
+                for (j, element) in elements.iter().enumerate() {
+                    let j_bv = self.enc.const_bv(j as i64);
+                    let here = self.enc.bv_eq(&idx, &j_bv);
+                    value = self.enc.bv_ite(here, element, &value);
+                }
+                Ok(value)
+            }
+            Expr::Unary(op, e) => {
+                let v = self.encode_expr(e, guard, frame, depth, line)?;
+                Ok(match op {
+                    UnOp::Neg => self.enc.bv_neg(&v),
+                    UnOp::BitNot => self.enc.bv_not(&v),
+                    UnOp::Not => {
+                        let nz = self.enc.bv_nonzero(&v);
+                        self.bool_to_bv(!nz)
+                    }
+                })
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let l = self.encode_expr(lhs, guard, frame, depth, line)?;
+                let r = self.encode_expr(rhs, guard, frame, depth, line)?;
+                Ok(self.encode_binop(*op, &l, &r))
+            }
+            Expr::Cond(c, t, e) => {
+                let cv = self.encode_expr(c, guard, frame, depth, line)?;
+                let cond = self.enc.bv_nonzero(&cv);
+                let tv = self.encode_expr(t, guard, frame, depth, line)?;
+                let ev = self.encode_expr(e, guard, frame, depth, line)?;
+                Ok(self.enc.bv_ite(cond, &tv, &ev))
+            }
+            Expr::Call(name, args) => self.encode_call(name, args, guard, frame, depth, line),
+        }
+    }
+
+    fn bool_to_bv(&mut self, bit: Lit) -> BitVec {
+        let one = self.enc.const_bv(1);
+        let zero = self.enc.const_bv(0);
+        self.enc.bv_ite(bit, &one, &zero)
+    }
+
+    fn encode_binop(&mut self, op: BinOp, l: &BitVec, r: &BitVec) -> BitVec {
+        match op {
+            BinOp::Add => self.enc.bv_add(l, r),
+            BinOp::Sub => self.enc.bv_sub(l, r),
+            BinOp::Mul => self.enc.bv_mul(l, r),
+            BinOp::Div => self.enc.bv_sdiv(l, r),
+            BinOp::Rem => self.enc.bv_srem(l, r),
+            BinOp::BitAnd => self.enc.bv_and(l, r),
+            BinOp::BitOr => self.enc.bv_or(l, r),
+            BinOp::BitXor => self.enc.bv_xor(l, r),
+            BinOp::Shl => self.enc.bv_shl(l, r),
+            BinOp::Shr => self.enc.bv_ashr(l, r),
+            BinOp::Eq => {
+                let b = self.enc.bv_eq(l, r);
+                self.bool_to_bv(b)
+            }
+            BinOp::Ne => {
+                let b = self.enc.bv_ne(l, r);
+                self.bool_to_bv(b)
+            }
+            BinOp::Lt => {
+                let b = self.enc.bv_slt(l, r);
+                self.bool_to_bv(b)
+            }
+            BinOp::Le => {
+                let b = self.enc.bv_sle(l, r);
+                self.bool_to_bv(b)
+            }
+            BinOp::Gt => {
+                let b = self.enc.bv_sgt(l, r);
+                self.bool_to_bv(b)
+            }
+            BinOp::Ge => {
+                let b = self.enc.bv_sge(l, r);
+                self.bool_to_bv(b)
+            }
+            BinOp::And => {
+                let ln = self.enc.bv_nonzero(l);
+                let rn = self.enc.bv_nonzero(r);
+                let b = self.enc.and(ln, rn);
+                self.bool_to_bv(b)
+            }
+            BinOp::Or => {
+                let ln = self.enc.bv_nonzero(l);
+                let rn = self.enc.bv_nonzero(r);
+                let b = self.enc.or(ln, rn);
+                self.bool_to_bv(b)
+            }
+        }
+    }
+
+    fn encode_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        guard: Lit,
+        frame: &mut FrameCtx,
+        depth: usize,
+        line: Line,
+    ) -> Result<BitVec, EncodeError> {
+        let mut arg_values = Vec::with_capacity(args.len());
+        for arg in args {
+            arg_values.push(self.encode_expr(arg, guard, frame, depth, line)?);
+        }
+        let callee = self.program.function(name).ok_or_else(|| EncodeError {
+            message: format!("call to unknown function {name:?} at {line}"),
+        })?;
+        if callee.params.len() != arg_values.len() {
+            return Err(EncodeError {
+                message: format!("arity mismatch calling {name:?} at {line}"),
+            });
+        }
+
+        // Concolic-style concretization: if requested and all arguments are
+        // constants, run the interpreter instead of emitting clauses.
+        if self.config.concretize.iter().any(|f| f == name) {
+            let const_args: Option<Vec<i64>> = arg_values
+                .iter()
+                .map(|bv| self.enc.bv_const_value(bv))
+                .collect();
+            if let Some(const_args) = const_args {
+                let outcome = run_program(
+                    self.program,
+                    name,
+                    &const_args,
+                    &[],
+                    InterpConfig {
+                        width: self.config.width,
+                        max_steps: 100_000,
+                    },
+                );
+                if outcome.is_ok() {
+                    return Ok(self.enc.const_bv(outcome.result.unwrap_or(0)));
+                }
+            }
+        }
+
+        if depth >= self.config.max_inline_depth {
+            // Recursion bound hit: the call's result is unconstrained.
+            return Ok(self.enc.fresh_bv());
+        }
+
+        let saved_function = std::mem::replace(&mut self.current_function, name.to_string());
+        let mut callee_frame = FrameCtx {
+            locals: HashMap::new(),
+            returned: self.enc.false_lit(),
+            return_value: self.enc.const_bv(0),
+        };
+        for ((pname, _), value) in callee.params.iter().zip(arg_values) {
+            // Bind each argument through a fresh vector constrained inside the
+            // *caller's* clause group: blaming the call site then frees the
+            // argument values (this is how the strncat experiment pins the
+            // wrong length constant at the call, Sec. 6.3).
+            let bound = self.enc.fresh_bv();
+            self.enc.assert_equal(&bound, &value);
+            callee_frame
+                .locals
+                .insert(pname.clone(), SymVal::Scalar(bound));
+        }
+        let saved_group = self.enc.group();
+        self.enc.set_group(None);
+        self.exec_block(&callee.body, guard, &mut callee_frame, depth + 1)?;
+        self.enc.set_group(saved_group);
+        self.current_function = saved_function;
+        Ok(callee_frame.return_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse_program;
+    use sat::{SatResult, Solver};
+
+    fn small_config() -> EncodeConfig {
+        EncodeConfig {
+            width: 8,
+            unwind: 8,
+            max_inline_depth: 8,
+            concretize: Vec::new(),
+        }
+    }
+
+    /// Checks that fixing the inputs to `args` makes the property evaluate to
+    /// `expected_holds` — i.e. the symbolic encoding agrees with the concrete
+    /// interpreter about whether the test passes.
+    fn property_holds(src: &str, entry: &str, args: &[i64], spec: &Spec) -> bool {
+        let program = parse_program(src).unwrap();
+        let trace = encode_program(&program, entry, spec, &small_config()).unwrap();
+        let mut solver = Solver::from_formula(trace.cnf.formula());
+        let mut assumptions = trace.input_assumption_lits(args);
+        assumptions.push(trace.property);
+        solver.solve_assuming(&assumptions) == SatResult::Sat
+    }
+
+    #[test]
+    fn straight_line_agreement_with_interpreter() {
+        let src = "int main(int x) { int y = x * 3 + 1; assert(y != 10); return y; }";
+        assert!(property_holds(src, "main", &[1], &Spec::Assertions));
+        assert!(!property_holds(src, "main", &[3], &Spec::Assertions));
+    }
+
+    #[test]
+    fn branches_both_encoded() {
+        let src = "int main(int x) { int y = 0; if (x > 0) { y = 1; } else { y = 2; } assert(y == 1); return y; }";
+        assert!(property_holds(src, "main", &[5], &Spec::Assertions));
+        assert!(!property_holds(src, "main", &[-5], &Spec::Assertions));
+    }
+
+    #[test]
+    fn golden_output_spec() {
+        let src = "int main(int x) { return x + x; }";
+        assert!(property_holds(src, "main", &[4], &Spec::ReturnEquals(8)));
+        assert!(!property_holds(src, "main", &[5], &Spec::ReturnEquals(8)));
+    }
+
+    #[test]
+    fn motivating_example_bounds_check() {
+        let src = "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}";
+        // index = 0 takes the then-branch, lands in bounds.
+        assert!(property_holds(src, "testme", &[0], &Spec::Assertions));
+        // index = 1 takes the else-branch and reads Array[3]: out of bounds.
+        assert!(!property_holds(src, "testme", &[1], &Spec::Assertions));
+    }
+
+    #[test]
+    fn loops_are_unwound() {
+        let src = "int main(int n) { int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } assert(s != 6); return s; }";
+        // s = 0+1+2+3 = 6 for n = 4 -> assertion fails.
+        assert!(!property_holds(src, "main", &[4], &Spec::Assertions));
+        assert!(property_holds(src, "main", &[3], &Spec::Assertions));
+    }
+
+    #[test]
+    fn function_calls_are_inlined() {
+        let src = r#"
+            int double(int v) { return v + v; }
+            int main(int x) { int y = double(x) + 1; assert(y != 9); return y; }
+        "#;
+        assert!(!property_holds(src, "main", &[4], &Spec::Assertions));
+        assert!(property_holds(src, "main", &[3], &Spec::Assertions));
+    }
+
+    #[test]
+    fn counterexample_search_finds_failing_input() {
+        let src = "int main(int x) { int y = x + 3; assert(y != 10); return y; }";
+        let program = parse_program(src).unwrap();
+        let trace = encode_program(&program, "main", &Spec::Assertions, &small_config()).unwrap();
+        let mut solver = Solver::from_formula(trace.cnf.formula());
+        // Ask for an input that *violates* the property.
+        assert_eq!(solver.solve_assuming(&[!trace.property]), SatResult::Sat);
+        let inputs = trace.inputs_from_model(&solver.model());
+        assert_eq!(inputs, vec![7]);
+    }
+
+    #[test]
+    fn groups_cover_statement_lines() {
+        let src = "int main(int x) {\nint y = x + 1;\nif (y > 2) {\ny = 2;\n}\nreturn y;\n}";
+        let program = parse_program(src).unwrap();
+        let trace = encode_program(&program, "main", &Spec::Assertions, &small_config()).unwrap();
+        let lines = trace.blamable_lines();
+        assert!(lines.contains(&Line(2)));
+        assert!(lines.contains(&Line(3)));
+        assert!(lines.contains(&Line(4)));
+        assert!(lines.contains(&Line(6)));
+        assert!(trace.stats.assignments >= 3);
+        assert_eq!(trace.stats.groups, trace.groups.len());
+    }
+
+    #[test]
+    fn loop_groups_record_unwindings() {
+        let src = "int main(int n) {\nint i = 0;\nwhile (i < n) {\ni = i + 1;\n}\nreturn i;\n}";
+        let program = parse_program(src).unwrap();
+        let config = EncodeConfig {
+            unwind: 4,
+            ..small_config()
+        };
+        let trace = encode_program(&program, "main", &Spec::Assertions, &config).unwrap();
+        let body_groups: Vec<_> = trace
+            .groups
+            .iter()
+            .filter(|g| g.line == Line(4))
+            .collect();
+        assert_eq!(body_groups.len(), 4, "one body instance per unwinding");
+        let unwindings: Vec<_> = body_groups.iter().map(|g| g.unwinding).collect();
+        assert_eq!(unwindings, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn concretization_shrinks_the_encoding() {
+        let src = r#"
+            int table_lookup(int i) { int v = i * 7 + 3; return v; }
+            int main(int x) { int c = table_lookup(5); assert(x + c != 50); return x; }
+        "#;
+        let program = parse_program(src).unwrap();
+        let plain = encode_program(&program, "main", &Spec::Assertions, &small_config()).unwrap();
+        let concretized = encode_program(
+            &program,
+            "main",
+            &Spec::Assertions,
+            &EncodeConfig {
+                concretize: vec!["table_lookup".into()],
+                ..small_config()
+            },
+        )
+        .unwrap();
+        assert!(concretized.stats.clauses < plain.stats.clauses);
+        assert!(concretized.stats.assignments < plain.stats.assignments);
+        // Semantics must be preserved: 50 - 38 = 12 still fails.
+        let mut solver = Solver::from_formula(concretized.cnf.formula());
+        let mut assumptions = concretized.input_assumption_lits(&[12]);
+        assumptions.push(concretized.property);
+        assert_eq!(solver.solve_assuming(&assumptions), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unknown_entry_is_an_error() {
+        let program = parse_program("int main() { return 0; }").unwrap();
+        let err = encode_program(&program, "nope", &Spec::Assertions, &small_config()).unwrap_err();
+        assert!(err.message.contains("not found"));
+    }
+
+    #[test]
+    fn early_return_paths_merge() {
+        let src = r#"
+            int clamp(int x) {
+                if (x > 10) { return 10; }
+                if (x < 0) { return 0; }
+                return x;
+            }
+            int main(int x) { int y = clamp(x); assert(y <= 10 && y >= 0); return y; }
+        "#;
+        for v in [-5, 0, 5, 10, 20] {
+            assert!(property_holds(src, "main", &[v], &Spec::Assertions), "clamp({v})");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Fixed-width integer semantics shared by the concrete interpreter and used
+//! to cross-check the bit-blasted encoding.
+//!
+//! MinC integers are two's-complement values of a configurable width
+//! (default 32 bits, benchmarks often use 8 or 16 for faster SAT solving).
+//! All arithmetic wraps; division by zero is defined to yield zero.
+
+use minic::{BinOp, UnOp};
+
+/// Wraps a 64-bit value to the signed range of `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use bmc::value::wrap;
+/// assert_eq!(wrap(130, 8), -126);
+/// assert_eq!(wrap(-1, 8), -1);
+/// assert_eq!(wrap(255, 8), -1);
+/// ```
+pub fn wrap(value: i64, width: usize) -> i64 {
+    debug_assert!((2..=64).contains(&width));
+    if width == 64 {
+        return value;
+    }
+    let shift = 64 - width as u32;
+    (value << shift) >> shift
+}
+
+/// Applies a binary operator with MinC semantics at the given width.
+///
+/// Comparison and logical operators return 0 or 1. Logical operators treat
+/// non-zero as true (short-circuiting is handled by the interpreter before
+/// calling this for `&&`/`||` only when both sides were evaluated).
+pub fn apply_binop(op: BinOp, lhs: i64, rhs: i64, width: usize) -> i64 {
+    let result = match op {
+        BinOp::Add => lhs.wrapping_add(rhs),
+        BinOp::Sub => lhs.wrapping_sub(rhs),
+        BinOp::Mul => lhs.wrapping_mul(rhs),
+        BinOp::Div => {
+            if rhs == 0 {
+                0
+            } else {
+                wrap(lhs, width).wrapping_div(wrap(rhs, width))
+            }
+        }
+        BinOp::Rem => {
+            if rhs == 0 {
+                0
+            } else {
+                wrap(lhs, width).wrapping_rem(wrap(rhs, width))
+            }
+        }
+        BinOp::Eq => i64::from(lhs == rhs),
+        BinOp::Ne => i64::from(lhs != rhs),
+        BinOp::Lt => i64::from(lhs < rhs),
+        BinOp::Le => i64::from(lhs <= rhs),
+        BinOp::Gt => i64::from(lhs > rhs),
+        BinOp::Ge => i64::from(lhs >= rhs),
+        BinOp::And => i64::from(lhs != 0 && rhs != 0),
+        BinOp::Or => i64::from(lhs != 0 || rhs != 0),
+        BinOp::BitAnd => lhs & rhs,
+        BinOp::BitOr => lhs | rhs,
+        BinOp::BitXor => lhs ^ rhs,
+        BinOp::Shl => {
+            if rhs < 0 || rhs as usize >= width {
+                0
+            } else {
+                lhs.wrapping_shl(rhs as u32)
+            }
+        }
+        BinOp::Shr => {
+            if rhs < 0 || rhs as usize >= width {
+                if wrap(lhs, width) < 0 {
+                    -1
+                } else {
+                    0
+                }
+            } else {
+                wrap(lhs, width).wrapping_shr(rhs as u32)
+            }
+        }
+    };
+    wrap(result, width)
+}
+
+/// Applies a unary operator with MinC semantics at the given width.
+pub fn apply_unop(op: UnOp, value: i64, width: usize) -> i64 {
+    let result = match op {
+        UnOp::Neg => value.wrapping_neg(),
+        UnOp::Not => i64::from(value == 0),
+        UnOp::BitNot => !value,
+    };
+    wrap(result, width)
+}
+
+/// Interprets an integer as a MinC truth value.
+pub fn truthy(value: i64) -> bool {
+    value != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_matches_narrow_casts() {
+        for v in [-300i64, -129, -128, -1, 0, 1, 127, 128, 255, 300] {
+            assert_eq!(wrap(v, 8), (v as i8) as i64, "value {v}");
+            assert_eq!(wrap(v, 16), (v as i16) as i64);
+            assert_eq!(wrap(v, 32), (v as i32) as i64);
+            assert_eq!(wrap(v, 64), v);
+        }
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        assert_eq!(apply_binop(BinOp::Add, 127, 1, 8), -128);
+        assert_eq!(apply_binop(BinOp::Mul, 16, 16, 8), 0);
+        assert_eq!(apply_binop(BinOp::Sub, -128, 1, 8), 127);
+        assert_eq!(apply_binop(BinOp::Add, 127, 1, 32), 128);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(apply_binop(BinOp::Div, 42, 0, 32), 0);
+        assert_eq!(apply_binop(BinOp::Rem, 42, 0, 32), 0);
+        assert_eq!(apply_binop(BinOp::Div, -7, 2, 32), -3);
+        assert_eq!(apply_binop(BinOp::Rem, -7, 2, 32), -1);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(apply_binop(BinOp::Lt, -1, 1, 32), 1);
+        assert_eq!(apply_binop(BinOp::Ge, 5, 5, 32), 1);
+        assert_eq!(apply_binop(BinOp::And, 3, 0, 32), 0);
+        assert_eq!(apply_binop(BinOp::Or, 0, -2, 32), 1);
+        assert!(truthy(-5));
+        assert!(!truthy(0));
+    }
+
+    #[test]
+    fn shifts_saturate_like_the_encoder() {
+        assert_eq!(apply_binop(BinOp::Shl, 1, 3, 8), 8);
+        assert_eq!(apply_binop(BinOp::Shl, 1, 9, 8), 0);
+        assert_eq!(apply_binop(BinOp::Shr, -64, 2, 8), -16);
+        assert_eq!(apply_binop(BinOp::Shr, -64, 9, 8), -1);
+        assert_eq!(apply_binop(BinOp::Shr, 64, 9, 8), 0);
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert_eq!(apply_unop(UnOp::Neg, -128, 8), -128); // wraps
+        assert_eq!(apply_unop(UnOp::Not, 0, 8), 1);
+        assert_eq!(apply_unop(UnOp::Not, 7, 8), 0);
+        assert_eq!(apply_unop(UnOp::BitNot, 0, 8), -1);
+    }
+}

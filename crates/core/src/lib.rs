@@ -1,0 +1,68 @@
+//! # bugassist — MAX-SAT error localization (the paper's core contribution)
+//!
+//! This crate implements the BugAssist algorithm of Jose & Majumdar, *Cause
+//! Clue Clauses: Error Localization using Maximum Satisfiability* (PLDI
+//! 2011), on top of the workspace's substrates:
+//!
+//! * the [`minic`] frontend parses the program,
+//! * the [`bmc`] crate unrolls/inlines it and bit-blasts a trace formula
+//!   whose clauses are grouped per statement,
+//! * this crate turns that grouped formula into a **partial MAX-SAT**
+//!   instance — test input and assertion hard, one soft selector per
+//!   statement (Sec. 3.4) — and enumerates **CoMSS**es with the [`maxsat`]
+//!   engine (Algorithm 1),
+//! * the extensions are here too: suspect **ranking** over multiple failing
+//!   tests (Sec. 4.3), **repair** suggestion for off-by-one and operator
+//!   faults (Sec. 5.1 / Algorithm 2), and **loop-iteration** localization
+//!   with weighted selectors (Sec. 5.2).
+//!
+//! # Examples
+//!
+//! Localize the paper's motivating example (Program 1):
+//!
+//! ```
+//! use bugassist::{Localizer, LocalizerConfig};
+//! use bmc::{EncodeConfig, Spec};
+//! use minic::{parse_program, ast::Line};
+//!
+//! let program = parse_program("\
+//! int Array[3];
+//! int testme(int index) {
+//! if (index != 1) {
+//! index = 2;
+//! } else {
+//! index = index + 2;
+//! }
+//! int i = index;
+//! return Array[i];
+//! }").unwrap();
+//!
+//! let config = LocalizerConfig {
+//!     encode: EncodeConfig { width: 8, ..EncodeConfig::default() },
+//!     ..LocalizerConfig::default()
+//! };
+//! let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config).unwrap();
+//! let report = localizer.localize(&[1]).unwrap();
+//!
+//! // The faulty `index = index + 2` (line 6) and the branch condition
+//! // (line 3) — the paper's "Potential Bug 1" and "Potential Bug 2" — are
+//! // both reported.
+//! assert!(report.blames_line(Line(6)));
+//! assert!(report.blames_line(Line(3)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod localizer;
+mod loops;
+mod ranking;
+mod repair;
+
+pub use localizer::{
+    Granularity, LocalizationReport, LocalizeError, Localizer, LocalizerConfig, LocalizerStats,
+    Suspect,
+};
+pub use loops::{localize_faulty_iteration, LoopReport};
+pub use ranking::{rank_localizations, RankedLine, RankedReport};
+pub use repair::{suggest_repairs, Repair, RepairConfig, RepairKind};

@@ -1,0 +1,610 @@
+//! The BugAssist localization algorithm (Algorithm 1 of the paper).
+//!
+//! Given a program, a specification and a failing test input, the localizer
+//! builds the *extended trace formula*
+//!
+//! ```text
+//! Φ  =  [[test]]  ∧  TF1(σ)  ∧  p          (hard)
+//!       ∧  λ₁ ∧ λ₂ ∧ … ∧ λ_n              (soft — one selector per statement)
+//! ```
+//!
+//! and repeatedly asks the partial MAX-SAT engine for a CoMSS: a
+//! minimum-weight set of selector variables whose statements, if allowed to
+//! change, make the failing execution infeasible. Each CoMSS is reported as a
+//! set of suspect source lines; a hard *blocking clause* (λ₁ ∨ … ∨ λ_k) is
+//! then added and the enumeration continues until the MAX-SAT instance
+//! becomes unsatisfiable ("no more suspects").
+
+use bitblast::GroupId;
+use bmc::{encode_program, EncodeConfig, EncodeError, Spec, SymbolicTrace};
+use maxsat::{MaxSatInstance, MaxSatSolver, SoftId, Strategy};
+use minic::ast::Line;
+use minic::Program;
+use sat::Lit;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// At what granularity statements are blamed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Granularity {
+    /// One selector per source line — the paper's default (Sec. 3.4): all
+    /// clause groups originating from the same line share a selector, even
+    /// across loop unwindings and inlined call instances.
+    #[default]
+    Line,
+    /// One selector per statement *instance* (line × loop unwinding), used by
+    /// the loop-debugging extension of Sec. 5.2.
+    StatementInstance,
+}
+
+/// Configuration of the [`Localizer`].
+#[derive(Clone, Debug)]
+pub struct LocalizerConfig {
+    /// Symbolic-encoding options (bit width, unwinding bound, inlining depth,
+    /// concretized functions).
+    pub encode: EncodeConfig,
+    /// MAX-SAT strategy to use.
+    pub strategy: Strategy,
+    /// Maximum number of CoMSSes to enumerate before stopping.
+    pub max_suspect_sets: usize,
+    /// Blame granularity.
+    pub granularity: Granularity,
+    /// Weight soft clauses by loop iteration (`α + η − κ`, Sec. 5.2) so that
+    /// earlier iterations are preferred when blaming loop bodies. Only
+    /// meaningful with [`Granularity::StatementInstance`].
+    pub loop_weighting: bool,
+    /// Default soft-clause weight α.
+    pub base_weight: u64,
+    /// Lines that must not be blamed (e.g. verified library code, Sec. 6.3);
+    /// their selectors are asserted hard.
+    pub trusted_lines: Vec<Line>,
+}
+
+impl Default for LocalizerConfig {
+    fn default() -> LocalizerConfig {
+        LocalizerConfig {
+            encode: EncodeConfig::default(),
+            strategy: Strategy::FuMalik,
+            max_suspect_sets: 16,
+            granularity: Granularity::Line,
+            loop_weighting: false,
+            base_weight: 1,
+            trusted_lines: Vec::new(),
+        }
+    }
+}
+
+/// One reported CoMSS: a minimal set of statements whose simultaneous change
+/// can make the failing execution infeasible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suspect {
+    /// The source lines involved (usually exactly one).
+    pub lines: Vec<Line>,
+    /// For [`Granularity::StatementInstance`], the loop unwinding index of
+    /// each blamed instance (parallel to `lines`); `None` entries are
+    /// statements outside loops.
+    pub unwindings: Vec<Option<usize>>,
+    /// 0-based order in which this CoMSS was enumerated.
+    pub rank: usize,
+    /// Total soft weight of the CoMSS (its MAX-SAT cost).
+    pub cost: u64,
+}
+
+impl fmt::Display for Suspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        for (line, unwinding) in self.lines.iter().zip(&self.unwindings) {
+            match unwinding {
+                Some(k) => parts.push(format!("{line} (iteration {})", k + 1)),
+                None => parts.push(line.to_string()),
+            }
+        }
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+/// Statistics about one localization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LocalizerStats {
+    /// Number of MAX-SAT calls (CoMSS extractions) made.
+    pub maxsat_calls: u64,
+    /// Number of soft clauses (selectors) in the instance.
+    pub soft_clauses: usize,
+    /// Number of hard clauses in the instance.
+    pub hard_clauses: usize,
+    /// Number of CNF variables in the instance.
+    pub variables: usize,
+    /// Wall-clock milliseconds spent localizing.
+    pub elapsed_ms: u128,
+}
+
+/// The complete result of localizing one failing execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalizationReport {
+    /// Every CoMSS reported, in enumeration order.
+    pub suspects: Vec<Suspect>,
+    /// The union of all suspect lines, sorted and deduplicated.
+    pub suspect_lines: Vec<Line>,
+    /// Statistics of the run.
+    pub stats: LocalizerStats,
+}
+
+impl LocalizationReport {
+    /// `true` if the given line was blamed by any CoMSS.
+    pub fn blames_line(&self, line: Line) -> bool {
+        self.suspect_lines.binary_search(&line).is_ok()
+    }
+
+    /// The fraction of blamable program lines that were reported — the
+    /// paper's "SizeReduc%" metric (smaller is better).
+    pub fn size_reduction_percent(&self, total_lines: usize) -> f64 {
+        if total_lines == 0 {
+            return 0.0;
+        }
+        100.0 * self.suspect_lines.len() as f64 / total_lines as f64
+    }
+}
+
+/// Errors produced while building a localizer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocalizeError {
+    /// The symbolic encoder failed.
+    Encode(EncodeError),
+    /// The number of test values does not match the entry function.
+    ArityMismatch {
+        /// Expected number of inputs.
+        expected: usize,
+        /// Provided number of inputs.
+        provided: usize,
+    },
+}
+
+impl fmt::Display for LocalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalizeError::Encode(e) => write!(f, "{e}"),
+            LocalizeError::ArityMismatch { expected, provided } => write!(
+                f,
+                "test vector has {provided} values but the entry function takes {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LocalizeError {}
+
+impl From<EncodeError> for LocalizeError {
+    fn from(e: EncodeError) -> LocalizeError {
+        LocalizeError::Encode(e)
+    }
+}
+
+/// A selector variable and the statement instances it controls.
+#[derive(Clone, Debug)]
+struct Selector {
+    lit: Lit,
+    lines: Vec<Line>,
+    unwindings: Vec<Option<usize>>,
+    weight: u64,
+    trusted: bool,
+}
+
+/// The BugAssist error localizer.
+///
+/// The program is symbolically encoded once; each call to
+/// [`Localizer::localize`] reuses the encoding with a different failing test.
+///
+/// # Examples
+///
+/// ```
+/// use bugassist::{Localizer, LocalizerConfig};
+/// use bmc::{EncodeConfig, Spec};
+/// use minic::{parse_program, ast::Line};
+///
+/// // Program 1 from the paper: buggy for index == 1.
+/// let program = parse_program("\
+/// int Array[3];
+/// int testme(int index) {
+/// if (index != 1) {
+/// index = 2;
+/// } else {
+/// index = index + 2;
+/// }
+/// int i = index;
+/// return Array[i];
+/// }").unwrap();
+/// let config = LocalizerConfig {
+///     encode: EncodeConfig { width: 8, ..EncodeConfig::default() },
+///     ..LocalizerConfig::default()
+/// };
+/// let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config).unwrap();
+/// let report = localizer.localize(&[1]).unwrap();
+/// // The faulty constant on line 6 is blamed.
+/// assert!(report.blames_line(Line(6)));
+/// ```
+#[derive(Debug)]
+pub struct Localizer {
+    trace: SymbolicTrace,
+    config: LocalizerConfig,
+    program_lines: usize,
+}
+
+impl Localizer {
+    /// Encodes the program and prepares the localizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LocalizeError::Encode`] if the program cannot be encoded.
+    pub fn new(
+        program: &Program,
+        entry: &str,
+        spec: &Spec,
+        config: &LocalizerConfig,
+    ) -> Result<Localizer, LocalizeError> {
+        let trace = encode_program(program, entry, spec, &config.encode)?;
+        Ok(Localizer {
+            trace,
+            config: config.clone(),
+            program_lines: program.statement_lines().len(),
+        })
+    }
+
+    /// The symbolic trace underlying this localizer.
+    pub fn trace(&self) -> &SymbolicTrace {
+        &self.trace
+    }
+
+    /// Number of statement lines in the analysed program (denominator of
+    /// [`LocalizationReport::size_reduction_percent`]).
+    pub fn program_lines(&self) -> usize {
+        self.program_lines
+    }
+
+    /// Builds the selector set according to the configured granularity.
+    fn build_selectors(&self, instance: &mut MaxSatInstance) -> Vec<Selector> {
+        let unwind = self.config.encode.unwind as u64;
+        let mut selectors: Vec<Selector> = Vec::new();
+        match self.config.granularity {
+            Granularity::Line => {
+                let mut by_line: BTreeMap<Line, Vec<&bmc::StmtGroup>> = BTreeMap::new();
+                for group in &self.trace.groups {
+                    by_line.entry(group.line).or_default().push(group);
+                }
+                for (line, groups) in by_line {
+                    let lit = instance.new_var().positive();
+                    selectors.push(Selector {
+                        lit,
+                        lines: vec![line],
+                        unwindings: vec![None],
+                        weight: self.config.base_weight,
+                        trusted: self.config.trusted_lines.contains(&line),
+                    });
+                    let _ = groups;
+                }
+            }
+            Granularity::StatementInstance => {
+                for group in &self.trace.groups {
+                    let lit = instance.new_var().positive();
+                    let weight = if self.config.loop_weighting {
+                        match group.unwinding {
+                            // α + η − κ : earlier iterations weigh more.
+                            Some(k) => self.config.base_weight + unwind - (k as u64).min(unwind),
+                            None => self.config.base_weight,
+                        }
+                    } else {
+                        self.config.base_weight
+                    };
+                    selectors.push(Selector {
+                        lit,
+                        lines: vec![group.line],
+                        unwindings: vec![group.unwinding],
+                        weight,
+                        trusted: self.config.trusted_lines.contains(&group.line),
+                    });
+                }
+            }
+        }
+        selectors
+    }
+
+    /// Maps each clause group to the selector that controls it.
+    fn selector_of_group(&self, selectors: &[Selector]) -> BTreeMap<GroupId, usize> {
+        let mut map = BTreeMap::new();
+        match self.config.granularity {
+            Granularity::Line => {
+                for group in &self.trace.groups {
+                    let idx = selectors
+                        .iter()
+                        .position(|s| s.lines[0] == group.line)
+                        .expect("every line has a selector");
+                    map.insert(group.id, idx);
+                }
+            }
+            Granularity::StatementInstance => {
+                for (idx, group) in self.trace.groups.iter().enumerate() {
+                    map.insert(group.id, idx);
+                }
+            }
+        }
+        map
+    }
+
+    /// Builds the hard part of the extended trace formula for one test input.
+    fn build_hard_instance(
+        &self,
+        failing_input: &[i64],
+        selectors: &[Selector],
+        group_to_selector: &BTreeMap<GroupId, usize>,
+    ) -> MaxSatInstance {
+        let mut instance = MaxSatInstance::new();
+        instance.ensure_vars(self.trace.cnf.num_vars());
+        // Re-create the selector variables in the same order so their literal
+        // values match (they were allocated right after the trace variables).
+        for selector in selectors {
+            let v = instance.new_var();
+            debug_assert_eq!(v.positive(), selector.lit);
+        }
+        // TF1: statement clauses augmented with ¬λ; infrastructure stays hard.
+        for (clause, group) in self.trace.cnf.iter() {
+            match group {
+                None => instance.add_hard(clause.clone()),
+                Some(gid) => {
+                    let selector = &selectors[group_to_selector[&gid]];
+                    let mut lits = clause.lits().to_vec();
+                    lits.push(!selector.lit);
+                    instance.add_hard(lits);
+                }
+            }
+        }
+        // [[test]] : the failing input, as hard units.
+        for lit in self.trace.input_assumption_lits(failing_input) {
+            instance.add_hard(vec![lit]);
+        }
+        // p : the violated assertion must hold — hard.
+        instance.add_hard(vec![self.trace.property]);
+        // Trusted statements can never be switched off.
+        for selector in selectors {
+            if selector.trusted {
+                instance.add_hard(vec![selector.lit]);
+            }
+        }
+        instance
+    }
+
+    /// Runs Algorithm 1 for one failing test input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LocalizeError::ArityMismatch`] if the test vector length is
+    /// wrong.
+    pub fn localize(&self, failing_input: &[i64]) -> Result<LocalizationReport, LocalizeError> {
+        if failing_input.len() != self.trace.inputs.len() {
+            return Err(LocalizeError::ArityMismatch {
+                expected: self.trace.inputs.len(),
+                provided: failing_input.len(),
+            });
+        }
+        let start = Instant::now();
+        let selectors = {
+            // Allocate selector variables against a scratch instance first so
+            // that their indices are deterministic, then rebuild.
+            let mut scratch = MaxSatInstance::new();
+            scratch.ensure_vars(self.trace.cnf.num_vars());
+            self.build_selectors(&mut scratch)
+        };
+        let group_to_selector = self.selector_of_group(&selectors);
+        let base = self.build_hard_instance(failing_input, &selectors, &group_to_selector);
+
+        let mut solver = MaxSatSolver::new(self.config.strategy);
+        let mut stats = LocalizerStats {
+            soft_clauses: selectors.iter().filter(|s| !s.trusted).count(),
+            hard_clauses: base.num_hard(),
+            variables: base.num_vars(),
+            ..LocalizerStats::default()
+        };
+
+        let mut suspects: Vec<Suspect> = Vec::new();
+        // Selectors still allowed to be blamed.
+        let mut active: Vec<usize> = (0..selectors.len())
+            .filter(|&i| !selectors[i].trusted)
+            .collect();
+        // Blocking clauses accumulated so far (hard).
+        let mut blocking: Vec<Vec<Lit>> = Vec::new();
+
+        for rank in 0..self.config.max_suspect_sets {
+            let mut instance = base.clone();
+            for clause in &blocking {
+                instance.add_hard(clause.clone());
+            }
+            let mut soft_ids: BTreeMap<SoftId, usize> = BTreeMap::new();
+            for &i in &active {
+                let id = instance.add_soft_unit(selectors[i].lit, selectors[i].weight);
+                soft_ids.insert(id, i);
+            }
+            stats.maxsat_calls += 1;
+            let result = solver.solve(&instance);
+            let Some(solution) = result.into_optimum() else {
+                break; // Hard part unsatisfiable: no more suspects.
+            };
+            if solution.falsified.is_empty() {
+                break; // Everything satisfiable: nothing (left) to blame.
+            }
+            let blamed: Vec<usize> = solution
+                .falsified
+                .iter()
+                .filter_map(|id| soft_ids.get(id).copied())
+                .collect();
+            let mut lines = Vec::new();
+            let mut unwindings = Vec::new();
+            for &i in &blamed {
+                lines.extend(selectors[i].lines.iter().copied());
+                unwindings.extend(selectors[i].unwindings.iter().copied());
+            }
+            suspects.push(Suspect {
+                lines,
+                unwindings,
+                rank,
+                cost: solution.cost,
+            });
+            // Block this CoMSS: (λ₁ ∨ … ∨ λ_k) becomes hard, and those
+            // selectors leave the soft set (Algorithm 1, lines 13–14).
+            blocking.push(blamed.iter().map(|&i| selectors[i].lit).collect());
+            active.retain(|i| !blamed.contains(i));
+            if active.is_empty() {
+                break;
+            }
+        }
+
+        let mut suspect_lines: Vec<Line> = suspects
+            .iter()
+            .flat_map(|s| s.lines.iter().copied())
+            .collect();
+        suspect_lines.sort();
+        suspect_lines.dedup();
+        stats.elapsed_ms = start.elapsed().as_millis();
+        Ok(LocalizationReport {
+            suspects,
+            suspect_lines,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse_program;
+
+    fn config8() -> LocalizerConfig {
+        LocalizerConfig {
+            encode: EncodeConfig {
+                width: 8,
+                ..EncodeConfig::default()
+            },
+            ..LocalizerConfig::default()
+        }
+    }
+
+    /// Program 1 from the paper, with its line numbering.
+    fn motivating_example() -> Program {
+        parse_program(
+            "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn motivating_example_blames_the_faulty_line_first() {
+        let program = motivating_example();
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap();
+        let report = localizer.localize(&[1]).unwrap();
+        assert!(!report.suspects.is_empty());
+        // The faulty assignment (line 6, `index = index + 2`) must be blamed.
+        assert!(report.blames_line(Line(6)), "report: {report:?}");
+        // The branch condition (line 3) is the other repair point the paper
+        // reports; with blocking-clause enumeration it shows up as well.
+        assert!(report.blames_line(Line(3)), "report: {report:?}");
+        // The suspect set is small compared to the whole program: the paper
+        // reports {line 3, line 6} (its lines 1 and 4); our whole-program
+        // encoding may additionally surface the copy/return statements the
+        // backward slice contains, but nothing beyond them.
+        assert!(report.suspect_lines.len() <= 6, "{report:?}");
+    }
+
+    #[test]
+    fn single_constant_bug_is_isolated() {
+        // y should be x + 1; the constant 2 is wrong, detected when x = 3
+        // against the golden output 4.
+        let program = parse_program(
+            "int main(int x) {\nint y = x + 2;\nint z = y * 1;\nreturn z;\n}",
+        )
+        .unwrap();
+        let localizer =
+            Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config8()).unwrap();
+        let report = localizer.localize(&[3]).unwrap();
+        assert!(report.blames_line(Line(2)), "{report:?}");
+        // The first (minimum-cost) suspect is a single line.
+        assert_eq!(report.suspects[0].lines.len(), 1);
+        assert_eq!(report.suspects[0].cost, 1);
+    }
+
+    #[test]
+    fn correct_program_yields_no_suspects() {
+        let program = parse_program("int main(int x) { int y = x + 1; assert(y == x + 1); return y; }").unwrap();
+        let localizer = Localizer::new(&program, "main", &Spec::Assertions, &config8()).unwrap();
+        // Input 5 does not actually fail; the extended formula is satisfiable
+        // with every statement enabled, so there is nothing to blame.
+        let report = localizer.localize(&[5]).unwrap();
+        assert!(report.suspects.is_empty());
+        assert!(report.suspect_lines.is_empty());
+    }
+
+    #[test]
+    fn trusted_lines_are_never_blamed() {
+        let program = parse_program(
+            "int main(int x) {\nint y = x + 2;\nint z = y + 0;\nreturn z;\n}",
+        )
+        .unwrap();
+        let mut config = config8();
+        config.trusted_lines = vec![Line(2)];
+        let localizer =
+            Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        let report = localizer.localize(&[3]).unwrap();
+        assert!(!report.blames_line(Line(2)), "{report:?}");
+        // Blame shifts to the only other statement that can absorb the fix.
+        assert!(report.blames_line(Line(3)) || report.blames_line(Line(4)));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let program = parse_program("int main(int x) { return x; }").unwrap();
+        let localizer = Localizer::new(&program, "main", &Spec::ReturnEquals(0), &config8()).unwrap();
+        let err = localizer.localize(&[1, 2]).unwrap_err();
+        assert!(matches!(err, LocalizeError::ArityMismatch { expected: 1, provided: 2 }));
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let program = motivating_example();
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap();
+        let report = localizer.localize(&[1]).unwrap();
+        let pct = report.size_reduction_percent(localizer.program_lines());
+        assert!(pct > 0.0 && pct <= 100.0);
+        assert!(report.stats.maxsat_calls >= 1);
+        assert!(report.stats.soft_clauses > 0);
+        assert!(report.stats.hard_clauses > 0);
+        for (i, suspect) in report.suspects.iter().enumerate() {
+            assert_eq!(suspect.rank, i);
+            assert!(!suspect.lines.is_empty());
+            assert!(!format!("{suspect}").is_empty());
+        }
+    }
+
+    #[test]
+    fn statement_instance_granularity_reports_unwindings() {
+        let program = parse_program(
+            "int main(int n) {\nint i = 0;\nint s = 0;\nwhile (i < n) {\ns = s + 2;\ni = i + 1;\n}\nassert(s != 6);\nreturn s;\n}",
+        )
+        .unwrap();
+        let config = LocalizerConfig {
+            granularity: Granularity::StatementInstance,
+            loop_weighting: true,
+            encode: EncodeConfig {
+                width: 8,
+                unwind: 6,
+                ..EncodeConfig::default()
+            },
+            ..LocalizerConfig::default()
+        };
+        // n = 3 gives s = 6 and violates the assertion.
+        let localizer = Localizer::new(&program, "main", &Spec::Assertions, &config).unwrap();
+        let report = localizer.localize(&[3]).unwrap();
+        assert!(!report.suspects.is_empty());
+        let any_loop_instance = report
+            .suspects
+            .iter()
+            .any(|s| s.unwindings.iter().any(|u| u.is_some()));
+        assert!(any_loop_instance, "{report:?}");
+    }
+}

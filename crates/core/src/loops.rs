@@ -1,0 +1,176 @@
+//! Loop-iteration localization (Sec. 5.2 of the paper).
+//!
+//! When the suspect statements lie inside a loop, the programmer also wants
+//! to know *which iteration* first goes wrong. The paper's extension assigns
+//! a distinct selector to every loop unwinding and weights it
+//! `α + η − κ` (earlier iterations weigh more), so the CoMSS identifies the
+//! earliest iteration that can reproduce the failure. This module wraps the
+//! [`Localizer`] with that configuration and extracts the iteration verdict.
+
+use crate::localizer::{
+    Granularity, LocalizationReport, LocalizeError, Localizer, LocalizerConfig,
+};
+use bmc::Spec;
+use minic::ast::Line;
+use minic::Program;
+
+/// Result of loop-aware localization.
+#[derive(Clone, Debug)]
+pub struct LoopReport {
+    /// The underlying per-instance localization report.
+    pub report: LocalizationReport,
+    /// The earliest blamed loop iteration, as `(line, iteration)` with a
+    /// 1-based iteration index, if any blamed statement lies in a loop.
+    pub first_faulty_iteration: Option<(Line, usize)>,
+    /// All blamed `(line, iteration)` pairs (1-based), sorted.
+    pub blamed_iterations: Vec<(Line, usize)>,
+}
+
+/// Runs BugAssist with per-iteration selectors and iteration weighting.
+///
+/// # Errors
+///
+/// Propagates localization errors.
+///
+/// # Examples
+///
+/// ```
+/// use bugassist::{localize_faulty_iteration, LocalizerConfig};
+/// use bmc::{EncodeConfig, Spec};
+/// use minic::parse_program;
+///
+/// // The loop adds 3 instead of 2; the failure needs at least two iterations.
+/// let program = parse_program("\
+/// int main(int n) {
+/// int i = 0;
+/// int s = 0;
+/// while (i < n) {
+/// s = s + 3;
+/// i = i + 1;
+/// }
+/// assert(s != 6);
+/// return s;
+/// }").unwrap();
+/// let config = LocalizerConfig {
+///     encode: EncodeConfig { width: 8, unwind: 6, ..EncodeConfig::default() },
+///     ..LocalizerConfig::default()
+/// };
+/// let loop_report = localize_faulty_iteration(&program, "main", &Spec::Assertions, &[2], &config).unwrap();
+/// assert!(loop_report.first_faulty_iteration.is_some());
+/// ```
+pub fn localize_faulty_iteration(
+    program: &Program,
+    entry: &str,
+    spec: &Spec,
+    failing_input: &[i64],
+    config: &LocalizerConfig,
+) -> Result<LoopReport, LocalizeError> {
+    let loop_config = LocalizerConfig {
+        granularity: Granularity::StatementInstance,
+        loop_weighting: true,
+        ..config.clone()
+    };
+    let localizer = Localizer::new(program, entry, spec, &loop_config)?;
+    let report = localizer.localize(failing_input)?;
+
+    let mut blamed_iterations: Vec<(Line, usize)> = report
+        .suspects
+        .iter()
+        .flat_map(|s| {
+            s.lines
+                .iter()
+                .zip(&s.unwindings)
+                .filter_map(|(line, unwinding)| unwinding.map(|k| (*line, k + 1)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    blamed_iterations.sort();
+    blamed_iterations.dedup();
+
+    // CoMSSes are enumerated in increasing weight; the verdict is the
+    // earliest iteration blamed by the first CoMSS that touches a loop body
+    // at all (earlier CoMSSes may blame cheaper straight-line statements).
+    let first_faulty_iteration = report
+        .suspects
+        .iter()
+        .find_map(|s| {
+            s.lines
+                .iter()
+                .zip(&s.unwindings)
+                .filter_map(|(line, unwinding)| unwinding.map(|k| (*line, k + 1)))
+                .min_by_key(|(_, k)| *k)
+        });
+
+    Ok(LoopReport {
+        report,
+        first_faulty_iteration,
+        blamed_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmc::EncodeConfig;
+    use minic::parse_program;
+
+    #[test]
+    fn loop_body_bug_reports_an_iteration() {
+        // The accumulator should add i, not a constant 2; with n = 3 the sum
+        // becomes 6 and the assertion fails.
+        let program = parse_program(
+            "int main(int n) {\nint i = 0;\nint s = 0;\nwhile (i < n) {\ns = s + 2;\ni = i + 1;\n}\nassert(s != 6);\nreturn s;\n}",
+        )
+        .unwrap();
+        let config = LocalizerConfig {
+            encode: EncodeConfig {
+                width: 8,
+                unwind: 5,
+                ..EncodeConfig::default()
+            },
+            ..LocalizerConfig::default()
+        };
+        let loop_report =
+            localize_faulty_iteration(&program, "main", &Spec::Assertions, &[3], &config).unwrap();
+        assert!(!loop_report.report.suspects.is_empty());
+        assert!(!loop_report.blamed_iterations.is_empty());
+        let (line, iteration) = loop_report.first_faulty_iteration.expect("a loop line is blamed");
+        assert!(line == Line(5) || line == Line(6) || line == Line(4), "line {line}");
+        assert!((1..=5).contains(&iteration));
+    }
+
+    #[test]
+    fn bug_outside_loop_still_localizes() {
+        // Mirrors the paper's square-root example: the bug (missing -1) is
+        // after the loop, but understanding it requires the loop analysis.
+        let program = parse_program(
+            "int squareroot(int val) {\nassume(val == 50);\nint i = 1;\nint v = 0;\nint res = 0;\nwhile (v < val) {\nv = v + 2 * i + 1;\ni = i + 1;\n}\nres = i;\nassert(res * res <= val && (res + 1) * (res + 1) > val);\nreturn res;\n}",
+        )
+        .unwrap();
+        let config = LocalizerConfig {
+            encode: EncodeConfig {
+                width: 16,
+                unwind: 10,
+                ..EncodeConfig::default()
+            },
+            max_suspect_sets: 4,
+            ..LocalizerConfig::default()
+        };
+        let loop_report = localize_faulty_iteration(
+            &program,
+            "squareroot",
+            &Spec::Assertions,
+            &[50],
+            &config,
+        )
+        .unwrap();
+        assert!(!loop_report.report.suspects.is_empty());
+        // The post-loop assignment `res = i` (line 10) or the loop body lines
+        // must be among the suspects.
+        let lines = &loop_report.report.suspect_lines;
+        assert!(
+            lines.contains(&Line(10)) || lines.contains(&Line(7)) || lines.contains(&Line(8)),
+            "{lines:?}"
+        );
+    }
+}

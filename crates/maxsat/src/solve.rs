@@ -1,0 +1,514 @@
+//! MAX-SAT solving strategies.
+//!
+//! Two complete strategies for weighted partial MAX-SAT are provided:
+//!
+//! * [`Strategy::FuMalik`] — the core-guided algorithm of Fu & Malik in its
+//!   weighted WPM1 variant, which is what the MSUnCORE solver used by the
+//!   BugAssist paper implements: repeatedly ask a SAT solver for an
+//!   unsatisfiable core over the soft-clause selectors, relax each clause of
+//!   the core with a fresh relaxation variable, constrain the relaxation
+//!   variables of the core to exactly one, and pay the minimum weight of the
+//!   core.
+//! * [`Strategy::LinearSatUnsat`] — model-improving linear search: relax every
+//!   soft clause up front, find any model, then repeatedly ask for a strictly
+//!   cheaper model via a generalized-totalizer bound until UNSAT.
+//!
+//! Both return the same [`MaxSatSolution`], including the **CoMSS** (the set
+//! of soft clauses falsified by the optimal model) that BugAssist interprets
+//! as a candidate error localization.
+
+use crate::encodings::{encode_exactly_one, GeneralizedTotalizer};
+use crate::instance::{MaxSatInstance, SoftId};
+use sat::{Lit, SatResult, Solver};
+
+/// Which algorithm to use for a [`solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum Strategy {
+    /// Core-guided Fu–Malik / WPM1 (default; mirrors MSUnCORE).
+    #[default]
+    FuMalik,
+    /// Model-improving linear SAT–UNSAT search with a generalized totalizer.
+    LinearSatUnsat,
+}
+
+/// An optimal solution to a weighted partial MAX-SAT instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaxSatSolution {
+    /// Total weight of falsified soft clauses (the optimum cost).
+    pub cost: u64,
+    /// A model of the hard clauses achieving that cost, indexed by variable.
+    pub model: Vec<bool>,
+    /// The soft clauses falsified by `model` — the complement of a maximum
+    /// satisfiable subset (CoMSS). Sorted by identifier.
+    pub falsified: Vec<SoftId>,
+}
+
+impl MaxSatSolution {
+    /// The soft clauses satisfied by the model (the MSS), as identifiers.
+    pub fn satisfied(&self, instance: &MaxSatInstance) -> Vec<SoftId> {
+        (0..instance.num_soft())
+            .map(SoftId)
+            .filter(|id| !self.falsified.contains(id))
+            .collect()
+    }
+}
+
+/// Result of solving a weighted partial MAX-SAT instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaxSatResult {
+    /// The hard clauses are satisfiable; an optimal solution is attached.
+    Optimum(MaxSatSolution),
+    /// The hard clauses alone are unsatisfiable; no assignment exists.
+    HardUnsat,
+}
+
+impl MaxSatResult {
+    /// Returns the solution, or `None` for [`MaxSatResult::HardUnsat`].
+    pub fn optimum(&self) -> Option<&MaxSatSolution> {
+        match self {
+            MaxSatResult::Optimum(sol) => Some(sol),
+            MaxSatResult::HardUnsat => None,
+        }
+    }
+
+    /// Consumes the result and returns the solution, or `None`.
+    pub fn into_optimum(self) -> Option<MaxSatSolution> {
+        match self {
+            MaxSatResult::Optimum(sol) => Some(sol),
+            MaxSatResult::HardUnsat => None,
+        }
+    }
+
+    /// Returns `true` iff the hard part was unsatisfiable.
+    pub fn is_hard_unsat(&self) -> bool {
+        matches!(self, MaxSatResult::HardUnsat)
+    }
+}
+
+/// Statistics about a MAX-SAT solving run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxSatStats {
+    /// Number of calls made to the underlying SAT solver.
+    pub sat_calls: u64,
+    /// Number of unsatisfiable cores processed (Fu–Malik only).
+    pub cores: u64,
+    /// Number of SAT-solver variables at the end of the run.
+    pub final_vars: usize,
+    /// Number of SAT-solver conflicts accumulated.
+    pub conflicts: u64,
+}
+
+/// A configurable weighted partial MAX-SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use maxsat::{MaxSatInstance, MaxSatSolver, Strategy};
+/// let mut inst = MaxSatInstance::new();
+/// let x = inst.new_var().positive();
+/// let y = inst.new_var().positive();
+/// inst.add_hard(vec![x, y]);
+/// inst.add_soft(vec![!x], 1);
+/// inst.add_soft(vec![!y], 1);
+/// let solution = MaxSatSolver::new(Strategy::FuMalik)
+///     .solve(&inst)
+///     .into_optimum()
+///     .expect("hard part is satisfiable");
+/// assert_eq!(solution.cost, 1);
+/// assert_eq!(solution.falsified.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MaxSatSolver {
+    strategy: Strategy,
+    stats: MaxSatStats,
+}
+
+impl MaxSatSolver {
+    /// Creates a solver using the given strategy.
+    pub fn new(strategy: Strategy) -> MaxSatSolver {
+        MaxSatSolver {
+            strategy,
+            stats: MaxSatStats::default(),
+        }
+    }
+
+    /// The strategy this solver uses.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Statistics from the most recent [`MaxSatSolver::solve`] call.
+    pub fn stats(&self) -> MaxSatStats {
+        self.stats
+    }
+
+    /// Solves the instance to optimality.
+    pub fn solve(&mut self, instance: &MaxSatInstance) -> MaxSatResult {
+        self.stats = MaxSatStats::default();
+        let result = match self.strategy {
+            Strategy::FuMalik => self.solve_fu_malik(instance),
+            Strategy::LinearSatUnsat => self.solve_linear(instance),
+        };
+        debug_assert!(check_solution(instance, &result));
+        result
+    }
+
+    fn solve_fu_malik(&mut self, instance: &MaxSatInstance) -> MaxSatResult {
+        let mut solver = Solver::new();
+        solver.ensure_vars(instance.num_vars());
+        for clause in instance.hard().iter() {
+            if !solver.add_clause(clause.lits().iter().copied()) {
+                return MaxSatResult::HardUnsat;
+            }
+        }
+
+        // Working representation of each (possibly relaxed / split) soft
+        // clause: its literals, remaining weight and current selector.
+        struct WorkSoft {
+            lits: Vec<Lit>,
+            weight: u64,
+            selector: Lit,
+        }
+        let mut work: Vec<WorkSoft> = Vec::new();
+        let mut base_cost = 0u64;
+        for soft in instance.soft_clauses() {
+            if soft.clause.is_empty() {
+                // An empty soft clause can never be satisfied.
+                base_cost += soft.weight;
+                continue;
+            }
+            let selector = solver.new_var().positive();
+            let mut lits: Vec<Lit> = soft.clause.lits().to_vec();
+            lits.push(!selector);
+            solver.add_clause(lits);
+            work.push(WorkSoft {
+                lits: soft.clause.lits().to_vec(),
+                weight: soft.weight,
+                selector,
+            });
+        }
+
+        let mut cost = base_cost;
+        loop {
+            let assumptions: Vec<Lit> = work.iter().map(|w| w.selector).collect();
+            self.stats.sat_calls += 1;
+            match solver.solve_assuming(&assumptions) {
+                SatResult::Sat => {
+                    let model = truncate_model(&solver, instance.num_vars());
+                    let falsified = falsified_soft(instance, &model);
+                    self.stats.final_vars = solver.num_vars();
+                    self.stats.conflicts = solver.stats().conflicts;
+                    return MaxSatResult::Optimum(MaxSatSolution {
+                        cost,
+                        model,
+                        falsified,
+                    });
+                }
+                SatResult::Unsat => {
+                    let core: Vec<Lit> = solver.unsat_core().to_vec();
+                    if core.is_empty() {
+                        return MaxSatResult::HardUnsat;
+                    }
+                    self.stats.cores += 1;
+                    let core_indices: Vec<usize> = work
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, w)| core.contains(&w.selector))
+                        .map(|(i, _)| i)
+                        .collect();
+                    debug_assert!(!core_indices.is_empty());
+                    let w_min = core_indices
+                        .iter()
+                        .map(|&i| work[i].weight)
+                        .min()
+                        .expect("core maps to at least one soft clause");
+                    cost += w_min;
+
+                    let mut relax_vars = Vec::with_capacity(core_indices.len());
+                    for &i in &core_indices {
+                        let relax = solver.new_var().positive();
+                        let new_selector = solver.new_var().positive();
+                        relax_vars.push(relax);
+                        let mut relaxed = work[i].lits.clone();
+                        relaxed.push(relax);
+                        let mut with_selector = relaxed.clone();
+                        with_selector.push(!new_selector);
+                        solver.add_clause(with_selector);
+                        if work[i].weight == w_min {
+                            // The whole clause moves to its relaxed copy.
+                            work[i] = WorkSoft {
+                                lits: relaxed,
+                                weight: w_min,
+                                selector: new_selector,
+                            };
+                        } else {
+                            // Split: the original keeps the residual weight,
+                            // the relaxed copy carries w_min.
+                            work[i].weight -= w_min;
+                            work.push(WorkSoft {
+                                lits: relaxed,
+                                weight: w_min,
+                                selector: new_selector,
+                            });
+                        }
+                    }
+                    encode_exactly_one(&mut solver, &relax_vars);
+                }
+            }
+        }
+    }
+
+    fn solve_linear(&mut self, instance: &MaxSatInstance) -> MaxSatResult {
+        let mut solver = Solver::new();
+        solver.ensure_vars(instance.num_vars());
+        for clause in instance.hard().iter() {
+            if !solver.add_clause(clause.lits().iter().copied()) {
+                return MaxSatResult::HardUnsat;
+            }
+        }
+        // Relax every soft clause up front.
+        let mut weighted_relax: Vec<(Lit, u64)> = Vec::new();
+        let mut base_cost = 0u64;
+        for soft in instance.soft_clauses() {
+            if soft.clause.is_empty() {
+                base_cost += soft.weight;
+                continue;
+            }
+            let relax = solver.new_var().positive();
+            let mut lits: Vec<Lit> = soft.clause.lits().to_vec();
+            lits.push(relax);
+            solver.add_clause(lits);
+            weighted_relax.push((relax, soft.weight));
+        }
+
+        self.stats.sat_calls += 1;
+        if solver.solve() == SatResult::Unsat {
+            return MaxSatResult::HardUnsat;
+        }
+        // `cost_of` already counts empty soft clauses (they evaluate to
+        // false), so `base_cost` is only used to shift the totalizer bound.
+        let mut best_model = truncate_model(&solver, instance.num_vars());
+        let mut best_cost = instance
+            .cost_of(&best_model)
+            .expect("SAT model satisfies hard clauses");
+
+        if best_cost > base_cost {
+            let gte = GeneralizedTotalizer::new(&mut solver, &weighted_relax);
+            loop {
+                if best_cost == base_cost {
+                    break;
+                }
+                let bound = best_cost - base_cost - 1;
+                let assumptions = gte.at_most(bound);
+                self.stats.sat_calls += 1;
+                match solver.solve_assuming(&assumptions) {
+                    SatResult::Sat => {
+                        let model = truncate_model(&solver, instance.num_vars());
+                        let cost = instance
+                            .cost_of(&model)
+                            .expect("SAT model satisfies hard clauses");
+                        debug_assert!(cost < best_cost);
+                        best_cost = cost;
+                        best_model = model;
+                    }
+                    SatResult::Unsat => break,
+                }
+            }
+        }
+
+        self.stats.final_vars = solver.num_vars();
+        self.stats.conflicts = solver.stats().conflicts;
+        let falsified = falsified_soft(instance, &best_model);
+        MaxSatResult::Optimum(MaxSatSolution {
+            cost: best_cost,
+            model: best_model,
+            falsified,
+        })
+    }
+}
+
+/// Convenience function: solve with the given strategy.
+pub fn solve(instance: &MaxSatInstance, strategy: Strategy) -> MaxSatResult {
+    MaxSatSolver::new(strategy).solve(instance)
+}
+
+fn truncate_model(solver: &Solver, num_vars: usize) -> Vec<bool> {
+    let mut model = solver.model();
+    model.resize(num_vars, false);
+    model.truncate(num_vars);
+    model
+}
+
+fn falsified_soft(instance: &MaxSatInstance, model: &[bool]) -> Vec<SoftId> {
+    instance
+        .soft_clauses()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.clause.eval(model))
+        .map(|(i, _)| SoftId(i))
+        .collect()
+}
+
+fn check_solution(instance: &MaxSatInstance, result: &MaxSatResult) -> bool {
+    match result {
+        MaxSatResult::HardUnsat => true,
+        MaxSatResult::Optimum(sol) => {
+            let recomputed: u64 = sol
+                .falsified
+                .iter()
+                .map(|id| instance.soft(*id).weight)
+                .sum();
+            instance.cost_of(&sol.model) == Some(recomputed) && recomputed == sol.cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat::Lit;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn both_strategies(instance: &MaxSatInstance) -> (MaxSatResult, MaxSatResult) {
+        (
+            solve(instance, Strategy::FuMalik),
+            solve(instance, Strategy::LinearSatUnsat),
+        )
+    }
+
+    #[test]
+    fn all_soft_satisfiable() {
+        let mut inst = MaxSatInstance::new();
+        inst.add_hard(vec![lit(1), lit(2)]);
+        inst.add_soft(vec![lit(1)], 1);
+        inst.add_soft(vec![lit(2)], 1);
+        let (a, b) = both_strategies(&inst);
+        assert_eq!(a.optimum().unwrap().cost, 0);
+        assert_eq!(b.optimum().unwrap().cost, 0);
+        assert!(a.optimum().unwrap().falsified.is_empty());
+    }
+
+    #[test]
+    fn one_of_two_conflicting_soft_units() {
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(1);
+        inst.add_soft(vec![lit(1)], 1);
+        inst.add_soft(vec![lit(-1)], 1);
+        let (a, b) = both_strategies(&inst);
+        assert_eq!(a.optimum().unwrap().cost, 1);
+        assert_eq!(b.optimum().unwrap().cost, 1);
+        assert_eq!(a.optimum().unwrap().falsified.len(), 1);
+    }
+
+    #[test]
+    fn weights_pick_the_cheaper_sacrifice() {
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(1);
+        inst.add_soft(vec![lit(1)], 10);
+        inst.add_soft(vec![lit(-1)], 1);
+        for result in [solve(&inst, Strategy::FuMalik), solve(&inst, Strategy::LinearSatUnsat)] {
+            let sol = result.into_optimum().unwrap();
+            assert_eq!(sol.cost, 1);
+            assert_eq!(sol.falsified, vec![SoftId(1)]);
+            assert!(sol.model[0]);
+        }
+    }
+
+    #[test]
+    fn hard_unsat_detected() {
+        let mut inst = MaxSatInstance::new();
+        inst.add_hard(vec![lit(1)]);
+        inst.add_hard(vec![lit(-1)]);
+        inst.add_soft(vec![lit(2)], 1);
+        let (a, b) = both_strategies(&inst);
+        assert!(a.is_hard_unsat());
+        assert!(b.is_hard_unsat());
+    }
+
+    #[test]
+    fn hard_clauses_are_respected() {
+        // Hard: x1. Soft: !x1 (w 5), x2 (w 1), !x2 (w 1).
+        let mut inst = MaxSatInstance::new();
+        inst.add_hard(vec![lit(1)]);
+        inst.add_soft(vec![lit(-1)], 5);
+        inst.add_soft(vec![lit(2)], 1);
+        inst.add_soft(vec![lit(-2)], 1);
+        for strategy in [Strategy::FuMalik, Strategy::LinearSatUnsat] {
+            let sol = solve(&inst, strategy).into_optimum().unwrap();
+            assert_eq!(sol.cost, 6, "strategy {strategy:?}");
+            assert!(sol.model[0]);
+            assert!(sol.falsified.contains(&SoftId(0)));
+        }
+    }
+
+    #[test]
+    fn empty_soft_clause_contributes_to_cost() {
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(1);
+        inst.add_soft(Vec::<Lit>::new(), 7);
+        inst.add_soft(vec![lit(1)], 1);
+        for strategy in [Strategy::FuMalik, Strategy::LinearSatUnsat] {
+            let sol = solve(&inst, strategy).into_optimum().unwrap();
+            assert_eq!(sol.cost, 7, "strategy {strategy:?}");
+            assert_eq!(sol.falsified, vec![SoftId(0)]);
+        }
+    }
+
+    #[test]
+    fn no_soft_clauses_is_plain_sat() {
+        let mut inst = MaxSatInstance::new();
+        inst.add_hard(vec![lit(1), lit(2)]);
+        inst.add_hard(vec![lit(-1)]);
+        for strategy in [Strategy::FuMalik, Strategy::LinearSatUnsat] {
+            let sol = solve(&inst, strategy).into_optimum().unwrap();
+            assert_eq!(sol.cost, 0);
+            assert!(sol.model[1]);
+        }
+    }
+
+    #[test]
+    fn selector_style_instance_mimicking_bugassist() {
+        // Three "statements" with selectors s1..s3; enabling all three
+        // contradicts the hard input/assertion constraints, and the cheapest
+        // fix is to disable exactly one specific statement.
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(5);
+        let (s1, s2, s3, x, y) = (lit(1), lit(2), lit(3), lit(4), lit(5));
+        // Hard: input fixes x, assertion requires !y.
+        inst.add_hard(vec![x]);
+        inst.add_hard(vec![!y]);
+        // Statement 1 (guarded by s1): x -> y   i.e. (!s1 | !x | y)
+        inst.add_hard(vec![!s1, !x, y]);
+        // Statement 2 (guarded by s2): y -> x (consistent, never blamed)
+        inst.add_hard(vec![!s2, !y, x]);
+        // Statement 3 (guarded by s3): true -> x (consistent)
+        inst.add_hard(vec![!s3, x]);
+        inst.add_soft(vec![s1], 1);
+        inst.add_soft(vec![s2], 1);
+        inst.add_soft(vec![s3], 1);
+        for strategy in [Strategy::FuMalik, Strategy::LinearSatUnsat] {
+            let sol = solve(&inst, strategy).into_optimum().unwrap();
+            assert_eq!(sol.cost, 1, "strategy {strategy:?}");
+            assert_eq!(sol.falsified, vec![SoftId(0)], "only statement 1 is to blame");
+        }
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(2);
+        inst.add_soft(vec![lit(1)], 1);
+        inst.add_soft(vec![lit(-1)], 1);
+        inst.add_soft(vec![lit(2)], 1);
+        let mut solver = MaxSatSolver::new(Strategy::FuMalik);
+        let _ = solver.solve(&inst);
+        assert!(solver.stats().sat_calls >= 2);
+        assert!(solver.stats().cores >= 1);
+        let mut solver = MaxSatSolver::new(Strategy::LinearSatUnsat);
+        let _ = solver.solve(&inst);
+        assert!(solver.stats().sat_calls >= 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests: both MAX-SAT strategies must agree with the
+//! exhaustive brute-force optimum on random small instances, and their
+//! reported CoMSS must be a genuine minimum-weight correction set.
+
+use maxsat::{solve, MaxSatInstance, Strategy as MsStrategy};
+use proptest::prelude::*;
+use sat::reference::brute_force_max_sat;
+use sat::{Clause, CnfFormula, Lit, Var};
+
+#[derive(Debug, Clone)]
+struct RandomInstance {
+    hard: Vec<Vec<(usize, bool)>>,
+    soft: Vec<(Vec<(usize, bool)>, u64)>,
+    num_vars: usize,
+}
+
+fn instance_strategy(num_vars: usize) -> impl Strategy<Value = RandomInstance> {
+    let clause = prop::collection::vec((0..num_vars, any::<bool>()), 1..=3);
+    let hard = prop::collection::vec(clause.clone(), 0..=4);
+    let soft = prop::collection::vec((clause, 1u64..=4), 1..=6);
+    (hard, soft).prop_map(move |(hard, soft)| RandomInstance {
+        hard,
+        soft,
+        num_vars,
+    })
+}
+
+fn to_instance(raw: &RandomInstance) -> (MaxSatInstance, CnfFormula, Vec<(Clause, u64)>) {
+    let to_lits = |lits: &[(usize, bool)]| -> Vec<Lit> {
+        lits.iter()
+            .map(|&(v, s)| Var::from_index(v).lit(s))
+            .collect()
+    };
+    let mut inst = MaxSatInstance::new();
+    inst.ensure_vars(raw.num_vars);
+    let mut hard = CnfFormula::with_vars(raw.num_vars);
+    for clause in &raw.hard {
+        let lits = to_lits(clause);
+        inst.add_hard(lits.clone());
+        hard.add_clause(lits);
+    }
+    let mut soft = Vec::new();
+    for (clause, weight) in &raw.soft {
+        let lits = to_lits(clause);
+        inst.add_soft(lits.clone(), *weight);
+        soft.push((Clause::new(lits), *weight));
+    }
+    (inst, hard, soft)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn strategies_match_brute_force_optimum(raw in instance_strategy(6)) {
+        let (inst, hard, soft) = to_instance(&raw);
+        let reference = brute_force_max_sat(&hard, &soft);
+        for strategy in [MsStrategy::FuMalik, MsStrategy::LinearSatUnsat] {
+            let result = solve(&inst, strategy);
+            match (&reference, result.optimum()) {
+                (None, None) => {}
+                (Some((best_weight, _)), Some(sol)) => {
+                    let total: u64 = soft.iter().map(|(_, w)| *w).sum();
+                    let expected_cost = total - best_weight;
+                    prop_assert_eq!(sol.cost, expected_cost,
+                        "strategy {:?}: cost mismatch", strategy);
+                    // The model must satisfy all hard clauses and pay exactly cost.
+                    prop_assert_eq!(inst.cost_of(&sol.model), Some(sol.cost));
+                }
+                (r, s) => prop_assert!(false, "disagreement: reference {:?}, solver {:?}", r.is_some(), s.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn comss_is_a_correction_set(raw in instance_strategy(6)) {
+        let (inst, hard, _) = to_instance(&raw);
+        if let Some(sol) = solve(&inst, MsStrategy::FuMalik).into_optimum() {
+            // Removing the CoMSS clauses and keeping the rest as hard must be satisfiable.
+            let mut check = hard.clone();
+            for (i, soft) in inst.soft_clauses().iter().enumerate() {
+                if !sol.falsified.iter().any(|id| id.index() == i) {
+                    check.add_clause(soft.clause.clone());
+                }
+            }
+            prop_assert!(
+                sat::reference::brute_force_satisfiable(&check).is_some(),
+                "MSS (complement of reported CoMSS) is not satisfiable"
+            );
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Lexer for MinC source text.
+
+use crate::ast::Line;
+use std::fmt;
+
+/// Lexical token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// Keyword (`int`, `bool`, `if`, ...).
+    Keyword(Keyword),
+    /// Punctuation or operator symbol.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Keyword {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `void`
+    Void,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `assert`
+    Assert,
+    /// `assume`
+    Assume,
+    /// `nondet`
+    Nondet,
+}
+
+/// Operator and punctuation symbols.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// A token with its source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The 1-based line it starts on.
+    pub line: Line,
+}
+
+/// Error produced by the lexer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Line of the offending character.
+    pub line: Line,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MinC source text.
+///
+/// Both `//` line comments and `/* ... */` block comments are supported.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unrecognized characters or malformed literals.
+///
+/// # Examples
+///
+/// ```
+/// use minic::lexer::{tokenize, TokenKind};
+/// let tokens = tokenize("x = 42; // set x").unwrap();
+/// assert!(matches!(tokens[2].kind, TokenKind::Int(42)));
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+
+    while pos < chars.len() {
+        let c = chars[pos];
+        match c {
+            '\n' => {
+                line += 1;
+                pos += 1;
+            }
+            c if c.is_whitespace() => pos += 1,
+            '/' if chars.get(pos + 1) == Some(&'/') => {
+                while pos < chars.len() && chars[pos] != '\n' {
+                    pos += 1;
+                }
+            }
+            '/' if chars.get(pos + 1) == Some(&'*') => {
+                pos += 2;
+                loop {
+                    if pos + 1 >= chars.len() {
+                        return Err(LexError {
+                            line: Line(line),
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if chars[pos] == '\n' {
+                        line += 1;
+                    }
+                    if chars[pos] == '*' && chars[pos + 1] == '/' {
+                        pos += 2;
+                        break;
+                    }
+                    pos += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = pos;
+                while pos < chars.len() && chars[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let text: String = chars[start..pos].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    line: Line(line),
+                    message: format!("integer literal out of range: {text}"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line: Line(line),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = pos;
+                while pos < chars.len() && (chars[pos].is_ascii_alphanumeric() || chars[pos] == '_')
+                {
+                    pos += 1;
+                }
+                let text: String = chars[start..pos].iter().collect();
+                let kind = match text.as_str() {
+                    "int" => TokenKind::Keyword(Keyword::Int),
+                    "bool" => TokenKind::Keyword(Keyword::Bool),
+                    "void" => TokenKind::Keyword(Keyword::Void),
+                    "true" => TokenKind::Keyword(Keyword::True),
+                    "false" => TokenKind::Keyword(Keyword::False),
+                    "if" => TokenKind::Keyword(Keyword::If),
+                    "else" => TokenKind::Keyword(Keyword::Else),
+                    "while" => TokenKind::Keyword(Keyword::While),
+                    "return" => TokenKind::Keyword(Keyword::Return),
+                    "assert" => TokenKind::Keyword(Keyword::Assert),
+                    "assume" => TokenKind::Keyword(Keyword::Assume),
+                    "nondet" => TokenKind::Keyword(Keyword::Nondet),
+                    _ => TokenKind::Ident(text),
+                };
+                tokens.push(Token {
+                    kind,
+                    line: Line(line),
+                });
+            }
+            _ => {
+                let two: String = chars[pos..chars.len().min(pos + 2)].iter().collect();
+                let (symbol, width) = match two.as_str() {
+                    "==" => (Symbol::EqEq, 2),
+                    "!=" => (Symbol::NotEq, 2),
+                    "<=" => (Symbol::Le, 2),
+                    ">=" => (Symbol::Ge, 2),
+                    "&&" => (Symbol::AndAnd, 2),
+                    "||" => (Symbol::OrOr, 2),
+                    "<<" => (Symbol::Shl, 2),
+                    ">>" => (Symbol::Shr, 2),
+                    _ => {
+                        let sym = match c {
+                            '(' => Symbol::LParen,
+                            ')' => Symbol::RParen,
+                            '{' => Symbol::LBrace,
+                            '}' => Symbol::RBrace,
+                            '[' => Symbol::LBracket,
+                            ']' => Symbol::RBracket,
+                            ';' => Symbol::Semi,
+                            ',' => Symbol::Comma,
+                            '?' => Symbol::Question,
+                            ':' => Symbol::Colon,
+                            '=' => Symbol::Assign,
+                            '+' => Symbol::Plus,
+                            '-' => Symbol::Minus,
+                            '*' => Symbol::Star,
+                            '/' => Symbol::Slash,
+                            '%' => Symbol::Percent,
+                            '<' => Symbol::Lt,
+                            '>' => Symbol::Gt,
+                            '!' => Symbol::Not,
+                            '&' => Symbol::Amp,
+                            '|' => Symbol::Pipe,
+                            '^' => Symbol::Caret,
+                            '~' => Symbol::Tilde,
+                            other => {
+                                return Err(LexError {
+                                    line: Line(line),
+                                    message: format!("unexpected character {other:?}"),
+                                })
+                            }
+                        };
+                        (sym, 1)
+                    }
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(symbol),
+                    line: Line(line),
+                });
+                pos += width;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line: Line(line),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_identifiers_and_numbers() {
+        let toks = tokenize("int x = 10; bool done = false;").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Keyword(Keyword::Int));
+        assert_eq!(toks[1].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[2].kind, TokenKind::Symbol(Symbol::Assign));
+        assert_eq!(toks[3].kind, TokenKind::Int(10));
+        assert_eq!(toks[5].kind, TokenKind::Keyword(Keyword::Bool));
+        assert_eq!(toks[8].kind, TokenKind::Keyword(Keyword::False));
+    }
+
+    #[test]
+    fn two_character_operators() {
+        let toks = tokenize("a <= b && c != d >> 2").unwrap();
+        let symbols: Vec<Symbol> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Symbol(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(symbols, vec![Symbol::Le, Symbol::AndAnd, Symbol::NotEq, Symbol::Shr]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = tokenize("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, Line(1));
+        assert_eq!(toks[1].line, Line(2));
+        assert_eq!(toks[2].line, Line(4));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("x // trailing comment\n/* block\ncomment */ y").unwrap();
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["x", "y"]);
+        // `y` is on line 3 because the block comment spans two newlines.
+        assert_eq!(toks[1].line, Line(3));
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let err = tokenize("/* never closed").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = tokenize("x = $;").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.line, Line(1));
+    }
+
+    #[test]
+    fn eof_token_terminates_stream() {
+        let toks = tokenize("").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+    }
+}

@@ -1,0 +1,599 @@
+//! Program mutation: the shared mechanism behind fault injection (building
+//! the faulty benchmark versions of Sec. 6) and repair candidate generation
+//! (the off-by-one and operator-replacement search of Sec. 5.1).
+//!
+//! A [`Mutation`] names a statement by source [`Line`] and describes a small
+//! syntactic change; [`apply_mutation`] returns a rewritten copy of the
+//! program. [`constant_sites`] and [`operator_sites`] enumerate the places a
+//! mutation could target, mirroring the paper's "mark the lines which have
+//! constants in them" pre-processing step.
+
+use crate::ast::*;
+use std::fmt;
+
+/// A small syntactic change to one statement of a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Add `delta` to the `occurrence`-th integer constant on the line.
+    BumpConstant {
+        /// Target line.
+        line: Line,
+        /// 0-based index of the constant within the line (walk order).
+        occurrence: usize,
+        /// Amount to add (e.g. `+1` / `-1` for off-by-one repair).
+        delta: i64,
+    },
+    /// Replace the `occurrence`-th integer constant on the line with `value`.
+    SetConstant {
+        /// Target line.
+        line: Line,
+        /// 0-based index of the constant within the line (walk order).
+        occurrence: usize,
+        /// New constant value.
+        value: i64,
+    },
+    /// Replace the `occurrence`-th binary operator on the line with `new_op`.
+    ReplaceOperator {
+        /// Target line.
+        line: Line,
+        /// 0-based index of the operator within the line (walk order).
+        occurrence: usize,
+        /// Replacement operator.
+        new_op: BinOp,
+    },
+    /// Logically negate the condition of the `if`/`while`/`assert`/`assume`
+    /// statement on the line.
+    NegateCondition {
+        /// Target line.
+        line: Line,
+    },
+    /// Replace the right-hand side of the assignment (or the initializer of
+    /// the declaration) on the line with a new expression.
+    ReplaceAssignValue {
+        /// Target line.
+        line: Line,
+        /// New right-hand side.
+        value: Expr,
+    },
+}
+
+impl Mutation {
+    /// The line this mutation targets.
+    pub fn line(&self) -> Line {
+        match self {
+            Mutation::BumpConstant { line, .. }
+            | Mutation::SetConstant { line, .. }
+            | Mutation::ReplaceOperator { line, .. }
+            | Mutation::NegateCondition { line }
+            | Mutation::ReplaceAssignValue { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::BumpConstant { line, occurrence, delta } => {
+                write!(f, "bump constant #{occurrence} at {line} by {delta:+}")
+            }
+            Mutation::SetConstant { line, occurrence, value } => {
+                write!(f, "set constant #{occurrence} at {line} to {value}")
+            }
+            Mutation::ReplaceOperator { line, occurrence, new_op } => {
+                write!(f, "replace operator #{occurrence} at {line} with {new_op}")
+            }
+            Mutation::NegateCondition { line } => write!(f, "negate condition at {line}"),
+            Mutation::ReplaceAssignValue { line, .. } => {
+                write!(f, "replace assignment value at {line}")
+            }
+        }
+    }
+}
+
+/// Error applying a [`Mutation`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MutationError {
+    /// The mutation that failed.
+    pub mutation: Mutation,
+    /// Why it could not be applied.
+    pub message: String,
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot apply mutation ({}): {}", self.mutation, self.message)
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// A place in the program where an integer constant occurs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConstantSite {
+    /// Line of the enclosing statement.
+    pub line: Line,
+    /// 0-based index of the constant within the line.
+    pub occurrence: usize,
+    /// Current value of the constant.
+    pub value: i64,
+}
+
+/// A place in the program where a binary operator occurs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OperatorSite {
+    /// Line of the enclosing statement.
+    pub line: Line,
+    /// 0-based index of the operator within the line.
+    pub occurrence: usize,
+    /// Current operator.
+    pub op: BinOp,
+}
+
+/// Enumerates every integer-constant occurrence in the program, in program
+/// order. This is the paper's "lines which have constants in them" marking,
+/// refined to individual occurrences.
+pub fn constant_sites(program: &Program) -> Vec<ConstantSite> {
+    let mut sites = Vec::new();
+    for function in &program.functions {
+        function.walk_stmts(&mut |stmt| {
+            let mut occurrence = 0usize;
+            for_each_expr(stmt, &mut |e| {
+                e.walk(&mut |sub| {
+                    if let Expr::Int(v) = sub {
+                        sites.push(ConstantSite {
+                            line: stmt.line(),
+                            occurrence,
+                            value: *v,
+                        });
+                        occurrence += 1;
+                    }
+                });
+            });
+        });
+    }
+    sites
+}
+
+/// Enumerates every binary-operator occurrence in the program, in program
+/// order.
+pub fn operator_sites(program: &Program) -> Vec<OperatorSite> {
+    let mut sites = Vec::new();
+    for function in &program.functions {
+        function.walk_stmts(&mut |stmt| {
+            let mut occurrence = 0usize;
+            for_each_expr(stmt, &mut |e| {
+                e.walk(&mut |sub| {
+                    if let Expr::Binary(op, _, _) = sub {
+                        sites.push(OperatorSite {
+                            line: stmt.line(),
+                            occurrence,
+                            op: *op,
+                        });
+                        occurrence += 1;
+                    }
+                });
+            });
+        });
+    }
+    sites
+}
+
+/// Lines of the program that contain at least one integer constant (the
+/// pre-marking used by the off-by-one repair of Algorithm 2).
+pub fn lines_with_constants(program: &Program) -> Vec<Line> {
+    let mut lines: Vec<Line> = constant_sites(program).iter().map(|s| s.line).collect();
+    lines.sort();
+    lines.dedup();
+    lines
+}
+
+/// Applies a mutation, returning the rewritten program.
+///
+/// # Errors
+///
+/// Returns a [`MutationError`] if the target line has no statement, or the
+/// requested constant/operator occurrence does not exist, or the statement
+/// kind does not match the mutation (e.g. negating the condition of an
+/// assignment).
+pub fn apply_mutation(program: &Program, mutation: &Mutation) -> Result<Program, MutationError> {
+    let mut applied = false;
+    let mut result = program.clone();
+    for function in &mut result.functions {
+        function.body = rewrite_block(&function.body, mutation, &mut applied);
+    }
+    if applied {
+        Ok(result)
+    } else {
+        Err(MutationError {
+            mutation: mutation.clone(),
+            message: "no matching statement / occurrence found".into(),
+        })
+    }
+}
+
+fn rewrite_block(block: &[Stmt], mutation: &Mutation, applied: &mut bool) -> Vec<Stmt> {
+    block
+        .iter()
+        .map(|stmt| rewrite_stmt(stmt, mutation, applied))
+        .collect()
+}
+
+fn rewrite_stmt(stmt: &Stmt, mutation: &Mutation, applied: &mut bool) -> Stmt {
+    // Recurse into nested blocks first so that nested statements on the
+    // target line are reachable.
+    let stmt = match stmt {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            line,
+        } => Stmt::If {
+            cond: cond.clone(),
+            then_branch: rewrite_block(then_branch, mutation, applied),
+            else_branch: rewrite_block(else_branch, mutation, applied),
+            line: *line,
+        },
+        Stmt::While { cond, body, line } => Stmt::While {
+            cond: cond.clone(),
+            body: rewrite_block(body, mutation, applied),
+            line: *line,
+        },
+        other => other.clone(),
+    };
+    if stmt.line() != mutation.line() || *applied {
+        return stmt;
+    }
+    match mutation {
+        Mutation::BumpConstant { occurrence, delta, .. } => {
+            rewrite_nth_constant(stmt, *occurrence, |v| v + delta, applied)
+        }
+        Mutation::SetConstant { occurrence, value, .. } => {
+            rewrite_nth_constant(stmt, *occurrence, |_| *value, applied)
+        }
+        Mutation::ReplaceOperator { occurrence, new_op, .. } => {
+            rewrite_nth_operator(stmt, *occurrence, *new_op, applied)
+        }
+        Mutation::NegateCondition { .. } => match stmt {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                line,
+            } => {
+                *applied = true;
+                Stmt::If {
+                    cond: Expr::unary(UnOp::Not, cond),
+                    then_branch,
+                    else_branch,
+                    line,
+                }
+            }
+            Stmt::While { cond, body, line } => {
+                *applied = true;
+                Stmt::While {
+                    cond: Expr::unary(UnOp::Not, cond),
+                    body,
+                    line,
+                }
+            }
+            Stmt::Assert { cond, line } => {
+                *applied = true;
+                Stmt::Assert {
+                    cond: Expr::unary(UnOp::Not, cond),
+                    line,
+                }
+            }
+            Stmt::Assume { cond, line } => {
+                *applied = true;
+                Stmt::Assume {
+                    cond: Expr::unary(UnOp::Not, cond),
+                    line,
+                }
+            }
+            other => other,
+        },
+        Mutation::ReplaceAssignValue { value, .. } => match stmt {
+            Stmt::Assign { target, line, .. } => {
+                *applied = true;
+                Stmt::Assign {
+                    target,
+                    value: value.clone(),
+                    line,
+                }
+            }
+            Stmt::Decl {
+                name,
+                ty,
+                init: Some(_),
+                line,
+            } => {
+                *applied = true;
+                Stmt::Decl {
+                    name,
+                    ty,
+                    init: Some(value.clone()),
+                    line,
+                }
+            }
+            other => other,
+        },
+    }
+}
+
+fn rewrite_nth_constant(
+    stmt: Stmt,
+    occurrence: usize,
+    new_value: impl Fn(i64) -> i64,
+    applied: &mut bool,
+) -> Stmt {
+    let mut counter = 0usize;
+    map_stmt_exprs(stmt, &mut |e| {
+        e.map(&mut |sub| match sub {
+            Expr::Int(v) => {
+                let idx = counter;
+                counter += 1;
+                if idx == occurrence {
+                    *applied = true;
+                    Expr::Int(new_value(v))
+                } else {
+                    Expr::Int(v)
+                }
+            }
+            other => other,
+        })
+    })
+}
+
+fn rewrite_nth_operator(stmt: Stmt, occurrence: usize, new_op: BinOp, applied: &mut bool) -> Stmt {
+    let mut counter = 0usize;
+    map_stmt_exprs(stmt, &mut |e| {
+        // `Expr::map` rebuilds bottom-up; count in a separate pre-order pass so
+        // occurrence indices match `operator_sites`.
+        let mut order = Vec::new();
+        e.walk(&mut |sub| {
+            if matches!(sub, Expr::Binary(..)) {
+                order.push(sub.clone());
+            }
+        });
+        let base = counter;
+        counter += order.len();
+        let target_in_expr = occurrence.checked_sub(base).filter(|&i| i < order.len());
+        let Some(target_idx) = target_in_expr else {
+            return e.clone();
+        };
+        let target_node = order[target_idx].clone();
+        let mut replaced = false;
+        e.map(&mut |sub| {
+            if !replaced && sub == target_node {
+                if let Expr::Binary(_, lhs, rhs) = sub {
+                    replaced = true;
+                    *applied = true;
+                    return Expr::Binary(new_op, lhs, rhs);
+                }
+            }
+            sub
+        })
+    })
+}
+
+/// Calls `f` on every top-level expression of the statement itself (not on
+/// nested statements, which the callers traverse via [`Stmt::walk`]).
+fn for_each_expr<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
+    match stmt {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                f(e);
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            if let LValue::Index(_, idx) = target {
+                f(idx);
+            }
+            f(value);
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => f(cond),
+        Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => f(cond),
+        Stmt::Return { value, .. } => {
+            if let Some(e) = value {
+                f(e);
+            }
+        }
+        Stmt::ExprStmt { expr, .. } => f(expr),
+    }
+}
+
+/// Applies `f` to every top-level expression of the statement (condition,
+/// right-hand side, index, arguments), rebuilding the statement.
+fn map_stmt_exprs(stmt: Stmt, f: &mut dyn FnMut(&Expr) -> Expr) -> Stmt {
+    match stmt {
+        Stmt::Decl { name, ty, init, line } => Stmt::Decl {
+            name,
+            ty,
+            init: init.map(|e| f(&e)),
+            line,
+        },
+        Stmt::Assign { target, value, line } => {
+            let target = match target {
+                LValue::Var(n) => LValue::Var(n),
+                LValue::Index(n, idx) => LValue::Index(n, Box::new(f(&idx))),
+            };
+            Stmt::Assign {
+                target,
+                value: f(&value),
+                line,
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            line,
+        } => Stmt::If {
+            cond: f(&cond),
+            then_branch,
+            else_branch,
+            line,
+        },
+        Stmt::While { cond, body, line } => Stmt::While {
+            cond: f(&cond),
+            body,
+            line,
+        },
+        Stmt::Assert { cond, line } => Stmt::Assert { cond: f(&cond), line },
+        Stmt::Assume { cond, line } => Stmt::Assume { cond: f(&cond), line },
+        Stmt::Return { value, line } => Stmt::Return {
+            value: value.map(|e| f(&e)),
+            line,
+        },
+        Stmt::ExprStmt { expr, line } => Stmt::ExprStmt { expr: f(&expr), line },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::pretty::pretty_program;
+
+    fn testme() -> Program {
+        parse_program(
+            "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\nindex = index + 2;\n}\nint i = index;\nassert(i >= 0 && i < 3);\nreturn Array[i];\n}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constant_and_operator_sites_are_enumerated() {
+        let program = testme();
+        let consts = constant_sites(&program);
+        // Constants: 1 (line 3), 2 (line 4), 2 (line 6), 0 and 3 (line 9).
+        assert_eq!(consts.len(), 5);
+        assert_eq!(consts[0].value, 1);
+        assert_eq!(consts[1].value, 2);
+        let ops = operator_sites(&program);
+        assert!(ops.iter().any(|o| o.op == BinOp::Ne));
+        assert!(ops.iter().any(|o| o.op == BinOp::Add));
+        let lines = lines_with_constants(&program);
+        assert!(lines.contains(&Line(4)));
+        assert!(lines.contains(&Line(9)));
+    }
+
+    #[test]
+    fn bump_constant_changes_only_the_target() {
+        let program = testme();
+        // Line 6 is `index = index + 2;` — the paper's Potential Bug 1.
+        let mutated = apply_mutation(
+            &program,
+            &Mutation::BumpConstant {
+                line: Line(6),
+                occurrence: 0,
+                delta: -1,
+            },
+        )
+        .unwrap();
+        let printed = pretty_program(&mutated);
+        assert!(printed.contains("index = (index + 1);"), "{printed}");
+        // Everything else is untouched.
+        assert!(printed.contains("index = 2;"));
+    }
+
+    #[test]
+    fn set_constant_and_missing_occurrence() {
+        let program = testme();
+        let mutated = apply_mutation(
+            &program,
+            &Mutation::SetConstant {
+                line: Line(4),
+                occurrence: 0,
+                value: 7,
+            },
+        )
+        .unwrap();
+        assert!(pretty_program(&mutated).contains("index = 7;"));
+        let err = apply_mutation(
+            &program,
+            &Mutation::SetConstant {
+                line: Line(4),
+                occurrence: 3,
+                value: 7,
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("no matching"));
+    }
+
+    #[test]
+    fn replace_operator_on_condition() {
+        let program = testme();
+        let mutated = apply_mutation(
+            &program,
+            &Mutation::ReplaceOperator {
+                line: Line(3),
+                occurrence: 0,
+                new_op: BinOp::Eq,
+            },
+        )
+        .unwrap();
+        assert!(pretty_program(&mutated).contains("if ((index == 1))"));
+    }
+
+    #[test]
+    fn replace_second_operator_occurrence() {
+        let program = parse_program("int f(int a, int b) { return a + b * 2; }").unwrap();
+        // Operators in walk order: Add (outer), Mul (inner).
+        let mutated = apply_mutation(
+            &program,
+            &Mutation::ReplaceOperator {
+                line: Line(1),
+                occurrence: 1,
+                new_op: BinOp::Div,
+            },
+        )
+        .unwrap();
+        assert!(pretty_program(&mutated).contains("(a + (b / 2))"));
+    }
+
+    #[test]
+    fn negate_condition_variants() {
+        let program = testme();
+        let mutated = apply_mutation(&program, &Mutation::NegateCondition { line: Line(3) }).unwrap();
+        assert!(pretty_program(&mutated).contains("if (!(index != 1))"));
+        let err = apply_mutation(&program, &Mutation::NegateCondition { line: Line(4) });
+        assert!(err.is_err(), "assignments have no condition to negate");
+    }
+
+    #[test]
+    fn replace_assignment_value() {
+        let program = testme();
+        let mutated = apply_mutation(
+            &program,
+            &Mutation::ReplaceAssignValue {
+                line: Line(4),
+                value: Expr::var("index"),
+            },
+        )
+        .unwrap();
+        assert!(pretty_program(&mutated).contains("index = index;"));
+    }
+
+    #[test]
+    fn mutation_on_unknown_line_fails() {
+        let program = testme();
+        let err = apply_mutation(
+            &program,
+            &Mutation::BumpConstant {
+                line: Line(99),
+                occurrence: 0,
+                delta: 1,
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn mutations_display() {
+        let m = Mutation::BumpConstant { line: Line(4), occurrence: 0, delta: 1 };
+        assert_eq!(m.to_string(), "bump constant #0 at line 4 by +1");
+        assert_eq!(m.line(), Line(4));
+    }
+}

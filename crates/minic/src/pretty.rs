@@ -1,0 +1,238 @@
+//! Pretty-printing of MinC programs back to source text.
+//!
+//! The printer is used to display mutated programs (fault-injected benchmark
+//! versions, repair candidates) and in round-trip tests of the parser.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as MinC source text.
+///
+/// # Examples
+///
+/// ```
+/// use minic::{parse_program, pretty_program};
+/// let program = parse_program("int main(int x) { return x + 1; }").unwrap();
+/// let text = pretty_program(&program);
+/// assert!(text.contains("return (x + 1);"));
+/// // Pretty-printing is stable: parsing the output and printing again is a
+/// // fixed point.
+/// let reparsed = parse_program(&text).unwrap();
+/// assert_eq!(pretty_program(&reparsed), text);
+/// ```
+pub fn pretty_program(program: &Program) -> String {
+    let mut out = String::new();
+    for global in &program.globals {
+        match global.ty {
+            Type::Array(n) => {
+                let _ = writeln!(out, "int {}[{}];", global.name, n);
+            }
+            ty => match global.init {
+                Some(v) => {
+                    let _ = writeln!(out, "{} {} = {};", ty_name(ty), global.name, v);
+                }
+                None => {
+                    let _ = writeln!(out, "{} {};", ty_name(ty), global.name);
+                }
+            },
+        }
+    }
+    for function in &program.functions {
+        let _ = writeln!(out, "{}", pretty_function(function));
+    }
+    out
+}
+
+/// Renders one function definition.
+pub fn pretty_function(function: &Function) -> String {
+    let mut out = String::new();
+    let ret = function.ret.map_or("void".to_string(), |t| ty_name(t).to_string());
+    let params: Vec<String> = function
+        .params
+        .iter()
+        .map(|(n, t)| format!("{} {}", ty_name(*t), n))
+        .collect();
+    let _ = writeln!(out, "{ret} {}({}) {{", function.name, params.join(", "));
+    for stmt in &function.body {
+        write_stmt(&mut out, stmt, 1);
+    }
+    let _ = write!(out, "}}");
+    out
+}
+
+/// Renders a single statement (without trailing newline handling for blocks).
+pub fn pretty_stmt(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, stmt, 0);
+    out.trim_end().to_string()
+}
+
+/// Renders an expression with full parenthesization (so that precedence never
+/// needs to be re-derived when re-parsing).
+pub fn pretty_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -v)
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Bool(b) => b.to_string(),
+        Expr::Var(name) => name.clone(),
+        Expr::Index(name, idx) => format!("{name}[{}]", pretty_expr(idx)),
+        Expr::Unary(op, e) => format!("{op}{}", pretty_expr_atom(e)),
+        Expr::Binary(op, lhs, rhs) => {
+            format!("({} {op} {})", pretty_expr(lhs), pretty_expr(rhs))
+        }
+        Expr::Cond(c, t, e) => format!(
+            "({} ? {} : {})",
+            pretty_expr(c),
+            pretty_expr(t),
+            pretty_expr(e)
+        ),
+        Expr::Call(name, args) => {
+            let args: Vec<String> = args.iter().map(pretty_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Nondet => "nondet()".to_string(),
+    }
+}
+
+fn pretty_expr_atom(expr: &Expr) -> String {
+    // Binary and conditional expressions are already parenthesized by
+    // `pretty_expr`, so no extra wrapping is needed for any operand shape.
+    pretty_expr(expr)
+}
+
+fn ty_name(ty: Type) -> &'static str {
+    match ty {
+        Type::Int => "int",
+        Type::Bool => "bool",
+        Type::Array(_) => "int",
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        Stmt::Decl { name, ty, init, .. } => match ty {
+            Type::Array(n) => {
+                let _ = writeln!(out, "{pad}int {name}[{n}];");
+            }
+            _ => match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{pad}{} {name} = {};", ty_name(*ty), pretty_expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}{} {name};", ty_name(*ty));
+                }
+            },
+        },
+        Stmt::Assign { target, value, .. } => {
+            let lhs = match target {
+                LValue::Var(n) => n.clone(),
+                LValue::Index(n, idx) => format!("{n}[{}]", pretty_expr(idx)),
+            };
+            let _ = writeln!(out, "{pad}{lhs} = {};", pretty_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", pretty_expr(cond));
+            for s in then_branch {
+                write_stmt(out, s, indent + 1);
+            }
+            if else_branch.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_branch {
+                    write_stmt(out, s, indent + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", pretty_expr(cond));
+            for s in body {
+                write_stmt(out, s, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Assert { cond, .. } => {
+            let _ = writeln!(out, "{pad}assert({});", pretty_expr(cond));
+        }
+        Stmt::Assume { cond, .. } => {
+            let _ = writeln!(out, "{pad}assume({});", pretty_expr(cond));
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "{pad}return {};", pretty_expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+        },
+        Stmt::ExprStmt { expr, .. } => {
+            let _ = writeln!(out, "{pad}{};", pretty_expr(expr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    #[test]
+    fn pretty_print_is_a_fixed_point_of_parsing() {
+        let src = r#"
+            int Array[3];
+            int limit = -7;
+            int helper(int a, int b) {
+                return a > b ? a : b;
+            }
+            int main(int index) {
+                int i = 0;
+                if (index != 1) { index = 2; } else { index = index + 2; }
+                while (i < index) { i = i + 1; }
+                assert(i >= 0 && i < 3);
+                return Array[i] + helper(i, index);
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let printed = pretty_program(&program);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(pretty_program(&reparsed), printed);
+        assert_eq!(reparsed.functions.len(), program.functions.len());
+        assert_eq!(reparsed.num_statements(), program.num_statements());
+    }
+
+    #[test]
+    fn negative_literals_round_trip() {
+        let e = parse_expr("x + (0 - 5)").unwrap();
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(pretty_expr(&reparsed), printed);
+    }
+
+    #[test]
+    fn statements_print_compactly() {
+        let program = parse_program("void f() { assume(true); return; }").unwrap();
+        let f = &program.functions[0];
+        assert_eq!(pretty_stmt(&f.body[0]), "assume(true);");
+        assert_eq!(pretty_stmt(&f.body[1]), "return;");
+    }
+
+    #[test]
+    fn unary_and_nested_exprs() {
+        let e = parse_expr("!(a < b) && ~c == -d").unwrap();
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(pretty_expr(&reparsed), printed);
+    }
+}

@@ -1,0 +1,315 @@
+//! A lightweight type and scope checker for MinC.
+//!
+//! MinC follows C's permissive attitude to `int`/`bool` mixing (Booleans
+//! coerce to 0/1 and integers are truthy when non-zero), so the checker
+//! focuses on the errors that would make symbolic encoding meaningless:
+//! undeclared variables, unknown functions, arity mismatches, indexing
+//! non-arrays, assigning to array names without an index, and using the value
+//! of a `void` function.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A diagnosed type or scope error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypeError {
+    /// Line where the error occurs (best effort).
+    pub line: Line,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Checks a program, returning all diagnosed errors (empty when well-typed).
+///
+/// # Examples
+///
+/// ```
+/// use minic::{parse_program, check_program};
+/// let program = parse_program("int main(int x) { return x + 1; }").unwrap();
+/// assert!(check_program(&program).is_empty());
+/// let bad = parse_program("int main() { return y; }").unwrap();
+/// assert_eq!(check_program(&bad).len(), 1);
+/// ```
+pub fn check_program(program: &Program) -> Vec<TypeError> {
+    let mut errors = Vec::new();
+    let signatures: HashMap<&str, (usize, Option<Type>)> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), (f.params.len(), f.ret)))
+        .collect();
+
+    let mut global_types: HashMap<&str, Type> = HashMap::new();
+    for global in &program.globals {
+        if global_types.insert(global.name.as_str(), global.ty).is_some() {
+            errors.push(TypeError {
+                line: global.line,
+                message: format!("duplicate global {:?}", global.name),
+            });
+        }
+        if matches!(global.ty, Type::Array(_)) && global.init.is_some() {
+            errors.push(TypeError {
+                line: global.line,
+                message: format!("array global {:?} cannot have a scalar initializer", global.name),
+            });
+        }
+    }
+
+    for function in &program.functions {
+        check_function(function, &global_types, &signatures, &mut errors);
+    }
+    errors
+}
+
+fn check_function(
+    function: &Function,
+    globals: &HashMap<&str, Type>,
+    signatures: &HashMap<&str, (usize, Option<Type>)>,
+    errors: &mut Vec<TypeError>,
+) {
+    // C89-style: collect every local declaration of the function up front so
+    // order of declaration vs. use inside branches does not matter.
+    let mut locals: HashMap<String, Type> = HashMap::new();
+    for (name, ty) in &function.params {
+        if locals.insert(name.clone(), *ty).is_some() {
+            errors.push(TypeError {
+                line: function.line,
+                message: format!("duplicate parameter {name:?} in {:?}", function.name),
+            });
+        }
+    }
+    function.walk_stmts(&mut |stmt| {
+        if let Stmt::Decl { name, ty, line, .. } = stmt {
+            if locals.contains_key(name) || globals.contains_key(name.as_str()) {
+                errors.push(TypeError {
+                    line: *line,
+                    message: format!("redeclaration of {name:?}"),
+                });
+            }
+            locals.insert(name.clone(), *ty);
+        }
+    });
+
+    let lookup = |name: &str| -> Option<Type> {
+        locals
+            .get(name)
+            .copied()
+            .or_else(|| globals.get(name).copied())
+    };
+
+    let check_expr = |expr: &Expr, line: Line, errors: &mut Vec<TypeError>| {
+        expr.walk(&mut |e| match e {
+            Expr::Var(name) => match lookup(name) {
+                None => errors.push(TypeError {
+                    line,
+                    message: format!("use of undeclared variable {name:?}"),
+                }),
+                Some(Type::Array(_)) => errors.push(TypeError {
+                    line,
+                    message: format!("array {name:?} used without an index"),
+                }),
+                Some(_) => {}
+            },
+            Expr::Index(name, _) => match lookup(name) {
+                None => errors.push(TypeError {
+                    line,
+                    message: format!("use of undeclared array {name:?}"),
+                }),
+                Some(Type::Array(_)) => {}
+                Some(other) => errors.push(TypeError {
+                    line,
+                    message: format!("indexing non-array {name:?} of type {other}"),
+                }),
+            },
+            Expr::Call(name, args) => match signatures.get(name.as_str()) {
+                None => errors.push(TypeError {
+                    line,
+                    message: format!("call to unknown function {name:?}"),
+                }),
+                Some((arity, ret)) => {
+                    if *arity != args.len() {
+                        errors.push(TypeError {
+                            line,
+                            message: format!(
+                                "function {name:?} expects {arity} arguments, got {}",
+                                args.len()
+                            ),
+                        });
+                    }
+                    if ret.is_none() {
+                        errors.push(TypeError {
+                            line,
+                            message: format!("void function {name:?} used as a value"),
+                        });
+                    }
+                }
+            },
+            _ => {}
+        });
+    };
+
+    function.walk_stmts(&mut |stmt| match stmt {
+        Stmt::Decl { init, line, ty, name } => {
+            if let Some(init) = init {
+                if matches!(ty, Type::Array(_)) {
+                    errors.push(TypeError {
+                        line: *line,
+                        message: format!("array local {name:?} cannot have an initializer"),
+                    });
+                }
+                check_expr(init, *line, errors);
+            }
+        }
+        Stmt::Assign {
+            target,
+            value,
+            line,
+        } => {
+            match target {
+                LValue::Var(name) => match lookup(name) {
+                    None => errors.push(TypeError {
+                        line: *line,
+                        message: format!("assignment to undeclared variable {name:?}"),
+                    }),
+                    Some(Type::Array(_)) => errors.push(TypeError {
+                        line: *line,
+                        message: format!("cannot assign to array {name:?} without an index"),
+                    }),
+                    Some(_) => {}
+                },
+                LValue::Index(name, idx) => {
+                    match lookup(name) {
+                        None => errors.push(TypeError {
+                            line: *line,
+                            message: format!("assignment to undeclared array {name:?}"),
+                        }),
+                        Some(Type::Array(_)) => {}
+                        Some(other) => errors.push(TypeError {
+                            line: *line,
+                            message: format!("indexed assignment to non-array {name:?} of type {other}"),
+                        }),
+                    }
+                    check_expr(idx, *line, errors);
+                }
+            }
+            check_expr(value, *line, errors);
+        }
+        Stmt::If { cond, line, .. } | Stmt::While { cond, line, .. } => {
+            check_expr(cond, *line, errors)
+        }
+        Stmt::Assert { cond, line } | Stmt::Assume { cond, line } => {
+            check_expr(cond, *line, errors)
+        }
+        Stmt::Return { value, line } => {
+            if let Some(value) = value {
+                check_expr(value, *line, errors);
+            }
+        }
+        Stmt::ExprStmt { expr, line } => {
+            // A bare call to a void function is fine; only check the callee
+            // and arguments, not the "used as value" rule.
+            if let Expr::Call(name, args) = expr {
+                match signatures.get(name.as_str()) {
+                    None => errors.push(TypeError {
+                        line: *line,
+                        message: format!("call to unknown function {name:?}"),
+                    }),
+                    Some((arity, _)) if *arity != args.len() => errors.push(TypeError {
+                        line: *line,
+                        message: format!(
+                            "function {name:?} expects {arity} arguments, got {}",
+                            args.len()
+                        ),
+                    }),
+                    Some(_) => {}
+                }
+                for arg in args {
+                    check_expr(arg, *line, errors);
+                }
+            } else {
+                check_expr(expr, *line, errors);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn errors_of(src: &str) -> Vec<TypeError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn well_typed_program_passes() {
+        let errs = errors_of(
+            r#"
+            int table[4];
+            int get(int i) { assume(i >= 0 && i < 4); return table[i]; }
+            int main(int x) {
+                int y = get(x) + 1;
+                if (y > 3) { y = 3; }
+                assert(y <= 3);
+                return y;
+            }
+            "#,
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn undeclared_variable_reported() {
+        let errs = errors_of("int main() { return ghost; }");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("undeclared variable"));
+    }
+
+    #[test]
+    fn unknown_function_and_arity() {
+        let errs = errors_of("int main() { return missing(1); }");
+        assert!(errs.iter().any(|e| e.message.contains("unknown function")));
+        let errs = errors_of("int id(int x) { return x; } int main() { return id(1, 2); }");
+        assert!(errs.iter().any(|e| e.message.contains("expects 1 arguments")));
+    }
+
+    #[test]
+    fn array_misuse_detected() {
+        let errs = errors_of("int a[3]; int main() { return a; }");
+        assert!(errs.iter().any(|e| e.message.contains("without an index")));
+        let errs = errors_of("int main(int x) { return x[0]; }");
+        assert!(errs.iter().any(|e| e.message.contains("indexing non-array")));
+        let errs = errors_of("int a[3]; void main() { a = 1; }");
+        assert!(errs.iter().any(|e| e.message.contains("cannot assign to array")));
+    }
+
+    #[test]
+    fn void_function_as_value() {
+        let errs = errors_of("void log(int x) { return; } int main() { return log(1); }");
+        assert!(errs.iter().any(|e| e.message.contains("void function")));
+        // But a bare call statement is fine.
+        let errs = errors_of("void log(int x) { return; } int main() { log(1); return 0; }");
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn redeclaration_detected() {
+        let errs = errors_of("int main() { int x = 1; int x = 2; return x; }");
+        assert!(errs.iter().any(|e| e.message.contains("redeclaration")));
+    }
+
+    #[test]
+    fn duplicate_global_detected() {
+        let errs = errors_of("int g; int g; int main() { return g; }");
+        assert!(errs.iter().any(|e| e.message.contains("duplicate global")));
+    }
+}

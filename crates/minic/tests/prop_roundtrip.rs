@@ -1,0 +1,97 @@
+//! Property-based tests for the MinC frontend: pretty-printing randomly
+//! generated expressions and statements must re-parse to the same structure,
+//! and mutations must leave the rest of the program untouched.
+
+use minic::ast::*;
+use minic::{apply_mutation, constant_sites, parse_expr, parse_program, pretty_expr, pretty_program, Mutation};
+use proptest::prelude::*;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(Expr::Int),
+        any::<bool>().prop_map(Expr::Bool),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(|n| Expr::Var(n.to_string())),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                Just(BinOp::Lt), Just(BinOp::Le), Just(BinOp::Eq), Just(BinOp::And),
+                Just(BinOp::Or), Just(BinOp::BitXor), Just(BinOp::Shl),
+            ])
+                .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
+            (inner.clone(), prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)])
+                .prop_map(|(e, op)| Expr::unary(op, e)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Expr::Cond(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn pretty_expr_reparses_to_same_structure(e in arb_expr()) {
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        // Printing is fully parenthesized, so a print/parse cycle is the
+        // identity on structure.
+        prop_assert_eq!(reparsed, e);
+    }
+
+    #[test]
+    fn program_pretty_print_is_stable(cond in arb_expr(), rhs in arb_expr()) {
+        let program = Program {
+            globals: vec![],
+            functions: vec![Function {
+                name: "main".into(),
+                params: vec![("x".into(), Type::Int), ("y".into(), Type::Int), ("z".into(), Type::Int)],
+                ret: Some(Type::Int),
+                body: vec![
+                    Stmt::If {
+                        cond,
+                        then_branch: vec![Stmt::Assign {
+                            target: LValue::Var("x".into()),
+                            value: rhs,
+                            line: Line(3),
+                        }],
+                        else_branch: vec![],
+                        line: Line(2),
+                    },
+                    Stmt::Return { value: Some(Expr::var("x")), line: Line(4) },
+                ],
+                line: Line(1),
+            }],
+        };
+        let printed = pretty_program(&program);
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(pretty_program(&reparsed), printed);
+    }
+
+    #[test]
+    fn bump_constant_changes_exactly_one_site(delta in -3i64..=3) {
+        prop_assume!(delta != 0);
+        let program = parse_program(
+            "int main(int x) {\nint y = x + 10;\nif (y > 20) { y = 30; }\nreturn y;\n}"
+        ).unwrap();
+        let sites = constant_sites(&program);
+        for site in &sites {
+            let mutated = apply_mutation(&program, &Mutation::BumpConstant {
+                line: site.line,
+                occurrence: site.occurrence,
+                delta,
+            }).unwrap();
+            let new_sites = constant_sites(&mutated);
+            prop_assert_eq!(new_sites.len(), sites.len());
+            let mut changed = 0;
+            for (old, new) in sites.iter().zip(new_sites.iter()) {
+                if old.value != new.value {
+                    changed += 1;
+                    prop_assert_eq!(new.value, old.value + delta);
+                }
+            }
+            prop_assert_eq!(changed, 1, "exactly one constant must change");
+        }
+    }
+}

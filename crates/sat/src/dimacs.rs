@@ -1,0 +1,272 @@
+//! DIMACS CNF and WCNF (weighted partial MAX-SAT) text formats.
+//!
+//! The BugAssist pipeline is purely in-memory, but DIMACS I/O makes it easy to
+//! dump a trace formula for inspection with external tools and to load
+//! standard benchmark instances into the solvers.
+
+use crate::cnf::{Clause, CnfFormula};
+use crate::types::Lit;
+use std::fmt::Write as _;
+
+/// Error produced when parsing DIMACS input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// A parsed weighted-partial MAX-SAT (WCNF) instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WcnfInstance {
+    /// Number of variables declared in the header (or inferred).
+    pub num_vars: usize,
+    /// Hard clauses (must be satisfied).
+    pub hard: Vec<Clause>,
+    /// Soft clauses with their weights.
+    pub soft: Vec<(Clause, u64)>,
+}
+
+/// Parses a DIMACS CNF document.
+///
+/// The `p cnf <vars> <clauses>` header is optional; comment lines start with
+/// `c`. Clauses may span lines and are terminated by `0`.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed literals or a malformed header.
+///
+/// # Examples
+///
+/// ```
+/// use sat::dimacs::parse_cnf;
+/// let cnf = parse_cnf("p cnf 2 2\n1 -2 0\n2 0\n").unwrap();
+/// assert_eq!(cnf.num_vars(), 2);
+/// assert_eq!(cnf.num_clauses(), 2);
+/// ```
+pub fn parse_cnf(input: &str) -> Result<CnfFormula, ParseDimacsError> {
+    let mut formula = CnfFormula::new();
+    let mut current = Vec::new();
+    for (line_no, line) in input.lines().enumerate() {
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let parts: Vec<&str> = trimmed.split_whitespace().collect();
+            if parts.len() < 4 || parts[1] != "cnf" {
+                return Err(ParseDimacsError {
+                    line: line_no,
+                    message: format!("malformed problem line: {trimmed:?}"),
+                });
+            }
+            let vars: usize = parts[2].parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("invalid variable count: {:?}", parts[2]),
+            })?;
+            formula.ensure_vars(vars);
+            continue;
+        }
+        for tok in trimmed.split_whitespace() {
+            let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("invalid literal: {tok:?}"),
+            })?;
+            if value == 0 {
+                formula.add_clause(std::mem::take(&mut current));
+            } else {
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !current.is_empty() {
+        formula.add_clause(current);
+    }
+    Ok(formula)
+}
+
+/// Serializes a formula in DIMACS CNF format.
+///
+/// # Examples
+///
+/// ```
+/// use sat::dimacs::{parse_cnf, write_cnf};
+/// let cnf = parse_cnf("1 -2 0\n2 0\n").unwrap();
+/// let text = write_cnf(&cnf);
+/// assert_eq!(parse_cnf(&text).unwrap(), cnf);
+/// ```
+pub fn write_cnf(formula: &CnfFormula) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", formula.num_vars(), formula.num_clauses());
+    for clause in formula.iter() {
+        let _ = writeln!(out, "{clause}");
+    }
+    out
+}
+
+/// Parses a (weighted partial) WCNF document in the classic
+/// `p wcnf <vars> <clauses> <top>` dialect: clauses whose leading weight
+/// equals `top` are hard, all others are soft with that weight.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use sat::dimacs::parse_wcnf;
+/// let inst = parse_wcnf("p wcnf 2 3 10\n10 1 0\n1 -1 0\n2 2 0\n").unwrap();
+/// assert_eq!(inst.hard.len(), 1);
+/// assert_eq!(inst.soft.len(), 2);
+/// assert_eq!(inst.soft[1].1, 2);
+/// ```
+pub fn parse_wcnf(input: &str) -> Result<WcnfInstance, ParseDimacsError> {
+    let mut instance = WcnfInstance::default();
+    let mut top: Option<u64> = None;
+    for (line_no, line) in input.lines().enumerate() {
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let parts: Vec<&str> = trimmed.split_whitespace().collect();
+            if parts.len() < 4 || parts[1] != "wcnf" {
+                return Err(ParseDimacsError {
+                    line: line_no,
+                    message: format!("malformed problem line: {trimmed:?}"),
+                });
+            }
+            instance.num_vars = parts[2].parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("invalid variable count: {:?}", parts[2]),
+            })?;
+            if parts.len() >= 5 {
+                top = Some(parts[4].parse().map_err(|_| ParseDimacsError {
+                    line: line_no,
+                    message: format!("invalid top weight: {:?}", parts[4]),
+                })?);
+            }
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let weight_tok = tokens.next().expect("non-empty line has a first token");
+        let weight: u64 = weight_tok.parse().map_err(|_| ParseDimacsError {
+            line: line_no,
+            message: format!("invalid clause weight: {weight_tok:?}"),
+        })?;
+        let mut lits = Vec::new();
+        for tok in tokens {
+            let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("invalid literal: {tok:?}"),
+            })?;
+            if value == 0 {
+                break;
+            }
+            lits.push(Lit::from_dimacs(value));
+            instance.num_vars = instance.num_vars.max(value.unsigned_abs() as usize);
+        }
+        let clause = Clause::new(lits);
+        match top {
+            Some(t) if weight >= t => instance.hard.push(clause),
+            _ => instance.soft.push((clause, weight)),
+        }
+    }
+    Ok(instance)
+}
+
+/// Serializes a weighted partial instance as WCNF. The hard-clause weight
+/// ("top") is one more than the sum of the soft weights.
+pub fn write_wcnf(instance: &WcnfInstance) -> String {
+    let top: u64 = instance.soft.iter().map(|(_, w)| *w).sum::<u64>() + 1;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "p wcnf {} {} {}",
+        instance.num_vars,
+        instance.hard.len() + instance.soft.len(),
+        top
+    );
+    for clause in &instance.hard {
+        let _ = writeln!(out, "{top} {clause}");
+    }
+    for (clause, weight) in &instance.soft {
+        let _ = writeln!(out, "{weight} {clause}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SatResult, Solver};
+
+    #[test]
+    fn parse_simple_cnf() {
+        let cnf = parse_cnf("c comment\np cnf 3 2\n1 2 -3 0\n-1 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+        assert_eq!(cnf.clauses()[1].len(), 1);
+    }
+
+    #[test]
+    fn parse_without_header_infers_vars() {
+        let cnf = parse_cnf("1 5 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 5);
+    }
+
+    #[test]
+    fn parse_multiline_clause() {
+        let cnf = parse_cnf("1 2\n3 0 -1 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn reject_bad_header_and_literal() {
+        assert!(parse_cnf("p cnf x 2\n").is_err());
+        assert!(parse_cnf("p dnf 1 1\n").is_err());
+        let err = parse_cnf("1 foo 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("invalid literal"));
+    }
+
+    #[test]
+    fn cnf_roundtrip_and_solve() {
+        let cnf = parse_cnf("p cnf 3 3\n1 2 0\n-1 3 0\n-3 0\n").unwrap();
+        let text = write_cnf(&cnf);
+        let reparsed = parse_cnf(&text).unwrap();
+        assert_eq!(reparsed, cnf);
+        let mut solver = Solver::from_formula(&cnf);
+        assert_eq!(solver.solve(), SatResult::Sat);
+        assert!(cnf.eval(&solver.model()));
+    }
+
+    #[test]
+    fn wcnf_roundtrip() {
+        let instance = parse_wcnf("p wcnf 2 3 10\n10 1 0\n1 -1 0\n2 2 0\n").unwrap();
+        assert_eq!(instance.num_vars, 2);
+        assert_eq!(instance.hard.len(), 1);
+        assert_eq!(instance.soft, vec![
+            (Clause::new(vec![Lit::from_dimacs(-1)]), 1),
+            (Clause::new(vec![Lit::from_dimacs(2)]), 2),
+        ]);
+        let text = write_wcnf(&instance);
+        let reparsed = parse_wcnf(&text).unwrap();
+        assert_eq!(reparsed.hard, instance.hard);
+        assert_eq!(reparsed.soft, instance.soft);
+    }
+}

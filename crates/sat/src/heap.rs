@@ -1,0 +1,219 @@
+//! Indexed max-heap over variables ordered by activity (VSIDS order).
+
+use crate::types::Var;
+
+/// A binary max-heap of variables keyed by an external activity array.
+///
+/// The heap stores positions so that membership tests and priority increases
+/// are O(1) / O(log n). Activities are passed to each operation instead of
+/// being stored, because the solver owns (and decays) the activity array.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarOrderHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` when absent.
+    indices: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarOrderHeap {
+    pub(crate) fn new() -> VarOrderHeap {
+        VarOrderHeap::default()
+    }
+
+    /// Makes room for variable indices `< n`.
+    pub(crate) fn grow_to(&mut self, n: usize) {
+        if self.indices.len() < n {
+            self.indices.resize(n, ABSENT);
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn contains(&self, var: Var) -> bool {
+        self.indices
+            .get(var.index())
+            .is_some_and(|&pos| pos != ABSENT)
+    }
+
+    /// Inserts a variable; no-op if it is already present.
+    pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow_to(var.index() + 1);
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len();
+        self.heap.push(var);
+        self.indices[var.index()] = pos;
+        self.sift_up(pos, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.indices[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.indices[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap property after `var`'s activity increased.
+    pub(crate) fn on_activity_increased(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&pos) = self.indices.get(var.index()) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap from scratch (used after a global activity rescale,
+    /// which preserves order, so this is rarely needed; kept for safety).
+    pub(crate) fn rebuild(&mut self, activity: &[f64]) {
+        let vars: Vec<Var> = self.heap.clone();
+        self.heap.clear();
+        for &pos in &self.indices {
+            debug_assert!(pos == ABSENT || pos < vars.len() || true);
+        }
+        for idx in self.indices.iter_mut() {
+            *idx = ABSENT;
+        }
+        for v in vars {
+            self.insert(v, activity);
+        }
+    }
+
+    fn better(&self, a: Var, b: Var, activity: &[f64]) -> bool {
+        activity[a.index()] > activity[b.index()]
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.better(self.heap[pos], self.heap[parent], activity) {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut best = pos;
+            if left < self.heap.len() && self.better(self.heap[left], self.heap[best], activity) {
+                best = left;
+            }
+            if right < self.heap.len() && self.better(self.heap[right], self.heap[best], activity) {
+                best = right;
+            }
+            if best == pos {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.indices[self.heap[a].index()] = a;
+        self.indices[self.heap[b].index()] = b;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, activity: &[f64]) {
+        for (pos, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.indices[v.index()], pos);
+            if pos > 0 {
+                let parent = (pos - 1) / 2;
+                assert!(
+                    activity[self.heap[parent].index()] >= activity[v.index()],
+                    "heap property violated"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_pop_ordering() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0, 0.1];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..activity.len() {
+            heap.insert(Var::from_index(i), &activity);
+            heap.check_invariants(&activity);
+        }
+        assert_eq!(heap.len(), 5);
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(0), &activity);
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn activity_increase_resorts() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.on_activity_increased(Var::from_index(0), &activity);
+        heap.check_invariants(&activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        let v0 = Var::from_index(0);
+        assert!(!heap.contains(v0));
+        heap.insert(v0, &activity);
+        assert!(heap.contains(v0));
+        heap.pop_max(&activity);
+        assert!(!heap.contains(v0));
+    }
+
+    #[test]
+    fn rebuild_preserves_members() {
+        let activity = vec![5.0, 1.0, 3.0];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        heap.rebuild(&activity);
+        heap.check_invariants(&activity);
+        assert_eq!(heap.len(), 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! # sat — a CDCL SAT solver
+//!
+//! This crate is the bottom layer of the BugAssist reproduction (Jose &
+//! Majumdar, *Cause Clue Clauses: Error Localization using Maximum
+//! Satisfiability*, PLDI 2011). The original tool used MiniSAT; this crate
+//! re-implements the relevant functionality from scratch:
+//!
+//! * a conflict-driven clause-learning solver ([`Solver`]) with two-watched
+//!   literal propagation, first-UIP learning, VSIDS, phase saving and Luby
+//!   restarts;
+//! * incremental solving under **assumptions** with extraction of the
+//!   conflicting subset of assumptions ([`Solver::unsat_core`]) — the
+//!   primitive the core-guided MAX-SAT engine in the `maxsat` crate is built
+//!   on;
+//! * a plain [`CnfFormula`] container used as the interchange format between
+//!   the bit-blaster, the MAX-SAT engine and the solver;
+//! * DIMACS CNF / WCNF parsing and printing ([`dimacs`]);
+//! * exponential brute-force oracles ([`reference`]) used by tests to
+//!   cross-check both solvers.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{Solver, SatResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var().positive();
+//! let b = solver.new_var().positive();
+//! solver.add_clause([a, b]);
+//! solver.add_clause([!a, b]);
+//! assert_eq!(solver.solve(), SatResult::Sat);
+//! assert_eq!(solver.model_value(b), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cnf;
+pub mod dimacs;
+mod heap;
+pub mod reference;
+mod solver;
+mod types;
+
+pub use cnf::{Clause, CnfFormula};
+pub use solver::{SatResult, Solver, SolverStats};
+pub use types::{LBool, Lit, Var};

@@ -1,0 +1,373 @@
+//! Core propositional types: variables, literals and the lifted Boolean.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense non-negative index.
+///
+/// Variables are created by [`crate::Solver::new_var`] (or
+/// [`crate::CnfFormula::new_var`]) and are valid only for the formula/solver
+/// that created them.
+///
+/// # Examples
+///
+/// ```
+/// use sat::Var;
+/// let v = Var::from_index(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.positive().var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// Returns the dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Returns the literal of this variable with the given sign
+    /// (`true` means positive).
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Internally encoded as `2 * var + sign_bit` so literals can index dense
+/// arrays (e.g. watch lists).
+///
+/// # Examples
+///
+/// ```
+/// use sat::{Lit, Var};
+/// let v = Var::from_index(0);
+/// let p = v.positive();
+/// assert_eq!(!p, v.negative());
+/// assert!(p.is_positive());
+/// assert_eq!(Lit::from_dimacs(1), p);
+/// assert_eq!(Lit::from_dimacs(-1), !p);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a polarity (`true` = positive).
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 * 2 + u32::from(!positive))
+    }
+
+    /// Returns the variable underlying this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 / 2)
+    }
+
+    /// Returns `true` if this literal has positive polarity.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if this literal has negative polarity.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the dense code of this literal (`2 * var + sign`), suitable for
+    /// indexing per-literal arrays.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its dense [`code`](Lit::code).
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Converts a non-zero DIMACS integer (`±(index + 1)`) to a literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    #[inline]
+    pub fn from_dimacs(value: i64) -> Lit {
+        assert!(value != 0, "DIMACS literal must be non-zero");
+        let var = Var::from_index(value.unsigned_abs() as usize - 1);
+        Lit::new(var, value > 0)
+    }
+
+    /// Converts this literal to its DIMACS integer representation.
+    #[inline]
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().index() as i64 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Applies `polarity` to this literal: returns `self` when `true`,
+    /// `!self` when `false`.
+    #[inline]
+    pub fn apply_sign(self, polarity: bool) -> Lit {
+        if polarity {
+            self
+        } else {
+            !self
+        }
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "!")?;
+        }
+        write!(f, "{:?}", self.var())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+impl From<Var> for Lit {
+    fn from(var: Var) -> Lit {
+        var.positive()
+    }
+}
+
+/// The lifted Boolean: true, false or unassigned.
+///
+/// # Examples
+///
+/// ```
+/// use sat::LBool;
+/// assert_eq!(LBool::True & LBool::Undef, LBool::Undef);
+/// assert_eq!(LBool::False & LBool::Undef, LBool::False);
+/// assert_eq!(!LBool::True, LBool::False);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Lifts a concrete Boolean.
+    #[inline]
+    pub fn from_bool(value: bool) -> LBool {
+        if value {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns `Some(bool)` if assigned, `None` if undefined.
+    #[inline]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Returns `true` iff this is [`LBool::True`].
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == LBool::True
+    }
+
+    /// Returns `true` iff this is [`LBool::False`].
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == LBool::False
+    }
+
+    /// Returns `true` iff this is [`LBool::Undef`].
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        self == LBool::Undef
+    }
+
+    /// XORs with a Boolean: flips the assignment when `flip` is true.
+    #[inline]
+    pub fn xor(self, flip: bool) -> LBool {
+        match (self, flip) {
+            (LBool::Undef, _) => LBool::Undef,
+            (x, false) => x,
+            (LBool::True, true) => LBool::False,
+            (LBool::False, true) => LBool::True,
+        }
+    }
+}
+
+impl std::ops::Not for LBool {
+    type Output = LBool;
+
+    #[inline]
+    fn not(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+impl std::ops::BitAnd for LBool {
+    type Output = LBool;
+
+    #[inline]
+    fn bitand(self, rhs: LBool) -> LBool {
+        match (self, rhs) {
+            (LBool::False, _) | (_, LBool::False) => LBool::False,
+            (LBool::True, LBool::True) => LBool::True,
+            _ => LBool::Undef,
+        }
+    }
+}
+
+impl std::ops::BitOr for LBool {
+    type Output = LBool;
+
+    #[inline]
+    fn bitor(self, rhs: LBool) -> LBool {
+        match (self, rhs) {
+            (LBool::True, _) | (_, LBool::True) => LBool::True,
+            (LBool::False, LBool::False) => LBool::False,
+            _ => LBool::Undef,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_literal_roundtrip() {
+        for i in 0..100 {
+            let v = Var::from_index(i);
+            assert_eq!(v.index(), i);
+            assert_eq!(v.positive().var(), v);
+            assert_eq!(v.negative().var(), v);
+            assert!(v.positive().is_positive());
+            assert!(v.negative().is_negative());
+            assert_eq!(!v.positive(), v.negative());
+            assert_eq!(!!v.positive(), v.positive());
+        }
+    }
+
+    #[test]
+    fn literal_codes_are_dense() {
+        let v = Var::from_index(5);
+        assert_eq!(v.positive().code(), 10);
+        assert_eq!(v.negative().code(), 11);
+        assert_eq!(Lit::from_code(10), v.positive());
+        assert_eq!(Lit::from_code(11), v.negative());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for value in [1i64, -1, 2, -2, 17, -42] {
+            assert_eq!(Lit::from_dimacs(value).to_dimacs(), value);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_algebra() {
+        use LBool::*;
+        assert_eq!(!True, False);
+        assert_eq!(!Undef, Undef);
+        assert_eq!(True & False, False);
+        assert_eq!(True & Undef, Undef);
+        assert_eq!(False & Undef, False);
+        assert_eq!(True | Undef, True);
+        assert_eq!(False | Undef, Undef);
+        assert_eq!(False | False, False);
+        assert_eq!(LBool::from_bool(true), True);
+        assert_eq!(True.to_option(), Some(true));
+        assert_eq!(Undef.to_option(), None);
+        assert_eq!(True.xor(true), False);
+        assert_eq!(False.xor(true), True);
+        assert_eq!(Undef.xor(true), Undef);
+    }
+
+    #[test]
+    fn apply_sign() {
+        let l = Var::from_index(0).positive();
+        assert_eq!(l.apply_sign(true), l);
+        assert_eq!(l.apply_sign(false), !l);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Var::from_index(2);
+        assert_eq!(format!("{}", v.positive()), "3");
+        assert_eq!(format!("{}", v.negative()), "-3");
+        assert_eq!(format!("{:?}", v.negative()), "!x2");
+    }
+}

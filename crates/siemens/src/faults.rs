@@ -1,0 +1,232 @@
+//! The fault taxonomy of Table 2 of the paper, and the description of one
+//! injected-fault benchmark version.
+
+use minic::ast::Line;
+use minic::{apply_mutation, parse_program, Mutation, Program};
+use std::fmt;
+
+/// The error types of Table 2.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ErrorType {
+    /// Wrong operator usage (e.g. `<=` instead of `<`).
+    Op,
+    /// Logical coding bug (an expression rewritten wholesale).
+    Code,
+    /// Wrong assignment expression.
+    Assign,
+    /// Error due to extra code fragments.
+    AddCode,
+    /// Wrong constant value supplied (e.g. off-by-one).
+    Const,
+    /// Wrong value initialization of a variable.
+    Init,
+    /// Use of a wrong array index.
+    Index,
+    /// Error in branching due to negation of the branching condition.
+    Branch,
+}
+
+impl ErrorType {
+    /// The label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorType::Op => "op",
+            ErrorType::Code => "code",
+            ErrorType::Assign => "assign",
+            ErrorType::AddCode => "addcode",
+            ErrorType::Const => "const",
+            ErrorType::Init => "init",
+            ErrorType::Index => "index",
+            ErrorType::Branch => "branch",
+        }
+    }
+
+    /// The explanation given in Table 2.
+    pub fn explanation(self) -> &'static str {
+        match self {
+            ErrorType::Op => "wrong operator usage, e.g. <= instead of <",
+            ErrorType::Code => "logical coding bug",
+            ErrorType::Assign => "wrong assignment expression",
+            ErrorType::AddCode => "error due to extra code fragments",
+            ErrorType::Const => "wrong constant value supplied, e.g. off-by-one",
+            ErrorType::Init => "wrong value initialization of a variable",
+            ErrorType::Index => "use of wrong array index",
+            ErrorType::Branch => "error in branching due to negation of the branching condition",
+        }
+    }
+
+    /// All error types, in the order Table 2 lists them.
+    pub fn all() -> [ErrorType; 8] {
+        [
+            ErrorType::Op,
+            ErrorType::Code,
+            ErrorType::Assign,
+            ErrorType::AddCode,
+            ErrorType::Const,
+            ErrorType::Init,
+            ErrorType::Index,
+            ErrorType::Branch,
+        ]
+    }
+}
+
+impl fmt::Display for ErrorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// How a faulty version is produced from the base program.
+#[derive(Clone, Debug)]
+pub enum FaultSpec {
+    /// Apply one or more [`Mutation`]s to the base program.
+    Mutations(Vec<Mutation>),
+    /// Textually replace `from` by `to` in the base source (used for `code`
+    /// and `addcode` faults that a structured mutation cannot express).
+    /// Patches never change line counts so that line numbers stay stable.
+    Patch {
+        /// Substring of the base source to replace (must occur exactly once).
+        from: &'static str,
+        /// Replacement text (must not contain newlines).
+        to: &'static str,
+    },
+}
+
+/// One injected-fault benchmark version (analogous to the Siemens "v1"…"v41"
+/// versions).
+#[derive(Clone, Debug)]
+pub struct FaultyVersion {
+    /// Version name, e.g. `"v1"`.
+    pub name: &'static str,
+    /// How the fault is injected.
+    pub spec: FaultSpec,
+    /// The line(s) a human would point to as "the bug" (ground truth for the
+    /// paper's Detect# column).
+    pub faulty_lines: Vec<Line>,
+    /// Number of injected faults (the paper's Error# column).
+    pub error_count: usize,
+    /// Taxonomy entry (Table 2).
+    pub error_type: ErrorType,
+}
+
+impl FaultyVersion {
+    /// Materializes the faulty program from the base program's source text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutation or patch cannot be applied or the result does
+    /// not parse — both indicate a broken benchmark definition and are
+    /// caught by the crate's tests.
+    pub fn build(&self, base_source: &str) -> Program {
+        match &self.spec {
+            FaultSpec::Mutations(mutations) => {
+                let mut program = parse_program(base_source)
+                    .unwrap_or_else(|e| panic!("version {}: base does not parse: {e}", self.name));
+                for mutation in mutations {
+                    program = apply_mutation(&program, mutation)
+                        .unwrap_or_else(|e| panic!("version {}: {e}", self.name));
+                }
+                program
+            }
+            FaultSpec::Patch { from, to } => {
+                assert_eq!(
+                    base_source.matches(from).count(),
+                    1,
+                    "version {}: patch source must occur exactly once",
+                    self.name
+                );
+                assert_eq!(
+                    from.matches('\n').count(),
+                    to.matches('\n').count(),
+                    "version {}: patches must not change line numbering",
+                    self.name
+                );
+                let patched = base_source.replacen(from, to, 1);
+                parse_program(&patched)
+                    .unwrap_or_else(|e| panic!("version {}: patched source does not parse: {e}", self.name))
+            }
+        }
+    }
+}
+
+/// Returns the 1-based line of the first source line containing `pattern`.
+///
+/// Benchmark fault catalogues use this instead of hard-coded line numbers so
+/// that cosmetic edits to the benchmark sources do not silently invalidate
+/// the ground truth.
+///
+/// # Panics
+///
+/// Panics if the pattern does not occur.
+pub fn line_containing(source: &str, pattern: &str) -> Line {
+    for (i, line) in source.lines().enumerate() {
+        if line.contains(pattern) {
+            return Line(i as u32 + 1);
+        }
+    }
+    panic!("pattern {pattern:?} not found in benchmark source");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_complete_and_labelled() {
+        assert_eq!(ErrorType::all().len(), 8);
+        for ty in ErrorType::all() {
+            assert!(!ty.label().is_empty());
+            assert!(!ty.explanation().is_empty());
+            assert_eq!(ty.to_string(), ty.label());
+        }
+    }
+
+    #[test]
+    fn mutation_fault_builds() {
+        let base_source = "int main(int x) {\nint y = x + 1;\nreturn y;\n}";
+        let version = FaultyVersion {
+            name: "vtest",
+            spec: FaultSpec::Mutations(vec![Mutation::BumpConstant {
+                line: Line(2),
+                occurrence: 0,
+                delta: 1,
+            }]),
+            faulty_lines: vec![Line(2)],
+            error_count: 1,
+            error_type: ErrorType::Const,
+        };
+        let faulty = version.build(base_source);
+        assert_ne!(faulty, parse_program(base_source).unwrap());
+        assert!(minic::pretty_program(&faulty).contains("x + 2"));
+    }
+
+    #[test]
+    fn patch_fault_builds_and_preserves_lines() {
+        let base_source = "int main(int x) {\nint y = x + 1;\nreturn y;\n}";
+        let version = FaultyVersion {
+            name: "vpatch",
+            spec: FaultSpec::Patch {
+                from: "int y = x + 1;",
+                to: "int y = x + 1; y = y * 2;",
+            },
+            faulty_lines: vec![Line(2)],
+            error_count: 1,
+            error_type: ErrorType::AddCode,
+        };
+        let faulty = version.build(base_source);
+        assert!(minic::pretty_program(&faulty).contains("y * 2"));
+    }
+
+    #[test]
+    fn line_containing_locates_patterns() {
+        let src = "int main() {\nint a = 0;\nreturn a;\n}";
+        assert_eq!(line_containing(src, "int a"), Line(2));
+        assert_eq!(line_containing(src, "return"), Line(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not found")]
+    fn line_containing_panics_on_missing_pattern() {
+        let _ = line_containing("int main() { return 0; }", "absent");
+    }
+}

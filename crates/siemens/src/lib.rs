@@ -1,0 +1,45 @@
+//! # siemens — benchmark programs for the BugAssist reproduction
+//!
+//! The paper evaluates BugAssist on programs from the Siemens test suite with
+//! injected faults (Sec. 6). The original suite is not redistributable, so
+//! this crate provides MinC ports / analogues together with the machinery the
+//! experiments need:
+//!
+//! * [`tcas`] — a faithful port of the TCAS resolution logic with a
+//!   20-version injected-fault catalogue, a deterministic boundary-biased
+//!   test-vector generator and golden-output computation (Table 1);
+//! * [`programs`] — analogues of tot_info, print_tokens, schedule (small and
+//!   large inputs) and schedule2 for the trace-reduction experiment
+//!   (Table 3), plus the paper's `strncat` off-by-one demo (Program 2) and
+//!   the integer square-root loop (Program 3);
+//! * [`faults`] — the fault taxonomy of Table 2 and the
+//!   mutation/patch-based fault-injection mechanism.
+//!
+//! # Examples
+//!
+//! ```
+//! use siemens::tcas::{tcas_program, tcas_versions, tcas_test_vectors, tcas_golden_output, TCAS_ENTRY};
+//!
+//! let vectors = tcas_test_vectors(20, 1);
+//! let golden: Vec<i64> = vectors.iter().map(|v| tcas_golden_output(v)).collect();
+//! assert_eq!(golden.len(), 20);
+//! assert_eq!(tcas_versions().len(), 20);
+//! assert!(tcas_program().function(TCAS_ENTRY).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod faults;
+pub mod programs;
+pub mod tcas;
+
+pub use faults::{line_containing, ErrorType, FaultSpec, FaultyVersion};
+pub use programs::{
+    printtokens, schedule2, schedule_large, schedule_small, squareroot, strncat_demo,
+    table3_benchmarks, totinfo, Benchmark,
+};
+pub use tcas::{
+    tcas_golden_output, tcas_interp_config, tcas_program, tcas_test_vectors, tcas_trusted_lines,
+    tcas_versions, TCAS_ARITY, TCAS_ENTRY, TCAS_SOURCE,
+};

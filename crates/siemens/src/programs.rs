@@ -1,0 +1,705 @@
+//! The remaining benchmark programs: MinC analogues of the larger Siemens
+//! programs used in Table 3 (tot_info, print_tokens, schedule, schedule2)
+//! plus the paper's two worked examples — the `strncat` off-by-one demo
+//! (Program 2, Sec. 6.3) and the integer square-root loop (Program 3,
+//! Sec. 6.4).
+//!
+//! The analogues are deliberately smaller than the originals (the originals
+//! are not redistributable and full-size C is out of scope for MinC), but
+//! they preserve the structural features Table 3 leans on: loops that need
+//! unwinding, procedure calls, a recursion analogue, and input-dependent
+//! traces, so the *shape* of the trace-reduction results carries over.
+
+use crate::faults::{line_containing, ErrorType, FaultSpec, FaultyVersion};
+use minic::ast::Line;
+use minic::{parse_program, Mutation, Program};
+
+/// A complete benchmark description: base source, entry point, injected
+/// fault, test inputs and encoding parameters.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name (matches the paper's program names where applicable).
+    pub name: &'static str,
+    /// Correct source.
+    pub source: &'static str,
+    /// Entry function.
+    pub entry: &'static str,
+    /// The injected fault.
+    pub fault: FaultyVersion,
+    /// Lines that must not be blamed (library code).
+    pub trusted_lines: Vec<Line>,
+    /// Test input pool (entry-function arguments).
+    pub test_inputs: Vec<Vec<i64>>,
+    /// Trace-reduction technique label used in Table 3 ("S", "C", "DS", …).
+    pub reduction: &'static str,
+    /// Functions to concretize during encoding (the "C" reduction).
+    pub concretize: Vec<String>,
+    /// Loop unwinding bound for the symbolic encoding.
+    pub unwind: usize,
+    /// Bit width for the symbolic encoding.
+    pub width: usize,
+}
+
+impl Benchmark {
+    /// Parses the correct program.
+    pub fn program(&self) -> Program {
+        parse_program(self.source).expect("benchmark source parses")
+    }
+
+    /// Builds the faulty version.
+    pub fn faulty_program(&self) -> Program {
+        self.fault.build(self.source)
+    }
+
+    /// Runs the correct program on an input and returns its result (the
+    /// golden output).
+    pub fn golden_output(&self, input: &[i64]) -> Option<i64> {
+        let config = bmc::InterpConfig {
+            width: self.width,
+            max_steps: 200_000,
+        };
+        let outcome = bmc::run_program(&self.program(), self.entry, input, &[], config);
+        if outcome.is_ok() {
+            outcome.result
+        } else {
+            None
+        }
+    }
+
+    /// The test inputs on which the faulty version deviates from the golden
+    /// output or crashes.
+    pub fn failing_inputs(&self) -> Vec<Vec<i64>> {
+        let config = bmc::InterpConfig {
+            width: self.width,
+            max_steps: 200_000,
+        };
+        let faulty = self.faulty_program();
+        self.test_inputs
+            .iter()
+            .filter(|input| {
+                let outcome = bmc::run_program(&faulty, self.entry, input, &[], config);
+                match self.golden_output(input) {
+                    Some(expected) => !outcome.is_ok() || outcome.result != Some(expected),
+                    None => false,
+                }
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tot_info analogue
+// ---------------------------------------------------------------------------
+
+/// `tot_info` analogue: row/column statistics over a small table with a
+/// divisor check. The injected fault is the wrong constant in the conditional
+/// on the row×column product — the same fault the paper describes for its
+/// tot_info run.
+pub const TOTINFO_SOURCE: &str = "\
+int table[6];
+int row_sum[2];
+int col_sum[3];
+int scratch[6];
+int fill(int a, int b, int c) {
+    int i = 0;
+    while (i < 6) {
+        table[i] = (a * i + b) % 19 + c % 7;
+        i = i + 1;
+    }
+    return 0;
+}
+int totals() {
+    int r = 0;
+    while (r < 2) {
+        int cc = 0;
+        int acc = 0;
+        while (cc < 3) {
+            acc = acc + table[r * 3 + cc];
+            cc = cc + 1;
+        }
+        row_sum[r] = acc;
+        r = r + 1;
+    }
+    int c2 = 0;
+    while (c2 < 3) {
+        int rr = 0;
+        int acc2 = 0;
+        while (rr < 2) {
+            acc2 = acc2 + table[rr * 3 + c2];
+            rr = rr + 1;
+        }
+        col_sum[c2] = acc2;
+        c2 = c2 + 1;
+    }
+    return 0;
+}
+int report_stats(int a, int b) {
+    int k = 0;
+    while (k < 6) {
+        scratch[k] = (table[k] * 7 + a * b) % 31;
+        k = k + 1;
+    }
+    return scratch[0];
+}
+int info(int rows, int cols) {
+    if (rows * cols > 6) {
+        return 0 - 1;
+    }
+    int total = row_sum[0] + row_sum[1];
+    if (total == 0) {
+        return 0 - 2;
+    }
+    int stat = 0;
+    int r = 0;
+    while (r < rows) {
+        int c = 0;
+        while (c < cols) {
+            int expected = row_sum[r] * col_sum[c] / total;
+            int observed = table[r * 3 + c];
+            int diff = observed - expected;
+            stat = stat + diff * diff;
+            c = c + 1;
+        }
+        r = r + 1;
+    }
+    return stat;
+}
+int main(int a, int b, int c) {
+    assume(a >= 0 && a < 8);
+    assume(b >= 0 && b < 8);
+    assume(c >= 0 && c < 8);
+    fill(a, b, c);
+    totals();
+    report_stats(a, b);
+    return info(2, 3);
+}
+";
+
+/// Builds the tot_info benchmark description.
+pub fn totinfo() -> Benchmark {
+    let fault_line = line_containing(TOTINFO_SOURCE, "if (rows * cols > 6) {");
+    Benchmark {
+        name: "tot_info",
+        source: TOTINFO_SOURCE,
+        entry: "main",
+        fault: FaultyVersion {
+            name: "totinfo-f1",
+            // The guard constant is wrong: 6 becomes 4, so legitimate
+            // 2x3 tables are rejected.
+            spec: FaultSpec::Mutations(vec![Mutation::SetConstant {
+                line: fault_line,
+                occurrence: 0,
+                value: 4,
+            }]),
+            faulty_lines: vec![fault_line],
+            error_count: 1,
+            error_type: ErrorType::Const,
+        },
+        trusted_lines: Vec::new(),
+        test_inputs: (0..6).map(|a| vec![a, (a * 3 + 1) % 8, (a + 5) % 8]).collect(),
+        reduction: "S",
+        concretize: Vec::new(),
+        unwind: 7,
+        width: 16,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// print_tokens analogue
+// ---------------------------------------------------------------------------
+
+/// `print_tokens` analogue: classify a fixed-length stream of character codes
+/// into token classes with a helper that is called once per position (the
+/// original uses a recursive `next_token`; the paper concretizes it). The
+/// fault is a wrong comparison in the classifier.
+pub const PRINTTOKENS_SOURCE: &str = "\
+int classify(int ch) {
+    if (ch >= 48 && ch <= 57) {
+        return 1;
+    }
+    if (ch >= 65 && ch <= 90) {
+        return 2;
+    }
+    if (ch >= 97 && ch <= 122) {
+        return 2;
+    }
+    if (ch == 40 || ch == 41) {
+        return 3;
+    }
+    if (ch == 32 || ch == 9) {
+        return 0;
+    }
+    return 4;
+}
+int checksum(int kind, int acc) {
+    return acc * 5 + kind;
+}
+int mixer(int a, int b) {
+    int m = a * a + b * b;
+    int n = m * 3 + a * b;
+    return n % 97 + 1;
+}
+int main(int c0, int c1, int c2, int c3, int c4, int c5, int c6, int c7) {
+    int stream[8];
+    stream[0] = c0;
+    stream[1] = c1;
+    stream[2] = c2;
+    stream[3] = c3;
+    stream[4] = c4;
+    stream[5] = c5;
+    stream[6] = c6;
+    stream[7] = c7;
+    int scale = mixer(7, 3);
+    int acc = 0;
+    int i = 0;
+    while (i < 8) {
+        int kind = classify(stream[i]);
+        acc = checksum(kind, acc + scale);
+        i = i + 1;
+    }
+    return acc;
+}
+";
+
+/// Builds the print_tokens benchmark description.
+pub fn printtokens() -> Benchmark {
+    let fault_line = line_containing(PRINTTOKENS_SOURCE, "if (ch >= 48 && ch <= 57) {");
+    Benchmark {
+        name: "print_tokens",
+        source: PRINTTOKENS_SOURCE,
+        entry: "main",
+        fault: FaultyVersion {
+            name: "printtokens-f1",
+            // Digit classification uses `>` instead of `>=`: the character
+            // code 48 ('0') is no longer recognized as a digit.
+            spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+                line: fault_line,
+                occurrence: 1,
+                new_op: minic::BinOp::Gt,
+            }]),
+            faulty_lines: vec![fault_line],
+            error_count: 1,
+            error_type: ErrorType::Op,
+        },
+        trusted_lines: Vec::new(),
+        test_inputs: vec![
+            vec![48, 49, 65, 97, 40, 32, 57, 41],
+            vec![48, 48, 48, 48, 48, 48, 48, 48],
+            vec![65, 66, 67, 48, 49, 50, 32, 41],
+            vec![97, 48, 9, 40, 41, 57, 90, 122],
+            vec![33, 48, 64, 91, 96, 123, 47, 58],
+        ],
+        reduction: "C",
+        concretize: vec!["mixer".to_string()],
+        unwind: 9,
+        width: 16,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// schedule analogue
+// ---------------------------------------------------------------------------
+
+/// `schedule` analogue: a tiny priority scheduler over a fixed-size queue.
+/// Processes are appended with priorities derived from the input, then the
+/// queue is flushed; the injected fault is the paper's off-by-one on the
+/// number of processes flushed.
+pub const SCHEDULE_SOURCE: &str = "\
+int queue[8];
+int enqueue(int count, int prio) {
+    if (count < 8) {
+        queue[count] = prio;
+        return count + 1;
+    }
+    return count;
+}
+int flush_all(int count) {
+    int finished = 0;
+    int i = 0;
+    while (i < count) {
+        finished = finished + queue[i] + 1;
+        i = i + 1;
+    }
+    return finished;
+}
+int main(int n, int p0, int p1, int p2) {
+    assume(n >= 1 && n <= 4);
+    assume(p0 >= 0 && p0 < 10);
+    assume(p1 >= 0 && p1 < 10);
+    assume(p2 >= 0 && p2 < 10);
+    int count = 0;
+    count = enqueue(count, p0);
+    if (n > 1) {
+        count = enqueue(count, p1);
+    }
+    if (n > 2) {
+        count = enqueue(count, p2);
+    }
+    if (n > 3) {
+        count = enqueue(count, p0 + p1);
+    }
+    int total = flush_all(count);
+    return total;
+}
+";
+
+fn schedule_fault() -> FaultyVersion {
+    // The paper's schedule fault is an off-by-one on the number of processes
+    // flushed: the faulty version drains one slot too many.
+    let fault_line = line_containing(SCHEDULE_SOURCE, "while (i < count) {");
+    FaultyVersion {
+        name: "schedule-f1",
+        spec: FaultSpec::Patch {
+            from: "while (i < count) {",
+            to: "while (i < count + 1) {",
+        },
+        faulty_lines: vec![fault_line],
+        error_count: 1,
+        error_type: ErrorType::Const,
+    }
+}
+
+/// Builds the `schedule` benchmark with a *small* failure-inducing input
+/// (Table 3, row 3): a single process creation suffices to expose the bug.
+pub fn schedule_small() -> Benchmark {
+    Benchmark {
+        name: "schedule",
+        source: SCHEDULE_SOURCE,
+        entry: "main",
+        fault: schedule_fault(),
+        trusted_lines: Vec::new(),
+        test_inputs: vec![vec![1, 3, 0, 0], vec![1, 7, 0, 0], vec![2, 3, 4, 0]],
+        reduction: "DS",
+        concretize: Vec::new(),
+        unwind: 6,
+        width: 16,
+    }
+}
+
+/// Builds the `schedule` benchmark with a *larger* failure-inducing input
+/// (Table 3, row 4): more processes and a longer trace before the deviation.
+pub fn schedule_large() -> Benchmark {
+    Benchmark {
+        name: "schedule (large input)",
+        source: SCHEDULE_SOURCE,
+        entry: "main",
+        fault: schedule_fault(),
+        trusted_lines: Vec::new(),
+        test_inputs: vec![vec![4, 9, 8, 7], vec![4, 1, 2, 3], vec![3, 5, 5, 5]],
+        reduction: "DS",
+        concretize: Vec::new(),
+        unwind: 10,
+        width: 16,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// schedule2 analogue
+// ---------------------------------------------------------------------------
+
+/// `schedule2` analogue: a round-robin style scheduler where the quantum
+/// accounting carries a wrong-operator fault.
+pub const SCHEDULE2_SOURCE: &str = "\
+int remaining[4];
+int run_quantum(int pid, int quantum) {
+    int left = remaining[pid] - quantum;
+    if (left < 0) {
+        left = 0;
+    }
+    remaining[pid] = left;
+    return left;
+}
+int main(int r0, int r1, int r2, int r3, int quantum) {
+    assume(r0 >= 0 && r0 < 12);
+    assume(r1 >= 0 && r1 < 12);
+    assume(r2 >= 0 && r2 < 12);
+    assume(r3 >= 0 && r3 < 12);
+    assume(quantum >= 1 && quantum <= 4);
+    remaining[0] = r0;
+    remaining[1] = r1;
+    remaining[2] = r2;
+    remaining[3] = r3;
+    int rounds = 0;
+    int active = 1;
+    while (active != 0 && rounds < 6) {
+        active = 0;
+        int pid = 0;
+        while (pid < 4) {
+            int left = run_quantum(pid, quantum);
+            if (left > 0) {
+                active = 1;
+            }
+            pid = pid + 1;
+        }
+        rounds = rounds + 1;
+    }
+    return rounds;
+}
+";
+
+/// Builds the schedule2 benchmark description.
+pub fn schedule2() -> Benchmark {
+    let fault_line = line_containing(SCHEDULE2_SOURCE, "if (left > 0) {");
+    Benchmark {
+        name: "schedule2",
+        source: SCHEDULE2_SOURCE,
+        entry: "main",
+        fault: FaultyVersion {
+            name: "schedule2-f1",
+            // `>` becomes `>=`: finished processes keep the scheduler alive
+            // for extra rounds.
+            spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+                line: fault_line,
+                occurrence: 0,
+                new_op: minic::BinOp::Ge,
+            }]),
+            faulty_lines: vec![fault_line],
+            error_count: 1,
+            error_type: ErrorType::Op,
+        },
+        trusted_lines: Vec::new(),
+        test_inputs: vec![
+            vec![2, 0, 0, 0, 2],
+            vec![4, 3, 2, 1, 2],
+            vec![1, 1, 1, 1, 1],
+            vec![6, 0, 3, 0, 3],
+        ],
+        reduction: "S",
+        concretize: Vec::new(),
+        unwind: 7,
+        width: 16,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// strncat off-by-one demo (Program 2, Sec. 6.3)
+// ---------------------------------------------------------------------------
+
+/// The strncat off-by-one demo. `copy_into` plays the role of `MyFunCopy`,
+/// `strncat_impl` is the trusted library routine that writes the terminating
+/// zero one position past the copied characters.
+pub const STRNCAT_SOURCE: &str = "\
+int buf[15];
+int src[15];
+int strncat_impl(int dest_len, int n) {
+    int i = 0;
+    while (i < n) {
+        buf[dest_len + i] = src[i];
+        i = i + 1;
+    }
+    buf[dest_len + i] = 0;
+    return dest_len + i;
+}
+int copy_into(int len) {
+    assume(len >= 0 && len <= 15);
+    return strncat_impl(0, 15);
+}
+int main(int len) {
+    return copy_into(len);
+}
+";
+
+/// Builds the strncat benchmark: the last argument of `strncat_impl` should
+/// be `SIZE - 1 = 14`, not `15`, because the library writes one byte past the
+/// copied region. The library lines are trusted (hard), exactly as in the
+/// paper's experiment.
+pub fn strncat_demo() -> Benchmark {
+    let call_line = line_containing(STRNCAT_SOURCE, "return strncat_impl(0, 15);");
+    // The library body: every line of strncat_impl.
+    let trusted: Vec<Line> = [
+        "int i = 0;",
+        "while (i < n) {",
+        "buf[dest_len + i] = src[i];",
+        "i = i + 1;",
+        "buf[dest_len + i] = 0;",
+        "return dest_len + i;",
+    ]
+    .iter()
+    .map(|p| line_containing(STRNCAT_SOURCE, p))
+    .collect();
+    Benchmark {
+        name: "strncat",
+        source: STRNCAT_SOURCE,
+        entry: "main",
+        fault: FaultyVersion {
+            name: "strncat-f1",
+            // The *source as written* already contains the bug (the paper's
+            // Program 2 is presented buggy); the "fault" is the identity so
+            // that `faulty_program()` returns it unchanged.
+            spec: FaultSpec::Mutations(vec![]),
+            faulty_lines: vec![call_line],
+            error_count: 1,
+            error_type: ErrorType::Const,
+        },
+        trusted_lines: trusted,
+        test_inputs: vec![vec![15], vec![3]],
+        reduction: "-",
+        concretize: Vec::new(),
+        unwind: 16,
+        width: 16,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// squareroot (Program 3, Sec. 6.4)
+// ---------------------------------------------------------------------------
+
+/// The nearest-integer square-root program of Sec. 6.4, with its bug: the
+/// post-loop assignment forgets the `- 1`.
+pub const SQUAREROOT_SOURCE: &str = "\
+int squareroot(int val) {
+    assume(val == 50);
+    int i = 1;
+    int v = 0;
+    int res = 0;
+    while (v < val) {
+        v = v + 2 * i + 1;
+        i = i + 1;
+    }
+    res = i;
+    assert(res * res <= val && (res + 1) * (res + 1) > val);
+    return res;
+}
+";
+
+/// Builds the square-root benchmark (the source is already the buggy version,
+/// as printed in the paper; the correct statement would be `res = i - 1;`).
+pub fn squareroot() -> Benchmark {
+    let fault_line = line_containing(SQUAREROOT_SOURCE, "res = i;");
+    Benchmark {
+        name: "squareroot",
+        source: SQUAREROOT_SOURCE,
+        entry: "squareroot",
+        fault: FaultyVersion {
+            name: "squareroot-f1",
+            spec: FaultSpec::Mutations(vec![]),
+            faulty_lines: vec![fault_line],
+            error_count: 1,
+            error_type: ErrorType::Code,
+        },
+        trusted_lines: Vec::new(),
+        test_inputs: vec![vec![50]],
+        reduction: "-",
+        concretize: Vec::new(),
+        unwind: 10,
+        width: 16,
+    }
+}
+
+/// The benchmarks that populate Table 3, in the paper's row order.
+pub fn table3_benchmarks() -> Vec<Benchmark> {
+    vec![
+        totinfo(),
+        printtokens(),
+        schedule_small(),
+        schedule_large(),
+        schedule2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::check_program;
+
+    fn check(benchmark: &Benchmark) {
+        let program = benchmark.program();
+        let errors = check_program(&program);
+        assert!(errors.is_empty(), "{}: {errors:?}", benchmark.name);
+        let faulty = benchmark.faulty_program();
+        let errors = check_program(&faulty);
+        assert!(errors.is_empty(), "faulty {}: {errors:?}", benchmark.name);
+    }
+
+    #[test]
+    fn all_benchmarks_parse_and_typecheck() {
+        for benchmark in table3_benchmarks() {
+            check(&benchmark);
+        }
+        check(&strncat_demo());
+        check(&squareroot());
+    }
+
+    #[test]
+    fn table3_faults_are_detected_by_their_test_pools() {
+        for benchmark in table3_benchmarks() {
+            let failing = benchmark.failing_inputs();
+            assert!(
+                !failing.is_empty(),
+                "{}: no failing inputs in the pool",
+                benchmark.name
+            );
+        }
+    }
+
+    #[test]
+    fn correct_versions_have_golden_outputs_for_every_test() {
+        for benchmark in table3_benchmarks() {
+            for input in &benchmark.test_inputs {
+                assert!(
+                    benchmark.golden_output(input).is_some(),
+                    "{}: correct program fails on {:?}",
+                    benchmark.name,
+                    input
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strncat_demo_overflows_the_buffer() {
+        let benchmark = strncat_demo();
+        let program = benchmark.faulty_program();
+        let outcome = bmc::run_program(
+            &program,
+            benchmark.entry,
+            &[15],
+            &[],
+            bmc::InterpConfig {
+                width: 16,
+                max_steps: 100_000,
+            },
+        );
+        assert!(outcome.is_failure(), "{outcome:?}");
+        assert_eq!(
+            outcome.violation.unwrap().kind,
+            bmc::ViolationKind::ArrayBounds
+        );
+    }
+
+    #[test]
+    fn squareroot_assertion_fails_for_50() {
+        let benchmark = squareroot();
+        let outcome = bmc::run_program(
+            &benchmark.program(),
+            benchmark.entry,
+            &[50],
+            &[],
+            bmc::InterpConfig {
+                width: 16,
+                max_steps: 100_000,
+            },
+        );
+        assert!(outcome.is_failure(), "{outcome:?}");
+        assert_eq!(
+            outcome.violation.unwrap().kind,
+            bmc::ViolationKind::AssertionFailure
+        );
+    }
+
+    #[test]
+    fn schedule_large_trace_is_longer_than_small() {
+        let small = schedule_small();
+        let large = schedule_large();
+        let config = bmc::InterpConfig {
+            width: 16,
+            max_steps: 200_000,
+        };
+        let steps_small =
+            bmc::run_program(&small.program(), small.entry, &small.test_inputs[0], &[], config).steps;
+        let steps_large =
+            bmc::run_program(&large.program(), large.entry, &large.test_inputs[0], &[], config).steps;
+        assert!(steps_large > steps_small);
+    }
+}

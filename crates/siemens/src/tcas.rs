@@ -1,0 +1,638 @@
+//! The TCAS aircraft collision-avoidance benchmark (Sec. 6.1 / Table 1 of the
+//! paper), ported from the Siemens suite's `tcas.c` resolution logic to MinC.
+//!
+//! The port keeps the original decision structure — `Inhibit_Biased_Climb`,
+//! the non-crossing climb/descend advisories, the threat predicates and the
+//! `alt_sep_test` driver — so the fault catalogue can inject the same kinds
+//! of mutations the Siemens versions contain (operator confusion, wrong
+//! constants, negated branches, wrong initialization, wrong array index,
+//! extra code). The original 1608-vector test pool is not redistributable;
+//! [`tcas_test_vectors`] generates a deterministic seeded pool over the same
+//! input domains instead, and golden outputs come from running the unmutated
+//! program (exactly how the paper derives its surrogate specification).
+
+use crate::faults::{line_containing, ErrorType, FaultSpec, FaultyVersion};
+use bmc::{run_program, InterpConfig};
+use minic::ast::Line;
+use minic::{parse_expr, parse_program, Mutation, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Advisory values returned by `alt_sep_test`.
+pub mod advisory {
+    /// No resolution advisory.
+    pub const UNRESOLVED: i64 = 0;
+    /// Climb advisory.
+    pub const UPWARD_RA: i64 = 1;
+    /// Descend advisory.
+    pub const DOWNWARD_RA: i64 = 2;
+}
+
+/// The MinC source of the (correct) TCAS resolution logic.
+pub const TCAS_SOURCE: &str = "\
+int Cur_Vertical_Sep;
+int High_Confidence;
+int Two_of_Three_Reports_Valid;
+int Own_Tracked_Alt;
+int Own_Tracked_Alt_Rate;
+int Other_Tracked_Alt;
+int Alt_Layer_Value;
+int Positive_RA_Alt_Thresh[4];
+int Up_Separation;
+int Down_Separation;
+int Other_RAC;
+int Other_Capability;
+int Climb_Inhibit;
+void initialize() {
+    Positive_RA_Alt_Thresh[0] = 400;
+    Positive_RA_Alt_Thresh[1] = 500;
+    Positive_RA_Alt_Thresh[2] = 640;
+    Positive_RA_Alt_Thresh[3] = 740;
+    return;
+}
+int ALIM() {
+    return Positive_RA_Alt_Thresh[Alt_Layer_Value];
+}
+int Inhibit_Biased_Climb() {
+    return Climb_Inhibit != 0 ? Up_Separation + 100 : Up_Separation;
+}
+int Own_Below_Threat() {
+    return Own_Tracked_Alt < Other_Tracked_Alt;
+}
+int Own_Above_Threat() {
+    return Other_Tracked_Alt < Own_Tracked_Alt;
+}
+int Non_Crossing_Biased_Climb() {
+    int upward_preferred = Inhibit_Biased_Climb() > Down_Separation;
+    int result = 0;
+    if (upward_preferred != 0) {
+        result = !Own_Below_Threat() || !(Down_Separation >= ALIM());
+    } else {
+        result = Own_Above_Threat() && (Cur_Vertical_Sep >= 300) && (Up_Separation >= ALIM());
+    }
+    return result;
+}
+int Non_Crossing_Biased_Descend() {
+    int upward_preferred = Inhibit_Biased_Climb() > Down_Separation;
+    int result = 0;
+    if (upward_preferred != 0) {
+        result = Own_Below_Threat() && (Cur_Vertical_Sep >= 300) && (Down_Separation >= ALIM());
+    } else {
+        result = !Own_Above_Threat() || (Own_Above_Threat() && (Up_Separation >= ALIM()));
+    }
+    return result;
+}
+int alt_sep_test() {
+    int enabled = High_Confidence != 0 && (Own_Tracked_Alt_Rate <= 600) && (Cur_Vertical_Sep > 600);
+    int tcas_equipped = Other_Capability == 1;
+    int intent_not_known = Two_of_Three_Reports_Valid != 0 && (Other_RAC == 0);
+    int alt_sep = 0;
+    int need_upward_RA = 0;
+    int need_downward_RA = 0;
+    if (enabled != 0 && ((tcas_equipped != 0 && intent_not_known != 0) || tcas_equipped == 0)) {
+        need_upward_RA = Non_Crossing_Biased_Climb() && Own_Below_Threat();
+        need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();
+        if (need_upward_RA != 0 && need_downward_RA != 0) {
+            alt_sep = 0;
+        } else {
+            if (need_upward_RA != 0) {
+                alt_sep = 1;
+            } else {
+                if (need_downward_RA != 0) {
+                    alt_sep = 2;
+                } else {
+                    alt_sep = 0;
+                }
+            }
+        }
+    }
+    return alt_sep;
+}
+int main(int cvs, int hc, int ttrv, int ota, int otar, int otra, int alv, int us, int ds, int orac, int ocap, int ci) {
+    Cur_Vertical_Sep = cvs;
+    High_Confidence = hc;
+    Two_of_Three_Reports_Valid = ttrv;
+    Own_Tracked_Alt = ota;
+    Own_Tracked_Alt_Rate = otar;
+    Other_Tracked_Alt = otra;
+    Alt_Layer_Value = alv;
+    Up_Separation = us;
+    Down_Separation = ds;
+    Other_RAC = orac;
+    Other_Capability = ocap;
+    Climb_Inhibit = ci;
+    initialize();
+    return alt_sep_test();
+}
+";
+
+/// Name of the entry function.
+pub const TCAS_ENTRY: &str = "main";
+
+/// Number of input parameters.
+pub const TCAS_ARITY: usize = 12;
+
+/// Parses the correct TCAS program.
+pub fn tcas_program() -> Program {
+    parse_program(TCAS_SOURCE).expect("the TCAS benchmark source parses")
+}
+
+/// The lines of `main` that copy the test inputs into the globals. They play
+/// the role of the paper's hard input constraints and must never be blamed.
+pub fn tcas_trusted_lines() -> Vec<Line> {
+    [
+        "Cur_Vertical_Sep = cvs;",
+        "High_Confidence = hc;",
+        "Two_of_Three_Reports_Valid = ttrv;",
+        "Own_Tracked_Alt = ota;",
+        "Own_Tracked_Alt_Rate = otar;",
+        "Other_Tracked_Alt = otra;",
+        "Alt_Layer_Value = alv;",
+        "Up_Separation = us;",
+        "Down_Separation = ds;",
+        "Other_RAC = orac;",
+        "Other_Capability = ocap;",
+        "Climb_Inhibit = ci;",
+        "initialize();",
+        "return alt_sep_test();",
+    ]
+    .iter()
+    .map(|p| line_containing(TCAS_SOURCE, p))
+    .collect()
+}
+
+fn line(pattern: &str) -> Line {
+    line_containing(TCAS_SOURCE, pattern)
+}
+
+/// The injected-fault versions of the TCAS benchmark (analogous to the
+/// Siemens v1…v41 pool; one representative per fault flavour plus several
+/// operator/constant variants, 20 versions in total).
+pub fn tcas_versions() -> Vec<FaultyVersion> {
+    use minic::BinOp;
+    let mut versions = Vec::new();
+
+    // ---- const faults ------------------------------------------------------
+    // v1: the paper's Figure 2 fault — the climb-inhibit bias 100 becomes 300.
+    versions.push(FaultyVersion {
+        name: "v1",
+        spec: FaultSpec::Mutations(vec![Mutation::SetConstant {
+            line: line("Up_Separation + 100"),
+            occurrence: 0,
+            value: 300,
+        }]),
+        faulty_lines: vec![line("Up_Separation + 100")],
+        error_count: 1,
+        error_type: ErrorType::Const,
+    });
+    // v2: wrong resolution-advisory altitude threshold for layer 0.
+    // (The MINSEP comparisons are untouchable here: the enablement check
+    // already forces Cur_Vertical_Sep > 600, so mutating the 300 constant
+    // would be an equivalent mutant.)
+    versions.push(FaultyVersion {
+        name: "v2",
+        spec: FaultSpec::Mutations(vec![Mutation::SetConstant {
+            line: line("Positive_RA_Alt_Thresh[0] = 400;"),
+            occurrence: 1,
+            value: 300,
+        }]),
+        faulty_lines: vec![line("Positive_RA_Alt_Thresh[0] = 400;")],
+        error_count: 1,
+        error_type: ErrorType::Const,
+    });
+    // v3: off-by-something in the enablement altitude-rate threshold.
+    // (Constants on that line in walk order: the `!= 0`, then `<= 600`,
+    // then `> 600`.)
+    versions.push(FaultyVersion {
+        name: "v3",
+        spec: FaultSpec::Mutations(vec![Mutation::SetConstant {
+            line: line("Own_Tracked_Alt_Rate <= 600"),
+            occurrence: 1,
+            value: 700,
+        }]),
+        faulty_lines: vec![line("Own_Tracked_Alt_Rate <= 600")],
+        error_count: 1,
+        error_type: ErrorType::Const,
+    });
+    // v4: MAXALTDIFF 600 -> 540 in the enablement check.
+    versions.push(FaultyVersion {
+        name: "v4",
+        spec: FaultSpec::Mutations(vec![Mutation::SetConstant {
+            line: line("Cur_Vertical_Sep > 600"),
+            occurrence: 2,
+            value: 540,
+        }]),
+        faulty_lines: vec![line("Cur_Vertical_Sep > 600")],
+        error_count: 1,
+        error_type: ErrorType::Const,
+    });
+    // v5: wrong resolution-advisory altitude threshold for layer 3.
+    versions.push(FaultyVersion {
+        name: "v5",
+        spec: FaultSpec::Mutations(vec![Mutation::SetConstant {
+            line: line("Positive_RA_Alt_Thresh[3] = 740;"),
+            occurrence: 1,
+            value: 600,
+        }]),
+        faulty_lines: vec![line("Positive_RA_Alt_Thresh[3] = 740;")],
+        error_count: 1,
+        error_type: ErrorType::Const,
+    });
+
+    // ---- op faults ---------------------------------------------------------
+    // v6: `>=` confused with `>` in the climb advisory ALIM comparison.
+    versions.push(FaultyVersion {
+        name: "v6",
+        spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+            line: line("result = !Own_Below_Threat() || !(Down_Separation >= ALIM())"),
+            occurrence: 1,
+            new_op: BinOp::Gt,
+        }]),
+        faulty_lines: vec![line("result = !Own_Below_Threat() || !(Down_Separation >= ALIM())")],
+        error_count: 1,
+        error_type: ErrorType::Op,
+    });
+    // v7: `>` confused with `>=` in Inhibit_Biased_Climb vs Down_Separation.
+    versions.push(FaultyVersion {
+        name: "v7",
+        spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+            line: line("int upward_preferred = Inhibit_Biased_Climb() > Down_Separation;"),
+            occurrence: 0,
+            new_op: BinOp::Ge,
+        }]),
+        faulty_lines: vec![line("int upward_preferred = Inhibit_Biased_Climb() > Down_Separation;")],
+        error_count: 1,
+        error_type: ErrorType::Op,
+    });
+    // v8: `<` confused with `<=` in Own_Below_Threat.
+    versions.push(FaultyVersion {
+        name: "v8",
+        spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+            line: line("return Own_Tracked_Alt < Other_Tracked_Alt;"),
+            occurrence: 0,
+            new_op: BinOp::Le,
+        }]),
+        faulty_lines: vec![line("return Own_Tracked_Alt < Other_Tracked_Alt;")],
+        error_count: 1,
+        error_type: ErrorType::Op,
+    });
+    // v9: `<` confused with `>` in Own_Above_Threat.
+    versions.push(FaultyVersion {
+        name: "v9",
+        spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+            line: line("return Other_Tracked_Alt < Own_Tracked_Alt;"),
+            occurrence: 0,
+            new_op: BinOp::Le,
+        }]),
+        faulty_lines: vec![line("return Other_Tracked_Alt < Own_Tracked_Alt;")],
+        error_count: 1,
+        error_type: ErrorType::Op,
+    });
+    // v10: `<=` confused with `<` in the enablement check. (Operators on
+    // that line in walk order: the two `&&`, then `!=`, `<=`, `>`.)
+    versions.push(FaultyVersion {
+        name: "v10",
+        spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+            line: line("Own_Tracked_Alt_Rate <= 600"),
+            occurrence: 3,
+            new_op: BinOp::Lt,
+        }]),
+        faulty_lines: vec![line("Own_Tracked_Alt_Rate <= 600")],
+        error_count: 1,
+        error_type: ErrorType::Op,
+    });
+    // v11: `||` confused with `&&` in the descend advisory's else branch.
+    // (The climb/descend then-branches are shielded by the threat predicates
+    // — the paper makes the same observation for Non_Crossing_Biased_Climb —
+    // so the fault goes into the observable else branch.)
+    versions.push(FaultyVersion {
+        name: "v11",
+        spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+            line: line("result = !Own_Above_Threat() || (Own_Above_Threat() && (Up_Separation >= ALIM()));"),
+            occurrence: 0,
+            new_op: BinOp::And,
+        }]),
+        faulty_lines: vec![line("result = !Own_Above_Threat() || (Own_Above_Threat() && (Up_Separation >= ALIM()));")],
+        error_count: 1,
+        error_type: ErrorType::Op,
+    });
+    // v12: equality against the wrong capability constant comparison operator.
+    versions.push(FaultyVersion {
+        name: "v12",
+        spec: FaultSpec::Mutations(vec![Mutation::ReplaceOperator {
+            line: line("int tcas_equipped = Other_Capability == 1;"),
+            occurrence: 0,
+            new_op: BinOp::Ne,
+        }]),
+        faulty_lines: vec![line("int tcas_equipped = Other_Capability == 1;")],
+        error_count: 1,
+        error_type: ErrorType::Op,
+    });
+
+    // ---- branch faults -----------------------------------------------------
+    // v13: negated branch on upward_preferred in the climb advisory.
+    versions.push(FaultyVersion {
+        name: "v13",
+        spec: FaultSpec::Patch {
+            from: "    if (upward_preferred != 0) {\n        result = !Own_Below_Threat() || !(Down_Separation >= ALIM());",
+            to: "    if (!(upward_preferred != 0)) {\n        result = !Own_Below_Threat() || !(Down_Separation >= ALIM());",
+        },
+        faulty_lines: vec![Line(line("int Non_Crossing_Biased_Climb() {").0 + 3)],
+        error_count: 1,
+        error_type: ErrorType::Branch,
+    });
+    // v14: negated enablement condition.
+    versions.push(FaultyVersion {
+        name: "v14",
+        spec: FaultSpec::Patch {
+            from: "if (enabled != 0 && ((tcas_equipped != 0 && intent_not_known != 0) || tcas_equipped == 0)) {",
+            to: "if (!(enabled != 0 && ((tcas_equipped != 0 && intent_not_known != 0) || tcas_equipped == 0))) {",
+        },
+        faulty_lines: vec![line("if (enabled != 0 && ((tcas_equipped != 0")],
+        error_count: 1,
+        error_type: ErrorType::Branch,
+    });
+
+    // ---- init faults -------------------------------------------------------
+    // v15: wrong threshold table entry (mirrors the real suite's init faults).
+    versions.push(FaultyVersion {
+        name: "v15",
+        spec: FaultSpec::Mutations(vec![Mutation::SetConstant {
+            line: line("Positive_RA_Alt_Thresh[2] = 640;"),
+            occurrence: 1,
+            value: 540,
+        }]),
+        faulty_lines: vec![line("Positive_RA_Alt_Thresh[2] = 640;")],
+        error_count: 1,
+        error_type: ErrorType::Init,
+    });
+    // v16: alt_sep initialized to a non-UNRESOLVED value.
+    versions.push(FaultyVersion {
+        name: "v16",
+        spec: FaultSpec::Mutations(vec![Mutation::SetConstant {
+            line: line("int alt_sep = 0;"),
+            occurrence: 0,
+            value: 2,
+        }]),
+        faulty_lines: vec![line("int alt_sep = 0;")],
+        error_count: 1,
+        error_type: ErrorType::Init,
+    });
+
+    // ---- index fault -------------------------------------------------------
+    // v17: threshold written to the wrong table slot.
+    versions.push(FaultyVersion {
+        name: "v17",
+        spec: FaultSpec::Mutations(vec![Mutation::BumpConstant {
+            line: line("Positive_RA_Alt_Thresh[1] = 500;"),
+            occurrence: 0,
+            delta: 1,
+        }]),
+        faulty_lines: vec![line("Positive_RA_Alt_Thresh[1] = 500;")],
+        error_count: 1,
+        error_type: ErrorType::Index,
+    });
+
+    // ---- assign fault ------------------------------------------------------
+    // v18: need_downward_RA ignores the descend advisory entirely.
+    versions.push(FaultyVersion {
+        name: "v18",
+        spec: FaultSpec::Mutations(vec![Mutation::ReplaceAssignValue {
+            line: line("need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();"),
+            value: parse_expr("Own_Above_Threat()").expect("expression parses"),
+        }]),
+        faulty_lines: vec![line("need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();")],
+        error_count: 1,
+        error_type: ErrorType::Assign,
+    });
+
+    // ---- code / addcode faults ---------------------------------------------
+    // v19: logical coding bug — the descend advisory's else-branch drops the
+    // ALIM comparison entirely, making the advisory unconditionally allowed.
+    versions.push(FaultyVersion {
+        name: "v19",
+        spec: FaultSpec::Patch {
+            from: "result = !Own_Above_Threat() || (Own_Above_Threat() && (Up_Separation >= ALIM()));",
+            to: "result = !Own_Above_Threat() || Own_Above_Threat();",
+        },
+        faulty_lines: vec![line("result = !Own_Above_Threat() || (Own_Above_Threat() && (Up_Separation >= ALIM()));")],
+        error_count: 1,
+        error_type: ErrorType::Code,
+    });
+    // v20: extra code fragment biases Down_Separation before the comparison.
+    versions.push(FaultyVersion {
+        name: "v20",
+        spec: FaultSpec::Patch {
+            from: "int alt_sep_test() {\n    int enabled =",
+            to: "int alt_sep_test() {\n    Down_Separation = Down_Separation + 60; int enabled =",
+        },
+        faulty_lines: vec![Line(line("int alt_sep_test() {").0 + 1)],
+        error_count: 1,
+        error_type: ErrorType::AddCode,
+    });
+
+    versions
+}
+
+/// Generates a deterministic pool of TCAS input vectors over the same domains
+/// the Siemens pool covers (the original vectors are not redistributable).
+///
+/// Like the original pool, the generator is biased towards boundary values —
+/// separations equal to the resolution-advisory thresholds, altitude rates at
+/// the enablement limit, equal own/other altitudes — because that is where
+/// the injected operator and off-by-one faults become observable.
+pub fn tcas_test_vectors(count: usize, seed: u64) -> Vec<Vec<i64>> {
+    const THRESHOLDS: [i64; 4] = [400, 500, 640, 740];
+    // A small crafted prefix systematically covers the advisory boundaries
+    // (each altitude layer, separations at/just under the layer threshold,
+    // own aircraft below and above the threat, climb inhibit on and off) so
+    // that every injected fault in the catalogue has killing tests, just as
+    // the hand-written Siemens pool does.
+    let mut crafted: Vec<Vec<i64>> = Vec::new();
+    for alv in 0..4i64 {
+        let threshold = THRESHOLDS[alv as usize];
+        for offset in [-1i64, 0, -80] {
+            for below in [true, false] {
+                for ci in [0i64, 1] {
+                    let (own_alt, other_alt) = if below { (4000, 4500) } else { (4500, 4000) };
+                    let sep = threshold + offset;
+                    crafted.push(vec![
+                        601,       // Cur_Vertical_Sep: just over MAXALTDIFF
+                        1,         // High_Confidence
+                        1,         // Two_of_Three_Reports_Valid
+                        own_alt,   // Own_Tracked_Alt
+                        600,       // Own_Tracked_Alt_Rate: at the OLEV bound
+                        other_alt, // Other_Tracked_Alt
+                        alv,       // Alt_Layer_Value
+                        sep,       // Up_Separation
+                        sep + 100 * ci, // Down_Separation: ties with the biased climb
+                        0,         // Other_RAC
+                        1,         // Other_Capability
+                        ci,        // Climb_Inhibit
+                    ]);
+                    crafted.push(vec![
+                        700, 1, 1, own_alt, 599, other_alt, alv, sep + 120, sep, 0, 2, ci,
+                    ]);
+                }
+            }
+        }
+    }
+    crafted.truncate(count);
+    let remaining = count - crafted.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut separation = |rng: &mut StdRng| -> i64 {
+        match rng.gen_range(0..5) {
+            0 => THRESHOLDS[rng.gen_range(0..4)] + rng.gen_range(-1..=1),
+            1 => THRESHOLDS[rng.gen_range(0..4)],
+            2 => THRESHOLDS[rng.gen_range(0..4)] - rng.gen_range(1..130),
+            _ => rng.gen_range(0..1000),
+        }
+    };
+    let random = (0..remaining)
+        .map(|_| {
+            let own_alt = rng.gen_range(500..9000);
+            // Other altitude is frequently close to (or exactly at) our own.
+            let other_alt = match rng.gen_range(0..4) {
+                0 => own_alt,
+                1 => own_alt + rng.gen_range(-3..=3),
+                _ => rng.gen_range(500..9000),
+            };
+            let alt_rate = if rng.gen_bool(0.3) {
+                600 + rng.gen_range(-1..=1)
+            } else {
+                rng.gen_range(0..1200)
+            };
+            let cvs = if rng.gen_bool(0.3) {
+                600 + rng.gen_range(-1..=2)
+            } else {
+                rng.gen_range(0..1200)
+            };
+            let up_sep = separation(&mut rng);
+            // Down separation is often tied to the (possibly biased) up
+            // separation so that the climb/descend preference flips.
+            let down_sep = match rng.gen_range(0..4) {
+                0 => up_sep,
+                1 => up_sep + 100,
+                _ => separation(&mut rng),
+            };
+            vec![
+                cvs,                      // Cur_Vertical_Sep
+                i64::from(rng.gen_bool(0.7)), // High_Confidence
+                rng.gen_range(0..=1),     // Two_of_Three_Reports_Valid
+                own_alt,                  // Own_Tracked_Alt
+                alt_rate,                 // Own_Tracked_Alt_Rate
+                other_alt,                // Other_Tracked_Alt
+                rng.gen_range(0..=3),     // Alt_Layer_Value
+                up_sep,                   // Up_Separation
+                down_sep,                 // Down_Separation
+                rng.gen_range(0..=3),     // Other_RAC
+                rng.gen_range(1..=2),     // Other_Capability
+                rng.gen_range(0..=1),     // Climb_Inhibit
+            ]
+        });
+    crafted.extend(random);
+    crafted
+}
+
+/// Interpreter configuration used for TCAS (values stay well inside 16 bits).
+pub fn tcas_interp_config() -> InterpConfig {
+    InterpConfig {
+        width: 16,
+        max_steps: 100_000,
+    }
+}
+
+/// Runs the correct TCAS program on one input — the golden output.
+pub fn tcas_golden_output(input: &[i64]) -> i64 {
+    let program = tcas_program();
+    run_program(&program, TCAS_ENTRY, input, &[], tcas_interp_config())
+        .result
+        .expect("the correct TCAS program always returns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::check_program;
+
+    #[test]
+    fn base_program_parses_and_typechecks() {
+        let program = tcas_program();
+        let errors = check_program(&program);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(program.function(TCAS_ENTRY).unwrap().params.len(), TCAS_ARITY);
+    }
+
+    #[test]
+    fn golden_outputs_are_valid_advisories() {
+        for input in tcas_test_vectors(50, 1) {
+            let out = tcas_golden_output(&input);
+            assert!(
+                [advisory::UNRESOLVED, advisory::UPWARD_RA, advisory::DOWNWARD_RA].contains(&out),
+                "unexpected advisory {out} for {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_outputs_exercise_all_advisories() {
+        let vectors = tcas_test_vectors(400, 7);
+        let outputs: Vec<i64> = vectors.iter().map(|v| tcas_golden_output(v)).collect();
+        assert!(outputs.contains(&advisory::UNRESOLVED));
+        assert!(outputs.contains(&advisory::UPWARD_RA));
+        assert!(outputs.contains(&advisory::DOWNWARD_RA));
+    }
+
+    #[test]
+    fn every_version_builds_and_differs_from_base() {
+        let base = tcas_program();
+        for version in tcas_versions() {
+            let faulty = version.build(TCAS_SOURCE);
+            assert_ne!(faulty, base, "version {} must change the program", version.name);
+            assert!(!version.faulty_lines.is_empty());
+            assert!(version.error_count >= 1);
+        }
+    }
+
+    #[test]
+    fn every_version_fails_some_test() {
+        let vectors = tcas_test_vectors(1200, 42);
+        let golden: Vec<i64> = vectors.iter().map(|v| tcas_golden_output(v)).collect();
+        for version in tcas_versions() {
+            let faulty = version.build(TCAS_SOURCE);
+            let failing = vectors
+                .iter()
+                .zip(&golden)
+                .filter(|(input, expected)| {
+                    let out = run_program(&faulty, TCAS_ENTRY, input, &[], tcas_interp_config());
+                    out.result != Some(**expected) || !out.is_ok()
+                })
+                .count();
+            assert!(
+                failing > 0,
+                "version {} is not detected by the generated pool",
+                version.name
+            );
+        }
+    }
+
+    #[test]
+    fn trusted_lines_cover_the_input_copies() {
+        let trusted = tcas_trusted_lines();
+        assert_eq!(trusted.len(), 14);
+        let program = tcas_program();
+        let all_lines = program.statement_lines();
+        for line in &trusted {
+            assert!(all_lines.contains(line), "{line} is not a statement line");
+        }
+    }
+
+    #[test]
+    fn test_vectors_are_deterministic() {
+        assert_eq!(tcas_test_vectors(10, 3), tcas_test_vectors(10, 3));
+        assert_eq!(tcas_test_vectors(200, 3), tcas_test_vectors(200, 3));
+        // Beyond the crafted boundary prefix the pool is seed-dependent.
+        assert_ne!(tcas_test_vectors(200, 3), tcas_test_vectors(200, 4));
+        assert!(tcas_test_vectors(200, 3).iter().all(|v| v.len() == TCAS_ARITY));
+    }
+}

@@ -1,0 +1,48 @@
+//! Loop debugging (Program 3, Sec. 6.4): the integer square-root function
+//! whose bug (a missing `- 1` after the loop) only becomes understandable by
+//! looking at a specific loop iteration. Weighted per-iteration selectors
+//! point at the earliest iteration that can reproduce the failure.
+//!
+//! Run with: `cargo run --example loop_debugging --release`
+
+use bmc::{EncodeConfig, Spec};
+use bugassist::{localize_faulty_iteration, LocalizerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = siemens::squareroot();
+    let program = benchmark.program();
+    println!("program:\n{}", minic::pretty_program(&program));
+
+    let config = LocalizerConfig {
+        encode: EncodeConfig {
+            width: benchmark.width,
+            unwind: benchmark.unwind,
+            max_inline_depth: 8,
+            concretize: Vec::new(),
+        },
+        max_suspect_sets: 6,
+        ..LocalizerConfig::default()
+    };
+    let loop_report = localize_faulty_iteration(
+        &program,
+        benchmark.entry,
+        &Spec::Assertions,
+        &benchmark.test_inputs[0],
+        &config,
+    )?;
+
+    println!(
+        "suspect lines: {:?}",
+        loop_report.report.suspect_lines.iter().map(|l| l.0).collect::<Vec<_>>()
+    );
+    println!("blamed loop instances (line, iteration): {:?}",
+        loop_report.blamed_iterations.iter().map(|(l, k)| (l.0, *k)).collect::<Vec<_>>());
+    match loop_report.first_faulty_iteration {
+        Some((line, iteration)) => println!(
+            "earliest iteration that can reproduce the failure: iteration {iteration} of the loop at line {}",
+            line.0
+        ),
+        None => println!("no loop instance was blamed"),
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Suggest an off-by-one repair for the strncat buffer-overflow demo
+//! (Program 2, Sec. 6.3 of the paper). Library lines are trusted (hard), so
+//! the blame — and the fix — lands on the caller's length constant.
+//!
+//! Run with: `cargo run --example off_by_one_repair --release`
+
+use bmc::{EncodeConfig, Spec};
+use bugassist::{suggest_repairs, Localizer, LocalizerConfig, RepairConfig, RepairKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = siemens::strncat_demo();
+    let program = benchmark.faulty_program();
+    println!("program under repair:\n{}", minic::pretty_program(&program));
+
+    let localizer_config = LocalizerConfig {
+        encode: EncodeConfig {
+            width: benchmark.width,
+            unwind: benchmark.unwind,
+            max_inline_depth: 8,
+            concretize: Vec::new(),
+        },
+        max_suspect_sets: 6,
+        trusted_lines: benchmark.trusted_lines.clone(),
+        ..LocalizerConfig::default()
+    };
+
+    // Localization first (the library implementation of strncat is trusted).
+    let localizer = Localizer::new(&program, benchmark.entry, &Spec::Assertions, &localizer_config)?;
+    let report = localizer.localize(&benchmark.test_inputs[0])?;
+    println!(
+        "suspect lines: {:?}",
+        report.suspect_lines.iter().map(|l| l.0).collect::<Vec<_>>()
+    );
+
+    // Then the Algorithm 2 search: bump constants at the suspect lines by ±1
+    // and keep the candidates that pass the failing tests and BMC.
+    let repairs = suggest_repairs(
+        &program,
+        benchmark.entry,
+        &Spec::Assertions,
+        &benchmark.test_inputs,
+        &RepairConfig {
+            localizer: localizer_config,
+            kinds: vec![RepairKind::OffByOne],
+            validate_with_bmc: true,
+            max_repairs: 0,
+        },
+    )?;
+    if repairs.is_empty() {
+        println!("no off-by-one repair found");
+    }
+    for repair in &repairs {
+        println!("validated repair: {repair} (BMC verified: {})", repair.bmc_verified);
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # bugassist-suite — umbrella crate for the BugAssist reproduction
+//!
+//! This crate exists to host the runnable [examples](https://github.com/)
+//! (`examples/`) and the cross-crate integration tests (`tests/`) of the
+//! workspace. It simply re-exports the member crates so the examples can use
+//! one coherent namespace; library users should depend on the individual
+//! crates (`bugassist`, `bmc`, `maxsat`, `sat`, `minic`, `bitblast`,
+//! `siemens`, `baselines`) directly.
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use bitblast;
+pub use bmc;
+pub use bugassist;
+pub use maxsat;
+pub use minic;
+pub use sat;
+pub use siemens;

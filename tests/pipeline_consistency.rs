@@ -1,0 +1,137 @@
+//! Cross-crate consistency checks: the concrete interpreter, the symbolic
+//! encoder and the localizer must agree about which tests fail and why, on
+//! the benchmark programs shipped with the workspace.
+
+use bmc::{EncodeConfig, InterpConfig, Spec};
+use bugassist::{Localizer, LocalizerConfig};
+use sat::{SatResult, Solver};
+
+/// For a sample of TCAS vectors, the symbolic encoding (with the input fixed
+/// as hard unit clauses) must judge the golden-output property exactly like
+/// the concrete interpreter does.
+#[test]
+fn symbolic_and_concrete_tcas_agree() {
+    let program = siemens::tcas_program();
+    let encode = EncodeConfig {
+        width: 16,
+        unwind: 6,
+        max_inline_depth: 8,
+        concretize: Vec::new(),
+    };
+    let vectors = siemens::tcas_test_vectors(12, 99);
+    for input in &vectors {
+        let golden = siemens::tcas_golden_output(input);
+        let trace = bmc::encode_program(&program, siemens::TCAS_ENTRY, &Spec::ReturnEquals(golden), &encode)
+            .expect("TCAS encodes");
+        let mut solver = Solver::from_formula(trace.cnf.formula());
+        let mut assumptions = trace.input_assumption_lits(input);
+        assumptions.push(trace.property);
+        // The correct program always meets its own golden output.
+        assert_eq!(
+            solver.solve_assuming(&assumptions),
+            SatResult::Sat,
+            "correct TCAS disagrees with its golden output on {input:?}"
+        );
+    }
+}
+
+/// Localizing a faulty TCAS version must point at the injected line for at
+/// least one failing vector (spot check of the Table 1 machinery; the full
+/// sweep lives in the `table1` bench binary).
+#[test]
+fn tcas_injected_fault_is_found_for_a_failing_vector() {
+    let version = siemens::tcas_versions()
+        .into_iter()
+        .find(|v| v.name == "v1")
+        .expect("v1 exists");
+    let faulty = version.build(siemens::TCAS_SOURCE);
+    let pool = siemens::tcas_test_vectors(300, 2011);
+    let interp = siemens::tcas_interp_config();
+    let failing = pool
+        .iter()
+        .find(|input| {
+            let golden = siemens::tcas_golden_output(input);
+            let outcome = bmc::run_program(&faulty, siemens::TCAS_ENTRY, input, &[], interp);
+            outcome.result != Some(golden)
+        })
+        .expect("v1 has failing vectors");
+    let golden = siemens::tcas_golden_output(failing);
+    let config = LocalizerConfig {
+        encode: EncodeConfig {
+            width: 16,
+            unwind: 6,
+            max_inline_depth: 8,
+            concretize: Vec::new(),
+        },
+        max_suspect_sets: 24,
+        trusted_lines: siemens::tcas_trusted_lines(),
+        ..LocalizerConfig::default()
+    };
+    let localizer = Localizer::new(&faulty, siemens::TCAS_ENTRY, &Spec::ReturnEquals(golden), &config).unwrap();
+    let report = localizer.localize(failing).unwrap();
+    assert!(
+        version.faulty_lines.iter().any(|l| report.blames_line(*l)),
+        "suspects {:?} do not include the injected line {:?}",
+        report.suspect_lines,
+        version.faulty_lines
+    );
+    // Trusted input-copy lines are never blamed.
+    for line in siemens::tcas_trusted_lines() {
+        assert!(!report.blames_line(line));
+    }
+}
+
+/// The Table 3 trace-reduction machinery must actually shrink the encodings
+/// and keep the injected fault localizable on the reduced program.
+#[test]
+fn trace_reduction_shrinks_the_totinfo_encoding() {
+    let benchmark = siemens::totinfo();
+    let faulty = benchmark.faulty_program();
+    let spec = Spec::ReturnEquals(
+        benchmark
+            .golden_output(&benchmark.test_inputs[0])
+            .expect("golden output exists"),
+    );
+    let encode = EncodeConfig {
+        width: benchmark.width,
+        unwind: benchmark.unwind,
+        max_inline_depth: 16,
+        concretize: Vec::new(),
+    };
+    let before = bmc::encode_program(&faulty, benchmark.entry, &spec, &encode).unwrap();
+    let slice = bmc::backward_slice(&faulty, benchmark.entry, bmc::SliceCriterion::ReturnValue);
+    let reduced = bmc::slice_program(&faulty, &slice);
+    let after = bmc::encode_program(&reduced, benchmark.entry, &spec, &encode).unwrap();
+    assert!(
+        after.stats.clauses < before.stats.clauses,
+        "slicing should remove the statistics-reporting code: {} vs {}",
+        after.stats.clauses,
+        before.stats.clauses
+    );
+    assert!(after.stats.assignments < before.stats.assignments);
+}
+
+/// Every benchmark's faulty version must be observably different from the
+/// correct program under its own test pool, and the interpreter must agree
+/// with the spectrum-baseline classification.
+#[test]
+fn benchmark_pools_expose_their_faults() {
+    for benchmark in siemens::table3_benchmarks() {
+        let failing = benchmark.failing_inputs();
+        assert!(
+            !failing.is_empty(),
+            "{}: the shipped test pool does not expose the fault",
+            benchmark.name
+        );
+        let interp = InterpConfig {
+            width: benchmark.width,
+            max_steps: 200_000,
+        };
+        let faulty = benchmark.faulty_program();
+        let mut spectrum = baselines::SpectrumLocalizer::new();
+        spectrum.add_suite(&faulty, benchmark.entry, &benchmark.test_inputs, |input| {
+            benchmark.golden_output(input)
+        }, interp);
+        assert!(spectrum.failed_runs() >= failing.len());
+    }
+}
