@@ -163,7 +163,11 @@ impl SpectrumLocalizer {
                 ScoredLine { line, score }
             })
             .collect();
-        scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         scored
     }
 
@@ -223,7 +227,10 @@ mod tests {
         .unwrap();
         let suspects = slice_localizer(&program, "testme", SliceCriterion::Assertions);
         assert!(suspects.contains(&Line(6)));
-        assert!(suspects.contains(&Line(8)), "slice keeps the copy statement");
+        assert!(
+            suspects.contains(&Line(8)),
+            "slice keeps the copy statement"
+        );
         assert!(suspects.len() >= 4);
     }
 

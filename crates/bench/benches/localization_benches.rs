@@ -1,44 +1,38 @@
-//! Criterion benchmarks for the end-to-end localization pipeline: the
-//! motivating example (Table 1's unit of work), the clause-grouping ablation
-//! (line-level vs instance-level selectors, E10 in DESIGN.md), and TCAS
-//! trace-formula construction.
+//! Benchmarks for the end-to-end localization pipeline: the motivating
+//! example (Table 1's unit of work), the clause-grouping ablation (line-level
+//! vs instance-level selectors, E10 in DESIGN.md), TCAS trace-formula
+//! construction, and the portfolio/batched solver configurations. Run with
+//! `cargo bench -p bench --bench localization_benches`.
 
+use bench::micro::BenchGroup;
 use bmc::{EncodeConfig, Spec};
 use bugassist::{Granularity, Localizer, LocalizerConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 use siemens::{tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
-use std::time::Duration;
 
 const MOTIVATING: &str = "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}";
 
-fn bench_motivating_example(c: &mut Criterion) {
-    let mut group = c.benchmark_group("localization");
-    group.sample_size(15).measurement_time(Duration::from_secs(5));
+fn bench_motivating_example() {
+    let mut group = BenchGroup::new("localization", 15);
     let program = minic::parse_program(MOTIVATING).unwrap();
     for granularity in [Granularity::Line, Granularity::StatementInstance] {
-        group.bench_function(format!("motivating_example_{granularity:?}"), |b| {
-            let config = LocalizerConfig {
-                encode: EncodeConfig {
-                    width: 8,
-                    ..EncodeConfig::default()
-                },
-                granularity,
-                ..LocalizerConfig::default()
-            };
-            let localizer =
-                Localizer::new(&program, "testme", &Spec::Assertions, &config).unwrap();
-            b.iter(|| {
-                let report = localizer.localize(&[1]).unwrap();
-                assert!(!report.suspects.is_empty());
-            })
+        let config = LocalizerConfig {
+            encode: EncodeConfig {
+                width: 8,
+                ..EncodeConfig::default()
+            },
+            granularity,
+            ..LocalizerConfig::default()
+        };
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config).unwrap();
+        group.bench(&format!("motivating_example_{granularity:?}"), || {
+            let report = localizer.localize(&[1]).unwrap();
+            assert!(!report.suspects.is_empty());
         });
     }
-    group.finish();
 }
 
-fn bench_tcas_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tcas");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+fn bench_tcas_pipeline() {
+    let mut group = BenchGroup::new("tcas", 10);
     let version = tcas_versions().into_iter().next().expect("v1 exists");
     let faulty = version.build(TCAS_SOURCE);
     let encode = EncodeConfig {
@@ -47,47 +41,53 @@ fn bench_tcas_pipeline(c: &mut Criterion) {
         max_inline_depth: 8,
         concretize: Vec::new(),
     };
-    group.bench_function("encode_tcas_trace_formula", |b| {
-        b.iter(|| {
-            let trace =
-                bmc::encode_program(&faulty, TCAS_ENTRY, &Spec::ReturnEquals(2), &encode).unwrap();
-            assert!(trace.stats.clauses > 0);
-        })
+    group.bench("encode_tcas_trace_formula", || {
+        let trace =
+            bmc::encode_program(&faulty, TCAS_ENTRY, &Spec::ReturnEquals(2), &encode).unwrap();
+        assert!(trace.stats.clauses > 0);
     });
-    group.bench_function("localize_tcas_v1_one_failing_test", |b| {
-        // A crafted failing vector for v1 (Climb_Inhibit biases Up_Separation).
-        let pool = siemens::tcas_test_vectors(200, 2011);
-        let failing = pool
-            .iter()
-            .find(|input| {
-                let golden = siemens::tcas_golden_output(input);
-                let outcome = bmc::run_program(
-                    &faulty,
-                    TCAS_ENTRY,
-                    input,
-                    &[],
-                    siemens::tcas_interp_config(),
-                );
-                outcome.result != Some(golden)
-            })
-            .cloned()
-            .expect("v1 has failing vectors in the pool");
-        let golden = siemens::tcas_golden_output(&failing);
+
+    // A crafted failing vector for v1 (Climb_Inhibit biases Up_Separation).
+    let pool = siemens::tcas_test_vectors(200, 2011);
+    let failing = pool
+        .iter()
+        .find(|input| {
+            let golden = siemens::tcas_golden_output(input);
+            let outcome = bmc::run_program(
+                &faulty,
+                TCAS_ENTRY,
+                input,
+                &[],
+                siemens::tcas_interp_config(),
+            );
+            outcome.result != Some(golden)
+        })
+        .cloned()
+        .expect("v1 has failing vectors in the pool");
+    let golden = siemens::tcas_golden_output(&failing);
+    for portfolio in [false, true] {
         let config = LocalizerConfig {
             encode: encode.clone(),
             max_suspect_sets: 4,
             trusted_lines: tcas_trusted_lines(),
+            portfolio,
             ..LocalizerConfig::default()
         };
         let localizer =
             Localizer::new(&faulty, TCAS_ENTRY, &Spec::ReturnEquals(golden), &config).unwrap();
-        b.iter(|| {
+        let label = if portfolio {
+            "localize_tcas_v1_one_failing_test_portfolio"
+        } else {
+            "localize_tcas_v1_one_failing_test"
+        };
+        group.bench(label, || {
             let report = localizer.localize(&failing).unwrap();
             assert!(!report.suspect_lines.is_empty());
-        })
-    });
-    group.finish();
+        });
+    }
 }
 
-criterion_group!(benches, bench_motivating_example, bench_tcas_pipeline);
-criterion_main!(benches);
+fn main() {
+    bench_motivating_example();
+    bench_tcas_pipeline();
+}

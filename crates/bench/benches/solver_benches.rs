@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks for the solver substrates (SAT, MAX-SAT,
-//! bit-blasting) — the engineering the paper's scalability rests on.
+//! Micro-benchmarks for the solver substrates (SAT, MAX-SAT, bit-blasting)
+//! — the engineering the paper's scalability rests on. Run with
+//! `cargo bench -p bench --bench solver_benches`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::micro::BenchGroup;
 use maxsat::{solve, MaxSatInstance, Strategy};
 use sat::{SatResult, Solver, Var};
-use std::time::Duration;
 
 fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     let mut solver = Solver::new();
@@ -14,32 +14,26 @@ fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     for row in &vars {
         solver.add_clause(row.iter().map(|v| v.positive()));
     }
-    for h in 0..holes {
-        for i in 0..pigeons {
-            for j in (i + 1)..pigeons {
-                solver.add_clause([vars[i][h].negative(), vars[j][h].negative()]);
+    for (i, row_i) in vars.iter().enumerate() {
+        for row_j in &vars[i + 1..] {
+            for (a, b) in row_i.iter().zip(row_j) {
+                solver.add_clause([a.negative(), b.negative()]);
             }
         }
     }
     solver
 }
 
-fn bench_sat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
-    group.bench_function("pigeonhole_7_into_6_unsat", |b| {
-        b.iter(|| {
-            let mut solver = pigeonhole(7, 6);
-            assert_eq!(solver.solve(), SatResult::Unsat);
-        })
+fn bench_sat() {
+    let mut group = BenchGroup::new("sat", 20);
+    group.bench("pigeonhole_7_into_6_unsat", || {
+        let mut solver = pigeonhole(7, 6);
+        assert_eq!(solver.solve(), SatResult::Unsat);
     });
-    group.bench_function("pigeonhole_8_into_8_sat", |b| {
-        b.iter(|| {
-            let mut solver = pigeonhole(8, 8);
-            assert_eq!(solver.solve(), SatResult::Sat);
-        })
+    group.bench("pigeonhole_8_into_8_sat", || {
+        let mut solver = pigeonhole(8, 8);
+        assert_eq!(solver.solve(), SatResult::Sat);
     });
-    group.finish();
 }
 
 fn selector_instance(statements: usize) -> MaxSatInstance {
@@ -61,44 +55,43 @@ fn selector_instance(statements: usize) -> MaxSatInstance {
     inst
 }
 
-fn bench_maxsat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxsat_strategies");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
-    for strategy in [Strategy::FuMalik, Strategy::LinearSatUnsat] {
-        group.bench_function(format!("{strategy:?}_chain_60"), |b| {
-            let inst = selector_instance(60);
-            b.iter(|| {
-                let solution = solve(&inst, strategy).into_optimum().expect("satisfiable");
-                assert_eq!(solution.cost, 1);
-            })
+fn bench_maxsat() {
+    let mut group = BenchGroup::new("maxsat_strategies", 20);
+    for strategy in [
+        Strategy::FuMalik,
+        Strategy::LinearSatUnsat,
+        Strategy::Portfolio,
+    ] {
+        let inst = selector_instance(60);
+        group.bench(&format!("{strategy:?}_chain_60"), || {
+            let solution = solve(&inst, strategy).into_optimum().expect("satisfiable");
+            assert_eq!(solution.cost, 1);
         });
     }
-    group.finish();
 }
 
-fn bench_bitblast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bitblast");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
-    group.bench_function("encode_and_solve_16bit_factorization", |b| {
-        b.iter(|| {
-            let mut enc = bitblast::Encoder::new(16);
-            let x = enc.fresh_bv();
-            let y = enc.fresh_bv();
-            let product = enc.bv_mul(&x, &y);
-            let target = enc.const_bv(221);
-            let three = enc.const_bv(3);
-            let eq = enc.bv_eq(&product, &target);
-            let x_big = enc.bv_sgt(&x, &three);
-            let y_big = enc.bv_sgt(&y, &three);
-            enc.assert_true(eq);
-            enc.assert_true(x_big);
-            enc.assert_true(y_big);
-            let mut solver = Solver::from_formula(enc.cnf().formula());
-            assert_eq!(solver.solve(), SatResult::Sat);
-        })
+fn bench_bitblast() {
+    let mut group = BenchGroup::new("bitblast", 20);
+    group.bench("encode_and_solve_16bit_factorization", || {
+        let mut enc = bitblast::Encoder::new(16);
+        let x = enc.fresh_bv();
+        let y = enc.fresh_bv();
+        let product = enc.bv_mul(&x, &y);
+        let target = enc.const_bv(221);
+        let three = enc.const_bv(3);
+        let eq = enc.bv_eq(&product, &target);
+        let x_big = enc.bv_sgt(&x, &three);
+        let y_big = enc.bv_sgt(&y, &three);
+        enc.assert_true(eq);
+        enc.assert_true(x_big);
+        enc.assert_true(y_big);
+        let mut solver = Solver::from_formula(enc.cnf().formula());
+        assert_eq!(solver.solve(), SatResult::Sat);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_sat, bench_maxsat, bench_bitblast);
-criterion_main!(benches);
+fn main() {
+    bench_sat();
+    bench_maxsat();
+    bench_bitblast();
+}

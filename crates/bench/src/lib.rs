@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use baselines::{SpectrumFormula, SpectrumLocalizer};
 use bmc::{backward_slice, slice_program, EncodeConfig, InterpConfig, SliceCriterion, Spec};
 use bugassist::{
@@ -100,8 +102,8 @@ impl fmt::Display for Table1 {
         writeln!(
             f,
             "Table 1: BugAssist on the TCAS task (reproduction)\n\
-             {:<8} {:>5} {:>7} {:>8} {:>6} {:>11} {:>9}  {}",
-            "Version", "TC#", "Error#", "Detect#", "Runs", "SizeReduc%", "Time(s)", "ErrorType"
+             {:<8} {:>5} {:>7} {:>8} {:>6} {:>11} {:>9}  ErrorType",
+            "Version", "TC#", "Error#", "Detect#", "Runs", "SizeReduc%", "Time(s)"
         )?;
         for row in &self.rows {
             writeln!(
@@ -144,7 +146,10 @@ fn tcas_localizer_config(max_suspect_sets: usize) -> LocalizerConfig {
 /// output as specification, and aggregates detection counts.
 pub fn run_table1(options: Table1Options) -> Table1 {
     let pool = tcas_test_vectors(options.pool_size, options.seed);
-    let golden: Vec<i64> = pool.iter().map(|v| siemens::tcas_golden_output(v)).collect();
+    let golden: Vec<i64> = pool
+        .iter()
+        .map(|v| siemens::tcas_golden_output(v))
+        .collect();
     let interp = siemens::tcas_interp_config();
     let program_lines = tcas_program().statement_lines().len();
 
@@ -159,12 +164,14 @@ pub fn run_table1(options: Table1Options) -> Table1 {
                 let outcome = bmc::run_program(&faulty, TCAS_ENTRY, input, &[], interp);
                 !outcome.is_ok() || outcome.result != Some(golden[*i])
             })
-            .map(|(i, input)| (i, input))
             .collect();
         let sample: Vec<&(usize, &Vec<i64>)> = if options.max_failing_per_version == 0 {
             failing.iter().collect()
         } else {
-            failing.iter().take(options.max_failing_per_version).collect()
+            failing
+                .iter()
+                .take(options.max_failing_per_version)
+                .collect()
         };
 
         let mut detected = 0usize;
@@ -196,7 +203,11 @@ pub fn run_table1(options: Table1Options) -> Table1 {
             detected,
             localized_runs: runs,
             size_reduction_percent: 100.0 * all_lines.len() as f64 / program_lines.max(1) as f64,
-            run_time_s: if runs == 0 { 0.0 } else { total_time / runs as f64 },
+            run_time_s: if runs == 0 {
+                0.0
+            } else {
+                total_time / runs as f64
+            },
             error_type: version.error_type.to_string(),
         });
     }
@@ -241,7 +252,16 @@ impl fmt::Display for Table3 {
             f,
             "Table 3: larger benchmarks with trace reduction (reproduction)\n\
              {:<22} {:>5} {:>6} {:>6} {:>17} {:>17} {:>19} {:>7} {:>9} {:>9}",
-            "Program", "LOC#", "Proc#", "Reduc", "assign# (bef/aft)", "var# (bef/aft)", "clause# (bef/aft)", "Fault#", "found", "time(s)"
+            "Program",
+            "LOC#",
+            "Proc#",
+            "Reduc",
+            "assign# (bef/aft)",
+            "var# (bef/aft)",
+            "clause# (bef/aft)",
+            "Fault#",
+            "found",
+            "time(s)"
         )?;
         for row in &self.rows {
             writeln!(
@@ -308,7 +328,8 @@ fn table3_row(benchmark: &Benchmark) -> Option<Table3Row> {
         concretize: benchmark.concretize.clone(),
         ..base_encode.clone()
     };
-    let after = bmc::encode_program(&reduced_program, benchmark.entry, &spec, &reduced_encode).ok()?;
+    let after =
+        bmc::encode_program(&reduced_program, benchmark.entry, &spec, &reduced_encode).ok()?;
 
     // Localize on the reduced program.
     let config = LocalizerConfig {
@@ -355,7 +376,11 @@ pub struct RepairExperiment {
 impl fmt::Display for RepairExperiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "strncat off-by-one repair (Sec. 6.3 / Program 2)")?;
-        writeln!(f, "suspect lines: {:?}", self.suspect_lines.iter().map(|l| l.0).collect::<Vec<_>>())?;
+        writeln!(
+            f,
+            "suspect lines: {:?}",
+            self.suspect_lines.iter().map(|l| l.0).collect::<Vec<_>>()
+        )?;
         for repair in &self.repairs {
             writeln!(f, "validated repair: {repair}")?;
         }
@@ -379,8 +404,13 @@ pub fn run_repair_experiment() -> RepairExperiment {
         trusted_lines: benchmark.trusted_lines.clone(),
         ..LocalizerConfig::default()
     };
-    let localizer = Localizer::new(&program, benchmark.entry, &Spec::Assertions, &localizer_config)
-        .expect("strncat encodes");
+    let localizer = Localizer::new(
+        &program,
+        benchmark.entry,
+        &Spec::Assertions,
+        &localizer_config,
+    )
+    .expect("strncat encodes");
     let report = localizer
         .localize(&benchmark.test_inputs[0])
         .expect("localization succeeds");
@@ -402,7 +432,8 @@ pub fn run_repair_experiment() -> RepairExperiment {
     let found_size_minus_one = repairs.iter().any(|r| {
         matches!(
             r.mutation,
-            minic::Mutation::BumpConstant { delta: -1, .. } | minic::Mutation::SetConstant { value: 14, .. }
+            minic::Mutation::BumpConstant { delta: -1, .. }
+                | minic::Mutation::SetConstant { value: 14, .. }
         )
     });
     RepairExperiment {
@@ -424,10 +455,17 @@ pub struct LoopExperiment {
 impl fmt::Display for LoopExperiment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "square-root loop debugging (Sec. 6.4 / Program 3)")?;
-        writeln!(f, "suspect lines: {:?}", self.suspect_lines.iter().map(|l| l.0).collect::<Vec<_>>())?;
+        writeln!(
+            f,
+            "suspect lines: {:?}",
+            self.suspect_lines.iter().map(|l| l.0).collect::<Vec<_>>()
+        )?;
         match self.first_faulty_iteration {
             Some((line, iteration)) => {
-                writeln!(f, "first blamed loop instance: line {line}, iteration {iteration}")
+                writeln!(
+                    f,
+                    "first blamed loop instance: line {line}, iteration {iteration}"
+                )
             }
             None => writeln!(f, "no loop instance blamed"),
         }
@@ -479,7 +517,10 @@ pub struct BaselineComparison {
 
 impl fmt::Display for BaselineComparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "baseline comparison (Sec. 2 claim + related-work baselines)")?;
+        writeln!(
+            f,
+            "baseline comparison (Sec. 2 claim + related-work baselines)"
+        )?;
         writeln!(
             f,
             "motivating example: BugAssist reports {} line(s); backward slice keeps {} line(s)",
@@ -518,7 +559,13 @@ pub fn run_baseline_compare() -> BaselineComparison {
     let pool = tcas_test_vectors(200, 7);
     let interp: InterpConfig = siemens::tcas_interp_config();
     let mut spectrum = SpectrumLocalizer::new();
-    spectrum.add_suite(&faulty, TCAS_ENTRY, &pool, |input| Some(siemens::tcas_golden_output(input)), interp);
+    spectrum.add_suite(
+        &faulty,
+        TCAS_ENTRY,
+        &pool,
+        |input| Some(siemens::tcas_golden_output(input)),
+        interp,
+    );
     let tarantula_rank_v1 = spectrum.rank_of(version.faulty_lines[0], SpectrumFormula::Tarantula);
 
     let failing: Option<Vec<i64>> = pool

@@ -1,0 +1,87 @@
+//! A tiny self-contained micro-benchmark harness.
+//!
+//! The workspace's benches cannot depend on Criterion (builds must work in
+//! hermetic environments with no registry access), so this module provides
+//! the minimal equivalent: warmup, a fixed sample count, and median /
+//! mean / min reporting in Criterion-like output format. Benches are plain
+//! `harness = false` binaries whose `main` calls [`BenchGroup::bench`];
+//! `cargo bench --no-run` therefore compiles them and CI keeps them honest.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can wrap inputs/outputs without an extra import.
+pub use std::hint::black_box as bb;
+
+/// One timed result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Group/benchmark label.
+    pub name: String,
+    /// Median wall-clock time per iteration.
+    pub median: Duration,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<48} median {:>12?}  mean {:>12?}  min {:>12?}  ({} samples)",
+            self.name, self.median, self.mean, self.min, self.samples
+        )
+    }
+}
+
+/// A named group of benchmarks, mirroring Criterion's `benchmark_group`.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    /// Creates a group; `samples` timed runs are taken per benchmark (after
+    /// one untimed warmup run).
+    pub fn new(name: &str, samples: usize) -> BenchGroup {
+        BenchGroup {
+            name: name.to_string(),
+            samples: samples.max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` and records + prints the measurement.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) -> &Measurement {
+        black_box(f()); // warmup
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        let total: Duration = times.iter().sum();
+        let measurement = Measurement {
+            name: format!("{}/{}", self.name, label),
+            median: times[times.len() / 2],
+            mean: total / self.samples as u32,
+            min: times[0],
+            samples: self.samples,
+        };
+        println!("{measurement}");
+        self.results.push(measurement);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}

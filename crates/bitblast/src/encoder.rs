@@ -72,7 +72,10 @@ impl Encoder {
     ///
     /// Panics if `width < 2` or `width > 64`.
     pub fn new(width: usize) -> Encoder {
-        assert!((2..=64).contains(&width), "width must be in 2..=64, got {width}");
+        assert!(
+            (2..=64).contains(&width),
+            "width must be in 2..=64, got {width}"
+        );
         let mut cnf = GroupedCnf::new();
         let true_lit = cnf.add_true_lit();
         Encoder {
@@ -392,26 +395,37 @@ impl Encoder {
             remainder = self.bv_ite(geq, &diff, &remainder);
             quotient_bits[i] = geq;
         }
-        (BitVec { bits: quotient_bits }, remainder)
+        (
+            BitVec {
+                bits: quotient_bits,
+            },
+            remainder,
+        )
     }
 
     // ----- bit-vector bitwise and shifts ----------------------------------
 
     /// Bitwise AND.
     pub fn bv_and(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
-        let bits = (0..a.width()).map(|i| self.and(a.bits[i], b.bits[i])).collect();
+        let bits = (0..a.width())
+            .map(|i| self.and(a.bits[i], b.bits[i]))
+            .collect();
         BitVec { bits }
     }
 
     /// Bitwise OR.
     pub fn bv_or(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
-        let bits = (0..a.width()).map(|i| self.or(a.bits[i], b.bits[i])).collect();
+        let bits = (0..a.width())
+            .map(|i| self.or(a.bits[i], b.bits[i]))
+            .collect();
         BitVec { bits }
     }
 
     /// Bitwise XOR.
     pub fn bv_xor(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
-        let bits = (0..a.width()).map(|i| self.xor(a.bits[i], b.bits[i])).collect();
+        let bits = (0..a.width())
+            .map(|i| self.xor(a.bits[i], b.bits[i]))
+            .collect();
         BitVec { bits }
     }
 
@@ -567,10 +581,7 @@ impl Encoder {
 
     /// Reads the value of a single literal from a model indexed by variable.
     pub fn bit_value(model: &[bool], lit: Lit) -> bool {
-        let v = model
-            .get(lit.var().index())
-            .copied()
-            .unwrap_or(false);
+        let v = model.get(lit.var().index()).copied().unwrap_or(false);
         v == lit.is_positive()
     }
 
@@ -640,7 +651,14 @@ mod tests {
 
     #[test]
     fn addition_and_subtraction() {
-        for (a, b) in [(1, 2), (100, 27), (-5, 5), (-100, -28), (127, 1), (-128, -1)] {
+        for (a, b) in [
+            (1, 2),
+            (100, 27),
+            (-5, 5),
+            (-100, -28),
+            (127, 1),
+            (-128, -1),
+        ] {
             assert_eq!(eval_binop(Encoder::bv_add, a, b), wrap8(a + b), "{a} + {b}");
             assert_eq!(eval_binop(Encoder::bv_sub, a, b), wrap8(a - b), "{a} - {b}");
         }
@@ -655,7 +673,15 @@ mod tests {
 
     #[test]
     fn signed_division_and_remainder() {
-        for (a, b) in [(7, 2), (-7, 2), (7, -2), (-7, -2), (100, 9), (-100, 9), (5, 7)] {
+        for (a, b) in [
+            (7, 2),
+            (-7, 2),
+            (7, -2),
+            (-7, -2),
+            (100, 9),
+            (-100, 9),
+            (5, 7),
+        ] {
             assert_eq!(eval_binop(Encoder::bv_sdiv, a, b), a / b, "{a} / {b}");
             assert_eq!(eval_binop(Encoder::bv_srem, a, b), a % b, "{a} % {b}");
         }
@@ -677,7 +703,11 @@ mod tests {
     fn shifts_match_reference() {
         for (a, s) in [(0b0110, 1), (0b0110, 3), (-64, 2), (5, 0), (1, 7), (1, 9)] {
             let expected_shl = if s >= 8 { 0 } else { wrap8(a << s) };
-            assert_eq!(eval_binop(Encoder::bv_shl, a, s), expected_shl, "{a} << {s}");
+            assert_eq!(
+                eval_binop(Encoder::bv_shl, a, s),
+                expected_shl,
+                "{a} << {s}"
+            );
             let expected_shr = if s >= 8 {
                 if a < 0 {
                     -1
@@ -687,13 +717,25 @@ mod tests {
             } else {
                 wrap8((a as i8 >> s) as i64)
             };
-            assert_eq!(eval_binop(Encoder::bv_ashr, a, s), expected_shr, "{a} >> {s}");
+            assert_eq!(
+                eval_binop(Encoder::bv_ashr, a, s),
+                expected_shr,
+                "{a} >> {s}"
+            );
         }
     }
 
     #[test]
     fn comparisons_match_reference() {
-        let pairs = [(1, 2), (2, 1), (5, 5), (-3, 2), (2, -3), (-7, -2), (-128, 127)];
+        let pairs = [
+            (1, 2),
+            (2, 1),
+            (5, 5),
+            (-3, 2),
+            (2, -3),
+            (-7, -2),
+            (-128, 127),
+        ];
         for (a, b) in pairs {
             assert_eq!(eval_pred(Encoder::bv_eq, a, b), a == b, "{a} == {b}");
             assert_eq!(eval_pred(Encoder::bv_ne, a, b), a != b, "{a} != {b}");

@@ -1,8 +1,9 @@
-//! Property-based tests: the bit-blasted semantics of every operator must
-//! agree with native Rust arithmetic on the same fixed width.
+//! Randomized tests: the bit-blasted semantics of every operator must agree
+//! with native Rust arithmetic on the same fixed width. Seeded PRNG keeps
+//! every run deterministic.
 
 use bitblast::{BitVec, Encoder};
-use proptest::prelude::*;
+use prng::SplitMix64;
 use sat::{SatResult, Solver};
 
 const W: usize = 8;
@@ -19,26 +20,66 @@ fn eval_binop(op: impl Fn(&mut Encoder, &BitVec, &BitVec) -> BitVec, a: i64, b: 
     Encoder::bv_value(&solver.model(), &out)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn operand(rng: &mut SplitMix64) -> i64 {
+    rng.gen_range(-128i64..=127)
+}
 
-    #[test]
-    fn arithmetic_agrees_with_native(a in -128i64..=127, b in -128i64..=127) {
-        prop_assert_eq!(eval_binop(Encoder::bv_add, a, b), (a as i8).wrapping_add(b as i8) as i64);
-        prop_assert_eq!(eval_binop(Encoder::bv_sub, a, b), (a as i8).wrapping_sub(b as i8) as i64);
-        prop_assert_eq!(eval_binop(Encoder::bv_mul, a, b), (a as i8).wrapping_mul(b as i8) as i64);
+#[test]
+fn arithmetic_agrees_with_native() {
+    let mut rng = SplitMix64::seed_from_u64(11);
+    for _ in 0..64 {
+        let (a, b) = (operand(&mut rng), operand(&mut rng));
+        assert_eq!(
+            eval_binop(Encoder::bv_add, a, b),
+            (a as i8).wrapping_add(b as i8) as i64,
+            "add {a} {b}"
+        );
+        assert_eq!(
+            eval_binop(Encoder::bv_sub, a, b),
+            (a as i8).wrapping_sub(b as i8) as i64,
+            "sub {a} {b}"
+        );
+        assert_eq!(
+            eval_binop(Encoder::bv_mul, a, b),
+            (a as i8).wrapping_mul(b as i8) as i64,
+            "mul {a} {b}"
+        );
     }
+}
 
-    #[test]
-    fn division_agrees_with_native(a in -128i64..=127, b in -128i64..=127) {
-        let expected_div = if b == 0 { 0 } else { (a as i8).wrapping_div(b as i8) as i64 };
-        let expected_rem = if b == 0 { 0 } else { (a as i8).wrapping_rem(b as i8) as i64 };
-        prop_assert_eq!(eval_binop(Encoder::bv_sdiv, a, b), expected_div);
-        prop_assert_eq!(eval_binop(Encoder::bv_srem, a, b), expected_rem);
+#[test]
+fn division_agrees_with_native() {
+    let mut rng = SplitMix64::seed_from_u64(13);
+    for _ in 0..64 {
+        let (a, b) = (operand(&mut rng), operand(&mut rng));
+        let expected_div = if b == 0 {
+            0
+        } else {
+            (a as i8).wrapping_div(b as i8) as i64
+        };
+        let expected_rem = if b == 0 {
+            0
+        } else {
+            (a as i8).wrapping_rem(b as i8) as i64
+        };
+        assert_eq!(
+            eval_binop(Encoder::bv_sdiv, a, b),
+            expected_div,
+            "div {a} {b}"
+        );
+        assert_eq!(
+            eval_binop(Encoder::bv_srem, a, b),
+            expected_rem,
+            "rem {a} {b}"
+        );
     }
+}
 
-    #[test]
-    fn comparisons_agree_with_native(a in -128i64..=127, b in -128i64..=127) {
+#[test]
+fn comparisons_agree_with_native() {
+    let mut rng = SplitMix64::seed_from_u64(17);
+    for _ in 0..64 {
+        let (a, b) = (operand(&mut rng), operand(&mut rng));
         let mut enc = Encoder::new(W);
         let av = enc.const_bv(a);
         let bv = enc.const_bv(b);
@@ -52,15 +93,19 @@ proptest! {
             enc.assert_true(m);
         }
         let mut solver = Solver::from_formula(enc.cnf().formula());
-        prop_assert_eq!(solver.solve(), SatResult::Sat);
+        assert_eq!(solver.solve(), SatResult::Sat);
         let model = solver.model();
-        prop_assert_eq!(Encoder::bit_value(&model, fresh[0]), a < b);
-        prop_assert_eq!(Encoder::bit_value(&model, fresh[1]), a <= b);
-        prop_assert_eq!(Encoder::bit_value(&model, fresh[2]), a == b);
+        assert_eq!(Encoder::bit_value(&model, fresh[0]), a < b, "lt {a} {b}");
+        assert_eq!(Encoder::bit_value(&model, fresh[1]), a <= b, "le {a} {b}");
+        assert_eq!(Encoder::bit_value(&model, fresh[2]), a == b, "eq {a} {b}");
     }
+}
 
-    #[test]
-    fn inverse_relationship_between_add_and_sub(a in -128i64..=127, b in -128i64..=127) {
+#[test]
+fn inverse_relationship_between_add_and_sub() {
+    let mut rng = SplitMix64::seed_from_u64(19);
+    for _ in 0..64 {
+        let (a, b) = (operand(&mut rng), operand(&mut rng));
         // (a + b) - b == a at any width.
         let mut enc = Encoder::new(W);
         let av = enc.const_bv(a);
@@ -70,6 +115,6 @@ proptest! {
         let eq = enc.bv_eq(&back, &av);
         enc.assert_true(eq);
         let mut solver = Solver::from_formula(enc.cnf().formula());
-        prop_assert_eq!(solver.solve(), SatResult::Sat);
+        assert_eq!(solver.solve(), SatResult::Sat, "{a} {b}");
     }
 }

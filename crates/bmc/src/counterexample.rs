@@ -113,10 +113,9 @@ mod tests {
 
     #[test]
     fn bmc_finds_a_violation_when_one_exists() {
-        let program = parse_program(
-            "int main(int a, int b) { int s = a + b; assert(s != 13); return s; }",
-        )
-        .unwrap();
+        let program =
+            parse_program("int main(int a, int b) { int s = a + b; assert(s != 13); return s; }")
+                .unwrap();
         let failing = find_failing_input(&program, "main", &Spec::Assertions, &cfg())
             .unwrap()
             .expect("a + b == 13 is reachable");
@@ -126,10 +125,9 @@ mod tests {
 
     #[test]
     fn bmc_proves_absence_within_bound() {
-        let program = parse_program(
-            "int main(int x) { int y = x & 3; assert(y >= 0 && y < 4); return y; }",
-        )
-        .unwrap();
+        let program =
+            parse_program("int main(int x) { int y = x & 3; assert(y >= 0 && y < 4); return y; }")
+                .unwrap();
         let result = find_failing_input(&program, "main", &Spec::Assertions, &cfg()).unwrap();
         assert_eq!(result, None);
     }

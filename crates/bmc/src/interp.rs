@@ -291,19 +291,17 @@ impl<'a> Interp<'a> {
                     self.exec_block(else_branch, locals)
                 }
             }
-            Stmt::While { cond, body, .. } => {
-                loop {
-                    let c = self.eval(cond, locals, line)?;
-                    if !truthy(c) {
-                        return Ok(Flow::Normal);
-                    }
-                    match self.exec_block(body, locals)? {
-                        Flow::Normal => {}
-                        returned => return Ok(returned),
-                    }
-                    self.tick(line)?;
+            Stmt::While { cond, body, .. } => loop {
+                let c = self.eval(cond, locals, line)?;
+                if !truthy(c) {
+                    return Ok(Flow::Normal);
                 }
-            }
+                match self.exec_block(body, locals)? {
+                    Flow::Normal => {}
+                    returned => return Ok(returned),
+                }
+                self.tick(line)?;
+            },
             Stmt::Assert { cond, .. } => {
                 let c = self.eval(cond, locals, line)?;
                 if truthy(c) {
@@ -404,12 +402,7 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn eval(
-        &mut self,
-        expr: &Expr,
-        locals: &HashMap<String, Slot>,
-        line: Line,
-    ) -> ExecResult<i64> {
+    fn eval(&mut self, expr: &Expr, locals: &HashMap<String, Slot>, line: Line) -> ExecResult<i64> {
         let width = self.config.width;
         match expr {
             Expr::Int(v) => Ok(wrap(*v, width)),
@@ -595,12 +588,17 @@ mod tests {
     fn assume_failure_is_not_a_bug() {
         let out = run("int main(int x) { assume(x > 0); return x; }", &[-1]);
         assert!(!out.is_failure());
-        assert_eq!(out.violation.unwrap().kind, ViolationKind::AssumptionFailure);
+        assert_eq!(
+            out.violation.unwrap().kind,
+            ViolationKind::AssumptionFailure
+        );
     }
 
     #[test]
     fn infinite_loop_hits_step_limit() {
-        let program = parse_program("int main() { int x = 0; while (true) { x = x + 1; } return x; }").unwrap();
+        let program =
+            parse_program("int main() { int x = 0; while (true) { x = x + 1; } return x; }")
+                .unwrap();
         let out = run_program(
             &program,
             "main",
@@ -616,7 +614,9 @@ mod tests {
 
     #[test]
     fn nondet_reads_provided_values() {
-        let program = parse_program("int main() { int a = nondet(); int b = nondet(); return a - b; }").unwrap();
+        let program =
+            parse_program("int main() { int a = nondet(); int b = nondet(); return a - b; }")
+                .unwrap();
         let out = run_program(&program, "main", &[], &[30, 12], InterpConfig::default());
         assert_eq!(out.result, Some(18));
         // Exhausted nondet values default to zero.

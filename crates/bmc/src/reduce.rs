@@ -118,7 +118,10 @@ mod tests {
         for i in 0..reduced.len() {
             let mut without: Vec<i64> = reduced.clone();
             without.remove(i);
-            assert!(!predicate(&without), "not 1-minimal: {reduced:?} minus index {i}");
+            assert!(
+                !predicate(&without),
+                "not 1-minimal: {reduced:?} minus index {i}"
+            );
         }
     }
 

@@ -88,7 +88,10 @@ pub fn backward_slice(program: &Program, entry: &str, criterion: SliceCriterion)
                         relevant_vars.insert(qualify(program, &function.name, &v));
                     }
                 }
-                Stmt::Return { value: Some(e), line } => {
+                Stmt::Return {
+                    value: Some(e),
+                    line,
+                } => {
                     let is_entry = function.name == entry;
                     if criterion == SliceCriterion::ReturnValue && is_entry {
                         relevant_lines.insert(*line);
@@ -116,7 +119,11 @@ pub fn backward_slice(program: &Program, entry: &str, criterion: SliceCriterion)
 
     // Fixpoint over data and control dependences.
     loop {
-        let before = (relevant_vars.len(), relevant_lines.len(), return_relevant.len());
+        let before = (
+            relevant_vars.len(),
+            relevant_lines.len(),
+            return_relevant.len(),
+        );
         for function in &program.functions {
             propagate_function(
                 program,
@@ -128,7 +135,11 @@ pub fn backward_slice(program: &Program, entry: &str, criterion: SliceCriterion)
                 &mut return_relevant,
             );
         }
-        let after = (relevant_vars.len(), relevant_lines.len(), return_relevant.len());
+        let after = (
+            relevant_vars.len(),
+            relevant_lines.len(),
+            return_relevant.len(),
+        );
         if before == after {
             break;
         }
@@ -162,7 +173,11 @@ fn propagate_function(
     // Data dependences: an assignment to a relevant variable pulls in its
     // right-hand side.
     function.walk_stmts(&mut |stmt| match stmt {
-        Stmt::Assign { target, value, line } => {
+        Stmt::Assign {
+            target,
+            value,
+            line,
+        } => {
             let target_q = qualify(program, &function.name, target.name());
             if relevant_vars.contains(&target_q) {
                 relevant_lines.insert(*line);
@@ -177,7 +192,12 @@ fn propagate_function(
                 mark_calls_relevant(value, return_relevant);
             }
         }
-        Stmt::Decl { name, init: Some(init), line, .. } => {
+        Stmt::Decl {
+            name,
+            init: Some(init),
+            line,
+            ..
+        } => {
             let target_q = qualify(program, &function.name, name);
             if relevant_vars.contains(&target_q) {
                 relevant_lines.insert(*line);
@@ -194,7 +214,11 @@ fn propagate_function(
     // return statements (and their dependences) are relevant.
     if return_relevant.contains(&function.name) {
         function.walk_stmts(&mut |stmt| {
-            if let Stmt::Return { value: Some(e), line } = stmt {
+            if let Stmt::Return {
+                value: Some(e),
+                line,
+            } = stmt
+            {
                 relevant_lines.insert(*line);
                 for v in e.read_vars() {
                     relevant_vars.insert(qualify(program, &function.name, &v));
@@ -248,8 +272,21 @@ fn propagate_function(
                     else_branch,
                     line,
                 } => {
-                    let inner = control_deps(program, function, then_branch, relevant_vars, relevant_lines, return_relevant)
-                        | control_deps(program, function, else_branch, relevant_vars, relevant_lines, return_relevant);
+                    let inner = control_deps(
+                        program,
+                        function,
+                        then_branch,
+                        relevant_vars,
+                        relevant_lines,
+                        return_relevant,
+                    ) | control_deps(
+                        program,
+                        function,
+                        else_branch,
+                        relevant_vars,
+                        relevant_lines,
+                        return_relevant,
+                    );
                     if inner {
                         relevant_lines.insert(*line);
                         for v in cond.read_vars() {
@@ -260,7 +297,14 @@ fn propagate_function(
                     inner || relevant_lines.contains(line)
                 }
                 Stmt::While { cond, body, line } => {
-                    let inner = control_deps(program, function, body, relevant_vars, relevant_lines, return_relevant);
+                    let inner = control_deps(
+                        program,
+                        function,
+                        body,
+                        relevant_vars,
+                        relevant_lines,
+                        return_relevant,
+                    );
                     if inner {
                         relevant_lines.insert(*line);
                         for v in cond.read_vars() {
@@ -276,7 +320,14 @@ fn propagate_function(
         }
         any_relevant
     }
-    control_deps(program, function, &function.body, relevant_vars, relevant_lines, return_relevant);
+    control_deps(
+        program,
+        function,
+        &function.body,
+        relevant_vars,
+        relevant_lines,
+        return_relevant,
+    );
 }
 
 fn for_each_statement_expr<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
@@ -361,7 +412,10 @@ mod tests {
         let src = "int main(int x, int flag) {\nint y = 0;\nif (flag > 0) {\ny = x;\n}\nassert(y < 10);\nreturn y;\n}";
         let program = parse_program(src).unwrap();
         let slice = backward_slice(&program, "main", SliceCriterion::Assertions);
-        assert!(slice.contains_line(Line(3)), "branch guarding a relevant assignment");
+        assert!(
+            slice.contains_line(Line(3)),
+            "branch guarding a relevant assignment"
+        );
         assert!(slice.contains_line(Line(4)));
         assert!(slice.relevant_vars.contains(&"main::flag".to_string()));
     }

@@ -353,7 +353,12 @@ impl<'a> SymbolicEncoder<'a> {
         depth: usize,
     ) -> Result<(), EncodeError> {
         match stmt {
-            Stmt::Decl { name, ty, init, line } => {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
                 match ty {
                     Type::Array(n) => {
                         let zero = self.enc.const_bv(0);
@@ -377,7 +382,11 @@ impl<'a> SymbolicEncoder<'a> {
                 }
                 Ok(())
             }
-            Stmt::Assign { target, value, line } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
                 let group = self.new_group(*line);
                 self.enc.set_group(Some(group));
                 let rhs = self.encode_expr(value, guard, frame, depth, *line)?;
@@ -838,11 +847,7 @@ mod tests {
             ..small_config()
         };
         let trace = encode_program(&program, "main", &Spec::Assertions, &config).unwrap();
-        let body_groups: Vec<_> = trace
-            .groups
-            .iter()
-            .filter(|g| g.line == Line(4))
-            .collect();
+        let body_groups: Vec<_> = trace.groups.iter().filter(|g| g.line == Line(4)).collect();
         assert_eq!(body_groups.len(), 4, "one body instance per unwinding");
         let unwindings: Vec<_> = body_groups.iter().map(|g| g.unwinding).collect();
         assert_eq!(unwindings, vec![Some(0), Some(1), Some(2), Some(3)]);
@@ -893,7 +898,10 @@ mod tests {
             int main(int x) { int y = clamp(x); assert(y <= 10 && y >= 0); return y; }
         "#;
         for v in [-5, 0, 5, 10, 20] {
-            assert!(property_holds(src, "main", &[v], &Spec::Assertions), "clamp({v})");
+            assert!(
+                property_holds(src, "main", &[v], &Spec::Assertions),
+                "clamp({v})"
+            );
         }
     }
 }

@@ -59,6 +59,15 @@ pub struct LocalizerConfig {
     /// Lines that must not be blamed (e.g. verified library code, Sec. 6.3);
     /// their selectors are asserted hard.
     pub trusted_lines: Vec<Line>,
+    /// Race both complete MAX-SAT strategies on parallel threads for every
+    /// CoMSS extraction ([`maxsat::portfolio`]) instead of running
+    /// [`LocalizerConfig::strategy`] alone. The racing workers share a
+    /// best-cost bound and the loser is cancelled, so on multi-core hardware
+    /// each extraction costs the *minimum* of the two strategies' runtimes
+    /// (plus negligible synchronization), not their sum. On a single core the
+    /// portfolio runs its lead strategy alone — see
+    /// [`maxsat::PortfolioSolver::solve`].
+    pub portfolio: bool,
 }
 
 impl Default for LocalizerConfig {
@@ -71,6 +80,7 @@ impl Default for LocalizerConfig {
             loop_weighting: false,
             base_weight: 1,
             trusted_lines: Vec::new(),
+            portfolio: false,
         }
     }
 }
@@ -188,6 +198,15 @@ struct Selector {
     unwindings: Vec<Option<usize>>,
     weight: u64,
     trusted: bool,
+}
+
+/// The input-independent part of the extended trace formula. Building it
+/// costs one pass over the whole grouped CNF, so [`Localizer::localize_batch`]
+/// constructs it once and shares it across every failing test of the batch.
+#[derive(Clone, Debug)]
+struct PreparedFormula {
+    selectors: Vec<Selector>,
+    template: MaxSatInstance,
 }
 
 /// The BugAssist error localizer.
@@ -330,46 +349,45 @@ impl Localizer {
         map
     }
 
-    /// Builds the hard part of the extended trace formula for one test input.
-    fn build_hard_instance(
-        &self,
-        failing_input: &[i64],
-        selectors: &[Selector],
-        group_to_selector: &BTreeMap<GroupId, usize>,
-    ) -> MaxSatInstance {
-        let mut instance = MaxSatInstance::new();
-        instance.ensure_vars(self.trace.cnf.num_vars());
+    /// Builds the input-independent part of the extended trace formula: the
+    /// selector set and the selector-relaxed TF1 clauses. One prepared
+    /// formula is shared by every test of a batch; the per-test hard units
+    /// ([[test]], property, trusted lines) are appended on top in
+    /// [`Localizer::localize_prepared`], preserving the exact clause order
+    /// the single-shot path has always used.
+    fn prepare(&self) -> PreparedFormula {
+        let selectors = {
+            // Allocate selector variables against a scratch instance first so
+            // that their indices are deterministic, then rebuild.
+            let mut scratch = MaxSatInstance::new();
+            scratch.ensure_vars(self.trace.cnf.num_vars());
+            self.build_selectors(&mut scratch)
+        };
+        let group_to_selector = self.selector_of_group(&selectors);
+        let mut template = MaxSatInstance::new();
+        template.ensure_vars(self.trace.cnf.num_vars());
         // Re-create the selector variables in the same order so their literal
         // values match (they were allocated right after the trace variables).
-        for selector in selectors {
-            let v = instance.new_var();
+        for selector in &selectors {
+            let v = template.new_var();
             debug_assert_eq!(v.positive(), selector.lit);
         }
         // TF1: statement clauses augmented with ¬λ; infrastructure stays hard.
         for (clause, group) in self.trace.cnf.iter() {
             match group {
-                None => instance.add_hard(clause.clone()),
+                None => template.add_hard(clause.clone()),
                 Some(gid) => {
                     let selector = &selectors[group_to_selector[&gid]];
                     let mut lits = clause.lits().to_vec();
                     lits.push(!selector.lit);
-                    instance.add_hard(lits);
+                    template.add_hard(lits);
                 }
             }
         }
-        // [[test]] : the failing input, as hard units.
-        for lit in self.trace.input_assumption_lits(failing_input) {
-            instance.add_hard(vec![lit]);
+        PreparedFormula {
+            selectors,
+            template,
         }
-        // p : the violated assertion must hold — hard.
-        instance.add_hard(vec![self.trace.property]);
-        // Trusted statements can never be switched off.
-        for selector in selectors {
-            if selector.trusted {
-                instance.add_hard(vec![selector.lit]);
-            }
-        }
-        instance
     }
 
     /// Runs Algorithm 1 for one failing test input.
@@ -379,6 +397,34 @@ impl Localizer {
     /// Returns [`LocalizeError::ArityMismatch`] if the test vector length is
     /// wrong.
     pub fn localize(&self, failing_input: &[i64]) -> Result<LocalizationReport, LocalizeError> {
+        // Single-shot: the template is not shared, so move it into the base
+        // instance instead of cloning it.
+        let prepared = self.prepare();
+        self.localize_with(&prepared.selectors, prepared.template, failing_input)
+    }
+
+    /// Runs Algorithm 1 for one failing test against an already-prepared
+    /// input-independent formula shared with other batch workers.
+    fn localize_prepared(
+        &self,
+        prepared: &PreparedFormula,
+        failing_input: &[i64],
+    ) -> Result<LocalizationReport, LocalizeError> {
+        self.localize_with(
+            &prepared.selectors,
+            prepared.template.clone(),
+            failing_input,
+        )
+    }
+
+    /// Runs Algorithm 1 for one failing test, taking ownership of a template
+    /// instance (the selector-relaxed TF1) to extend into the base formula.
+    fn localize_with(
+        &self,
+        selectors: &[Selector],
+        template: MaxSatInstance,
+        failing_input: &[i64],
+    ) -> Result<LocalizationReport, LocalizeError> {
         if failing_input.len() != self.trace.inputs.len() {
             return Err(LocalizeError::ArityMismatch {
                 expected: self.trace.inputs.len(),
@@ -386,17 +432,26 @@ impl Localizer {
             });
         }
         let start = Instant::now();
-        let selectors = {
-            // Allocate selector variables against a scratch instance first so
-            // that their indices are deterministic, then rebuild.
-            let mut scratch = MaxSatInstance::new();
-            scratch.ensure_vars(self.trace.cnf.num_vars());
-            self.build_selectors(&mut scratch)
-        };
-        let group_to_selector = self.selector_of_group(&selectors);
-        let base = self.build_hard_instance(failing_input, &selectors, &group_to_selector);
+        // [[test]] : the failing input, as hard units on top of the template.
+        let mut base = template;
+        for lit in self.trace.input_assumption_lits(failing_input) {
+            base.add_hard(vec![lit]);
+        }
+        // p : the violated assertion must hold — hard.
+        base.add_hard(vec![self.trace.property]);
+        // Trusted statements can never be switched off.
+        for selector in selectors {
+            if selector.trusted {
+                base.add_hard(vec![selector.lit]);
+            }
+        }
 
-        let mut solver = MaxSatSolver::new(self.config.strategy);
+        let strategy = if self.config.portfolio {
+            Strategy::Portfolio
+        } else {
+            self.config.strategy
+        };
+        let mut solver = MaxSatSolver::new(strategy);
         let mut stats = LocalizerStats {
             soft_clauses: selectors.iter().filter(|s| !s.trusted).count(),
             hard_clauses: base.num_hard(),
@@ -469,6 +524,102 @@ impl Localizer {
             stats,
         })
     }
+
+    /// Localizes a batch of failing test inputs in parallel and merges the
+    /// per-test CoMSS sets into one frequency-ranked report (Sec. 4.3).
+    ///
+    /// Each failing input is an independent MAX-SAT enumeration over the same
+    /// symbolic trace, so the batch fans out across `std::thread` workers (at
+    /// most one per available core) and the reports are aggregated exactly
+    /// like [`rank_localizations`](crate::rank_localizations) would — the
+    /// result is deterministic and identical to the sequential loop,
+    /// whatever the thread interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing input (matching what
+    /// the sequential loop would report first).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bugassist::{Localizer, LocalizerConfig};
+    /// use bmc::{EncodeConfig, Spec};
+    /// use minic::{parse_program, ast::Line};
+    ///
+    /// // The constant on line 2 should be 1; every failing test blames it.
+    /// let program = parse_program("int main(int x) {\nint y = x + 2;\nreturn y;\n}").unwrap();
+    /// let config = LocalizerConfig {
+    ///     encode: EncodeConfig { width: 8, ..EncodeConfig::default() },
+    ///     ..LocalizerConfig::default()
+    /// };
+    /// let localizer = Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+    /// let ranked = localizer
+    ///     .localize_batch(&[vec![5], vec![7], vec![9], vec![11]])
+    ///     .unwrap();
+    /// assert_eq!(ranked.per_test.len(), 4);
+    /// assert!(ranked.majority_lines().contains(&Line(2)));
+    /// ```
+    pub fn localize_batch(
+        &self,
+        failing_inputs: &[Vec<i64>],
+    ) -> Result<crate::ranking::RankedReport, LocalizeError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        // With the portfolio enabled every extraction runs two racing solver
+        // threads, so halve the batch fan-out to keep the total thread count
+        // at the core count instead of oversubscribing every extraction.
+        let per_test_threads = if self.config.portfolio { 2 } else { 1 };
+        let workers = (std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            / per_test_threads)
+            .max(1)
+            .min(failing_inputs.len());
+        if failing_inputs.is_empty() {
+            return Ok(crate::ranking::RankedReport::from_reports(Vec::new()));
+        }
+        // Even single-threaded, the batch amortizes the prepared formula
+        // (selector construction + selector-relaxed TF1) over all tests.
+        let prepared = self.prepare();
+        if workers <= 1 {
+            let mut per_test = Vec::with_capacity(failing_inputs.len());
+            for input in failing_inputs {
+                per_test.push(self.localize_prepared(&prepared, input)?);
+            }
+            return Ok(crate::ranking::RankedReport::from_reports(per_test));
+        }
+
+        // Work-stealing over a shared index keeps all cores busy even when
+        // per-test solve times vary wildly (they do: the MAX-SAT enumeration
+        // depth depends on the failing input).
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<LocalizationReport, LocalizeError>>>> =
+            failing_inputs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(input) = failing_inputs.get(i) else {
+                        break;
+                    };
+                    let result = self.localize_prepared(&prepared, input);
+                    *slots[i].lock().expect("batch slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        let mut per_test = Vec::with_capacity(failing_inputs.len());
+        for slot in slots {
+            let result = slot
+                .into_inner()
+                .expect("batch slot poisoned")
+                .expect("every batch index was claimed by a worker");
+            per_test.push(result?);
+        }
+        Ok(crate::ranking::RankedReport::from_reports(per_test))
+    }
 }
 
 #[cfg(test)]
@@ -516,10 +667,9 @@ mod tests {
     fn single_constant_bug_is_isolated() {
         // y should be x + 1; the constant 2 is wrong, detected when x = 3
         // against the golden output 4.
-        let program = parse_program(
-            "int main(int x) {\nint y = x + 2;\nint z = y * 1;\nreturn z;\n}",
-        )
-        .unwrap();
+        let program =
+            parse_program("int main(int x) {\nint y = x + 2;\nint z = y * 1;\nreturn z;\n}")
+                .unwrap();
         let localizer =
             Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config8()).unwrap();
         let report = localizer.localize(&[3]).unwrap();
@@ -531,7 +681,9 @@ mod tests {
 
     #[test]
     fn correct_program_yields_no_suspects() {
-        let program = parse_program("int main(int x) { int y = x + 1; assert(y == x + 1); return y; }").unwrap();
+        let program =
+            parse_program("int main(int x) { int y = x + 1; assert(y == x + 1); return y; }")
+                .unwrap();
         let localizer = Localizer::new(&program, "main", &Spec::Assertions, &config8()).unwrap();
         // Input 5 does not actually fail; the extended formula is satisfiable
         // with every statement enabled, so there is nothing to blame.
@@ -542,14 +694,12 @@ mod tests {
 
     #[test]
     fn trusted_lines_are_never_blamed() {
-        let program = parse_program(
-            "int main(int x) {\nint y = x + 2;\nint z = y + 0;\nreturn z;\n}",
-        )
-        .unwrap();
+        let program =
+            parse_program("int main(int x) {\nint y = x + 2;\nint z = y + 0;\nreturn z;\n}")
+                .unwrap();
         let mut config = config8();
         config.trusted_lines = vec![Line(2)];
-        let localizer =
-            Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        let localizer = Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).unwrap();
         let report = localizer.localize(&[3]).unwrap();
         assert!(!report.blames_line(Line(2)), "{report:?}");
         // Blame shifts to the only other statement that can absorb the fix.
@@ -559,9 +709,16 @@ mod tests {
     #[test]
     fn arity_mismatch_is_reported() {
         let program = parse_program("int main(int x) { return x; }").unwrap();
-        let localizer = Localizer::new(&program, "main", &Spec::ReturnEquals(0), &config8()).unwrap();
+        let localizer =
+            Localizer::new(&program, "main", &Spec::ReturnEquals(0), &config8()).unwrap();
         let err = localizer.localize(&[1, 2]).unwrap_err();
-        assert!(matches!(err, LocalizeError::ArityMismatch { expected: 1, provided: 2 }));
+        assert!(matches!(
+            err,
+            LocalizeError::ArityMismatch {
+                expected: 1,
+                provided: 2
+            }
+        ));
     }
 
     #[test]
@@ -579,6 +736,67 @@ mod tests {
             assert!(!suspect.lines.is_empty());
             assert!(!format!("{suspect}").is_empty());
         }
+    }
+
+    #[test]
+    fn portfolio_matches_single_strategy_report() {
+        let program = motivating_example();
+        let single = Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap();
+        let mut config = config8();
+        config.portfolio = true;
+        let racing = Localizer::new(&program, "testme", &Spec::Assertions, &config).unwrap();
+        let expected = single.localize(&[1]).unwrap();
+        let actual = racing.localize(&[1]).unwrap();
+        // The portfolio returns an optimal CoMSS at every enumeration step.
+        // Only the optimum *cost* is guaranteed to match the single-strategy
+        // run: with several equal-cost optima the race winner may pick a
+        // different one, diverging the rest of the enumeration. The paper's
+        // two semantic fix points must be blamed either way.
+        assert_eq!(actual.suspects[0].cost, expected.suspects[0].cost);
+        assert!(actual.blames_line(Line(6)), "report: {actual:?}");
+        assert!(actual.blames_line(Line(3)), "report: {actual:?}");
+    }
+
+    #[test]
+    fn localize_batch_matches_sequential_ranking() {
+        // Golden function is x + 1; the constant 2 on line 2 is wrong for
+        // every input except x = 3.
+        let program = parse_program("int main(int x) {\nint y = x + 2;\nreturn y;\n}").unwrap();
+        let localizer =
+            Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config8()).unwrap();
+        let inputs: Vec<Vec<i64>> = vec![vec![5], vec![6], vec![7], vec![9]];
+        let batched = localizer.localize_batch(&inputs).unwrap();
+        let sequential = crate::ranking::rank_localizations(&localizer, &inputs).unwrap();
+        assert_eq!(batched.per_test.len(), 4);
+        assert_eq!(batched.max_count, sequential.max_count);
+        let lines = |r: &crate::ranking::RankedReport| {
+            r.ranking
+                .iter()
+                .map(|l| (l.line, l.count))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(lines(&batched), lines(&sequential));
+    }
+
+    #[test]
+    fn localize_batch_propagates_lowest_index_error() {
+        let program = parse_program("int main(int x) { return x; }").unwrap();
+        let localizer =
+            Localizer::new(&program, "main", &Spec::ReturnEquals(0), &config8()).unwrap();
+        let err = localizer
+            .localize_batch(&[vec![0], vec![1, 2], vec![3]])
+            .unwrap_err();
+        assert!(matches!(err, LocalizeError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn localize_batch_of_nothing_is_empty() {
+        let program = motivating_example();
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap();
+        let ranked = localizer.localize_batch(&[]).unwrap();
+        assert!(ranked.per_test.is_empty());
+        assert!(ranked.ranking.is_empty());
+        assert_eq!(ranked.max_count, 0);
     }
 
     #[test]

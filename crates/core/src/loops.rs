@@ -90,16 +90,13 @@ pub fn localize_faulty_iteration(
     // CoMSSes are enumerated in increasing weight; the verdict is the
     // earliest iteration blamed by the first CoMSS that touches a loop body
     // at all (earlier CoMSSes may blame cheaper straight-line statements).
-    let first_faulty_iteration = report
-        .suspects
-        .iter()
-        .find_map(|s| {
-            s.lines
-                .iter()
-                .zip(&s.unwindings)
-                .filter_map(|(line, unwinding)| unwinding.map(|k| (*line, k + 1)))
-                .min_by_key(|(_, k)| *k)
-        });
+    let first_faulty_iteration = report.suspects.iter().find_map(|s| {
+        s.lines
+            .iter()
+            .zip(&s.unwindings)
+            .filter_map(|(line, unwinding)| unwinding.map(|k| (*line, k + 1)))
+            .min_by_key(|(_, k)| *k)
+    });
 
     Ok(LoopReport {
         report,
@@ -134,8 +131,13 @@ mod tests {
             localize_faulty_iteration(&program, "main", &Spec::Assertions, &[3], &config).unwrap();
         assert!(!loop_report.report.suspects.is_empty());
         assert!(!loop_report.blamed_iterations.is_empty());
-        let (line, iteration) = loop_report.first_faulty_iteration.expect("a loop line is blamed");
-        assert!(line == Line(5) || line == Line(6) || line == Line(4), "line {line}");
+        let (line, iteration) = loop_report
+            .first_faulty_iteration
+            .expect("a loop line is blamed");
+        assert!(
+            line == Line(5) || line == Line(6) || line == Line(4),
+            "line {line}"
+        );
         assert!((1..=5).contains(&iteration));
     }
 
@@ -156,14 +158,9 @@ mod tests {
             max_suspect_sets: 4,
             ..LocalizerConfig::default()
         };
-        let loop_report = localize_faulty_iteration(
-            &program,
-            "squareroot",
-            &Spec::Assertions,
-            &[50],
-            &config,
-        )
-        .unwrap();
+        let loop_report =
+            localize_faulty_iteration(&program, "squareroot", &Spec::Assertions, &[50], &config)
+                .unwrap();
         assert!(!loop_report.report.suspects.is_empty());
         // The post-loop assignment `res = i` (line 10) or the loop body lines
         // must be among the suspects.

@@ -64,10 +64,7 @@ impl RankedReport {
     /// Number of failing runs whose suspect set contains the given line —
     /// the paper's "Detect#" column when `line` is the injected fault.
     pub fn detection_count(&self, line: Line) -> usize {
-        self.per_test
-            .iter()
-            .filter(|r| r.blames_line(line))
-            .count()
+        self.per_test.iter().filter(|r| r.blames_line(line)).count()
     }
 
     /// Union of all blamed lines over all runs.
@@ -80,6 +77,34 @@ impl RankedReport {
         lines.sort();
         lines.dedup();
         lines
+    }
+
+    /// Aggregates per-test localization reports into the Sec. 4.3 frequency
+    /// ranking. This is the merge step shared by [`rank_localizations`]
+    /// (sequential) and [`Localizer::localize_batch`] (parallel).
+    pub fn from_reports(per_test: Vec<LocalizationReport>) -> RankedReport {
+        let mut counts: BTreeMap<Line, usize> = BTreeMap::new();
+        for report in &per_test {
+            for &line in &report.suspect_lines {
+                *counts.entry(line).or_insert(0) += 1;
+            }
+        }
+        let total = per_test.len().max(1);
+        let mut ranking: Vec<RankedLine> = counts
+            .into_iter()
+            .map(|(line, count)| RankedLine {
+                line,
+                count,
+                frequency: count as f64 / total as f64,
+            })
+            .collect();
+        ranking.sort();
+        let max_count = ranking.first().map_or(0, |r| r.count);
+        RankedReport {
+            ranking,
+            per_test,
+            max_count,
+        }
     }
 }
 
@@ -115,28 +140,7 @@ pub fn rank_localizations(
     for input in failing_inputs {
         per_test.push(localizer.localize(input)?);
     }
-    let mut counts: BTreeMap<Line, usize> = BTreeMap::new();
-    for report in &per_test {
-        for &line in &report.suspect_lines {
-            *counts.entry(line).or_insert(0) += 1;
-        }
-    }
-    let total = per_test.len().max(1);
-    let mut ranking: Vec<RankedLine> = counts
-        .into_iter()
-        .map(|(line, count)| RankedLine {
-            line,
-            count,
-            frequency: count as f64 / total as f64,
-        })
-        .collect();
-    ranking.sort();
-    let max_count = ranking.first().map_or(0, |r| r.count);
-    Ok(RankedReport {
-        ranking,
-        per_test,
-        max_count,
-    })
+    Ok(RankedReport::from_reports(per_test))
 }
 
 #[cfg(test)]
@@ -159,21 +163,14 @@ mod tests {
     #[test]
     fn faulty_line_dominates_the_ranking() {
         // Golden function is x + 1; the fault is the constant 3 on line 2.
-        let program = parse_program(
-            "int main(int x) {\nint y = x + 3;\nint z = y;\nreturn z;\n}",
-        )
-        .unwrap();
+        let program =
+            parse_program("int main(int x) {\nint y = x + 3;\nint z = y;\nreturn z;\n}").unwrap();
         // Build one localizer per expected output (the golden output differs
         // per input, like the TCAS golden outputs do).
         let mut reports = Vec::new();
         for x in [1i64, 2, 5] {
-            let localizer = Localizer::new(
-                &program,
-                "main",
-                &Spec::ReturnEquals(x + 1),
-                &config8(),
-            )
-            .unwrap();
+            let localizer =
+                Localizer::new(&program, "main", &Spec::ReturnEquals(x + 1), &config8()).unwrap();
             reports.push(localizer.localize(&[x]).unwrap());
         }
         // Aggregate manually (the helper needs a single spec; this mirrors
@@ -184,7 +181,11 @@ mod tests {
                 *counts.entry(line).or_insert(0) += 1;
             }
         }
-        assert_eq!(counts[&Line(2)], 3, "the faulty line is blamed in every run");
+        assert_eq!(
+            counts[&Line(2)],
+            3,
+            "the faulty line is blamed in every run"
+        );
     }
 
     #[test]

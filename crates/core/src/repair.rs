@@ -179,11 +179,13 @@ fn candidate_mutations(program: &Program, line: Line, kind: RepairKind) -> Vec<M
             .into_iter()
             .filter(|site| site.line == line)
             .flat_map(|site| {
-                [1i64, -1].into_iter().map(move |delta| Mutation::BumpConstant {
-                    line: site.line,
-                    occurrence: site.occurrence,
-                    delta,
-                })
+                [1i64, -1]
+                    .into_iter()
+                    .map(move |delta| Mutation::BumpConstant {
+                        line: site.line,
+                        occurrence: site.occurrence,
+                        delta,
+                    })
             })
             .collect(),
         RepairKind::OperatorReplacement => operator_sites(program)
@@ -256,18 +258,16 @@ mod tests {
         .unwrap();
         let mut config = repair_config();
         config.kinds = vec![RepairKind::OperatorReplacement];
-        let repairs = suggest_repairs(
-            &program,
-            "get",
-            &Spec::Assertions,
-            &[vec![4]],
-            &config,
-        )
-        .unwrap();
+        let repairs =
+            suggest_repairs(&program, "get", &Spec::Assertions, &[vec![4]], &config).unwrap();
         assert!(
-            repairs
-                .iter()
-                .any(|r| matches!(r.mutation, Mutation::ReplaceOperator { new_op: minic::BinOp::Lt, .. })),
+            repairs.iter().any(|r| matches!(
+                r.mutation,
+                Mutation::ReplaceOperator {
+                    new_op: minic::BinOp::Lt,
+                    ..
+                }
+            )),
             "{repairs:?}"
         );
     }
@@ -276,10 +276,7 @@ mod tests {
     fn unfixable_bug_yields_no_repair() {
         // The fault is a completely wrong expression; ±1 and operator swaps
         // cannot repair it for the given failing tests.
-        let program = parse_program(
-            "int main(int x) {\nint y = 0;\nreturn y;\n}",
-        )
-        .unwrap();
+        let program = parse_program("int main(int x) {\nint y = 0;\nreturn y;\n}").unwrap();
         let mut config = repair_config();
         config.validate_with_bmc = false;
         let repairs = suggest_repairs(
@@ -295,10 +292,7 @@ mod tests {
 
     #[test]
     fn max_repairs_caps_the_search() {
-        let program = parse_program(
-            "int main(int x) {\nint y = x + 2;\nreturn y;\n}",
-        )
-        .unwrap();
+        let program = parse_program("int main(int x) {\nint y = x + 2;\nreturn y;\n}").unwrap();
         let mut config = repair_config();
         config.max_repairs = 1;
         config.validate_with_bmc = false;

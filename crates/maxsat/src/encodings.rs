@@ -41,7 +41,10 @@ pub fn encode_at_most_one(solver: &mut Solver, lits: &[Lit]) {
 
 /// Adds clauses enforcing *exactly one* of `lits` is true.
 pub fn encode_exactly_one(solver: &mut Solver, lits: &[Lit]) {
-    assert!(!lits.is_empty(), "exactly-one over an empty set is unsatisfiable");
+    assert!(
+        !lits.is_empty(),
+        "exactly-one over an empty set is unsatisfiable"
+    );
     solver.add_clause(lits.iter().copied());
     encode_at_most_one(solver, lits);
 }
@@ -154,8 +157,7 @@ impl GeneralizedTotalizer {
     /// Builds the weighted totalizer over `(literal, weight)` inputs, adding
     /// the defining clauses to `solver`. Zero-weight inputs are ignored.
     pub fn new(solver: &mut Solver, inputs: &[(Lit, u64)]) -> GeneralizedTotalizer {
-        let filtered: Vec<(Lit, u64)> =
-            inputs.iter().copied().filter(|&(_, w)| w > 0).collect();
+        let filtered: Vec<(Lit, u64)> = inputs.iter().copied().filter(|&(_, w)| w > 0).collect();
         let outputs = build_gte(solver, &filtered);
         GeneralizedTotalizer { outputs }
     }
@@ -191,8 +193,8 @@ fn build_gte(solver: &mut Solver, inputs: &[(Lit, u64)]) -> BTreeMap<u64, Lit> {
             let mut sums: Vec<u64> = Vec::new();
             sums.extend(left.keys().copied());
             sums.extend(right.keys().copied());
-            for (&a, _) in &left {
-                for (&b, _) in &right {
+            for &a in left.keys() {
+                for &b in right.keys() {
                     sums.push(a + b);
                 }
             }

@@ -37,7 +37,9 @@
 
 pub mod encodings;
 mod instance;
+pub mod portfolio;
 mod solve;
 
 pub use instance::{MaxSatInstance, SoftClause, SoftId};
+pub use portfolio::{PortfolioOutcome, PortfolioSolver, RaceContext, WorkerReport};
 pub use solve::{solve, MaxSatResult, MaxSatSolution, MaxSatSolver, MaxSatStats, Strategy};

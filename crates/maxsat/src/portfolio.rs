@@ -1,0 +1,389 @@
+//! A parallel racing portfolio over the MAX-SAT strategies.
+//!
+//! The BugAssist paper observes (Sec. 6) that MAX-SAT solving dominates the
+//! localization runtime, and the two complete strategies in this crate have
+//! complementary strengths: core-guided [`Strategy::FuMalik`] excels when the
+//! optimum cost is small (few cores to relax — the common BugAssist case,
+//! where a single statement is to blame), while model-improving
+//! [`Strategy::LinearSatUnsat`] wins when many soft clauses must be
+//! sacrificed and when the first model is already close to optimal. A racing
+//! portfolio gets the better of both on every instance:
+//!
+//! * every strategy runs on its own `std::thread` worker against the same
+//!   immutable [`MaxSatInstance`];
+//! * workers share a [`RaceContext`] — an incumbent solution guarded by a
+//!   mutex, a lock-free best-cost bound (`AtomicU64`) and a cancellation flag
+//!   (`AtomicBool`);
+//! * [`Strategy::LinearSatUnsat`] publishes every improving model to the
+//!   incumbent and adopts a better incumbent published by someone else;
+//! * [`Strategy::FuMalik`] compares its monotonically increasing lower bound
+//!   against the shared upper bound and, the moment they meet, returns the
+//!   incumbent as the proven optimum — a cross-strategy optimality proof
+//!   neither worker could produce alone that early;
+//! * the first worker to produce a definitive answer cancels the rest, which
+//!   abort at their next restart boundary (the SAT solver polls the flag via
+//!   [`sat::Solver::solve_assuming_interruptible`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use maxsat::{MaxSatInstance, PortfolioSolver};
+//!
+//! let mut inst = MaxSatInstance::new();
+//! let x = inst.new_var().positive();
+//! inst.add_hard(vec![x]);
+//! inst.add_soft(vec![!x], 3);
+//! inst.add_soft(vec![x], 1);
+//!
+//! let outcome = PortfolioSolver::default().solve(&inst);
+//! let solution = outcome.result.into_optimum().expect("satisfiable");
+//! assert_eq!(solution.cost, 3);
+//! ```
+
+use crate::instance::MaxSatInstance;
+use crate::solve::{MaxSatResult, MaxSatSolution, MaxSatSolver, MaxSatStats, Strategy};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shared state of one portfolio race: the incumbent (best known) solution,
+/// a lock-free upper bound on the optimum cost, and a cancellation flag.
+#[derive(Debug, Default)]
+pub struct RaceContext {
+    cancel: AtomicBool,
+    /// Cost of the incumbent; `u64::MAX` while no model has been found.
+    best_cost: AtomicU64,
+    incumbent: Mutex<Option<MaxSatSolution>>,
+}
+
+impl RaceContext {
+    /// Creates a fresh race with no incumbent.
+    pub fn new() -> RaceContext {
+        RaceContext {
+            cancel: AtomicBool::new(false),
+            best_cost: AtomicU64::new(u64::MAX),
+            incumbent: Mutex::new(None),
+        }
+    }
+
+    /// Signals every worker to abort at its next cancellation point.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`RaceContext::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The cancellation flag itself, for threading into
+    /// [`sat::Solver::solve_assuming_interruptible`].
+    pub fn cancel_flag(&self) -> &AtomicBool {
+        &self.cancel
+    }
+
+    /// Cost of the best published solution so far (`u64::MAX` if none).
+    pub fn best_cost(&self) -> u64 {
+        self.best_cost.load(Ordering::Acquire)
+    }
+
+    /// Publishes a solution if it improves on the incumbent. Returns `true`
+    /// if the incumbent was replaced.
+    pub fn publish(&self, solution: &MaxSatSolution) -> bool {
+        // Fast path: don't take the lock for a solution that cannot win.
+        if solution.cost >= self.best_cost() && self.best_cost() != u64::MAX {
+            return false;
+        }
+        let mut incumbent = self.incumbent.lock().expect("race mutex poisoned");
+        let improves = incumbent
+            .as_ref()
+            .is_none_or(|inc| solution.cost < inc.cost);
+        if improves {
+            *incumbent = Some(solution.clone());
+            self.best_cost.store(solution.cost, Ordering::Release);
+        }
+        improves
+    }
+
+    /// Returns a clone of the incumbent if its cost is at most `bound`.
+    pub fn incumbent_at_most(&self, bound: u64) -> Option<MaxSatSolution> {
+        if self.best_cost() > bound {
+            return None;
+        }
+        let incumbent = self.incumbent.lock().expect("race mutex poisoned");
+        incumbent.as_ref().filter(|inc| inc.cost <= bound).cloned()
+    }
+}
+
+/// Per-worker record of how one strategy fared in a race.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerReport {
+    /// The strategy this worker ran.
+    pub strategy: Strategy,
+    /// Solver statistics accumulated before the worker finished or was
+    /// cancelled.
+    pub stats: MaxSatStats,
+    /// `true` if this worker produced the winning result.
+    pub won: bool,
+}
+
+/// The outcome of a portfolio race.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The result: an optimum-cost solution (or the hard-UNSAT verdict). The
+    /// cost is identical to what any single complete strategy would have
+    /// returned, only faster; when several optima tie on cost, *which* model
+    /// is returned depends on who wins the race.
+    pub result: MaxSatResult,
+    /// Which strategy crossed the finish line first.
+    pub winner: Strategy,
+    /// Statistics of the winning worker.
+    pub winner_stats: MaxSatStats,
+    /// One report per worker, in configuration order.
+    pub workers: Vec<WorkerReport>,
+}
+
+/// A solver that races several complete strategies and returns the first
+/// definitive answer, cancelling the losers.
+#[derive(Clone, Debug)]
+pub struct PortfolioSolver {
+    strategies: Vec<Strategy>,
+}
+
+impl Default for PortfolioSolver {
+    /// Races [`Strategy::FuMalik`] against [`Strategy::LinearSatUnsat`] —
+    /// the configuration the BugAssist localizer uses.
+    fn default() -> PortfolioSolver {
+        PortfolioSolver::new(vec![Strategy::FuMalik, Strategy::LinearSatUnsat])
+    }
+}
+
+impl PortfolioSolver {
+    /// Creates a portfolio over the given base strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategies` is empty or contains [`Strategy::Portfolio`]
+    /// itself (a portfolio cannot race recursively).
+    pub fn new(strategies: Vec<Strategy>) -> PortfolioSolver {
+        assert!(
+            !strategies.is_empty(),
+            "portfolio needs at least one strategy"
+        );
+        assert!(
+            !strategies.contains(&Strategy::Portfolio),
+            "a portfolio cannot contain itself"
+        );
+        PortfolioSolver { strategies }
+    }
+
+    /// The strategies this portfolio races.
+    pub fn strategies(&self) -> &[Strategy] {
+        &self.strategies
+    }
+
+    /// Solves the instance to optimality.
+    ///
+    /// When at least two hardware threads are available the strategies
+    /// genuinely [race](PortfolioSolver::race). On a single-core machine a
+    /// fair race would serialize into the *sum* of the strategies' runtimes
+    /// (every strategy here is complete, so the first to finish has already
+    /// proven optimality and the rival's work is pure overhead); the
+    /// portfolio therefore degrades gracefully and runs only its lead
+    /// strategy inline.
+    pub fn solve(&self, instance: &MaxSatInstance) -> PortfolioOutcome {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if self.strategies.len() == 1 || cores < 2 {
+            return self.solve_inline(instance);
+        }
+        self.race(instance)
+    }
+
+    /// Degenerate portfolio: run the lead strategy on the calling thread —
+    /// no workers, no shared state.
+    fn solve_inline(&self, instance: &MaxSatInstance) -> PortfolioOutcome {
+        let mut solver = MaxSatSolver::new(self.strategies[0]);
+        let result = solver.solve(instance);
+        PortfolioOutcome {
+            result,
+            winner: self.strategies[0],
+            winner_stats: solver.stats(),
+            workers: vec![WorkerReport {
+                strategy: self.strategies[0],
+                stats: solver.stats(),
+                won: true,
+            }],
+        }
+    }
+
+    /// Races all strategies on parallel threads unconditionally, regardless
+    /// of hardware parallelism. [`PortfolioSolver::solve`] is the adaptive
+    /// entry point; this one exists for benchmarking the race itself and for
+    /// exercising the cancellation machinery on any machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the portfolio has a single strategy (there is no race to
+    /// run — use [`PortfolioSolver::solve`]).
+    pub fn race(&self, instance: &MaxSatInstance) -> PortfolioOutcome {
+        assert!(
+            self.strategies.len() >= 2,
+            "racing needs at least two strategies"
+        );
+        let race = RaceContext::new();
+        let finish: Mutex<Option<(Strategy, MaxSatResult, MaxSatStats)>> = Mutex::new(None);
+        let mut workers: Vec<WorkerReport> = Vec::with_capacity(self.strategies.len());
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .strategies
+                .iter()
+                .map(|&strategy| {
+                    let race = &race;
+                    let finish = &finish;
+                    scope.spawn(move || {
+                        let mut solver = MaxSatSolver::new(strategy);
+                        if let Some(result) = solver.solve_racing(instance, race) {
+                            let mut slot = finish.lock().expect("finish mutex poisoned");
+                            if slot.is_none() {
+                                *slot = Some((strategy, result, solver.stats()));
+                                // The race is decided; losers abort at their
+                                // next restart boundary.
+                                race.cancel();
+                            }
+                        }
+                        (strategy, solver.stats())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (strategy, stats) = handle.join().expect("portfolio worker panicked");
+                workers.push(WorkerReport {
+                    strategy,
+                    stats,
+                    won: false,
+                });
+            }
+        });
+
+        let (winner, result, winner_stats) = finish
+            .into_inner()
+            .expect("finish mutex poisoned")
+            .expect("cancellation only happens after a winner is recorded");
+        for worker in &mut workers {
+            worker.won = worker.strategy == winner;
+        }
+        PortfolioOutcome {
+            result,
+            winner,
+            winner_stats,
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve;
+    use sat::Lit;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn chain_instance(statements: usize) -> MaxSatInstance {
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(statements + 1);
+        let val = |i: usize| sat::Var::from_index(i).positive();
+        inst.add_hard(vec![val(0)]);
+        inst.add_hard(vec![!val(statements)]);
+        for i in 0..statements {
+            let selector = inst.new_var().positive();
+            inst.add_hard(vec![!selector, !val(i), val(i + 1)]);
+            inst.add_soft(vec![selector], 1);
+        }
+        inst
+    }
+
+    #[test]
+    fn forced_race_matches_single_strategies() {
+        let inst = chain_instance(25);
+        let expected = solve(&inst, Strategy::FuMalik)
+            .into_optimum()
+            .expect("satisfiable")
+            .cost;
+        // `race` (not `solve`) so the threaded path runs even on one core.
+        let outcome = PortfolioSolver::default().race(&inst);
+        let solution = outcome.result.into_optimum().expect("satisfiable");
+        assert_eq!(solution.cost, expected);
+        assert_eq!(outcome.workers.len(), 2);
+        assert!(outcome.workers.iter().any(|w| w.won));
+    }
+
+    #[test]
+    fn adaptive_solve_matches_forced_race() {
+        let inst = chain_instance(10);
+        let adaptive = PortfolioSolver::default().solve(&inst);
+        let raced = PortfolioSolver::default().race(&inst);
+        assert_eq!(
+            adaptive.result.into_optimum().expect("satisfiable").cost,
+            raced.result.into_optimum().expect("satisfiable").cost
+        );
+    }
+
+    #[test]
+    fn forced_race_detects_hard_unsat() {
+        let mut inst = MaxSatInstance::new();
+        inst.add_hard(vec![lit(1)]);
+        inst.add_hard(vec![lit(-1)]);
+        inst.add_soft(vec![lit(2)], 1);
+        let outcome = PortfolioSolver::default().race(&inst);
+        assert!(outcome.result.is_hard_unsat());
+        assert!(PortfolioSolver::default()
+            .solve(&inst)
+            .result
+            .is_hard_unsat());
+    }
+
+    #[test]
+    fn singleton_portfolio_runs_inline() {
+        let inst = chain_instance(5);
+        let outcome = PortfolioSolver::new(vec![Strategy::LinearSatUnsat]).solve(&inst);
+        assert_eq!(outcome.winner, Strategy::LinearSatUnsat);
+        assert_eq!(outcome.result.into_optimum().expect("satisfiable").cost, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot contain itself")]
+    fn recursive_portfolio_rejected() {
+        let _ = PortfolioSolver::new(vec![Strategy::Portfolio]);
+    }
+
+    #[test]
+    fn race_context_publish_and_bound() {
+        let race = RaceContext::new();
+        assert_eq!(race.best_cost(), u64::MAX);
+        assert!(race.incumbent_at_most(u64::MAX - 1).is_none());
+        let solution = MaxSatSolution {
+            cost: 5,
+            model: vec![true],
+            falsified: vec![],
+        };
+        assert!(race.publish(&solution));
+        assert_eq!(race.best_cost(), 5);
+        // A worse solution is rejected.
+        let worse = MaxSatSolution {
+            cost: 9,
+            model: vec![false],
+            falsified: vec![],
+        };
+        assert!(!race.publish(&worse));
+        assert!(race.incumbent_at_most(4).is_none());
+        assert_eq!(race.incumbent_at_most(5).expect("incumbent").cost, 5);
+        assert!(!race.is_cancelled());
+        race.cancel();
+        assert!(race.is_cancelled());
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::encodings::{encode_exactly_one, GeneralizedTotalizer};
 use crate::instance::{MaxSatInstance, SoftId};
+use crate::portfolio::{PortfolioSolver, RaceContext};
 use sat::{Lit, SatResult, Solver};
 
 /// Which algorithm to use for a [`solve`] call.
@@ -29,6 +30,10 @@ pub enum Strategy {
     FuMalik,
     /// Model-improving linear SAT–UNSAT search with a generalized totalizer.
     LinearSatUnsat,
+    /// Race [`Strategy::FuMalik`] against [`Strategy::LinearSatUnsat`] on
+    /// parallel threads with a shared best-cost bound; the first definitive
+    /// answer wins and the loser is cancelled (see [`crate::portfolio`]).
+    Portfolio,
 }
 
 /// An optimal solution to a weighted partial MAX-SAT instance.
@@ -146,19 +151,65 @@ impl MaxSatSolver {
     pub fn solve(&mut self, instance: &MaxSatInstance) -> MaxSatResult {
         self.stats = MaxSatStats::default();
         let result = match self.strategy {
-            Strategy::FuMalik => self.solve_fu_malik(instance),
-            Strategy::LinearSatUnsat => self.solve_linear(instance),
+            Strategy::FuMalik => self
+                .solve_fu_malik(instance, None)
+                .expect("unraced solve always completes"),
+            Strategy::LinearSatUnsat => self
+                .solve_linear(instance, None)
+                .expect("unraced solve always completes"),
+            Strategy::Portfolio => {
+                let outcome = PortfolioSolver::default().solve(instance);
+                self.stats = outcome.winner_stats;
+                outcome.result
+            }
         };
         debug_assert!(check_solution(instance, &result));
         result
     }
 
-    fn solve_fu_malik(&mut self, instance: &MaxSatInstance) -> MaxSatResult {
+    /// Runs this solver's strategy as one worker of a portfolio race.
+    /// Returns `None` if the worker was cancelled before reaching a
+    /// definitive answer.
+    pub(crate) fn solve_racing(
+        &mut self,
+        instance: &MaxSatInstance,
+        race: &RaceContext,
+    ) -> Option<MaxSatResult> {
+        self.stats = MaxSatStats::default();
+        let result = match self.strategy {
+            Strategy::FuMalik => self.solve_fu_malik(instance, Some(race)),
+            Strategy::LinearSatUnsat => self.solve_linear(instance, Some(race)),
+            Strategy::Portfolio => unreachable!("a portfolio cannot race itself"),
+        };
+        if let Some(result) = &result {
+            debug_assert!(check_solution(instance, result));
+        }
+        result
+    }
+
+    /// Dispatches one SAT call, polling the race's cancellation flag at
+    /// restart boundaries when racing.
+    fn sat_call(
+        solver: &mut Solver,
+        assumptions: &[Lit],
+        race: Option<&RaceContext>,
+    ) -> Option<SatResult> {
+        match race {
+            None => Some(solver.solve_assuming(assumptions)),
+            Some(race) => solver.solve_assuming_interruptible(assumptions, race.cancel_flag()),
+        }
+    }
+
+    fn solve_fu_malik(
+        &mut self,
+        instance: &MaxSatInstance,
+        race: Option<&RaceContext>,
+    ) -> Option<MaxSatResult> {
         let mut solver = Solver::new();
         solver.ensure_vars(instance.num_vars());
         for clause in instance.hard().iter() {
             if !solver.add_clause(clause.lits().iter().copied()) {
-                return MaxSatResult::HardUnsat;
+                return Some(MaxSatResult::HardUnsat);
             }
         }
 
@@ -190,24 +241,38 @@ impl MaxSatSolver {
 
         let mut cost = base_cost;
         loop {
+            // `cost` is a valid lower bound on the optimum (the WPM1
+            // invariant). If a rival already published a model of that cost,
+            // the incumbent is a proven optimum — finish with it.
+            if let Some(race) = race {
+                if let Some(incumbent) = race.incumbent_at_most(cost) {
+                    self.stats.final_vars = solver.num_vars();
+                    self.stats.conflicts = solver.stats().conflicts;
+                    return Some(MaxSatResult::Optimum(incumbent));
+                }
+            }
             let assumptions: Vec<Lit> = work.iter().map(|w| w.selector).collect();
             self.stats.sat_calls += 1;
-            match solver.solve_assuming(&assumptions) {
+            match Self::sat_call(&mut solver, &assumptions, race)? {
                 SatResult::Sat => {
                     let model = truncate_model(&solver, instance.num_vars());
                     let falsified = falsified_soft(instance, &model);
                     self.stats.final_vars = solver.num_vars();
                     self.stats.conflicts = solver.stats().conflicts;
-                    return MaxSatResult::Optimum(MaxSatSolution {
+                    let solution = MaxSatSolution {
                         cost,
                         model,
                         falsified,
-                    });
+                    };
+                    if let Some(race) = race {
+                        race.publish(&solution);
+                    }
+                    return Some(MaxSatResult::Optimum(solution));
                 }
                 SatResult::Unsat => {
                     let core: Vec<Lit> = solver.unsat_core().to_vec();
                     if core.is_empty() {
-                        return MaxSatResult::HardUnsat;
+                        return Some(MaxSatResult::HardUnsat);
                     }
                     self.stats.cores += 1;
                     let core_indices: Vec<usize> = work
@@ -258,12 +323,16 @@ impl MaxSatSolver {
         }
     }
 
-    fn solve_linear(&mut self, instance: &MaxSatInstance) -> MaxSatResult {
+    fn solve_linear(
+        &mut self,
+        instance: &MaxSatInstance,
+        race: Option<&RaceContext>,
+    ) -> Option<MaxSatResult> {
         let mut solver = Solver::new();
         solver.ensure_vars(instance.num_vars());
         for clause in instance.hard().iter() {
             if !solver.add_clause(clause.lits().iter().copied()) {
-                return MaxSatResult::HardUnsat;
+                return Some(MaxSatResult::HardUnsat);
             }
         }
         // Relax every soft clause up front.
@@ -282,8 +351,8 @@ impl MaxSatSolver {
         }
 
         self.stats.sat_calls += 1;
-        if solver.solve() == SatResult::Unsat {
-            return MaxSatResult::HardUnsat;
+        if Self::sat_call(&mut solver, &[], race)? == SatResult::Unsat {
+            return Some(MaxSatResult::HardUnsat);
         }
         // `cost_of` already counts empty soft clauses (they evaluate to
         // false), so `base_cost` is only used to shift the totalizer bound.
@@ -291,6 +360,16 @@ impl MaxSatSolver {
         let mut best_cost = instance
             .cost_of(&best_model)
             .expect("SAT model satisfies hard clauses");
+        let publish = |cost: u64, model: &[bool]| {
+            if let Some(race) = race {
+                race.publish(&MaxSatSolution {
+                    cost,
+                    model: model.to_vec(),
+                    falsified: falsified_soft(instance, model),
+                });
+            }
+        };
+        publish(best_cost, &best_model);
 
         if best_cost > base_cost {
             let gte = GeneralizedTotalizer::new(&mut solver, &weighted_relax);
@@ -298,10 +377,20 @@ impl MaxSatSolver {
                 if best_cost == base_cost {
                     break;
                 }
+                // Adopt a better incumbent published by a rival worker: its
+                // model is a model of the same hard clauses, so the search
+                // can continue bounding strictly below it.
+                if let Some(race) = race {
+                    if let Some(incumbent) = race.incumbent_at_most(best_cost.saturating_sub(1)) {
+                        best_cost = incumbent.cost;
+                        best_model = incumbent.model;
+                        continue;
+                    }
+                }
                 let bound = best_cost - base_cost - 1;
                 let assumptions = gte.at_most(bound);
                 self.stats.sat_calls += 1;
-                match solver.solve_assuming(&assumptions) {
+                match Self::sat_call(&mut solver, &assumptions, race)? {
                     SatResult::Sat => {
                         let model = truncate_model(&solver, instance.num_vars());
                         let cost = instance
@@ -310,6 +399,7 @@ impl MaxSatSolver {
                         debug_assert!(cost < best_cost);
                         best_cost = cost;
                         best_model = model;
+                        publish(best_cost, &best_model);
                     }
                     SatResult::Unsat => break,
                 }
@@ -319,11 +409,11 @@ impl MaxSatSolver {
         self.stats.final_vars = solver.num_vars();
         self.stats.conflicts = solver.stats().conflicts;
         let falsified = falsified_soft(instance, &best_model);
-        MaxSatResult::Optimum(MaxSatSolution {
+        Some(MaxSatResult::Optimum(MaxSatSolution {
             cost: best_cost,
             model: best_model,
             falsified,
-        })
+        }))
     }
 }
 
@@ -409,7 +499,10 @@ mod tests {
         inst.ensure_vars(1);
         inst.add_soft(vec![lit(1)], 10);
         inst.add_soft(vec![lit(-1)], 1);
-        for result in [solve(&inst, Strategy::FuMalik), solve(&inst, Strategy::LinearSatUnsat)] {
+        for result in [
+            solve(&inst, Strategy::FuMalik),
+            solve(&inst, Strategy::LinearSatUnsat),
+        ] {
             let sol = result.into_optimum().unwrap();
             assert_eq!(sol.cost, 1);
             assert_eq!(sol.falsified, vec![SoftId(1)]);
@@ -492,7 +585,11 @@ mod tests {
         for strategy in [Strategy::FuMalik, Strategy::LinearSatUnsat] {
             let sol = solve(&inst, strategy).into_optimum().unwrap();
             assert_eq!(sol.cost, 1, "strategy {strategy:?}");
-            assert_eq!(sol.falsified, vec![SoftId(0)], "only statement 1 is to blame");
+            assert_eq!(
+                sol.falsified,
+                vec![SoftId(0)],
+                "only statement 1 is to blame"
+            );
         }
     }
 

@@ -1,9 +1,10 @@
-//! Property-based tests: both MAX-SAT strategies must agree with the
-//! exhaustive brute-force optimum on random small instances, and their
-//! reported CoMSS must be a genuine minimum-weight correction set.
+//! Randomized tests: both MAX-SAT strategies must agree with the exhaustive
+//! brute-force optimum on random small instances, and their reported CoMSS
+//! must be a genuine minimum-weight correction set. Seeded PRNG keeps every
+//! run deterministic.
 
-use maxsat::{solve, MaxSatInstance, Strategy as MsStrategy};
-use proptest::prelude::*;
+use maxsat::{solve, MaxSatInstance, PortfolioSolver, Strategy as MsStrategy};
+use prng::SplitMix64;
 use sat::reference::brute_force_max_sat;
 use sat::{Clause, CnfFormula, Lit, Var};
 
@@ -14,15 +15,25 @@ struct RandomInstance {
     num_vars: usize,
 }
 
-fn instance_strategy(num_vars: usize) -> impl Strategy<Value = RandomInstance> {
-    let clause = prop::collection::vec((0..num_vars, any::<bool>()), 1..=3);
-    let hard = prop::collection::vec(clause.clone(), 0..=4);
-    let soft = prop::collection::vec((clause, 1u64..=4), 1..=6);
-    (hard, soft).prop_map(move |(hard, soft)| RandomInstance {
+fn random_clause(rng: &mut SplitMix64, num_vars: usize) -> Vec<(usize, bool)> {
+    let len = rng.gen_range(1usize..=3);
+    (0..len)
+        .map(|_| (rng.gen_range(0..num_vars), rng.gen_bool(0.5)))
+        .collect()
+}
+
+fn random_instance(rng: &mut SplitMix64, num_vars: usize) -> RandomInstance {
+    let hard = (0..rng.gen_range(0usize..=4))
+        .map(|_| random_clause(rng, num_vars))
+        .collect();
+    let soft = (0..rng.gen_range(1usize..=6))
+        .map(|_| (random_clause(rng, num_vars), rng.gen_range(1u64..=4)))
+        .collect();
+    RandomInstance {
         hard,
         soft,
         num_vars,
-    })
+    }
 }
 
 fn to_instance(raw: &RandomInstance) -> (MaxSatInstance, CnfFormula, Vec<(Clause, u64)>) {
@@ -48,11 +59,11 @@ fn to_instance(raw: &RandomInstance) -> (MaxSatInstance, CnfFormula, Vec<(Clause
     (inst, hard, soft)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn strategies_match_brute_force_optimum(raw in instance_strategy(6)) {
+#[test]
+fn strategies_match_brute_force_optimum() {
+    let mut rng = SplitMix64::seed_from_u64(2011);
+    for case in 0..96 {
+        let raw = random_instance(&mut rng, 6);
         let (inst, hard, soft) = to_instance(&raw);
         let reference = brute_force_max_sat(&hard, &soft);
         for strategy in [MsStrategy::FuMalik, MsStrategy::LinearSatUnsat] {
@@ -62,30 +73,84 @@ proptest! {
                 (Some((best_weight, _)), Some(sol)) => {
                     let total: u64 = soft.iter().map(|(_, w)| *w).sum();
                     let expected_cost = total - best_weight;
-                    prop_assert_eq!(sol.cost, expected_cost,
-                        "strategy {:?}: cost mismatch", strategy);
+                    assert_eq!(
+                        sol.cost, expected_cost,
+                        "case {case}, strategy {strategy:?}: cost mismatch on {raw:?}"
+                    );
                     // The model must satisfy all hard clauses and pay exactly cost.
-                    prop_assert_eq!(inst.cost_of(&sol.model), Some(sol.cost));
+                    assert_eq!(inst.cost_of(&sol.model), Some(sol.cost), "case {case}");
                 }
-                (r, s) => prop_assert!(false, "disagreement: reference {:?}, solver {:?}", r.is_some(), s.is_some()),
+                (r, s) => panic!(
+                    "case {case}: disagreement: reference {:?}, solver {:?}",
+                    r.is_some(),
+                    s.is_some()
+                ),
             }
         }
     }
+}
 
-    #[test]
-    fn comss_is_a_correction_set(raw in instance_strategy(6)) {
+#[test]
+fn portfolio_matches_single_strategies_on_random_instances() {
+    // The racing portfolio must be a drop-in replacement: same optimum cost
+    // (and same hard-UNSAT verdict) as each complete strategy run alone.
+    let mut rng = SplitMix64::seed_from_u64(0xFACE);
+    for case in 0..64 {
+        let raw = random_instance(&mut rng, 6);
+        let (inst, _, _) = to_instance(&raw);
+        let portfolio = solve(&inst, MsStrategy::Portfolio);
+        // Also force the threaded race (Strategy::Portfolio may degrade to a
+        // single strategy on single-core machines) and cross-check its cost.
+        let raced = PortfolioSolver::default().race(&inst);
+        match (portfolio.optimum(), raced.result.optimum()) {
+            (None, None) => {}
+            (Some(p), Some(r)) => assert_eq!(p.cost, r.cost, "case {case}: forced race drifts"),
+            (p, r) => panic!(
+                "case {case}: adaptive {:?} vs raced {:?}",
+                p.is_some(),
+                r.is_some()
+            ),
+        }
+        for strategy in [MsStrategy::FuMalik, MsStrategy::LinearSatUnsat] {
+            let single = solve(&inst, strategy);
+            match (portfolio.optimum(), single.optimum()) {
+                (None, None) => {}
+                (Some(p), Some(s)) => {
+                    assert_eq!(
+                        p.cost, s.cost,
+                        "case {case}: portfolio cost differs from {strategy:?} on {raw:?}"
+                    );
+                    // The portfolio's model must be genuinely optimal too.
+                    assert_eq!(inst.cost_of(&p.model), Some(p.cost), "case {case}");
+                }
+                (p, s) => panic!(
+                    "case {case}: SAT/UNSAT disagreement: portfolio {:?}, {strategy:?} {:?}",
+                    p.is_some(),
+                    s.is_some()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn comss_is_a_correction_set() {
+    let mut rng = SplitMix64::seed_from_u64(4242);
+    for _ in 0..96 {
+        let raw = random_instance(&mut rng, 6);
         let (inst, hard, _) = to_instance(&raw);
         if let Some(sol) = solve(&inst, MsStrategy::FuMalik).into_optimum() {
-            // Removing the CoMSS clauses and keeping the rest as hard must be satisfiable.
+            // Removing the CoMSS clauses and keeping the rest as hard must be
+            // satisfiable.
             let mut check = hard.clone();
             for (i, soft) in inst.soft_clauses().iter().enumerate() {
                 if !sol.falsified.iter().any(|id| id.index() == i) {
                     check.add_clause(soft.clause.clone());
                 }
             }
-            prop_assert!(
+            assert!(
                 sat::reference::brute_force_satisfiable(&check).is_some(),
-                "MSS (complement of reported CoMSS) is not satisfiable"
+                "MSS (complement of reported CoMSS) is not satisfiable: {raw:?}"
             );
         }
     }

@@ -251,15 +251,8 @@ impl Expr {
     pub fn read_vars(&self) -> Vec<String> {
         let mut out = Vec::new();
         self.walk(&mut |e| match e {
-            Expr::Var(name) => {
-                if !out.contains(name) {
-                    out.push(name.clone());
-                }
-            }
-            Expr::Index(name, _) => {
-                if !out.contains(name) {
-                    out.push(name.clone());
-                }
+            Expr::Var(name) | Expr::Index(name, _) if !out.contains(name) => {
+                out.push(name.clone());
             }
             _ => {}
         });
@@ -297,11 +290,9 @@ impl Expr {
             Expr::Binary(op, lhs, rhs) => {
                 Expr::Binary(*op, Box::new(lhs.map(f)), Box::new(rhs.map(f)))
             }
-            Expr::Cond(c, t, e) => Expr::Cond(
-                Box::new(c.map(f)),
-                Box::new(t.map(f)),
-                Box::new(e.map(f)),
-            ),
+            Expr::Cond(c, t, e) => {
+                Expr::Cond(Box::new(c.map(f)), Box::new(t.map(f)), Box::new(e.map(f)))
+            }
             Expr::Call(name, args) => {
                 Expr::Call(name.clone(), args.iter().map(|a| a.map(f)).collect())
             }

@@ -321,7 +321,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(symbols, vec![Symbol::Le, Symbol::AndAnd, Symbol::NotEq, Symbol::Shr]);
+        assert_eq!(
+            symbols,
+            vec![Symbol::Le, Symbol::AndAnd, Symbol::NotEq, Symbol::Shr]
+        );
     }
 
     #[test]

@@ -73,13 +73,25 @@ impl Mutation {
 impl fmt::Display for Mutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Mutation::BumpConstant { line, occurrence, delta } => {
+            Mutation::BumpConstant {
+                line,
+                occurrence,
+                delta,
+            } => {
                 write!(f, "bump constant #{occurrence} at {line} by {delta:+}")
             }
-            Mutation::SetConstant { line, occurrence, value } => {
+            Mutation::SetConstant {
+                line,
+                occurrence,
+                value,
+            } => {
                 write!(f, "set constant #{occurrence} at {line} to {value}")
             }
-            Mutation::ReplaceOperator { line, occurrence, new_op } => {
+            Mutation::ReplaceOperator {
+                line,
+                occurrence,
+                new_op,
+            } => {
                 write!(f, "replace operator #{occurrence} at {line} with {new_op}")
             }
             Mutation::NegateCondition { line } => write!(f, "negate condition at {line}"),
@@ -101,7 +113,11 @@ pub struct MutationError {
 
 impl fmt::Display for MutationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot apply mutation ({}): {}", self.mutation, self.message)
+        write!(
+            f,
+            "cannot apply mutation ({}): {}",
+            self.mutation, self.message
+        )
     }
 }
 
@@ -244,15 +260,15 @@ fn rewrite_stmt(stmt: &Stmt, mutation: &Mutation, applied: &mut bool) -> Stmt {
         return stmt;
     }
     match mutation {
-        Mutation::BumpConstant { occurrence, delta, .. } => {
-            rewrite_nth_constant(stmt, *occurrence, |v| v + delta, applied)
-        }
-        Mutation::SetConstant { occurrence, value, .. } => {
-            rewrite_nth_constant(stmt, *occurrence, |_| *value, applied)
-        }
-        Mutation::ReplaceOperator { occurrence, new_op, .. } => {
-            rewrite_nth_operator(stmt, *occurrence, *new_op, applied)
-        }
+        Mutation::BumpConstant {
+            occurrence, delta, ..
+        } => rewrite_nth_constant(stmt, *occurrence, |v| v + delta, applied),
+        Mutation::SetConstant {
+            occurrence, value, ..
+        } => rewrite_nth_constant(stmt, *occurrence, |_| *value, applied),
+        Mutation::ReplaceOperator {
+            occurrence, new_op, ..
+        } => rewrite_nth_operator(stmt, *occurrence, *new_op, applied),
         Mutation::NegateCondition { .. } => match stmt {
             Stmt::If {
                 cond,
@@ -406,13 +422,22 @@ fn for_each_expr<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
 /// right-hand side, index, arguments), rebuilding the statement.
 fn map_stmt_exprs(stmt: Stmt, f: &mut dyn FnMut(&Expr) -> Expr) -> Stmt {
     match stmt {
-        Stmt::Decl { name, ty, init, line } => Stmt::Decl {
+        Stmt::Decl {
+            name,
+            ty,
+            init,
+            line,
+        } => Stmt::Decl {
             name,
             ty,
             init: init.map(|e| f(&e)),
             line,
         },
-        Stmt::Assign { target, value, line } => {
+        Stmt::Assign {
+            target,
+            value,
+            line,
+        } => {
             let target = match target {
                 LValue::Var(n) => LValue::Var(n),
                 LValue::Index(n, idx) => LValue::Index(n, Box::new(f(&idx))),
@@ -439,13 +464,22 @@ fn map_stmt_exprs(stmt: Stmt, f: &mut dyn FnMut(&Expr) -> Expr) -> Stmt {
             body,
             line,
         },
-        Stmt::Assert { cond, line } => Stmt::Assert { cond: f(&cond), line },
-        Stmt::Assume { cond, line } => Stmt::Assume { cond: f(&cond), line },
+        Stmt::Assert { cond, line } => Stmt::Assert {
+            cond: f(&cond),
+            line,
+        },
+        Stmt::Assume { cond, line } => Stmt::Assume {
+            cond: f(&cond),
+            line,
+        },
         Stmt::Return { value, line } => Stmt::Return {
             value: value.map(|e| f(&e)),
             line,
         },
-        Stmt::ExprStmt { expr, line } => Stmt::ExprStmt { expr: f(&expr), line },
+        Stmt::ExprStmt { expr, line } => Stmt::ExprStmt {
+            expr: f(&expr),
+            line,
+        },
     }
 }
 
@@ -556,7 +590,8 @@ mod tests {
     #[test]
     fn negate_condition_variants() {
         let program = testme();
-        let mutated = apply_mutation(&program, &Mutation::NegateCondition { line: Line(3) }).unwrap();
+        let mutated =
+            apply_mutation(&program, &Mutation::NegateCondition { line: Line(3) }).unwrap();
         assert!(pretty_program(&mutated).contains("if (!(index != 1))"));
         let err = apply_mutation(&program, &Mutation::NegateCondition { line: Line(4) });
         assert!(err.is_err(), "assignments have no condition to negate");
@@ -592,7 +627,11 @@ mod tests {
 
     #[test]
     fn mutations_display() {
-        let m = Mutation::BumpConstant { line: Line(4), occurrence: 0, delta: 1 };
+        let m = Mutation::BumpConstant {
+            line: Line(4),
+            occurrence: 0,
+            delta: 1,
+        };
         assert_eq!(m.to_string(), "bump constant #0 at line 4 by +1");
         assert_eq!(m.line(), Line(4));
     }

@@ -225,12 +225,10 @@ impl Parser {
         let mut params = Vec::new();
         if !self.eat_symbol(Symbol::RParen) {
             loop {
-                let ty = self
-                    .parse_type_or_void()?
-                    .ok_or_else(|| ParseError {
-                        line: self.line(),
-                        message: "parameters cannot be void".into(),
-                    })?;
+                let ty = self.parse_type_or_void()?.ok_or_else(|| ParseError {
+                    line: self.line(),
+                    message: "parameters cannot be void".into(),
+                })?;
                 let pname = self.expect_ident()?;
                 params.push((pname, ty));
                 if self.eat_symbol(Symbol::RParen) {
@@ -622,7 +620,10 @@ mod tests {
         let e = parse_expr("!-~x").unwrap();
         assert_eq!(
             e,
-            Expr::unary(UnOp::Not, Expr::unary(UnOp::Neg, Expr::unary(UnOp::BitNot, Expr::var("x"))))
+            Expr::unary(
+                UnOp::Not,
+                Expr::unary(UnOp::Neg, Expr::unary(UnOp::BitNot, Expr::var("x")))
+            )
         );
     }
 
@@ -643,7 +644,8 @@ mod tests {
 
     #[test]
     fn global_initializers_and_negative_values() {
-        let program = parse_program("int limit = -5; int table[4]; int main() { return limit; }").unwrap();
+        let program =
+            parse_program("int limit = -5; int table[4]; int main() { return limit; }").unwrap();
         assert_eq!(program.globals[0].init, Some(-5));
         assert_eq!(program.globals[1].ty, Type::Array(4));
         assert_eq!(program.globals[1].init, None);

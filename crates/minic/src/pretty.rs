@@ -46,7 +46,9 @@ pub fn pretty_program(program: &Program) -> String {
 /// Renders one function definition.
 pub fn pretty_function(function: &Function) -> String {
     let mut out = String::new();
-    let ret = function.ret.map_or("void".to_string(), |t| ty_name(t).to_string());
+    let ret = function
+        .ret
+        .map_or("void".to_string(), |t| ty_name(t).to_string());
     let params: Vec<String> = function
         .params
         .iter()

@@ -49,7 +49,10 @@ pub fn check_program(program: &Program) -> Vec<TypeError> {
 
     let mut global_types: HashMap<&str, Type> = HashMap::new();
     for global in &program.globals {
-        if global_types.insert(global.name.as_str(), global.ty).is_some() {
+        if global_types
+            .insert(global.name.as_str(), global.ty)
+            .is_some()
+        {
             errors.push(TypeError {
                 line: global.line,
                 message: format!("duplicate global {:?}", global.name),
@@ -58,7 +61,10 @@ pub fn check_program(program: &Program) -> Vec<TypeError> {
         if matches!(global.ty, Type::Array(_)) && global.init.is_some() {
             errors.push(TypeError {
                 line: global.line,
-                message: format!("array global {:?} cannot have a scalar initializer", global.name),
+                message: format!(
+                    "array global {:?} cannot have a scalar initializer",
+                    global.name
+                ),
             });
         }
     }
@@ -157,7 +163,12 @@ fn check_function(
     };
 
     function.walk_stmts(&mut |stmt| match stmt {
-        Stmt::Decl { init, line, ty, name } => {
+        Stmt::Decl {
+            init,
+            line,
+            ty,
+            name,
+        } => {
             if let Some(init) = init {
                 if matches!(ty, Type::Array(_)) {
                     errors.push(TypeError {
@@ -194,7 +205,9 @@ fn check_function(
                         Some(Type::Array(_)) => {}
                         Some(other) => errors.push(TypeError {
                             line: *line,
-                            message: format!("indexed assignment to non-array {name:?} of type {other}"),
+                            message: format!(
+                                "indexed assignment to non-array {name:?} of type {other}"
+                            ),
                         }),
                     }
                     check_expr(idx, *line, errors);
@@ -279,7 +292,9 @@ mod tests {
         let errs = errors_of("int main() { return missing(1); }");
         assert!(errs.iter().any(|e| e.message.contains("unknown function")));
         let errs = errors_of("int id(int x) { return x; } int main() { return id(1, 2); }");
-        assert!(errs.iter().any(|e| e.message.contains("expects 1 arguments")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("expects 1 arguments")));
     }
 
     #[test]
@@ -287,9 +302,13 @@ mod tests {
         let errs = errors_of("int a[3]; int main() { return a; }");
         assert!(errs.iter().any(|e| e.message.contains("without an index")));
         let errs = errors_of("int main(int x) { return x[0]; }");
-        assert!(errs.iter().any(|e| e.message.contains("indexing non-array")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("indexing non-array")));
         let errs = errors_of("int a[3]; void main() { a = 1; }");
-        assert!(errs.iter().any(|e| e.message.contains("cannot assign to array")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("cannot assign to array")));
     }
 
     #[test]

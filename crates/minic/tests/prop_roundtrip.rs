@@ -1,52 +1,87 @@
-//! Property-based tests for the MinC frontend: pretty-printing randomly
+//! Randomized tests for the MinC frontend: pretty-printing randomly
 //! generated expressions and statements must re-parse to the same structure,
-//! and mutations must leave the rest of the program untouched.
+//! and mutations must leave the rest of the program untouched. Seeded PRNG
+//! keeps every run deterministic.
 
 use minic::ast::*;
-use minic::{apply_mutation, constant_sites, parse_expr, parse_program, pretty_expr, pretty_program, Mutation};
-use proptest::prelude::*;
+use minic::{
+    apply_mutation, constant_sites, parse_expr, parse_program, pretty_expr, pretty_program,
+    Mutation,
+};
+use prng::SplitMix64;
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..100).prop_map(Expr::Int),
-        any::<bool>().prop_map(Expr::Bool),
-        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(|n| Expr::Var(n.to_string())),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
-                Just(BinOp::Lt), Just(BinOp::Le), Just(BinOp::Eq), Just(BinOp::And),
-                Just(BinOp::Or), Just(BinOp::BitXor), Just(BinOp::Shl),
-            ])
-                .prop_map(|(a, b, op)| Expr::binary(op, a, b)),
-            (inner.clone(), prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)])
-                .prop_map(|(e, op)| Expr::unary(op, e)),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Expr::Cond(Box::new(c), Box::new(t), Box::new(e))),
-        ]
-    })
+/// Generates a random expression with bounded depth, mirroring the shapes the
+/// old proptest strategy produced: int/bool/var leaves, the full binary
+/// operator set, unary operators, and conditional expressions.
+fn random_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0usize..3) {
+            0 => Expr::Int(rng.gen_range(0i64..100)),
+            1 => Expr::Bool(rng.gen_bool(0.5)),
+            _ => Expr::Var(["x", "y", "z"][rng.gen_range(0usize..3)].to_string()),
+        };
+    }
+    match rng.gen_range(0usize..3) {
+        0 => {
+            const OPS: [BinOp; 11] = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Eq,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::BitXor,
+                BinOp::Shl,
+            ];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            let a = random_expr(rng, depth - 1);
+            let b = random_expr(rng, depth - 1);
+            Expr::binary(op, a, b)
+        }
+        1 => {
+            const OPS: [UnOp; 3] = [UnOp::Neg, UnOp::Not, UnOp::BitNot];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            Expr::unary(op, random_expr(rng, depth - 1))
+        }
+        _ => Expr::Cond(
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+            Box::new(random_expr(rng, depth - 1)),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn pretty_expr_reparses_to_same_structure(e in arb_expr()) {
+#[test]
+fn pretty_expr_reparses_to_same_structure() {
+    let mut rng = SplitMix64::seed_from_u64(101);
+    for _ in 0..192 {
+        let e = random_expr(&mut rng, 4);
         let printed = pretty_expr(&e);
         let reparsed = parse_expr(&printed).unwrap();
         // Printing is fully parenthesized, so a print/parse cycle is the
         // identity on structure.
-        prop_assert_eq!(reparsed, e);
+        assert_eq!(reparsed, e, "printed: {printed}");
     }
+}
 
-    #[test]
-    fn program_pretty_print_is_stable(cond in arb_expr(), rhs in arb_expr()) {
+#[test]
+fn program_pretty_print_is_stable() {
+    let mut rng = SplitMix64::seed_from_u64(103);
+    for _ in 0..192 {
+        let cond = random_expr(&mut rng, 3);
+        let rhs = random_expr(&mut rng, 3);
         let program = Program {
             globals: vec![],
             functions: vec![Function {
                 name: "main".into(),
-                params: vec![("x".into(), Type::Int), ("y".into(), Type::Int), ("z".into(), Type::Int)],
+                params: vec![
+                    ("x".into(), Type::Int),
+                    ("y".into(), Type::Int),
+                    ("z".into(), Type::Int),
+                ],
                 ret: Some(Type::Int),
                 body: vec![
                     Stmt::If {
@@ -59,39 +94,47 @@ proptest! {
                         else_branch: vec![],
                         line: Line(2),
                     },
-                    Stmt::Return { value: Some(Expr::var("x")), line: Line(4) },
+                    Stmt::Return {
+                        value: Some(Expr::var("x")),
+                        line: Line(4),
+                    },
                 ],
                 line: Line(1),
             }],
         };
         let printed = pretty_program(&program);
         let reparsed = parse_program(&printed).unwrap();
-        prop_assert_eq!(pretty_program(&reparsed), printed);
+        assert_eq!(pretty_program(&reparsed), printed);
     }
+}
 
-    #[test]
-    fn bump_constant_changes_exactly_one_site(delta in -3i64..=3) {
-        prop_assume!(delta != 0);
-        let program = parse_program(
-            "int main(int x) {\nint y = x + 10;\nif (y > 20) { y = 30; }\nreturn y;\n}"
-        ).unwrap();
-        let sites = constant_sites(&program);
+#[test]
+fn bump_constant_changes_exactly_one_site() {
+    let program =
+        parse_program("int main(int x) {\nint y = x + 10;\nif (y > 20) { y = 30; }\nreturn y;\n}")
+            .unwrap();
+    let sites = constant_sites(&program);
+    for delta in [-3i64, -2, -1, 1, 2, 3] {
         for site in &sites {
-            let mutated = apply_mutation(&program, &Mutation::BumpConstant {
-                line: site.line,
-                occurrence: site.occurrence,
-                delta,
-            }).unwrap();
+            let mutated = apply_mutation(
+                &program,
+                &Mutation::BumpConstant {
+                    line: site.line,
+                    occurrence: site.occurrence,
+                    delta,
+                },
+            )
+            .unwrap();
             let new_sites = constant_sites(&mutated);
-            prop_assert_eq!(new_sites.len(), sites.len());
+            assert_eq!(new_sites.len(), sites.len());
             let mut changed = 0;
             for (old, new) in sites.iter().zip(new_sites.iter()) {
                 if old.value != new.value {
                     changed += 1;
-                    prop_assert_eq!(new.value, old.value + delta);
+                    assert_eq!(new.value, old.value + delta);
                 }
             }
-            prop_assert_eq!(changed, 1, "exactly one constant must change");
+            assert_eq!(changed, 1, "exactly one constant must change");
         }
     }
 }

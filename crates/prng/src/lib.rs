@@ -1,0 +1,190 @@
+//! # prng — a tiny deterministic pseudo-random number generator
+//!
+//! The workspace needs reproducible randomness in two places: the seeded
+//! TCAS test-vector pool in `siemens` (the paper's 1608-vector pool is not
+//! redistributable, so a deterministic surrogate is generated instead) and
+//! the randomized cross-checking tests that compare the CDCL solver and the
+//! MAX-SAT strategies against brute-force oracles. Both must produce the
+//! same sequences on every platform and every run, so this crate implements
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c) — a 64-bit generator
+//! with a one-word state that passes BigCrush — instead of pulling in an
+//! external dependency whose stream could change across versions.
+//!
+//! # Examples
+//!
+//! ```
+//! use prng::SplitMix64;
+//!
+//! let mut rng = SplitMix64::seed_from_u64(42);
+//! let die: i64 = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//! let idx: usize = rng.gen_range(0..10);
+//! assert!(idx < 10);
+//! // Identical seeds give identical streams.
+//! let mut other = SplitMix64::seed_from_u64(42);
+//! assert_eq!(other.gen_range(1i64..=6), die);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// A SplitMix64 pseudo-random number generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniformly samples a value from the given (half-open or inclusive)
+    /// integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniform mantissa bits, the standard conversion to [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Uniformly samples `x` with `0 <= x < bound` (Lemire-style widening
+    /// multiply with rejection, so the distribution is exactly uniform).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Integer range types [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                // A full-width 64-bit range has 2^64 values; its span wraps
+                // to 0, in which case every u64 offset is in range.
+                let span = (end as i128 - start as i128 + 1) as u64;
+                let offset = if span == 0 { rng.next_u64() } else { rng.bounded(span) };
+                // The i128 sum wraps modulo 2^64 on the cast back, which is
+                // exactly the two's-complement offset we want.
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, i64, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = SplitMix64::seed_from_u64(7);
+        let mut b = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values from the canonical splitmix64.c with seed 0.
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: usize = rng.gen_range(0..=3);
+            assert!(y <= 3);
+            let z: i32 = rng.gen_range(7..8);
+            assert_eq!(z, 7);
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_range_occur() {
+        let mut rng = SplitMix64::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_do_not_panic() {
+        let mut rng = SplitMix64::seed_from_u64(4);
+        for _ in 0..100 {
+            let _: u64 = rng.gen_range(0u64..=u64::MAX);
+            let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        }
+        // The full range really covers both halves of the domain.
+        let mut rng = SplitMix64::seed_from_u64(5);
+        let signs: Vec<bool> = (0..64)
+            .map(|_| rng.gen_range(i64::MIN..=i64::MAX) < 0)
+            .collect();
+        assert!(signs.contains(&true) && signs.contains(&false));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -327,10 +327,7 @@ mod tests {
 
     #[test]
     fn formula_extend_and_collect() {
-        let clauses = vec![
-            Clause::new(vec![lit(1)]),
-            Clause::new(vec![lit(2), lit(3)]),
-        ];
+        let clauses = vec![Clause::new(vec![lit(1)]), Clause::new(vec![lit(2), lit(3)])];
         let cnf: CnfFormula = clauses.into_iter().collect();
         assert_eq!(cnf.num_clauses(), 2);
         assert_eq!(cnf.num_vars(), 3);

@@ -19,7 +19,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -107,7 +111,12 @@ pub fn parse_cnf(input: &str) -> Result<CnfFormula, ParseDimacsError> {
 /// ```
 pub fn write_cnf(formula: &CnfFormula) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "p cnf {} {}", formula.num_vars(), formula.num_clauses());
+    let _ = writeln!(
+        out,
+        "p cnf {} {}",
+        formula.num_vars(),
+        formula.num_clauses()
+    );
     for clause in formula.iter() {
         let _ = writeln!(out, "{clause}");
     }
@@ -260,10 +269,13 @@ mod tests {
         let instance = parse_wcnf("p wcnf 2 3 10\n10 1 0\n1 -1 0\n2 2 0\n").unwrap();
         assert_eq!(instance.num_vars, 2);
         assert_eq!(instance.hard.len(), 1);
-        assert_eq!(instance.soft, vec![
-            (Clause::new(vec![Lit::from_dimacs(-1)]), 1),
-            (Clause::new(vec![Lit::from_dimacs(2)]), 2),
-        ]);
+        assert_eq!(
+            instance.soft,
+            vec![
+                (Clause::new(vec![Lit::from_dimacs(-1)]), 1),
+                (Clause::new(vec![Lit::from_dimacs(2)]), 2),
+            ]
+        );
         let text = write_wcnf(&instance);
         let reparsed = parse_wcnf(&text).unwrap();
         assert_eq!(reparsed.hard, instance.hard);

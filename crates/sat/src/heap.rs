@@ -28,14 +28,6 @@ impl VarOrderHeap {
         }
     }
 
-    pub(crate) fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    pub(crate) fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
     pub(crate) fn contains(&self, var: Var) -> bool {
         self.indices
             .get(var.index())
@@ -79,14 +71,22 @@ impl VarOrderHeap {
         }
     }
 
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
     /// Rebuilds the heap from scratch (used after a global activity rescale,
     /// which preserves order, so this is rarely needed; kept for safety).
+    #[cfg(test)]
     pub(crate) fn rebuild(&mut self, activity: &[f64]) {
         let vars: Vec<Var> = self.heap.clone();
         self.heap.clear();
-        for &pos in &self.indices {
-            debug_assert!(pos == ABSENT || pos < vars.len() || true);
-        }
         for idx in self.indices.iter_mut() {
             *idx = ABSENT;
         }

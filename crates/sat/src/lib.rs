@@ -15,7 +15,7 @@
 //! * a plain [`CnfFormula`] container used as the interchange format between
 //!   the bit-blaster, the MAX-SAT engine and the solver;
 //! * DIMACS CNF / WCNF parsing and printing ([`dimacs`]);
-//! * exponential brute-force oracles ([`reference`]) used by tests to
+//! * exponential brute-force oracles ([`mod@reference`]) used by tests to
 //!   cross-check both solvers.
 //!
 //! # Examples

@@ -29,7 +29,10 @@ use crate::cnf::CnfFormula;
 /// ```
 pub fn brute_force_satisfiable(formula: &CnfFormula) -> Option<Vec<bool>> {
     let n = formula.num_vars();
-    assert!(n <= 26, "brute force oracle limited to 26 variables, got {n}");
+    assert!(
+        n <= 26,
+        "brute force oracle limited to 26 variables, got {n}"
+    );
     for bits in 0u64..(1u64 << n) {
         let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
         if formula.eval(&assignment) {
@@ -59,7 +62,10 @@ pub fn brute_force_max_sat(
             n = n.max(lit.var().index() + 1);
         }
     }
-    assert!(n <= 26, "brute force oracle limited to 26 variables, got {n}");
+    assert!(
+        n <= 26,
+        "brute force oracle limited to 26 variables, got {n}"
+    );
     let mut best: Option<(u64, Vec<bool>)> = None;
     for bits in 0u64..(1u64 << n) {
         let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();

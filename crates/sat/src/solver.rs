@@ -73,7 +73,6 @@ struct Watcher {
 #[derive(Clone, Debug)]
 struct ClauseData {
     lits: Vec<Lit>,
-    learnt: bool,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -311,7 +310,7 @@ impl Solver {
         if learnt {
             self.stats.learnt_clauses += 1;
         }
-        self.clauses.push(ClauseData { lits, learnt });
+        self.clauses.push(ClauseData { lits });
         cref
     }
 
@@ -483,9 +482,9 @@ impl Solver {
         for &lit in &learnt[1..] {
             let redundant = match self.var_reason(lit.var()) {
                 None => false,
-                Some(reason) => self.clauses[reason].lits[1..].iter().all(|&q| {
-                    self.seen[q.var().index()] || self.var_level(q.var()) == 0
-                }),
+                Some(reason) => self.clauses[reason].lits[1..]
+                    .iter()
+                    .all(|&q| self.seen[q.var().index()] || self.var_level(q.var()) == 0),
             };
             if !redundant {
                 minimized.push(lit);
@@ -664,11 +663,33 @@ impl Solver {
     /// returns a subset of `assumptions` that is inconsistent with the clause
     /// database (empty if the database is unsatisfiable on its own).
     pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_bounded(assumptions, None)
+            .expect("uninterruptible solve always completes")
+    }
+
+    /// Like [`Solver::solve_assuming`], but polls `interrupt` at every restart
+    /// boundary (every few hundred conflicts) and gives up with `None` once it
+    /// is set. Learnt clauses are kept, so an interrupted solver can resume
+    /// later. This is the cooperative-cancellation primitive the `maxsat`
+    /// portfolio racer uses to abort the losing strategy early.
+    pub fn solve_assuming_interruptible(
+        &mut self,
+        assumptions: &[Lit],
+        interrupt: &std::sync::atomic::AtomicBool,
+    ) -> Option<SatResult> {
+        self.solve_bounded(assumptions, Some(interrupt))
+    }
+
+    fn solve_bounded(
+        &mut self,
+        assumptions: &[Lit],
+        interrupt: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Option<SatResult> {
         self.stats.solves += 1;
         self.model.clear();
         self.conflict.clear();
         if !self.ok {
-            return SatResult::Unsat;
+            return Some(SatResult::Unsat);
         }
         for &lit in assumptions {
             self.ensure_vars(lit.var().index() + 1);
@@ -676,6 +697,12 @@ impl Solver {
 
         let mut restarts = 0u64;
         let status = loop {
+            if let Some(flag) = interrupt {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    self.cancel_until(0);
+                    return None;
+                }
+            }
             let budget = luby(2.0, restarts) * 100.0;
             let status = self.search(budget as u64, assumptions);
             if !status.is_undef() {
@@ -694,7 +721,7 @@ impl Solver {
             LBool::Undef => unreachable!("search loop only exits on a definite result"),
         };
         self.cancel_until(0);
-        result
+        Some(result)
     }
 
     /// Returns the value of `lit` in the most recent model, or `None` if the
@@ -829,7 +856,11 @@ mod tests {
         assert_eq!(solver.solve(), SatResult::Sat);
         // Verify the model: every pigeon somewhere, no two share a hole.
         let in_hole: Vec<Vec<bool>> = (0..3)
-            .map(|i| (0..3).map(|h| solver.model_value(p(i, h)).unwrap()).collect())
+            .map(|i| {
+                (0..3)
+                    .map(|h| solver.model_value(p(i, h)).unwrap())
+                    .collect()
+            })
             .collect();
         for row in &in_hole {
             assert!(row.iter().any(|&b| b));
@@ -877,7 +908,9 @@ mod tests {
         );
         let core = solver.unsat_core().to_vec();
         assert!(!core.is_empty());
-        assert!(core.iter().all(|l| [lit(&vars, -1), lit(&vars, -2)].contains(l)));
+        assert!(core
+            .iter()
+            .all(|l| [lit(&vars, -1), lit(&vars, -2)].contains(l)));
     }
 
     #[test]
@@ -928,7 +961,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without `rand`.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for instance in 0..30 {

@@ -1,0 +1,109 @@
+//! Randomized round-trip tests for the DIMACS writers/parsers: printing an
+//! instance and parsing the output must reproduce the instance exactly
+//! (`parse ∘ print = id`), for both plain CNF and weighted-partial WCNF.
+
+use prng::SplitMix64;
+use sat::dimacs::{parse_cnf, parse_wcnf, write_cnf, write_wcnf, WcnfInstance};
+use sat::{Clause, CnfFormula, Lit, Var};
+
+fn random_clause(rng: &mut SplitMix64, num_vars: usize) -> Clause {
+    let len = rng.gen_range(1usize..=4);
+    let lits: Vec<Lit> = (0..len)
+        .map(|_| Var::from_index(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5)))
+        .collect();
+    Clause::new(lits)
+}
+
+fn random_wcnf(rng: &mut SplitMix64) -> WcnfInstance {
+    let num_vars = rng.gen_range(1usize..=12);
+    let hard = (0..rng.gen_range(0usize..=8))
+        .map(|_| random_clause(rng, num_vars))
+        .collect();
+    let soft = (0..rng.gen_range(0usize..=8))
+        .map(|_| (random_clause(rng, num_vars), rng.gen_range(1u64..=1000)))
+        .collect();
+    WcnfInstance {
+        num_vars,
+        hard,
+        soft,
+    }
+}
+
+#[test]
+fn wcnf_print_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1_24C5);
+    for case in 0..256 {
+        let instance = random_wcnf(&mut rng);
+        let printed = write_wcnf(&instance);
+        let parsed = parse_wcnf(&printed).unwrap_or_else(|e| {
+            panic!("case {case}: writer output failed to parse: {e}\n{printed}")
+        });
+        assert_eq!(parsed, instance, "case {case}: roundtrip drift\n{printed}");
+    }
+}
+
+#[test]
+fn cnf_print_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xC1F);
+    for case in 0..256 {
+        let num_vars = rng.gen_range(1usize..=12);
+        let mut cnf = CnfFormula::with_vars(num_vars);
+        for _ in 0..rng.gen_range(0usize..=10) {
+            cnf.add_clause(random_clause(&mut rng, num_vars).lits().to_vec());
+        }
+        let printed = write_cnf(&cnf);
+        let parsed = parse_cnf(&printed).unwrap_or_else(|e| {
+            panic!("case {case}: writer output failed to parse: {e}\n{printed}")
+        });
+        assert_eq!(
+            parsed.num_vars(),
+            cnf.num_vars(),
+            "case {case}: variable count drift"
+        );
+        let clauses = |f: &CnfFormula| {
+            f.clauses()
+                .iter()
+                .map(|c| c.lits().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(clauses(&parsed), clauses(&cnf), "case {case}\n{printed}");
+    }
+}
+
+#[test]
+fn wcnf_roundtrip_through_maxsat_semantics() {
+    // Beyond structural identity: the roundtripped instance must assign the
+    // same cost to every assignment. Checked exhaustively on small instances.
+    let mut rng = SplitMix64::seed_from_u64(0x5EED);
+    for _ in 0..64 {
+        let num_vars = rng.gen_range(1usize..=6);
+        let instance = WcnfInstance {
+            num_vars,
+            hard: (0..rng.gen_range(0usize..=6))
+                .map(|_| random_clause(&mut rng, num_vars))
+                .collect(),
+            soft: (0..rng.gen_range(0usize..=6))
+                .map(|_| (random_clause(&mut rng, num_vars), rng.gen_range(1u64..=9)))
+                .collect(),
+        };
+        let printed = write_wcnf(&instance);
+        let parsed = parse_wcnf(&printed).expect("writer output parses");
+        for bits in 0u32..(1 << instance.num_vars) {
+            let assignment: Vec<bool> =
+                (0..instance.num_vars).map(|i| bits >> i & 1 == 1).collect();
+            let cost = |inst: &WcnfInstance| -> Option<u64> {
+                if !inst.hard.iter().all(|c| c.eval(&assignment)) {
+                    return None;
+                }
+                Some(
+                    inst.soft
+                        .iter()
+                        .filter(|(c, _)| !c.eval(&assignment))
+                        .map(|(_, w)| *w)
+                        .sum(),
+                )
+            };
+            assert_eq!(cost(&parsed), cost(&instance));
+        }
+    }
+}

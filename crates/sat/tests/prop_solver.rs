@@ -1,72 +1,90 @@
-//! Property-based tests cross-checking the CDCL solver against the
-//! brute-force reference oracle on random small instances.
+//! Randomized tests cross-checking the CDCL solver against the brute-force
+//! reference oracle on random small instances (seeded, so every run and every
+//! platform sees the same instances).
 
-use proptest::prelude::*;
+use prng::SplitMix64;
 use sat::reference::brute_force_satisfiable;
 use sat::{CnfFormula, Lit, SatResult, Solver, Var};
 
-/// Strategy generating a random CNF over `num_vars` variables.
-fn cnf_strategy(num_vars: usize, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
-    let clause = prop::collection::vec((0..num_vars, any::<bool>()), 1..=3);
-    prop::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
-        let mut cnf = CnfFormula::with_vars(num_vars);
-        for clause in clauses {
-            let lits: Vec<Lit> = clause
-                .into_iter()
-                .map(|(v, sign)| Var::from_index(v).lit(sign))
-                .collect();
-            cnf.add_clause(lits);
-        }
-        cnf
-    })
+/// Generates a random CNF over `num_vars` variables with up to `max_clauses`
+/// clauses of 1–3 literals.
+fn random_cnf(rng: &mut SplitMix64, num_vars: usize, max_clauses: usize) -> CnfFormula {
+    let mut cnf = CnfFormula::with_vars(num_vars);
+    for _ in 0..rng.gen_range(0..=max_clauses) {
+        let len = rng.gen_range(1usize..=3);
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| Var::from_index(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cdcl_agrees_with_brute_force(cnf in cnf_strategy(8, 30)) {
+#[test]
+fn cdcl_agrees_with_brute_force() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0FFEE);
+    for case in 0..128 {
+        let cnf = random_cnf(&mut rng, 8, 30);
         let mut solver = Solver::from_formula(&cnf);
         let result = solver.solve();
         let reference = brute_force_satisfiable(&cnf);
         match result {
             SatResult::Sat => {
-                prop_assert!(reference.is_some(), "CDCL SAT but reference UNSAT");
-                prop_assert!(cnf.eval(&solver.model()), "model does not satisfy formula");
+                assert!(
+                    reference.is_some(),
+                    "case {case}: CDCL SAT but reference UNSAT"
+                );
+                assert!(
+                    cnf.eval(&solver.model()),
+                    "case {case}: model does not satisfy formula"
+                );
             }
             SatResult::Unsat => {
-                prop_assert!(reference.is_none(), "CDCL UNSAT but reference SAT");
+                assert!(
+                    reference.is_none(),
+                    "case {case}: CDCL UNSAT but reference SAT"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn assumption_core_is_sound(cnf in cnf_strategy(7, 20), signs in prop::collection::vec(any::<bool>(), 3)) {
+#[test]
+fn assumption_core_is_sound() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+    for case in 0..128 {
+        let cnf = random_cnf(&mut rng, 7, 20);
         // Assume the first three variables with random polarities; if UNSAT,
         // the reported core must itself be inconsistent with the formula.
-        let assumptions: Vec<Lit> = signs
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| Var::from_index(i).lit(s))
+        let assumptions: Vec<Lit> = (0..3)
+            .map(|i| Var::from_index(i).lit(rng.gen_bool(0.5)))
             .collect();
         let mut solver = Solver::from_formula(&cnf);
         solver.ensure_vars(7);
         if solver.solve_assuming(&assumptions) == SatResult::Unsat {
             let core = solver.unsat_core().to_vec();
-            prop_assert!(core.iter().all(|l| assumptions.contains(l)),
-                "core {:?} not a subset of assumptions {:?}", core, assumptions);
+            assert!(
+                core.iter().all(|l| assumptions.contains(l)),
+                "case {case}: core {core:?} not a subset of assumptions {assumptions:?}"
+            );
             // Adding the core literals as units must make the formula UNSAT.
             let mut check = cnf.clone();
             for lit in &core {
                 check.add_unit(*lit);
             }
-            prop_assert!(brute_force_satisfiable(&check).is_none(),
-                "core is not actually conflicting");
+            assert!(
+                brute_force_satisfiable(&check).is_none(),
+                "case {case}: core is not actually conflicting"
+            );
         }
     }
+}
 
-    #[test]
-    fn incremental_solving_is_consistent(cnf in cnf_strategy(6, 15)) {
+#[test]
+fn incremental_solving_is_consistent() {
+    let mut rng = SplitMix64::seed_from_u64(0xABCD);
+    for case in 0..128 {
+        let cnf = random_cnf(&mut rng, 6, 15);
         // Solving twice, or solving after a failed assumption call, must give
         // the same satisfiability answer as a fresh solver.
         let mut fresh = Solver::from_formula(&cnf);
@@ -76,6 +94,6 @@ proptest! {
         solver.ensure_vars(6);
         let _ = solver.solve_assuming(&[Var::from_index(0).positive()]);
         let _ = solver.solve_assuming(&[Var::from_index(0).negative()]);
-        prop_assert_eq!(solver.solve(), expected);
+        assert_eq!(solver.solve(), expected, "case {case}");
     }
 }

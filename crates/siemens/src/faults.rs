@@ -142,8 +142,9 @@ impl FaultyVersion {
                     self.name
                 );
                 let patched = base_source.replacen(from, to, 1);
-                parse_program(&patched)
-                    .unwrap_or_else(|e| panic!("version {}: patched source does not parse: {e}", self.name))
+                parse_program(&patched).unwrap_or_else(|e| {
+                    panic!("version {}: patched source does not parse: {e}", self.name)
+                })
             }
         }
     }

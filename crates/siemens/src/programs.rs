@@ -197,7 +197,9 @@ pub fn totinfo() -> Benchmark {
             error_type: ErrorType::Const,
         },
         trusted_lines: Vec::new(),
-        test_inputs: (0..6).map(|a| vec![a, (a * 3 + 1) % 8, (a + 5) % 8]).collect(),
+        test_inputs: (0..6)
+            .map(|a| vec![a, (a * 3 + 1) % 8, (a + 5) % 8])
+            .collect(),
         reduction: "S",
         concretize: Vec::new(),
         unwind: 7,
@@ -696,10 +698,22 @@ mod tests {
             width: 16,
             max_steps: 200_000,
         };
-        let steps_small =
-            bmc::run_program(&small.program(), small.entry, &small.test_inputs[0], &[], config).steps;
-        let steps_large =
-            bmc::run_program(&large.program(), large.entry, &large.test_inputs[0], &[], config).steps;
+        let steps_small = bmc::run_program(
+            &small.program(),
+            small.entry,
+            &small.test_inputs[0],
+            &[],
+            config,
+        )
+        .steps;
+        let steps_large = bmc::run_program(
+            &large.program(),
+            large.entry,
+            &large.test_inputs[0],
+            &[],
+            config,
+        )
+        .steps;
         assert!(steps_large > steps_small);
     }
 }

@@ -15,8 +15,7 @@ use crate::faults::{line_containing, ErrorType, FaultSpec, FaultyVersion};
 use bmc::{run_program, InterpConfig};
 use minic::ast::Line;
 use minic::{parse_expr, parse_program, Mutation, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::SplitMix64;
 
 /// Advisory values returned by `alt_sep_test`.
 pub mod advisory {
@@ -168,6 +167,9 @@ fn line(pattern: &str) -> Line {
 /// The injected-fault versions of the TCAS benchmark (analogous to the
 /// Siemens v1…v41 pool; one representative per fault flavour plus several
 /// operator/constant variants, 20 versions in total).
+// One sequential push per version keeps each catalogue entry next to the
+// comment explaining its fault; a single `vec![]` literal would not lint.
+#[allow(clippy::vec_init_then_push)]
 pub fn tcas_versions() -> Vec<FaultyVersion> {
     use minic::BinOp;
     let mut versions = Vec::new();
@@ -248,7 +250,9 @@ pub fn tcas_versions() -> Vec<FaultyVersion> {
             occurrence: 1,
             new_op: BinOp::Gt,
         }]),
-        faulty_lines: vec![line("result = !Own_Below_Threat() || !(Down_Separation >= ALIM())")],
+        faulty_lines: vec![line(
+            "result = !Own_Below_Threat() || !(Down_Separation >= ALIM())",
+        )],
         error_count: 1,
         error_type: ErrorType::Op,
     });
@@ -260,7 +264,9 @@ pub fn tcas_versions() -> Vec<FaultyVersion> {
             occurrence: 0,
             new_op: BinOp::Ge,
         }]),
-        faulty_lines: vec![line("int upward_preferred = Inhibit_Biased_Climb() > Down_Separation;")],
+        faulty_lines: vec![line(
+            "int upward_preferred = Inhibit_Biased_Climb() > Down_Separation;",
+        )],
         error_count: 1,
         error_type: ErrorType::Op,
     });
@@ -401,7 +407,9 @@ pub fn tcas_versions() -> Vec<FaultyVersion> {
             line: line("need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();"),
             value: parse_expr("Own_Above_Threat()").expect("expression parses"),
         }]),
-        faulty_lines: vec![line("need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();")],
+        faulty_lines: vec![line(
+            "need_downward_RA = Non_Crossing_Biased_Descend() && Own_Above_Threat();",
+        )],
         error_count: 1,
         error_type: ErrorType::Assign,
     });
@@ -457,21 +465,32 @@ pub fn tcas_test_vectors(count: usize, seed: u64) -> Vec<Vec<i64>> {
                     let (own_alt, other_alt) = if below { (4000, 4500) } else { (4500, 4000) };
                     let sep = threshold + offset;
                     crafted.push(vec![
-                        601,       // Cur_Vertical_Sep: just over MAXALTDIFF
-                        1,         // High_Confidence
-                        1,         // Two_of_Three_Reports_Valid
-                        own_alt,   // Own_Tracked_Alt
-                        600,       // Own_Tracked_Alt_Rate: at the OLEV bound
-                        other_alt, // Other_Tracked_Alt
-                        alv,       // Alt_Layer_Value
-                        sep,       // Up_Separation
+                        601,            // Cur_Vertical_Sep: just over MAXALTDIFF
+                        1,              // High_Confidence
+                        1,              // Two_of_Three_Reports_Valid
+                        own_alt,        // Own_Tracked_Alt
+                        600,            // Own_Tracked_Alt_Rate: at the OLEV bound
+                        other_alt,      // Other_Tracked_Alt
+                        alv,            // Alt_Layer_Value
+                        sep,            // Up_Separation
                         sep + 100 * ci, // Down_Separation: ties with the biased climb
-                        0,         // Other_RAC
-                        1,         // Other_Capability
-                        ci,        // Climb_Inhibit
+                        0,              // Other_RAC
+                        1,              // Other_Capability
+                        ci,             // Climb_Inhibit
                     ]);
                     crafted.push(vec![
-                        700, 1, 1, own_alt, 599, other_alt, alv, sep + 120, sep, 0, 2, ci,
+                        700,
+                        1,
+                        1,
+                        own_alt,
+                        599,
+                        other_alt,
+                        alv,
+                        sep + 120,
+                        sep,
+                        0,
+                        2,
+                        ci,
                     ]);
                 }
             }
@@ -479,57 +498,56 @@ pub fn tcas_test_vectors(count: usize, seed: u64) -> Vec<Vec<i64>> {
     }
     crafted.truncate(count);
     let remaining = count - crafted.len();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut separation = |rng: &mut StdRng| -> i64 {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let separation = |rng: &mut SplitMix64| -> i64 {
         match rng.gen_range(0..5) {
-            0 => THRESHOLDS[rng.gen_range(0..4)] + rng.gen_range(-1..=1),
-            1 => THRESHOLDS[rng.gen_range(0..4)],
-            2 => THRESHOLDS[rng.gen_range(0..4)] - rng.gen_range(1..130),
+            0 => THRESHOLDS[rng.gen_range(0usize..4)] + rng.gen_range(-1i64..=1),
+            1 => THRESHOLDS[rng.gen_range(0usize..4)],
+            2 => THRESHOLDS[rng.gen_range(0usize..4)] - rng.gen_range(1i64..130),
             _ => rng.gen_range(0..1000),
         }
     };
-    let random = (0..remaining)
-        .map(|_| {
-            let own_alt = rng.gen_range(500..9000);
-            // Other altitude is frequently close to (or exactly at) our own.
-            let other_alt = match rng.gen_range(0..4) {
-                0 => own_alt,
-                1 => own_alt + rng.gen_range(-3..=3),
-                _ => rng.gen_range(500..9000),
-            };
-            let alt_rate = if rng.gen_bool(0.3) {
-                600 + rng.gen_range(-1..=1)
-            } else {
-                rng.gen_range(0..1200)
-            };
-            let cvs = if rng.gen_bool(0.3) {
-                600 + rng.gen_range(-1..=2)
-            } else {
-                rng.gen_range(0..1200)
-            };
-            let up_sep = separation(&mut rng);
-            // Down separation is often tied to the (possibly biased) up
-            // separation so that the climb/descend preference flips.
-            let down_sep = match rng.gen_range(0..4) {
-                0 => up_sep,
-                1 => up_sep + 100,
-                _ => separation(&mut rng),
-            };
-            vec![
-                cvs,                      // Cur_Vertical_Sep
-                i64::from(rng.gen_bool(0.7)), // High_Confidence
-                rng.gen_range(0..=1),     // Two_of_Three_Reports_Valid
-                own_alt,                  // Own_Tracked_Alt
-                alt_rate,                 // Own_Tracked_Alt_Rate
-                other_alt,                // Other_Tracked_Alt
-                rng.gen_range(0..=3),     // Alt_Layer_Value
-                up_sep,                   // Up_Separation
-                down_sep,                 // Down_Separation
-                rng.gen_range(0..=3),     // Other_RAC
-                rng.gen_range(1..=2),     // Other_Capability
-                rng.gen_range(0..=1),     // Climb_Inhibit
-            ]
-        });
+    let random = (0..remaining).map(|_| {
+        let own_alt = rng.gen_range(500..9000);
+        // Other altitude is frequently close to (or exactly at) our own.
+        let other_alt = match rng.gen_range(0..4) {
+            0 => own_alt,
+            1 => own_alt + rng.gen_range(-3i64..=3),
+            _ => rng.gen_range(500..9000),
+        };
+        let alt_rate = if rng.gen_bool(0.3) {
+            600 + rng.gen_range(-1i64..=1)
+        } else {
+            rng.gen_range(0..1200)
+        };
+        let cvs = if rng.gen_bool(0.3) {
+            600 + rng.gen_range(-1i64..=2)
+        } else {
+            rng.gen_range(0..1200)
+        };
+        let up_sep = separation(&mut rng);
+        // Down separation is often tied to the (possibly biased) up
+        // separation so that the climb/descend preference flips.
+        let down_sep = match rng.gen_range(0..4) {
+            0 => up_sep,
+            1 => up_sep + 100,
+            _ => separation(&mut rng),
+        };
+        vec![
+            cvs,                          // Cur_Vertical_Sep
+            i64::from(rng.gen_bool(0.7)), // High_Confidence
+            rng.gen_range(0..=1),         // Two_of_Three_Reports_Valid
+            own_alt,                      // Own_Tracked_Alt
+            alt_rate,                     // Own_Tracked_Alt_Rate
+            other_alt,                    // Other_Tracked_Alt
+            rng.gen_range(0..=3),         // Alt_Layer_Value
+            up_sep,                       // Up_Separation
+            down_sep,                     // Down_Separation
+            rng.gen_range(0..=3),         // Other_RAC
+            rng.gen_range(1..=2),         // Other_Capability
+            rng.gen_range(0..=1),         // Climb_Inhibit
+        ]
+    });
     crafted.extend(random);
     crafted
 }
@@ -560,7 +578,10 @@ mod tests {
         let program = tcas_program();
         let errors = check_program(&program);
         assert!(errors.is_empty(), "{errors:?}");
-        assert_eq!(program.function(TCAS_ENTRY).unwrap().params.len(), TCAS_ARITY);
+        assert_eq!(
+            program.function(TCAS_ENTRY).unwrap().params.len(),
+            TCAS_ARITY
+        );
     }
 
     #[test]
@@ -568,7 +589,12 @@ mod tests {
         for input in tcas_test_vectors(50, 1) {
             let out = tcas_golden_output(&input);
             assert!(
-                [advisory::UNRESOLVED, advisory::UPWARD_RA, advisory::DOWNWARD_RA].contains(&out),
+                [
+                    advisory::UNRESOLVED,
+                    advisory::UPWARD_RA,
+                    advisory::DOWNWARD_RA
+                ]
+                .contains(&out),
                 "unexpected advisory {out} for {input:?}"
             );
         }
@@ -588,7 +614,11 @@ mod tests {
         let base = tcas_program();
         for version in tcas_versions() {
             let faulty = version.build(TCAS_SOURCE);
-            assert_ne!(faulty, base, "version {} must change the program", version.name);
+            assert_ne!(
+                faulty, base,
+                "version {} must change the program",
+                version.name
+            );
             assert!(!version.faulty_lines.is_empty());
             assert!(version.error_count >= 1);
         }
@@ -633,6 +663,8 @@ mod tests {
         assert_eq!(tcas_test_vectors(200, 3), tcas_test_vectors(200, 3));
         // Beyond the crafted boundary prefix the pool is seed-dependent.
         assert_ne!(tcas_test_vectors(200, 3), tcas_test_vectors(200, 4));
-        assert!(tcas_test_vectors(200, 3).iter().all(|v| v.len() == TCAS_ARITY));
+        assert!(tcas_test_vectors(200, 3)
+            .iter()
+            .all(|v| v.len() == TCAS_ARITY));
     }
 }

@@ -33,10 +33,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "suspect lines: {:?}",
-        loop_report.report.suspect_lines.iter().map(|l| l.0).collect::<Vec<_>>()
+        loop_report
+            .report
+            .suspect_lines
+            .iter()
+            .map(|l| l.0)
+            .collect::<Vec<_>>()
     );
-    println!("blamed loop instances (line, iteration): {:?}",
-        loop_report.blamed_iterations.iter().map(|(l, k)| (l.0, *k)).collect::<Vec<_>>());
+    println!(
+        "blamed loop instances (line, iteration): {:?}",
+        loop_report
+            .blamed_iterations
+            .iter()
+            .map(|(l, k)| (l.0, *k))
+            .collect::<Vec<_>>()
+    );
     match loop_report.first_faulty_iteration {
         Some((line, iteration)) => println!(
             "earliest iteration that can reproduce the failure: iteration {iteration} of the loop at line {}",

@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Localization first (the library implementation of strncat is trusted).
-    let localizer = Localizer::new(&program, benchmark.entry, &Spec::Assertions, &localizer_config)?;
+    let localizer = Localizer::new(
+        &program,
+        benchmark.entry,
+        &Spec::Assertions,
+        &localizer_config,
+    )?;
     let report = localizer.localize(&benchmark.test_inputs[0])?;
     println!(
         "suspect lines: {:?}",
@@ -50,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("no off-by-one repair found");
     }
     for repair in &repairs {
-        println!("validated repair: {repair} (BMC verified: {})", repair.bmc_verified);
+        println!(
+            "validated repair: {repair} (BMC verified: {})",
+            repair.bmc_verified
+        );
     }
     Ok(())
 }

@@ -6,11 +6,17 @@
 
 use bmc::Spec;
 use bugassist::{Localizer, LocalizerConfig};
-use siemens::{tcas_golden_output, tcas_test_vectors, tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
+use siemens::{
+    tcas_golden_output, tcas_test_vectors, tcas_trusted_lines, tcas_versions, TCAS_ENTRY,
+    TCAS_SOURCE,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let version = tcas_versions().into_iter().next().expect("v1 exists");
-    println!("TCAS version {}: fault at line {} ({})", version.name, version.faulty_lines[0].0, version.error_type);
+    println!(
+        "TCAS version {}: fault at line {} ({})",
+        version.name, version.faulty_lines[0].0, version.error_type
+    );
     let faulty = version.build(TCAS_SOURCE);
 
     // Find failing test vectors by comparing against the golden outputs of

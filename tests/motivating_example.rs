@@ -75,7 +75,9 @@ fn off_by_one_repair_fixes_the_faulty_constant() {
         validate_with_bmc: false,
         max_repairs: 0,
     };
-    let repairs = bugassist::suggest_repairs(&program, "testme", &Spec::Assertions, &[vec![1]], &config).unwrap();
+    let repairs =
+        bugassist::suggest_repairs(&program, "testme", &Spec::Assertions, &[vec![1]], &config)
+            .unwrap();
     // `index = index + 2` can be repaired to `index + 1` (the paper suggests
     // any constant in (-2, 2); ±1 both keep the access in bounds for the
     // failing test).

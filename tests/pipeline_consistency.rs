@@ -21,8 +21,13 @@ fn symbolic_and_concrete_tcas_agree() {
     let vectors = siemens::tcas_test_vectors(12, 99);
     for input in &vectors {
         let golden = siemens::tcas_golden_output(input);
-        let trace = bmc::encode_program(&program, siemens::TCAS_ENTRY, &Spec::ReturnEquals(golden), &encode)
-            .expect("TCAS encodes");
+        let trace = bmc::encode_program(
+            &program,
+            siemens::TCAS_ENTRY,
+            &Spec::ReturnEquals(golden),
+            &encode,
+        )
+        .expect("TCAS encodes");
         let mut solver = Solver::from_formula(trace.cnf.formula());
         let mut assumptions = trace.input_assumption_lits(input);
         assumptions.push(trace.property);
@@ -67,7 +72,13 @@ fn tcas_injected_fault_is_found_for_a_failing_vector() {
         trusted_lines: siemens::tcas_trusted_lines(),
         ..LocalizerConfig::default()
     };
-    let localizer = Localizer::new(&faulty, siemens::TCAS_ENTRY, &Spec::ReturnEquals(golden), &config).unwrap();
+    let localizer = Localizer::new(
+        &faulty,
+        siemens::TCAS_ENTRY,
+        &Spec::ReturnEquals(golden),
+        &config,
+    )
+    .unwrap();
     let report = localizer.localize(failing).unwrap();
     assert!(
         version.faulty_lines.iter().any(|l| report.blames_line(*l)),
@@ -129,9 +140,13 @@ fn benchmark_pools_expose_their_faults() {
         };
         let faulty = benchmark.faulty_program();
         let mut spectrum = baselines::SpectrumLocalizer::new();
-        spectrum.add_suite(&faulty, benchmark.entry, &benchmark.test_inputs, |input| {
-            benchmark.golden_output(input)
-        }, interp);
+        spectrum.add_suite(
+            &faulty,
+            benchmark.entry,
+            &benchmark.test_inputs,
+            |input| benchmark.golden_output(input),
+            interp,
+        );
         assert!(spectrum.failed_runs() >= failing.len());
     }
 }
