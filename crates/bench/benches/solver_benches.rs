@@ -3,26 +3,9 @@
 //! `cargo bench -p bench --bench solver_benches`.
 
 use bench::micro::BenchGroup;
-use maxsat::{solve, MaxSatInstance, Strategy};
-use sat::{SatResult, Solver, Var};
-
-fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
-    let mut solver = Solver::new();
-    let vars: Vec<Vec<Var>> = (0..pigeons)
-        .map(|_| (0..holes).map(|_| solver.new_var()).collect())
-        .collect();
-    for row in &vars {
-        solver.add_clause(row.iter().map(|v| v.positive()));
-    }
-    for (i, row_i) in vars.iter().enumerate() {
-        for row_j in &vars[i + 1..] {
-            for (a, b) in row_i.iter().zip(row_j) {
-                solver.add_clause([a.negative(), b.negative()]);
-            }
-        }
-    }
-    solver
-}
+use bench::workloads::{pigeonhole, selector_chain};
+use maxsat::{solve, Strategy};
+use sat::{SatResult, Solver};
 
 fn bench_sat() {
     let mut group = BenchGroup::new("sat", 20);
@@ -34,25 +17,20 @@ fn bench_sat() {
         let mut solver = pigeonhole(8, 8);
         assert_eq!(solver.solve(), SatResult::Sat);
     });
-}
-
-fn selector_instance(statements: usize) -> MaxSatInstance {
-    // A BugAssist-shaped instance: a chain of "statements" where exactly one
-    // of the last few must be disabled to restore satisfiability.
-    let mut inst = MaxSatInstance::new();
-    inst.ensure_vars(statements + 1);
-    let val = |i: usize| sat::Var::from_index(i).positive();
-    inst.add_hard(vec![val(0)]);
-    inst.add_hard(vec![!val(statements)]);
-    for i in 0..statements {
-        let selector = inst.new_var().positive();
-        // selector -> (x_i -> x_{i+1})
-        inst.add_hard(vec![!selector, !val(i), val(i + 1)]);
-        inst.add_soft(vec![selector], 1);
-    }
-    // Last implication forces the contradiction x_{n} -> x_{n+1} with
-    // x_{n+1} hard-false: some selector must be dropped.
-    inst
+    // Same analyze-heavy workload with the learnt database forced through
+    // aggressive reduce/GC cycles: measures the reduction machinery itself.
+    group.bench("pigeonhole_7_into_6_forced_reduction", || {
+        let mut solver = pigeonhole(7, 6);
+        solver.set_reduce_base(Some(16));
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    });
+    let mut solver = pigeonhole(7, 6);
+    let _ = solver.solve();
+    let stats = solver.stats();
+    group.counter("pigeonhole_7_into_6_conflicts", stats.conflicts);
+    group.counter("pigeonhole_7_into_6_reduce_dbs", stats.reduce_dbs);
+    group.counter("pigeonhole_7_into_6_removed_learnts", stats.removed_learnts);
+    group.counter("pigeonhole_7_into_6_arena_bytes", stats.arena_bytes);
 }
 
 fn bench_maxsat() {
@@ -62,7 +40,7 @@ fn bench_maxsat() {
         Strategy::LinearSatUnsat,
         Strategy::Portfolio,
     ] {
-        let inst = selector_instance(60);
+        let inst = selector_chain(60);
         group.bench(&format!("{strategy:?}_chain_60"), || {
             let solution = solve(&inst, strategy).into_optimum().expect("satisfiable");
             assert_eq!(solution.cost, 1);

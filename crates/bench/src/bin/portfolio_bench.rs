@@ -3,16 +3,20 @@
 //! and writes them to `BENCH_localization.json` so future PRs have a
 //! performance trajectory to compare against.
 //!
-//! Usage: `cargo run -p bench --bin portfolio_bench --release [output.json]`
+//! Usage: `cargo run -p bench --bin portfolio_bench --release [output.json] [--samples N]`
+//!
+//! `--samples 1` is the CI quick mode: one timed run per benchmark, enough
+//! to exercise the whole pipeline without dominating the workflow.
 
 use bench::micro::BenchGroup;
+use bench::workloads::{parse_output_and_samples, selector_chain};
 use bmc::{EncodeConfig, Spec};
 use bugassist::{Localizer, LocalizerConfig};
 use maxsat::Strategy;
 use siemens::{tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
 use std::collections::BTreeMap;
 
-const SAMPLES: usize = 9;
+const DEFAULT_SAMPLES: usize = 9;
 
 fn encode_config() -> EncodeConfig {
     EncodeConfig {
@@ -43,9 +47,7 @@ fn time_ms<R>(group: &mut BenchGroup, label: &str, f: impl FnMut() -> R) -> f64 
 }
 
 fn main() {
-    let output = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_localization.json".to_string());
+    let (output, samples) = parse_output_and_samples("BENCH_localization.json", DEFAULT_SAMPLES);
     let version = tcas_versions().into_iter().next().expect("v1 exists");
     let faulty = version.build(TCAS_SOURCE);
     let pool = siemens::tcas_test_vectors(300, 2011);
@@ -72,7 +74,7 @@ fn main() {
     );
     let batch: Vec<Vec<i64>> = failing.iter().take(6).cloned().collect();
     let probe = &batch[0];
-    let mut group = BenchGroup::new("portfolio_bench", SAMPLES);
+    let mut group = BenchGroup::new("portfolio_bench", samples);
     eprintln!(
         "TCAS v1: {} failing vectors with golden output {golden}; probing with {probe:?}",
         failing.len()
@@ -100,23 +102,26 @@ fn main() {
     // forced threaded race vs. each single strategy, so the race overhead is
     // visible even where `portfolio` adaptively degrades to a single
     // strategy (single-core machines).
-    let chain = {
-        let mut inst = maxsat::MaxSatInstance::new();
-        inst.ensure_vars(121);
-        let val = |i: usize| sat::Var::from_index(i).positive();
-        inst.add_hard(vec![val(0)]);
-        inst.add_hard(vec![!val(120)]);
-        for i in 0..120 {
-            let selector = inst.new_var().positive();
-            inst.add_hard(vec![!selector, !val(i), val(i + 1)]);
-            inst.add_soft(vec![selector], 1);
-        }
-        inst
-    };
+    let chain = selector_chain(120);
     let forced_race_ms = time_ms(&mut group, "forced_race_chain120", || {
         let outcome = maxsat::PortfolioSolver::default().race(&chain);
         assert_eq!(outcome.result.into_optimum().expect("satisfiable").cost, 1);
     });
+
+    // Underlying SAT-solver work counters for one FuMalik run on the chain
+    // instance: how many incremental calls, conflicts, learnt-database
+    // reductions and arena bytes the MAX-SAT loop costs.
+    let mut fm = maxsat::MaxSatSolver::new(Strategy::FuMalik);
+    let _ = fm.solve(&chain);
+    let fm_stats = fm.stats();
+    group.counter("fu_malik_chain120_sat_calls", fm_stats.sat_calls);
+    group.counter("fu_malik_chain120_conflicts", fm_stats.conflicts);
+    group.counter("fu_malik_chain120_reduce_dbs", fm_stats.reduce_dbs);
+    group.counter(
+        "fu_malik_chain120_removed_learnts",
+        fm_stats.removed_learnts,
+    );
+    group.counter("fu_malik_chain120_arena_bytes", fm_stats.arena_bytes);
 
     // --- batched vs sequential over the shared-spec failing tests ----------
     let config = localizer_config(Strategy::FuMalik, false);
@@ -140,13 +145,18 @@ fn main() {
         .map(|(label, ms)| format!("    \"{label}_ms\": {ms:.3}"))
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"tcas_v1_localization\",\n  \"pool\": {{\"size\": 300, \"seed\": 2011}},\n  \"encode\": {{\"width\": 16, \"unwind\": 6}},\n  \"max_suspect_sets\": 4,\n  \"samples_per_measurement\": {SAMPLES},\n  \"hardware_threads\": {hardware_threads},\n  \"portfolio_mode\": \"{}\",\n  \"single_extraction\": {{\n{}\n  }},\n  \"forced_race_chain120_ms\": {forced_race_ms:.3},\n  \"batch\": {{\n    \"failing_tests\": {},\n    \"sequential_loop_ms\": {sequential_ms:.3},\n    \"localize_batch_ms\": {batched_ms:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"tcas_v1_localization\",\n  \"pool\": {{\"size\": 300, \"seed\": 2011}},\n  \"encode\": {{\"width\": 16, \"unwind\": 6}},\n  \"max_suspect_sets\": 4,\n  \"samples_per_measurement\": {samples},\n  \"hardware_threads\": {hardware_threads},\n  \"portfolio_mode\": \"{}\",\n  \"single_extraction\": {{\n{}\n  }},\n  \"forced_race_chain120_ms\": {forced_race_ms:.3},\n  \"fu_malik_chain120_solver\": {{\n    \"sat_calls\": {},\n    \"conflicts\": {},\n    \"reduce_dbs\": {},\n    \"removed_learnts\": {},\n    \"arena_bytes\": {}\n  }},\n  \"batch\": {{\n    \"failing_tests\": {},\n    \"sequential_loop_ms\": {sequential_ms:.3},\n    \"localize_batch_ms\": {batched_ms:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
         if hardware_threads >= 2 {
             "threaded_race"
         } else {
             "single_core_lead_strategy"
         },
         strategy_json.join(",\n"),
+        fm_stats.sat_calls,
+        fm_stats.conflicts,
+        fm_stats.reduce_dbs,
+        fm_stats.removed_learnts,
+        fm_stats.arena_bytes,
         batch.len(),
         sequential_ms / batched_ms,
     );

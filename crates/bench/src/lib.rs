@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod micro;
+pub mod workloads;
 
 use baselines::{SpectrumFormula, SpectrumLocalizer};
 use bmc::{backward_slice, slice_program, EncodeConfig, InterpConfig, SliceCriterion, Spec};

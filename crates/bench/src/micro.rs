@@ -44,6 +44,7 @@ pub struct BenchGroup {
     name: String,
     samples: usize,
     results: Vec<Measurement>,
+    counters: Vec<(String, u64)>,
 }
 
 impl BenchGroup {
@@ -54,6 +55,7 @@ impl BenchGroup {
             name: name.to_string(),
             samples: samples.max(1),
             results: Vec::new(),
+            counters: Vec::new(),
         }
     }
 
@@ -80,8 +82,22 @@ impl BenchGroup {
         self.results.last().expect("just pushed")
     }
 
+    /// Records and prints a named counter next to the timing results — used
+    /// to surface work statistics (propagations, database reductions, arena
+    /// bytes, …) so the perf trajectory is observable, not just wall-clock.
+    pub fn counter(&mut self, label: &str, value: u64) {
+        let name = format!("{}/{}", self.name, label);
+        println!("{name:<48} {value:>12}");
+        self.counters.push((name, value));
+    }
+
     /// All measurements recorded so far.
     pub fn results(&self) -> &[Measurement] {
         &self.results
+    }
+
+    /// All counters recorded so far.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
     }
 }

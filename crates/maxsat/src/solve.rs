@@ -101,6 +101,25 @@ pub struct MaxSatStats {
     pub final_vars: usize,
     /// Number of SAT-solver conflicts accumulated.
     pub conflicts: u64,
+    /// Number of learnt-clause database reductions the SAT solver performed.
+    pub reduce_dbs: u64,
+    /// Number of learnt clauses the SAT solver deleted across reductions.
+    pub removed_learnts: u64,
+    /// Final size of the SAT solver's clause arena in bytes.
+    pub arena_bytes: u64,
+}
+
+impl MaxSatStats {
+    /// Copies the end-of-run solver counters out of the underlying SAT
+    /// solver (variables, conflicts, reduction and arena figures).
+    fn capture_solver(&mut self, solver: &Solver) {
+        let stats = solver.stats();
+        self.final_vars = solver.num_vars();
+        self.conflicts = stats.conflicts;
+        self.reduce_dbs = stats.reduce_dbs;
+        self.removed_learnts = stats.removed_learnts;
+        self.arena_bytes = stats.arena_bytes;
+    }
 }
 
 /// A configurable weighted partial MAX-SAT solver.
@@ -221,6 +240,10 @@ impl MaxSatSolver {
             selector: Lit,
         }
         let mut work: Vec<WorkSoft> = Vec::new();
+        // The assumption vector is `work`'s selector column, maintained
+        // incrementally (`assumptions[i] == work[i].selector`) instead of
+        // being rebuilt from scratch on every SAT call.
+        let mut assumptions: Vec<Lit> = Vec::new();
         let mut base_cost = 0u64;
         for soft in instance.soft_clauses() {
             if soft.clause.is_empty() {
@@ -237,28 +260,27 @@ impl MaxSatSolver {
                 weight: soft.weight,
                 selector,
             });
+            assumptions.push(selector);
         }
 
         let mut cost = base_cost;
         loop {
+            debug_assert_eq!(assumptions.len(), work.len());
             // `cost` is a valid lower bound on the optimum (the WPM1
             // invariant). If a rival already published a model of that cost,
             // the incumbent is a proven optimum — finish with it.
             if let Some(race) = race {
                 if let Some(incumbent) = race.incumbent_at_most(cost) {
-                    self.stats.final_vars = solver.num_vars();
-                    self.stats.conflicts = solver.stats().conflicts;
+                    self.stats.capture_solver(&solver);
                     return Some(MaxSatResult::Optimum(incumbent));
                 }
             }
-            let assumptions: Vec<Lit> = work.iter().map(|w| w.selector).collect();
             self.stats.sat_calls += 1;
             match Self::sat_call(&mut solver, &assumptions, race)? {
                 SatResult::Sat => {
                     let model = truncate_model(&solver, instance.num_vars());
                     let falsified = falsified_soft(instance, &model);
-                    self.stats.final_vars = solver.num_vars();
-                    self.stats.conflicts = solver.stats().conflicts;
+                    self.stats.capture_solver(&solver);
                     let solution = MaxSatSolution {
                         cost,
                         model,
@@ -275,10 +297,13 @@ impl MaxSatSolver {
                         return Some(MaxSatResult::HardUnsat);
                     }
                     self.stats.cores += 1;
+                    // Hash the core's selectors once: the scan over all work
+                    // clauses is then O(softs), not O(cores × softs).
+                    let core_set: std::collections::HashSet<Lit> = core.iter().copied().collect();
                     let core_indices: Vec<usize> = work
                         .iter()
                         .enumerate()
-                        .filter(|(_, w)| core.contains(&w.selector))
+                        .filter(|(_, w)| core_set.contains(&w.selector))
                         .map(|(i, _)| i)
                         .collect();
                     debug_assert!(!core_indices.is_empty());
@@ -306,6 +331,7 @@ impl MaxSatSolver {
                                 weight: w_min,
                                 selector: new_selector,
                             };
+                            assumptions[i] = new_selector;
                         } else {
                             // Split: the original keeps the residual weight,
                             // the relaxed copy carries w_min.
@@ -315,6 +341,7 @@ impl MaxSatSolver {
                                 weight: w_min,
                                 selector: new_selector,
                             });
+                            assumptions.push(new_selector);
                         }
                     }
                     encode_exactly_one(&mut solver, &relax_vars);
@@ -406,8 +433,7 @@ impl MaxSatSolver {
             }
         }
 
-        self.stats.final_vars = solver.num_vars();
-        self.stats.conflicts = solver.stats().conflicts;
+        self.stats.capture_solver(&solver);
         let falsified = falsified_soft(instance, &best_model);
         Some(MaxSatResult::Optimum(MaxSatSolution {
             cost: best_cost,

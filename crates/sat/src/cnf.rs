@@ -202,6 +202,19 @@ impl CnfFormula {
         self.clauses.is_empty()
     }
 
+    /// Total number of literal occurrences across all clauses — the size
+    /// estimate [`crate::Solver::from_formula`] uses to pre-allocate its
+    /// clause arena in one shot.
+    pub fn num_literals(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).sum()
+    }
+
+    /// Reserves room for at least `additional` more clauses (used by the
+    /// DIMACS parser, which knows the declared clause count up front).
+    pub fn reserve_clauses(&mut self, additional: usize) {
+        self.clauses.reserve(additional);
+    }
+
     /// Adds a clause given as anything convertible to a [`Clause`].
     ///
     /// Variables mentioned by the clause are added to the pool if needed.

@@ -79,6 +79,14 @@ pub fn parse_cnf(input: &str) -> Result<CnfFormula, ParseDimacsError> {
                 message: format!("invalid variable count: {:?}", parts[2]),
             })?;
             formula.ensure_vars(vars);
+            // The declared clause count is only a capacity hint (many
+            // generators get it slightly wrong, so it is not validated) —
+            // clamped against the input size so a corrupt or hostile header
+            // cannot force a huge allocation. Every clause needs at least
+            // its terminating "0" plus a separator, i.e. two bytes.
+            if let Ok(clauses) = parts[3].parse::<usize>() {
+                formula.reserve_clauses(clauses.min(input.len() / 2));
+            }
             continue;
         }
         for tok in trimmed.split_whitespace() {

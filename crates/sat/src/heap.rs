@@ -28,6 +28,7 @@ impl VarOrderHeap {
         }
     }
 
+    #[inline]
     pub(crate) fn contains(&self, var: Var) -> bool {
         self.indices
             .get(var.index())
@@ -35,6 +36,7 @@ impl VarOrderHeap {
     }
 
     /// Inserts a variable; no-op if it is already present.
+    #[inline]
     pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {
         self.grow_to(var.index() + 1);
         if self.contains(var) {
@@ -47,6 +49,7 @@ impl VarOrderHeap {
     }
 
     /// Removes and returns the variable with the highest activity.
+    #[inline]
     pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
         if self.heap.is_empty() {
             return None;
@@ -63,6 +66,7 @@ impl VarOrderHeap {
     }
 
     /// Restores the heap property after `var`'s activity increased.
+    #[inline]
     pub(crate) fn on_activity_increased(&mut self, var: Var, activity: &[f64]) {
         if let Some(&pos) = self.indices.get(var.index()) {
             if pos != ABSENT {
@@ -95,6 +99,7 @@ impl VarOrderHeap {
         }
     }
 
+    #[inline]
     fn better(&self, a: Var, b: Var, activity: &[f64]) -> bool {
         activity[a.index()] > activity[b.index()]
     }
@@ -130,6 +135,7 @@ impl VarOrderHeap {
         }
     }
 
+    #[inline]
     fn swap(&mut self, a: usize, b: usize) {
         self.heap.swap(a, b);
         self.indices[self.heap[a].index()] = a;

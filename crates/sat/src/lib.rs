@@ -7,7 +7,9 @@
 //!
 //! * a conflict-driven clause-learning solver ([`Solver`]) with two-watched
 //!   literal propagation, first-UIP learning, VSIDS, phase saving and Luby
-//!   restarts;
+//!   restarts, storing all clauses in a flat arena ([`ClauseArena`]) with
+//!   activity/LBD-driven learnt-clause reduction and copying garbage
+//!   collection;
 //! * incremental solving under **assumptions** with extraction of the
 //!   conflicting subset of assumptions ([`Solver::unsat_core`]) — the
 //!   primitive the core-guided MAX-SAT engine in the `maxsat` crate is built
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod cnf;
 pub mod dimacs;
 mod heap;
@@ -42,6 +45,7 @@ pub mod reference;
 mod solver;
 mod types;
 
+pub use arena::{ClauseArena, ClauseRef};
 pub use cnf::{Clause, CnfFormula};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use types::{LBool, Lit, Var};

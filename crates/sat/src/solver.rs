@@ -6,7 +6,15 @@
 //! solving under assumptions with extraction of the subset of assumptions
 //! responsible for unsatisfiability (the "final conflict", used as an
 //! unsatisfiable core by the MAX-SAT engine).
+//!
+//! The clause database is a flat [`ClauseArena`]: clauses are slices of one
+//! contiguous `u32` buffer addressed by [`ClauseRef`]s, the hot loops
+//! (`propagate`, `analyze`) never allocate, and the learnt-clause database is
+//! periodically reduced (activity/LBD-scored, MiniSAT-style) with a copying
+//! garbage collection pass that relocates live clauses and remaps watchers
+//! and reasons.
 
+use crate::arena::{ClauseArena, ClauseRef};
 use crate::cnf::CnfFormula;
 use crate::heap::VarOrderHeap;
 use crate::types::{LBool, Lit, Var};
@@ -62,27 +70,34 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Number of problem (original) clauses added.
     pub original_clauses: u64,
+    /// Number of learnt-clause database reductions ([`reduce_db`] passes).
+    ///
+    /// [`reduce_db`]: Solver::set_clause_reduction
+    pub reduce_dbs: u64,
+    /// Total learnt clauses deleted by database reductions.
+    pub removed_learnts: u64,
+    /// Current size of the clause arena in bytes.
+    pub arena_bytes: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
-    cref: usize,
+    cref: ClauseRef,
     blocker: Lit,
-}
-
-#[derive(Clone, Debug)]
-struct ClauseData {
-    lits: Vec<Lit>,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
 struct VarData {
-    reason: Option<usize>,
+    reason: Option<ClauseRef>,
     level: usize,
 }
 
 const VAR_RESCALE_LIMIT: f64 = 1e100;
 const VAR_RESCALE_FACTOR: f64 = 1e-100;
+const CLA_RESCALE_LIMIT: f64 = 1e20;
+const CLA_RESCALE_FACTOR: f64 = 1e-20;
+/// Learnt clauses with an LBD at or below this are "glue" and never deleted.
+const GLUE_LBD: u32 = 2;
 
 /// A CDCL SAT solver.
 ///
@@ -116,7 +131,11 @@ const VAR_RESCALE_FACTOR: f64 = 1e-100;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Solver {
-    clauses: Vec<ClauseData>,
+    arena: ClauseArena,
+    /// Problem clauses, as arena references.
+    clauses: Vec<ClauseRef>,
+    /// Learnt clauses, as arena references.
+    learnts: Vec<ClauseRef>,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     polarity: Vec<bool>,
@@ -131,6 +150,15 @@ pub struct Solver {
 
     var_inc: f64,
     var_decay: f64,
+    cla_inc: f64,
+    cla_decay: f64,
+
+    /// Learnt-clause database reduction on/off (default on).
+    reduce_enabled: bool,
+    /// Optional override of the initial reduction trigger.
+    reduce_base: Option<usize>,
+    /// Current reduction trigger: reduce once `learnts.len()` reaches this.
+    learnt_cap: usize,
 
     ok: bool,
     model: Vec<LBool>,
@@ -138,6 +166,9 @@ pub struct Solver {
 
     seen: Vec<bool>,
     analyze_toclear: Vec<Lit>,
+    /// Per-decision-level stamps for LBD computation.
+    lbd_seen: Vec<u64>,
+    lbd_stamp: u64,
 
     stats: SolverStats,
 }
@@ -152,7 +183,9 @@ impl Solver {
     /// Creates an empty solver with no variables and no clauses.
     pub fn new() -> Solver {
         Solver {
+            arena: ClauseArena::new(),
             clauses: Vec::new(),
+            learnts: Vec::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
             polarity: Vec::new(),
@@ -165,23 +198,53 @@ impl Solver {
             qhead: 0,
             var_inc: 1.0,
             var_decay: 0.95,
+            cla_inc: 1.0,
+            cla_decay: 0.999,
+            reduce_enabled: true,
+            reduce_base: None,
+            learnt_cap: usize::MAX,
             ok: true,
             model: Vec::new(),
             conflict: Vec::new(),
             seen: Vec::new(),
             analyze_toclear: Vec::new(),
+            lbd_seen: Vec::new(),
+            lbd_stamp: 0,
             stats: SolverStats::default(),
         }
     }
 
     /// Creates a solver pre-loaded with the clauses of a [`CnfFormula`].
+    ///
+    /// The clause arena is pre-sized for the whole formula, so loading does a
+    /// single allocation instead of one per clause.
     pub fn from_formula(formula: &CnfFormula) -> Solver {
         let mut solver = Solver::new();
         solver.ensure_vars(formula.num_vars());
+        solver
+            .arena
+            .reserve(formula.num_literals() + formula.num_clauses());
         for clause in formula.iter() {
             solver.add_clause(clause.lits().iter().copied());
         }
         solver
+    }
+
+    /// Enables or disables learnt-clause database reduction (default:
+    /// enabled). With reduction on, the solver periodically deletes
+    /// low-activity, high-LBD learnt clauses and garbage-collects the arena;
+    /// answers (SAT/UNSAT, models' validity, core soundness) are unaffected,
+    /// but long incremental runs stop degrading as learnt clauses accumulate.
+    pub fn set_clause_reduction(&mut self, enabled: bool) {
+        self.reduce_enabled = enabled;
+    }
+
+    /// Overrides the initial learnt-clause count that triggers a database
+    /// reduction (`None` restores the default `max(100, clauses/3)`
+    /// schedule). Mainly a testing/tuning knob: a tiny base forces frequent
+    /// reductions and arena collections even on small instances.
+    pub fn set_reduce_base(&mut self, base: Option<usize>) {
+        self.reduce_base = base;
     }
 
     /// Allocates a fresh variable.
@@ -219,8 +282,14 @@ impl Solver {
     }
 
     /// Returns the accumulated statistics.
+    ///
+    /// `learnt_clauses` and `arena_bytes` are snapshots of the current
+    /// database; the remaining counters are cumulative.
     pub fn stats(&self) -> SolverStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.learnt_clauses = self.learnts.len() as u64;
+        stats.arena_bytes = self.arena.bytes() as u64;
+        stats
     }
 
     /// Returns `false` if the clause database has already been proven
@@ -276,7 +345,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_new_clause(simplified, false);
+                self.attach_new_clause(&simplified, false);
                 true
             }
         }
@@ -286,6 +355,8 @@ impl Solver {
     /// became unsatisfiable.
     pub fn add_formula(&mut self, formula: &CnfFormula) -> bool {
         self.ensure_vars(formula.num_vars());
+        self.arena
+            .reserve(formula.num_literals() + formula.num_clauses());
         for clause in formula.iter() {
             if !self.add_clause(clause.lits().iter().copied()) {
                 return false;
@@ -294,23 +365,22 @@ impl Solver {
         self.ok
     }
 
-    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+    fn attach_new_clause(&mut self, lits: &[Lit], learnt: bool) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len();
-        let w0 = Watcher {
+        let cref = self.arena.alloc(lits, learnt);
+        self.watches[(!lits[0]).code()].push(Watcher {
             cref,
             blocker: lits[1],
-        };
-        let w1 = Watcher {
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
             cref,
             blocker: lits[0],
-        };
-        self.watches[(!lits[0]).code()].push(w0);
-        self.watches[(!lits[1]).code()].push(w1);
+        });
         if learnt {
-            self.stats.learnt_clauses += 1;
+            self.learnts.push(cref);
+        } else {
+            self.clauses.push(cref);
         }
-        self.clauses.push(ClauseData { lits });
         cref
     }
 
@@ -332,11 +402,11 @@ impl Solver {
         self.vardata[var.index()].level
     }
 
-    fn var_reason(&self, var: Var) -> Option<usize> {
+    fn var_reason(&self, var: Var) -> Option<ClauseRef> {
         self.vardata[var.index()].reason
     }
 
-    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
         debug_assert!(self.value(lit).is_undef());
         self.assigns[lit.var().index()] = LBool::from_bool(lit.is_positive());
         self.vardata[lit.var().index()] = VarData {
@@ -348,68 +418,76 @@ impl Solver {
 
     /// Unit propagation. Returns the reference of a conflicting clause, or
     /// `None` if a fixed point was reached without conflict.
-    fn propagate(&mut self) -> Option<usize> {
+    ///
+    /// The watcher list of the propagated literal is compacted in place with
+    /// a read/write cursor pair — no buffer is taken out and no fresh vector
+    /// is allocated per literal. Watches moved to another literal can never
+    /// land back in the list being scanned (the new watch is non-false while
+    /// `!p` is false), so plain index-based access is sound.
+    fn propagate(&mut self) -> Option<ClauseRef> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let p_code = p.code();
+            let false_lit = !p;
 
-            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
-            let mut kept = Vec::with_capacity(watchers.len());
-            let mut idx = 0;
-            'watchers: while idx < watchers.len() {
-                let w = watchers[idx];
-                idx += 1;
+            let n = self.watches[p_code].len();
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < n {
+                let w = self.watches[p_code][i];
+                i += 1;
                 // Fast path: blocker already true.
                 if self.value(w.blocker).is_true() {
-                    kept.push(w);
+                    self.watches[p_code][j] = w;
+                    j += 1;
                     continue;
                 }
-                let false_lit = !p;
+                let cref = w.cref;
                 // Make sure the false literal is at position 1.
-                {
-                    let clause = &mut self.clauses[w.cref];
-                    if clause.lits[0] == false_lit {
-                        clause.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(clause.lits[1], false_lit);
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
                 }
-                let first = self.clauses[w.cref].lits[0];
+                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
+                let first = self.arena.lit(cref, 0);
                 let new_watcher = Watcher {
-                    cref: w.cref,
+                    cref,
                     blocker: first,
                 };
                 if first != w.blocker && self.value(first).is_true() {
-                    kept.push(new_watcher);
+                    self.watches[p_code][j] = new_watcher;
+                    j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[w.cref].lits.len();
+                let len = self.arena.len(cref);
                 for k in 2..len {
-                    let lk = self.clauses[w.cref].lits[k];
+                    let lk = self.arena.lit(cref, k);
                     if !self.value(lk).is_false() {
-                        self.clauses[w.cref].lits.swap(1, k);
+                        self.arena.swap_lits(cref, 1, k);
                         self.watches[(!lk).code()].push(new_watcher);
                         continue 'watchers;
                     }
                 }
                 // No new watch found: clause is unit or conflicting.
-                kept.push(new_watcher);
+                self.watches[p_code][j] = new_watcher;
+                j += 1;
                 if self.value(first).is_false() {
-                    conflict = Some(w.cref);
+                    conflict = Some(cref);
                     self.qhead = self.trail.len();
-                    // Copy the remaining watchers back.
-                    while idx < watchers.len() {
-                        kept.push(watchers[idx]);
-                        idx += 1;
+                    // Keep the unscanned tail of the list.
+                    while i < n {
+                        self.watches[p_code][j] = self.watches[p_code][i];
+                        i += 1;
+                        j += 1;
                     }
                 } else {
-                    self.unchecked_enqueue(first, Some(w.cref));
+                    self.unchecked_enqueue(first, Some(cref));
                 }
             }
-            watchers.clear();
-            self.watches[p.code()] = kept;
+            self.watches[p_code].truncate(j);
             if conflict.is_some() {
                 break;
             }
@@ -432,18 +510,59 @@ impl Solver {
         self.var_inc /= self.var_decay;
     }
 
+    fn cla_bump_activity(&mut self, cref: ClauseRef) {
+        let bumped = self.arena.activity(cref) as f64 + self.cla_inc;
+        self.arena.set_activity(cref, bumped as f32);
+        if bumped > CLA_RESCALE_LIMIT {
+            for &c in &self.learnts {
+                let rescaled = self.arena.activity(c) as f64 * CLA_RESCALE_FACTOR;
+                self.arena.set_activity(c, rescaled as f32);
+            }
+            self.cla_inc *= CLA_RESCALE_FACTOR;
+        }
+    }
+
+    fn cla_decay_activity(&mut self) {
+        self.cla_inc /= self.cla_decay;
+    }
+
+    /// Number of distinct decision levels among `lits` (the literal-block
+    /// distance of a learnt clause, Glucose-style).
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_stamp += 1;
+        let mut lbd = 0u32;
+        for &lit in lits {
+            let level = self.var_level(lit.var());
+            if level >= self.lbd_seen.len() {
+                self.lbd_seen.resize(level + 1, 0);
+            }
+            if self.lbd_seen[level] != self.lbd_stamp {
+                self.lbd_seen[level] = self.lbd_stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
     /// First-UIP conflict analysis. Returns the learnt clause (with the
     /// asserting literal first) and the backjump level.
-    fn analyze(&mut self, mut confl: usize) -> (Vec<Lit>, usize) {
+    ///
+    /// Resolution steps read the conflicting/reason clauses directly out of
+    /// the arena by index — no per-step clone of the literal vector.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, usize) {
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for asserting literal
         let mut path_count = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
 
         loop {
+            if self.arena.is_learnt(confl) {
+                self.cla_bump_activity(confl);
+            }
             let start = usize::from(p.is_some());
-            let clause_lits = self.clauses[confl].lits.clone();
-            for &q in &clause_lits[start..] {
+            let len = self.arena.len(confl);
+            for k in start..len {
+                let q = self.arena.lit(confl, k);
                 let v = q.var();
                 if !self.seen[v.index()] && self.var_level(v) > 0 {
                     self.var_bump_activity(v);
@@ -477,25 +596,31 @@ impl Solver {
 
         // Simple (non-recursive) learnt clause minimization: drop literals
         // whose reason clause is entirely subsumed by the remaining clause.
-        self.analyze_toclear = learnt.clone();
-        let mut minimized = vec![learnt[0]];
-        for &lit in &learnt[1..] {
+        self.analyze_toclear.clear();
+        self.analyze_toclear.extend_from_slice(&learnt);
+        let mut write = 1;
+        for read in 1..learnt.len() {
+            let lit = learnt[read];
             let redundant = match self.var_reason(lit.var()) {
                 None => false,
-                Some(reason) => self.clauses[reason].lits[1..]
-                    .iter()
-                    .all(|&q| self.seen[q.var().index()] || self.var_level(q.var()) == 0),
+                Some(reason) => (1..self.arena.len(reason)).all(|k| {
+                    let q = self.arena.lit(reason, k);
+                    self.seen[q.var().index()] || self.var_level(q.var()) == 0
+                }),
             };
             if !redundant {
-                minimized.push(lit);
+                learnt[write] = lit;
+                write += 1;
             }
         }
-        let mut learnt = minimized;
+        learnt.truncate(write);
 
         // Clear the seen flags.
-        for lit in std::mem::take(&mut self.analyze_toclear) {
+        for k in 0..self.analyze_toclear.len() {
+            let lit = self.analyze_toclear[k];
             self.seen[lit.var().index()] = false;
         }
+        self.analyze_toclear.clear();
 
         // Compute the backjump level and place a literal of that level at
         // position 1 (the second watch).
@@ -540,8 +665,8 @@ impl Solver {
                     self.conflict.push(!lit);
                 }
                 Some(reason) => {
-                    let lits = self.clauses[reason].lits.clone();
-                    for &q in &lits[1..] {
+                    for k in 1..self.arena.len(reason) {
+                        let q = self.arena.lit(reason, k);
                         if self.var_level(q.var()) > 0 {
                             self.seen[q.var().index()] = true;
                         }
@@ -557,6 +682,88 @@ impl Solver {
         for lit in &mut self.conflict {
             *lit = !*lit;
         }
+    }
+
+    /// `true` iff the clause is the reason of a currently assigned literal
+    /// (and therefore must not be deleted).
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.arena.lit(cref, 0);
+        self.value(first).is_true() && self.var_reason(first.var()) == Some(cref)
+    }
+
+    /// MiniSAT-style learnt-database reduction: delete the low-activity half
+    /// of the learnt clauses (protecting binary, glue-LBD and locked
+    /// clauses), then garbage-collect the arena.
+    fn reduce_db(&mut self) {
+        self.stats.reduce_dbs += 1;
+        let mut learnts = std::mem::take(&mut self.learnts);
+        // Lowest activity first; ties broken towards higher LBD (worse).
+        learnts.sort_by(|&a, &b| {
+            self.arena
+                .activity(a)
+                .total_cmp(&self.arena.activity(b))
+                .then_with(|| self.arena.lbd(b).cmp(&self.arena.lbd(a)))
+        });
+        let extra_lim = self.cla_inc / learnts.len().max(1) as f64;
+        let half = learnts.len() / 2;
+        let mut kept = Vec::with_capacity(learnts.len());
+        for (rank, &cref) in learnts.iter().enumerate() {
+            let protected = self.arena.len(cref) == 2
+                || self.arena.lbd(cref) <= GLUE_LBD
+                || self.is_locked(cref);
+            let expendable = rank < half || (self.arena.activity(cref) as f64) < extra_lim;
+            if !protected && expendable {
+                self.arena.mark_deleted(cref);
+                self.stats.removed_learnts += 1;
+            } else {
+                kept.push(cref);
+            }
+        }
+        self.learnts = kept;
+        // Grow the trigger so reductions back off as the database earns its
+        // keep (MiniSAT's learntsize_inc schedule).
+        self.learnt_cap += self.learnt_cap / 10 + 1;
+        // Collection is what actually detaches the deleted clauses (their
+        // watchers are dropped during the rebuild), so it must run whenever
+        // anything has been marked — but when every learnt was protected
+        // there is nothing to reclaim and the full arena copy is skipped.
+        if self.arena.wasted_words() > 0 {
+            self.garbage_collect();
+        }
+    }
+
+    /// Copies every live clause into a fresh arena and remaps all references
+    /// to it: the problem/learnt clause lists, the reasons of every literal
+    /// on the trail, and the watcher lists (rebuilt from the clauses' watched
+    /// literal positions, which drops watchers of deleted clauses for free).
+    fn garbage_collect(&mut self) {
+        let mut to = ClauseArena::with_capacity(self.arena.live_words());
+        for cref in &mut self.clauses {
+            *cref = self.arena.relocate(*cref, &mut to);
+        }
+        for cref in &mut self.learnts {
+            *cref = self.arena.relocate(*cref, &mut to);
+        }
+        // Only currently assigned variables can have their reason read before
+        // it is overwritten by the next assignment, so the trail bounds the
+        // set of reasons that must be remapped. Locked clauses are never
+        // deleted, so every reason is live.
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            if let Some(reason) = self.vardata[v.index()].reason {
+                self.vardata[v.index()].reason = Some(self.arena.relocate(reason, &mut to));
+            }
+        }
+        for list in &mut self.watches {
+            list.clear();
+        }
+        for &cref in self.clauses.iter().chain(self.learnts.iter()) {
+            let l0 = to.lit(cref, 0);
+            let l1 = to.lit(cref, 1);
+            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        }
+        self.arena = to;
     }
 
     /// Backtracks to the given decision level, undoing assignments and saving
@@ -605,19 +812,27 @@ impl Solver {
                     return LBool::False;
                 }
                 let (learnt, backtrack_level) = self.analyze(confl);
+                // LBD uses the levels at conflict time, before backjumping.
+                let lbd = self.compute_lbd(&learnt);
                 self.cancel_until(backtrack_level);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.attach_new_clause(learnt, true);
+                    let cref = self.attach_new_clause(&learnt, true);
+                    self.arena.set_lbd(cref, lbd);
+                    self.cla_bump_activity(cref);
                     self.unchecked_enqueue(asserting, Some(cref));
                 }
                 self.var_decay_activity();
+                self.cla_decay_activity();
             } else {
                 if conflicts >= conflict_budget {
                     self.cancel_until(0);
                     return LBool::Undef;
+                }
+                if self.reduce_enabled && self.learnts.len() >= self.learnt_cap {
+                    self.reduce_db();
                 }
                 // Establish assumptions, then decide.
                 let mut next = None;
@@ -694,6 +909,9 @@ impl Solver {
         for &lit in assumptions {
             self.ensure_vars(lit.var().index() + 1);
         }
+        self.learnt_cap = self
+            .reduce_base
+            .unwrap_or_else(|| (self.clauses.len() / 3).max(100));
 
         let mut restarts = 0u64;
         let status = loop {
@@ -1018,6 +1236,79 @@ mod tests {
         let stats = solver.stats();
         assert!(stats.conflicts > 0);
         assert!(stats.propagations > 0);
+        assert!(stats.arena_bytes > 0);
         assert_eq!(stats.solves, 1);
+    }
+
+    /// A hard-enough UNSAT instance with a tiny forced reduction trigger:
+    /// several reduce/GC cycles must run and the answer must stay correct.
+    #[test]
+    fn forced_reduction_keeps_answers() {
+        fn pigeonhole(solver: &mut Solver, pigeons: usize, holes: usize) {
+            let vars: Vec<Vec<Var>> = (0..pigeons)
+                .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+                .collect();
+            for row in &vars {
+                solver.add_clause(row.iter().map(|v| v.positive()));
+            }
+            for (i, row_i) in vars.iter().enumerate() {
+                for row_j in &vars[i + 1..] {
+                    for (a, b) in row_i.iter().zip(row_j) {
+                        solver.add_clause([a.negative(), b.negative()]);
+                    }
+                }
+            }
+        }
+        let mut solver = Solver::new();
+        solver.set_reduce_base(Some(8));
+        pigeonhole(&mut solver, 6, 5);
+        assert_eq!(solver.solve(), SatResult::Unsat);
+        let stats = solver.stats();
+        assert!(stats.reduce_dbs > 0, "reduction never triggered");
+        assert!(
+            stats.removed_learnts > 0,
+            "reduction never removed a clause"
+        );
+
+        let mut plain = Solver::new();
+        plain.set_clause_reduction(false);
+        pigeonhole(&mut plain, 6, 5);
+        assert_eq!(plain.solve(), SatResult::Unsat);
+        assert_eq!(plain.stats().reduce_dbs, 0);
+    }
+
+    /// Incremental solving across forced GC cycles: answers and models stay
+    /// correct after the arena has been rebuilt mid-run.
+    #[test]
+    fn forced_reduction_with_incremental_assumptions() {
+        let mut solver = Solver::new();
+        solver.set_reduce_base(Some(4));
+        let vals: Vec<Var> = (0..31).map(|_| solver.new_var()).collect();
+        let sels: Vec<Var> = (0..30).map(|_| solver.new_var()).collect();
+        solver.add_clause([vals[0].positive()]);
+        solver.add_clause([vals[30].negative()]);
+        for i in 0..30 {
+            solver.add_clause([
+                sels[i].negative(),
+                vals[i].negative(),
+                vals[i + 1].positive(),
+            ]);
+        }
+        let all: Vec<Lit> = sels.iter().map(|s| s.positive()).collect();
+        assert_eq!(solver.solve_assuming(&all), SatResult::Unsat);
+        assert!(!solver.unsat_core().is_empty());
+        for drop in 0..30 {
+            let assumptions: Vec<Lit> = sels
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, s)| s.positive())
+                .collect();
+            assert_eq!(
+                solver.solve_assuming(&assumptions),
+                SatResult::Sat,
+                "dropping selector {drop} must restore satisfiability"
+            );
+        }
     }
 }

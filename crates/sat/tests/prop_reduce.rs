@@ -1,0 +1,228 @@
+//! Randomized correctness tests for learnt-clause database reduction and
+//! arena garbage collection: with the reduction schedule forced to fire
+//! aggressively (tiny `reduce_base`), the solver's answers and unsat cores
+//! must match a reduction-free solver on every instance, and models must
+//! satisfy the formula.
+
+use prng::SplitMix64;
+use sat::{CnfFormula, Lit, SatResult, Solver, Var};
+
+/// Pure random 3-SAT with distinct variables per clause at the phase
+/// transition (ratio ~4.3) — small instances that still generate enough
+/// conflicts to trip a forced reduction schedule.
+fn random_3sat(rng: &mut SplitMix64, num_vars: usize) -> CnfFormula {
+    let num_clauses = num_vars * 43 / 10;
+    let mut cnf = CnfFormula::with_vars(num_vars);
+    for _ in 0..num_clauses {
+        let mut vars: Vec<usize> = Vec::with_capacity(3);
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits: Vec<Lit> = vars
+            .iter()
+            .map(|&v| Var::from_index(v).lit(rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+fn forced_reduction_solver() -> Solver {
+    let mut solver = Solver::new();
+    // A tiny trigger forces many reduce/GC cycles even on small instances.
+    solver.set_reduce_base(Some(3));
+    solver
+}
+
+fn plain_solver() -> Solver {
+    let mut solver = Solver::new();
+    solver.set_clause_reduction(false);
+    solver
+}
+
+#[test]
+fn reduction_on_and_off_agree_on_satisfiability() {
+    let mut rng = SplitMix64::seed_from_u64(0xA2E7A);
+    let mut reductions = 0u64;
+    for case in 0..64 {
+        let cnf = random_3sat(&mut rng, 20);
+        let mut with = forced_reduction_solver();
+        with.add_formula(&cnf);
+        let mut without = plain_solver();
+        without.add_formula(&cnf);
+        let answer_with = with.solve();
+        let answer_without = without.solve();
+        assert_eq!(
+            answer_with, answer_without,
+            "case {case}: reduction changed the answer"
+        );
+        assert_eq!(without.stats().reduce_dbs, 0, "case {case}");
+        reductions += with.stats().reduce_dbs;
+        if answer_with == SatResult::Sat {
+            assert!(
+                cnf.eval(&with.model()),
+                "case {case}: post-reduction model does not satisfy the formula"
+            );
+            assert!(cnf.eval(&without.model()), "case {case}");
+        }
+    }
+    assert!(
+        reductions >= 10,
+        "the forced schedule fired only {reductions} reductions — the test is vacuous"
+    );
+}
+
+/// Builds a selector-guarded pigeonhole instance: `holes + 1` pigeons,
+/// `holes` holes, each pigeon's "is somewhere" clause guarded by a selector.
+/// Under the full selector assumption set the instance is UNSAT, and because
+/// dropping *any* selector restores satisfiability, the only possible unsat
+/// core is the full selector set — so cores are comparable across solver
+/// configurations, not merely sound.
+fn guarded_pigeonhole(solver: &mut Solver, holes: usize, noise: &CnfFormula) -> Vec<Lit> {
+    let pigeons = holes + 1;
+    let p: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+        .collect();
+    let selectors: Vec<Var> = (0..pigeons).map(|_| solver.new_var()).collect();
+    for i in 0..pigeons {
+        let mut clause = vec![selectors[i].negative()];
+        clause.extend(p[i].iter().map(|v| v.positive()));
+        solver.add_clause(clause);
+    }
+    for (i, row_i) in p.iter().enumerate() {
+        for row_j in &p[i + 1..] {
+            for (a, b) in row_i.iter().zip(row_j) {
+                solver.add_clause([a.negative(), b.negative()]);
+            }
+        }
+    }
+    // Satisfiable noise over fresh variables: it cannot change any answer,
+    // but it perturbs variable numbering, activities and clause layout.
+    let base = solver.num_vars();
+    for clause in noise.iter() {
+        solver.add_clause(
+            clause
+                .lits()
+                .iter()
+                .map(|l| Var::from_index(base + l.var().index()).lit(l.is_positive())),
+        );
+    }
+    selectors.iter().map(|s| s.positive()).collect()
+}
+
+#[test]
+fn reduction_on_and_off_find_identical_cores() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0DE5);
+    let mut reductions = 0u64;
+    for case in 0..12 {
+        let holes = 4 + case % 3;
+        // Noise that is satisfiable by construction (every clause contains a
+        // negative literal, so the all-false assignment is a model).
+        let mut noise = CnfFormula::with_vars(10);
+        for _ in 0..30 {
+            let mut lits: Vec<Lit> = (0..3)
+                .map(|_| Var::from_index(rng.gen_range(0..10)).lit(rng.gen_bool(0.5)))
+                .collect();
+            if lits.iter().all(|l| l.is_positive()) {
+                lits[0] = !lits[0];
+            }
+            noise.add_clause(lits);
+        }
+        let mut with = forced_reduction_solver();
+        let assumptions = guarded_pigeonhole(&mut with, holes, &noise);
+        let mut without = plain_solver();
+        let assumptions_off = guarded_pigeonhole(&mut without, holes, &noise);
+        assert_eq!(assumptions, assumptions_off);
+
+        assert_eq!(with.solve_assuming(&assumptions), SatResult::Unsat);
+        assert_eq!(without.solve_assuming(&assumptions), SatResult::Unsat);
+        reductions += with.stats().reduce_dbs;
+
+        let mut core_with = with.unsat_core().to_vec();
+        let mut core_without = without.unsat_core().to_vec();
+        core_with.sort_unstable();
+        core_without.sort_unstable();
+        let mut expected = assumptions.clone();
+        expected.sort_unstable();
+        // The full selector set is the unique minimal core.
+        assert_eq!(core_with, expected, "case {case}: reduced-solver core");
+        assert_eq!(core_with, core_without, "case {case}: cores differ");
+
+        // Dropping any single selector restores satisfiability — on the
+        // *same* solver instances, exercising post-GC incremental reuse.
+        for drop in 0..assumptions.len() {
+            let subset: Vec<Lit> = assumptions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, &l)| l)
+                .collect();
+            assert_eq!(
+                with.solve_assuming(&subset),
+                SatResult::Sat,
+                "case {case}: dropping selector {drop} (reduction on)"
+            );
+            assert_eq!(
+                without.solve_assuming(&subset),
+                SatResult::Sat,
+                "case {case}: dropping selector {drop} (reduction off)"
+            );
+        }
+    }
+    assert!(
+        reductions > 0,
+        "the forced schedule never triggered a reduction — the test is vacuous"
+    );
+}
+
+#[test]
+fn reduction_survives_long_incremental_sessions() {
+    // One persistent solver, growing clause database, repeated solve calls
+    // under rotating assumptions — the FuMalik usage pattern. Answers are
+    // cross-checked against fresh reduction-free solvers over an identical
+    // mirror of the clause database.
+    let mut rng = SplitMix64::seed_from_u64(0x17C4);
+    let num_vars = 20;
+    let mut cnf = CnfFormula::with_vars(num_vars);
+    let mut solver = forced_reduction_solver();
+    solver.ensure_vars(num_vars);
+    for round in 0..24 {
+        for _ in 0..8 {
+            let mut vars: Vec<usize> = Vec::with_capacity(3);
+            while vars.len() < 3 {
+                let v = rng.gen_range(0..num_vars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            let lits: Vec<Lit> = vars
+                .iter()
+                .map(|&v| Var::from_index(v).lit(rng.gen_bool(0.5)))
+                .collect();
+            cnf.add_clause(lits.clone());
+            solver.add_clause(lits);
+        }
+        let assumptions: Vec<Lit> = (0..2)
+            .map(|i| Var::from_index(i).lit(rng.gen_bool(0.5)))
+            .collect();
+        let incremental = solver.solve_assuming(&assumptions);
+        let mut fresh = plain_solver();
+        fresh.add_formula(&cnf);
+        fresh.ensure_vars(num_vars);
+        let expected = fresh.solve_assuming(&assumptions);
+        assert_eq!(incremental, expected, "round {round}");
+        if incremental == SatResult::Sat {
+            assert!(cnf.eval(&solver.model()), "round {round}: invalid model");
+        }
+        if !solver.is_ok() {
+            break; // database became top-level UNSAT; nothing left to vary
+        }
+    }
+    assert!(
+        solver.stats().reduce_dbs > 0,
+        "incremental session never triggered a reduction"
+    );
+}
