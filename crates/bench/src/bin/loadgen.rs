@@ -1,0 +1,324 @@
+//! Load generator for the localization service: spins the daemon up
+//! in-process, drives it with concurrent clients over a mixed
+//! TCAS + mutated-minic program set, and records throughput, p50/p99
+//! latency, cold- vs warm-cache latency and the cache hit rate to
+//! `BENCH_service.json`.
+//!
+//! Usage: `cargo run -p bench --bin loadgen --release [output.json]
+//! [--samples N] [--quick]`
+//!
+//! * `--samples N` — warm rounds each client plays over the program set
+//!   (every round touches every program once).
+//! * `--quick` — CI smoke mode: fewer clients and a smaller program set,
+//!   enough to exercise daemon, cache, queue and client end to end.
+//!
+//! The headline number is the **cold/warm ratio**: a cold request pays
+//! parse → typecheck → unroll → bit-blast → selector-template construction
+//! before its first MAX-SAT call; a warm request starts solving immediately
+//! against the cached prepared formula. That gap is exactly what a
+//! long-lived daemon exists to eliminate (per-test re-building dominated
+//! the LocFaults-style deployments this subsystem answers).
+
+use service::{Client, Job, JobSpec, Json, Server, ServiceConfig};
+use siemens::{tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn parse_args() -> (String, usize, bool) {
+    let mut output = "BENCH_service.json".to_string();
+    let mut samples = 5usize;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--samples needs a positive integer");
+            }
+            "--quick" => quick = true,
+            other if other.starts_with("--") => {
+                panic!("unknown flag {other:?}; usage: [output.json] [--samples N] [--quick]")
+            }
+            other => output = other.to_string(),
+        }
+    }
+    (output, samples, quick)
+}
+
+/// A family of distinct small faulty programs (each constant delta yields a
+/// different AST, hence a different cache entry).
+fn minic_job(delta: i64) -> Job {
+    Job::new(
+        format!(
+            "int main(int x) {{\nint y = x + {};\nint z = y * 1;\nreturn z;\n}}",
+            2 + delta
+        ),
+        "main",
+        JobSpec::ReturnEquals(4),
+        vec![vec![3]],
+    )
+}
+
+/// A build-heavy job: a long straight-line body (one wrong constant at the
+/// top) whose symbolic encoding dwarfs its MAX-SAT solve. This is where the
+/// prepared-formula cache pays off hardest — the cold request bit-blasts
+/// `lines` statements, the warm request only re-solves.
+fn wide_minic_job(lines: usize) -> Job {
+    let mut source = String::from("int main(int x) {\nint y = x + 2;\n");
+    for _ in 0..lines {
+        source.push_str("y = y + 1;\n");
+    }
+    source.push_str("return y;\n}");
+    // Golden function is x + 1 + lines; with the faulty `+ 2` every input
+    // fails, and the cheapest CoMSS blames the wrong constant.
+    let mut job = Job::new(
+        source,
+        "main",
+        JobSpec::ReturnEquals(1 + lines as i64),
+        vec![vec![0]],
+    );
+    job.options.max_suspect_sets = 2;
+    job
+}
+
+/// TCAS v1 with an actual failing vector against its golden output — the
+/// paper's Table 1 workload, as a service request.
+fn tcas_job() -> Job {
+    let version = tcas_versions().into_iter().next().expect("v1 exists");
+    let faulty = version.build(TCAS_SOURCE);
+    let pool = siemens::tcas_test_vectors(120, 2011);
+    let interp = siemens::tcas_interp_config();
+    let failing = pool
+        .iter()
+        .find(|input| {
+            let outcome = bmc::run_program(&faulty, TCAS_ENTRY, input, &[], interp);
+            outcome.result != Some(siemens::tcas_golden_output(input)) || !outcome.is_ok()
+        })
+        .expect("v1 has a failing vector");
+    let golden = siemens::tcas_golden_output(failing);
+    let mut job = Job::new(
+        minic::pretty_program(&faulty),
+        TCAS_ENTRY,
+        JobSpec::ReturnEquals(golden),
+        vec![failing.clone()],
+    );
+    job.options.width = 16;
+    job.options.unwind = 6;
+    job.options.max_inline_depth = 8;
+    job.options.max_suspect_sets = 4;
+    job.options.trusted_lines = tcas_trusted_lines().iter().map(|l| l.0).collect();
+    job
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let (output, samples, quick) = parse_args();
+    let clients = if quick { 2 } else { 4 };
+    let minic_variants = if quick { 2 } else { 6 };
+
+    let mut jobs: Vec<Job> = vec![tcas_job(), wide_minic_job(if quick { 40 } else { 120 })];
+    jobs.extend((0..minic_variants).map(|d| minic_job(d as i64 + 1)));
+    let jobs = Arc::new(jobs);
+    let programs = jobs.len();
+
+    let config = ServiceConfig {
+        cache_capacity: 32,
+        cache_shards: 4,
+        ..ServiceConfig::default()
+    };
+    let workers = config.workers;
+    let queue_capacity = config.queue_capacity;
+    let server = Server::start(config).expect("daemon starts");
+    let addr = server.local_addr();
+    eprintln!(
+        "daemon on {addr}: {workers} workers, queue {queue_capacity}, \
+         {programs} programs, {clients} clients x {samples} warm rounds"
+    );
+
+    // --- cold phase: first request per program pays the full build -------
+    let mut cold_ms: Vec<f64> = Vec::with_capacity(programs);
+    let mut build_ms: Vec<u64> = Vec::with_capacity(programs);
+    {
+        let mut client = Client::connect(addr).expect("connects");
+        for job in jobs.iter() {
+            let started = Instant::now();
+            let outcome = client.localize(job.clone()).expect("cold localize");
+            cold_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            assert!(!outcome.cache_hit, "first request must be a miss");
+            build_ms.push(outcome.build_ms);
+        }
+    }
+    let cold_mean_ms = cold_ms.iter().sum::<f64>() / cold_ms.len() as f64;
+
+    // --- warm phase: concurrent clients over the now-cached programs ------
+    let warm_started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let jobs = Arc::clone(&jobs);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                let mut latencies_ms = Vec::with_capacity(samples * jobs.len());
+                for round in 0..samples {
+                    for i in 0..jobs.len() {
+                        let j = (c + round + i) % jobs.len();
+                        let started = Instant::now();
+                        let outcome = client.localize(jobs[j].clone()).expect("warm localize");
+                        latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                        assert!(outcome.cache_hit, "warm request must hit the cache");
+                    }
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    let mut warm_ms: Vec<f64> = Vec::new();
+    for handle in handles {
+        warm_ms.extend(handle.join().expect("client thread panicked"));
+    }
+    let warm_wall_s = warm_started.elapsed().as_secs_f64();
+    warm_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let warm_requests = warm_ms.len();
+    let warm_p50 = percentile(&warm_ms, 0.50);
+    let warm_p99 = percentile(&warm_ms, 0.99);
+    let warm_mean = warm_ms.iter().sum::<f64>() / warm_requests as f64;
+    let throughput_rps = warm_requests as f64 / warm_wall_s;
+
+    // --- uncontended warm phase: per-program repeat-request latency -------
+    // The apples-to-apples comparison against the cold phase (which also
+    // ran uncontended): same client, same pipeline, only the cache state
+    // differs. Median of `samples + 2` repeats per program.
+    let mut warm_single_ms: Vec<f64> = Vec::with_capacity(programs);
+    {
+        let mut client = Client::connect(addr).expect("connects");
+        for job in jobs.iter() {
+            let mut repeats: Vec<f64> = (0..samples + 2)
+                .map(|_| {
+                    let started = Instant::now();
+                    let outcome = client.localize(job.clone()).expect("warm localize");
+                    assert!(outcome.cache_hit);
+                    started.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            repeats.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            warm_single_ms.push(percentile(&repeats, 0.50));
+        }
+    }
+    let cold_total: f64 = cold_ms.iter().sum();
+    let warm_total: f64 = warm_single_ms.iter().sum();
+
+    // --- server-side counters --------------------------------------------
+    let mut client = Client::connect(addr).expect("connects");
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache section").clone();
+    let solver = stats.get("solver").expect("solver section").clone();
+    let queue = stats.get("queue").expect("queue section").clone();
+    let hits = cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
+    let misses = cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    server.shutdown();
+
+    // The daemon's whole reason to exist: repeat requests must be
+    // measurably faster than first requests (per program, uncontended, so
+    // the only difference is the prepared-formula cache).
+    assert!(
+        warm_total < cold_total,
+        "warm per-program medians (total {warm_total:.3}ms) must beat cold \
+         first-request latencies (total {cold_total:.3}ms)"
+    );
+
+    let report = Json::obj(vec![
+        ("benchmark", Json::str("localization_service_loadgen")),
+        (
+            "hardware_threads",
+            Json::from(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
+        ),
+        (
+            "config",
+            Json::obj(vec![
+                ("workers", Json::from(workers)),
+                ("queue_capacity", Json::from(queue_capacity)),
+                ("cache_capacity", Json::Int(32)),
+                ("clients", Json::from(clients)),
+                ("warm_rounds_per_client", Json::from(samples)),
+                ("programs", Json::from(programs)),
+                ("quick", Json::Bool(quick)),
+            ]),
+        ),
+        (
+            "cold",
+            Json::obj(vec![
+                ("mean_ms", Json::Float((cold_mean_ms * 1e3).round() / 1e3)),
+                ("total_ms", Json::Float((cold_total * 1e3).round() / 1e3)),
+                (
+                    "per_program_ms",
+                    Json::Arr(
+                        cold_ms
+                            .iter()
+                            .map(|&ms| Json::Float((ms * 1e3).round() / 1e3))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "server_build_ms",
+                    Json::Arr(build_ms.iter().map(|&ms| Json::from(ms)).collect()),
+                ),
+            ]),
+        ),
+        (
+            "warm_uncontended",
+            Json::obj(vec![
+                ("total_ms", Json::Float((warm_total * 1e3).round() / 1e3)),
+                (
+                    "per_program_p50_ms",
+                    Json::Arr(
+                        warm_single_ms
+                            .iter()
+                            .map(|&ms| Json::Float((ms * 1e3).round() / 1e3))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "speedup_vs_cold",
+                    Json::Float(((cold_total / warm_total) * 1e3).round() / 1e3),
+                ),
+            ]),
+        ),
+        (
+            "warm_concurrent",
+            Json::obj(vec![
+                ("requests", Json::from(warm_requests)),
+                ("p50_ms", Json::Float((warm_p50 * 1e3).round() / 1e3)),
+                ("p99_ms", Json::Float((warm_p99 * 1e3).round() / 1e3)),
+                ("mean_ms", Json::Float((warm_mean * 1e3).round() / 1e3)),
+                (
+                    "throughput_rps",
+                    Json::Float((throughput_rps * 1e3).round() / 1e3),
+                ),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hit_rate", Json::Float((hit_rate * 1e4).round() / 1e4)),
+                ("counters", cache),
+            ]),
+        ),
+        ("queue", queue),
+        ("solver", solver),
+    ]);
+    let pretty = report.pretty();
+    std::fs::write(&output, &pretty).expect("write benchmark json");
+    eprintln!("wrote {output}");
+    println!("{pretty}");
+}

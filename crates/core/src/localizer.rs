@@ -23,6 +23,7 @@ use minic::Program;
 use sat::Lit;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// At what granularity statements are blamed.
@@ -127,6 +128,18 @@ pub struct LocalizerStats {
     pub variables: usize,
     /// Wall-clock milliseconds spent localizing.
     pub elapsed_ms: u128,
+    /// Wall-clock milliseconds this call spent building (or waiting for) the
+    /// input-independent prepared formula. The formula is built once per
+    /// [`Localizer`] and cached, so the first `localize` pays the full cost
+    /// and later calls report (close to) zero — the observable difference
+    /// between a cold and a warm prepared-formula cache.
+    pub prepare_ms: u128,
+    /// Learnt-clause database reductions performed by the SAT solvers across
+    /// every MAX-SAT call of this run.
+    pub reduce_dbs: u64,
+    /// Peak end-of-call SAT-solver clause-arena size, in bytes, over the
+    /// MAX-SAT calls of this run.
+    pub arena_bytes: u64,
 }
 
 /// The complete result of localizing one failing execution.
@@ -242,11 +255,20 @@ struct PreparedFormula {
 /// // The faulty constant on line 6 is blamed.
 /// assert!(report.blames_line(Line(6)));
 /// ```
+/// `Localizer` is `Send + Sync` (it owns plain data and a [`OnceLock`]), so a
+/// single prepared instance behind an `Arc` can serve concurrent
+/// [`Localizer::localize`] calls from a server worker pool: the symbolic
+/// trace and the cached prepared formula are shared read-only, and each
+/// call clones only the template instance it extends with its test-specific
+/// hard units.
 #[derive(Debug)]
 pub struct Localizer {
     trace: SymbolicTrace,
     config: LocalizerConfig,
     program_lines: usize,
+    /// The input-independent extended trace formula, built lazily on first
+    /// use and shared by every subsequent `localize` call (and thread).
+    prepared: OnceLock<PreparedFormula>,
 }
 
 impl Localizer {
@@ -266,7 +288,28 @@ impl Localizer {
             trace,
             config: config.clone(),
             program_lines: program.statement_lines().len(),
+            prepared: OnceLock::new(),
         })
+    }
+
+    /// Forces construction of the cached input-independent prepared formula
+    /// and returns the milliseconds it took (0 if it was already built). A
+    /// cache that stores localizers warms them on insert so that every later
+    /// request — even the very first for a given test input — skips the
+    /// preparation cost entirely.
+    pub fn warm(&self) -> u128 {
+        self.prepared_timed().1
+    }
+
+    /// The cached prepared formula, plus the wall-clock milliseconds *this*
+    /// call spent building it (or waiting for a racing builder); 0 once warm.
+    fn prepared_timed(&self) -> (&PreparedFormula, u128) {
+        if let Some(prepared) = self.prepared.get() {
+            return (prepared, 0);
+        }
+        let start = Instant::now();
+        let prepared = self.prepared.get_or_init(|| self.prepare());
+        (prepared, start.elapsed().as_millis())
     }
 
     /// The symbolic trace underlying this localizer.
@@ -397,23 +440,15 @@ impl Localizer {
     /// Returns [`LocalizeError::ArityMismatch`] if the test vector length is
     /// wrong.
     pub fn localize(&self, failing_input: &[i64]) -> Result<LocalizationReport, LocalizeError> {
-        // Single-shot: the template is not shared, so move it into the base
-        // instance instead of cloning it.
-        let prepared = self.prepare();
-        self.localize_with(&prepared.selectors, prepared.template, failing_input)
-    }
-
-    /// Runs Algorithm 1 for one failing test against an already-prepared
-    /// input-independent formula shared with other batch workers.
-    fn localize_prepared(
-        &self,
-        prepared: &PreparedFormula,
-        failing_input: &[i64],
-    ) -> Result<LocalizationReport, LocalizeError> {
+        // The input-independent template is built once per localizer (first
+        // call pays, every later call — from any thread — reuses it) and
+        // cloned into the per-test base instance.
+        let (prepared, prepare_ms) = self.prepared_timed();
         self.localize_with(
             &prepared.selectors,
             prepared.template.clone(),
             failing_input,
+            prepare_ms,
         )
     }
 
@@ -424,6 +459,7 @@ impl Localizer {
         selectors: &[Selector],
         template: MaxSatInstance,
         failing_input: &[i64],
+        prepare_ms: u128,
     ) -> Result<LocalizationReport, LocalizeError> {
         if failing_input.len() != self.trace.inputs.len() {
             return Err(LocalizeError::ArityMismatch {
@@ -456,6 +492,7 @@ impl Localizer {
             soft_clauses: selectors.iter().filter(|s| !s.trusted).count(),
             hard_clauses: base.num_hard(),
             variables: base.num_vars(),
+            prepare_ms,
             ..LocalizerStats::default()
         };
 
@@ -479,6 +516,9 @@ impl Localizer {
             }
             stats.maxsat_calls += 1;
             let result = solver.solve(&instance);
+            let solver_stats = solver.stats();
+            stats.reduce_dbs += solver_stats.reduce_dbs;
+            stats.arena_bytes = stats.arena_bytes.max(solver_stats.arena_bytes);
             let Some(solution) = result.into_optimum() else {
                 break; // Hard part unsatisfiable: no more suspects.
             };
@@ -581,12 +621,13 @@ impl Localizer {
             return Ok(crate::ranking::RankedReport::from_reports(Vec::new()));
         }
         // Even single-threaded, the batch amortizes the prepared formula
-        // (selector construction + selector-relaxed TF1) over all tests.
-        let prepared = self.prepare();
+        // (selector construction + selector-relaxed TF1) over all tests:
+        // warm the cache up front so no worker pays it mid-flight.
+        self.warm();
         if workers <= 1 {
             let mut per_test = Vec::with_capacity(failing_inputs.len());
             for input in failing_inputs {
-                per_test.push(self.localize_prepared(&prepared, input)?);
+                per_test.push(self.localize(input)?);
             }
             return Ok(crate::ranking::RankedReport::from_reports(per_test));
         }
@@ -604,7 +645,7 @@ impl Localizer {
                     let Some(input) = failing_inputs.get(i) else {
                         break;
                     };
-                    let result = self.localize_prepared(&prepared, input);
+                    let result = self.localize(input);
                     *slots[i].lock().expect("batch slot poisoned") = Some(result);
                 });
             }
@@ -797,6 +838,54 @@ mod tests {
         assert!(ranked.per_test.is_empty());
         assert!(ranked.ranking.is_empty());
         assert_eq!(ranked.max_count, 0);
+    }
+
+    #[test]
+    fn localizer_and_reports_are_send_and_sync() {
+        // The service stores prepared localizers behind `Arc` and lets a
+        // worker pool call `localize` concurrently; these bounds are what
+        // make that sound, so pin them at compile time.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Localizer>();
+        assert_send_sync::<PreparedFormula>();
+        assert_send_sync::<LocalizationReport>();
+        assert_send_sync::<LocalizerStats>();
+        assert_send_sync::<crate::ranking::RankedReport>();
+    }
+
+    #[test]
+    fn prepared_formula_is_cached_across_calls() {
+        let program = motivating_example();
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap();
+        let first = localizer.localize(&[1]).unwrap();
+        // Once warm, later calls must not rebuild the prepared formula.
+        let again = localizer.localize(&[1]).unwrap();
+        assert_eq!(again.stats.prepare_ms, 0);
+        assert_eq!(first.suspects, again.suspects);
+        assert_eq!(first.suspect_lines, again.suspect_lines);
+        // warm() on a warm localizer is free.
+        assert_eq!(localizer.warm(), 0);
+    }
+
+    #[test]
+    fn concurrent_localize_calls_share_one_prepared_instance() {
+        use std::sync::Arc;
+        let program = motivating_example();
+        let localizer =
+            Arc::new(Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap());
+        let expected = localizer.localize(&[1]).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&localizer);
+                std::thread::spawn(move || shared.localize(&[1]).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            let report = handle.join().expect("worker panicked");
+            assert_eq!(report.suspects, expected.suspects);
+            assert_eq!(report.suspect_lines, expected.suspect_lines);
+            assert_eq!(report.stats.prepare_ms, 0, "cache was already warm");
+        }
     }
 
     #[test]

@@ -70,6 +70,22 @@ impl RaceContext {
         self.cancel.store(true, Ordering::Relaxed);
     }
 
+    /// Returns the context to its initial state — cancellation flag cleared,
+    /// no incumbent, best cost back to `u64::MAX` — so one allocation can be
+    /// reused across sequential races. A long-lived server runs thousands of
+    /// extractions through the same [`PortfolioSolver`]; without this reset a
+    /// flag left set by the previous job would instantly cancel the next
+    /// one's workers.
+    ///
+    /// Must not be called while a race is in flight (the racing workers
+    /// would observe the state being torn down mid-solve); the portfolio
+    /// resets between jobs, never during one.
+    pub fn reset(&self) {
+        self.cancel.store(false, Ordering::Relaxed);
+        self.best_cost.store(u64::MAX, Ordering::Release);
+        *self.incumbent.lock().expect("race mutex poisoned") = None;
+    }
+
     /// `true` once [`RaceContext::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.load(Ordering::Relaxed)
@@ -144,9 +160,17 @@ pub struct PortfolioOutcome {
 
 /// A solver that races several complete strategies and returns the first
 /// definitive answer, cancelling the losers.
-#[derive(Clone, Debug)]
+///
+/// The solver owns its [`RaceContext`] and resets it at the start of every
+/// race, so one instance can be driven through an arbitrary sequence of
+/// jobs (the localization daemon's workers do exactly that) without a stale
+/// cancellation flag or incumbent leaking from one job into the next.
+#[derive(Debug)]
 pub struct PortfolioSolver {
     strategies: Vec<Strategy>,
+    /// Reused across races; reset between jobs, shared by the workers of the
+    /// job in flight.
+    context: RaceContext,
 }
 
 impl Default for PortfolioSolver {
@@ -154,6 +178,15 @@ impl Default for PortfolioSolver {
     /// the configuration the BugAssist localizer uses.
     fn default() -> PortfolioSolver {
         PortfolioSolver::new(vec![Strategy::FuMalik, Strategy::LinearSatUnsat])
+    }
+}
+
+impl Clone for PortfolioSolver {
+    /// Clones the strategy list with a *fresh* race context: two solvers
+    /// must never share cancellation state, or one job's victory would
+    /// cancel an unrelated concurrent race.
+    fn clone(&self) -> PortfolioSolver {
+        PortfolioSolver::new(self.strategies.clone())
     }
 }
 
@@ -173,7 +206,10 @@ impl PortfolioSolver {
             !strategies.contains(&Strategy::Portfolio),
             "a portfolio cannot contain itself"
         );
-        PortfolioSolver { strategies }
+        PortfolioSolver {
+            strategies,
+            context: RaceContext::new(),
+        }
     }
 
     /// The strategies this portfolio races.
@@ -190,7 +226,7 @@ impl PortfolioSolver {
     /// proven optimality and the rival's work is pure overhead); the
     /// portfolio therefore degrades gracefully and runs only its lead
     /// strategy inline.
-    pub fn solve(&self, instance: &MaxSatInstance) -> PortfolioOutcome {
+    pub fn solve(&mut self, instance: &MaxSatInstance) -> PortfolioOutcome {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -226,12 +262,15 @@ impl PortfolioSolver {
     ///
     /// Panics if the portfolio has a single strategy (there is no race to
     /// run — use [`PortfolioSolver::solve`]).
-    pub fn race(&self, instance: &MaxSatInstance) -> PortfolioOutcome {
+    pub fn race(&mut self, instance: &MaxSatInstance) -> PortfolioOutcome {
         assert!(
             self.strategies.len() >= 2,
             "racing needs at least two strategies"
         );
-        let race = RaceContext::new();
+        // Reuse the context across sequential jobs: clear the previous
+        // job's cancellation flag and incumbent before the workers start.
+        self.context.reset();
+        let race = &self.context;
         let finish: Mutex<Option<(Strategy, MaxSatResult, MaxSatStats)>> = Mutex::new(None);
         let mut workers: Vec<WorkerReport> = Vec::with_capacity(self.strategies.len());
 
@@ -240,7 +279,6 @@ impl PortfolioSolver {
                 .strategies
                 .iter()
                 .map(|&strategy| {
-                    let race = &race;
                     let finish = &finish;
                     scope.spawn(move || {
                         let mut solver = MaxSatSolver::new(strategy);
@@ -359,6 +397,64 @@ mod tests {
     #[should_panic(expected = "cannot contain itself")]
     fn recursive_portfolio_rejected() {
         let _ = PortfolioSolver::new(vec![Strategy::Portfolio]);
+    }
+
+    #[test]
+    fn one_solver_is_reusable_across_sequential_jobs() {
+        // A server worker drives many jobs through one PortfolioSolver. Every
+        // race cancels its loser, so without the between-jobs reset the
+        // second job's workers would start with the cancel flag already set
+        // and abort immediately.
+        let mut solver = PortfolioSolver::default();
+        for statements in [25, 10, 17] {
+            let inst = chain_instance(statements);
+            let expected = solve(&inst, Strategy::FuMalik)
+                .into_optimum()
+                .expect("satisfiable")
+                .cost;
+            let outcome = solver.race(&inst);
+            let solution = outcome.result.into_optimum().expect("satisfiable");
+            assert_eq!(solution.cost, expected, "job with {statements} statements");
+        }
+        // Mixing in a hard-UNSAT job must not poison the next one either.
+        let mut unsat = MaxSatInstance::new();
+        unsat.add_hard(vec![lit(1)]);
+        unsat.add_hard(vec![lit(-1)]);
+        assert!(solver.race(&unsat).result.is_hard_unsat());
+        let inst = chain_instance(8);
+        let solution = solver.race(&inst).result.into_optimum().expect("sat");
+        assert_eq!(solution.cost, 1);
+    }
+
+    #[test]
+    fn race_context_reset_clears_all_state() {
+        let race = RaceContext::new();
+        race.publish(&MaxSatSolution {
+            cost: 3,
+            model: vec![true],
+            falsified: vec![],
+        });
+        race.cancel();
+        assert!(race.is_cancelled());
+        assert_eq!(race.best_cost(), 3);
+        race.reset();
+        assert!(!race.is_cancelled());
+        assert_eq!(race.best_cost(), u64::MAX);
+        assert!(race.incumbent_at_most(u64::MAX - 1).is_none());
+    }
+
+    #[test]
+    fn cloned_solver_gets_a_fresh_context() {
+        let mut original = PortfolioSolver::default();
+        // Leave the original's context cancelled, as a finished race would.
+        let _ = original.race(&chain_instance(5));
+        let mut cloned = original.clone();
+        let solution = cloned
+            .race(&chain_instance(5))
+            .result
+            .into_optimum()
+            .expect("satisfiable");
+        assert_eq!(solution.cost, 1);
     }
 
     #[test]

@@ -145,6 +145,13 @@ impl MaxSatStats {
 pub struct MaxSatSolver {
     strategy: Strategy,
     stats: MaxSatStats,
+    /// For [`Strategy::Portfolio`]: the racing solver, created on first use
+    /// and reused across sequential [`MaxSatSolver::solve`] calls. Its race
+    /// context (cancellation flag, incumbent, best-cost bound) is reset
+    /// between jobs, so a localization enumeration — or a server worker —
+    /// can drive many extractions through one solver without a stale cancel
+    /// flag from job *n* aborting job *n + 1*.
+    portfolio: Option<PortfolioSolver>,
 }
 
 impl MaxSatSolver {
@@ -153,6 +160,7 @@ impl MaxSatSolver {
         MaxSatSolver {
             strategy,
             stats: MaxSatStats::default(),
+            portfolio: None,
         }
     }
 
@@ -177,7 +185,8 @@ impl MaxSatSolver {
                 .solve_linear(instance, None)
                 .expect("unraced solve always completes"),
             Strategy::Portfolio => {
-                let outcome = PortfolioSolver::default().solve(instance);
+                let portfolio = self.portfolio.get_or_insert_with(PortfolioSolver::default);
+                let outcome = portfolio.solve(instance);
                 self.stats = outcome.winner_stats;
                 outcome.result
             }

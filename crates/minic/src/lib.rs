@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ast;
+pub mod ast_hash;
 pub mod lexer;
 pub mod mutate;
 pub mod parser;
@@ -51,6 +52,7 @@ pub mod pretty;
 pub mod typecheck;
 
 pub use ast::{BinOp, Expr, Function, Global, LValue, Line, Program, Stmt, Type, UnOp};
+pub use ast_hash::{ast_hash, hash_program, StableHasher};
 pub use mutate::{
     apply_mutation, constant_sites, lines_with_constants, operator_sites, ConstantSite, Mutation,
     MutationError, OperatorSite,

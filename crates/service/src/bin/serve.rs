@@ -1,0 +1,72 @@
+//! The localization daemon binary.
+//!
+//! ```text
+//! Usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
+//!              [--cache-shards N] [--queue-capacity N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7911`), prints the bound address on stdout and
+//! serves until a client sends `{"op":"shutdown"}`, then drains every
+//! accepted job and exits. See the `service` crate docs and the README's
+//! "Running the localization service" section for the wire protocol.
+
+use service::{Server, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
+         [--cache-shards N] [--queue-capacity N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_count(value: Option<String>, flag: &str) -> usize {
+    match value
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        Some(n) => n,
+        None => {
+            eprintln!("{flag} needs a positive integer");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7911".to_string(),
+        ..ServiceConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => usage(),
+            },
+            "--workers" => config.workers = parse_count(args.next(), "--workers"),
+            "--cache-capacity" => {
+                config.cache_capacity = parse_count(args.next(), "--cache-capacity");
+            }
+            "--cache-shards" => config.cache_shards = parse_count(args.next(), "--cache-shards"),
+            "--queue-capacity" => {
+                config.queue_capacity = parse_count(args.next(), "--queue-capacity");
+            }
+            _ => usage(),
+        }
+    }
+
+    let workers = config.workers;
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("localization service listening on {}", server.local_addr());
+    eprintln!("{workers} workers; send {{\"op\":\"shutdown\"}} to stop");
+    server.wait();
+    eprintln!("drained and stopped");
+}

@@ -1,0 +1,326 @@
+//! The sharded LRU cache of prepared localizers — the heart of the service.
+//!
+//! Building a [`Localizer`] is the expensive part of serving a request:
+//! parse → typecheck → unroll/inline → bit-blast, then one pass over the
+//! grouped CNF to build the selector-relaxed template formula. All of it is
+//! input-independent, so a long-lived daemon should pay it **once per
+//! distinct (program, options) pair**, not once per request. This cache
+//! stores fully *warmed* localizers behind `Arc`, keyed by the stable
+//! content hash of [`crate::protocol::Job::cache_key`]: concurrent requests
+//! for the same program share one prepared instance and skip straight to
+//! MAX-SAT solving.
+//!
+//! Two properties matter under real load:
+//!
+//! * **Sharding** — the cache is split into independently locked shards
+//!   (key → shard by the avalanche-mixed hash) so the worker pool doesn't
+//!   serialize on one mutex. Each shard holds at most
+//!   `floor(capacity / shards)` entries and evicts its least-recently-used
+//!   entry when full; recency is a global atomic tick, so LRU order is
+//!   consistent across threads at the cost of one `fetch_add`. Eviction
+//!   only drops the shard's reference — requests still holding the evicted
+//!   `Arc` finish undisturbed.
+//! * **Single-flight builds** — a cache slot is inserted *before* the
+//!   expensive build runs, holding a [`OnceLock`] that the first caller
+//!   fills while later callers for the same key block on it. A burst of
+//!   first requests for one program (the thundering herd that killed the
+//!   LocFaults-style per-test rebuild approach) does exactly one parse +
+//!   bit-blast, and the shard lock is **not** held while building, so other
+//!   keys in the shard stay unaffected.
+//!
+//! Failed builds (parse/type/encode errors) are *not* negatively cached:
+//! the pending slot is removed so the error doesn't occupy capacity, and
+//! every waiter receives a clone of the error.
+
+use bugassist::Localizer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic counters describing cache behaviour since startup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests that found a slot (completed, or pending — in which case
+    /// they waited for the builder instead of duplicating its work).
+    pub hits: u64,
+    /// Requests that had to build.
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A slot holding a build that is either in flight or finished.
+type Slot = Arc<OnceLock<Result<Arc<Localizer>, String>>>;
+
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    last_used: u64,
+    slot: Slot,
+}
+
+/// A sharded least-recently-used cache of prepared [`Localizer`]s with
+/// single-flight builds.
+#[derive(Debug)]
+pub struct PreparedCache {
+    shards: Vec<Mutex<Vec<Entry>>>,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PreparedCache {
+    /// Creates a cache of at most `capacity` entries spread over `shards`
+    /// independently locked shards (both clamped to at least 1; shard count
+    /// never exceeds capacity). `capacity` is an upper bound on resident
+    /// prepared localizers — a memory promise — so the per-shard share
+    /// rounds *down*; a capacity not divisible by the shard count wastes
+    /// the remainder rather than overshooting (check [`PreparedCache::capacity`]
+    /// for the effective total).
+    pub fn new(capacity: usize, shards: usize) -> PreparedCache {
+        let shards = shards.clamp(1, capacity.max(1));
+        let per_shard_capacity = (capacity.max(1) / shards).max(1);
+        PreparedCache {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            per_shard_capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (for the stats endpoint).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total entry capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Vec<Entry>> {
+        // The key went through an avalanche finalizer, so the low bits are
+        // uniformly distributed over the shards.
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns the prepared localizer for `key`, running `build` if (and
+    /// only if) no other request has built or is building it. The boolean
+    /// is `true` for a cache hit — including the "waited for a concurrent
+    /// builder" case, where this call did no build work of its own.
+    ///
+    /// # Errors
+    ///
+    /// A failing build propagates its error to every waiter and leaves no
+    /// cache entry behind.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<Localizer, String>,
+    ) -> (Result<Arc<Localizer>, String>, bool) {
+        // Phase 1 (shard locked, O(shard size)): find or insert the slot.
+        let (slot, hit) = {
+            let tick = self.next_tick();
+            let mut entries = self.shard(key).lock().expect("cache shard poisoned");
+            if let Some(entry) = entries.iter_mut().find(|e| e.key == key) {
+                entry.last_used = tick;
+                (Arc::clone(&entry.slot), true)
+            } else {
+                if entries.len() >= self.per_shard_capacity {
+                    let lru = entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("full shard is non-empty");
+                    entries.swap_remove(lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                let slot: Slot = Arc::new(OnceLock::new());
+                entries.push(Entry {
+                    key,
+                    last_used: tick,
+                    slot: Arc::clone(&slot),
+                });
+                (slot, false)
+            }
+        };
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Phase 2 (shard unlocked): build, or block on the builder. Only
+        // the thread that inserted the slot can be first into get_or_init
+        // with actual work — but any waiter may run the closure if it wins
+        // the OnceLock race, so pass the same builder through for safety:
+        // whoever runs it, it runs at most once per slot.
+        let result = slot.get_or_init(|| build().map(Arc::new)).clone();
+
+        // A failed build must not squat in the cache: drop the slot (only
+        // if it is still ours — a later rebuild may have replaced it).
+        if result.is_err() {
+            let mut entries = self.shard(key).lock().expect("cache shard poisoned");
+            entries.retain(|e| e.key != key || !Arc::ptr_eq(&e.slot, &slot));
+        }
+        (result, hit)
+    }
+
+    /// Hit/miss/eviction/occupancy counters since startup.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmc::Spec;
+    use bugassist::LocalizerConfig;
+    use std::sync::atomic::AtomicUsize;
+
+    fn build_localizer(expr: &str) -> Result<Localizer, String> {
+        let source = format!("int main(int x) {{\nint y = {expr};\nreturn y;\n}}");
+        let program = minic::parse_program(&source).map_err(|e| e.to_string())?;
+        let config = LocalizerConfig {
+            encode: bmc::EncodeConfig {
+                width: 8,
+                ..bmc::EncodeConfig::default()
+            },
+            ..LocalizerConfig::default()
+        };
+        Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn second_request_hits_and_shares_the_instance() {
+        let cache = PreparedCache::new(4, 2);
+        let builds = AtomicUsize::new(0);
+        let build = || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            build_localizer("x + 1")
+        };
+        let (first, hit1) = cache.get_or_build(1, build);
+        let (second, hit2) = cache.get_or_build(1, || build_localizer("x + 1"));
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first.unwrap(), &second.unwrap()));
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_one_evicts_lru() {
+        let cache = PreparedCache::new(1, 1);
+        assert_eq!(cache.capacity(), 1);
+        cache
+            .get_or_build(1, || build_localizer("x + 1"))
+            .0
+            .unwrap();
+        cache
+            .get_or_build(2, || build_localizer("x + 2"))
+            .0
+            .unwrap();
+        // 1 was evicted by 2, so requesting it again is a miss + rebuild.
+        let (_, hit) = cache.get_or_build(1, || build_localizer("x + 1"));
+        assert!(!hit);
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn recency_protects_the_hot_entry() {
+        // Shard count 1 so all three keys compete for the same two slots.
+        let cache = PreparedCache::new(2, 1);
+        cache
+            .get_or_build(1, || build_localizer("x + 1"))
+            .0
+            .unwrap();
+        cache
+            .get_or_build(2, || build_localizer("x + 2"))
+            .0
+            .unwrap();
+        // Touch 1 so 2 becomes LRU, then insert 3.
+        assert!(cache.get_or_build(1, || unreachable!("cached")).1);
+        cache
+            .get_or_build(3, || build_localizer("x + 3"))
+            .0
+            .unwrap();
+        assert!(cache.get_or_build(1, || unreachable!("cached")).1);
+        let (_, hit2) = cache.get_or_build(2, || build_localizer("x + 2"));
+        assert!(!hit2, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn concurrent_first_requests_build_exactly_once() {
+        let cache = Arc::new(PreparedCache::new(4, 2));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                std::thread::spawn(move || {
+                    let (result, _) = cache.get_or_build(7, || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        // Widen the race window: the herd must block on the
+                        // slot, not start rival builds.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        build_localizer("x + 1")
+                    });
+                    result.unwrap()
+                })
+            })
+            .collect();
+        let instances: Vec<Arc<Localizer>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "single-flight");
+        for other in &instances[1..] {
+            assert!(Arc::ptr_eq(&instances[0], other));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache = PreparedCache::new(4, 1);
+        let (result, hit) = cache.get_or_build(1, || Err("boom".to_string()));
+        assert!(!hit);
+        assert_eq!(result.unwrap_err(), "boom");
+        assert_eq!(cache.stats().entries, 0, "error slot was removed");
+        // The key is buildable again afterwards.
+        let (result, hit) = cache.get_or_build(1, || build_localizer("x + 1"));
+        assert!(!hit);
+        assert!(result.is_ok());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn shards_do_not_exceed_capacity() {
+        let cache = PreparedCache::new(4, 8);
+        // More shards than capacity: clamped so capacity still holds.
+        assert!(cache.shard_count() <= 4);
+        assert_eq!(cache.capacity(), cache.shard_count());
+    }
+}

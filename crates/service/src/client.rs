@@ -1,0 +1,192 @@
+//! A blocking client for the localization daemon.
+//!
+//! One [`Client`] wraps one TCP connection and speaks the newline-delimited
+//! protocol synchronously: write a request line, read the matching response
+//! line. The tests, the load generator and external callers all go through
+//! this type, so the client-side encoding is exercised by the same suite
+//! that exercises the server-side decoding.
+//!
+//! For concurrency, open one client per thread — the daemon handles any
+//! number of connections, and its worker pool (not the connection count)
+//! bounds the CPU actually used.
+
+use crate::json::Json;
+use crate::protocol::{encode_request, Envelope, Job, Request};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read or write).
+    Io(std::io::Error),
+    /// The response line was not valid protocol JSON.
+    Protocol(String),
+    /// The daemon answered `ok: false` with this message.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// The result of a `localize` or `batch` call.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Whether the daemon served the job from its prepared-formula cache.
+    pub cache_hit: bool,
+    /// Milliseconds the daemon spent building the prepared localizer for
+    /// this request (0 on a cache hit).
+    pub build_ms: u64,
+    /// The `report` (localize) or `ranked` (batch) payload.
+    pub body: Json,
+}
+
+/// A blocking connection to the localization daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and reads the matching response object.
+    fn call(&mut self, request: Request) -> Result<Json, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = encode_request(&Envelope { id, request });
+        self.writer.write_all(format!("{line}\n").as_bytes())?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a response arrived".to_string(),
+            ));
+        }
+        let value =
+            Json::parse(response.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if value.get("id").and_then(Json::as_u64) != Some(id) {
+            return Err(ClientError::Protocol(format!(
+                "response id does not match request id {id}: {value}"
+            )));
+        }
+        match value.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(value),
+            Some(false) => Err(ClientError::Server(
+                value
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol(format!(
+                "response has no ok field: {value}"
+            ))),
+        }
+    }
+
+    fn outcome(value: Json, payload_key: &str) -> Result<Outcome, ClientError> {
+        let cache_hit = match value.get("cache").and_then(Json::as_str) {
+            Some("hit") => true,
+            Some("miss") => false,
+            _ => {
+                return Err(ClientError::Protocol(format!(
+                    "response has no cache field: {value}"
+                )))
+            }
+        };
+        let build_ms = value.get("build_ms").and_then(Json::as_u64).unwrap_or(0);
+        let body = value
+            .get(payload_key)
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol(format!("missing {payload_key}: {value}")))?;
+        Ok(Outcome {
+            cache_hit,
+            build_ms,
+            body,
+        })
+    }
+
+    /// Localizes the single failing input of `job`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carries daemon-side failures (parse, type,
+    /// encode or localization errors) verbatim.
+    pub fn localize(&mut self, job: Job) -> Result<Outcome, ClientError> {
+        let value = self.call(Request::Localize(job))?;
+        Self::outcome(value, "report")
+    }
+
+    /// Localizes every input of `job` and returns the merged ranking.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::localize`].
+    pub fn batch(&mut self, job: Job) -> Result<Outcome, ClientError> {
+        let value = self.call(Request::Batch(job))?;
+        Self::outcome(value, "ranked")
+    }
+
+    /// Liveness probe; returns the daemon's uptime in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on transport or protocol errors.
+    pub fn health(&mut self) -> Result<u64, ClientError> {
+        let value = self.call(Request::Health)?;
+        value
+            .get("uptime_ms")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("health without uptime_ms: {value}")))
+    }
+
+    /// The daemon's cache/queue/solver counters, as raw JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on transport or protocol errors.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.call(Request::Stats)
+    }
+
+    /// Asks the daemon to drain and exit. The daemon acknowledges, then
+    /// closes this connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on transport or protocol errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call(Request::Shutdown).map(|_| ())
+    }
+}

@@ -1,0 +1,75 @@
+//! # service — localization as a service
+//!
+//! BugAssist-style error localization is *repeated* work: a CI fleet or an
+//! IDE plugin localizes the same program over and over with different
+//! failing tests, and almost the entire cost of each request — parse,
+//! typecheck, unroll/inline, bit-blast, selector-template construction — is
+//! input-independent. This crate turns the workspace's [`bugassist`] engine
+//! into a long-lived daemon that pays that cost **once per distinct
+//! program** and serves every later request straight from a prepared
+//! in-memory formula.
+//!
+//! The pieces (each in its own module, std-only — no external crates):
+//!
+//! * [`json`] — a hand-rolled JSON value/parser/serializer for the wire
+//!   format (the workspace builds without registry access, so no `serde`);
+//! * [`protocol`] — the newline-delimited request/response protocol:
+//!   `localize`, `batch`, `health`, `stats`, `shutdown`, plus the stable
+//!   job [cache key](protocol::Job::cache_key) built on
+//!   [`minic::ast_hash()`](minic::ast_hash());
+//! * [`queue`] — a bounded `Mutex` + `Condvar` MPMC job queue; a full
+//!   queue blocks the connection thread, so overload turns into TCP
+//!   backpressure instead of unbounded buffering;
+//! * [`cache`] — the sharded LRU [`cache::PreparedCache`] of warmed
+//!   [`bugassist::Localizer`]s behind `Arc`, shared lock-free by concurrent
+//!   requests for the same program;
+//! * [`server`] — `TcpListener` + fixed worker-thread pool + graceful
+//!   drain-then-exit shutdown;
+//! * [`client`] — the blocking client library used by the tests and the
+//!   `loadgen` benchmark.
+//!
+//! # Example
+//!
+//! ```
+//! use service::{Client, Job, JobSpec, Server, ServiceConfig};
+//!
+//! let server = Server::start(ServiceConfig {
+//!     workers: 2,
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! // The constant on line 2 is wrong: main(5) returns 7, not the golden 4.
+//! let job = Job::new(
+//!     "int main(int x) {\nint y = x + 2;\nreturn y;\n}",
+//!     "main",
+//!     JobSpec::ReturnEquals(4),
+//!     vec![vec![5]],
+//! );
+//! let cold = client.localize(job.clone()).unwrap();
+//! assert!(!cold.cache_hit);
+//! let warm = client.localize(job).unwrap();
+//! assert!(warm.cache_hit, "second request reuses the prepared formula");
+//! // Identical answers modulo timing fields.
+//! use service::protocol::canonicalize;
+//! assert_eq!(canonicalize(&cold.body), canonicalize(&warm.body));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, PreparedCache};
+pub use client::{Client, ClientError, Outcome};
+pub use json::{Json, JsonError};
+pub use protocol::{Envelope, Job, JobOptions, JobSpec, ProtocolError, Request};
+pub use queue::{JobQueue, PushError};
+pub use server::{Server, ServiceConfig};

@@ -1,0 +1,728 @@
+//! The newline-delimited JSON wire protocol of the localization service.
+//!
+//! One request per line, one response per line, both single JSON objects.
+//! Five operations:
+//!
+//! | `op`        | payload                                  | response payload      |
+//! |-------------|------------------------------------------|-----------------------|
+//! | `localize`  | a [`Job`] with exactly one failing input | `report`              |
+//! | `batch`     | a [`Job`] with any number of inputs      | `ranked`              |
+//! | `health`    | —                                        | `status`, `uptime_ms` |
+//! | `stats`     | —                                        | cache/queue/solver counters |
+//! | `shutdown`  | —                                        | acknowledgement; daemon drains and exits |
+//!
+//! A `localize` request looks like
+//!
+//! ```json
+//! {"id":1,"op":"localize","program":"int main(int x) {\nint y = x + 2;\nreturn y;\n}",
+//!  "entry":"main","spec":{"return_equals":4},"inputs":[[5]],
+//!  "width":8,"unwind":8,"max_suspect_sets":16,"granularity":"line",
+//!  "strategy":"fu_malik","portfolio":false}
+//! ```
+//!
+//! and a successful response like
+//!
+//! ```json
+//! {"id":1,"ok":true,"op":"localize","cache":"miss",
+//!  "report":{"suspects":[{"lines":[2],"unwindings":[null],"rank":0,"cost":1}],
+//!            "suspect_lines":[2],
+//!            "stats":{"maxsat_calls":2,"soft_clauses":2,"hard_clauses":133,
+//!                     "variables":74,"elapsed_ms":1,"prepare_ms":3,
+//!                     "reduce_dbs":0,"arena_bytes":9188}}}
+//! ```
+//!
+//! Failures are `{"id":…,"ok":false,"error":"…"}`. The `id` is an opaque
+//! client-chosen correlation token echoed back verbatim.
+//!
+//! Everything here is pure data transformation (no I/O), shared by the
+//! server, the blocking client, the tests and the load generator — both
+//! directions of every message are exercised by the same code, so the two
+//! sides cannot drift apart.
+
+use crate::json::Json;
+use bmc::{EncodeConfig, Spec};
+use bugassist::{
+    Granularity, LocalizationReport, LocalizerConfig, LocalizerStats, RankedReport, Suspect,
+};
+use maxsat::Strategy;
+use minic::{ast::Line, StableHasher};
+use std::fmt;
+
+/// Default blame granularity / solver knobs for jobs that omit them.
+pub const DEFAULT_MAX_SUSPECT_SETS: usize = 16;
+
+/// One localization job: a program, a specification and failing inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Job {
+    /// MinC source text of the program under analysis.
+    pub program: String,
+    /// Entry function name.
+    pub entry: String,
+    /// What "correct" means for this program.
+    pub spec: JobSpec,
+    /// Failing test inputs; `localize` uses exactly one, `batch` any number.
+    pub inputs: Vec<Vec<i64>>,
+    /// Encoding and solver knobs.
+    pub options: JobOptions,
+}
+
+impl Job {
+    /// A job over the given source with default options.
+    pub fn new(
+        program: impl Into<String>,
+        entry: impl Into<String>,
+        spec: JobSpec,
+        inputs: Vec<Vec<i64>>,
+    ) -> Job {
+        Job {
+            program: program.into(),
+            entry: entry.into(),
+            spec,
+            inputs,
+            options: JobOptions::default(),
+        }
+    }
+
+    /// The stable cache key of this job's *prepared localizer*: everything
+    /// that affects `Localizer::new` + preparation is mixed in — the
+    /// structural [`minic::ast_hash()`](minic::ast_hash()) of the parsed
+    /// program, the entry, the
+    /// spec, and every option — while the failing inputs are deliberately
+    /// left out (one prepared localizer serves any input).
+    pub fn cache_key(&self, program: &minic::Program) -> u64 {
+        let mut h = StableHasher::new();
+        minic::hash_program(&mut h, program);
+        h.write_str(&self.entry);
+        match self.spec {
+            JobSpec::Assertions => h.write_u8(1),
+            JobSpec::ReturnEquals(v) => {
+                h.write_u8(2);
+                h.write_i64(v);
+            }
+        }
+        let o = &self.options;
+        h.write_usize(o.width);
+        h.write_usize(o.unwind);
+        h.write_usize(o.max_inline_depth);
+        h.write_u8(match o.granularity {
+            Granularity::Line => 1,
+            Granularity::StatementInstance => 2,
+        });
+        h.write_u8(u8::from(o.loop_weighting));
+        h.write_u64(o.base_weight);
+        h.write_usize(o.max_suspect_sets);
+        h.write_u8(match o.strategy {
+            Strategy::FuMalik => 1,
+            Strategy::LinearSatUnsat => 2,
+            Strategy::Portfolio => 3,
+        });
+        h.write_u8(u8::from(o.portfolio));
+        h.write_usize(o.trusted_lines.len());
+        for line in &o.trusted_lines {
+            h.write_u64(u64::from(*line));
+        }
+        h.finish()
+    }
+
+    /// The [`LocalizerConfig`] these options describe.
+    pub fn localizer_config(&self) -> LocalizerConfig {
+        let o = &self.options;
+        LocalizerConfig {
+            encode: EncodeConfig {
+                width: o.width,
+                unwind: o.unwind,
+                max_inline_depth: o.max_inline_depth,
+                concretize: Vec::new(),
+            },
+            strategy: o.strategy,
+            max_suspect_sets: o.max_suspect_sets,
+            granularity: o.granularity,
+            loop_weighting: o.loop_weighting,
+            base_weight: o.base_weight,
+            trusted_lines: o.trusted_lines.iter().map(|&l| Line(l)).collect(),
+            portfolio: o.portfolio,
+        }
+    }
+
+    /// The [`Spec`] this job's specification describes.
+    pub fn bmc_spec(&self) -> Spec {
+        match self.spec {
+            JobSpec::Assertions => Spec::Assertions,
+            JobSpec::ReturnEquals(v) => Spec::ReturnEquals(v),
+        }
+    }
+}
+
+/// The specification a failing run violates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobSpec {
+    /// The program's `assert(...)` statements plus implicit bounds checks.
+    Assertions,
+    /// The entry function must return this golden output.
+    ReturnEquals(i64),
+}
+
+/// Encoding and solver options of a [`Job`], mirroring [`LocalizerConfig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobOptions {
+    /// Bit width of the symbolic encoding.
+    pub width: usize,
+    /// Loop unwinding bound.
+    pub unwind: usize,
+    /// Maximum function-inlining depth.
+    pub max_inline_depth: usize,
+    /// Blame granularity.
+    pub granularity: Granularity,
+    /// Weight soft clauses by loop iteration (Sec. 5.2).
+    pub loop_weighting: bool,
+    /// Default soft-clause weight.
+    pub base_weight: u64,
+    /// Maximum CoMSSes enumerated per failing input.
+    pub max_suspect_sets: usize,
+    /// MAX-SAT strategy.
+    pub strategy: Strategy,
+    /// Race both strategies per extraction.
+    pub portfolio: bool,
+    /// Line numbers that must never be blamed.
+    pub trusted_lines: Vec<u32>,
+}
+
+impl Default for JobOptions {
+    fn default() -> JobOptions {
+        let base = LocalizerConfig::default();
+        JobOptions {
+            width: 8,
+            unwind: base.encode.unwind,
+            max_inline_depth: base.encode.max_inline_depth,
+            granularity: base.granularity,
+            loop_weighting: base.loop_weighting,
+            base_weight: base.base_weight,
+            max_suspect_sets: DEFAULT_MAX_SUSPECT_SETS,
+            strategy: base.strategy,
+            portfolio: base.portfolio,
+            trusted_lines: Vec::new(),
+        }
+    }
+}
+
+/// A parsed request line: the client's correlation id plus the operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation token, echoed back in the response.
+    pub id: u64,
+    /// The requested operation.
+    pub request: Request,
+}
+
+/// The operations of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Localize one failing input of a job.
+    Localize(Job),
+    /// Localize every input of a job and merge into a frequency ranking.
+    Batch(Job),
+    /// Liveness probe; never queued.
+    Health,
+    /// Cache / queue / solver counters; never queued.
+    Stats,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// The `op` string of this request on the wire.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Localize(_) => "localize",
+            Request::Batch(_) => "batch",
+            Request::Health => "health",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Error produced while decoding a message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(message: impl Into<String>) -> ProtocolError {
+    ProtocolError(message.into())
+}
+
+// --- request encoding --------------------------------------------------
+
+fn spec_to_json(spec: JobSpec) -> Json {
+    match spec {
+        JobSpec::Assertions => Json::str("assertions"),
+        JobSpec::ReturnEquals(v) => Json::obj(vec![("return_equals", Json::Int(v))]),
+    }
+}
+
+fn job_fields(job: &Job, pairs: &mut Vec<(String, Json)>) {
+    let o = &job.options;
+    let push = |pairs: &mut Vec<(String, Json)>, k: &str, v: Json| {
+        pairs.push((k.to_string(), v));
+    };
+    push(pairs, "program", Json::str(job.program.clone()));
+    push(pairs, "entry", Json::str(job.entry.clone()));
+    push(pairs, "spec", spec_to_json(job.spec));
+    push(
+        pairs,
+        "inputs",
+        Json::Arr(
+            job.inputs
+                .iter()
+                .map(|input| Json::Arr(input.iter().map(|&v| Json::Int(v)).collect()))
+                .collect(),
+        ),
+    );
+    push(pairs, "width", Json::from(o.width));
+    push(pairs, "unwind", Json::from(o.unwind));
+    push(pairs, "max_inline_depth", Json::from(o.max_inline_depth));
+    push(
+        pairs,
+        "granularity",
+        Json::str(match o.granularity {
+            Granularity::Line => "line",
+            Granularity::StatementInstance => "statement_instance",
+        }),
+    );
+    push(pairs, "loop_weighting", Json::Bool(o.loop_weighting));
+    push(pairs, "base_weight", Json::from(o.base_weight));
+    push(pairs, "max_suspect_sets", Json::from(o.max_suspect_sets));
+    push(
+        pairs,
+        "strategy",
+        Json::str(match o.strategy {
+            Strategy::FuMalik => "fu_malik",
+            Strategy::LinearSatUnsat => "linear_sat_unsat",
+            Strategy::Portfolio => "portfolio",
+        }),
+    );
+    push(pairs, "portfolio", Json::Bool(o.portfolio));
+    push(
+        pairs,
+        "trusted_lines",
+        Json::Arr(
+            o.trusted_lines
+                .iter()
+                .map(|&l| Json::from(u64::from(l)))
+                .collect(),
+        ),
+    );
+}
+
+/// Serializes a request envelope to its wire line (no trailing newline).
+pub fn encode_request(envelope: &Envelope) -> String {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("id".to_string(), Json::from(envelope.id)),
+        ("op".to_string(), Json::str(envelope.request.op())),
+    ];
+    match &envelope.request {
+        Request::Localize(job) | Request::Batch(job) => job_fields(job, &mut pairs),
+        Request::Health | Request::Stats | Request::Shutdown => {}
+    }
+    Json::Obj(pairs).to_string()
+}
+
+// --- request decoding --------------------------------------------------
+
+fn parse_spec(value: &Json) -> Result<JobSpec, ProtocolError> {
+    match value {
+        Json::Str(s) if s == "assertions" => Ok(JobSpec::Assertions),
+        Json::Obj(_) => value
+            .get("return_equals")
+            .and_then(Json::as_i64)
+            .map(JobSpec::ReturnEquals)
+            .ok_or_else(|| bad("spec object must carry an integer return_equals")),
+        _ => Err(bad("spec must be \"assertions\" or {\"return_equals\": N}")),
+    }
+}
+
+fn parse_usize(value: &Json, field: &str) -> Result<usize, ProtocolError> {
+    value
+        .as_u64()
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| bad(format!("{field} must be a non-negative integer")))
+}
+
+fn parse_job(value: &Json) -> Result<Job, ProtocolError> {
+    let program = value
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string field program"))?
+        .to_string();
+    let entry = value
+        .get("entry")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string field entry"))?
+        .to_string();
+    let spec = parse_spec(value.get("spec").ok_or_else(|| bad("missing field spec"))?)?;
+    let inputs_json = value
+        .get("inputs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing array field inputs"))?;
+    let mut inputs = Vec::with_capacity(inputs_json.len());
+    for input in inputs_json {
+        let values = input
+            .as_arr()
+            .ok_or_else(|| bad("each input must be an array of integers"))?;
+        inputs.push(
+            values
+                .iter()
+                .map(|v| v.as_i64().ok_or_else(|| bad("inputs must be integers")))
+                .collect::<Result<Vec<i64>, ProtocolError>>()?,
+        );
+    }
+
+    let mut options = JobOptions::default();
+    if let Some(v) = value.get("width") {
+        options.width = parse_usize(v, "width")?;
+    }
+    if let Some(v) = value.get("unwind") {
+        options.unwind = parse_usize(v, "unwind")?;
+    }
+    if let Some(v) = value.get("max_inline_depth") {
+        options.max_inline_depth = parse_usize(v, "max_inline_depth")?;
+    }
+    if let Some(v) = value.get("granularity") {
+        options.granularity = match v.as_str() {
+            Some("line") => Granularity::Line,
+            Some("statement_instance") => Granularity::StatementInstance,
+            _ => return Err(bad("granularity must be line or statement_instance")),
+        };
+    }
+    if let Some(v) = value.get("loop_weighting") {
+        options.loop_weighting = v
+            .as_bool()
+            .ok_or_else(|| bad("loop_weighting must be a boolean"))?;
+    }
+    if let Some(v) = value.get("base_weight") {
+        options.base_weight = v
+            .as_u64()
+            .ok_or_else(|| bad("base_weight must be a non-negative integer"))?;
+    }
+    if let Some(v) = value.get("max_suspect_sets") {
+        options.max_suspect_sets = parse_usize(v, "max_suspect_sets")?;
+    }
+    if let Some(v) = value.get("strategy") {
+        options.strategy = match v.as_str() {
+            Some("fu_malik") => Strategy::FuMalik,
+            Some("linear_sat_unsat") => Strategy::LinearSatUnsat,
+            Some("portfolio") => Strategy::Portfolio,
+            _ => {
+                return Err(bad(
+                    "strategy must be fu_malik, linear_sat_unsat or portfolio",
+                ))
+            }
+        };
+    }
+    if let Some(v) = value.get("portfolio") {
+        options.portfolio = v
+            .as_bool()
+            .ok_or_else(|| bad("portfolio must be a boolean"))?;
+    }
+    if let Some(v) = value.get("trusted_lines") {
+        let lines = v
+            .as_arr()
+            .ok_or_else(|| bad("trusted_lines must be an array"))?;
+        options.trusted_lines = lines
+            .iter()
+            .map(|l| {
+                l.as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| bad("trusted_lines entries must be line numbers"))
+            })
+            .collect::<Result<Vec<u32>, ProtocolError>>()?;
+    }
+
+    Ok(Job {
+        program,
+        entry,
+        spec,
+        inputs,
+        options,
+    })
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] describing the first malformed field.
+pub fn parse_request(line: &str) -> Result<Envelope, ProtocolError> {
+    let value = Json::parse(line).map_err(|e| bad(e.to_string()))?;
+    let id = match value.get("id") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad("id must be a non-negative integer"))?,
+    };
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string field op"))?;
+    let request = match op {
+        "localize" => {
+            let job = parse_job(&value)?;
+            if job.inputs.len() != 1 {
+                return Err(bad(format!(
+                    "localize takes exactly one input vector, got {}",
+                    job.inputs.len()
+                )));
+            }
+            Request::Localize(job)
+        }
+        "batch" => Request::Batch(parse_job(&value)?),
+        "health" => Request::Health,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(bad(format!("unknown op {other:?}"))),
+    };
+    Ok(Envelope { id, request })
+}
+
+// --- report serialization ----------------------------------------------
+
+fn suspect_to_json(suspect: &Suspect) -> Json {
+    Json::obj(vec![
+        (
+            "lines",
+            Json::Arr(
+                suspect
+                    .lines
+                    .iter()
+                    .map(|l| Json::from(u64::from(l.0)))
+                    .collect(),
+            ),
+        ),
+        (
+            "unwindings",
+            Json::Arr(
+                suspect
+                    .unwindings
+                    .iter()
+                    .map(|u| match u {
+                        None => Json::Null,
+                        Some(k) => Json::from(*k),
+                    })
+                    .collect(),
+            ),
+        ),
+        ("rank", Json::from(suspect.rank)),
+        ("cost", Json::from(suspect.cost)),
+    ])
+}
+
+fn stats_to_json(stats: &LocalizerStats) -> Json {
+    Json::obj(vec![
+        ("maxsat_calls", Json::from(stats.maxsat_calls)),
+        ("soft_clauses", Json::from(stats.soft_clauses)),
+        ("hard_clauses", Json::from(stats.hard_clauses)),
+        ("variables", Json::from(stats.variables)),
+        ("elapsed_ms", Json::from(stats.elapsed_ms)),
+        ("prepare_ms", Json::from(stats.prepare_ms)),
+        ("reduce_dbs", Json::from(stats.reduce_dbs)),
+        ("arena_bytes", Json::from(stats.arena_bytes)),
+    ])
+}
+
+/// Serializes a localization report, per-request solver counters included.
+pub fn report_to_json(report: &LocalizationReport) -> Json {
+    Json::obj(vec![
+        (
+            "suspects",
+            Json::Arr(report.suspects.iter().map(suspect_to_json).collect()),
+        ),
+        (
+            "suspect_lines",
+            Json::Arr(
+                report
+                    .suspect_lines
+                    .iter()
+                    .map(|l| Json::from(u64::from(l.0)))
+                    .collect(),
+            ),
+        ),
+        ("stats", stats_to_json(&report.stats)),
+    ])
+}
+
+/// Serializes a ranked (batch) report.
+pub fn ranked_to_json(ranked: &RankedReport) -> Json {
+    Json::obj(vec![
+        (
+            "ranking",
+            Json::Arr(
+                ranked
+                    .ranking
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("line", Json::from(u64::from(r.line.0))),
+                            ("count", Json::from(r.count)),
+                            ("frequency", Json::Float(r.frequency)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("max_count", Json::from(ranked.max_count)),
+        (
+            "per_test",
+            Json::Arr(ranked.per_test.iter().map(report_to_json).collect()),
+        ),
+    ])
+}
+
+/// Rewrites a report/ranked JSON tree with every timing field (`elapsed_ms`,
+/// `prepare_ms`) zeroed, leaving all semantic content intact. Serializing
+/// the result gives a *canonical* byte string: two runs of the same job —
+/// through the daemon or directly through [`bugassist::Localizer`] — must
+/// produce identical canonical bytes, which is exactly what the service
+/// equivalence tests compare.
+pub fn canonicalize(value: &Json) -> Json {
+    match value {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| {
+                    if k == "elapsed_ms" || k == "prepare_ms" {
+                        (k.clone(), Json::Int(0))
+                    } else {
+                        (k.clone(), canonicalize(v))
+                    }
+                })
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> Job {
+        let mut job = Job::new(
+            "int main(int x) {\nint y = x + 2;\nreturn y;\n}",
+            "main",
+            JobSpec::ReturnEquals(4),
+            vec![vec![5], vec![7]],
+        );
+        job.options.trusted_lines = vec![3];
+        job.options.portfolio = true;
+        job
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for request in [
+            Request::Localize(Job {
+                inputs: vec![vec![5]],
+                ..sample_job()
+            }),
+            Request::Batch(sample_job()),
+            Request::Health,
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let envelope = Envelope { id: 42, request };
+            let line = encode_request(&envelope);
+            assert!(!line.contains('\n'), "wire lines must be single lines");
+            let parsed = parse_request(&line).expect("round-trips");
+            assert_eq!(parsed, envelope);
+        }
+    }
+
+    #[test]
+    fn omitted_options_take_defaults() {
+        let line = r#"{"op":"localize","program":"int main(int x) { return x; }","entry":"main","spec":"assertions","inputs":[[1]]}"#;
+        let envelope = parse_request(line).expect("parses");
+        assert_eq!(envelope.id, 0);
+        let Request::Localize(job) = envelope.request else {
+            panic!("wrong op");
+        };
+        assert_eq!(job.options, JobOptions::default());
+        assert_eq!(job.spec, JobSpec::Assertions);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for line in [
+            "not json",
+            r#"{"op":"explode"}"#,
+            r#"{"op":"localize"}"#,
+            r#"{"op":"localize","program":"p","entry":"main","spec":"assertions","inputs":[[1],[2]]}"#,
+            r#"{"op":"localize","program":"p","entry":"main","spec":"bogus","inputs":[[1]]}"#,
+            r#"{"op":"localize","program":"p","entry":"main","spec":"assertions","inputs":[[1]],"strategy":"zchaff"}"#,
+            r#"{"op":"batch","program":"p","entry":"main","spec":"assertions","inputs":[["x"]]}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "should reject: {line}");
+        }
+    }
+
+    #[test]
+    fn cache_key_separates_programs_options_and_specs() {
+        let job = sample_job();
+        let program = minic::parse_program(&job.program).unwrap();
+        let base = job.cache_key(&program);
+
+        // Same job, re-parsed program with different formatting: same key.
+        let noisy =
+            minic::parse_program("int main( int x ) {\nint y = x+2; // c\nreturn y;\n}").unwrap();
+        assert_eq!(job.cache_key(&noisy), base);
+
+        // Inputs are not part of the key: one prepared localizer serves all.
+        let mut other_inputs = job.clone();
+        other_inputs.inputs = vec![vec![99]];
+        assert_eq!(other_inputs.cache_key(&program), base);
+
+        // Any option, entry or spec change must change the key.
+        let mut width = job.clone();
+        width.options.width = 16;
+        let mut spec = job.clone();
+        spec.spec = JobSpec::Assertions;
+        let mut gran = job.clone();
+        gran.options.granularity = Granularity::StatementInstance;
+        let mut unwind = job.clone();
+        unwind.options.unwind += 1;
+        for changed in [&width, &spec, &gran, &unwind] {
+            assert_ne!(changed.cache_key(&program), base);
+        }
+    }
+
+    #[test]
+    fn canonicalize_zeroes_only_timing() {
+        let value = Json::parse(
+            r#"{"stats":{"elapsed_ms":12,"prepare_ms":3,"maxsat_calls":2},"nested":[{"prepare_ms":9}]}"#,
+        )
+        .unwrap();
+        let canonical = canonicalize(&value);
+        assert_eq!(
+            canonical.to_string(),
+            r#"{"stats":{"elapsed_ms":0,"prepare_ms":0,"maxsat_calls":2},"nested":[{"prepare_ms":0}]}"#
+        );
+    }
+
+    #[test]
+    fn job_config_mirrors_options() {
+        let job = sample_job();
+        let config = job.localizer_config();
+        assert_eq!(config.encode.width, 8);
+        assert_eq!(config.trusted_lines, vec![Line(3)]);
+        assert!(config.portfolio);
+        assert_eq!(config.max_suspect_sets, DEFAULT_MAX_SUSPECT_SETS);
+        assert!(matches!(job.bmc_spec(), Spec::ReturnEquals(4)));
+    }
+}

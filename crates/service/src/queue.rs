@@ -1,0 +1,238 @@
+//! A bounded blocking MPMC queue built on `Mutex` + `Condvar`.
+//!
+//! The daemon's connection threads are the producers (one push per
+//! localize/batch request) and the fixed worker pool is the consumer side.
+//! The queue is **bounded**: when `capacity` jobs are already waiting,
+//! [`JobQueue::push`] blocks the connection thread, which in turn stops
+//! reading from its socket — backpressure propagates to the client through
+//! TCP instead of letting an aggressive load spike buffer unbounded work in
+//! memory.
+//!
+//! Shutdown is cooperative: [`JobQueue::close`] wakes every blocked thread;
+//! producers get [`PushError`], consumers drain the remaining items and
+//! then receive `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`JobQueue::push`] once the queue is closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PushError;
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue is closed")
+    }
+}
+
+impl std::error::Error for PushError {}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Total number of items ever accepted (for the stats endpoint).
+    enqueued: u64,
+}
+
+/// A bounded blocking multi-producer multi-consumer queue.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                enqueued: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The maximum number of waiting items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently waiting.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Total number of items ever accepted.
+    pub fn enqueued(&self) -> u64 {
+        self.state.lock().expect("queue poisoned").enqueued
+    }
+
+    /// Enqueues an item, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] (with the item lost) if the queue was closed
+    /// before space became available.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return Err(PushError);
+        }
+        state.items.push_back(item);
+        state.enqueued += 1;
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues an item, blocking while the queue is empty. Returns `None`
+    /// only once the queue is closed **and** fully drained, so no accepted
+    /// job is ever dropped during a graceful shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers start failing, consumers drain and exit.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// `true` once [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let queue = JobQueue::new(4);
+        for i in 0..4 {
+            queue.push(i).unwrap();
+        }
+        assert_eq!(queue.depth(), 4);
+        assert_eq!(queue.enqueued(), 4);
+        for i in 0..4 {
+            assert_eq!(queue.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn push_blocks_until_a_slot_frees() {
+        let queue = Arc::new(JobQueue::new(1));
+        queue.push(0u64).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(1).unwrap())
+        };
+        // The producer is blocked on the full queue; popping unblocks it.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.depth(), 1, "second push must be waiting");
+        assert_eq!(queue.pop(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(queue.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_wakes_producers_and_drains_consumers() {
+        let queue = Arc::new(JobQueue::new(1));
+        queue.push(7u64).unwrap();
+        let blocked_producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(8))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert_eq!(blocked_producer.join().unwrap(), Err(PushError));
+        assert_eq!(queue.push(9), Err(PushError));
+        // The item accepted before the close is still delivered.
+        assert_eq!(queue.pop(), Some(7));
+        assert_eq!(queue.pop(), None);
+        assert!(queue.is_closed());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let queue: Arc<JobQueue<u64>> = Arc::new(JobQueue::new(1));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_item_exactly_once() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 250;
+        let queue = Arc::new(JobQueue::new(8));
+        let sum = Arc::new(AtomicU64::new(0));
+        let received = Arc::new(AtomicU64::new(0));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let sum = Arc::clone(&sum);
+                let received = Arc::clone(&received);
+                std::thread::spawn(move || {
+                    while let Some(v) = queue.pop() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        received.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        queue.push(p * PER_PRODUCER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        queue.close();
+        for consumer in consumers {
+            consumer.join().unwrap();
+        }
+        let n = PRODUCERS * PER_PRODUCER;
+        assert_eq!(received.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+        assert_eq!(queue.enqueued(), n);
+    }
+}

@@ -1,0 +1,558 @@
+//! The localization daemon: `TcpListener`, connection threads, a fixed
+//! worker pool behind the bounded job queue, and graceful shutdown.
+//!
+//! ```text
+//!  clients ──TCP──▶ acceptor ──▶ connection threads (1/conn, read lines)
+//!                                     │ health/stats/shutdown: answered inline
+//!                                     ▼ localize/batch
+//!                               JobQueue (bounded, Mutex+Condvar)  ◀─ backpressure
+//!                                     ▼
+//!                               worker pool (N threads)
+//!                                     │ PreparedCache lookup / build+warm
+//!                                     │ Localizer::localize / localize_batch
+//!                                     ▼
+//!                               reply channel ──▶ connection thread ──▶ client
+//! ```
+//!
+//! * **One response line per request line**, written by the connection's own
+//!   thread — responses to one connection are never interleaved, whatever
+//!   the worker pool is doing.
+//! * **Backpressure**: when `queue_capacity` jobs are in flight the
+//!   connection thread blocks in [`JobQueue::push`] and stops reading its
+//!   socket; the kernel's TCP window does the rest.
+//! * **Graceful shutdown** (the `shutdown` op or [`Server::shutdown`]):
+//!   the queue closes, workers drain every accepted job, open sockets are
+//!   shut down to unblock readers, and every thread is joined — no accepted
+//!   request is ever dropped without a response.
+
+use crate::cache::PreparedCache;
+use crate::json::Json;
+use crate::protocol::{parse_request, ranked_to_json, report_to_json, Envelope, Job, Request};
+use crate::queue::JobQueue;
+use bugassist::Localizer;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads executing localization jobs.
+    pub workers: usize,
+    /// Total capacity of the prepared-localizer cache, in entries.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Bound of the job queue; pushes beyond it block (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            cache_capacity: 64,
+            cache_shards: 8,
+            queue_capacity: 2 * workers,
+        }
+    }
+}
+
+/// Snapshot of the most recently completed job's solver counters, surfaced
+/// verbatim by the stats endpoint.
+#[derive(Clone, Debug)]
+struct LastJob {
+    op: &'static str,
+    cache: &'static str,
+    reduce_dbs: u64,
+    arena_bytes: u64,
+    prepare_ms: u128,
+    build_ms: u128,
+    elapsed_ms: u128,
+}
+
+/// One queued localization job plus the channel its response goes back on.
+#[derive(Debug)]
+struct QueuedJob {
+    id: u64,
+    batch: bool,
+    job: Job,
+    reply: mpsc::Sender<String>,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    cache: PreparedCache,
+    queue: JobQueue<QueuedJob>,
+    started: Instant,
+    shutdown: AtomicBool,
+    /// The bound address, so shutdown can wake the blocking accept loop
+    /// with a throwaway connection.
+    local_addr: SocketAddr,
+    workers: usize,
+    localize_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    error_responses: AtomicU64,
+    total_reduce_dbs: AtomicU64,
+    arena_bytes_peak: AtomicU64,
+    last_job: Mutex<Option<LastJob>>,
+    /// Number of live connection threads, with a condvar for shutdown to
+    /// wait on (connection threads are detached, never joined).
+    connections: Mutex<usize>,
+    connections_done: Condvar,
+    /// Reader halves of open connections, so shutdown can unblock them.
+    streams: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl ServerState {
+    /// Starts the graceful shutdown sequence: flag set, queue closed (the
+    /// workers drain what was accepted), acceptor woken out of its blocking
+    /// `accept` by a throwaway connection. Idempotent; used by both the
+    /// wire `shutdown` op and [`Server::trigger_shutdown`].
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn error_line(&self, id: u64, message: impl std::fmt::Display) -> String {
+        self.error_responses.fetch_add(1, Ordering::Relaxed);
+        Json::obj(vec![
+            ("id", Json::from(id)),
+            ("ok", Json::Bool(false)),
+            ("error", Json::str(message.to_string())),
+        ])
+        .to_string()
+    }
+
+    fn health_line(&self, id: u64) -> String {
+        Json::obj(vec![
+            ("id", Json::from(id)),
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("health")),
+            ("status", Json::str("ok")),
+            ("uptime_ms", Json::from(self.started.elapsed().as_millis())),
+            ("workers", Json::from(self.workers)),
+        ])
+        .to_string()
+    }
+
+    fn stats_line(&self, id: u64) -> String {
+        let cache = self.cache.stats();
+        let last_job = match &*self.last_job.lock().expect("last_job poisoned") {
+            None => Json::Null,
+            Some(last) => Json::obj(vec![
+                ("op", Json::str(last.op)),
+                ("cache", Json::str(last.cache)),
+                ("reduce_dbs", Json::from(last.reduce_dbs)),
+                ("arena_bytes", Json::from(last.arena_bytes)),
+                ("prepare_ms", Json::from(last.prepare_ms)),
+                ("build_ms", Json::from(last.build_ms)),
+                ("elapsed_ms", Json::from(last.elapsed_ms)),
+            ]),
+        };
+        Json::obj(vec![
+            ("id", Json::from(id)),
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("stats")),
+            ("uptime_ms", Json::from(self.started.elapsed().as_millis())),
+            (
+                "requests",
+                Json::obj(vec![
+                    (
+                        "localize",
+                        Json::from(self.localize_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "batch",
+                        Json::from(self.batch_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "errors",
+                        Json::from(self.error_responses.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::from(cache.hits)),
+                    ("misses", Json::from(cache.misses)),
+                    ("evictions", Json::from(cache.evictions)),
+                    ("entries", Json::from(cache.entries)),
+                    ("capacity", Json::from(self.cache.capacity())),
+                    ("shards", Json::from(self.cache.shard_count())),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("capacity", Json::from(self.queue.capacity())),
+                    ("depth", Json::from(self.queue.depth())),
+                    ("enqueued", Json::from(self.queue.enqueued())),
+                ]),
+            ),
+            (
+                "solver",
+                Json::obj(vec![
+                    (
+                        "reduce_dbs",
+                        Json::from(self.total_reduce_dbs.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "arena_bytes_peak",
+                        Json::from(self.arena_bytes_peak.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            ("last_job", last_job),
+        ])
+        .to_string()
+    }
+
+    /// Fetches the prepared localizer for a job, building and warming it on
+    /// a miss. Returns the instance, whether it was a hit, and the build
+    /// wall-clock milliseconds (0 on a hit).
+    fn prepared_localizer(
+        &self,
+        job: &Job,
+        program: &minic::Program,
+    ) -> Result<(Arc<Localizer>, bool, u128), String> {
+        let key = job.cache_key(program);
+        let mut build_ms = 0u128;
+        let (result, hit) = self.cache.get_or_build(key, || {
+            let started = Instant::now();
+            // Typecheck belongs to the build, not the hot path: a cache hit
+            // means a structurally identical AST already checked clean.
+            if let Some(first) = minic::check_program(program).first() {
+                return Err(format!("type error: {first}"));
+            }
+            let localizer = Localizer::new(
+                program,
+                &job.entry,
+                &job.bmc_spec(),
+                &job.localizer_config(),
+            )
+            .map_err(|e| format!("encode error: {e}"))?;
+            // Pay bit-blast *and* formula preparation before publishing, so
+            // cached instances are warm for every future input.
+            localizer.warm();
+            build_ms = started.elapsed().as_millis();
+            Ok(localizer)
+        });
+        result.map(|localizer| (localizer, hit, build_ms))
+    }
+
+    /// Executes one queued job and returns its response line.
+    fn execute(&self, queued: &QueuedJob) -> String {
+        let op: &'static str = if queued.batch { "batch" } else { "localize" };
+        let program = match minic::parse_program(&queued.job.program) {
+            Ok(program) => program,
+            Err(e) => return self.error_line(queued.id, format!("parse error: {e}")),
+        };
+        let (localizer, hit, build_ms) = match self.prepared_localizer(&queued.job, &program) {
+            Ok(found) => found,
+            Err(message) => return self.error_line(queued.id, message),
+        };
+        let cache: &'static str = if hit { "hit" } else { "miss" };
+
+        let (payload_key, payload, stats) = if queued.batch {
+            match localizer.localize_batch(&queued.job.inputs) {
+                Err(e) => return self.error_line(queued.id, e),
+                Ok(ranked) => {
+                    let mut merged = bugassist::LocalizerStats::default();
+                    for report in &ranked.per_test {
+                        merged.reduce_dbs += report.stats.reduce_dbs;
+                        merged.arena_bytes = merged.arena_bytes.max(report.stats.arena_bytes);
+                        merged.elapsed_ms += report.stats.elapsed_ms;
+                        merged.prepare_ms += report.stats.prepare_ms;
+                    }
+                    self.batch_requests.fetch_add(1, Ordering::Relaxed);
+                    ("ranked", ranked_to_json(&ranked), merged)
+                }
+            }
+        } else {
+            match localizer.localize(&queued.job.inputs[0]) {
+                Err(e) => return self.error_line(queued.id, e),
+                Ok(report) => {
+                    let stats = report.stats;
+                    self.localize_requests.fetch_add(1, Ordering::Relaxed);
+                    ("report", report_to_json(&report), stats)
+                }
+            }
+        };
+
+        self.total_reduce_dbs
+            .fetch_add(stats.reduce_dbs, Ordering::Relaxed);
+        self.arena_bytes_peak
+            .fetch_max(stats.arena_bytes, Ordering::Relaxed);
+        *self.last_job.lock().expect("last_job poisoned") = Some(LastJob {
+            op,
+            cache,
+            reduce_dbs: stats.reduce_dbs,
+            arena_bytes: stats.arena_bytes,
+            prepare_ms: stats.prepare_ms,
+            build_ms,
+            elapsed_ms: stats.elapsed_ms,
+        });
+
+        Json::obj(vec![
+            ("id", Json::from(queued.id)),
+            ("ok", Json::Bool(true)),
+            ("op", Json::str(op)),
+            ("cache", Json::str(cache)),
+            ("build_ms", Json::from(build_ms)),
+            (payload_key, payload),
+        ])
+        .to_string()
+    }
+}
+
+/// Decrements the live-connection count (and unregisters the stream) even
+/// if the handler unwinds.
+struct ConnectionGuard<'a> {
+    state: &'a ServerState,
+    conn_id: u64,
+}
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.state
+            .streams
+            .lock()
+            .expect("streams poisoned")
+            .retain(|(id, _)| *id != self.conn_id);
+        let mut live = self.state.connections.lock().expect("connections poisoned");
+        *live -= 1;
+        self.state.connections_done.notify_all();
+    }
+}
+
+/// Pushes one job through the bounded queue (blocking on backpressure) and
+/// waits for the worker pool's response line.
+fn enqueue_and_wait(state: &ServerState, id: u64, batch: bool, job: Job) -> String {
+    let (reply, receive) = mpsc::channel();
+    let queued = QueuedJob {
+        id,
+        batch,
+        job,
+        reply,
+    };
+    match state.queue.push(queued) {
+        Err(_) => state.error_line(id, "server is shutting down"),
+        Ok(()) => receive
+            .recv()
+            .unwrap_or_else(|_| state.error_line(id, "worker terminated")),
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream, conn_id: u64) {
+    let _guard = ConnectionGuard { state, conn_id };
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut stop_after_reply = false;
+        let response = match parse_request(&line) {
+            Err(e) => state.error_line(0, e),
+            Ok(Envelope { id, request }) => match request {
+                Request::Health => state.health_line(id),
+                Request::Stats => state.stats_line(id),
+                Request::Shutdown => {
+                    state.begin_shutdown();
+                    stop_after_reply = true;
+                    Json::obj(vec![
+                        ("id", Json::from(id)),
+                        ("ok", Json::Bool(true)),
+                        ("op", Json::str("shutdown")),
+                    ])
+                    .to_string()
+                }
+                Request::Localize(job) => enqueue_and_wait(state, id, false, job),
+                Request::Batch(job) => enqueue_and_wait(state, id, true, job),
+            },
+        };
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .is_err()
+        {
+            break;
+        }
+        if stop_after_reply {
+            break;
+        }
+    }
+}
+
+/// A running localization daemon. Dropping the handle without calling
+/// [`Server::shutdown`] leaves the daemon running detached.
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the acceptor, and returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let state = Arc::new(ServerState {
+            cache: PreparedCache::new(config.cache_capacity, config.cache_shards),
+            queue: JobQueue::new(config.queue_capacity),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            workers,
+            localize_requests: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            error_responses: AtomicU64::new(0),
+            total_reduce_dbs: AtomicU64::new(0),
+            arena_bytes_peak: AtomicU64::new(0),
+            last_job: Mutex::new(None),
+            connections: Mutex::new(0),
+            connections_done: Condvar::new(),
+            streams: Mutex::new(Vec::new()),
+        });
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("service-worker-{i}"))
+                    .spawn(move || {
+                        // Drains the queue even after close: every accepted
+                        // job gets a response before the pool exits.
+                        while let Some(job) = state.queue.pop() {
+                            let response = state.execute(&job);
+                            // A disconnected client is not an error.
+                            let _ = job.reply.send(response);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("service-acceptor".to_string())
+                .spawn(move || {
+                    let mut next_conn_id = 0u64;
+                    for stream in listener.incoming() {
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else {
+                            // Typically fd exhaustion (EMFILE): back off
+                            // instead of spinning at 100% CPU until the
+                            // in-flight connections release descriptors.
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            continue;
+                        };
+                        let conn_id = next_conn_id;
+                        next_conn_id += 1;
+                        if let Ok(clone) = stream.try_clone() {
+                            state
+                                .streams
+                                .lock()
+                                .expect("streams poisoned")
+                                .push((conn_id, clone));
+                        }
+                        *state.connections.lock().expect("connections poisoned") += 1;
+                        let handler_state = Arc::clone(&state);
+                        // Detached: the ConnectionGuard accounts for exit —
+                        // and must also run if the thread never starts, or
+                        // wait() would count a connection that isn't there.
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("service-conn-{conn_id}"))
+                            .spawn(move || handle_connection(&handler_state, stream, conn_id));
+                        if spawned.is_err() {
+                            drop(ConnectionGuard {
+                                state: &state,
+                                conn_id,
+                            });
+                        }
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            state,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The address the daemon is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals shutdown without blocking: closes the queue and wakes the
+    /// acceptor. Idempotent; also triggered by the wire `shutdown` op.
+    pub fn trigger_shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Blocks until the daemon has fully stopped: acceptor joined, every
+    /// accepted job answered, all connection and worker threads gone.
+    /// Call after [`Server::trigger_shutdown`] (or after a client sent the
+    /// `shutdown` op — this also waits for that).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor panicked");
+        }
+        // Drain the worker pool FIRST: the queue is closed, so the workers
+        // finish every accepted job and every blocked connection thread
+        // receives (and writes) its response. Only then unblock the idle
+        // connection readers by shutting their sockets — never the other
+        // way around, or in-flight requests would lose their responses.
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker panicked");
+        }
+        for (_, stream) in self.state.streams.lock().expect("streams poisoned").iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let mut live = self.state.connections.lock().expect("connections poisoned");
+        while *live > 0 {
+            live = self
+                .state
+                .connections_done
+                .wait(live)
+                .expect("connections poisoned");
+        }
+        drop(live);
+    }
+
+    /// Graceful shutdown: [`Server::trigger_shutdown`] + [`Server::wait`].
+    pub fn shutdown(self) {
+        self.trigger_shutdown();
+        self.wait();
+    }
+}

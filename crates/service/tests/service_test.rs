@@ -1,0 +1,390 @@
+//! End-to-end tests of the localization daemon: protocol equivalence with
+//! the direct [`bugassist::Localizer`] API, concurrency under a mixed
+//! TCAS + mutated-minic workload, forced cache eviction, and graceful
+//! shutdown.
+
+use bugassist::Localizer;
+use service::protocol::{canonicalize, ranked_to_json, report_to_json};
+use service::{Client, ClientError, Job, JobSpec, Json, Server, ServiceConfig};
+use siemens::{tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
+use std::sync::Arc;
+
+/// The canonical (timing-zeroed) serialization the daemon must reproduce
+/// byte for byte, computed by running the job directly.
+fn expected_canonical(job: &Job) -> String {
+    let program = minic::parse_program(&job.program).expect("job program parses");
+    let localizer = Localizer::new(
+        &program,
+        &job.entry,
+        &job.bmc_spec(),
+        &job.localizer_config(),
+    )
+    .expect("job encodes");
+    if job.inputs.len() == 1 {
+        let report = localizer.localize(&job.inputs[0]).expect("localizes");
+        canonicalize(&report_to_json(&report)).to_string()
+    } else {
+        let ranked = localizer
+            .localize_batch(&job.inputs)
+            .expect("batch localizes");
+        canonicalize(&ranked_to_json(&ranked)).to_string()
+    }
+}
+
+fn canonical(body: &Json) -> String {
+    canonicalize(body).to_string()
+}
+
+/// A small faulty program family: the base constant on line 2 is mutated
+/// per variant, so each variant is a distinct program with a distinct
+/// cache entry and a distinct (but deterministic) localization answer.
+fn mutated_minic_job(delta: i64) -> Job {
+    let base =
+        minic::parse_program("int main(int x) {\nint y = x + 2;\nint z = y * 1;\nreturn z;\n}")
+            .expect("base parses");
+    let mutated = minic::apply_mutation(
+        &base,
+        &minic::Mutation::BumpConstant {
+            line: minic::Line(2),
+            occurrence: 0,
+            delta,
+        },
+    )
+    .expect("mutation applies");
+    // Golden function is x + 1, so inputs where x + 2 + delta != x + 1 fail.
+    Job::new(
+        minic::pretty_program(&mutated),
+        "main",
+        JobSpec::ReturnEquals(4),
+        vec![vec![3]],
+    )
+}
+
+/// The TCAS version-1 localize job the paper's Table 1 row starts from.
+fn tcas_job(inputs: Vec<Vec<i64>>, golden: i64) -> Job {
+    let version = tcas_versions().into_iter().next().expect("v1 exists");
+    let faulty = version.build(TCAS_SOURCE);
+    let mut job = Job::new(
+        minic::pretty_program(&faulty),
+        TCAS_ENTRY,
+        JobSpec::ReturnEquals(golden),
+        inputs,
+    );
+    job.options.width = 16;
+    job.options.unwind = 6;
+    job.options.max_inline_depth = 8;
+    job.options.max_suspect_sets = 4;
+    job.options.trusted_lines = tcas_trusted_lines().iter().map(|l| l.0).collect();
+    job
+}
+
+/// Failing TCAS v1 vectors sharing one golden output (largest such group).
+fn tcas_failing_vectors() -> (Vec<Vec<i64>>, i64) {
+    use std::collections::BTreeMap;
+    let version = tcas_versions().into_iter().next().expect("v1 exists");
+    let faulty = version.build(TCAS_SOURCE);
+    let pool = siemens::tcas_test_vectors(300, 2011);
+    let interp = siemens::tcas_interp_config();
+    let mut by_golden: BTreeMap<i64, Vec<Vec<i64>>> = BTreeMap::new();
+    for input in &pool {
+        let golden = siemens::tcas_golden_output(input);
+        let outcome = bmc::run_program(&faulty, TCAS_ENTRY, input, &[], interp);
+        if outcome.result != Some(golden) || !outcome.is_ok() {
+            by_golden.entry(golden).or_default().push(input.clone());
+        }
+    }
+    let (&golden, vectors) = by_golden
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .expect("v1 has failing vectors");
+    assert!(vectors.len() >= 2, "need >= 2 failing vectors");
+    (vectors.iter().take(3).cloned().collect(), golden)
+}
+
+#[test]
+fn concurrent_mixed_workload_matches_direct_localizer() {
+    let (tcas_inputs, tcas_golden) = tcas_failing_vectors();
+    // The mixed workload: one TCAS job plus three mutated-minic variants.
+    let jobs: Vec<Job> = vec![
+        tcas_job(vec![tcas_inputs[0].clone()], tcas_golden),
+        mutated_minic_job(1),
+        mutated_minic_job(2),
+        mutated_minic_job(-3),
+    ];
+    let expected: Arc<Vec<String>> = Arc::new(jobs.iter().map(expected_canonical).collect());
+    let jobs = Arc::new(jobs);
+
+    // One shard: all four programs fit without collision evictions, so the
+    // hit/miss arithmetic below is exact.
+    let server = Server::start(ServiceConfig {
+        workers: 4,
+        cache_capacity: 8,
+        cache_shards: 1,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // N client threads hammer the daemon; each thread starts at a different
+    // job offset so distinct programs are always in flight simultaneously.
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 3;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let jobs = Arc::clone(&jobs);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                for round in 0..ROUNDS {
+                    for i in 0..jobs.len() {
+                        let j = (c + round + i) % jobs.len();
+                        let outcome = client.localize(jobs[j].clone()).expect("localizes");
+                        assert_eq!(
+                            canonical(&outcome.body),
+                            expected[j],
+                            "client {c} round {round} job {j} got a wrong or \
+                             interleaved response"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread panicked");
+    }
+
+    // 6 clients × 3 rounds × 4 jobs against 4 distinct programs: the
+    // single-flight cache builds each program exactly once, every other
+    // request is a hit (possibly one that waited on the builder).
+    let mut client = Client::connect(addr).expect("connects");
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache section");
+    let hits = cache.get("hits").and_then(Json::as_u64).expect("hits");
+    let misses = cache.get("misses").and_then(Json::as_u64).expect("misses");
+    let entries = cache
+        .get("entries")
+        .and_then(Json::as_u64)
+        .expect("entries");
+    assert_eq!(misses, 4, "one single-flight build per distinct program");
+    assert_eq!(hits, (CLIENTS * ROUNDS * 4 - 4) as u64);
+    assert_eq!(entries, 4, "one entry per distinct program");
+    let localized = stats
+        .get("requests")
+        .and_then(|r| r.get("localize"))
+        .and_then(Json::as_u64)
+        .expect("localize counter");
+    assert_eq!(localized, (CLIENTS * ROUNDS * 4) as u64);
+    server.shutdown();
+}
+
+#[test]
+fn batch_endpoint_is_byte_identical_to_localize_batch() {
+    let (tcas_inputs, tcas_golden) = tcas_failing_vectors();
+    let tcas = tcas_job(tcas_inputs, tcas_golden);
+    let minic_batch = Job {
+        inputs: vec![vec![3], vec![5], vec![9]],
+        ..mutated_minic_job(1)
+    };
+
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    for job in [tcas, minic_batch] {
+        let expected = expected_canonical(&job);
+        let cold = client.batch(job.clone()).expect("cold batch");
+        assert!(!cold.cache_hit);
+        assert_eq!(canonical(&cold.body), expected);
+        // And again from the warm cache: same bytes, no rebuild.
+        let warm = client.batch(job).expect("warm batch");
+        assert!(warm.cache_hit);
+        assert_eq!(warm.build_ms, 0);
+        assert_eq!(canonical(&warm.body), expected);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn forced_eviction_with_capacity_one_stays_correct() {
+    // Two programs alternating through a one-entry cache: every request
+    // evicts the other program's prepared localizer, and answers must stay
+    // byte-identical throughout.
+    let jobs = Arc::new(vec![mutated_minic_job(1), mutated_minic_job(2)]);
+    let expected: Arc<Vec<String>> = Arc::new(jobs.iter().map(expected_canonical).collect());
+
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        cache_capacity: 1,
+        cache_shards: 1,
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..2)
+        .map(|c| {
+            let jobs = Arc::clone(&jobs);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                for round in 0..4 {
+                    let j = (c + round) % 2;
+                    let outcome = client.localize(jobs[j].clone()).expect("localizes");
+                    assert_eq!(canonical(&outcome.body), expected[j]);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread panicked");
+    }
+
+    let mut client = Client::connect(addr).expect("connects");
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(cache.get("capacity").and_then(Json::as_u64), Some(1));
+    let evictions = cache
+        .get("evictions")
+        .and_then(Json::as_u64)
+        .expect("evictions");
+    assert!(
+        evictions >= 2,
+        "alternating programs must evict: {evictions}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn health_stats_and_error_paths() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    // Health answers inline, before any job has run.
+    client.health().expect("health");
+
+    // A garbage program is a server-side error, not a hang or a crash.
+    let garbage = Job::new("int main( {", "main", JobSpec::Assertions, vec![vec![1]]);
+    let err = client.localize(garbage).expect_err("must fail");
+    assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+
+    // An arity mismatch travels back as an error string too.
+    let wrong_arity = Job::new(
+        "int main(int x) { return x; }",
+        "main",
+        JobSpec::ReturnEquals(0),
+        vec![vec![1, 2]],
+    );
+    let err = client.localize(wrong_arity).expect_err("must fail");
+    assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+
+    // The connection survives errors; a good job still works, and the stats
+    // endpoint surfaces the per-request solver counters of that job.
+    let good = mutated_minic_job(1);
+    client.localize(good).expect("localizes after errors");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("errors"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    let last_job = stats.get("last_job").expect("last_job");
+    assert_eq!(last_job.get("op").and_then(Json::as_str), Some("localize"));
+    for field in ["reduce_dbs", "arena_bytes", "prepare_ms", "elapsed_ms"] {
+        assert!(
+            last_job.get(field).and_then(Json::as_u64).is_some(),
+            "last_job must carry {field}"
+        );
+    }
+    let solver = stats.get("solver").expect("solver totals");
+    assert!(
+        solver
+            .get("arena_bytes_peak")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    server.shutdown();
+}
+
+#[test]
+fn wire_level_raw_lines_work_without_the_client() {
+    // Talk to the daemon with nothing but a socket and hand-written JSON:
+    // documents (and pins) the wire format the README shows.
+    use std::io::{BufRead, BufReader, Write};
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let stream = std::net::TcpStream::connect(server.local_addr()).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    writer
+        .write_all(
+            concat!(
+                r#"{"id":7,"op":"localize","program":"int main(int x) {\nint y = x + 2;\nreturn y;\n}","#,
+                r#""entry":"main","spec":{"return_equals":4},"inputs":[[5]],"width":8}"#,
+                "\n"
+            )
+            .as_bytes(),
+        )
+        .expect("writes");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reads");
+    let response = Json::parse(line.trim_end()).expect("response parses");
+    assert_eq!(response.get("id").and_then(Json::as_i64), Some(7));
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(response.get("cache").and_then(Json::as_str), Some("miss"));
+    let lines = response
+        .get("report")
+        .and_then(|r| r.get("suspect_lines"))
+        .and_then(Json::as_arr)
+        .expect("suspect lines");
+    assert!(
+        lines.contains(&Json::Int(2)),
+        "line 2 is the bug: {response}"
+    );
+
+    // Unparseable request lines get an error response, not a dropped
+    // connection.
+    writer.write_all(b"this is not json\n").expect("writes");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reads");
+    let response = Json::parse(line.trim_end()).expect("response parses");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_op_drains_and_stops_the_daemon() {
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connects");
+    client.localize(mutated_minic_job(1)).expect("localizes");
+    client.shutdown().expect("acknowledged");
+    // wait() returns only after the drain completes; afterwards the port
+    // no longer accepts work.
+    server.wait();
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            assert!(late.health().is_err(), "daemon must be gone");
+        }
+    }
+}
