@@ -18,6 +18,15 @@
 //! against the cached prepared formula. That gap is exactly what a
 //! long-lived daemon exists to eliminate (per-test re-building dominated
 //! the LocFaults-style deployments this subsystem answers).
+//!
+//! The **edit-stream** scenario measures the `revise` op: N clients each
+//! play a developer in an edit loop, applying k single-line edits to their
+//! own program (two line-shift edits for every semantic edit — the realistic
+//! mix where most saves only move code around) and re-localizing after each
+//! via `revise`. A twin chain applies the *same* edit sequence to a
+//! structurally identical program family through plain `localize` — every
+//! edited version is a brand-new cache key, so each step pays a full cold
+//! build. The ratio of the two chains is the value of delta preparation.
 
 use service::{Client, Job, JobSpec, Json, Server, ServiceConfig};
 use siemens::{tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
@@ -118,6 +127,114 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
+/// One version of an edit-stream program: a build-heavy straight-line
+/// `main` calling a `helper`, with `blanks` inserted blank lines (the
+/// line-shift edits) and `sem` as the helper's constant (the semantic
+/// edits). `family` disambiguates per-client and revise-vs-cold chains so
+/// their cache keys never collide.
+fn edit_stream_source(family: i64, blanks: usize, sem: i64, body_lines: usize) -> String {
+    let mut source = format!(
+        "int helper(int a) {{\nreturn a + {sem};\n}}\nint main(int x) {{\n{}int y = helper(x) + {};\n",
+        "\n".repeat(blanks),
+        2 + family,
+    );
+    for _ in 0..body_lines {
+        source.push_str("y = y + 1;\n");
+    }
+    source.push_str("return y;\n}");
+    source
+}
+
+fn edit_stream_job(family: i64, blanks: usize, sem: i64, body_lines: usize) -> Job {
+    // The golden function would return 4; this family never does, so every
+    // version has a failing run to localize.
+    let mut job = Job::new(
+        edit_stream_source(family, blanks, sem, body_lines),
+        "main",
+        JobSpec::ReturnEquals(4),
+        vec![vec![3]],
+    );
+    job.options.max_suspect_sets = 2;
+    job
+}
+
+struct EditStreamResult {
+    revise_ms: Vec<f64>,
+    cold_ms: Vec<f64>,
+    reused: usize,
+    rebuilds: usize,
+}
+
+/// One client's edit loop: a cold base request, then `edits` single-line
+/// edits re-localized via `revise`, then the same edit sequence replayed
+/// cold through `localize` on a twin program family.
+fn edit_stream_client(
+    addr: std::net::SocketAddr,
+    client_index: i64,
+    edits: usize,
+    body_lines: usize,
+) -> EditStreamResult {
+    let mut client = Client::connect(addr).expect("connects");
+    let family = client_index * 10;
+    let twin = family + 1_000_000;
+
+    // Edit i: every third edit changes the helper's constant (semantic,
+    // forces a re-encode); the rest insert a blank line (pure line shift,
+    // reused via relabeling).
+    let geometry = |edit: usize| {
+        let sems = edit / 3;
+        (edit - sems, 2 + sems as i64)
+    };
+
+    let base = client
+        .localize(edit_stream_job(family, 0, 2, body_lines))
+        .expect("edit-stream base localize");
+    let mut key = base.key;
+    let mut revise_ms = Vec::with_capacity(edits);
+    let (mut reused, mut rebuilds) = (0usize, 0usize);
+    for edit in 1..=edits {
+        let (blanks, sem) = geometry(edit);
+        let job = edit_stream_job(family, blanks, sem, body_lines);
+        let started = Instant::now();
+        let outcome = client.revise(job, key).expect("revise");
+        revise_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        let line_shift_edit = edit % 3 != 0;
+        assert_eq!(
+            outcome.reused, line_shift_edit,
+            "edit {edit} classified {} unexpectedly",
+            outcome.delta
+        );
+        if outcome.reused {
+            reused += 1;
+        } else {
+            rebuilds += 1;
+        }
+        key = outcome.outcome.key;
+    }
+
+    // The control chain: same sizes, same edit sequence, no delta reuse —
+    // every version is a fresh program, built cold.
+    client
+        .localize(edit_stream_job(twin, 0, 2, body_lines))
+        .expect("twin base localize");
+    let mut cold_ms = Vec::with_capacity(edits);
+    for edit in 1..=edits {
+        let (blanks, sem) = geometry(edit);
+        let job = edit_stream_job(twin, blanks, sem, body_lines);
+        let started = Instant::now();
+        let outcome = client.localize(job).expect("cold edited localize");
+        cold_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        assert!(!outcome.cache_hit, "every edited twin is a new program");
+    }
+
+    EditStreamResult {
+        revise_ms,
+        cold_ms,
+        reused,
+        rebuilds,
+    }
+}
+
 fn main() {
     let (output, samples, quick) = parse_args();
     let clients = if quick { 2 } else { 4 };
@@ -128,13 +245,20 @@ fn main() {
     let jobs = Arc::new(jobs);
     let programs = jobs.len();
 
+    // Capacity must hold every key this run creates (base programs plus
+    // each edit-stream client's revise and cold-twin chains, ~90 in full
+    // mode): an LRU eviction of a client's latest entry mid-chain would
+    // turn its next line-shift revise into `prev_missing` and flake the
+    // per-edit classification asserts. This benchmark measures prepare and
+    // solve reuse, not eviction — the eviction path has its own tests.
     let config = ServiceConfig {
-        cache_capacity: 32,
+        cache_capacity: 256,
         cache_shards: 4,
         ..ServiceConfig::default()
     };
     let workers = config.workers;
     let queue_capacity = config.queue_capacity;
+    let cache_capacity = config.cache_capacity;
     let server = Server::start(config).expect("daemon starts");
     let addr = server.local_addr();
     eprintln!(
@@ -213,16 +337,57 @@ fn main() {
     let cold_total: f64 = cold_ms.iter().sum();
     let warm_total: f64 = warm_single_ms.iter().sum();
 
-    // --- server-side counters --------------------------------------------
+    // --- server-side cache counters (snapshotted before the edit stream,
+    // so the hit rate reflects the cold/warm workload above; the edit
+    // stream's revisions are deliberate misses) ---------------------------
     let mut client = Client::connect(addr).expect("connects");
     let stats = client.stats().expect("stats");
     let cache = stats.get("cache").expect("cache section").clone();
-    let solver = stats.get("solver").expect("solver section").clone();
-    let queue = stats.get("queue").expect("queue section").clone();
     let hits = cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
     let misses = cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+    // --- edit-stream phase: k single-line edits per client, revise vs a
+    // cold twin chain ------------------------------------------------------
+    let edit_clients: usize = if quick { 2 } else { 3 };
+    let edits_per_client: usize = if quick { 5 } else { 12 };
+    let edit_body_lines: usize = if quick { 30 } else { 80 };
+    let edit_handles: Vec<_> = (0..edit_clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                edit_stream_client(addr, c as i64, edits_per_client, edit_body_lines)
+            })
+        })
+        .collect();
+    let mut revise_ms: Vec<f64> = Vec::new();
+    let mut edited_cold_ms: Vec<f64> = Vec::new();
+    let (mut revise_reused, mut revise_rebuilds) = (0usize, 0usize);
+    for handle in edit_handles {
+        let result = handle.join().expect("edit-stream client panicked");
+        revise_ms.extend(result.revise_ms);
+        edited_cold_ms.extend(result.cold_ms);
+        revise_reused += result.reused;
+        revise_rebuilds += result.rebuilds;
+    }
+    let revise_total: f64 = revise_ms.iter().sum();
+    let edited_cold_total: f64 = edited_cold_ms.iter().sum();
+    let revise_mean = revise_total / revise_ms.len() as f64;
+    let edited_cold_mean = edited_cold_total / edited_cold_ms.len() as f64;
+
+    // Queue/solver totals come from a *final* snapshot so the recorded
+    // artifact covers every request of the run, edit stream included.
+    let stats = client.stats().expect("final stats");
+    let solver = stats.get("solver").expect("solver section").clone();
+    let queue = stats.get("queue").expect("queue section").clone();
     server.shutdown();
+
+    // The edit loop's reason to exist: re-localizing after an edit through
+    // revise must beat rebuilding the edited program cold.
+    assert!(
+        revise_total < edited_cold_total,
+        "revise chain (total {revise_total:.3}ms) must beat the cold edited \
+         chain (total {edited_cold_total:.3}ms)"
+    );
 
     // The daemon's whole reason to exist: repeat requests must be
     // measurably faster than first requests (per program, uncontended, so
@@ -248,7 +413,7 @@ fn main() {
             Json::obj(vec![
                 ("workers", Json::from(workers)),
                 ("queue_capacity", Json::from(queue_capacity)),
-                ("cache_capacity", Json::Int(32)),
+                ("cache_capacity", Json::from(cache_capacity)),
                 ("clients", Json::from(clients)),
                 ("warm_rounds_per_client", Json::from(samples)),
                 ("programs", Json::from(programs)),
@@ -312,6 +477,40 @@ fn main() {
             Json::obj(vec![
                 ("hit_rate", Json::Float((hit_rate * 1e4).round() / 1e4)),
                 ("counters", cache),
+            ]),
+        ),
+        (
+            "edit_stream",
+            Json::obj(vec![
+                ("clients", Json::from(edit_clients)),
+                ("edits_per_client", Json::from(edits_per_client)),
+                ("body_lines", Json::from(edit_body_lines)),
+                (
+                    "revise",
+                    Json::obj(vec![
+                        ("total_ms", Json::Float((revise_total * 1e3).round() / 1e3)),
+                        ("mean_ms", Json::Float((revise_mean * 1e3).round() / 1e3)),
+                        ("reused", Json::from(revise_reused)),
+                        ("rebuilds", Json::from(revise_rebuilds)),
+                    ]),
+                ),
+                (
+                    "cold_rebuild",
+                    Json::obj(vec![
+                        (
+                            "total_ms",
+                            Json::Float((edited_cold_total * 1e3).round() / 1e3),
+                        ),
+                        (
+                            "mean_ms",
+                            Json::Float((edited_cold_mean * 1e3).round() / 1e3),
+                        ),
+                    ]),
+                ),
+                (
+                    "revise_speedup_vs_cold",
+                    Json::Float(((edited_cold_total / revise_total) * 1e3).round() / 1e3),
+                ),
             ]),
         ),
         ("queue", queue),

@@ -35,7 +35,11 @@ pub enum Spec {
 }
 
 /// Configuration of the symbolic encoder.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is load-bearing: the delta-localization reuse guard
+/// (`bugassist::Localizer::reprepare`) compares whole configs, so any new
+/// encoding-affecting field is automatically part of that comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EncodeConfig {
     /// Integer width in bits.
     pub width: usize,

@@ -99,8 +99,8 @@ mod ranking;
 mod repair;
 
 pub use localizer::{
-    Granularity, LocalizationReport, LocalizeError, Localizer, LocalizerConfig, LocalizerStats,
-    Suspect,
+    DeltaPrepare, Granularity, LocalizationReport, LocalizeError, Localizer, LocalizerConfig,
+    LocalizerStats, Suspect,
 };
 pub use loops::{localize_faulty_iteration, LoopReport};
 pub use ranking::{rank_localizations, RankedLine, RankedReport};

@@ -19,6 +19,7 @@ use bitblast::GroupId;
 use bmc::{encode_program, EncodeConfig, EncodeError, Spec, SymbolicTrace};
 use maxsat::{MaxSatInstance, MaxSatSolver, SoftId, Strategy};
 use minic::ast::Line;
+use minic::delta::{classify_edit, reachable_functions, segment_program, EditClass, LineMap};
 use minic::Program;
 use sat::Lit;
 use std::collections::BTreeMap;
@@ -159,6 +160,36 @@ impl LocalizationReport {
         self.suspect_lines.binary_search(&line).is_ok()
     }
 
+    /// The report with every blamed line pushed through a (strictly
+    /// monotonic) line map, all other content verbatim.
+    ///
+    /// This is the solve-skipping half of delta localization: when an edit
+    /// is a pure line shift (or is confined to dead code), the post-edit
+    /// MAX-SAT instance is *identical* to the pre-edit one — only the blame
+    /// labels differ — and the solver is deterministic, so re-running it
+    /// must reproduce this report with shifted lines. Remapping the old
+    /// report is therefore byte-equivalent to a full re-localization of the
+    /// edited program (the timing stats are carried over; consumers that
+    /// compare reports canonicalize timings anyway). Monotonicity keeps
+    /// `suspect_lines` sorted and injectivity keeps it deduplicated, so
+    /// every invariant of a freshly built report holds.
+    pub fn remap_lines(&self, map: &minic::delta::LineMap) -> LocalizationReport {
+        LocalizationReport {
+            suspects: self
+                .suspects
+                .iter()
+                .map(|s| Suspect {
+                    lines: s.lines.iter().map(|&l| map.remap(l)).collect(),
+                    unwindings: s.unwindings.clone(),
+                    rank: s.rank,
+                    cost: s.cost,
+                })
+                .collect(),
+            suspect_lines: self.suspect_lines.iter().map(|&l| map.remap(l)).collect(),
+            stats: self.stats,
+        }
+    }
+
     /// The fraction of blamable program lines that were reported — the
     /// paper's "SizeReduc%" metric (smaller is better).
     pub fn size_reduction_percent(&self, total_lines: usize) -> f64 {
@@ -222,6 +253,51 @@ struct PreparedFormula {
     template: MaxSatInstance,
 }
 
+/// How [`Localizer::reprepare`] obtained the localizer for an edited
+/// program — the delta-preparation outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaPrepare {
+    /// The edit only moved statement lines (or changed nothing at all): the
+    /// bit-blasted trace and the prepared selector template were reused
+    /// verbatim, with group lines relabeled through the line map. No
+    /// function was re-encoded.
+    Relabeled,
+    /// The edit was confined to a function the entry never reaches, so it
+    /// cannot influence the trace formula: reused + relabeled, exactly like
+    /// [`DeltaPrepare::Relabeled`].
+    DeadFunction,
+    /// The edit changed the body or signature of this (entry-reachable)
+    /// function: the inlined SSA encoding shifts downstream of it, so the
+    /// program was re-encoded from scratch.
+    RebuiltFunction(String),
+    /// The edit changed globals, added/removed/reordered functions, touched
+    /// several functions, or produced an ambiguous line mapping: full
+    /// re-encode.
+    RebuiltGlobal,
+    /// The entry, specification or non-trusted-line options differ from the
+    /// old localizer's, so nothing could be reused regardless of the edit.
+    RebuiltConfig,
+}
+
+impl DeltaPrepare {
+    /// `true` when the expensive bit-blast + template preparation was
+    /// skipped (the relabel paths).
+    pub fn reused(&self) -> bool {
+        matches!(self, DeltaPrepare::Relabeled | DeltaPrepare::DeadFunction)
+    }
+
+    /// Short wire/telemetry label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeltaPrepare::Relabeled => "line_shift",
+            DeltaPrepare::DeadFunction => "dead_function",
+            DeltaPrepare::RebuiltFunction(_) => "function_rebuild",
+            DeltaPrepare::RebuiltGlobal => "global_rebuild",
+            DeltaPrepare::RebuiltConfig => "options_changed",
+        }
+    }
+}
+
 /// The BugAssist error localizer.
 ///
 /// The program is symbolically encoded once; each call to
@@ -265,6 +341,11 @@ struct PreparedFormula {
 pub struct Localizer {
     trace: SymbolicTrace,
     config: LocalizerConfig,
+    /// Entry function and specification the trace was encoded against —
+    /// recorded so [`Localizer::reprepare`] can refuse to reuse a trace
+    /// built for a different question.
+    entry: String,
+    spec: Spec,
     program_lines: usize,
     /// The input-independent extended trace formula, built lazily on first
     /// use and shared by every subsequent `localize` call (and thread).
@@ -287,9 +368,158 @@ impl Localizer {
         Ok(Localizer {
             trace,
             config: config.clone(),
+            entry: entry.to_string(),
+            spec: spec.clone(),
             program_lines: program.statement_lines().len(),
             prepared: OnceLock::new(),
         })
+    }
+
+    /// `true` when everything that shapes the prepared formula — encoding
+    /// options, granularity, weights, strategy — matches, *except* the
+    /// trusted-line set, which is applied per solve and recomputed freely
+    /// by the relabel path.
+    fn options_reusable(&self, entry: &str, spec: &Spec, config: &LocalizerConfig) -> bool {
+        let (a, b) = (&self.config, config);
+        // The encoder config is compared wholesale (it derives PartialEq
+        // for exactly this purpose), so a future encoding option can never
+        // silently bypass the guard.
+        self.entry == entry
+            && &self.spec == spec
+            && a.encode == b.encode
+            && a.strategy == b.strategy
+            && a.max_suspect_sets == b.max_suspect_sets
+            && a.granularity == b.granularity
+            && a.loop_weighting == b.loop_weighting
+            && a.base_weight == b.base_weight
+            && a.portfolio == b.portfolio
+    }
+
+    /// Delta preparation: builds a localizer for `new_program` — an edited
+    /// revision of `old_program`, the program this localizer was built
+    /// from — reusing the bit-blasted trace and the prepared selector
+    /// template whenever the edit provably cannot change them.
+    ///
+    /// Classification comes from [`minic::delta::classify_edit`]; this
+    /// method additionally consults the call graph so that an edit confined
+    /// to a function the entry never reaches also reuses everything. The
+    /// reuse paths **relabel**: group lines (and selector blame lines) are
+    /// remapped through the edit's line map, trusted flags are recomputed
+    /// against `config`, and no function is re-encoded. All other edits
+    /// fall back to [`Localizer::new`] on the new program, so the result is
+    /// always correct — delta preparation only decides how much work that
+    /// correctness costs.
+    ///
+    /// The returned localizer answers every `localize` call **identically
+    /// to a cold `Localizer::new(new_program, ..)`**: the relabel paths
+    /// reuse a trace that is bit-for-bit what a fresh encode of the new
+    /// program would produce (same structure ⇒ same deterministic encoding,
+    /// only the line labels differ), and the rebuild paths literally are a
+    /// fresh build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LocalizeError::Encode`] only on the rebuild paths, when
+    /// the new program cannot be encoded.
+    pub fn reprepare(
+        &self,
+        old_program: &Program,
+        new_program: &Program,
+        entry: &str,
+        spec: &Spec,
+        config: &LocalizerConfig,
+    ) -> Result<(Localizer, DeltaPrepare), LocalizeError> {
+        let class = classify_edit(&segment_program(old_program), &segment_program(new_program));
+        self.reprepare_classified(&class, new_program, entry, spec, config)
+    }
+
+    /// [`Localizer::reprepare`] with a pre-computed edit classification
+    /// (callers that cache [`minic::delta::ProgramSegments`] — the service
+    /// does — skip re-segmenting the old program).
+    pub fn reprepare_classified(
+        &self,
+        class: &EditClass,
+        new_program: &Program,
+        entry: &str,
+        spec: &Spec,
+        config: &LocalizerConfig,
+    ) -> Result<(Localizer, DeltaPrepare), LocalizeError> {
+        if !self.options_reusable(entry, spec, config) {
+            let rebuilt = Localizer::new(new_program, entry, spec, config)?;
+            return Ok((rebuilt, DeltaPrepare::RebuiltConfig));
+        }
+        match class {
+            EditClass::Identical => Ok((
+                self.relabel(&LineMap::default(), new_program, config),
+                DeltaPrepare::Relabeled,
+            )),
+            EditClass::LineShift(map) => Ok((
+                self.relabel(map, new_program, config),
+                DeltaPrepare::Relabeled,
+            )),
+            EditClass::LocalToFunction {
+                function, line_map, ..
+            } => {
+                if reachable_functions(new_program, entry).contains(function) {
+                    let rebuilt = Localizer::new(new_program, entry, spec, config)?;
+                    Ok((rebuilt, DeltaPrepare::RebuiltFunction(function.clone())))
+                } else {
+                    // The changed function contributes no clause to a trace
+                    // rooted at `entry`; every group line belongs to an
+                    // unchanged function and is covered by the map.
+                    Ok((
+                        self.relabel(line_map, new_program, config),
+                        DeltaPrepare::DeadFunction,
+                    ))
+                }
+            }
+            EditClass::Global => {
+                let rebuilt = Localizer::new(new_program, entry, spec, config)?;
+                Ok((rebuilt, DeltaPrepare::RebuiltGlobal))
+            }
+        }
+    }
+
+    /// The reuse path: clone the trace with group lines remapped, and — if
+    /// this localizer is already warm — seed the clone's prepared formula
+    /// with relabeled selectors over the *same* template instance, so the
+    /// new localizer is warm from birth. The line map is strictly monotonic
+    /// (enforced by the classifier), so the per-line selector order, and
+    /// with it every literal in the template, is preserved exactly.
+    fn relabel(&self, map: &LineMap, new_program: &Program, config: &LocalizerConfig) -> Localizer {
+        let mut trace = self.trace.clone();
+        for group in &mut trace.groups {
+            group.line = map.remap(group.line);
+        }
+        let prepared = OnceLock::new();
+        if let Some(old) = self.prepared.get() {
+            let selectors = old
+                .selectors
+                .iter()
+                .map(|s| {
+                    let lines: Vec<Line> = s.lines.iter().map(|&l| map.remap(l)).collect();
+                    Selector {
+                        lit: s.lit,
+                        trusted: lines.iter().any(|l| config.trusted_lines.contains(l)),
+                        lines,
+                        unwindings: s.unwindings.clone(),
+                        weight: s.weight,
+                    }
+                })
+                .collect();
+            let _ = prepared.set(PreparedFormula {
+                selectors,
+                template: old.template.clone(),
+            });
+        }
+        Localizer {
+            trace,
+            config: config.clone(),
+            entry: self.entry.clone(),
+            spec: self.spec.clone(),
+            program_lines: new_program.statement_lines().len(),
+            prepared,
+        }
     }
 
     /// Forces construction of the cached input-independent prepared formula
@@ -440,6 +670,28 @@ impl Localizer {
     /// Returns [`LocalizeError::ArityMismatch`] if the test vector length is
     /// wrong.
     pub fn localize(&self, failing_input: &[i64]) -> Result<LocalizationReport, LocalizeError> {
+        self.localize_seeded(failing_input, None)
+    }
+
+    /// [`Localizer::localize`], warm-started with the per-rank CoMSS costs
+    /// of a *previous* run over a closely related program (the service's
+    /// `revise` flow passes the costs of the pre-edit report).
+    ///
+    /// The hints are upper-bound guesses, not trusted facts: they only seed
+    /// the racing portfolio's shared bound
+    /// ([`maxsat::RaceContext::seed_bound`]), where a wrong guess costs at
+    /// most one extra SAT call and can never change the optimum. With the
+    /// portfolio disabled the hints are deliberately ignored, so the
+    /// deterministic single-strategy reports stay bit-reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Localizer::localize`].
+    pub fn localize_seeded(
+        &self,
+        failing_input: &[i64],
+        cost_hints: Option<&[u64]>,
+    ) -> Result<LocalizationReport, LocalizeError> {
         // The input-independent template is built once per localizer (first
         // call pays, every later call — from any thread — reuses it) and
         // cloned into the per-test base instance.
@@ -449,6 +701,7 @@ impl Localizer {
             prepared.template.clone(),
             failing_input,
             prepare_ms,
+            cost_hints,
         )
     }
 
@@ -460,6 +713,7 @@ impl Localizer {
         template: MaxSatInstance,
         failing_input: &[i64],
         prepare_ms: u128,
+        cost_hints: Option<&[u64]>,
     ) -> Result<LocalizationReport, LocalizeError> {
         if failing_input.len() != self.trace.inputs.len() {
             return Err(LocalizeError::ArityMismatch {
@@ -515,6 +769,10 @@ impl Localizer {
                 soft_ids.insert(id, i);
             }
             stats.maxsat_calls += 1;
+            // Warm start: the corresponding rank of a previous run's report
+            // is a good guess for this rank's optimum. Only the portfolio
+            // consumes the hint (see `localize_seeded`).
+            solver.set_bound_hint(cost_hints.and_then(|h| h.get(rank).copied()));
             let result = solver.solve(&instance);
             let solver_stats = solver.stats();
             stats.reduce_dbs += solver_stats.reduce_dbs;
@@ -886,6 +1144,181 @@ mod tests {
             assert_eq!(report.suspect_lines, expected.suspect_lines);
             assert_eq!(report.stats.prepare_ms, 0, "cache was already warm");
         }
+    }
+
+    #[test]
+    fn reprepare_line_shift_reuses_everything_and_matches_cold_build() {
+        // The motivating example with a blank line inserted before line 6:
+        // every statement from there on shifts down by one.
+        let old_src = "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}";
+        let new_src = "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\n\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}";
+        let old_program = parse_program(old_src).unwrap();
+        let new_program = parse_program(new_src).unwrap();
+        let config = config8();
+        let old = Localizer::new(&old_program, "testme", &Spec::Assertions, &config).unwrap();
+        let before = old.localize(&[1]).unwrap();
+
+        let (revised, delta) = old
+            .reprepare(
+                &old_program,
+                &new_program,
+                "testme",
+                &Spec::Assertions,
+                &config,
+            )
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::Relabeled);
+        assert!(delta.reused());
+        // The old localizer was warm, so the relabeled one is born warm:
+        // no re-preparation (and no re-encoding) happened or will happen.
+        assert_eq!(revised.warm(), 0);
+
+        let after = revised.localize(&[1]).unwrap();
+        // Identical to a cold build of the edited program, field for field.
+        let cold = Localizer::new(&new_program, "testme", &Spec::Assertions, &config).unwrap();
+        let expected = cold.localize(&[1]).unwrap();
+        assert_eq!(after.suspects, expected.suspects);
+        assert_eq!(after.suspect_lines, expected.suspect_lines);
+        // And it is the *shifted* answer: the faulty line moved 6 -> 7.
+        assert!(before.blames_line(Line(6)));
+        assert!(after.blames_line(Line(7)), "{after:?}");
+        assert!(!after.blames_line(Line(6)), "{after:?}");
+    }
+
+    #[test]
+    fn reprepare_dead_function_edit_is_reused() {
+        let old_src = "int unused(int a) {\nreturn a * 2;\n}\nint main(int x) {\nint y = x + 2;\nreturn y;\n}";
+        let new_src = "int unused(int a) {\nreturn a * 9;\n}\nint main(int x) {\nint y = x + 2;\nreturn y;\n}";
+        let old_program = parse_program(old_src).unwrap();
+        let new_program = parse_program(new_src).unwrap();
+        let config = config8();
+        let old = Localizer::new(&old_program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        old.warm();
+        let (revised, delta) = old
+            .reprepare(
+                &old_program,
+                &new_program,
+                "main",
+                &Spec::ReturnEquals(4),
+                &config,
+            )
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::DeadFunction);
+        assert!(delta.reused());
+        assert_eq!(revised.warm(), 0);
+        let cold = Localizer::new(&new_program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        assert_eq!(
+            revised.localize(&[3]).unwrap().suspects,
+            cold.localize(&[3]).unwrap().suspects
+        );
+    }
+
+    #[test]
+    fn reprepare_semantic_edit_rebuilds_and_matches_cold_build() {
+        let old_src = "int helper(int a) {\nreturn a + 1;\n}\nint main(int x) {\nint y = helper(x) + 1;\nreturn y;\n}";
+        let new_src = "int helper(int a) {\nreturn a + 2;\n}\nint main(int x) {\nint y = helper(x) + 1;\nreturn y;\n}";
+        let old_program = parse_program(old_src).unwrap();
+        let new_program = parse_program(new_src).unwrap();
+        let config = config8();
+        let old = Localizer::new(&old_program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        old.warm();
+        let (revised, delta) = old
+            .reprepare(
+                &old_program,
+                &new_program,
+                "main",
+                &Spec::ReturnEquals(4),
+                &config,
+            )
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::RebuiltFunction("helper".to_string()));
+        assert!(!delta.reused());
+        let cold = Localizer::new(&new_program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        let (a, b) = (
+            revised.localize(&[5]).unwrap(),
+            cold.localize(&[5]).unwrap(),
+        );
+        assert_eq!(a.suspects, b.suspects);
+        assert_eq!(a.suspect_lines, b.suspect_lines);
+    }
+
+    #[test]
+    fn reprepare_falls_back_on_global_and_config_changes() {
+        let old_program = parse_program("int main(int x) {\nint y = x + 2;\nreturn y;\n}").unwrap();
+        let config = config8();
+        let old = Localizer::new(&old_program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        // Structural change beyond one function: a new global.
+        let global =
+            parse_program("int G = 7;\nint main(int x) {\nint y = x + 2;\nreturn y;\n}").unwrap();
+        let (_, delta) = old
+            .reprepare(
+                &old_program,
+                &global,
+                "main",
+                &Spec::ReturnEquals(4),
+                &config,
+            )
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::RebuiltGlobal);
+        // Same program, different width: nothing reusable.
+        let mut wide = config.clone();
+        wide.encode.width = 16;
+        let (_, delta) = old
+            .reprepare(
+                &old_program,
+                &old_program,
+                "main",
+                &Spec::ReturnEquals(4),
+                &wide,
+            )
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::RebuiltConfig);
+        // Different spec: same story.
+        let (_, delta) = old
+            .reprepare(
+                &old_program,
+                &old_program,
+                "main",
+                &Spec::Assertions,
+                &config,
+            )
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::RebuiltConfig);
+    }
+
+    #[test]
+    fn reprepare_recomputes_trusted_lines_for_the_new_geometry() {
+        // Line 2 is trusted in the old program; after a blank line on top the
+        // same statement sits on line 3 and the *new* config trusts line 3.
+        let old_program =
+            parse_program("int main(int x) {\nint y = x + 2;\nint z = y + 0;\nreturn z;\n}")
+                .unwrap();
+        let new_program =
+            parse_program("\nint main(int x) {\nint y = x + 2;\nint z = y + 0;\nreturn z;\n}")
+                .unwrap();
+        let mut old_config = config8();
+        old_config.trusted_lines = vec![Line(2)];
+        let mut new_config = config8();
+        new_config.trusted_lines = vec![Line(3)];
+        let old =
+            Localizer::new(&old_program, "main", &Spec::ReturnEquals(4), &old_config).unwrap();
+        old.warm();
+        let (revised, delta) = old
+            .reprepare(
+                &old_program,
+                &new_program,
+                "main",
+                &Spec::ReturnEquals(4),
+                &new_config,
+            )
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::Relabeled);
+        let report = revised.localize(&[3]).unwrap();
+        assert!(
+            !report.blames_line(Line(3)),
+            "trusted line blamed: {report:?}"
+        );
+        assert!(report.blames_line(Line(4)) || report.blames_line(Line(5)));
     }
 
     #[test]

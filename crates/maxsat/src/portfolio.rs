@@ -51,7 +51,13 @@ use std::sync::Mutex;
 pub struct RaceContext {
     cancel: AtomicBool,
     /// Cost of the incumbent; `u64::MAX` while no model has been found.
+    /// May also hold a *seeded guess* ([`RaceContext::seed_bound`]) before
+    /// any model exists — `has_incumbent` tells the two apart.
     best_cost: AtomicU64,
+    /// `true` once a real model backs `best_cost`. A seeded guess sets only
+    /// `best_cost`; the distinction keeps a too-low guess from rejecting
+    /// every genuine (higher-cost) model for the whole race.
+    has_incumbent: AtomicBool,
     incumbent: Mutex<Option<MaxSatSolution>>,
 }
 
@@ -61,6 +67,7 @@ impl RaceContext {
         RaceContext {
             cancel: AtomicBool::new(false),
             best_cost: AtomicU64::new(u64::MAX),
+            has_incumbent: AtomicBool::new(false),
             incumbent: Mutex::new(None),
         }
     }
@@ -83,6 +90,7 @@ impl RaceContext {
     pub fn reset(&self) {
         self.cancel.store(false, Ordering::Relaxed);
         self.best_cost.store(u64::MAX, Ordering::Release);
+        self.has_incumbent.store(false, Ordering::Release);
         *self.incumbent.lock().expect("race mutex poisoned") = None;
     }
 
@@ -102,11 +110,34 @@ impl RaceContext {
         self.best_cost.load(Ordering::Acquire)
     }
 
+    /// Seeds the shared cost bound with an *upper-bound guess* — typically
+    /// the optimum of a previous solve over a closely related instance (the
+    /// localization service passes the pre-edit report's cost when a
+    /// program is revised). No incumbent is installed: the guess is a pure
+    /// accelerator that [`Strategy::LinearSatUnsat`] uses to aim its first
+    /// SAT call directly at the guessed cost, skipping the
+    /// model-improvement ladder when the guess is right. A wrong guess
+    /// (even one *below* the true optimum) costs at most one extra SAT
+    /// call and can never change the result: workers fall back to their
+    /// unseeded behaviour when the bounded call comes back UNSAT, and
+    /// [`RaceContext::incumbent_at_most`] keeps answering `None` until a
+    /// real model is published.
+    ///
+    /// Call between [`RaceContext::reset`] and the start of the race, never
+    /// mid-flight.
+    pub fn seed_bound(&self, cost: u64) {
+        self.best_cost.store(cost, Ordering::Release);
+    }
+
     /// Publishes a solution if it improves on the incumbent. Returns `true`
     /// if the incumbent was replaced.
     pub fn publish(&self, solution: &MaxSatSolution) -> bool {
         // Fast path: don't take the lock for a solution that cannot win.
-        if solution.cost >= self.best_cost() && self.best_cost() != u64::MAX {
+        // Only a *real* incumbent may reject here — while `best_cost` holds
+        // nothing but a seeded guess, every genuine model must reach the
+        // slow path, or a too-low guess would block all publications (and
+        // with them the cross-strategy acceleration) for the whole race.
+        if self.has_incumbent.load(Ordering::Acquire) && solution.cost > self.best_cost() {
             return false;
         }
         let mut incumbent = self.incumbent.lock().expect("race mutex poisoned");
@@ -115,7 +146,10 @@ impl RaceContext {
             .is_none_or(|inc| solution.cost < inc.cost);
         if improves {
             *incumbent = Some(solution.clone());
+            // May *raise* a seeded guess that proved too optimistic: the
+            // bound always tracks the best model that actually exists.
             self.best_cost.store(solution.cost, Ordering::Release);
+            self.has_incumbent.store(true, Ordering::Release);
         }
         improves
     }
@@ -227,13 +261,26 @@ impl PortfolioSolver {
     /// portfolio therefore degrades gracefully and runs only its lead
     /// strategy inline.
     pub fn solve(&mut self, instance: &MaxSatInstance) -> PortfolioOutcome {
+        self.solve_seeded(instance, None)
+    }
+
+    /// [`PortfolioSolver::solve`] with an optional warm-start cost guess
+    /// seeded into the race ([`RaceContext::seed_bound`]). The inline
+    /// (single-core / single-strategy) path ignores the seed: a lone
+    /// complete strategy has no rival to hand the bound to, and ignoring it
+    /// keeps that path bit-reproducible.
+    pub fn solve_seeded(
+        &mut self,
+        instance: &MaxSatInstance,
+        seed_cost: Option<u64>,
+    ) -> PortfolioOutcome {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         if self.strategies.len() == 1 || cores < 2 {
             return self.solve_inline(instance);
         }
-        self.race(instance)
+        self.race_seeded(instance, seed_cost)
     }
 
     /// Degenerate portfolio: run the lead strategy on the calling thread —
@@ -263,6 +310,19 @@ impl PortfolioSolver {
     /// Panics if the portfolio has a single strategy (there is no race to
     /// run — use [`PortfolioSolver::solve`]).
     pub fn race(&mut self, instance: &MaxSatInstance) -> PortfolioOutcome {
+        self.race_seeded(instance, None)
+    }
+
+    /// [`PortfolioSolver::race`] with an optional warm-start cost guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the portfolio has a single strategy.
+    pub fn race_seeded(
+        &mut self,
+        instance: &MaxSatInstance,
+        seed_cost: Option<u64>,
+    ) -> PortfolioOutcome {
         assert!(
             self.strategies.len() >= 2,
             "racing needs at least two strategies"
@@ -270,6 +330,9 @@ impl PortfolioSolver {
         // Reuse the context across sequential jobs: clear the previous
         // job's cancellation flag and incumbent before the workers start.
         self.context.reset();
+        if let Some(cost) = seed_cost.filter(|&c| c != u64::MAX) {
+            self.context.seed_bound(cost);
+        }
         let race = &self.context;
         let finish: Mutex<Option<(Strategy, MaxSatResult, MaxSatStats)>> = Mutex::new(None);
         let mut workers: Vec<WorkerReport> = Vec::with_capacity(self.strategies.len());
@@ -455,6 +518,93 @@ mod tests {
             .into_optimum()
             .expect("satisfiable");
         assert_eq!(solution.cost, 1);
+    }
+
+    #[test]
+    fn seeded_race_matches_unseeded_for_any_guess() {
+        // The warm-start seed is a guess: too low, exact, too high or
+        // absurd, the raced optimum must not move.
+        let inst = chain_instance(20);
+        let expected = solve(&inst, Strategy::FuMalik)
+            .into_optimum()
+            .expect("satisfiable")
+            .cost;
+        let mut solver = PortfolioSolver::default();
+        for seed in [
+            Some(0u64),
+            Some(expected),
+            Some(expected + 7),
+            Some(u64::MAX),
+            None,
+        ] {
+            let outcome = solver.race_seeded(&inst, seed);
+            let solution = outcome.result.into_optimum().expect("satisfiable");
+            assert_eq!(solution.cost, expected, "seed {seed:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_race_still_detects_hard_unsat() {
+        let mut inst = MaxSatInstance::new();
+        inst.add_hard(vec![lit(1)]);
+        inst.add_hard(vec![lit(-1)]);
+        inst.add_soft(vec![lit(2)], 1);
+        let outcome = PortfolioSolver::default().race_seeded(&inst, Some(0));
+        assert!(outcome.result.is_hard_unsat());
+    }
+
+    #[test]
+    fn seed_bound_does_not_fake_an_incumbent() {
+        let race = RaceContext::new();
+        race.seed_bound(3);
+        assert_eq!(race.best_cost(), 3);
+        // No model was published: the seeded bound alone must never be
+        // returned as a solution.
+        assert!(race.incumbent_at_most(u64::MAX - 1).is_none());
+        // A real model *matching* the seeded bound still becomes incumbent
+        // (the seed is a guess, not a strict ceiling on publications).
+        let solution = MaxSatSolution {
+            cost: 3,
+            model: vec![true],
+            falsified: vec![],
+        };
+        assert!(race.publish(&solution));
+        assert_eq!(race.incumbent_at_most(3).expect("incumbent").cost, 3);
+        // reset clears the seed with the rest of the race state.
+        race.reset();
+        assert_eq!(race.best_cost(), u64::MAX);
+    }
+
+    #[test]
+    fn too_low_seed_does_not_block_real_incumbents() {
+        // Seed far below the true optimum (the semantic-edit revise case):
+        // the first genuine model is *worse* than the guess and must still
+        // become the incumbent, raising the bound to a cost that actually
+        // has a model behind it — otherwise no worker could publish for the
+        // whole race and all cross-strategy sharing would silently die.
+        let race = RaceContext::new();
+        race.seed_bound(2);
+        let real = MaxSatSolution {
+            cost: 7,
+            model: vec![true],
+            falsified: vec![],
+        };
+        assert!(race.publish(&real), "worse-than-seed real model must land");
+        assert_eq!(race.best_cost(), 7);
+        assert_eq!(race.incumbent_at_most(7).expect("incumbent").cost, 7);
+        // From here on the bound is real: a worse solution is rejected, a
+        // better one replaces.
+        assert!(!race.publish(&MaxSatSolution {
+            cost: 9,
+            model: vec![false],
+            falsified: vec![],
+        }));
+        assert!(race.publish(&MaxSatSolution {
+            cost: 5,
+            model: vec![false],
+            falsified: vec![],
+        }));
+        assert_eq!(race.best_cost(), 5);
     }
 
     #[test]

@@ -152,6 +152,11 @@ pub struct MaxSatSolver {
     /// can drive many extractions through one solver without a stale cancel
     /// flag from job *n* aborting job *n + 1*.
     portfolio: Option<PortfolioSolver>,
+    /// Warm-start upper-bound guess for the *next* solve, consumed by it.
+    /// Only [`Strategy::Portfolio`] uses it (seeded into the race); the
+    /// deterministic single strategies ignore it so their answers never
+    /// depend on what a previous run cost.
+    bound_hint: Option<u64>,
 }
 
 impl MaxSatSolver {
@@ -161,7 +166,18 @@ impl MaxSatSolver {
             strategy,
             stats: MaxSatStats::default(),
             portfolio: None,
+            bound_hint: None,
         }
+    }
+
+    /// Installs (or clears) a warm-start cost guess for the next
+    /// [`MaxSatSolver::solve`] call, which consumes it. The hint is an
+    /// upper-bound *guess* — typically the optimum of a closely related
+    /// instance solved earlier. Only [`Strategy::Portfolio`] exploits it
+    /// (via [`crate::RaceContext::seed_bound`]); a wrong guess can cost one
+    /// extra SAT call but never changes the reported optimum.
+    pub fn set_bound_hint(&mut self, hint: Option<u64>) {
+        self.bound_hint = hint;
     }
 
     /// The strategy this solver uses.
@@ -177,6 +193,7 @@ impl MaxSatSolver {
     /// Solves the instance to optimality.
     pub fn solve(&mut self, instance: &MaxSatInstance) -> MaxSatResult {
         self.stats = MaxSatStats::default();
+        let hint = self.bound_hint.take();
         let result = match self.strategy {
             Strategy::FuMalik => self
                 .solve_fu_malik(instance, None)
@@ -186,7 +203,7 @@ impl MaxSatSolver {
                 .expect("unraced solve always completes"),
             Strategy::Portfolio => {
                 let portfolio = self.portfolio.get_or_insert_with(PortfolioSolver::default);
-                let outcome = portfolio.solve(instance);
+                let outcome = portfolio.solve_seeded(instance, hint);
                 self.stats = outcome.winner_stats;
                 outcome.result
             }
@@ -386,8 +403,38 @@ impl MaxSatSolver {
             weighted_relax.push((relax, soft.weight));
         }
 
-        self.stats.sat_calls += 1;
-        if Self::sat_call(&mut solver, &[], race)? == SatResult::Unsat {
+        // Warm start: when the race already carries a finite upper bound —
+        // a seeded guess from a previous solve over a related instance, or
+        // a rival's published model — aim the *first* SAT call directly at
+        // that cost instead of taking an arbitrary model and climbing down.
+        // A guess below the true optimum makes the bounded call UNSAT; the
+        // unbounded retry restores the unseeded behaviour, so the guess can
+        // cost one SAT call but never correctness.
+        let mut gte: Option<GeneralizedTotalizer> = None;
+        let warm_bound = race
+            .map(RaceContext::best_cost)
+            .filter(|&bound| bound != u64::MAX);
+        let first = match warm_bound {
+            None => {
+                self.stats.sat_calls += 1;
+                Self::sat_call(&mut solver, &[], race)?
+            }
+            Some(bound) => {
+                let g = gte.insert(GeneralizedTotalizer::new(&mut solver, &weighted_relax));
+                let assumptions = g.at_most(bound.saturating_sub(base_cost));
+                self.stats.sat_calls += 1;
+                match Self::sat_call(&mut solver, &assumptions, race)? {
+                    SatResult::Sat => SatResult::Sat,
+                    SatResult::Unsat => {
+                        // Guess too low, or the hard part is unsatisfiable:
+                        // only the unbounded call can tell them apart.
+                        self.stats.sat_calls += 1;
+                        Self::sat_call(&mut solver, &[], race)?
+                    }
+                }
+            }
+        };
+        if first == SatResult::Unsat {
             return Some(MaxSatResult::HardUnsat);
         }
         // `cost_of` already counts empty soft clauses (they evaluate to
@@ -408,7 +455,10 @@ impl MaxSatSolver {
         publish(best_cost, &best_model);
 
         if best_cost > base_cost {
-            let gte = GeneralizedTotalizer::new(&mut solver, &weighted_relax);
+            let gte = match gte {
+                Some(gte) => gte,
+                None => GeneralizedTotalizer::new(&mut solver, &weighted_relax),
+            };
             loop {
                 if best_cost == base_cost {
                     break;
@@ -625,6 +675,61 @@ mod tests {
                 vec![SoftId(0)],
                 "only statement 1 is to blame"
             );
+        }
+    }
+
+    #[test]
+    fn linear_warm_start_respects_wrong_and_exact_guesses() {
+        use crate::portfolio::RaceContext;
+        // Three soft units, two in conflict: optimum cost 1.
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(2);
+        inst.add_soft(vec![lit(1)], 1);
+        inst.add_soft(vec![lit(-1)], 1);
+        inst.add_soft(vec![lit(2)], 1);
+        for seed in [0u64, 1, 3, 100] {
+            let race = RaceContext::new();
+            race.seed_bound(seed);
+            let result = MaxSatSolver::new(Strategy::LinearSatUnsat)
+                .solve_racing(&inst, &race)
+                .expect("not cancelled");
+            assert_eq!(
+                result.into_optimum().expect("satisfiable").cost,
+                1,
+                "seed {seed}"
+            );
+        }
+        // Hard-UNSAT under a seeded bound is still reported as such.
+        let mut unsat = MaxSatInstance::new();
+        unsat.add_hard(vec![lit(1)]);
+        unsat.add_hard(vec![lit(-1)]);
+        unsat.add_soft(vec![lit(2)], 1);
+        let race = RaceContext::new();
+        race.seed_bound(0);
+        let result = MaxSatSolver::new(Strategy::LinearSatUnsat)
+            .solve_racing(&unsat, &race)
+            .expect("not cancelled");
+        assert!(result.is_hard_unsat());
+    }
+
+    #[test]
+    fn bound_hint_is_consumed_and_harmless_for_single_strategies() {
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(1);
+        inst.add_soft(vec![lit(1)], 1);
+        inst.add_soft(vec![lit(-1)], 1);
+        for strategy in [
+            Strategy::FuMalik,
+            Strategy::LinearSatUnsat,
+            Strategy::Portfolio,
+        ] {
+            let mut solver = MaxSatSolver::new(strategy);
+            solver.set_bound_hint(Some(1));
+            let sol = solver.solve(&inst).into_optimum().expect("satisfiable");
+            assert_eq!(sol.cost, 1, "strategy {strategy:?}");
+            // The hint is one-shot: the next solve runs unseeded.
+            let again = solver.solve(&inst).into_optimum().expect("satisfiable");
+            assert_eq!(again.cost, 1);
         }
     }
 

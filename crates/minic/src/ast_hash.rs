@@ -109,6 +109,27 @@ fn tag(h: &mut StableHasher, t: u8) {
     h.write_u8(t);
 }
 
+/// Whether statement/definition line numbers are absorbed into the hash.
+///
+/// [`ast_hash`] uses [`Lines::Keep`]: the `Line` is the unit of blame, so two
+/// programs whose statements sit on different lines must hash differently.
+/// The edit classifier ([`crate::delta`]) uses [`Lines::Ignore`] to compute
+/// *structural fingerprints* that survive pure line shifts — the separate
+/// line map carries the positions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Lines {
+    /// Absorb line numbers (cache-key behaviour).
+    Keep,
+    /// Skip line numbers (structural-fingerprint behaviour).
+    Ignore,
+}
+
+fn hash_line(h: &mut StableHasher, line: &crate::ast::Line, mode: Lines) {
+    if mode == Lines::Keep {
+        h.write_u64(u64::from(line.0));
+    }
+}
+
 fn hash_type(h: &mut StableHasher, ty: &Type) {
     match ty {
         Type::Int => tag(h, 1),
@@ -199,14 +220,14 @@ fn hash_expr(h: &mut StableHasher, expr: &Expr) {
     }
 }
 
-fn hash_block(h: &mut StableHasher, stmts: &[Stmt]) {
+fn hash_block(h: &mut StableHasher, stmts: &[Stmt], mode: Lines) {
     h.write_usize(stmts.len());
     for s in stmts {
-        hash_stmt(h, s);
+        hash_stmt(h, s, mode);
     }
 }
 
-fn hash_stmt(h: &mut StableHasher, stmt: &Stmt) {
+pub(crate) fn hash_stmt(h: &mut StableHasher, stmt: &Stmt, mode: Lines) {
     match stmt {
         Stmt::Decl {
             name,
@@ -215,7 +236,7 @@ fn hash_stmt(h: &mut StableHasher, stmt: &Stmt) {
             line,
         } => {
             tag(h, 30);
-            h.write_u64(u64::from(line.0));
+            hash_line(h, line, mode);
             h.write_str(name);
             hash_type(h, ty);
             match init {
@@ -232,7 +253,7 @@ fn hash_stmt(h: &mut StableHasher, stmt: &Stmt) {
             line,
         } => {
             tag(h, 31);
-            h.write_u64(u64::from(line.0));
+            hash_line(h, line, mode);
             match target {
                 LValue::Var(name) => {
                     tag(h, 1);
@@ -253,30 +274,30 @@ fn hash_stmt(h: &mut StableHasher, stmt: &Stmt) {
             line,
         } => {
             tag(h, 32);
-            h.write_u64(u64::from(line.0));
+            hash_line(h, line, mode);
             hash_expr(h, cond);
-            hash_block(h, then_branch);
-            hash_block(h, else_branch);
+            hash_block(h, then_branch, mode);
+            hash_block(h, else_branch, mode);
         }
         Stmt::While { cond, body, line } => {
             tag(h, 33);
-            h.write_u64(u64::from(line.0));
+            hash_line(h, line, mode);
             hash_expr(h, cond);
-            hash_block(h, body);
+            hash_block(h, body, mode);
         }
         Stmt::Assert { cond, line } => {
             tag(h, 34);
-            h.write_u64(u64::from(line.0));
+            hash_line(h, line, mode);
             hash_expr(h, cond);
         }
         Stmt::Assume { cond, line } => {
             tag(h, 35);
-            h.write_u64(u64::from(line.0));
+            hash_line(h, line, mode);
             hash_expr(h, cond);
         }
         Stmt::Return { value, line } => {
             tag(h, 36);
-            h.write_u64(u64::from(line.0));
+            hash_line(h, line, mode);
             match value {
                 None => tag(h, 0),
                 Some(e) => {
@@ -287,15 +308,15 @@ fn hash_stmt(h: &mut StableHasher, stmt: &Stmt) {
         }
         Stmt::ExprStmt { expr, line } => {
             tag(h, 37);
-            h.write_u64(u64::from(line.0));
+            hash_line(h, line, mode);
             hash_expr(h, expr);
         }
     }
 }
 
-fn hash_global(h: &mut StableHasher, global: &Global) {
+pub(crate) fn hash_global(h: &mut StableHasher, global: &Global, mode: Lines) {
     tag(h, 50);
-    h.write_u64(u64::from(global.line.0));
+    hash_line(h, &global.line, mode);
     h.write_str(&global.name);
     hash_type(h, &global.ty);
     match global.init {
@@ -307,9 +328,9 @@ fn hash_global(h: &mut StableHasher, global: &Global) {
     }
 }
 
-fn hash_function(h: &mut StableHasher, function: &Function) {
+pub(crate) fn hash_function(h: &mut StableHasher, function: &Function, mode: Lines) {
     tag(h, 60);
-    h.write_u64(u64::from(function.line.0));
+    hash_line(h, &function.line, mode);
     h.write_str(&function.name);
     h.write_usize(function.params.len());
     for (name, ty) in &function.params {
@@ -323,7 +344,7 @@ fn hash_function(h: &mut StableHasher, function: &Function) {
             hash_type(h, ty);
         }
     }
-    hash_block(h, &function.body);
+    hash_block(h, &function.body, mode);
 }
 
 /// Absorbs a whole program into an existing hasher — callers that need a
@@ -332,11 +353,11 @@ fn hash_function(h: &mut StableHasher, function: &Function) {
 pub fn hash_program(h: &mut StableHasher, program: &Program) {
     h.write_usize(program.globals.len());
     for g in &program.globals {
-        hash_global(h, g);
+        hash_global(h, g, Lines::Keep);
     }
     h.write_usize(program.functions.len());
     for f in &program.functions {
-        hash_function(h, f);
+        hash_function(h, f, Lines::Keep);
     }
 }
 

@@ -19,7 +19,10 @@
 //! * a pretty-printer ([`pretty_program`]) used to display mutated programs;
 //! * [`mutate`] — the mutation mechanism shared by fault injection
 //!   (building faulty benchmark versions) and repair candidate generation
-//!   (off-by-one and operator replacement, Sec. 5.1 of the paper).
+//!   (off-by-one and operator replacement, Sec. 5.1 of the paper);
+//! * [`delta`] — per-function line-insensitive structural fingerprints,
+//!   line maps and the edit classifier that powers incremental
+//!   re-localization in the service layer.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@
 
 pub mod ast;
 pub mod ast_hash;
+pub mod delta;
 pub mod lexer;
 pub mod mutate;
 pub mod parser;
@@ -53,6 +57,10 @@ pub mod typecheck;
 
 pub use ast::{BinOp, Expr, Function, Global, LValue, Line, Program, Stmt, Type, UnOp};
 pub use ast_hash::{ast_hash, hash_program, StableHasher};
+pub use delta::{
+    classify_edit, reachable_functions, segment_program, EditClass, FunctionSegment, LineMap,
+    ProgramSegments,
+};
 pub use mutate::{
     apply_mutation, constant_sites, lines_with_constants, operator_sites, ConstantSite, Mutation,
     MutationError, OperatorSite,

@@ -45,9 +45,15 @@ pub struct WcnfInstance {
 /// The `p cnf <vars> <clauses>` header is optional; comment lines start with
 /// `c`. Clauses may span lines and are terminated by `0`.
 ///
+/// When a header is present, its declared clause count is **validated**
+/// against the clauses actually parsed: a truncated or corrupt file (the
+/// classic failure mode of an interrupted dump) must fail loudly instead of
+/// silently yielding a weaker formula whose answers look plausible.
+///
 /// # Errors
 ///
-/// Returns [`ParseDimacsError`] on malformed literals or a malformed header.
+/// Returns [`ParseDimacsError`] on malformed literals, a malformed header,
+/// or a header whose clause count disagrees with the document.
 ///
 /// # Examples
 ///
@@ -56,10 +62,17 @@ pub struct WcnfInstance {
 /// let cnf = parse_cnf("p cnf 2 2\n1 -2 0\n2 0\n").unwrap();
 /// assert_eq!(cnf.num_vars(), 2);
 /// assert_eq!(cnf.num_clauses(), 2);
+/// // A truncated file no longer parses silently.
+/// assert!(parse_cnf("p cnf 2 2\n1 -2 0\n").is_err());
 /// ```
 pub fn parse_cnf(input: &str) -> Result<CnfFormula, ParseDimacsError> {
     let mut formula = CnfFormula::new();
     let mut current = Vec::new();
+    // (header line, clause count)
+    let mut declared: Option<(usize, usize)> = None;
+    // Line of the most recent literal of the (possibly dangling) current
+    // clause — where an unterminated-final-clause error should point.
+    let mut dangling_line = 0usize;
     for (line_no, line) in input.lines().enumerate() {
         let line_no = line_no + 1;
         let trimmed = line.trim();
@@ -79,14 +92,16 @@ pub fn parse_cnf(input: &str) -> Result<CnfFormula, ParseDimacsError> {
                 message: format!("invalid variable count: {:?}", parts[2]),
             })?;
             formula.ensure_vars(vars);
-            // The declared clause count is only a capacity hint (many
-            // generators get it slightly wrong, so it is not validated) —
-            // clamped against the input size so a corrupt or hostile header
-            // cannot force a huge allocation. Every clause needs at least
-            // its terminating "0" plus a separator, i.e. two bytes.
-            if let Ok(clauses) = parts[3].parse::<usize>() {
-                formula.reserve_clauses(clauses.min(input.len() / 2));
-            }
+            let clauses: usize = parts[3].parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("invalid clause count: {:?}", parts[3]),
+            })?;
+            declared = Some((line_no, clauses));
+            // Capacity from the declared count, clamped against the input
+            // size so a corrupt or hostile header cannot force a huge
+            // allocation. Every clause needs at least its terminating "0"
+            // plus a separator, i.e. two bytes.
+            formula.reserve_clauses(clauses.min(input.len() / 2));
             continue;
         }
         for tok in trimmed.split_whitespace() {
@@ -98,11 +113,33 @@ pub fn parse_cnf(input: &str) -> Result<CnfFormula, ParseDimacsError> {
                 formula.add_clause(std::mem::take(&mut current));
             } else {
                 current.push(Lit::from_dimacs(value));
+                dangling_line = line_no;
             }
         }
     }
     if !current.is_empty() {
+        // A headered document promises well-formed clauses; a dangling
+        // unterminated clause is the signature of a file cut mid-write
+        // (and could make the clause *count* line up by accident).
+        if declared.is_some() {
+            return Err(ParseDimacsError {
+                line: dangling_line,
+                message: "final clause is missing its terminating 0 (truncated input?)".to_string(),
+            });
+        }
         formula.add_clause(current);
+    }
+    if let Some((header_line, count)) = declared {
+        if formula.num_clauses() != count {
+            return Err(ParseDimacsError {
+                line: header_line,
+                message: format!(
+                    "header declares {count} clauses but the document contains {} \
+                     (truncated or corrupt input?)",
+                    formula.num_clauses()
+                ),
+            });
+        }
     }
     Ok(formula)
 }
@@ -135,9 +172,14 @@ pub fn write_cnf(formula: &CnfFormula) -> String {
 /// `p wcnf <vars> <clauses> <top>` dialect: clauses whose leading weight
 /// equals `top` are hard, all others are soft with that weight.
 ///
+/// As with [`parse_cnf`], the header's declared clause count is validated
+/// against the clauses actually present, so truncated or corrupt instances
+/// are rejected instead of silently losing constraints.
+///
 /// # Errors
 ///
-/// Returns [`ParseDimacsError`] on malformed input.
+/// Returns [`ParseDimacsError`] on malformed input or a clause-count
+/// mismatch.
 ///
 /// # Examples
 ///
@@ -147,10 +189,12 @@ pub fn write_cnf(formula: &CnfFormula) -> String {
 /// assert_eq!(inst.hard.len(), 1);
 /// assert_eq!(inst.soft.len(), 2);
 /// assert_eq!(inst.soft[1].1, 2);
+/// assert!(parse_wcnf("p wcnf 2 3 10\n10 1 0\n1 -1 0\n").is_err());
 /// ```
 pub fn parse_wcnf(input: &str) -> Result<WcnfInstance, ParseDimacsError> {
     let mut instance = WcnfInstance::default();
     let mut top: Option<u64> = None;
+    let mut declared: Option<(usize, usize)> = None; // (header line, clause count)
     for (line_no, line) in input.lines().enumerate() {
         let line_no = line_no + 1;
         let trimmed = line.trim();
@@ -169,6 +213,11 @@ pub fn parse_wcnf(input: &str) -> Result<WcnfInstance, ParseDimacsError> {
                 line: line_no,
                 message: format!("invalid variable count: {:?}", parts[2]),
             })?;
+            let clauses: usize = parts[3].parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("invalid clause count: {:?}", parts[3]),
+            })?;
+            declared = Some((line_no, clauses));
             if parts.len() >= 5 {
                 top = Some(parts[4].parse().map_err(|_| ParseDimacsError {
                     line: line_no,
@@ -184,21 +233,46 @@ pub fn parse_wcnf(input: &str) -> Result<WcnfInstance, ParseDimacsError> {
             message: format!("invalid clause weight: {weight_tok:?}"),
         })?;
         let mut lits = Vec::new();
+        let mut terminated = false;
         for tok in tokens {
             let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
                 line: line_no,
                 message: format!("invalid literal: {tok:?}"),
             })?;
             if value == 0 {
+                terminated = true;
                 break;
             }
             lits.push(Lit::from_dimacs(value));
             instance.num_vars = instance.num_vars.max(value.unsigned_abs() as usize);
         }
+        // Mirror of the CNF rule: a headered document promises well-formed
+        // clauses, and a clause missing its terminating 0 is the signature
+        // of a file cut mid-write — possibly mid-*literal* ("-1 30 0" cut to
+        // "-1 3" would otherwise parse as a different clause with the count
+        // still lining up).
+        if !terminated && declared.is_some() {
+            return Err(ParseDimacsError {
+                line: line_no,
+                message: "clause is missing its terminating 0 (truncated input?)".to_string(),
+            });
+        }
         let clause = Clause::new(lits);
         match top {
             Some(t) if weight >= t => instance.hard.push(clause),
             _ => instance.soft.push((clause, weight)),
+        }
+    }
+    if let Some((header_line, count)) = declared {
+        let present = instance.hard.len() + instance.soft.len();
+        if present != count {
+            return Err(ParseDimacsError {
+                line: header_line,
+                message: format!(
+                    "header declares {count} clauses but the document contains {present} \
+                     (truncated or corrupt input?)"
+                ),
+            });
         }
     }
     Ok(instance)
@@ -255,10 +329,50 @@ mod tests {
     #[test]
     fn reject_bad_header_and_literal() {
         assert!(parse_cnf("p cnf x 2\n").is_err());
+        assert!(parse_cnf("p cnf 2 x\n").is_err());
         assert!(parse_cnf("p dnf 1 1\n").is_err());
         let err = parse_cnf("1 foo 0\n").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.to_string().contains("invalid literal"));
+    }
+
+    #[test]
+    fn truncated_cnf_is_rejected_not_silently_weakened() {
+        // Header promises 3 clauses; the file was cut after 2.
+        let err = parse_cnf("p cnf 3 3\n1 2 0\n-1 3 0\n").unwrap_err();
+        assert_eq!(err.line, 1, "blame the header line");
+        assert!(err.message.contains("declares 3"), "{err}");
+        assert!(err.message.contains("contains 2"), "{err}");
+        // Extra clauses beyond the declared count are just as corrupt.
+        assert!(parse_cnf("p cnf 3 1\n1 2 0\n-1 3 0\n").is_err());
+        // A file truncated mid-clause trips the check even when the clause
+        // count would coincidentally line up — blaming the dangling clause's
+        // own line, not the header.
+        let err = parse_cnf("p cnf 3 3\n1 2 0\n-1 3 0\n3").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("terminating 0"), "{err}");
+        // Headerless input keeps the historical leniency for that case.
+        assert_eq!(parse_cnf("1 2 0\n3").unwrap().num_clauses(), 2);
+        // Headerless documents have nothing to validate against.
+        assert!(parse_cnf("1 2 0\n-1 3 0\n").is_ok());
+    }
+
+    #[test]
+    fn truncated_wcnf_is_rejected() {
+        let err = parse_wcnf("p wcnf 2 3 10\n10 1 0\n1 -1 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("declares 3"), "{err}");
+        assert!(parse_wcnf("p wcnf 2 1 10\n10 1 0\n1 -1 0\n").is_err());
+        assert!(parse_wcnf("p wcnf 2 x 10\n10 1 0\n").is_err());
+        // A clause cut before its terminating 0 is rejected even when the
+        // clause *count* coincidentally lines up — a cut mid-literal
+        // ("... -1 30 0" truncated to "... -1 3") would otherwise parse
+        // silently as a different clause.
+        let err = parse_wcnf("p wcnf 3 2 10\n10 1 2 0\n1 -1 3").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("terminating 0"), "{err}");
+        // Headerless WCNF lines still parse (weights default to soft).
+        assert!(parse_wcnf("1 -1 0\n2 2 0\n").is_ok());
     }
 
     #[test]

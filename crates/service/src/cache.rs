@@ -31,10 +31,119 @@
 //! Failed builds (parse/type/encode errors) are *not* negatively cached:
 //! the pending slot is removed so the error doesn't occupy capacity, and
 //! every waiter receives a clone of the error.
+//!
+//! Since the `revise` op landed, the cache stores **segment-level entries**
+//! ([`PreparedEntry`]) rather than bare localizers: each entry keeps the
+//! parsed AST and its per-function structural segments
+//! ([`minic::ProgramSegments`]) next to the warmed [`Localizer`], plus the
+//! last report's per-rank costs. That is what makes an edited program's
+//! request cheap — the server diffs the new AST against the cached segments
+//! ([`minic::classify_edit`]) and reuses every segment the edit provably
+//! left alone, instead of treating the entry as an all-or-nothing blob.
 
-use bugassist::Localizer;
+use crate::protocol::{Job, JobOptions, JobSpec};
+use bugassist::{LocalizationReport, Localizer};
+use minic::{segment_program, Program, ProgramSegments};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// One cached preparation: the program's AST and diffable segments, the
+/// job parameters it was prepared under, the warmed localizer, and the
+/// most recent report's costs (warm-start seeds for a future revision).
+#[derive(Debug)]
+pub struct PreparedEntry {
+    /// The parsed program this entry was built from.
+    pub program: Program,
+    /// Per-function fingerprints + line traces of [`PreparedEntry::program`],
+    /// precomputed so a `revise` diff costs no re-segmentation of the old
+    /// side.
+    pub segments: ProgramSegments,
+    /// Entry function the localizer was prepared for.
+    pub entry: String,
+    /// Specification the localizer was prepared for.
+    pub spec: JobSpec,
+    /// Encoding/solver options the localizer was prepared with.
+    pub options: JobOptions,
+    /// The warmed localizer itself.
+    pub localizer: Arc<Localizer>,
+    /// Per-rank CoMSS costs of the most recent single-input report served
+    /// from this entry; seeds the portfolio's bound when the program is
+    /// revised.
+    last_costs: Mutex<Option<Vec<u64>>>,
+    /// Reports served from this entry, keyed by failing input. The solver
+    /// is deterministic, so a repeat of (entry, input) reproduces the same
+    /// report — which lets the `revise` op serve relabel-class edits (and
+    /// reverts to an already-seen version) by *remapping* a cached report
+    /// instead of re-solving. Bounded FIFO.
+    reports: Mutex<Vec<(Vec<i64>, LocalizationReport)>>,
+}
+
+/// Reports remembered per entry; edit loops revisit few distinct inputs,
+/// so a small bound suffices and caps memory.
+const REPORT_CACHE_CAP: usize = 32;
+
+impl PreparedEntry {
+    /// Packages a freshly built (and warmed) localizer with the job
+    /// parameters and the program's segmentation.
+    pub fn new(program: Program, job: &Job, localizer: Arc<Localizer>) -> PreparedEntry {
+        let segments = segment_program(&program);
+        PreparedEntry::with_segments(program, segments, job, localizer)
+    }
+
+    /// [`PreparedEntry::new`] with the program's segmentation already in
+    /// hand — the revise path computes it for the edit diff and must not
+    /// pay the hashing pass a second time.
+    pub fn with_segments(
+        program: Program,
+        segments: ProgramSegments,
+        job: &Job,
+        localizer: Arc<Localizer>,
+    ) -> PreparedEntry {
+        PreparedEntry {
+            segments,
+            program,
+            entry: job.entry.clone(),
+            spec: job.spec,
+            options: job.options.clone(),
+            localizer,
+            last_costs: Mutex::new(None),
+            reports: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records a single-input report served from this entry: remembers it
+    /// for solve-skipping reuse and refreshes the warm-start cost seeds.
+    pub fn record_report(&self, input: &[i64], report: &LocalizationReport) {
+        let costs: Vec<u64> = report.suspects.iter().map(|s| s.cost).collect();
+        *self.last_costs.lock().expect("last_costs poisoned") = Some(costs);
+        let mut reports = self.reports.lock().expect("reports poisoned");
+        if let Some(slot) = reports.iter_mut().find(|(i, _)| i == input) {
+            slot.1 = report.clone();
+            return;
+        }
+        if reports.len() >= REPORT_CACHE_CAP {
+            reports.remove(0);
+        }
+        reports.push((input.to_vec(), report.clone()));
+    }
+
+    /// The report previously served from this entry for exactly this
+    /// failing input, if remembered.
+    pub fn cached_report(&self, input: &[i64]) -> Option<LocalizationReport> {
+        self.reports
+            .lock()
+            .expect("reports poisoned")
+            .iter()
+            .find(|(i, _)| i == input)
+            .map(|(_, report)| report.clone())
+    }
+
+    /// The warm-start seeds for a revision of this entry's program, if a
+    /// report has been served from it.
+    pub fn seed_costs(&self) -> Option<Vec<u64>> {
+        self.last_costs.lock().expect("last_costs poisoned").clone()
+    }
+}
 
 /// Monotonic counters describing cache behaviour since startup.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,7 +160,7 @@ pub struct CacheStats {
 }
 
 /// A slot holding a build that is either in flight or finished.
-type Slot = Arc<OnceLock<Result<Arc<Localizer>, String>>>;
+type Slot = Arc<OnceLock<Result<Arc<PreparedEntry>, String>>>;
 
 #[derive(Debug)]
 struct Entry {
@@ -60,8 +169,9 @@ struct Entry {
     slot: Slot,
 }
 
-/// A sharded least-recently-used cache of prepared [`Localizer`]s with
-/// single-flight builds.
+/// A sharded least-recently-used cache of [`PreparedEntry`]s (warmed
+/// localizers plus their diffable program segments) with single-flight
+/// builds.
 #[derive(Debug)]
 pub struct PreparedCache {
     shards: Vec<Mutex<Vec<Entry>>>,
@@ -113,7 +223,26 @@ impl PreparedCache {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Returns the prepared localizer for `key`, running `build` if (and
+    /// Peeks at a *completed* entry without building anything: the `revise`
+    /// op uses this to fetch the pre-edit preparation its delta is computed
+    /// against. Touches the entry's recency (a revision is a use of the old
+    /// program's entry) but does not count as a hit or miss — the
+    /// stats-visible event is the one on the revision's own key. A slot
+    /// whose build is still in flight reads as absent (revise then falls
+    /// back to a cold build rather than blocking on an unrelated builder).
+    pub fn lookup(&self, key: u64) -> Option<Arc<PreparedEntry>> {
+        let tick = self.next_tick();
+        let mut entries = self.shard(key).lock().expect("cache shard poisoned");
+        let entry = entries.iter_mut().find(|e| e.key == key)?;
+        entry.last_used = tick;
+        entry
+            .slot
+            .get()
+            .and_then(|result| result.as_ref().ok())
+            .map(Arc::clone)
+    }
+
+    /// Returns the prepared entry for `key`, running `build` if (and
     /// only if) no other request has built or is building it. The boolean
     /// is `true` for a cache hit — including the "waited for a concurrent
     /// builder" case, where this call did no build work of its own.
@@ -125,8 +254,8 @@ impl PreparedCache {
     pub fn get_or_build(
         &self,
         key: u64,
-        build: impl FnOnce() -> Result<Localizer, String>,
-    ) -> (Result<Arc<Localizer>, String>, bool) {
+        build: impl FnOnce() -> Result<PreparedEntry, String>,
+    ) -> (Result<Arc<PreparedEntry>, String>, bool) {
         // Phase 1 (shard locked, O(shard size)): find or insert the slot.
         let (slot, hit) = {
             let tick = self.next_tick();
@@ -198,7 +327,7 @@ mod tests {
     use bugassist::LocalizerConfig;
     use std::sync::atomic::AtomicUsize;
 
-    fn build_localizer(expr: &str) -> Result<Localizer, String> {
+    fn build_localizer(expr: &str) -> Result<PreparedEntry, String> {
         let source = format!("int main(int x) {{\nint y = {expr};\nreturn y;\n}}");
         let program = minic::parse_program(&source).map_err(|e| e.to_string())?;
         let config = LocalizerConfig {
@@ -208,7 +337,10 @@ mod tests {
             },
             ..LocalizerConfig::default()
         };
-        Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).map_err(|e| e.to_string())
+        let localizer = Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config)
+            .map_err(|e| e.to_string())?;
+        let job = Job::new(source, "main", JobSpec::ReturnEquals(4), vec![vec![3]]);
+        Ok(PreparedEntry::new(program, &job, Arc::new(localizer)))
     }
 
     #[test]
@@ -291,7 +423,7 @@ mod tests {
                 })
             })
             .collect();
-        let instances: Vec<Arc<Localizer>> =
+        let instances: Vec<Arc<PreparedEntry>> =
             handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(builds.load(Ordering::Relaxed), 1, "single-flight");
         for other in &instances[1..] {
@@ -300,6 +432,97 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn eviction_while_in_use_keeps_the_instance_alive_and_rebuilds_later() {
+        let cache = PreparedCache::new(1, 1);
+        let (first, _) = cache.get_or_build(1, || build_localizer("x + 1"));
+        let first = first.unwrap();
+        // Key 2 evicts key 1 (capacity 1) while we still hold the Arc.
+        cache
+            .get_or_build(2, || build_localizer("x + 2"))
+            .0
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 1);
+        // The evicted entry keeps working for its holder: localize through
+        // it after the cache dropped its reference.
+        let report = first.localizer.localize(&[7]).expect("still usable");
+        assert!(!report.suspect_lines.is_empty());
+        assert_eq!(first.localizer.warm(), 0, "still warm");
+        // Re-requesting the evicted key is a miss that builds a *fresh*
+        // instance; the old Arc is not resurrected.
+        let (rebuilt, hit) = cache.get_or_build(1, || build_localizer("x + 1"));
+        assert!(!hit);
+        assert!(!Arc::ptr_eq(&first, &rebuilt.unwrap()));
+    }
+
+    #[test]
+    fn failing_build_propagates_to_every_waiter_without_poisoning_the_slot() {
+        // A thundering herd on a key whose build fails: single-flight must
+        // still hold (one build attempt), every waiter must receive the
+        // error, and the slot must be neither poisoned nor negatively
+        // cached — the next request for the key builds again and succeeds.
+        let cache = Arc::new(PreparedCache::new(4, 1));
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let attempts = Arc::clone(&attempts);
+                std::thread::spawn(move || {
+                    let (result, _) = cache.get_or_build(9, || {
+                        attempts.fetch_add(1, Ordering::Relaxed);
+                        // Widen the window so the herd really waits on the
+                        // pending slot rather than racing past it.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        Err("kaboom".to_string())
+                    });
+                    result
+                })
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().expect("waiter panicked");
+            assert_eq!(result.unwrap_err(), "kaboom", "every waiter sees the error");
+        }
+        assert_eq!(
+            attempts.load(Ordering::Relaxed),
+            1,
+            "failures are single-flight too"
+        );
+        assert_eq!(cache.stats().entries, 0, "no negative caching");
+        // The key is immediately buildable again — and this time it works.
+        let (result, hit) = cache.get_or_build(9, || build_localizer("x + 1"));
+        assert!(!hit);
+        assert!(result.is_ok());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn lookup_peeks_without_building_and_touches_recency() {
+        let cache = PreparedCache::new(2, 1);
+        assert!(cache.lookup(1).is_none(), "empty cache has nothing to peek");
+        cache
+            .get_or_build(1, || build_localizer("x + 1"))
+            .0
+            .unwrap();
+        cache
+            .get_or_build(2, || build_localizer("x + 2"))
+            .0
+            .unwrap();
+        let peeked = cache.lookup(1).expect("present");
+        assert_eq!(peeked.entry, "main");
+        // The peek was a use: key 2 is now the LRU victim when 3 arrives.
+        cache
+            .get_or_build(3, || build_localizer("x + 3"))
+            .0
+            .unwrap();
+        assert!(cache.lookup(1).is_some(), "recently peeked entry survives");
+        assert!(cache.lookup(2).is_none(), "LRU entry was evicted");
+        // Peeks never count as hits or misses.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 3));
     }
 
     #[test]

@@ -53,8 +53,30 @@ pub struct Outcome {
     /// Milliseconds the daemon spent building the prepared localizer for
     /// this request (0 on a cache hit).
     pub build_ms: u64,
+    /// Cache key of the prepared entry that served this request — pass it
+    /// as `prev_key` to [`Client::revise`] after editing the program.
+    pub key: u64,
     /// The `report` (localize) or `ranked` (batch) payload.
     pub body: Json,
+}
+
+/// The result of a `revise` call: an [`Outcome`] plus the delta-prepare
+/// verdict.
+#[derive(Clone, Debug)]
+pub struct ReviseOutcome {
+    /// The underlying localize outcome ([`Outcome::key`] is the *new*
+    /// entry's key — chain it into the next revision).
+    pub outcome: Outcome,
+    /// The daemon's classification of the edit, e.g. `line_shift`,
+    /// `dead_function`, `function_rebuild`, `global_rebuild`,
+    /// `prev_missing`, `options_changed` or `cache_hit`.
+    pub delta: String,
+    /// `true` when the pre-edit bit-blasted preparation was reused (no
+    /// function re-encoded).
+    pub reused: bool,
+    /// `false` when the daemon answered by remapping/replaying a
+    /// remembered report — no MAX-SAT enumeration ran at all.
+    pub solved: bool,
 }
 
 /// A blocking connection to the localization daemon.
@@ -126,6 +148,10 @@ impl Client {
             }
         };
         let build_ms = value.get("build_ms").and_then(Json::as_u64).unwrap_or(0);
+        let key = value
+            .get("key")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("response has no key field: {value}")))?;
         let body = value
             .get(payload_key)
             .cloned()
@@ -133,6 +159,7 @@ impl Client {
         Ok(Outcome {
             cache_hit,
             build_ms,
+            key,
             body,
         })
     }
@@ -156,6 +183,39 @@ impl Client {
     pub fn batch(&mut self, job: Job) -> Result<Outcome, ClientError> {
         let value = self.call(Request::Batch(job))?;
         Self::outcome(value, "ranked")
+    }
+
+    /// Localizes the single failing input of `job` — an *edited* revision
+    /// of a program previously served under `prev_key` — letting the daemon
+    /// delta-prepare against the cached pre-edit entry. The report is
+    /// byte-identical to what a plain [`Client::localize`] of the same
+    /// source would return; only the preparation cost differs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::localize`].
+    pub fn revise(&mut self, job: Job, prev_key: u64) -> Result<ReviseOutcome, ClientError> {
+        let value = self.call(Request::Revise { job, prev_key })?;
+        let delta = value
+            .get("delta")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClientError::Protocol(format!("revise without delta: {value}")))?
+            .to_string();
+        let reused = value
+            .get("reused")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ClientError::Protocol(format!("revise without reused: {value}")))?;
+        let solved = value
+            .get("solved")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ClientError::Protocol(format!("revise without solved: {value}")))?;
+        let outcome = Self::outcome(value, "report")?;
+        Ok(ReviseOutcome {
+            outcome,
+            delta,
+            reused,
+            solved,
+        })
     }
 
     /// Liveness probe; returns the daemon's uptime in milliseconds.

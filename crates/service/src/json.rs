@@ -8,9 +8,11 @@
 //! string-escape handling, and a serializer via `Display`.
 //!
 //! Numbers are split into [`Json::Int`] (anything that lexes as an integer
-//! and fits `i64`) and [`Json::Float`]: solver counters round-trip exactly,
-//! and floats serialize with `{:?}` so `2.0` stays `2.0` instead of
-//! collapsing into an integer on re-parse.
+//! and fits `i64`), [`Json::UInt`] (integers beyond `i64::MAX` that still
+//! fit `u64` — cache keys and `u64` counters like `arena_bytes` round-trip
+//! exactly instead of sliding into lossy floats) and [`Json::Float`]: solver
+//! counters round-trip exactly, and floats serialize with `{:?}` so `2.0`
+//! stays `2.0` instead of collapsing into an integer on re-parse.
 //!
 //! # Examples
 //!
@@ -34,6 +36,10 @@ pub enum Json {
     Bool(bool),
     /// An integer number (no fraction, no exponent, fits `i64`).
     Int(i64),
+    /// A non-negative integer beyond `i64::MAX` that fits `u64`. Kept as a
+    /// distinct variant so 64-bit counters and hash keys survive the wire
+    /// bit-exactly (a float would silently round past 2^53).
+    UInt(u64),
     /// Any other number.
     Float(f64),
     /// A string.
@@ -88,10 +94,11 @@ impl Json {
         }
     }
 
-    /// The integer payload, if this is an integer.
+    /// The integer payload, if this is an integer that fits `i64`.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Json::Int(v) => Some(*v),
+            Json::UInt(v) => i64::try_from(*v).ok(),
             _ => None,
         }
     }
@@ -100,14 +107,17 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Int(v) if *v >= 0 => Some(*v as u64),
+            Json::UInt(v) => Some(*v),
             _ => None,
         }
     }
 
-    /// The numeric payload widened to `f64` (integers included).
+    /// The numeric payload widened to `f64` (integers included; `UInt`
+    /// values above 2^53 lose precision here, by the nature of `f64`).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Int(v) => Some(*v as f64),
+            Json::UInt(v) => Some(*v as f64),
             Json::Float(v) => Some(*v),
             _ => None,
         }
@@ -414,6 +424,11 @@ impl<'a> Parser<'a> {
             if let Ok(v) = text.parse::<i64>() {
                 return Ok(Json::Int(v));
             }
+            // Beyond i64 but within u64: keep every bit (cache keys and
+            // u64 stats counters must round-trip exactly).
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
         }
         text.parse::<f64>()
             .map(Json::Float)
@@ -443,6 +458,7 @@ impl fmt::Display for Json {
             Json::Null => write!(f, "null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Int(v) => write!(f, "{v}"),
+            Json::UInt(v) => write!(f, "{v}"),
             Json::Float(v) if v.is_finite() => write!(f, "{v:?}"),
             Json::Float(_) => write!(f, "null"), // NaN/inf are not JSON
             Json::Str(s) => escape_into(f, s),
@@ -485,9 +501,7 @@ impl From<i64> for Json {
 
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
-        i64::try_from(v)
-            .map(Json::Int)
-            .unwrap_or(Json::Float(v as f64))
+        i64::try_from(v).map(Json::Int).unwrap_or(Json::UInt(v))
     }
 }
 
@@ -499,9 +513,13 @@ impl From<usize> for Json {
 
 impl From<u128> for Json {
     fn from(v: u128) -> Json {
-        i64::try_from(v)
-            .map(Json::Int)
-            .unwrap_or(Json::Float(v as f64))
+        match (i64::try_from(v), u64::try_from(v)) {
+            (Ok(v), _) => Json::Int(v),
+            (_, Ok(v)) => Json::UInt(v),
+            // Durations beyond u64 milliseconds do not occur in practice;
+            // saturate into float rather than panic.
+            _ => Json::Float(v as f64),
+        }
     }
 }
 
@@ -549,6 +567,38 @@ mod tests {
     fn containers_roundtrip_and_preserve_order() {
         roundtrip(r#"[1,2,[3,"x"],{}]"#);
         roundtrip(r#"{"z":1,"a":{"nested":[true,null]},"m":-2.5}"#);
+    }
+
+    #[test]
+    fn large_unsigned_integers_roundtrip_losslessly() {
+        // u64::MAX and a value just past 2^53 (where f64 starts dropping
+        // low bits — exactly what arena_bytes-sized counters would hit if
+        // they fell back to Float).
+        roundtrip("18446744073709551615");
+        roundtrip("9007199254740993");
+        let past_f64 = (1u64 << 53) + 1;
+        assert_eq!(Json::from(past_f64), Json::Int(past_f64 as i64));
+        assert_eq!(
+            Json::parse(&Json::from(u64::MAX).to_string()).unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        // A wire round-trip through an object preserves every bit.
+        let stats = Json::obj(vec![
+            ("arena_bytes", Json::from(u64::MAX - 7)),
+            ("cache_key", Json::from(0xdead_beef_dead_beefu64)),
+        ]);
+        let reparsed = Json::parse(&stats.to_string()).unwrap();
+        assert_eq!(
+            reparsed.get("arena_bytes").and_then(Json::as_u64),
+            Some(u64::MAX - 7)
+        );
+        assert_eq!(
+            reparsed.get("cache_key").and_then(Json::as_u64),
+            Some(0xdead_beef_dead_beefu64)
+        );
+        // u128 conversions pick the tightest lossless variant.
+        assert_eq!(Json::from(3u128), Json::Int(3));
+        assert_eq!(Json::from(u128::from(u64::MAX)), Json::UInt(u64::MAX));
     }
 
     #[test]
@@ -615,8 +665,10 @@ mod tests {
             v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
             Some(1)
         );
-        // u64::MAX does not fit i64: it lexes as a float.
-        assert!(matches!(v.get("u"), Some(Json::Float(_))));
+        // u64::MAX does not fit i64: it lexes as a lossless UInt.
+        assert_eq!(v.get("u"), Some(&Json::UInt(u64::MAX)));
+        assert_eq!(v.get("u").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("u").and_then(Json::as_i64), None);
         assert_eq!(Json::Null.get("missing"), None);
     }
 }

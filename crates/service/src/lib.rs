@@ -14,19 +14,31 @@
 //! * [`json`] — a hand-rolled JSON value/parser/serializer for the wire
 //!   format (the workspace builds without registry access, so no `serde`);
 //! * [`protocol`] — the newline-delimited request/response protocol:
-//!   `localize`, `batch`, `health`, `stats`, `shutdown`, plus the stable
-//!   job [cache key](protocol::Job::cache_key) built on
+//!   `localize`, `revise`, `batch`, `health`, `stats`, `shutdown`, plus the
+//!   stable job [cache key](protocol::Job::cache_key) built on
 //!   [`minic::ast_hash()`](minic::ast_hash());
 //! * [`queue`] — a bounded `Mutex` + `Condvar` MPMC job queue; a full
 //!   queue blocks the connection thread, so overload turns into TCP
 //!   backpressure instead of unbounded buffering;
-//! * [`cache`] — the sharded LRU [`cache::PreparedCache`] of warmed
-//!   [`bugassist::Localizer`]s behind `Arc`, shared lock-free by concurrent
-//!   requests for the same program;
+//! * [`cache`] — the sharded LRU [`cache::PreparedCache`] of
+//!   [`cache::PreparedEntry`]s (warmed [`bugassist::Localizer`]s plus the
+//!   program's diffable AST segments and remembered reports) behind `Arc`,
+//!   shared lock-free by concurrent requests for the same program;
 //! * [`server`] — `TcpListener` + fixed worker-thread pool + graceful
 //!   drain-then-exit shutdown;
 //! * [`client`] — the blocking client library used by the tests and the
 //!   `loadgen` benchmark.
+//!
+//! The `revise` op is what turns the daemon into an **interactive-loop
+//! backend**: a client that edits its program re-submits with the previous
+//! response's `key`, the server classifies the edit against the cached AST
+//! segments ([`minic::delta`]), and — for edits that provably cannot change
+//! the trace formula (blank lines, comments, dead-code tweaks) — reuses the
+//! bit-blasted preparation *and* serves the pre-edit report with its blame
+//! lines remapped, skipping the MAX-SAT solve entirely. Semantic edits fall
+//! back to a full rebuild (warm-started in portfolio mode), so every
+//! `revise` answer is byte-identical to what a cold `localize` of the same
+//! source would return.
 //!
 //! # Example
 //!
@@ -67,8 +79,8 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use cache::{CacheStats, PreparedCache};
-pub use client::{Client, ClientError, Outcome};
+pub use cache::{CacheStats, PreparedCache, PreparedEntry};
+pub use client::{Client, ClientError, Outcome, ReviseOutcome};
 pub use json::{Json, JsonError};
 pub use protocol::{Envelope, Job, JobOptions, JobSpec, ProtocolError, Request};
 pub use queue::{JobQueue, PushError};

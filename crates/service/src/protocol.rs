@@ -1,15 +1,23 @@
 //! The newline-delimited JSON wire protocol of the localization service.
 //!
 //! One request per line, one response per line, both single JSON objects.
-//! Five operations:
+//! Six operations:
 //!
 //! | `op`        | payload                                  | response payload      |
 //! |-------------|------------------------------------------|-----------------------|
-//! | `localize`  | a [`Job`] with exactly one failing input | `report`              |
-//! | `batch`     | a [`Job`] with any number of inputs      | `ranked`              |
+//! | `localize`  | a [`Job`] with exactly one failing input | `report`, `key`       |
+//! | `revise`    | a [`Job`] + `prev_key` of the pre-edit cache entry | `report`, `key`, `delta`, `reused` |
+//! | `batch`     | a [`Job`] with any number of inputs      | `ranked`, `key`       |
 //! | `health`    | —                                        | `status`, `uptime_ms` |
 //! | `stats`     | —                                        | cache/queue/solver counters |
 //! | `shutdown`  | —                                        | acknowledgement; daemon drains and exits |
+//!
+//! `localize`/`batch`/`revise` responses carry `key` — the cache key of the
+//! prepared entry that served them. A client in an edit loop passes it back
+//! as `prev_key` on its next `revise`, and the daemon diffs the new source
+//! against that entry's cached AST segments to reuse whatever the edit left
+//! intact (`delta` names the classification, `reused` says whether the
+//! bit-blasted preparation was carried over without re-encoding).
 //!
 //! A `localize` request looks like
 //!
@@ -23,13 +31,20 @@
 //! and a successful response like
 //!
 //! ```json
-//! {"id":1,"ok":true,"op":"localize","cache":"miss",
+//! {"id":1,"ok":true,"op":"localize","cache":"miss","build_ms":3,
+//!  "key":12186356943810876601,
 //!  "report":{"suspects":[{"lines":[2],"unwindings":[null],"rank":0,"cost":1}],
 //!            "suspect_lines":[2],
 //!            "stats":{"maxsat_calls":2,"soft_clauses":2,"hard_clauses":133,
 //!                     "variables":74,"elapsed_ms":1,"prepare_ms":3,
 //!                     "reduce_dbs":0,"arena_bytes":9188}}}
 //! ```
+//!
+//! A `revise` request is a `localize` request plus `"prev_key"` (the `key`
+//! of the pre-edit response); its response additionally carries `"delta"`
+//! (the edit classification), `"reused"` (pre-edit bit-blast carried over)
+//! and `"solved"` (`false` when the answer was served by remapping the
+//! remembered pre-edit report instead of re-running MAX-SAT).
 //!
 //! Failures are `{"id":…,"ok":false,"error":"…"}`. The `id` is an opaque
 //! client-chosen correlation token echoed back verbatim.
@@ -219,6 +234,15 @@ pub struct Envelope {
 pub enum Request {
     /// Localize one failing input of a job.
     Localize(Job),
+    /// Localize one failing input of an *edited* program, delta-preparing
+    /// against the cached pre-edit entry identified by `prev_key`.
+    Revise {
+        /// The job over the edited source.
+        job: Job,
+        /// `key` from a previous `localize`/`revise`/`batch` response for
+        /// the pre-edit version of the program.
+        prev_key: u64,
+    },
     /// Localize every input of a job and merge into a frequency ranking.
     Batch(Job),
     /// Liveness probe; never queued.
@@ -234,6 +258,7 @@ impl Request {
     pub fn op(&self) -> &'static str {
         match self {
             Request::Localize(_) => "localize",
+            Request::Revise { .. } => "revise",
             Request::Batch(_) => "batch",
             Request::Health => "health",
             Request::Stats => "stats",
@@ -329,6 +354,10 @@ pub fn encode_request(envelope: &Envelope) -> String {
     ];
     match &envelope.request {
         Request::Localize(job) | Request::Batch(job) => job_fields(job, &mut pairs),
+        Request::Revise { job, prev_key } => {
+            job_fields(job, &mut pairs);
+            pairs.push(("prev_key".to_string(), Json::from(*prev_key)));
+        }
         Request::Health | Request::Stats | Request::Shutdown => {}
     }
     Json::Obj(pairs).to_string()
@@ -482,6 +511,20 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtocolError> {
             }
             Request::Localize(job)
         }
+        "revise" => {
+            let job = parse_job(&value)?;
+            if job.inputs.len() != 1 {
+                return Err(bad(format!(
+                    "revise takes exactly one input vector, got {}",
+                    job.inputs.len()
+                )));
+            }
+            let prev_key = value
+                .get("prev_key")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("revise needs the non-negative integer field prev_key"))?;
+            Request::Revise { job, prev_key }
+        }
         "batch" => Request::Batch(parse_job(&value)?),
         "health" => Request::Health,
         "stats" => Request::Stats,
@@ -632,6 +675,15 @@ mod tests {
                 inputs: vec![vec![5]],
                 ..sample_job()
             }),
+            // prev_key beyond i64::MAX: cache keys are avalanche-mixed u64s,
+            // so the wire must carry all 64 bits losslessly.
+            Request::Revise {
+                job: Job {
+                    inputs: vec![vec![5]],
+                    ..sample_job()
+                },
+                prev_key: u64::MAX - 12345,
+            },
             Request::Batch(sample_job()),
             Request::Health,
             Request::Stats,
@@ -667,6 +719,9 @@ mod tests {
             r#"{"op":"localize","program":"p","entry":"main","spec":"bogus","inputs":[[1]]}"#,
             r#"{"op":"localize","program":"p","entry":"main","spec":"assertions","inputs":[[1]],"strategy":"zchaff"}"#,
             r#"{"op":"batch","program":"p","entry":"main","spec":"assertions","inputs":[["x"]]}"#,
+            // revise without prev_key, and with too many inputs.
+            r#"{"op":"revise","program":"p","entry":"main","spec":"assertions","inputs":[[1]]}"#,
+            r#"{"op":"revise","program":"p","entry":"main","spec":"assertions","inputs":[[1],[2]],"prev_key":3}"#,
         ] {
             assert!(parse_request(line).is_err(), "should reject: {line}");
         }

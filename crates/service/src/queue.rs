@@ -115,6 +115,16 @@ impl<T> JobQueue<T> {
 
     /// Closes the queue: producers start failing, consumers drain and exit.
     /// Idempotent.
+    ///
+    /// Shutdown-under-backpressure invariant (regression-pinned by
+    /// `closing_a_saturated_queue_unblocks_every_pusher`): the wake-up must
+    /// cover **both** condvars. Producers blocked on a *full* queue wait on
+    /// `not_full`; if close only notified `not_empty`, those connection
+    /// threads would sleep forever — no consumer ever pops once the workers
+    /// start exiting, so nothing else would wake them and shutdown would
+    /// deadlock. The `closed` flag is written under the state lock *before*
+    /// either notification, so a producer that re-checks its predicate
+    /// after waking (or that is just arriving) always observes it.
     pub fn close(&self) {
         self.state.lock().expect("queue poisoned").closed = true;
         self.not_empty.notify_all();
@@ -191,6 +201,41 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         queue.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn closing_a_saturated_queue_unblocks_every_pusher() {
+        // The shutdown-under-backpressure scenario: the queue is full, a
+        // crowd of connection threads is blocked in push (waiting on the
+        // not-full condvar), and close() fires. Every blocked pusher must
+        // wake up with PushError — close notifying only the consumers'
+        // condvar would leave them asleep forever — and everything accepted
+        // before the close must still drain.
+        const PUSHERS: u64 = 8;
+        let queue = Arc::new(JobQueue::new(2));
+        queue.push(0u64).unwrap();
+        queue.push(1u64).unwrap(); // saturated
+        let pushers: Vec<_> = (0..PUSHERS)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || queue.push(100 + i))
+            })
+            .collect();
+        // Give the crowd time to actually block on the full queue.
+        while queue.depth() < 2 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        queue.close();
+        for pusher in pushers {
+            // A hang here (the join never returning) IS the regression.
+            assert_eq!(pusher.join().unwrap(), Err(PushError));
+        }
+        // The two accepted items survive the shutdown; nothing else does.
+        assert_eq!(queue.pop(), Some(0));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.enqueued(), 2);
     }
 
     #[test]

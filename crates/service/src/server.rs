@@ -4,12 +4,15 @@
 //! ```text
 //!  clients ──TCP──▶ acceptor ──▶ connection threads (1/conn, read lines)
 //!                                     │ health/stats/shutdown: answered inline
-//!                                     ▼ localize/batch
+//!                                     ▼ localize/batch/revise
 //!                               JobQueue (bounded, Mutex+Condvar)  ◀─ backpressure
 //!                                     ▼
 //!                               worker pool (N threads)
 //!                                     │ PreparedCache lookup / build+warm
+//!                                     │   (revise: diff vs cached segments,
+//!                                     │    relabel-reuse or rebuild)
 //!                                     │ Localizer::localize / localize_batch
+//!                                     │   (or remap the pre-edit report)
 //!                                     ▼
 //!                               reply channel ──▶ connection thread ──▶ client
 //! ```
@@ -25,11 +28,13 @@
 //!   shut down to unblock readers, and every thread is joined — no accepted
 //!   request is ever dropped without a response.
 
-use crate::cache::PreparedCache;
+use crate::cache::{PreparedCache, PreparedEntry};
 use crate::json::Json;
 use crate::protocol::{parse_request, ranked_to_json, report_to_json, Envelope, Job, Request};
 use crate::queue::JobQueue;
-use bugassist::Localizer;
+use bugassist::{LocalizationReport, Localizer};
+use minic::ast::Line;
+use minic::{EditClass, LineMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -73,6 +78,8 @@ impl Default for ServiceConfig {
 struct LastJob {
     op: &'static str,
     cache: &'static str,
+    /// Delta classification of the preparation (revise jobs; "-" otherwise).
+    delta: &'static str,
     reduce_dbs: u64,
     arena_bytes: u64,
     prepare_ms: u128,
@@ -80,11 +87,26 @@ struct LastJob {
     elapsed_ms: u128,
 }
 
+/// Which queued operation a job performs.
+#[derive(Clone, Copy, Debug)]
+enum JobKind {
+    /// One failing input, one report.
+    Localize,
+    /// Many failing inputs, one merged ranking.
+    Batch,
+    /// One failing input over an edited program, delta-prepared against the
+    /// cached pre-edit entry.
+    Revise {
+        /// Cache key of the pre-edit entry.
+        prev_key: u64,
+    },
+}
+
 /// One queued localization job plus the channel its response goes back on.
 #[derive(Debug)]
 struct QueuedJob {
     id: u64,
-    batch: bool,
+    kind: JobKind,
     job: Job,
     reply: mpsc::Sender<String>,
 }
@@ -100,6 +122,13 @@ struct ServerState {
     local_addr: SocketAddr,
     workers: usize,
     localize_requests: AtomicU64,
+    revise_requests: AtomicU64,
+    /// Revise requests whose delta-prepare reused the pre-edit bit-blast
+    /// (relabel paths + already-cached revisions) instead of re-encoding.
+    revise_reuses: AtomicU64,
+    /// Revise requests answered by remapping/replaying a remembered report
+    /// instead of running the MAX-SAT enumeration.
+    revise_solve_skips: AtomicU64,
     batch_requests: AtomicU64,
     error_responses: AtomicU64,
     total_reduce_dbs: AtomicU64,
@@ -153,6 +182,7 @@ impl ServerState {
             Some(last) => Json::obj(vec![
                 ("op", Json::str(last.op)),
                 ("cache", Json::str(last.cache)),
+                ("delta", Json::str(last.delta)),
                 ("reduce_dbs", Json::from(last.reduce_dbs)),
                 ("arena_bytes", Json::from(last.arena_bytes)),
                 ("prepare_ms", Json::from(last.prepare_ms)),
@@ -171,6 +201,18 @@ impl ServerState {
                     (
                         "localize",
                         Json::from(self.localize_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "revise",
+                        Json::from(self.revise_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "revise_reuses",
+                        Json::from(self.revise_reuses.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "revise_solve_skips",
+                        Json::from(self.revise_solve_skips.load(Ordering::Relaxed)),
                     ),
                     (
                         "batch",
@@ -219,54 +261,244 @@ impl ServerState {
         .to_string()
     }
 
-    /// Fetches the prepared localizer for a job, building and warming it on
-    /// a miss. Returns the instance, whether it was a hit, and the build
+    /// The cold build: typecheck, encode, warm, package as a cache entry.
+    fn build_entry(&self, job: &Job, program: &minic::Program) -> Result<PreparedEntry, String> {
+        // Typecheck belongs to the build, not the hot path: a cache hit
+        // means a structurally identical AST already checked clean.
+        if let Some(first) = minic::check_program(program).first() {
+            return Err(format!("type error: {first}"));
+        }
+        let localizer = Localizer::new(
+            program,
+            &job.entry,
+            &job.bmc_spec(),
+            &job.localizer_config(),
+        )
+        .map_err(|e| format!("encode error: {e}"))?;
+        // Pay bit-blast *and* formula preparation before publishing, so
+        // cached instances are warm for every future input.
+        localizer.warm();
+        Ok(PreparedEntry::new(
+            program.clone(),
+            job,
+            Arc::new(localizer),
+        ))
+    }
+
+    /// Fetches the prepared entry for a job, building and warming it on a
+    /// miss. Returns the entry, whether it was a hit, and the build
     /// wall-clock milliseconds (0 on a hit).
-    fn prepared_localizer(
+    fn prepared_entry(
         &self,
         job: &Job,
         program: &minic::Program,
-    ) -> Result<(Arc<Localizer>, bool, u128), String> {
-        let key = job.cache_key(program);
+        key: u64,
+    ) -> Result<(Arc<PreparedEntry>, bool, u128), String> {
         let mut build_ms = 0u128;
         let (result, hit) = self.cache.get_or_build(key, || {
             let started = Instant::now();
-            // Typecheck belongs to the build, not the hot path: a cache hit
-            // means a structurally identical AST already checked clean.
-            if let Some(first) = minic::check_program(program).first() {
-                return Err(format!("type error: {first}"));
-            }
-            let localizer = Localizer::new(
-                program,
-                &job.entry,
-                &job.bmc_spec(),
-                &job.localizer_config(),
-            )
-            .map_err(|e| format!("encode error: {e}"))?;
-            // Pay bit-blast *and* formula preparation before publishing, so
-            // cached instances are warm for every future input.
-            localizer.warm();
+            let built = self.build_entry(job, program);
             build_ms = started.elapsed().as_millis();
-            Ok(localizer)
+            built
         });
-        result.map(|localizer| (localizer, hit, build_ms))
+        result.map(|entry| (entry, hit, build_ms))
+    }
+
+    /// A pre-edit report that can be served for this revision *without
+    /// re-solving*: available only for relabel-class edits whose
+    /// **effective** trusted-selector set is unchanged. Under those
+    /// conditions the post-edit MAX-SAT instance is identical to the
+    /// pre-edit one and the solver is deterministic, so remapping the
+    /// remembered report reproduces exactly what a fresh solve would
+    /// return.
+    ///
+    /// "Effective" is the load-bearing word: a trusted line only hardens a
+    /// selector when a blamable statement sits on it. Comparing raw trusted
+    /// line numbers would be unsound — a trusted line that pointed at a
+    /// blank pre-edit can land on a *shifted statement* post-edit (and vice
+    /// versa), silently changing which selectors are hard while the number
+    /// sets still match. So the comparison intersects with the trace's
+    /// blamable lines on both sides of the map.
+    fn remap_candidate(
+        prev: &PreparedEntry,
+        job: &Job,
+        class: &EditClass,
+    ) -> Option<LocalizationReport> {
+        let identity = LineMap::default();
+        let map = match class {
+            EditClass::Identical => &identity,
+            EditClass::LineShift(map) => map,
+            EditClass::LocalToFunction { line_map, .. } => line_map,
+            EditClass::Global => return None,
+        };
+        // The selector lines, pre- and post-edit. For every relabel class
+        // the post-edit trace's blamable lines are exactly the pre-edit
+        // ones pushed through the map.
+        let old_blamable = prev.localizer.trace().blamable_lines();
+        let canon = |lines: &mut Vec<u32>| {
+            lines.sort_unstable();
+            lines.dedup();
+        };
+        let mut old_effective: Vec<u32> = prev
+            .options
+            .trusted_lines
+            .iter()
+            .filter(|&&l| old_blamable.binary_search(&Line(l)).is_ok())
+            .map(|&l| map.remap(Line(l)).0)
+            .collect();
+        canon(&mut old_effective);
+        let new_blamable: std::collections::BTreeSet<u32> =
+            old_blamable.iter().map(|&l| map.remap(l).0).collect();
+        let mut new_effective: Vec<u32> = job
+            .options
+            .trusted_lines
+            .iter()
+            .copied()
+            .filter(|l| new_blamable.contains(l))
+            .collect();
+        canon(&mut new_effective);
+        if old_effective != new_effective {
+            return None;
+        }
+        prev.cached_report(&job.inputs[0])
+            .map(|report| report.remap_lines(map))
+    }
+
+    /// Fetches (or delta-builds) the prepared entry for a *revision*: an
+    /// edited program whose pre-edit preparation may still be cached under
+    /// `prev_key`. On a miss for the revision's own key, the new AST is
+    /// diffed against the cached pre-edit segments and the preparation is
+    /// reused whenever the edit provably cannot change it
+    /// ([`Localizer::reprepare_classified`]); otherwise this falls back to
+    /// the same cold build a plain `localize` would run — the answer is
+    /// identical either way, only the cost differs. Returns the entry, the
+    /// hit flag, the build milliseconds, the delta label, whether the
+    /// bit-blasted preparation was reused, and — for relabel-class edits
+    /// with a remembered pre-edit report — the report to serve without
+    /// solving.
+    #[allow(clippy::type_complexity)]
+    fn revised_entry(
+        &self,
+        job: &Job,
+        program: &minic::Program,
+        key: u64,
+        prev: Option<&Arc<PreparedEntry>>,
+    ) -> Result<
+        (
+            Arc<PreparedEntry>,
+            bool,
+            u128,
+            &'static str,
+            bool,
+            Option<LocalizationReport>,
+        ),
+        String,
+    > {
+        let mut build_ms = 0u128;
+        // Defaults cover the path where the entry already exists (or a
+        // concurrent builder made it): everything was reused.
+        let mut delta: &'static str = "cache_hit";
+        let mut reused = true;
+        let mut remapped: Option<LocalizationReport> = None;
+        let (result, hit) = self.cache.get_or_build(key, || {
+            let started = Instant::now();
+            let built = match prev {
+                None => {
+                    // The pre-edit entry is gone (evicted, never built, or a
+                    // bogus key): a revision of nothing is a cold build.
+                    delta = "prev_missing";
+                    reused = false;
+                    self.build_entry(job, program)
+                }
+                Some(prev) => {
+                    let new_segments = minic::segment_program(program);
+                    let class = minic::classify_edit(&prev.segments, &new_segments);
+                    // The relabel classes reuse a structure that already
+                    // checked clean; every other class must re-typecheck so
+                    // a revise answers exactly like a cold build would
+                    // (including its errors). (A relabel-class edit whose
+                    // *options* changed still skips soundly: typing depends
+                    // only on the program, and the structure is identical
+                    // to the checked pre-edit AST. Option mismatches are
+                    // the core's call — `reprepare_classified` rebuilds and
+                    // reports `RebuiltConfig`, so there is exactly one
+                    // option-compatibility check in the system.)
+                    if !matches!(class, EditClass::Identical | EditClass::LineShift(_)) {
+                        if let Some(first) = minic::check_program(program).first() {
+                            return Err(format!("type error: {first}"));
+                        }
+                    }
+                    match prev.localizer.reprepare_classified(
+                        &class,
+                        program,
+                        &job.entry,
+                        &job.bmc_spec(),
+                        &job.localizer_config(),
+                    ) {
+                        Err(e) => Err(format!("encode error: {e}")),
+                        Ok((localizer, dp)) => {
+                            delta = dp.label();
+                            reused = dp.reused();
+                            if reused {
+                                remapped = Self::remap_candidate(prev, job, &class);
+                            }
+                            // Relabeled localizers are born warm; rebuilt
+                            // ones pay preparation here, exactly like the
+                            // cold path.
+                            localizer.warm();
+                            Ok(PreparedEntry::with_segments(
+                                program.clone(),
+                                new_segments,
+                                job,
+                                Arc::new(localizer),
+                            ))
+                        }
+                    }
+                }
+            };
+            build_ms = started.elapsed().as_millis();
+            built
+        });
+        result.map(|entry| (entry, hit, build_ms, delta, reused, remapped))
     }
 
     /// Executes one queued job and returns its response line.
     fn execute(&self, queued: &QueuedJob) -> String {
-        let op: &'static str = if queued.batch { "batch" } else { "localize" };
+        let op: &'static str = match queued.kind {
+            JobKind::Localize => "localize",
+            JobKind::Batch => "batch",
+            JobKind::Revise { .. } => "revise",
+        };
         let program = match minic::parse_program(&queued.job.program) {
             Ok(program) => program,
             Err(e) => return self.error_line(queued.id, format!("parse error: {e}")),
         };
-        let (localizer, hit, build_ms) = match self.prepared_localizer(&queued.job, &program) {
-            Ok(found) => found,
-            Err(message) => return self.error_line(queued.id, message),
+        let key = queued.job.cache_key(&program);
+        // The pre-edit entry, for revisions: the delta source and the
+        // warm-start seed donor.
+        let prev = match queued.kind {
+            JobKind::Revise { prev_key } => self.cache.lookup(prev_key),
+            _ => None,
+        };
+        let (entry, hit, build_ms, delta, reused, mut remapped) = match queued.kind {
+            JobKind::Revise { .. } => {
+                match self.revised_entry(&queued.job, &program, key, prev.as_ref()) {
+                    Ok(found) => found,
+                    Err(message) => return self.error_line(queued.id, message),
+                }
+            }
+            _ => match self.prepared_entry(&queued.job, &program, key) {
+                Ok((entry, hit, build_ms)) => (entry, hit, build_ms, "-", false, None),
+                Err(message) => return self.error_line(queued.id, message),
+            },
         };
         let cache: &'static str = if hit { "hit" } else { "miss" };
+        // `false` when a revise served a remembered (possibly remapped)
+        // report instead of running the MAX-SAT enumeration.
+        let mut solved = true;
 
-        let (payload_key, payload, stats) = if queued.batch {
-            match localizer.localize_batch(&queued.job.inputs) {
+        let (payload_key, payload, stats) = match queued.kind {
+            JobKind::Batch => match entry.localizer.localize_batch(&queued.job.inputs) {
                 Err(e) => return self.error_line(queued.id, e),
                 Ok(ranked) => {
                     let mut merged = bugassist::LocalizerStats::default();
@@ -279,25 +511,72 @@ impl ServerState {
                     self.batch_requests.fetch_add(1, Ordering::Relaxed);
                     ("ranked", ranked_to_json(&ranked), merged)
                 }
-            }
-        } else {
-            match localizer.localize(&queued.job.inputs[0]) {
-                Err(e) => return self.error_line(queued.id, e),
-                Ok(report) => {
-                    let stats = report.stats;
-                    self.localize_requests.fetch_add(1, Ordering::Relaxed);
-                    ("report", report_to_json(&report), stats)
+            },
+            JobKind::Localize | JobKind::Revise { .. } => {
+                let input = &queued.job.inputs[0];
+                // Serve a revision without solving when a byte-equivalent
+                // report is already known: the relabel paths remap the
+                // pre-edit report, and a revise back to an already-served
+                // version (an editor undo) replays that version's report.
+                let served = remapped.take().or_else(|| match queued.kind {
+                    JobKind::Revise { .. } => entry.cached_report(input),
+                    _ => None,
+                });
+                let report = match served {
+                    Some(report) => {
+                        solved = false;
+                        report
+                    }
+                    None => {
+                        // Warm start: seed the racing portfolio with the
+                        // pre-edit report's per-rank costs. Deterministic
+                        // single-strategy jobs ignore the seeds (see
+                        // `Localizer::localize_seeded`), so reports stay
+                        // bit-reproducible.
+                        let seeds = match queued.kind {
+                            JobKind::Revise { .. } if queued.job.options.portfolio => {
+                                prev.as_ref().and_then(|p| p.seed_costs())
+                            }
+                            _ => None,
+                        };
+                        match entry.localizer.localize_seeded(input, seeds.as_deref()) {
+                            Err(e) => return self.error_line(queued.id, e),
+                            Ok(report) => report,
+                        }
+                    }
+                };
+                entry.record_report(input, &report);
+                let stats = report.stats;
+                match queued.kind {
+                    JobKind::Revise { .. } => {
+                        self.revise_requests.fetch_add(1, Ordering::Relaxed);
+                        if reused {
+                            self.revise_reuses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if !solved {
+                            self.revise_solve_skips.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    _ => {
+                        self.localize_requests.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                ("report", report_to_json(&report), stats)
             }
         };
 
-        self.total_reduce_dbs
-            .fetch_add(stats.reduce_dbs, Ordering::Relaxed);
-        self.arena_bytes_peak
-            .fetch_max(stats.arena_bytes, Ordering::Relaxed);
+        // Replayed reports did no new solver work; only actual solves feed
+        // the activity totals.
+        if solved {
+            self.total_reduce_dbs
+                .fetch_add(stats.reduce_dbs, Ordering::Relaxed);
+            self.arena_bytes_peak
+                .fetch_max(stats.arena_bytes, Ordering::Relaxed);
+        }
         *self.last_job.lock().expect("last_job poisoned") = Some(LastJob {
             op,
             cache,
+            delta,
             reduce_dbs: stats.reduce_dbs,
             arena_bytes: stats.arena_bytes,
             prepare_ms: stats.prepare_ms,
@@ -305,15 +584,23 @@ impl ServerState {
             elapsed_ms: stats.elapsed_ms,
         });
 
-        Json::obj(vec![
+        let mut pairs = vec![
             ("id", Json::from(queued.id)),
             ("ok", Json::Bool(true)),
             ("op", Json::str(op)),
             ("cache", Json::str(cache)),
             ("build_ms", Json::from(build_ms)),
-            (payload_key, payload),
-        ])
-        .to_string()
+            // The prepared entry's key: clients chain it into the next
+            // revise's prev_key.
+            ("key", Json::from(key)),
+        ];
+        if let JobKind::Revise { .. } = queued.kind {
+            pairs.push(("delta", Json::str(delta)));
+            pairs.push(("reused", Json::Bool(reused)));
+            pairs.push(("solved", Json::Bool(solved)));
+        }
+        pairs.push((payload_key, payload));
+        Json::obj(pairs).to_string()
     }
 }
 
@@ -339,11 +626,11 @@ impl Drop for ConnectionGuard<'_> {
 
 /// Pushes one job through the bounded queue (blocking on backpressure) and
 /// waits for the worker pool's response line.
-fn enqueue_and_wait(state: &ServerState, id: u64, batch: bool, job: Job) -> String {
+fn enqueue_and_wait(state: &ServerState, id: u64, kind: JobKind, job: Job) -> String {
     let (reply, receive) = mpsc::channel();
     let queued = QueuedJob {
         id,
-        batch,
+        kind,
         job,
         reply,
     };
@@ -383,8 +670,11 @@ fn handle_connection(state: &ServerState, stream: TcpStream, conn_id: u64) {
                     ])
                     .to_string()
                 }
-                Request::Localize(job) => enqueue_and_wait(state, id, false, job),
-                Request::Batch(job) => enqueue_and_wait(state, id, true, job),
+                Request::Localize(job) => enqueue_and_wait(state, id, JobKind::Localize, job),
+                Request::Revise { job, prev_key } => {
+                    enqueue_and_wait(state, id, JobKind::Revise { prev_key }, job)
+                }
+                Request::Batch(job) => enqueue_and_wait(state, id, JobKind::Batch, job),
             },
         };
         if writer
@@ -428,6 +718,9 @@ impl Server {
             local_addr,
             workers,
             localize_requests: AtomicU64::new(0),
+            revise_requests: AtomicU64::new(0),
+            revise_reuses: AtomicU64::new(0),
+            revise_solve_skips: AtomicU64::new(0),
             batch_requests: AtomicU64::new(0),
             error_responses: AtomicU64::new(0),
             total_reduce_dbs: AtomicU64::new(0),

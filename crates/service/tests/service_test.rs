@@ -259,6 +259,216 @@ fn forced_eviction_with_capacity_one_stays_correct() {
     server.shutdown();
 }
 
+/// A two-function program for the edit-loop tests: `main` calls `helper`,
+/// plus an uncalled `scratch` function for dead-code edits. The golden
+/// function is `x + 1`, so `helper(x) + 2 = 2x + 2` fails for `x = 3`.
+fn edit_base_src() -> String {
+    "int scratch(int a) {\nreturn a - 1;\n}\nint helper(int a) {\nreturn a + a;\n}\nint main(int x) {\nint y = helper(x) + 2;\nreturn y;\n}".to_string()
+}
+
+fn edit_job(source: String) -> Job {
+    Job::new(source, "main", JobSpec::ReturnEquals(4), vec![vec![3]])
+}
+
+#[test]
+fn revise_matches_cold_rebuild_byte_for_byte_across_edit_classes() {
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    // Cold request for the base program: establishes the chain's first key.
+    let base = edit_job(edit_base_src());
+    let cold = client.localize(base.clone()).expect("cold localize");
+    assert!(!cold.cache_hit);
+    assert_eq!(canonical(&cold.body), expected_canonical(&base));
+
+    // Edit 1 — a blank line inside main: pure line shift. The revise must
+    // reuse the bit-blasted preparation and still answer exactly like a
+    // cold rebuild of the edited source.
+    let shifted =
+        edit_job(edit_base_src().replace("int main(int x) {\nint y", "int main(int x) {\n\nint y"));
+    let rev1 = client.revise(shifted.clone(), cold.key).expect("revise 1");
+    assert_eq!(rev1.delta, "line_shift");
+    assert!(rev1.reused, "line shift must not re-encode");
+    assert!(
+        !rev1.solved,
+        "line shift must serve the remapped pre-edit report without solving"
+    );
+    assert!(!rev1.outcome.cache_hit, "new key, delta-built");
+    assert_eq!(canonical(&rev1.outcome.body), expected_canonical(&shifted));
+    // The blame moved with the shift: the report differs from the pre-edit
+    // one in lines (sanity check that this is not just a cache hit).
+    assert_ne!(canonical(&rev1.outcome.body), canonical(&cold.body));
+
+    // Edit 2 — dead-code edit on top of the shifted version: `scratch` is
+    // never called from main, so everything is still reused.
+    let dead = edit_job(shifted.program.replace("return a - 1;", "return a - 2;"));
+    let rev2 = client
+        .revise(dead.clone(), rev1.outcome.key)
+        .expect("revise 2");
+    assert_eq!(rev2.delta, "dead_function");
+    assert!(rev2.reused);
+    assert!(!rev2.solved, "dead-code edits replay the report too");
+    assert_eq!(canonical(&rev2.outcome.body), expected_canonical(&dead));
+
+    // Edit 3 — semantic edit in the reachable helper: full re-encode, same
+    // bytes as a cold build of that source.
+    let semantic = edit_job(dead.program.replace("return a + a;", "return a + a + 1;"));
+    let rev3 = client
+        .revise(semantic.clone(), rev2.outcome.key)
+        .expect("revise 3");
+    assert_eq!(rev3.delta, "function_rebuild");
+    assert!(!rev3.reused);
+    assert!(rev3.solved, "a semantic edit must actually re-solve");
+    assert_eq!(canonical(&rev3.outcome.body), expected_canonical(&semantic));
+
+    // Re-revising an already-served source is a plain cache hit.
+    let rev4 = client
+        .revise(semantic.clone(), rev3.outcome.key)
+        .expect("revise 4");
+    assert_eq!(rev4.delta, "cache_hit");
+    assert!(rev4.reused);
+    assert!(
+        !rev4.solved,
+        "an undo to a served version replays its report"
+    );
+    assert!(rev4.outcome.cache_hit);
+    assert_eq!(rev4.outcome.key, rev3.outcome.key);
+    assert_eq!(canonical(&rev4.outcome.body), expected_canonical(&semantic));
+
+    // A bogus prev_key degrades to a cold build, never an error.
+    let fresh = edit_job(
+        semantic
+            .program
+            .replace("return a + a + 1;", "return a + a + 2;"),
+    );
+    let rev5 = client.revise(fresh.clone(), 0xdead_beef).expect("revise 5");
+    assert_eq!(rev5.delta, "prev_missing");
+    assert!(!rev5.reused);
+    assert!(rev5.solved);
+    assert_eq!(canonical(&rev5.outcome.body), expected_canonical(&fresh));
+
+    // The stats endpoint accounts for the whole chain.
+    let stats = client.stats().expect("stats");
+    let requests = stats.get("requests").expect("requests");
+    assert_eq!(requests.get("revise").and_then(Json::as_u64), Some(5));
+    // line_shift + dead_function + cache_hit reused; the rebuilds did not.
+    assert_eq!(
+        requests.get("revise_reuses").and_then(Json::as_u64),
+        Some(3)
+    );
+    // ... and those same three never ran the MAX-SAT enumeration.
+    assert_eq!(
+        requests.get("revise_solve_skips").and_then(Json::as_u64),
+        Some(3)
+    );
+    let last = stats.get("last_job").expect("last_job");
+    assert_eq!(last.get("op").and_then(Json::as_str), Some("revise"));
+    assert_eq!(
+        last.get("delta").and_then(Json::as_str),
+        Some("prev_missing")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn revise_resolves_when_a_shifted_statement_lands_on_a_trusted_line() {
+    // Pre-edit, trusted line 3 is blank — it hardens nothing. The edit
+    // deletes the blank, so the statement from line 4 now sits on the
+    // trusted line 3 and a cold build must never blame it. Serving the
+    // remapped pre-edit report (where that statement was untrusted and
+    // blamable) would silently break both the byte-identity guarantee and
+    // the trusted-lines contract, so the revise must detect the effective
+    // trusted-selector change and actually re-solve.
+    let mut before = Job::new(
+        "int main(int x) {\nint y = x + 2;\n\nint z = y + 0;\nreturn z;\n}".to_string(),
+        "main",
+        JobSpec::ReturnEquals(4),
+        vec![vec![3]],
+    );
+    before.options.trusted_lines = vec![3];
+    let mut after = Job::new(
+        "int main(int x) {\nint y = x + 2;\nint z = y + 0;\nreturn z;\n}".to_string(),
+        "main",
+        JobSpec::ReturnEquals(4),
+        vec![vec![3]],
+    );
+    after.options.trusted_lines = vec![3];
+
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let cold = client.localize(before.clone()).expect("cold localize");
+    assert_eq!(canonical(&cold.body), expected_canonical(&before));
+    // Pre-edit, line 4 ("int z = ...") is blamable.
+    let pre_lines = cold
+        .body
+        .get("suspect_lines")
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert!(pre_lines.contains(&Json::Int(4)), "{pre_lines:?}");
+
+    let rev = client.revise(after.clone(), cold.key).expect("revise");
+    assert_eq!(rev.delta, "line_shift", "still a pure line shift");
+    assert!(rev.reused, "the bit-blast is still reusable");
+    assert!(
+        rev.solved,
+        "the effective trusted set changed: the report must be re-solved, not remapped"
+    );
+    assert_eq!(canonical(&rev.outcome.body), expected_canonical(&after));
+    let post_lines = rev
+        .outcome
+        .body
+        .get("suspect_lines")
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert!(
+        !post_lines.contains(&Json::Int(3)),
+        "trusted line 3 blamed after revise: {post_lines:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn revise_reports_cold_build_errors_verbatim() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let base = edit_job(edit_base_src());
+    let cold = client.localize(base.clone()).expect("cold localize");
+
+    // An edit that breaks the *dead* function's types: a cold build of this
+    // source fails typecheck, so the revise must too — reuse paths never
+    // skip an error a cold rebuild would report.
+    let broken = edit_job(edit_base_src().replace("return a - 1;", "return nosuchvar;"));
+    let err = client.revise(broken, cold.key).expect_err("must fail");
+    assert!(
+        matches!(&err, ClientError::Server(m) if m.contains("type error")),
+        "{err:?}"
+    );
+
+    // Options changed alongside the edit: the old preparation answers a
+    // different question, so the revise silently falls back to a cold
+    // build with the new options.
+    let mut wider =
+        edit_job(edit_base_src().replace("int main(int x) {\nint y", "int main(int x) {\n\nint y"));
+    wider.options.width = 16;
+    let rev = client.revise(wider.clone(), cold.key).expect("revise");
+    assert_eq!(rev.delta, "options_changed");
+    assert!(!rev.reused);
+    assert_eq!(canonical(&rev.outcome.body), expected_canonical(&wider));
+    server.shutdown();
+}
+
 #[test]
 fn health_stats_and_error_paths() {
     let server = Server::start(ServiceConfig {
