@@ -40,6 +40,7 @@ fn bench_tcas_pipeline() {
         unwind: 6,
         max_inline_depth: 8,
         concretize: Vec::new(),
+        ..EncodeConfig::default()
     };
     group.bench("encode_tcas_trace_formula", || {
         let trace =

@@ -379,6 +379,13 @@ fn main() {
     let stats = client.stats().expect("final stats");
     let solver = stats.get("solver").expect("solver section").clone();
     let queue = stats.get("queue").expect("queue section").clone();
+    // Formula-diet totals (gate-cache hits, preprocessor removals) across
+    // every solved job of the run; a dead diet pipeline fails the bench.
+    let formula = stats.get("formula").expect("formula section").clone();
+    assert!(
+        formula.get("vars_eliminated").and_then(Json::as_u64) > Some(0),
+        "the CNF simplifier eliminated nothing across the whole run: {formula:?}"
+    );
     server.shutdown();
 
     // The edit loop's reason to exist: re-localizing after an edit through
@@ -515,6 +522,7 @@ fn main() {
         ),
         ("queue", queue),
         ("solver", solver),
+        ("formula", formula),
     ]);
     let pretty = report.pretty();
     std::fs::write(&output, &pretty).expect("write benchmark json");

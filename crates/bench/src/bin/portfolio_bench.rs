@@ -23,7 +23,7 @@ fn encode_config() -> EncodeConfig {
         width: 16,
         unwind: 6,
         max_inline_depth: 8,
-        concretize: Vec::new(),
+        ..EncodeConfig::default()
     }
 }
 
@@ -80,8 +80,68 @@ fn main() {
         failing.len()
     );
 
-    // --- single-extraction comparison: each strategy and the portfolio -----
+    // --- formula-diet counters: encode size before/after the two stages ----
+    // Printed in every mode (including CI's `--samples 1` quick mode) and
+    // *asserted*: a silently disabled gate cache or CNF simplifier fails the
+    // build instead of quietly regressing the formula size.
     let spec = Spec::ReturnEquals(golden);
+    let diet = {
+        let config = localizer_config(Strategy::FuMalik, false);
+        let localizer = Localizer::new(&faulty, TCAS_ENTRY, &spec, &config).expect("TCAS encodes");
+        localizer.warm();
+        let report = localizer.localize(probe).expect("localization succeeds");
+        let stats = report.stats;
+        let encode = localizer.trace().stats;
+        assert!(
+            encode.gates_cached > 0,
+            "gate cache reported no sharing on TCAS"
+        );
+        assert!(
+            stats.vars_eliminated > 0 && stats.hard_clauses < stats.hard_clauses_pre_simplify,
+            "CNF simplifier reported no reduction on TCAS: {stats:?}"
+        );
+        let mut raw_config = localizer_config(Strategy::FuMalik, false);
+        raw_config.encode.gate_cache = false;
+        raw_config.simplify = false;
+        let raw = Localizer::new(&faulty, TCAS_ENTRY, &spec, &raw_config).expect("TCAS encodes");
+        raw.warm();
+        let raw_report = raw.localize(probe).expect("localization succeeds");
+        for (label, value) in [
+            ("encode_gates_cached", encode.gates_cached),
+            ("encode_gates_emitted", encode.gates_emitted),
+            ("encode_gates_folded", encode.gates_folded),
+            ("vars_raw", raw_report.stats.variables as u64),
+            ("vars_cached", stats.variables as u64),
+            ("hard_clauses_raw", raw_report.stats.hard_clauses as u64),
+            (
+                "hard_clauses_pre_simplify",
+                stats.hard_clauses_pre_simplify as u64,
+            ),
+            ("hard_clauses_simplified", stats.hard_clauses as u64),
+            ("clauses_subsumed", stats.clauses_subsumed),
+            ("vars_eliminated", stats.vars_eliminated),
+            ("simplify_ms", stats.simplify_ms as u64),
+        ] {
+            group.counter(label, value);
+        }
+        format!(
+            "  \"formula_diet\": {{\n    \"encode_gates_cached\": {},\n    \"encode_gates_emitted\": {},\n    \"encode_gates_folded\": {},\n    \"vars_raw\": {},\n    \"vars_cached\": {},\n    \"hard_clauses_raw\": {},\n    \"hard_clauses_pre_simplify\": {},\n    \"hard_clauses_simplified\": {},\n    \"clauses_subsumed\": {},\n    \"vars_eliminated\": {},\n    \"simplify_ms\": {},\n    \"hard_clause_reduction\": {:.3}\n  }},",
+            encode.gates_cached,
+            encode.gates_emitted,
+            encode.gates_folded,
+            raw_report.stats.variables,
+            stats.variables,
+            raw_report.stats.hard_clauses,
+            stats.hard_clauses_pre_simplify,
+            stats.hard_clauses,
+            stats.clauses_subsumed,
+            stats.vars_eliminated,
+            stats.simplify_ms,
+            1.0 - stats.hard_clauses as f64 / raw_report.stats.hard_clauses as f64,
+        )
+    };
+
+    // --- single-extraction comparison: each strategy and the portfolio -----
     let mut strategy_ms: Vec<(String, f64)> = Vec::new();
     for (label, strategy, portfolio) in [
         ("fu_malik", Strategy::FuMalik, false),
@@ -145,7 +205,7 @@ fn main() {
         .map(|(label, ms)| format!("    \"{label}_ms\": {ms:.3}"))
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"tcas_v1_localization\",\n  \"pool\": {{\"size\": 300, \"seed\": 2011}},\n  \"encode\": {{\"width\": 16, \"unwind\": 6}},\n  \"max_suspect_sets\": 4,\n  \"samples_per_measurement\": {samples},\n  \"hardware_threads\": {hardware_threads},\n  \"portfolio_mode\": \"{}\",\n  \"single_extraction\": {{\n{}\n  }},\n  \"forced_race_chain120_ms\": {forced_race_ms:.3},\n  \"fu_malik_chain120_solver\": {{\n    \"sat_calls\": {},\n    \"conflicts\": {},\n    \"reduce_dbs\": {},\n    \"removed_learnts\": {},\n    \"arena_bytes\": {}\n  }},\n  \"batch\": {{\n    \"failing_tests\": {},\n    \"sequential_loop_ms\": {sequential_ms:.3},\n    \"localize_batch_ms\": {batched_ms:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"tcas_v1_localization\",\n  \"pool\": {{\"size\": 300, \"seed\": 2011}},\n  \"encode\": {{\"width\": 16, \"unwind\": 6}},\n  \"max_suspect_sets\": 4,\n  \"samples_per_measurement\": {samples},\n  \"hardware_threads\": {hardware_threads},\n  \"portfolio_mode\": \"{}\",\n{diet}\n  \"single_extraction\": {{\n{}\n  }},\n  \"forced_race_chain120_ms\": {forced_race_ms:.3},\n  \"fu_malik_chain120_solver\": {{\n    \"sat_calls\": {},\n    \"conflicts\": {},\n    \"reduce_dbs\": {},\n    \"removed_learnts\": {},\n    \"arena_bytes\": {}\n  }},\n  \"batch\": {{\n    \"failing_tests\": {},\n    \"sequential_loop_ms\": {sequential_ms:.3},\n    \"localize_batch_ms\": {batched_ms:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
         if hardware_threads >= 2 {
             "threaded_race"
         } else {

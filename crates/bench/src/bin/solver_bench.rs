@@ -93,6 +93,65 @@ fn main() {
         }
     }
 
+    // Encode-size counters for the formula diet, measured on a bit-blast of
+    // the TCAS resolution logic: gates cached vs. emitted, and the
+    // vars/clauses trajectory raw -> hash-consed -> simplified. Printed in
+    // quick mode too, so CI logs always show the current formula sizes.
+    {
+        let program = siemens::tcas_program();
+        let encode = bmc::EncodeConfig {
+            width: 16,
+            unwind: 6,
+            max_inline_depth: 8,
+            ..bmc::EncodeConfig::default()
+        };
+        let raw_encode = bmc::EncodeConfig {
+            gate_cache: false,
+            ..encode.clone()
+        };
+        let spec = bmc::Spec::Assertions;
+        let raw = bmc::encode_program(&program, siemens::TCAS_ENTRY, &spec, &raw_encode)
+            .expect("TCAS encodes");
+        let cached = bmc::encode_program(&program, siemens::TCAS_ENTRY, &spec, &encode)
+            .expect("TCAS encodes");
+        let mut frozen: Vec<sat::Var> = vec![cached.property.var()];
+        for (_, bv) in &cached.inputs {
+            frozen.extend(bv.bits().iter().map(|b| b.var()));
+        }
+        let simplified = sat::simplify(
+            cached.cnf.formula(),
+            &frozen,
+            &sat::SimplifyConfig::default(),
+        );
+        assert!(
+            cached.stats.gates_cached > 0 && simplified.stats.vars_eliminated > 0,
+            "formula diet inactive on the TCAS encode"
+        );
+        for (label, value) in [
+            ("tcas_encode_vars_raw", raw.stats.variables as u64),
+            ("tcas_encode_vars_cached", cached.stats.variables as u64),
+            ("tcas_encode_clauses_raw", raw.stats.clauses as u64),
+            ("tcas_encode_clauses_cached", cached.stats.clauses as u64),
+            (
+                "tcas_encode_clauses_simplified",
+                simplified.stats.clauses_after as u64,
+            ),
+            ("tcas_encode_gates_cached", cached.stats.gates_cached),
+            ("tcas_encode_gates_folded", cached.stats.gates_folded),
+            (
+                "tcas_simplify_vars_eliminated",
+                simplified.stats.vars_eliminated,
+            ),
+            (
+                "tcas_simplify_clauses_subsumed",
+                simplified.stats.clauses_subsumed,
+            ),
+        ] {
+            group.counter(label, value);
+            counters.push((label.to_string(), value));
+        }
+    }
+
     let ms = time_ms(&mut group, "incremental_assumption_sweep", || {
         // One persistent solver, 60 selector-guarded implications, solved
         // under rotating assumption sets: the FuMalik call pattern.

@@ -135,6 +135,7 @@ fn tcas_localizer_config(max_suspect_sets: usize) -> LocalizerConfig {
             unwind: 6,
             max_inline_depth: 8,
             concretize: Vec::new(),
+            ..EncodeConfig::default()
         },
         max_suspect_sets,
         trusted_lines: tcas_trusted_lines(),
@@ -314,6 +315,7 @@ fn table3_row(benchmark: &Benchmark) -> Option<Table3Row> {
         unwind: benchmark.unwind,
         max_inline_depth: 16,
         concretize: Vec::new(),
+        ..EncodeConfig::default()
     };
     let before = bmc::encode_program(&faulty, benchmark.entry, &spec, &base_encode).ok()?;
 
@@ -400,6 +402,7 @@ pub fn run_repair_experiment() -> RepairExperiment {
             unwind: benchmark.unwind,
             max_inline_depth: 8,
             concretize: Vec::new(),
+            ..EncodeConfig::default()
         },
         max_suspect_sets: 6,
         trusted_lines: benchmark.trusted_lines.clone(),
@@ -483,6 +486,7 @@ pub fn run_loop_experiment() -> LoopExperiment {
             unwind: benchmark.unwind,
             max_inline_depth: 8,
             concretize: Vec::new(),
+            ..EncodeConfig::default()
         },
         max_suspect_sets: 6,
         ..LocalizerConfig::default()

@@ -6,7 +6,10 @@
 //!
 //! * [`Encoder`] — fixed-width two's-complement [`BitVec`]s, Tseitin gates,
 //!   ripple-carry addition/subtraction, shift-and-add multiplication,
-//!   restoring division, comparators, barrel shifters and multiplexers;
+//!   restoring division, comparators, barrel shifters and multiplexers, all
+//!   **hash-consed** through an AIG-style gate cache (operand-normalized
+//!   structural hashing with constant folding and complement rules) so that
+//!   repeated subcircuits are encoded once — see [`EncoderStats`];
 //! * [`GroupedCnf`] / [`GroupId`] — every emitted clause records which program
 //!   statement (clause group) it came from, which is exactly the information
 //!   the paper's clause-grouping reduction (Sec. 3.4) needs to attach one
@@ -41,5 +44,5 @@
 mod encoder;
 mod grouped;
 
-pub use encoder::{BitVec, Encoder};
+pub use encoder::{BitVec, Encoder, EncoderStats};
 pub use grouped::{GroupId, GroupedCnf};

@@ -51,6 +51,11 @@ pub struct EncodeConfig {
     /// are compile-time constants (the concolic-style "C" trace reduction of
     /// Sec. 6.2). The bug is assumed not to be inside these functions.
     pub concretize: Vec<String>,
+    /// Hash-cons structurally identical gates through the encoder's AIG-style
+    /// cache (default `true`). Disabling it reproduces the naive
+    /// one-Tseitin-gate-per-call encoding, which the equivalence tests use as
+    /// the reference.
+    pub gate_cache: bool,
 }
 
 impl Default for EncodeConfig {
@@ -60,6 +65,7 @@ impl Default for EncodeConfig {
             unwind: 8,
             max_inline_depth: 16,
             concretize: Vec::new(),
+            gate_cache: true,
         }
     }
 }
@@ -91,6 +97,13 @@ pub struct EncodeStats {
     pub clauses: usize,
     /// Number of statement groups.
     pub groups: usize,
+    /// Gate requests answered from the encoder's hash-consing cache instead
+    /// of emitting fresh Tseitin clauses (0 when the cache is disabled).
+    pub gates_cached: u64,
+    /// Gates whose Tseitin clauses were actually emitted.
+    pub gates_emitted: u64,
+    /// Gate requests answered by constant folding / complement rules.
+    pub gates_folded: u64,
 }
 
 /// Error produced by the symbolic encoder.
@@ -229,10 +242,12 @@ pub fn encode_program(
     let entry_fn = program.function(entry).ok_or_else(|| EncodeError {
         message: format!("entry function {entry:?} not found"),
     })?;
+    let mut enc = Encoder::new(config.width);
+    enc.set_gate_cache(config.gate_cache);
     let mut encoder = SymbolicEncoder {
         program,
         config,
-        enc: Encoder::new(config.width),
+        enc,
         globals: HashMap::new(),
         groups: Vec::new(),
         assertions: Vec::new(),
@@ -285,12 +300,16 @@ pub fn encode_program(
         encoder.enc.assert_true(lit);
     }
 
+    let gate_stats = encoder.enc.stats();
     let cnf = encoder.enc.into_cnf();
     let stats = EncodeStats {
         assignments: encoder.assignments,
         variables: cnf.num_vars(),
         clauses: cnf.num_clauses(),
         groups: encoder.groups.len(),
+        gates_cached: gate_stats.gates_cached,
+        gates_emitted: gate_stats.gates_emitted,
+        gates_folded: gate_stats.gates_folded,
     };
     Ok(SymbolicTrace {
         cnf,
@@ -752,7 +771,7 @@ mod tests {
             width: 8,
             unwind: 8,
             max_inline_depth: 8,
-            concretize: Vec::new(),
+            ..EncodeConfig::default()
         }
     }
 

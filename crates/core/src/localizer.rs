@@ -70,6 +70,14 @@ pub struct LocalizerConfig {
     /// portfolio runs its lead strategy alone — see
     /// [`maxsat::PortfolioSolver::solve`].
     pub portfolio: bool,
+    /// Preprocess the prepared hard clauses with [`sat::simplify`] — unit
+    /// propagation, subsumption, self-subsuming resolution and bounded
+    /// variable elimination — before any MAX-SAT solving (default `true`).
+    /// Every selector variable, test-input bit and the property literal is
+    /// frozen, so the soft structure (the unit of blame) survives verbatim
+    /// and per-test hard units still mean what they meant. Disable to get
+    /// the raw bit-blasted formula.
+    pub simplify: bool,
 }
 
 impl Default for LocalizerConfig {
@@ -83,6 +91,7 @@ impl Default for LocalizerConfig {
             base_weight: 1,
             trusted_lines: Vec::new(),
             portfolio: false,
+            simplify: true,
         }
     }
 }
@@ -141,6 +150,22 @@ pub struct LocalizerStats {
     /// Peak end-of-call SAT-solver clause-arena size, in bytes, over the
     /// MAX-SAT calls of this run.
     pub arena_bytes: u64,
+    /// Gate requests the bit-blaster answered from its hash-consing cache
+    /// instead of emitting fresh Tseitin clauses (a property of the shared
+    /// symbolic trace, identical for every call on one localizer).
+    pub encode_gates_cached: u64,
+    /// Hard clauses of the prepared formula *before* CNF preprocessing
+    /// (compare with [`LocalizerStats::hard_clauses`], counted after).
+    pub hard_clauses_pre_simplify: usize,
+    /// Hard clauses the preprocessor removed by subsumption.
+    pub clauses_subsumed: u64,
+    /// Auxiliary variables the preprocessor resolved away (selectors, input
+    /// bits and the property literal are frozen and never eliminated).
+    pub vars_eliminated: u64,
+    /// Wall-clock milliseconds the preprocessor spent shrinking the prepared
+    /// formula. Like the formula itself this is paid once per localizer; the
+    /// recorded value is carried by every report of that localizer.
+    pub simplify_ms: u128,
 }
 
 /// The complete result of localizing one failing execution.
@@ -245,12 +270,27 @@ struct Selector {
 }
 
 /// The input-independent part of the extended trace formula. Building it
-/// costs one pass over the whole grouped CNF, so [`Localizer::localize_batch`]
-/// constructs it once and shares it across every failing test of the batch.
+/// costs one pass over the whole grouped CNF (plus, by default, one CNF
+/// preprocessing run), so [`Localizer::localize_batch`] constructs it once
+/// and shares it across every failing test of the batch.
 #[derive(Clone, Debug)]
 struct PreparedFormula {
     selectors: Vec<Selector>,
+    /// The selector-relaxed TF1, already simplified when
+    /// [`LocalizerConfig::simplify`] is on.
     template: MaxSatInstance,
+    /// Hard-clause count of the template as originally built, before
+    /// preprocessing (equal to the template's count when simplification is
+    /// off).
+    hard_clauses_pre_simplify: usize,
+    /// What the preprocessor did (all zero when simplification is off).
+    simplify_stats: sat::SimplifyStats,
+    /// Milliseconds the preprocessing run took, paid once per localizer.
+    simplify_ms: u128,
+    /// Extends models of the simplified template back to the full
+    /// bit-blasted variable space, so counterexample values and repair
+    /// witnesses decode even for eliminated auxiliary variables.
+    reconstruction: sat::ModelReconstruction,
 }
 
 /// How [`Localizer::reprepare`] obtained the localizer for an edited
@@ -393,6 +433,7 @@ impl Localizer {
             && a.loop_weighting == b.loop_weighting
             && a.base_weight == b.base_weight
             && a.portfolio == b.portfolio
+            && a.simplify == b.simplify
     }
 
     /// Delta preparation: builds a localizer for `new_program` — an edited
@@ -510,6 +551,10 @@ impl Localizer {
             let _ = prepared.set(PreparedFormula {
                 selectors,
                 template: old.template.clone(),
+                hard_clauses_pre_simplify: old.hard_clauses_pre_simplify,
+                simplify_stats: old.simplify_stats,
+                simplify_ms: old.simplify_ms,
+                reconstruction: old.reconstruction.clone(),
             });
         }
         Localizer {
@@ -657,9 +702,37 @@ impl Localizer {
                 }
             }
         }
+        let hard_clauses_pre_simplify = template.num_hard();
+        let mut simplify_stats = sat::SimplifyStats::default();
+        let mut simplify_ms = 0u128;
+        let mut reconstruction = sat::ModelReconstruction::default();
+        if self.config.simplify {
+            // Freeze everything that is constrained or read *after*
+            // preparation: the selectors (soft units, trusted units, blocking
+            // clauses), the test-input bits ([[test]] hard units) and the
+            // property literal. Everything else is fair game.
+            let mut frozen: Vec<sat::Var> = selectors.iter().map(|s| s.lit.var()).collect();
+            for (_, bv) in &self.trace.inputs {
+                frozen.extend(bv.bits().iter().map(|b| b.var()));
+            }
+            frozen.push(self.trace.property.var());
+            let started = Instant::now();
+            let simplified =
+                sat::simplify(template.hard(), &frozen, &sat::SimplifyConfig::default());
+            simplify_ms = started.elapsed().as_millis();
+            simplify_stats = simplified.stats;
+            reconstruction = simplified.reconstruction;
+            let mut shrunk = MaxSatInstance::from_hard(simplified.cnf);
+            shrunk.ensure_vars(template.num_vars());
+            template = shrunk;
+        }
         PreparedFormula {
             selectors,
             template,
+            hard_clauses_pre_simplify,
+            simplify_stats,
+            simplify_ms,
+            reconstruction,
         }
     }
 
@@ -696,25 +769,32 @@ impl Localizer {
         // call pays, every later call — from any thread — reuses it) and
         // cloned into the per-test base instance.
         let (prepared, prepare_ms) = self.prepared_timed();
-        self.localize_with(
-            &prepared.selectors,
-            prepared.template.clone(),
-            failing_input,
-            prepare_ms,
-            cost_hints,
-        )
+        self.localize_with(prepared, failing_input, prepare_ms, cost_hints)
     }
 
-    /// Runs Algorithm 1 for one failing test, taking ownership of a template
-    /// instance (the selector-relaxed TF1) to extend into the base formula.
+    /// Extends a model of the *prepared* (possibly simplified) formula back
+    /// to the full bit-blasted variable space, restoring the values of
+    /// auxiliary variables the preprocessor eliminated. Counterexample
+    /// decoding ([`SymbolicTrace::inputs_from_model`]) and flip-repair
+    /// witnesses read arbitrary trace variables, so they go through this
+    /// before interpreting a solver model. A no-op when simplification is
+    /// disabled or nothing was eliminated.
+    pub fn extend_model(&self, model: &mut Vec<bool>) {
+        let (prepared, _) = self.prepared_timed();
+        prepared.reconstruction.extend(model);
+    }
+
+    /// Runs Algorithm 1 for one failing test over the shared prepared
+    /// formula (the selector-relaxed, preprocessed TF1).
     fn localize_with(
         &self,
-        selectors: &[Selector],
-        template: MaxSatInstance,
+        prepared: &PreparedFormula,
         failing_input: &[i64],
         prepare_ms: u128,
         cost_hints: Option<&[u64]>,
     ) -> Result<LocalizationReport, LocalizeError> {
+        let selectors: &[Selector] = &prepared.selectors;
+        let template = prepared.template.clone();
         if failing_input.len() != self.trace.inputs.len() {
             return Err(LocalizeError::ArityMismatch {
                 expected: self.trace.inputs.len(),
@@ -747,6 +827,11 @@ impl Localizer {
             hard_clauses: base.num_hard(),
             variables: base.num_vars(),
             prepare_ms,
+            encode_gates_cached: self.trace.stats.gates_cached,
+            hard_clauses_pre_simplify: prepared.hard_clauses_pre_simplify,
+            clauses_subsumed: prepared.simplify_stats.clauses_subsumed,
+            vars_eliminated: prepared.simplify_stats.vars_eliminated,
+            simplify_ms: prepared.simplify_ms,
             ..LocalizerStats::default()
         };
 
@@ -783,6 +868,12 @@ impl Localizer {
             if solution.falsified.is_empty() {
                 break; // Everything satisfiable: nothing (left) to blame.
             }
+            // The engine returns the *canonical* optimum (the equal-cost
+            // solution keeping the lowest soft ids satisfied — see
+            // `MaxSatSolver`'s canonical refinement), so the blamed set — and
+            // with it the whole enumeration — is a function of the program
+            // and test alone, byte-identical across formula diets (gate
+            // cache on/off, simplification on/off).
             let blamed: Vec<usize> = solution
                 .falsified
                 .iter()
@@ -1109,6 +1200,46 @@ mod tests {
         assert_send_sync::<LocalizationReport>();
         assert_send_sync::<LocalizerStats>();
         assert_send_sync::<crate::ranking::RankedReport>();
+    }
+
+    #[test]
+    fn extend_model_restores_eliminated_variables() {
+        use sat::{SatResult, Solver};
+        // With simplification on, a model of the *prepared* (simplified)
+        // hard clauses assigns nothing meaningful to eliminated auxiliary
+        // variables; `extend_model` must restore them so the full
+        // bit-blasted formula is satisfied and the counterexample inputs
+        // decode. Drive it exactly the way a witness consumer would: solve
+        // the prepared template under a concrete failing input with the
+        // property *violated*, extend, then check against the original.
+        let program = motivating_example();
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap();
+        let (prepared, _) = localizer.prepared_timed();
+        assert!(
+            prepared.simplify_stats.vars_eliminated > 0,
+            "the test is vacuous unless something was eliminated"
+        );
+        let mut solver = Solver::from_formula(prepared.template.hard());
+        let mut assumptions = localizer.trace.input_assumption_lits(&[1]);
+        // Every selector on: the faithful program semantics.
+        for selector in &prepared.selectors {
+            assumptions.push(selector.lit);
+        }
+        assumptions.push(!localizer.trace.property);
+        assert_eq!(solver.solve_assuming(&assumptions), SatResult::Sat);
+        // Keep the selector assignments: the reconstruction's saved clauses
+        // mention selector literals, and truncating them away would let the
+        // replay pick arbitrary values for the eliminated variables.
+        let mut model = solver.model();
+        model.resize(prepared.template.num_vars(), false);
+        localizer.extend_model(&mut model);
+        // After extension it does — augmented with the selector/property
+        // facts that also hold in the simplified solve.
+        for (clause, _) in localizer.trace.cnf.iter() {
+            let augmented = clause.eval(&model);
+            assert!(augmented, "unsatisfied original clause: {clause:?}");
+        }
+        assert_eq!(localizer.trace.inputs_from_model(&model), vec![1]);
     }
 
     #[test]

@@ -10,6 +10,13 @@
 use sat::{Lit, Solver};
 use std::collections::BTreeMap;
 
+/// Largest input size still encoded pairwise by [`encode_at_most_one`];
+/// larger sets get the linear sequential (Sinz) ladder. Fu–Malik's core
+/// trimming keys off the same constant: cores at or below it would get the
+/// tiny pairwise encoding anyway, so a trimming re-solve has nothing to
+/// recoup there.
+pub const PAIRWISE_AT_MOST_ONE_MAX: usize = 6;
+
 /// Adds clauses enforcing *at most one* of `lits` is true.
 ///
 /// Uses the pairwise encoding for small inputs and the sequential (Sinz)
@@ -18,7 +25,7 @@ pub fn encode_at_most_one(solver: &mut Solver, lits: &[Lit]) {
     if lits.len() <= 1 {
         return;
     }
-    if lits.len() <= 6 {
+    if lits.len() <= PAIRWISE_AT_MOST_ONE_MAX {
         for i in 0..lits.len() {
             for j in (i + 1)..lits.len() {
                 solver.add_clause([!lits[i], !lits[j]]);
@@ -258,6 +265,41 @@ mod tests {
         assert_eq!(count_true(&solver, &xs), 1);
         solver.add_clause([xs[9]]);
         assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    /// Pins the pairwise/sequential switchover by its size signature, so a
+    /// regression to quadratic pairwise on large cores (or to the
+    /// aux-variable-hungry ladder on tiny ones) fails loudly: pairwise adds
+    /// `n·(n−1)/2` clauses and **no** variables; the Sinz ladder adds `n−1`
+    /// variables and `3n−4` clauses.
+    #[test]
+    fn at_most_one_encoding_switchover_is_pinned() {
+        // At the threshold: still pairwise. (Retuning the constant is an
+        // intentional event — this test and the core-trimming heuristic in
+        // `solve.rs` both key off PAIRWISE_AT_MOST_ONE_MAX.)
+        let mut solver = Solver::new();
+        let xs = fresh(&mut solver, PAIRWISE_AT_MOST_ONE_MAX);
+        let (vars_before, clauses_before) = (solver.num_vars(), solver.num_clauses());
+        encode_at_most_one(&mut solver, &xs);
+        assert_eq!(solver.num_vars(), vars_before, "pairwise adds no aux vars");
+        assert_eq!(solver.num_clauses(), clauses_before + 15, "C(6,2) clauses");
+
+        // Just above: sequential.
+        let mut solver = Solver::new();
+        let xs = fresh(&mut solver, PAIRWISE_AT_MOST_ONE_MAX + 1);
+        let (vars_before, clauses_before) = (solver.num_vars(), solver.num_clauses());
+        encode_at_most_one(&mut solver, &xs);
+        assert_eq!(solver.num_vars(), vars_before + 6, "n−1 ladder vars");
+        assert_eq!(solver.num_clauses(), clauses_before + 17, "3n−4 clauses");
+
+        // Far above, the ladder's linear size is what keeps Fu–Malik's
+        // per-core exactly-one constraints small: 50 literals cost 146
+        // clauses instead of the pairwise 1225.
+        let mut solver = Solver::new();
+        let xs = fresh(&mut solver, 50);
+        let clauses_before = solver.num_clauses();
+        encode_at_most_one(&mut solver, &xs);
+        assert_eq!(solver.num_clauses(), clauses_before + 146);
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //!
 //! Both return the same [`MaxSatSolution`], including the **CoMSS** (the set
 //! of soft clauses falsified by the optimal model) that BugAssist interprets
-//! as a candidate error localization.
+//! as a candidate error localization. By default every optimum is refined to
+//! the **canonical** one — the equal-cost solution keeping the lowest
+//! [`SoftId`]s satisfied ([`MaxSatSolver::set_canonical`]) — so the reported
+//! CoMSS is a function of the instance's semantics, identical across
+//! strategies and across different CNF representations of the same
+//! projection (hash-consed or not, preprocessed or not).
 
-use crate::encodings::{encode_exactly_one, GeneralizedTotalizer};
+use crate::encodings::{encode_exactly_one, GeneralizedTotalizer, PAIRWISE_AT_MOST_ONE_MAX};
 use crate::instance::{MaxSatInstance, SoftId};
 use crate::portfolio::{PortfolioSolver, RaceContext};
 use sat::{Lit, SatResult, Solver};
@@ -97,6 +102,12 @@ pub struct MaxSatStats {
     pub sat_calls: u64,
     /// Number of unsatisfiable cores processed (Fu–Malik only).
     pub cores: u64,
+    /// Cores the trimming re-solve actually shrank (Fu–Malik only).
+    pub cores_trimmed: u64,
+    /// Total selectors dropped from cores by trimming — every one saved is a
+    /// relaxation variable not allocated and a smaller exactly-one
+    /// constraint.
+    pub core_lits_trimmed: u64,
     /// Number of SAT-solver variables at the end of the run.
     pub final_vars: usize,
     /// Number of SAT-solver conflicts accumulated.
@@ -141,7 +152,7 @@ impl MaxSatStats {
 /// assert_eq!(solution.cost, 1);
 /// assert_eq!(solution.falsified.len(), 1);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MaxSatSolver {
     strategy: Strategy,
     stats: MaxSatStats,
@@ -157,6 +168,18 @@ pub struct MaxSatSolver {
     /// deterministic single strategies ignore it so their answers never
     /// depend on what a previous run cost.
     bound_hint: Option<u64>,
+    /// Refine every optimum into the canonical one (see
+    /// [`MaxSatSolver::set_canonical`]).
+    canonical: bool,
+    /// Trim each Fu–Malik core with one re-solve before relaxing it (see
+    /// [`MaxSatSolver::set_core_trimming`]).
+    core_trimming: bool,
+}
+
+impl Default for MaxSatSolver {
+    fn default() -> MaxSatSolver {
+        MaxSatSolver::new(Strategy::default())
+    }
 }
 
 impl MaxSatSolver {
@@ -167,7 +190,26 @@ impl MaxSatSolver {
             stats: MaxSatStats::default(),
             portfolio: None,
             bound_hint: None,
+            canonical: true,
+            core_trimming: true,
         }
+    }
+
+    /// Enables or disables canonical-optimum refinement (default on): among
+    /// equal-cost optima, return the one keeping the lowest soft ids
+    /// satisfied, making the `falsified` set a function of the instance
+    /// semantics rather than of the search path. Disable to get the raw
+    /// first optimum the strategy happens to find.
+    pub fn set_canonical(&mut self, enabled: bool) {
+        self.canonical = enabled;
+    }
+
+    /// Enables or disables Fu–Malik core trimming (default on): one cheap
+    /// re-solve per core — for cores above the pairwise at-most-one
+    /// threshold — with only the core as assumptions, keeping the (often
+    /// smaller) returned core before relaxing.
+    pub fn set_core_trimming(&mut self, enabled: bool) {
+        self.core_trimming = enabled;
     }
 
     /// Installs (or clears) a warm-start cost guess for the next
@@ -245,6 +287,72 @@ impl MaxSatSolver {
         }
     }
 
+    /// Refines an optimal model into the **canonical** optimum: among all
+    /// solutions of the proven-optimal cost, the one that keeps the
+    /// lowest-identified soft clauses satisfied (pushing unavoidable blame
+    /// onto the highest [`SoftId`]s). Both complete strategies end in a
+    /// solver state whose models — under the final assumptions — all carry
+    /// exactly the optimal cost, so the refinement is a cheap greedy walk on
+    /// that *warm* solver: pin each soft satisfied in `SoftId` order,
+    /// consulting the current witness model first (a soft the witness
+    /// already satisfies is pinned for free) and asking the solver only when
+    /// the witness disagrees; every SAT answer installs a better witness,
+    /// every UNSAT answer proves the soft is falsified in *all* optima
+    /// consistent with the pinned prefix.
+    ///
+    /// The canonical optimum is a semantic object — a function of the
+    /// instance, not of the search path — so racing strategies, different
+    /// clause layouts and preprocessed/unpreprocessed encodings of the same
+    /// instance all converge to the same `falsified` set. Returns `None`
+    /// only when cancelled by the race.
+    fn canonicalize(
+        &mut self,
+        solver: &mut Solver,
+        instance: &MaxSatInstance,
+        base_assumptions: &[Lit],
+        witness: Vec<bool>,
+        race: Option<&RaceContext>,
+    ) -> Option<Vec<bool>> {
+        if !self.canonical {
+            return Some(witness);
+        }
+        let mut witness = witness;
+        let mut assumptions = base_assumptions.to_vec();
+        for soft in instance.soft_clauses() {
+            if soft.clause.is_empty() {
+                continue; // Unconditionally falsified; nothing to pin.
+            }
+            // Pinning "this soft is satisfied" needs a single assumable
+            // literal: the literal itself for unit softs, otherwise a fresh
+            // indicator t with t → clause.
+            let pin = if soft.clause.len() == 1 {
+                soft.clause.lits()[0]
+            } else {
+                let t = solver.new_var().positive();
+                let mut lits = vec![!t];
+                lits.extend_from_slice(soft.clause.lits());
+                solver.add_clause(lits);
+                t
+            };
+            if soft.clause.eval(&witness) {
+                assumptions.push(pin);
+                continue;
+            }
+            assumptions.push(pin);
+            self.stats.sat_calls += 1;
+            match Self::sat_call(solver, &assumptions, race)? {
+                SatResult::Sat => witness = truncate_model(solver, instance.num_vars()),
+                SatResult::Unsat => {
+                    // Falsified in every optimum consistent with the prefix:
+                    // canonical blame. (The witness already falsifies it, so
+                    // it stays a model of the remaining assumptions.)
+                    assumptions.pop();
+                }
+            }
+        }
+        Some(witness)
+    }
+
     fn solve_fu_malik(
         &mut self,
         instance: &MaxSatInstance,
@@ -294,17 +402,32 @@ impl MaxSatSolver {
             debug_assert_eq!(assumptions.len(), work.len());
             // `cost` is a valid lower bound on the optimum (the WPM1
             // invariant). If a rival already published a model of that cost,
-            // the incumbent is a proven optimum — finish with it.
+            // the incumbent is a proven optimum — finish with it. Rivals
+            // publish raw intermediate incumbents (only their *final*
+            // answers are canonical), and this solver's mid-iteration state
+            // cannot host the canonical walk, so the adopted optimum goes
+            // through a fresh-solver refinement — the adoption shortcut is
+            // rare, the certainty is not.
             if let Some(race) = race {
                 if let Some(incumbent) = race.incumbent_at_most(cost) {
                     self.stats.capture_solver(&solver);
-                    return Some(MaxSatResult::Optimum(incumbent));
+                    let refined = if self.canonical {
+                        canonical_refine_fresh(instance, incumbent, Some(race))?
+                    } else {
+                        incumbent
+                    };
+                    return Some(MaxSatResult::Optimum(refined));
                 }
             }
             self.stats.sat_calls += 1;
             match Self::sat_call(&mut solver, &assumptions, race)? {
                 SatResult::Sat => {
                     let model = truncate_model(&solver, instance.num_vars());
+                    // The WPM1 invariant makes every model under the final
+                    // assumptions exactly optimal, so the canonical greedy
+                    // can run directly on the warm solver.
+                    let model =
+                        self.canonicalize(&mut solver, instance, &assumptions, model, race)?;
                     let falsified = falsified_soft(instance, &model);
                     self.stats.capture_solver(&solver);
                     let solution = MaxSatSolution {
@@ -318,11 +441,38 @@ impl MaxSatSolver {
                     return Some(MaxSatResult::Optimum(solution));
                 }
                 SatResult::Unsat => {
-                    let core: Vec<Lit> = solver.unsat_core().to_vec();
+                    let mut core: Vec<Lit> = solver.unsat_core().to_vec();
                     if core.is_empty() {
                         return Some(MaxSatResult::HardUnsat);
                     }
                     self.stats.cores += 1;
+                    // Core trimming: one cheap re-solve with *only* the core
+                    // as assumptions. The solver still holds the learnt
+                    // clauses that produced the conflict, so this call is
+                    // inexpensive and frequently returns a strictly smaller
+                    // core — fewer relaxation variables and a smaller
+                    // exactly-one constraint below. Only worth it above the
+                    // pairwise at-most-one threshold: smaller cores get the
+                    // quadratic-but-tiny pairwise encoding anyway, so the
+                    // re-solve could only recoup a few binary clauses.
+                    if self.core_trimming && core.len() > PAIRWISE_AT_MOST_ONE_MAX {
+                        self.stats.sat_calls += 1;
+                        match Self::sat_call(&mut solver, &core, race)? {
+                            SatResult::Unsat => {
+                                let trimmed = solver.unsat_core();
+                                if trimmed.len() < core.len() {
+                                    self.stats.cores_trimmed += 1;
+                                    self.stats.core_lits_trimmed +=
+                                        (core.len() - trimmed.len()) as u64;
+                                    core = trimmed.to_vec();
+                                }
+                            }
+                            // `core` conflicts with the formula by
+                            // construction; a SAT answer would contradict the
+                            // unsat-core contract. Keep the original core.
+                            SatResult::Sat => debug_assert!(false, "core was not a core"),
+                        }
+                    }
                     // Hash the core's selectors once: the scan over all work
                     // clauses is then O(softs), not O(cores × softs).
                     let core_set: std::collections::HashSet<Lit> = core.iter().copied().collect();
@@ -455,10 +605,8 @@ impl MaxSatSolver {
         publish(best_cost, &best_model);
 
         if best_cost > base_cost {
-            let gte = match gte {
-                Some(gte) => gte,
-                None => GeneralizedTotalizer::new(&mut solver, &weighted_relax),
-            };
+            let gte =
+                gte.get_or_insert_with(|| GeneralizedTotalizer::new(&mut solver, &weighted_relax));
             loop {
                 if best_cost == base_cost {
                     break;
@@ -492,19 +640,105 @@ impl MaxSatSolver {
             }
         }
 
+        // Canonical refinement: under `at_most(best_cost - base_cost)` every
+        // model of the relaxed formula costs exactly the (now proven)
+        // optimum, so the greedy walks the warm solver. At the base cost the
+        // falsified set is the empty softs alone — already unique.
+        if best_cost > base_cost {
+            let bound = gte
+                .as_ref()
+                .expect("totalizer exists whenever the optimum exceeds the base cost")
+                .at_most(best_cost - base_cost);
+            best_model = self.canonicalize(&mut solver, instance, &bound, best_model, race)?;
+        }
+
         self.stats.capture_solver(&solver);
         let falsified = falsified_soft(instance, &best_model);
-        Some(MaxSatResult::Optimum(MaxSatSolution {
+        let solution = MaxSatSolution {
             cost: best_cost,
             model: best_model,
             falsified,
-        }))
+        };
+        if let Some(race) = race {
+            race.publish(&solution);
+        }
+        Some(MaxSatResult::Optimum(solution))
     }
 }
 
 /// Convenience function: solve with the given strategy.
 pub fn solve(instance: &MaxSatInstance, strategy: Strategy) -> MaxSatResult {
     MaxSatSolver::new(strategy).solve(instance)
+}
+
+/// Canonicalizes a *known-optimal* solution against a fresh solver: hard
+/// clauses plus one assumable satisfaction indicator per soft clause, with a
+/// generalized-totalizer bound pinning the falsified weight at the optimum.
+/// Used where no warm all-models-optimal solver state is available (Fu–Malik
+/// adopting a rival's raw incumbent mid-race). Returns `None` only when
+/// cancelled by the race.
+fn canonical_refine_fresh(
+    instance: &MaxSatInstance,
+    solution: MaxSatSolution,
+    race: Option<&RaceContext>,
+) -> Option<MaxSatSolution> {
+    let mut solver = Solver::new();
+    solver.ensure_vars(instance.num_vars());
+    for clause in instance.hard().iter() {
+        if !solver.add_clause(clause.lits().iter().copied()) {
+            return Some(solution); // Unreachable: the instance has a model.
+        }
+    }
+    let mut base_cost = 0u64;
+    let mut pins: Vec<Option<Lit>> = Vec::with_capacity(instance.num_soft());
+    let mut weighted: Vec<(Lit, u64)> = Vec::new();
+    for soft in instance.soft_clauses() {
+        if soft.clause.is_empty() {
+            base_cost += soft.weight;
+            pins.push(None);
+            continue;
+        }
+        let pin = if soft.clause.len() == 1 {
+            soft.clause.lits()[0]
+        } else {
+            let t = solver.new_var().positive();
+            let mut lits = vec![!t];
+            lits.extend_from_slice(soft.clause.lits());
+            solver.add_clause(lits);
+            t
+        };
+        // `¬pin` over-approximates "falsified", so the bound below admits
+        // every true optimum (set each indicator to its clause's value) and
+        // rejects everything costlier.
+        weighted.push((!pin, soft.weight));
+        pins.push(Some(pin));
+    }
+    if solution.cost <= base_cost {
+        return Some(solution); // Every non-empty soft is satisfied: unique.
+    }
+    let gte = GeneralizedTotalizer::new(&mut solver, &weighted);
+    let mut assumptions = gte.at_most(solution.cost - base_cost);
+    let mut witness = solution.model;
+    witness.resize(instance.num_vars(), false);
+    for (soft, pin) in instance.soft_clauses().iter().zip(&pins) {
+        let Some(pin) = pin else { continue };
+        assumptions.push(*pin);
+        if soft.clause.eval(&witness) {
+            continue;
+        }
+        match MaxSatSolver::sat_call(&mut solver, &assumptions, race)? {
+            SatResult::Sat => witness = truncate_model(&solver, instance.num_vars()),
+            SatResult::Unsat => {
+                assumptions.pop();
+            }
+        }
+    }
+    let falsified = falsified_soft(instance, &witness);
+    Some(MaxSatSolution {
+        cost: solution.cost,
+        model: witness,
+        falsified,
+    })
 }
 
 fn truncate_model(solver: &Solver, num_vars: usize) -> Vec<bool> {
@@ -730,6 +964,86 @@ mod tests {
             // The hint is one-shot: the next solve runs unseeded.
             let again = solver.solve(&inst).into_optimum().expect("satisfiable");
             assert_eq!(again.cost, 1);
+        }
+    }
+
+    #[test]
+    fn core_trimming_runs_on_wide_cores_and_answers_are_canonical() {
+        // Eight soft units x1..x8 against one hard clause forbidding them
+        // all: the (unique, minimal) core is all eight selectors — above the
+        // pairwise threshold, so the trimming re-solve fires. The canonical
+        // refinement must then blame exactly the *highest* soft id (the
+        // canonical optimum keeps low ids satisfied).
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(8);
+        inst.add_hard((1..=8).map(|v| lit(-v)).collect::<Vec<_>>());
+        for v in 1..=8 {
+            inst.add_soft(vec![lit(v)], 1);
+        }
+        let mut solver = MaxSatSolver::new(Strategy::FuMalik);
+        let sol = solver.solve(&inst).into_optimum().expect("satisfiable");
+        assert_eq!(sol.cost, 1);
+        assert_eq!(sol.falsified, vec![SoftId(7)], "canonical blame");
+        let stats = solver.stats();
+        assert!(stats.cores >= 1);
+        // The trimming call is counted: initial UNSAT + trim + final SAT.
+        assert!(stats.sat_calls >= 3, "{stats:?}");
+
+        // Small cores skip the trim, and disabling the knobs entirely still
+        // yields the same optimum cost.
+        let mut plain = MaxSatSolver::new(Strategy::FuMalik);
+        plain.set_core_trimming(false);
+        plain.set_canonical(false);
+        let raw = plain.solve(&inst).into_optimum().expect("satisfiable");
+        assert_eq!(raw.cost, 1);
+    }
+
+    #[test]
+    fn canonical_refinement_is_strategy_independent() {
+        // Several equal-cost optima: any one of x1..x4 can absorb the
+        // conflict with x5. Both strategies must land on the same canonical
+        // falsified set (keep low ids satisfied => blame the highest id
+        // possible), byte-identically.
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(5);
+        for v in 1..=4 {
+            inst.add_soft(vec![lit(v)], 1);
+        }
+        inst.add_soft(vec![lit(-1), lit(-2), lit(-3), lit(-4)], 2);
+        let fm = solve(&inst, Strategy::FuMalik).into_optimum().unwrap();
+        let linear = solve(&inst, Strategy::LinearSatUnsat)
+            .into_optimum()
+            .unwrap();
+        assert_eq!(fm.cost, linear.cost);
+        assert_eq!(fm.falsified, linear.falsified);
+        assert_eq!(fm.falsified, vec![SoftId(3)], "blame the highest id");
+    }
+
+    #[test]
+    fn trimmed_and_untrimmed_agree_on_random_instances() {
+        use prng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(0x7819);
+        for _ in 0..25 {
+            let num_vars = 3 + (rng.next_u64() % 4) as usize;
+            let mut inst = MaxSatInstance::new();
+            inst.ensure_vars(num_vars);
+            for _ in 0..(2 + rng.next_u64() % 6) {
+                let len = 1 + (rng.next_u64() % 2) as usize;
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = 1 + (rng.next_u64() % num_vars as u64) as i64;
+                        lit(if rng.next_u64() & 1 == 0 { v } else { -v })
+                    })
+                    .collect();
+                inst.add_soft(clause, 1 + rng.next_u64() % 3);
+            }
+            let fm = solve(&inst, Strategy::FuMalik);
+            let linear = solve(&inst, Strategy::LinearSatUnsat);
+            assert_eq!(
+                fm.optimum().map(|s| s.cost),
+                linear.optimum().map(|s| s.cost),
+                "{inst:?}"
+            );
         }
     }
 

@@ -16,6 +16,11 @@
 //!   on;
 //! * a plain [`CnfFormula`] container used as the interchange format between
 //!   the bit-blaster, the MAX-SAT engine and the solver;
+//! * a deterministic, **selector-aware CNF preprocessor** ([`simplify`]):
+//!   root-level unit propagation, tautology/duplicate-literal removal,
+//!   subsumption, self-subsuming resolution and bounded variable elimination
+//!   with a caller-supplied frozen-variable set and a model-reconstruction
+//!   map, used to shrink trace formulas before MAX-SAT solving;
 //! * DIMACS CNF / WCNF parsing and printing ([`dimacs`]);
 //! * exponential brute-force oracles ([`mod@reference`]) used by tests to
 //!   cross-check both solvers.
@@ -42,10 +47,12 @@ mod cnf;
 pub mod dimacs;
 mod heap;
 pub mod reference;
+mod simplify;
 mod solver;
 mod types;
 
 pub use arena::{ClauseArena, ClauseRef};
 pub use cnf::{Clause, CnfFormula};
+pub use simplify::{simplify, ModelReconstruction, Simplified, SimplifyConfig, SimplifyStats};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use types::{LBool, Lit, Var};

@@ -42,6 +42,26 @@ pub fn brute_force_satisfiable(formula: &CnfFormula) -> Option<Vec<bool>> {
     None
 }
 
+/// Exhaustively enumerates *every* satisfying assignment of the formula, in
+/// ascending bit order. Used by the simplifier tests to compare the model
+/// sets of a formula before and after preprocessing (projected onto the
+/// frozen variables).
+///
+/// # Panics
+///
+/// Panics if the formula has more than 20 variables.
+pub fn enumerate_models(formula: &CnfFormula) -> Vec<Vec<bool>> {
+    let n = formula.num_vars();
+    assert!(
+        n <= 20,
+        "model enumeration limited to 20 variables, got {n}"
+    );
+    (0u64..(1u64 << n))
+        .map(|bits| (0..n).map(|i| bits >> i & 1 == 1).collect::<Vec<bool>>())
+        .filter(|assignment| formula.eval(assignment))
+        .collect()
+}
+
 /// Exhaustively computes the maximum number of clauses of `soft` that can be
 /// satisfied by an assignment that satisfies every clause of `hard`.
 ///

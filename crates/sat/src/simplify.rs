@@ -1,0 +1,855 @@
+//! Selector-aware CNF preprocessing (SatELite-style).
+//!
+//! The BugAssist pipeline hands the MAX-SAT engine a *hard* clause set that
+//! comes straight out of Tseitin bit-blasting, and Tseitin output is
+//! famously redundant: constant units that were never propagated, clauses
+//! subsumed by their neighbours, and thousands of auxiliary variables whose
+//! definitions can be resolved away. This module shrinks that hard part
+//! before any solving happens, with the classic SatELite tool-chain
+//! ("Effective Preprocessing in SAT" — Eén & Biere):
+//!
+//! * **root-level unit propagation** — units are applied, satisfied clauses
+//!   dropped, falsified literals struck;
+//! * **tautology and duplicate-literal removal** on ingestion;
+//! * **subsumption** and **self-subsuming resolution** (strengthening);
+//! * **bounded variable elimination** (resolution that does not grow the
+//!   clause count) plus **pure-literal elimination**.
+//!
+//! Two things make it *selector-aware* rather than a generic preprocessor:
+//!
+//! 1. A caller-supplied **frozen** set of variables is never eliminated and
+//!    never loses a derived unit (frozen units stay in the output formula).
+//!    The localizer freezes every selector variable, every test-input bit
+//!    and the property literal — the variables that later receive soft
+//!    units, assumptions, blocking clauses and hard test/property units.
+//!    Soft structure is the unit of blame and survives verbatim.
+//! 2. A **model-reconstruction map** ([`ModelReconstruction`]) is returned
+//!    so any model of the simplified formula extends to a model of the
+//!    original one — counterexample decoding and flip-repair witnesses keep
+//!    working even for eliminated auxiliary variables.
+//!
+//! Everything is deterministic: no hash-map iteration orders leak into the
+//! output, so the same input always produces byte-identical results.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{simplify, CnfFormula, Lit, SimplifyConfig};
+//! let mut cnf = CnfFormula::new();
+//! let (a, b, c) = (Lit::from_dimacs(1), Lit::from_dimacs(2), Lit::from_dimacs(3));
+//! cnf.add_clause(vec![a]);            // unit: a is true
+//! cnf.add_clause(vec![!a, b, c]);     // becomes (b ∨ c)
+//! cnf.add_clause(vec![b, c]);         // duplicate after propagation
+//! let simplified = simplify(&cnf, &[b.var(), c.var()], &SimplifyConfig::default());
+//! assert!(!simplified.unsat);
+//! assert!(simplified.cnf.num_clauses() < cnf.num_clauses());
+//! // Any model of the simplified formula extends to one of the original.
+//! let mut model = vec![false; cnf.num_vars()];
+//! model[b.var().index()] = true;
+//! simplified.reconstruction.extend(&mut model);
+//! assert!(cnf.eval(&model));
+//! ```
+
+use crate::cnf::CnfFormula;
+use crate::types::{LBool, Lit, Var};
+use std::collections::VecDeque;
+
+/// Tuning knobs of [`simplify`]. The defaults are conservative enough to be
+/// run on every prepared trace formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimplifyConfig {
+    /// Run subsumption + self-subsuming resolution.
+    pub subsumption: bool,
+    /// Run bounded variable elimination (and pure-literal elimination).
+    pub var_elim: bool,
+    /// Variables occurring in more clauses than this are never elimination
+    /// candidates (their resolvent set is too expensive to even try).
+    pub max_var_occurrences: usize,
+    /// Elimination is abandoned when it would create a resolvent longer than
+    /// this.
+    pub max_resolvent_len: usize,
+    /// Clauses longer than this are not used as subsumers (long clauses
+    /// almost never subsume anything; checking them is wasted work).
+    pub max_subsumer_len: usize,
+    /// Upper bound on simplification passes (each pass = propagate,
+    /// subsume, eliminate); the loop stops early at a fixpoint.
+    pub max_passes: usize,
+    /// Formulas with more clauses than this get the linear-time treatment
+    /// only (unit propagation, tautology/duplicate removal): subsumption and
+    /// variable elimination are skipped so preparation time stays bounded on
+    /// pathological million-clause encodes.
+    pub max_clauses: usize,
+}
+
+impl Default for SimplifyConfig {
+    fn default() -> SimplifyConfig {
+        SimplifyConfig {
+            subsumption: true,
+            var_elim: true,
+            max_var_occurrences: 24,
+            max_resolvent_len: 32,
+            max_subsumer_len: 24,
+            // The first pass captures most of the shrinkage; a few more pick
+            // up the second-order eliminations the first one exposes without
+            // letting preparation time balloon.
+            max_passes: 4,
+            max_clauses: 400_000,
+        }
+    }
+}
+
+/// Work counters of one [`simplify`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Clauses in the input formula.
+    pub clauses_before: usize,
+    /// Clauses in the simplified formula.
+    pub clauses_after: usize,
+    /// Total literal occurrences in the input formula.
+    pub literals_before: usize,
+    /// Total literal occurrences in the simplified formula.
+    pub literals_after: usize,
+    /// Root-level unit assignments derived (frozen and free alike).
+    pub units_fixed: u64,
+    /// Tautological input clauses dropped.
+    pub tautologies_removed: u64,
+    /// Duplicate literals struck from input clauses.
+    pub duplicate_lits_removed: u64,
+    /// Clauses removed because another clause subsumes them.
+    pub clauses_subsumed: u64,
+    /// Literals removed by self-subsuming resolution.
+    pub lits_strengthened: u64,
+    /// Variables eliminated by bounded variable elimination or pure-literal
+    /// elimination.
+    pub vars_eliminated: u64,
+}
+
+/// One undo record of the reconstruction stack, in chronological order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RecStep {
+    /// A non-frozen variable was fixed at the root level; clauses mentioning
+    /// it were removed or strengthened accordingly.
+    Fixed { var: Var, value: bool },
+    /// A variable was resolved away; `clauses` are the clauses that
+    /// contained it at elimination time (needed to pick its value back).
+    Eliminated { var: Var, clauses: Vec<Vec<Lit>> },
+}
+
+/// Extends models of the simplified formula back to the original variable
+/// space (inverse of variable elimination and root-level fixing).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModelReconstruction {
+    steps: Vec<RecStep>,
+}
+
+impl ModelReconstruction {
+    /// Number of recorded reconstruction steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when nothing was eliminated or fixed (extension is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Rewrites `model` — a satisfying assignment of the *simplified*
+    /// formula, indexed by variable — into a satisfying assignment of the
+    /// *original* formula. Variables the simplifier removed get their values
+    /// back; all other entries are left untouched.
+    pub fn extend(&self, model: &mut Vec<bool>) {
+        for step in self.steps.iter().rev() {
+            match step {
+                RecStep::Fixed { var, value } => {
+                    if model.len() <= var.index() {
+                        model.resize(var.index() + 1, false);
+                    }
+                    model[var.index()] = *value;
+                }
+                RecStep::Eliminated { var, clauses } => {
+                    if model.len() <= var.index() {
+                        model.resize(var.index() + 1, false);
+                    }
+                    // The variable must satisfy every clause it was resolved
+                    // out of. At most one polarity is ever *demanded* (else
+                    // some resolvent would be falsified, contradicting the
+                    // model), so satisfy the positive demands and default to
+                    // false.
+                    let mut value = false;
+                    for clause in clauses {
+                        let satisfied_without = clause.iter().any(|&l| {
+                            l.var() != *var
+                                && model.get(l.var().index()).copied().unwrap_or(false)
+                                    == l.is_positive()
+                        });
+                        if !satisfied_without {
+                            let own = clause
+                                .iter()
+                                .find(|l| l.var() == *var)
+                                .expect("saved clause contains its variable");
+                            value = own.is_positive();
+                        }
+                    }
+                    model[var.index()] = value;
+                }
+            }
+        }
+    }
+}
+
+/// The result of [`simplify`]: the shrunk formula, the map back to the
+/// original model space, and the work counters.
+#[derive(Clone, Debug)]
+pub struct Simplified {
+    /// The simplified formula. Variable indices are **unchanged** (no
+    /// renumbering); eliminated variables simply no longer occur. When
+    /// `unsat` is set the formula contains a single empty clause.
+    pub cnf: CnfFormula,
+    /// Extends models of `cnf` to models of the input formula.
+    pub reconstruction: ModelReconstruction,
+    /// What the run did.
+    pub stats: SimplifyStats,
+    /// The input formula was proved unsatisfiable at the root level.
+    pub unsat: bool,
+}
+
+struct Simplifier<'a> {
+    config: &'a SimplifyConfig,
+    /// Clause store; `None` = removed.
+    clauses: Vec<Option<Vec<Lit>>>,
+    /// Occurrence lists per literal code (lazily cleaned of stale indices).
+    occ: Vec<Vec<usize>>,
+    assign: Vec<LBool>,
+    frozen: Vec<bool>,
+    units: VecDeque<Lit>,
+    /// Clause indices whose subsumption power has not been exploited yet.
+    subsumption_queue: VecDeque<usize>,
+    steps: Vec<RecStep>,
+    stats: SimplifyStats,
+    /// Subset-test stamps, one per literal code.
+    stamps: Vec<u64>,
+    stamp_generation: u64,
+}
+
+/// Runs the preprocessing pipeline over `formula`.
+///
+/// `frozen` lists the variables the caller will constrain *after*
+/// simplification (selectors, assumption literals, anything read off the
+/// model): they are never eliminated, and units derived about them are kept
+/// in the output formula so later external units still conflict correctly.
+///
+/// The returned formula keeps the input's variable numbering.
+pub fn simplify(formula: &CnfFormula, frozen: &[Var], config: &SimplifyConfig) -> Simplified {
+    let num_vars = formula.num_vars();
+    let mut frozen_mask = vec![false; num_vars];
+    for var in frozen {
+        if var.index() < num_vars {
+            frozen_mask[var.index()] = true;
+        }
+    }
+    let mut simp = Simplifier {
+        config,
+        clauses: Vec::with_capacity(formula.num_clauses()),
+        occ: vec![Vec::new(); 2 * num_vars],
+        assign: vec![LBool::Undef; num_vars],
+        frozen: frozen_mask,
+        units: VecDeque::new(),
+        subsumption_queue: VecDeque::new(),
+        steps: Vec::new(),
+        stats: SimplifyStats {
+            clauses_before: formula.num_clauses(),
+            literals_before: formula.num_literals(),
+            ..SimplifyStats::default()
+        },
+        stamps: vec![0; 2 * num_vars],
+        stamp_generation: 0,
+    };
+    let unsat = !simp.run(formula);
+
+    let mut cnf = CnfFormula::with_vars(num_vars);
+    if unsat {
+        cnf.add_clause(Vec::<Lit>::new());
+    } else {
+        // Frozen root-level units survive as unit clauses (their variables
+        // stay externally meaningful); free fixed variables live only in the
+        // reconstruction map.
+        for (index, value) in simp.assign.iter().enumerate() {
+            if simp.frozen[index] {
+                if let Some(value) = value.to_option() {
+                    cnf.add_clause(vec![Var::from_index(index).lit(value)]);
+                }
+            }
+        }
+        for clause in simp.clauses.iter().flatten() {
+            cnf.add_clause(clause.clone());
+        }
+    }
+    simp.stats.clauses_after = cnf.num_clauses();
+    simp.stats.literals_after = cnf.num_literals();
+    Simplified {
+        cnf,
+        reconstruction: ModelReconstruction { steps: simp.steps },
+        stats: simp.stats,
+        unsat,
+    }
+}
+
+impl<'a> Simplifier<'a> {
+    /// Executes the pipeline; `false` means root-level UNSAT.
+    fn run(&mut self, formula: &CnfFormula) -> bool {
+        for clause in formula.iter() {
+            if !self.ingest(clause.lits().to_vec()) {
+                return false;
+            }
+        }
+        let quadratic_passes = self.stats.clauses_before <= self.config.max_clauses;
+        for _ in 0..self.config.max_passes {
+            if !self.propagate_units() {
+                return false;
+            }
+            if !quadratic_passes {
+                return true; // Linear-only treatment for huge formulas.
+            }
+            let mut changed = false;
+            if self.config.subsumption && !self.subsume_all(&mut changed) {
+                return false;
+            }
+            if !self.propagate_units() {
+                return false;
+            }
+            if self.config.var_elim && !self.eliminate_variables(&mut changed) {
+                return false;
+            }
+            if !self.propagate_units() {
+                return false;
+            }
+            if !changed {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Normalizes and stores one clause; `false` means UNSAT (empty clause).
+    fn ingest(&mut self, mut lits: Vec<Lit>) -> bool {
+        // Apply the root-level assignment and drop duplicates in place.
+        let mut write = 0;
+        let mut satisfied = false;
+        'reading: for read in 0..lits.len() {
+            let lit = lits[read];
+            match self.value(lit) {
+                LBool::True => {
+                    satisfied = true;
+                    break;
+                }
+                LBool::False => continue,
+                LBool::Undef => {}
+            }
+            for &kept in &lits[..write] {
+                if kept == lit {
+                    self.stats.duplicate_lits_removed += 1;
+                    continue 'reading;
+                }
+                if kept == !lit {
+                    self.stats.tautologies_removed += 1;
+                    satisfied = true;
+                    break 'reading;
+                }
+            }
+            lits[write] = lit;
+            write += 1;
+        }
+        if satisfied {
+            return true;
+        }
+        lits.truncate(write);
+        match lits.len() {
+            0 => false,
+            1 => self.enqueue_unit(lits[0]),
+            _ => {
+                let index = self.clauses.len();
+                for &lit in &lits {
+                    self.occ[lit.code()].push(index);
+                }
+                self.clauses.push(Some(lits));
+                self.subsumption_queue.push_back(index);
+                true
+            }
+        }
+    }
+
+    fn value(&self, lit: Lit) -> LBool {
+        self.assign[lit.var().index()].xor(lit.is_negative())
+    }
+
+    /// Schedules a root-level unit; `false` on an immediate conflict.
+    fn enqueue_unit(&mut self, lit: Lit) -> bool {
+        match self.value(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                self.assign[lit.var().index()] = LBool::from_bool(lit.is_positive());
+                self.stats.units_fixed += 1;
+                if !self.frozen[lit.var().index()] {
+                    self.steps.push(RecStep::Fixed {
+                        var: lit.var(),
+                        value: lit.is_positive(),
+                    });
+                }
+                self.units.push_back(lit);
+                true
+            }
+        }
+    }
+
+    /// Applies every queued root-level unit to the clause store.
+    ///
+    /// Clause removal is **lazy** everywhere in the simplifier: a removed
+    /// clause is only `take`n out of the store; the stale indices left in
+    /// other literals' occurrence lists are dropped the next time those
+    /// lists are cleaned ([`Simplifier::clean_occ`]). Eager unlinking would
+    /// make every removal linear in its literals' occurrence-list lengths —
+    /// quadratic on selector literals, which occur in thousands of clauses.
+    fn propagate_units(&mut self) -> bool {
+        while let Some(lit) = self.units.pop_front() {
+            // Clauses containing the satisfied literal vanish. (The
+            // variable is fixed, so its own occurrence lists are dead; take
+            // them entirely.)
+            for index in std::mem::take(&mut self.occ[lit.code()]) {
+                self.clauses[index] = None;
+            }
+            // Clauses containing the falsified literal lose it.
+            for index in std::mem::take(&mut self.occ[(!lit).code()]) {
+                let Some(clause) = self.clauses[index].as_mut() else {
+                    continue;
+                };
+                clause.retain(|&l| l != !lit);
+                match clause.len() {
+                    0 => return false,
+                    1 => {
+                        let unit = clause[0];
+                        self.clauses[index] = None;
+                        if !self.enqueue_unit(unit) {
+                            return false;
+                        }
+                    }
+                    _ => self.subsumption_queue.push_back(index),
+                }
+            }
+        }
+        true
+    }
+
+    /// The cleaned occurrence list of `lit` (stale indices dropped).
+    fn clean_occ(&mut self, lit: Lit) -> Vec<usize> {
+        let occ = &mut self.occ[lit.code()];
+        occ.retain(|&index| {
+            // A stale index may point at a removed clause or at a clause the
+            // literal was struck from.
+            matches!(&self.clauses[index], Some(clause) if clause.contains(&lit))
+        });
+        occ.clone()
+    }
+
+    /// Exhausts the subsumption queue; `false` means UNSAT.
+    fn subsume_all(&mut self, changed: &mut bool) -> bool {
+        while let Some(index) = self.subsumption_queue.pop_front() {
+            let Some(clause) = self.clauses[index].clone() else {
+                continue;
+            };
+            if clause.len() > self.config.max_subsumer_len {
+                continue;
+            }
+            if !self.backward_subsume(index, &clause, changed) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Uses clause `index` to subsume/strengthen every other clause. The
+    /// candidate set is the occurrence list of the clause's rarest literal
+    /// (for plain subsumption) plus, per literal, the occurrences of its
+    /// negation (for self-subsuming resolution). The subsumer's literals are
+    /// stamped once; subset tests then count stamped literals in each
+    /// candidate.
+    fn backward_subsume(&mut self, index: usize, clause: &[Lit], changed: &mut bool) -> bool {
+        self.stamp(clause);
+        // Plain subsumption: every clause containing the rarest literal.
+        let rarest = clause
+            .iter()
+            .copied()
+            .min_by_key(|l| self.occ[l.code()].len())
+            .expect("clauses are non-empty");
+        for candidate in self.clean_occ(rarest) {
+            if candidate == index {
+                continue;
+            }
+            let subsumed = match &self.clauses[candidate] {
+                None => false,
+                Some(other) => {
+                    other.len() >= clause.len()
+                        && other.iter().filter(|l| self.stamped(**l)).count() == clause.len()
+                }
+            };
+            if subsumed {
+                self.clauses[candidate] = None;
+                self.stats.clauses_subsumed += 1;
+                *changed = true;
+            }
+        }
+        // Self-subsuming resolution: C = (l ∨ R) strengthens D ⊇ (¬l ∨ R)
+        // by deleting ¬l from D.
+        for &lit in clause {
+            for candidate in self.clean_occ(!lit) {
+                if candidate == index {
+                    continue;
+                }
+                let strengthens = match &self.clauses[candidate] {
+                    None => false,
+                    Some(other) => {
+                        // `other` contains ¬l (occurrence list is clean); it
+                        // cannot also contain l (no tautologies survive
+                        // ingestion), so counting its stamped literals
+                        // exactly measures |D ∩ C| = |D ∩ (C \ {l})|.
+                        other.len() >= clause.len()
+                            && other.iter().filter(|l| self.stamped(**l)).count()
+                                == clause.len() - 1
+                    }
+                };
+                if strengthens {
+                    let other = self.clauses[candidate].as_mut().expect("present");
+                    other.retain(|&l| l != !lit);
+                    self.stats.lits_strengthened += 1;
+                    *changed = true;
+                    match self.clauses[candidate].as_ref().map(Vec::len) {
+                        Some(0) => return false,
+                        Some(1) => {
+                            let unit = self.clauses[candidate].as_ref().expect("present")[0];
+                            self.clauses[candidate] = None;
+                            if !self.enqueue_unit(unit) || !self.propagate_units() {
+                                return false;
+                            }
+                            // Propagation may have rewritten arbitrary
+                            // clauses; the stamps no longer describe a
+                            // consistent snapshot, so restart this subsumer.
+                            return self.backward_subsume(index, clause, changed);
+                        }
+                        _ => self.subsumption_queue.push_back(candidate),
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn stamp(&mut self, clause: &[Lit]) {
+        self.stamp_generation += 1;
+        for &lit in clause {
+            self.stamps[lit.code()] = self.stamp_generation;
+        }
+    }
+
+    fn stamped(&self, lit: Lit) -> bool {
+        self.stamps[lit.code()] == self.stamp_generation
+    }
+
+    /// One bounded-variable-elimination sweep over all non-frozen variables,
+    /// cheapest (fewest occurrences) first; `false` means UNSAT.
+    fn eliminate_variables(&mut self, changed: &mut bool) -> bool {
+        let mut order: Vec<(usize, usize)> = (0..self.assign.len())
+            .filter(|&v| !self.frozen[v] && self.assign[v].is_undef())
+            .map(|v| {
+                let var = Var::from_index(v);
+                let occurrences =
+                    self.occ[var.positive().code()].len() + self.occ[var.negative().code()].len();
+                (occurrences, v)
+            })
+            .collect();
+        order.sort_unstable();
+        for (_, v) in order {
+            let var = Var::from_index(v);
+            if !self.assign[v].is_undef() {
+                continue; // Fixed by a unit another elimination produced.
+            }
+            let pos = self.clean_occ(var.positive());
+            let neg = self.clean_occ(var.negative());
+            if pos.is_empty() && neg.is_empty() {
+                continue;
+            }
+            if pos.is_empty() || neg.is_empty() {
+                // Pure literal: drop every clause containing the variable
+                // (elimination with an empty resolvent set).
+                self.eliminate(var, &pos, &neg);
+                *changed = true;
+                continue;
+            }
+            if pos.len() + neg.len() > self.config.max_var_occurrences {
+                continue;
+            }
+            let Some(resolvents) = self.bounded_resolvents(var, &pos, &neg) else {
+                continue;
+            };
+            self.eliminate(var, &pos, &neg);
+            *changed = true;
+            for resolvent in resolvents {
+                if !self.ingest(resolvent) || !self.propagate_units() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All non-tautological resolvents of `var`, or `None` when elimination
+    /// would grow the formula (more resolvents than removed clauses, or an
+    /// over-long resolvent).
+    fn bounded_resolvents(&self, var: Var, pos: &[usize], neg: &[usize]) -> Option<Vec<Vec<Lit>>> {
+        let budget = pos.len() + neg.len();
+        let mut resolvents = Vec::new();
+        for &p in pos {
+            let p_clause = self.clauses[p].as_ref().expect("occ list is clean");
+            for &n in neg {
+                let n_clause = self.clauses[n].as_ref().expect("occ list is clean");
+                let mut resolvent: Vec<Lit> = Vec::with_capacity(p_clause.len() + n_clause.len());
+                let mut tautology = false;
+                for &lit in p_clause.iter().chain(n_clause.iter()) {
+                    if lit.var() == var || resolvent.contains(&lit) {
+                        continue;
+                    }
+                    if resolvent.contains(&!lit) {
+                        tautology = true;
+                        break;
+                    }
+                    resolvent.push(lit);
+                }
+                if tautology {
+                    continue;
+                }
+                if resolvent.len() > self.config.max_resolvent_len {
+                    return None;
+                }
+                resolvents.push(resolvent);
+                if resolvents.len() > budget {
+                    return None;
+                }
+            }
+        }
+        Some(resolvents)
+    }
+
+    /// Removes every clause containing `var` and records the reconstruction
+    /// step; the caller ingests the resolvents afterwards.
+    fn eliminate(&mut self, var: Var, pos: &[usize], neg: &[usize]) {
+        let mut saved = Vec::with_capacity(pos.len() + neg.len());
+        for &index in pos.iter().chain(neg) {
+            if let Some(clause) = self.clauses[index].take() {
+                saved.push(clause);
+            }
+        }
+        self.occ[var.positive().code()].clear();
+        self.occ[var.negative().code()].clear();
+        self.stats.vars_eliminated += 1;
+        self.steps.push(RecStep::Eliminated {
+            var,
+            clauses: saved,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::enumerate_models;
+    use crate::solver::{SatResult, Solver};
+    use prng::SplitMix64;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn var(d: i64) -> Var {
+        lit(d).var()
+    }
+
+    /// Every model of the simplified formula, extended through the
+    /// reconstruction, must satisfy the original; and satisfiability must be
+    /// preserved both ways (restricted to frozen vars, the models coincide).
+    fn check_equivalence(original: &CnfFormula, frozen: &[Var]) {
+        let simplified = simplify(original, frozen, &SimplifyConfig::default());
+        let mut solver = Solver::from_formula(original);
+        let original_sat = solver.solve() == SatResult::Sat;
+        if simplified.unsat {
+            assert!(!original_sat, "simplifier claimed UNSAT on a SAT formula");
+            return;
+        }
+        let mut simp_solver = Solver::from_formula(&simplified.cnf);
+        assert_eq!(
+            simp_solver.solve() == SatResult::Sat,
+            original_sat,
+            "satisfiability changed"
+        );
+        if original_sat {
+            let mut model = simp_solver.model();
+            model.resize(original.num_vars(), false);
+            simplified.reconstruction.extend(&mut model);
+            assert!(
+                original.eval(&model),
+                "reconstructed model does not satisfy the original formula"
+            );
+        }
+        // Frozen-variable projections must match exactly: every original
+        // model restricted to frozen vars is still reachable and vice versa.
+        if original.num_vars() <= 12 {
+            let project = |models: Vec<Vec<bool>>| {
+                let mut seen: Vec<Vec<bool>> = models
+                    .into_iter()
+                    .map(|m| frozen.iter().map(|v| m[v.index()]).collect())
+                    .collect();
+                seen.sort();
+                seen.dedup();
+                seen
+            };
+            let before = project(enumerate_models(original));
+            let after = project(enumerate_models(&simplified.cnf));
+            assert_eq!(before, after, "frozen projection changed");
+        }
+    }
+
+    #[test]
+    fn unit_propagation_shrinks_and_preserves() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause(vec![lit(1)]);
+        cnf.add_clause(vec![lit(-1), lit(2)]);
+        cnf.add_clause(vec![lit(-2), lit(3), lit(4)]);
+        check_equivalence(&cnf, &[var(3), var(4)]);
+        let simplified = simplify(&cnf, &[var(3), var(4)], &SimplifyConfig::default());
+        // 1 and 2 are fixed and not frozen: they disappear entirely.
+        assert!(simplified.stats.units_fixed >= 2);
+        for clause in simplified.cnf.iter() {
+            for l in clause.iter() {
+                assert!(l.var() != var(1) && l.var() != var(2), "{clause:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_units_stay_in_the_formula() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause(vec![lit(1)]);
+        cnf.add_clause(vec![lit(-1), lit(2)]);
+        let simplified = simplify(&cnf, &[var(2)], &SimplifyConfig::default());
+        // Var 2 is frozen and was derived true: the unit must survive so a
+        // later external ¬2 still conflicts.
+        assert!(simplified.cnf.iter().any(|c| c.lits() == [lit(2)]));
+        let mut solver = Solver::from_formula(&simplified.cnf);
+        assert_eq!(solver.solve_assuming(&[lit(-2)]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_removed() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause(vec![lit(1), lit(-1), lit(2)]);
+        cnf.add_clause(vec![lit(1), lit(1), lit(2)]);
+        let simplified = simplify(&cnf, &[var(1), var(2)], &SimplifyConfig::default());
+        assert_eq!(simplified.stats.tautologies_removed, 1);
+        assert_eq!(simplified.stats.duplicate_lits_removed, 1);
+        assert_eq!(simplified.cnf.num_clauses(), 1);
+        assert_eq!(simplified.cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn subsumption_removes_weaker_clauses() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause(vec![lit(1), lit(2)]);
+        cnf.add_clause(vec![lit(1), lit(2), lit(3)]);
+        cnf.add_clause(vec![lit(1), lit(2), lit(4)]);
+        let frozen: Vec<Var> = (1..=4).map(var).collect();
+        let simplified = simplify(&cnf, &frozen, &SimplifyConfig::default());
+        assert_eq!(simplified.stats.clauses_subsumed, 2);
+        assert_eq!(simplified.cnf.num_clauses(), 1);
+        check_equivalence(&cnf, &frozen);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (1 ∨ 2) and (¬1 ∨ 2 ∨ 3): resolving on 1 gives (2 ∨ 3) ⊂ the
+        // second clause, so it is strengthened to (2 ∨ 3).
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause(vec![lit(1), lit(2)]);
+        cnf.add_clause(vec![lit(-1), lit(2), lit(3)]);
+        let frozen: Vec<Var> = (1..=3).map(var).collect();
+        let simplified = simplify(&cnf, &frozen, &SimplifyConfig::default());
+        assert!(simplified.stats.lits_strengthened >= 1);
+        check_equivalence(&cnf, &frozen);
+    }
+
+    #[test]
+    fn variable_elimination_respects_freezing() {
+        // Var 2 is a pure connector: (1 ∨ 2)(¬2 ∨ 3) resolves to (1 ∨ 3).
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause(vec![lit(1), lit(2)]);
+        cnf.add_clause(vec![lit(-2), lit(3)]);
+        let simplified = simplify(&cnf, &[var(1), var(3)], &SimplifyConfig::default());
+        assert_eq!(simplified.stats.vars_eliminated, 1);
+        assert_eq!(simplified.cnf.num_clauses(), 1);
+        assert_eq!(simplified.cnf.clauses()[0].lits(), [lit(1), lit(3)]);
+        // Frozen everything: nothing may be eliminated.
+        let frozen: Vec<Var> = (1..=3).map(var).collect();
+        let untouched = simplify(&cnf, &frozen, &SimplifyConfig::default());
+        assert_eq!(untouched.stats.vars_eliminated, 0);
+        assert_eq!(untouched.cnf.num_clauses(), 2);
+    }
+
+    #[test]
+    fn pure_literals_are_eliminated() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause(vec![lit(1), lit(2)]);
+        cnf.add_clause(vec![lit(1), lit(3)]);
+        // Var 1 only occurs positively; with 2 and 3 frozen it is pure.
+        let simplified = simplify(&cnf, &[var(2), var(3)], &SimplifyConfig::default());
+        assert!(simplified.stats.vars_eliminated >= 1);
+        assert_eq!(simplified.cnf.num_clauses(), 0);
+        let mut model = vec![false, false, false];
+        simplified.reconstruction.extend(&mut model);
+        assert!(cnf.eval(&model));
+    }
+
+    #[test]
+    fn root_conflict_reports_unsat() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause(vec![lit(1)]);
+        cnf.add_clause(vec![lit(-1)]);
+        let simplified = simplify(&cnf, &[], &SimplifyConfig::default());
+        assert!(simplified.unsat);
+        assert_eq!(simplified.cnf.num_clauses(), 1);
+        assert!(simplified.cnf.clauses()[0].is_empty());
+    }
+
+    #[test]
+    fn randomized_formulas_stay_equivalent() {
+        let mut rng = SplitMix64::seed_from_u64(0xC1AE5);
+        for round in 0..60 {
+            let num_vars = 4 + (rng.next_u64() % 6) as usize; // 4..=9
+            let num_clauses = 4 + (rng.next_u64() % 20) as usize;
+            let mut cnf = CnfFormula::with_vars(num_vars);
+            for _ in 0..num_clauses {
+                let len = 1 + (rng.next_u64() % 3) as usize;
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = Var::from_index((rng.next_u64() % num_vars as u64) as usize);
+                        v.lit(rng.next_u64() & 1 == 0)
+                    })
+                    .collect();
+                cnf.add_clause(clause);
+            }
+            // Freeze a random subset, mimicking selector/input variables.
+            let frozen: Vec<Var> = (0..num_vars)
+                .filter(|_| rng.next_u64() & 1 == 0)
+                .map(Var::from_index)
+                .collect();
+            check_equivalence(&cnf, &frozen);
+            let _ = round;
+        }
+    }
+}

@@ -132,6 +132,8 @@ impl Job {
             Strategy::Portfolio => 3,
         });
         h.write_u8(u8::from(o.portfolio));
+        h.write_u8(u8::from(o.gate_cache));
+        h.write_u8(u8::from(o.simplify));
         h.write_usize(o.trusted_lines.len());
         for line in &o.trusted_lines {
             h.write_u64(u64::from(*line));
@@ -148,6 +150,7 @@ impl Job {
                 unwind: o.unwind,
                 max_inline_depth: o.max_inline_depth,
                 concretize: Vec::new(),
+                gate_cache: o.gate_cache,
             },
             strategy: o.strategy,
             max_suspect_sets: o.max_suspect_sets,
@@ -156,6 +159,7 @@ impl Job {
             base_weight: o.base_weight,
             trusted_lines: o.trusted_lines.iter().map(|&l| Line(l)).collect(),
             portfolio: o.portfolio,
+            simplify: o.simplify,
         }
     }
 
@@ -198,6 +202,10 @@ pub struct JobOptions {
     pub strategy: Strategy,
     /// Race both strategies per extraction.
     pub portfolio: bool,
+    /// Hash-cons structurally identical gates while bit-blasting.
+    pub gate_cache: bool,
+    /// Preprocess the prepared hard clauses (selector-aware simplification).
+    pub simplify: bool,
     /// Line numbers that must never be blamed.
     pub trusted_lines: Vec<u32>,
 }
@@ -215,6 +223,8 @@ impl Default for JobOptions {
             max_suspect_sets: DEFAULT_MAX_SUSPECT_SETS,
             strategy: base.strategy,
             portfolio: base.portfolio,
+            gate_cache: base.encode.gate_cache,
+            simplify: base.simplify,
             trusted_lines: Vec::new(),
         }
     }
@@ -334,6 +344,8 @@ fn job_fields(job: &Job, pairs: &mut Vec<(String, Json)>) {
         }),
     );
     push(pairs, "portfolio", Json::Bool(o.portfolio));
+    push(pairs, "gate_cache", Json::Bool(o.gate_cache));
+    push(pairs, "simplify", Json::Bool(o.simplify));
     push(
         pairs,
         "trusted_lines",
@@ -460,6 +472,16 @@ fn parse_job(value: &Json) -> Result<Job, ProtocolError> {
             .as_bool()
             .ok_or_else(|| bad("portfolio must be a boolean"))?;
     }
+    if let Some(v) = value.get("gate_cache") {
+        options.gate_cache = v
+            .as_bool()
+            .ok_or_else(|| bad("gate_cache must be a boolean"))?;
+    }
+    if let Some(v) = value.get("simplify") {
+        options.simplify = v
+            .as_bool()
+            .ok_or_else(|| bad("simplify must be a boolean"))?;
+    }
     if let Some(v) = value.get("trusted_lines") {
         let lines = v
             .as_arr()
@@ -576,6 +598,14 @@ fn stats_to_json(stats: &LocalizerStats) -> Json {
         ("prepare_ms", Json::from(stats.prepare_ms)),
         ("reduce_dbs", Json::from(stats.reduce_dbs)),
         ("arena_bytes", Json::from(stats.arena_bytes)),
+        ("encode_gates_cached", Json::from(stats.encode_gates_cached)),
+        (
+            "hard_clauses_pre_simplify",
+            Json::from(stats.hard_clauses_pre_simplify),
+        ),
+        ("clauses_subsumed", Json::from(stats.clauses_subsumed)),
+        ("vars_eliminated", Json::from(stats.vars_eliminated)),
+        ("simplify_ms", Json::from(stats.simplify_ms)),
     ])
 }
 
@@ -628,7 +658,8 @@ pub fn ranked_to_json(ranked: &RankedReport) -> Json {
 }
 
 /// Rewrites a report/ranked JSON tree with every timing field (`elapsed_ms`,
-/// `prepare_ms`) zeroed, leaving all semantic content intact. Serializing
+/// `prepare_ms`, `simplify_ms`) zeroed, leaving all semantic content
+/// intact. Serializing
 /// the result gives a *canonical* byte string: two runs of the same job —
 /// through the daemon or directly through [`bugassist::Localizer`] — must
 /// produce identical canonical bytes, which is exactly what the service
@@ -639,7 +670,7 @@ pub fn canonicalize(value: &Json) -> Json {
             pairs
                 .iter()
                 .map(|(k, v)| {
-                    if k == "elapsed_ms" || k == "prepare_ms" {
+                    if k == "elapsed_ms" || k == "prepare_ms" || k == "simplify_ms" {
                         (k.clone(), Json::Int(0))
                     } else {
                         (k.clone(), canonicalize(v))

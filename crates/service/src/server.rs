@@ -85,6 +85,12 @@ struct LastJob {
     prepare_ms: u128,
     build_ms: u128,
     elapsed_ms: u128,
+    /// Formula-diet counters of the served localizer (gate-cache hits while
+    /// bit-blasting; variables/clauses the CNF preprocessor removed).
+    encode_gates_cached: u64,
+    vars_eliminated: u64,
+    clauses_subsumed: u64,
+    simplify_ms: u128,
 }
 
 /// Which queued operation a job performs.
@@ -133,6 +139,11 @@ struct ServerState {
     error_responses: AtomicU64,
     total_reduce_dbs: AtomicU64,
     arena_bytes_peak: AtomicU64,
+    /// Formula-diet totals over all solved jobs (cache builds included via
+    /// their first solve): gate-cache hits and preprocessor removals.
+    total_gates_cached: AtomicU64,
+    total_vars_eliminated: AtomicU64,
+    total_clauses_subsumed: AtomicU64,
     last_job: Mutex<Option<LastJob>>,
     /// Number of live connection threads, with a condvar for shutdown to
     /// wait on (connection threads are detached, never joined).
@@ -188,6 +199,10 @@ impl ServerState {
                 ("prepare_ms", Json::from(last.prepare_ms)),
                 ("build_ms", Json::from(last.build_ms)),
                 ("elapsed_ms", Json::from(last.elapsed_ms)),
+                ("encode_gates_cached", Json::from(last.encode_gates_cached)),
+                ("vars_eliminated", Json::from(last.vars_eliminated)),
+                ("clauses_subsumed", Json::from(last.clauses_subsumed)),
+                ("simplify_ms", Json::from(last.simplify_ms)),
             ]),
         };
         Json::obj(vec![
@@ -253,6 +268,23 @@ impl ServerState {
                     (
                         "arena_bytes_peak",
                         Json::from(self.arena_bytes_peak.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "formula",
+                Json::obj(vec![
+                    (
+                        "gates_cached",
+                        Json::from(self.total_gates_cached.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "vars_eliminated",
+                        Json::from(self.total_vars_eliminated.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "clauses_subsumed",
+                        Json::from(self.total_clauses_subsumed.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -507,6 +539,13 @@ impl ServerState {
                         merged.arena_bytes = merged.arena_bytes.max(report.stats.arena_bytes);
                         merged.elapsed_ms += report.stats.elapsed_ms;
                         merged.prepare_ms += report.stats.prepare_ms;
+                        // Per-localizer constants, identical on every report
+                        // of the batch: carry, don't sum.
+                        merged.encode_gates_cached = report.stats.encode_gates_cached;
+                        merged.hard_clauses_pre_simplify = report.stats.hard_clauses_pre_simplify;
+                        merged.clauses_subsumed = report.stats.clauses_subsumed;
+                        merged.vars_eliminated = report.stats.vars_eliminated;
+                        merged.simplify_ms = report.stats.simplify_ms;
                     }
                     self.batch_requests.fetch_add(1, Ordering::Relaxed);
                     ("ranked", ranked_to_json(&ranked), merged)
@@ -572,6 +611,12 @@ impl ServerState {
                 .fetch_add(stats.reduce_dbs, Ordering::Relaxed);
             self.arena_bytes_peak
                 .fetch_max(stats.arena_bytes, Ordering::Relaxed);
+            self.total_gates_cached
+                .fetch_add(stats.encode_gates_cached, Ordering::Relaxed);
+            self.total_vars_eliminated
+                .fetch_add(stats.vars_eliminated, Ordering::Relaxed);
+            self.total_clauses_subsumed
+                .fetch_add(stats.clauses_subsumed, Ordering::Relaxed);
         }
         *self.last_job.lock().expect("last_job poisoned") = Some(LastJob {
             op,
@@ -582,6 +627,10 @@ impl ServerState {
             prepare_ms: stats.prepare_ms,
             build_ms,
             elapsed_ms: stats.elapsed_ms,
+            encode_gates_cached: stats.encode_gates_cached,
+            vars_eliminated: stats.vars_eliminated,
+            clauses_subsumed: stats.clauses_subsumed,
+            simplify_ms: stats.simplify_ms,
         });
 
         let mut pairs = vec![
@@ -725,6 +774,9 @@ impl Server {
             error_responses: AtomicU64::new(0),
             total_reduce_dbs: AtomicU64::new(0),
             arena_bytes_peak: AtomicU64::new(0),
+            total_gates_cached: AtomicU64::new(0),
+            total_vars_eliminated: AtomicU64::new(0),
+            total_clauses_subsumed: AtomicU64::new(0),
             last_job: Mutex::new(None),
             connections: Mutex::new(0),
             connections_done: Condvar::new(),

@@ -527,6 +527,71 @@ fn health_stats_and_error_paths() {
     server.shutdown();
 }
 
+/// The formula-diet knobs travel over the wire, change the cache key, and —
+/// because CoMSS selection is canonical — never change the *answer*: the
+/// suspects of a simplified job are byte-identical to the raw-formula job's,
+/// while the stats prove two different formulas were solved.
+#[test]
+fn simplify_and_gate_cache_knobs_round_trip_with_identical_reports() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let dieted = mutated_minic_job(1);
+    let mut raw = mutated_minic_job(1);
+    raw.options.simplify = false;
+    raw.options.gate_cache = false;
+
+    let a = client.localize(dieted).expect("dieted job localizes");
+    let b = client.localize(raw).expect("raw job localizes");
+    // Distinct options => distinct prepared-cache entries.
+    assert_ne!(a.key, b.key);
+    let semantic = |body: &Json| {
+        (
+            canonical(body.get("suspects").expect("suspects present")),
+            canonical(body.get("suspect_lines").expect("suspect_lines present")),
+        )
+    };
+    assert_eq!(semantic(&a.body), semantic(&b.body));
+    let stats_of = |body: &Json| body.get("stats").cloned();
+    let dieted_stats = stats_of(&a.body).expect("stats");
+    let raw_stats = stats_of(&b.body).expect("stats");
+    assert!(
+        dieted_stats.get("hard_clauses").and_then(Json::as_u64)
+            < raw_stats.get("hard_clauses").and_then(Json::as_u64)
+    );
+    assert_eq!(
+        raw_stats.get("vars_eliminated").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert!(dieted_stats.get("vars_eliminated").and_then(Json::as_u64) > Some(0));
+
+    // The stats endpoint aggregates the diet counters and surfaces them on
+    // the last-job snapshot.
+    let stats = client.stats().expect("stats");
+    let formula = stats.get("formula").expect("formula totals");
+    assert!(formula.get("vars_eliminated").and_then(Json::as_u64) > Some(0));
+    // (This toy program is too small for guaranteed gate sharing; the TCAS
+    // benches assert a strictly positive hit count on a real workload.)
+    assert!(formula.get("gates_cached").and_then(Json::as_u64).is_some());
+    let last_job = stats.get("last_job").expect("last_job");
+    for field in [
+        "encode_gates_cached",
+        "vars_eliminated",
+        "clauses_subsumed",
+        "simplify_ms",
+    ] {
+        assert!(
+            last_job.get(field).and_then(Json::as_u64).is_some(),
+            "last_job must carry {field}"
+        );
+    }
+    server.shutdown();
+}
+
 #[test]
 fn wire_level_raw_lines_work_without_the_client() {
     // Talk to the daemon with nothing but a socket and hand-written JSON:

@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             unwind: benchmark.unwind,
             max_inline_depth: 8,
             concretize: Vec::new(),
+            ..EncodeConfig::default()
         },
         max_suspect_sets: 6,
         trusted_lines: benchmark.trusted_lines.clone(),

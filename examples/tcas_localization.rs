@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             unwind: 6,
             max_inline_depth: 8,
             concretize: Vec::new(),
+            ..bmc::EncodeConfig::default()
         },
         max_suspect_sets: 8,
         trusted_lines: tcas_trusted_lines(),

@@ -1,0 +1,275 @@
+//! Formula-diet equivalence and shrinkage tests: the hash-consed encoder and
+//! the selector-aware CNF preprocessor must be *semantically invisible* —
+//! localization reports pinned identical with the machinery on vs. off — and
+//! *measurably effective* — the TCAS trace formula must lose at least a
+//! quarter of its hard clauses.
+
+use bmc::{EncodeConfig, Spec};
+use bugassist::{Localizer, LocalizerConfig};
+use minic::ast::Line;
+use sat::{SatResult, Solver};
+
+/// TCAS v1 localizer config with the two formula-diet knobs set explicitly.
+fn tcas_config(gate_cache: bool, simplify: bool) -> LocalizerConfig {
+    LocalizerConfig {
+        encode: EncodeConfig {
+            width: 16,
+            unwind: 6,
+            max_inline_depth: 8,
+            gate_cache,
+            ..EncodeConfig::default()
+        },
+        max_suspect_sets: 4,
+        trusted_lines: siemens::tcas_trusted_lines(),
+        simplify,
+        ..LocalizerConfig::default()
+    }
+}
+
+/// One failing TCAS v1 vector together with its golden output.
+fn tcas_failing_case() -> (minic::Program, Vec<i64>, i64) {
+    let version = siemens::tcas_versions().into_iter().next().expect("v1");
+    let faulty = version.build(siemens::TCAS_SOURCE);
+    let interp = siemens::tcas_interp_config();
+    for input in siemens::tcas_test_vectors(120, 2011) {
+        let golden = siemens::tcas_golden_output(&input);
+        let outcome = bmc::run_program(&faulty, siemens::TCAS_ENTRY, &input, &[], interp);
+        if outcome.result != Some(golden) || !outcome.is_ok() {
+            return (faulty, input, golden);
+        }
+    }
+    panic!("TCAS v1 has failing vectors in the first 120");
+}
+
+#[test]
+fn tcas_reports_identical_with_and_without_simplification() {
+    let (faulty, input, golden) = tcas_failing_case();
+    let spec = Spec::ReturnEquals(golden);
+    let on = Localizer::new(
+        &faulty,
+        siemens::TCAS_ENTRY,
+        &spec,
+        &tcas_config(true, true),
+    )
+    .expect("TCAS encodes");
+    let off = Localizer::new(
+        &faulty,
+        siemens::TCAS_ENTRY,
+        &spec,
+        &tcas_config(true, false),
+    )
+    .expect("TCAS encodes");
+    let simplified = on.localize(&input).expect("localizes");
+    let raw = off.localize(&input).expect("localizes");
+
+    // Semantic content byte-identical (stats legitimately differ — that is
+    // the whole point of the diet).
+    assert_eq!(
+        format!("{:?}", simplified.suspects),
+        format!("{:?}", raw.suspects)
+    );
+    assert_eq!(simplified.suspect_lines, raw.suspect_lines);
+    assert!(!simplified.suspects.is_empty());
+
+    // Acceptance criterion: >= 25% fewer hard clauses on the TCAS trace
+    // formula, and the counters prove the pipeline actually ran.
+    let stats = simplified.stats;
+    assert!(stats.hard_clauses_pre_simplify > 0);
+    assert!(
+        stats.hard_clauses * 4 <= stats.hard_clauses_pre_simplify * 3,
+        "expected >= 25% hard-clause reduction, got {} -> {}",
+        stats.hard_clauses_pre_simplify,
+        stats.hard_clauses
+    );
+    assert!(stats.vars_eliminated > 0);
+    assert!(stats.encode_gates_cached > 0);
+    // The unsimplified run reports the raw formula and zeroed diet counters
+    // (`hard_clauses` additionally counts the per-test units appended on top
+    // of the template, so it sits slightly above the template count).
+    assert_eq!(raw.stats.vars_eliminated, 0);
+    assert_eq!(raw.stats.clauses_subsumed, 0);
+    assert!(raw.stats.hard_clauses >= raw.stats.hard_clauses_pre_simplify);
+}
+
+#[test]
+fn tcas_reports_identical_with_and_without_the_gate_cache() {
+    let (faulty, input, golden) = tcas_failing_case();
+    let spec = Spec::ReturnEquals(golden);
+    // Compare with simplification off on both sides so only the encoder
+    // differs; the cached encoding must blame exactly the same lines.
+    let cached = Localizer::new(
+        &faulty,
+        siemens::TCAS_ENTRY,
+        &spec,
+        &tcas_config(true, false),
+    )
+    .expect("TCAS encodes");
+    let naive = Localizer::new(
+        &faulty,
+        siemens::TCAS_ENTRY,
+        &spec,
+        &tcas_config(false, false),
+    )
+    .expect("TCAS encodes");
+    let with_cache = cached.localize(&input).expect("localizes");
+    let without = naive.localize(&input).expect("localizes");
+    assert_eq!(with_cache.suspect_lines, without.suspect_lines);
+    assert_eq!(
+        with_cache
+            .suspects
+            .iter()
+            .map(|s| s.cost)
+            .collect::<Vec<_>>(),
+        without.suspects.iter().map(|s| s.cost).collect::<Vec<_>>(),
+    );
+    // And it must be a diet, not a rename: fewer variables and clauses.
+    assert!(with_cache.stats.variables < without.stats.variables);
+    assert!(with_cache.stats.hard_clauses < without.stats.hard_clauses);
+    assert!(with_cache.stats.encode_gates_cached > 0);
+    assert_eq!(without.stats.encode_gates_cached, 0);
+}
+
+/// The Siemens fault programs (worked examples included): simplification on
+/// vs. off must pin byte-identical suspect sets on a real failing input.
+#[test]
+fn siemens_fault_programs_pin_simplified_reports() {
+    // tot_info is deliberately absent: its unreduced encode is ~1.2M clauses
+    // (the simplifier degrades to unit propagation there by design, see
+    // `SimplifyConfig::max_clauses`) and a debug-mode localization of it
+    // would dominate the whole suite.
+    for benchmark in [
+        siemens::printtokens(),
+        siemens::schedule_small(),
+        siemens::schedule2(),
+    ] {
+        let failing = benchmark.failing_inputs();
+        let Some(input) = failing.first() else {
+            panic!("{} has no failing inputs", benchmark.name);
+        };
+        let golden = benchmark
+            .golden_output(input)
+            .expect("failing input has a golden output");
+        let faulty = benchmark.faulty_program();
+        let base = LocalizerConfig {
+            encode: EncodeConfig {
+                width: benchmark.width,
+                unwind: benchmark.unwind,
+                max_inline_depth: 8,
+                concretize: benchmark.concretize.clone(),
+                ..EncodeConfig::default()
+            },
+            max_suspect_sets: 4,
+            trusted_lines: benchmark.trusted_lines.clone(),
+            ..LocalizerConfig::default()
+        };
+        let mut raw_config = base.clone();
+        raw_config.simplify = false;
+        let spec = Spec::ReturnEquals(golden);
+        let on = Localizer::new(&faulty, benchmark.entry, &spec, &base).expect("encodes");
+        let off = Localizer::new(&faulty, benchmark.entry, &spec, &raw_config).expect("encodes");
+        let simplified = on.localize(input).expect("localizes");
+        let plain = off.localize(input).expect("localizes");
+        assert_eq!(
+            format!("{:?}", simplified.suspects),
+            format!("{:?}", plain.suspects),
+            "suspects diverged on {}",
+            benchmark.name
+        );
+        assert_eq!(
+            simplified.suspect_lines, plain.suspect_lines,
+            "suspect lines diverged on {}",
+            benchmark.name
+        );
+        assert!(
+            simplified.stats.hard_clauses < plain.stats.hard_clauses,
+            "no shrinkage on {}",
+            benchmark.name
+        );
+    }
+}
+
+/// Counterexample decoding through the reconstruction map: simplify a trace
+/// formula with only the inputs and the property frozen, find a violating
+/// model of the *simplified* formula, extend it, and check that the decoded
+/// input (a) satisfies the original formula's model semantics and (b) really
+/// fails when executed concretely.
+#[test]
+fn counterexamples_decode_through_the_reconstruction_map() {
+    let program = minic::parse_program(
+        "int main(int x) {\nint y = x * 3 + 1;\nassert(y != 22);\nreturn y;\n}",
+    )
+    .unwrap();
+    let encode = EncodeConfig {
+        width: 8,
+        ..EncodeConfig::default()
+    };
+    let trace = bmc::encode_program(&program, "main", &Spec::Assertions, &encode).unwrap();
+    let mut frozen: Vec<sat::Var> = vec![trace.property.var()];
+    for (_, bv) in &trace.inputs {
+        frozen.extend(bv.bits().iter().map(|b| b.var()));
+    }
+    let simplified = sat::simplify(
+        trace.cnf.formula(),
+        &frozen,
+        &sat::SimplifyConfig::default(),
+    );
+    assert!(!simplified.unsat);
+    assert!(simplified.stats.vars_eliminated > 0);
+
+    let mut solver = Solver::from_formula(&simplified.cnf);
+    assert_eq!(solver.solve_assuming(&[!trace.property]), SatResult::Sat);
+    let mut model = solver.model();
+    model.resize(trace.cnf.num_vars(), false);
+    simplified.reconstruction.extend(&mut model);
+    // The extended model satisfies the *original* bit-blasted formula.
+    assert!(trace.cnf.formula().eval(&model));
+    // And the decoded counterexample is real: x = 7 makes y = 22.
+    let inputs = trace.inputs_from_model(&model);
+    assert_eq!(inputs, vec![7]);
+    let outcome = bmc::run_program(
+        &program,
+        "main",
+        &inputs,
+        &[],
+        bmc::InterpConfig {
+            width: 8,
+            ..bmc::InterpConfig::default()
+        },
+    );
+    assert!(!outcome.is_ok(), "decoded input must violate the assertion");
+}
+
+/// The motivating example still blames the paper's two fix points through
+/// the full diet (cache + preprocessing + core trimming), and the revise
+/// (relabel) path carries the diet counters over unchanged.
+#[test]
+fn motivating_example_survives_the_full_diet() {
+    let src = "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}";
+    let program = minic::parse_program(src).unwrap();
+    let config = LocalizerConfig {
+        encode: EncodeConfig {
+            width: 8,
+            ..EncodeConfig::default()
+        },
+        ..LocalizerConfig::default()
+    };
+    let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config).unwrap();
+    let report = localizer.localize(&[1]).unwrap();
+    assert!(report.blames_line(Line(6)));
+    assert!(report.blames_line(Line(3)));
+    assert!(report.stats.vars_eliminated > 0);
+
+    // A pure line shift reuses the prepared (already simplified) formula:
+    // same diet counters, shifted blame.
+    let shifted_src = "int Array[3];\nint testme(int index) {\nif (index != 1) {\nindex = 2;\n} else {\n\nindex = index + 2;\n}\nint i = index;\nreturn Array[i];\n}";
+    let shifted = minic::parse_program(shifted_src).unwrap();
+    let (revised, delta) = localizer
+        .reprepare(&program, &shifted, "testme", &Spec::Assertions, &config)
+        .unwrap();
+    assert!(delta.reused());
+    let after = revised.localize(&[1]).unwrap();
+    assert!(after.blames_line(Line(7)));
+    assert_eq!(after.stats.vars_eliminated, report.stats.vars_eliminated);
+    assert_eq!(after.stats.clauses_subsumed, report.stats.clauses_subsumed);
+    assert_eq!(after.stats.hard_clauses, report.stats.hard_clauses);
+}

@@ -40,6 +40,7 @@ fn config(strategy: Strategy, portfolio: bool) -> LocalizerConfig {
             unwind: 6,
             max_inline_depth: 8,
             concretize: Vec::new(),
+            ..bmc::EncodeConfig::default()
         },
         strategy,
         portfolio,

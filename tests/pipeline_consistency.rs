@@ -17,6 +17,7 @@ fn symbolic_and_concrete_tcas_agree() {
         unwind: 6,
         max_inline_depth: 8,
         concretize: Vec::new(),
+        ..EncodeConfig::default()
     };
     let vectors = siemens::tcas_test_vectors(12, 99);
     for input in &vectors {
@@ -67,6 +68,7 @@ fn tcas_injected_fault_is_found_for_a_failing_vector() {
             unwind: 6,
             max_inline_depth: 8,
             concretize: Vec::new(),
+            ..EncodeConfig::default()
         },
         max_suspect_sets: 24,
         trusted_lines: siemens::tcas_trusted_lines(),
@@ -108,6 +110,7 @@ fn trace_reduction_shrinks_the_totinfo_encoding() {
         unwind: benchmark.unwind,
         max_inline_depth: 16,
         concretize: Vec::new(),
+        ..EncodeConfig::default()
     };
     let before = bmc::encode_program(&faulty, benchmark.entry, &spec, &encode).unwrap();
     let slice = bmc::backward_slice(&faulty, benchmark.entry, bmc::SliceCriterion::ReturnValue);
