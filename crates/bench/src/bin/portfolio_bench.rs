@@ -141,6 +141,53 @@ fn main() {
         )
     };
 
+    // --- word-level pre-bit-blast passes: gate count before any CNF --------
+    // Encode TCAS with the word-level passes on (default) and off, and
+    // *assert* a reduction in gates emitted before CNF: a silently disabled
+    // word layer fails the build instead of quietly fattening the formula.
+    let word = {
+        let on = bmc::encode_program(&faulty, TCAS_ENTRY, &spec, &encode_config())
+            .expect("TCAS encodes");
+        let mut off_config = encode_config();
+        off_config.word_passes = false;
+        let off =
+            bmc::encode_program(&faulty, TCAS_ENTRY, &spec, &off_config).expect("TCAS encodes");
+        assert!(
+            on.stats.gates_emitted < off.stats.gates_emitted,
+            "word-level passes reported no pre-bit-blast reduction on TCAS: \
+             {} gates with passes on vs {} off",
+            on.stats.gates_emitted,
+            off.stats.gates_emitted
+        );
+        assert!(
+            on.stats.word_nodes_folded > 0 && on.stats.word_cse_hits > 0,
+            "word-level counters are dead on TCAS: {:?}",
+            on.stats
+        );
+        let reduction = 1.0 - on.stats.gates_emitted as f64 / off.stats.gates_emitted as f64;
+        for (label, value) in [
+            ("word_nodes", on.stats.word_nodes),
+            ("word_nodes_folded", on.stats.word_nodes_folded),
+            ("word_cse_hits", on.stats.word_cse_hits),
+            ("bits_narrowed", on.stats.bits_narrowed),
+            ("gates_emitted_word_on", on.stats.gates_emitted),
+            ("gates_emitted_word_off", off.stats.gates_emitted),
+        ] {
+            group.counter(label, value);
+        }
+        format!(
+            "  \"word_level\": {{\n    \"word_nodes\": {},\n    \"word_nodes_folded\": {},\n    \"word_cse_hits\": {},\n    \"bits_narrowed\": {},\n    \"gates_emitted_on\": {},\n    \"gates_emitted_off\": {},\n    \"clauses_on\": {},\n    \"clauses_off\": {},\n    \"gate_reduction\": {reduction:.3}\n  }},",
+            on.stats.word_nodes,
+            on.stats.word_nodes_folded,
+            on.stats.word_cse_hits,
+            on.stats.bits_narrowed,
+            on.stats.gates_emitted,
+            off.stats.gates_emitted,
+            on.stats.clauses,
+            off.stats.clauses,
+        )
+    };
+
     // --- single-extraction comparison: each strategy and the portfolio -----
     let mut strategy_ms: Vec<(String, f64)> = Vec::new();
     for (label, strategy, portfolio) in [
@@ -205,7 +252,7 @@ fn main() {
         .map(|(label, ms)| format!("    \"{label}_ms\": {ms:.3}"))
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"tcas_v1_localization\",\n  \"pool\": {{\"size\": 300, \"seed\": 2011}},\n  \"encode\": {{\"width\": 16, \"unwind\": 6}},\n  \"max_suspect_sets\": 4,\n  \"samples_per_measurement\": {samples},\n  \"hardware_threads\": {hardware_threads},\n  \"portfolio_mode\": \"{}\",\n{diet}\n  \"single_extraction\": {{\n{}\n  }},\n  \"forced_race_chain120_ms\": {forced_race_ms:.3},\n  \"fu_malik_chain120_solver\": {{\n    \"sat_calls\": {},\n    \"conflicts\": {},\n    \"reduce_dbs\": {},\n    \"removed_learnts\": {},\n    \"arena_bytes\": {}\n  }},\n  \"batch\": {{\n    \"failing_tests\": {},\n    \"sequential_loop_ms\": {sequential_ms:.3},\n    \"localize_batch_ms\": {batched_ms:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"tcas_v1_localization\",\n  \"pool\": {{\"size\": 300, \"seed\": 2011}},\n  \"encode\": {{\"width\": 16, \"unwind\": 6}},\n  \"max_suspect_sets\": 4,\n  \"samples_per_measurement\": {samples},\n  \"hardware_threads\": {hardware_threads},\n  \"portfolio_mode\": \"{}\",\n{diet}\n{word}\n  \"single_extraction\": {{\n{}\n  }},\n  \"forced_race_chain120_ms\": {forced_race_ms:.3},\n  \"fu_malik_chain120_solver\": {{\n    \"sat_calls\": {},\n    \"conflicts\": {},\n    \"reduce_dbs\": {},\n    \"removed_learnts\": {},\n    \"arena_bytes\": {}\n  }},\n  \"batch\": {{\n    \"failing_tests\": {},\n    \"sequential_loop_ms\": {sequential_ms:.3},\n    \"localize_batch_ms\": {batched_ms:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
         if hardware_threads >= 2 {
             "threaded_race"
         } else {

@@ -1,0 +1,642 @@
+//! BTOR2 and SMT-LIB2 serialization of word-level DAGs.
+//!
+//! The word-level IR ([`crate::word`]) speaks the same dialect as hardware
+//! model checkers, so dumping it to the two standard exchange formats is a
+//! line-per-node walk. The dumps serve two purposes:
+//!
+//! * **differential oracle** — [`parse_btor2`] reads our own BTOR2 back into
+//!   a fresh [`WordDag`]; pinning tests check the round trip is structural
+//!   identity and that [`WordDag::eval`] agrees before and after, so a
+//!   serializer bug cannot hide;
+//! * **external escape hatch** — the text can be handed to `btormc`,
+//!   `bitwuzla`, `z3` or any QF_BV solver to cross-check a trace formula the
+//!   pipeline built, without those tools being build dependencies.
+//!
+//! Bound nodes (the clause-group relaxation points) serialize as transparent
+//! aliases: the dump describes the *faithful* program semantics — every
+//! selector on — which is exactly what an external solver should check.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitblast::word::{WordBuilder, WordConfig};
+//! use bitblast::dump;
+//!
+//! let mut b = WordBuilder::new(8, WordConfig::off());
+//! let x = b.input();
+//! let zero = b.const_bv(0);
+//! let property = b.sge(x, zero); // claim: x >= 0 (falsifiable)
+//! let dag = b.into_dag();
+//!
+//! let btor = dump::btor2(&dag, &[("x".into(), x)], property);
+//! assert!(btor.contains("sort bitvec 8"));
+//! let smt = dump::smtlib2(&dag, &[("x".into(), x)], property);
+//! assert!(smt.contains("(set-logic QF_BV)"));
+//! ```
+
+use crate::word::{Node, NodeId, Sort, WordBuilder, WordConfig, WordDag};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes the nodes reachable from `property` (and the named `inputs`)
+/// to BTOR2. The property is emitted as a `bad` state on its negation, the
+/// model-checker convention: a witness for the `bad` line is a
+/// counterexample to the property.
+pub fn btor2(dag: &WordDag, inputs: &[(String, NodeId)], property: NodeId) -> String {
+    let width = dag.width();
+    let mut out = String::new();
+    let mut line = 0u32;
+    // BTOR2 ids are 1-based and must be defined before use.
+    let mut ids: HashMap<NodeId, (u32, bool)> = HashMap::new(); // (line, is_bool)
+    let mut next = || {
+        line += 1;
+        line
+    };
+    let sort_bv = next();
+    let _ = writeln!(out, "{sort_bv} sort bitvec {width}");
+    let sort_bool = next();
+    let _ = writeln!(out, "{sort_bool} sort bitvec 1");
+
+    let names: HashMap<NodeId, &str> = inputs
+        .iter()
+        .map(|(name, id)| (*id, name.as_str()))
+        .collect();
+
+    let mut order = Vec::new();
+    mark(dag, property, &mut vec![false; dag.len()], &mut order);
+    for (_, id) in inputs {
+        mark(dag, *id, &mut vec![false; dag.len()], &mut order);
+    }
+    order.sort();
+    order.dedup();
+
+    for id in order {
+        let is_bool = dag.sort(id) == Sort::Bool;
+        let sort = if is_bool { sort_bool } else { sort_bv };
+        let operand = |of: NodeId, ids: &HashMap<NodeId, (u32, bool)>| ids[&of].0;
+        let n = match dag.node(id) {
+            // Bound nodes are transparent: reuse the definition's line.
+            Node::Bound { of, .. } | Node::BoundBit { of, .. } => {
+                let entry = ids[&of];
+                ids.insert(id, entry);
+                continue;
+            }
+            Node::Const(c) => {
+                let n = next();
+                let unsigned = (c as u64) & mask(width);
+                let _ = writeln!(out, "{n} constd {sort} {unsigned}");
+                n
+            }
+            Node::ConstBool(b) => {
+                let n = next();
+                let _ = writeln!(out, "{n} constd {sort} {}", u8::from(b));
+                n
+            }
+            Node::Input(_) => {
+                let n = next();
+                match names.get(&id) {
+                    Some(name) => {
+                        let _ = writeln!(out, "{n} input {sort} {name}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{n} input {sort}");
+                    }
+                }
+                n
+            }
+            Node::Not(a) => emit1(&mut out, &mut next, "not", sort, operand(a, &ids)),
+            Node::BitNot(a) => emit1(&mut out, &mut next, "not", sort, operand(a, &ids)),
+            Node::Nonzero(a) => emit1(&mut out, &mut next, "redor", sort, operand(a, &ids)),
+            Node::And(a, b) => emit2(&mut out, &mut next, "and", sort, ids[&a].0, ids[&b].0),
+            Node::Or(a, b) => emit2(&mut out, &mut next, "or", sort, ids[&a].0, ids[&b].0),
+            Node::Eq(a, b) => emit2(&mut out, &mut next, "eq", sort, ids[&a].0, ids[&b].0),
+            Node::Slt(a, b) => emit2(&mut out, &mut next, "slt", sort, ids[&a].0, ids[&b].0),
+            Node::Ult(a, b) => emit2(&mut out, &mut next, "ult", sort, ids[&a].0, ids[&b].0),
+            Node::Add(a, b) => emit2(&mut out, &mut next, "add", sort, ids[&a].0, ids[&b].0),
+            Node::Sub(a, b) => emit2(&mut out, &mut next, "sub", sort, ids[&a].0, ids[&b].0),
+            Node::Mul(a, b) => emit2(&mut out, &mut next, "mul", sort, ids[&a].0, ids[&b].0),
+            Node::Sdiv(a, b) => emit2(&mut out, &mut next, "sdiv", sort, ids[&a].0, ids[&b].0),
+            Node::Srem(a, b) => emit2(&mut out, &mut next, "srem", sort, ids[&a].0, ids[&b].0),
+            Node::Udiv(a, b) => emit2(&mut out, &mut next, "udiv", sort, ids[&a].0, ids[&b].0),
+            Node::BitAnd(a, b) => emit2(&mut out, &mut next, "and", sort, ids[&a].0, ids[&b].0),
+            Node::BitOr(a, b) => emit2(&mut out, &mut next, "or", sort, ids[&a].0, ids[&b].0),
+            Node::BitXor(a, b) => emit2(&mut out, &mut next, "xor", sort, ids[&a].0, ids[&b].0),
+            Node::Shl(a, b) => emit2(&mut out, &mut next, "sll", sort, ids[&a].0, ids[&b].0),
+            Node::Ashr(a, b) => emit2(&mut out, &mut next, "sra", sort, ids[&a].0, ids[&b].0),
+            Node::Ite(c, t, e) => {
+                let n = next();
+                let _ = writeln!(
+                    out,
+                    "{n} ite {sort} {} {} {}",
+                    ids[&c].0, ids[&t].0, ids[&e].0
+                );
+                n
+            }
+            Node::Slice { of, hi, lo } => {
+                // BTOR2 slice changes the sort; zero-extend back to width.
+                let len = hi - lo + 1;
+                let slice_sort = if len == 1 {
+                    sort_bool
+                } else {
+                    let s = next();
+                    let _ = writeln!(out, "{s} sort bitvec {len}");
+                    s
+                };
+                let sliced = next();
+                let _ = writeln!(out, "{sliced} slice {slice_sort} {} {hi} {lo}", ids[&of].0);
+                let n = next();
+                let _ = writeln!(out, "{n} uext {sort} {sliced} {}", width as u32 - len);
+                n
+            }
+        };
+        ids.insert(id, (n, is_bool));
+    }
+
+    // Property: bad state reached when the property fails.
+    let (prop_line, prop_bool) = ids[&property];
+    let prop_line = if prop_bool {
+        prop_line
+    } else {
+        let n = next();
+        let _ = writeln!(out, "{n} redor {sort_bool} {prop_line}");
+        n
+    };
+    let negated = next();
+    let _ = writeln!(out, "{negated} not {sort_bool} {prop_line}");
+    let bad = next();
+    let _ = writeln!(out, "{bad} bad {negated}");
+    out
+}
+
+fn emit1(out: &mut String, next: &mut impl FnMut() -> u32, op: &str, sort: u32, a: u32) -> u32 {
+    let n = next();
+    let _ = writeln!(out, "{n} {op} {sort} {a}");
+    n
+}
+
+fn emit2(
+    out: &mut String,
+    next: &mut impl FnMut() -> u32,
+    op: &str,
+    sort: u32,
+    a: u32,
+    b: u32,
+) -> u32 {
+    let n = next();
+    let _ = writeln!(out, "{n} {op} {sort} {a} {b}");
+    n
+}
+
+/// Serializes the DAG to SMT-LIB2 (`QF_BV`): inputs become `declare-const`,
+/// every other reachable node a `define-fun`, and the query asserts the
+/// *negated* property — `sat` means counterexample, `unsat` means the
+/// property holds, matching the BMC convention.
+pub fn smtlib2(dag: &WordDag, inputs: &[(String, NodeId)], property: NodeId) -> String {
+    let width = dag.width();
+    let mut out = String::new();
+    let _ = writeln!(out, "(set-logic QF_BV)");
+    let names: HashMap<NodeId, &str> = inputs
+        .iter()
+        .map(|(name, id)| (*id, name.as_str()))
+        .collect();
+
+    let mut order = Vec::new();
+    mark(dag, property, &mut vec![false; dag.len()], &mut order);
+    for (_, id) in inputs {
+        mark(dag, *id, &mut vec![false; dag.len()], &mut order);
+    }
+    order.sort();
+    order.dedup();
+
+    // A symbol per node; bound nodes alias their definition's symbol.
+    let mut sym: HashMap<NodeId, String> = HashMap::new();
+    for id in order {
+        let node = dag.node(id);
+        if let Node::Bound { of, .. } | Node::BoundBit { of, .. } = node {
+            let alias = sym[&of].clone();
+            sym.insert(id, alias);
+            continue;
+        }
+        if let Node::Input(_) = node {
+            let name = names
+                .get(&id)
+                .map(|s| format!("|{s}|"))
+                .unwrap_or_else(|| format!("n{}", id.0));
+            let _ = writeln!(out, "(declare-const {name} (_ BitVec {width}))");
+            sym.insert(id, name);
+            continue;
+        }
+        let sort = match dag.sort(id) {
+            Sort::Bool => "Bool".to_string(),
+            Sort::BitVec => format!("(_ BitVec {width})"),
+        };
+        let body = smt_body(dag, id, width, &sym);
+        let name = format!("n{}", id.0);
+        let _ = writeln!(out, "(define-fun {name} () {sort} {body})");
+        sym.insert(id, name);
+    }
+    let _ = writeln!(out, "(assert (not {}))", sym[&property]);
+    let _ = writeln!(out, "(check-sat)");
+    out
+}
+
+fn smt_body(dag: &WordDag, id: NodeId, width: usize, sym: &HashMap<NodeId, String>) -> String {
+    let s = |of: NodeId| sym[&of].clone();
+    match dag.node(id) {
+        Node::Const(c) => format!("(_ bv{} {width})", (c as u64) & mask(width)),
+        Node::ConstBool(b) => (if b { "true" } else { "false" }).to_string(),
+        Node::Input(_) | Node::Bound { .. } | Node::BoundBit { .. } => {
+            unreachable!("handled by caller")
+        }
+        Node::Not(a) => format!("(not {})", s(a)),
+        Node::And(a, b) => format!("(and {} {})", s(a), s(b)),
+        Node::Or(a, b) => format!("(or {} {})", s(a), s(b)),
+        Node::Eq(a, b) => format!("(= {} {})", s(a), s(b)),
+        Node::Slt(a, b) => format!("(bvslt {} {})", s(a), s(b)),
+        Node::Ult(a, b) => format!("(bvult {} {})", s(a), s(b)),
+        Node::Nonzero(a) => format!("(distinct {} (_ bv0 {width}))", s(a)),
+        Node::Ite(c, t, e) => format!("(ite {} {} {})", s(c), s(t), s(e)),
+        Node::Add(a, b) => format!("(bvadd {} {})", s(a), s(b)),
+        Node::Sub(a, b) => format!("(bvsub {} {})", s(a), s(b)),
+        Node::Mul(a, b) => format!("(bvmul {} {})", s(a), s(b)),
+        // MinC defines division/remainder by zero as zero; SMT-LIB's bvsdiv
+        // by zero is all-ones/dividend, so guard explicitly.
+        Node::Sdiv(a, b) => format!(
+            "(ite (= {b} (_ bv0 {width})) (_ bv0 {width}) (bvsdiv {a} {b}))",
+            a = s(a),
+            b = s(b)
+        ),
+        Node::Srem(a, b) => format!(
+            "(ite (= {b} (_ bv0 {width})) (_ bv0 {width}) (bvsrem {a} {b}))",
+            a = s(a),
+            b = s(b)
+        ),
+        Node::Udiv(a, b) => format!("(bvudiv {} {})", s(a), s(b)),
+        Node::BitAnd(a, b) => format!("(bvand {} {})", s(a), s(b)),
+        Node::BitOr(a, b) => format!("(bvor {} {})", s(a), s(b)),
+        Node::BitXor(a, b) => format!("(bvxor {} {})", s(a), s(b)),
+        Node::BitNot(a) => format!("(bvnot {})", s(a)),
+        Node::Shl(a, b) => format!("(bvshl {} {})", s(a), s(b)),
+        Node::Ashr(a, b) => format!("(bvashr {} {})", s(a), s(b)),
+        Node::Slice { of, hi, lo } => {
+            let len = hi - lo + 1;
+            format!(
+                "((_ zero_extend {}) ((_ extract {hi} {lo}) {}))",
+                width as u32 - len,
+                s(of)
+            )
+        }
+    }
+}
+
+/// Depth-first postorder collection of the nodes reachable from `root`.
+fn mark(dag: &WordDag, root: NodeId, seen: &mut [bool], order: &mut Vec<NodeId>) {
+    if seen[root.index()] {
+        return;
+    }
+    seen[root.index()] = true;
+    for op in dag.operands(root) {
+        mark(dag, op, seen, order);
+    }
+    order.push(root);
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// The result of [`parse_btor2`]: the reconstructed DAG plus the input nodes
+/// (in declaration order, with their names when present) and the property
+/// (the *un-negated* claim recovered from the `bad` line).
+#[derive(Debug)]
+pub struct ParsedBtor2 {
+    /// The reconstructed word-level DAG.
+    pub dag: WordDag,
+    /// Declared inputs in order of appearance, with optional symbol names.
+    pub inputs: Vec<(Option<String>, NodeId)>,
+    /// The property whose negation the `bad` line monitors.
+    pub property: NodeId,
+}
+
+/// Parses the BTOR2 subset [`btor2`] emits back into a [`WordDag`]. This is
+/// the round-trip half of the differential oracle: it understands exactly
+/// the ops our serializer produces (plus whitespace/`;` comments), not the
+/// full BTOR2 language.
+///
+/// Returns an error string naming the offending line on malformed input.
+pub fn parse_btor2(text: &str) -> Result<ParsedBtor2, String> {
+    // All bit-vector sorts must share one width (our dumps guarantee it);
+    // 1-bit sorts are Boolean.
+    let mut width: Option<usize> = None;
+    let mut sorts: HashMap<u32, usize> = HashMap::new();
+    let mut builder: Option<WordBuilder> = None;
+    let mut nodes: HashMap<u32, NodeId> = HashMap::new();
+    // Slices are zero-extended in a second step; remember them until `uext`.
+    let mut pending_slices: HashMap<u32, NodeId> = HashMap::new();
+    let mut inputs: Vec<(Option<String>, NodeId)> = Vec::new();
+    let mut property: Option<NodeId> = None;
+
+    let err = |line_no: usize, msg: &str| format!("btor2 line {}: {msg}", line_no + 1);
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return Err(err(line_no, "too few tokens"));
+        }
+        let id: u32 = tokens[0].parse().map_err(|_| err(line_no, "bad node id"))?;
+        let op = tokens[1];
+        let arg = |k: usize| -> Result<u32, String> {
+            tokens
+                .get(k)
+                .ok_or_else(|| err(line_no, "missing operand"))?
+                .parse()
+                .map_err(|_| err(line_no, "bad operand"))
+        };
+        let node_arg = |k: usize, nodes: &HashMap<u32, NodeId>| -> Result<NodeId, String> {
+            let line_id = arg(k)?;
+            nodes
+                .get(&line_id)
+                .copied()
+                .ok_or_else(|| err(line_no, "operand references unknown node"))
+        };
+
+        match op {
+            "sort" => {
+                if tokens.get(2) != Some(&"bitvec") {
+                    return Err(err(line_no, "only bitvec sorts supported"));
+                }
+                let w: usize = arg(3)? as usize;
+                sorts.insert(id, w);
+                if w > 1 {
+                    match width {
+                        None => {
+                            width = Some(w);
+                            builder = Some(WordBuilder::new(w, WordConfig::off()));
+                        }
+                        Some(prev) if prev == w => {}
+                        Some(prev) => {
+                            // Narrower slice sorts are fine; a second wide
+                            // sort is not.
+                            if w > prev {
+                                return Err(err(line_no, "conflicting bitvec widths"));
+                            }
+                        }
+                    }
+                }
+            }
+            "constd" => {
+                let b = builder.as_mut().ok_or_else(|| err(line_no, "no sort"))?;
+                let sort_w = *sorts
+                    .get(&arg(2)?)
+                    .ok_or_else(|| err(line_no, "bad sort"))?;
+                let value: u64 = tokens
+                    .get(3)
+                    .ok_or_else(|| err(line_no, "missing constant"))?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad constant"))?;
+                let node = if sort_w == 1 {
+                    b.const_bool(value != 0)
+                } else {
+                    b.const_bv(value as i64)
+                };
+                nodes.insert(id, node);
+            }
+            "input" => {
+                let b = builder.as_mut().ok_or_else(|| err(line_no, "no sort"))?;
+                let node = b.input();
+                inputs.push((tokens.get(3).map(|s| s.to_string()), node));
+                nodes.insert(id, node);
+            }
+            "slice" => {
+                let b = builder.as_mut().ok_or_else(|| err(line_no, "no sort"))?;
+                let of = node_arg(3, &nodes)?;
+                let hi = arg(4)?;
+                let lo = arg(5)?;
+                pending_slices.insert(id, b.slice(of, hi, lo));
+            }
+            "uext" => {
+                // Only appears as the zero-extension of a pending slice.
+                let src = arg(3)?;
+                let node = pending_slices
+                    .remove(&src)
+                    .ok_or_else(|| err(line_no, "uext of non-slice"))?;
+                nodes.insert(id, node);
+            }
+            "bad" => {
+                let monitored = node_arg(2, &nodes)?;
+                let b = builder.as_mut().ok_or_else(|| err(line_no, "no sort"))?;
+                // The dump wrote `bad (not property)`; recover the claim.
+                property = Some(b.not(monitored));
+            }
+            _ => {
+                let b = builder.as_mut().ok_or_else(|| err(line_no, "no sort"))?;
+                let sort_w = *sorts
+                    .get(&arg(2)?)
+                    .ok_or_else(|| err(line_no, "bad sort"))?;
+                let is_bool = sort_w == 1;
+                let node = match op {
+                    "not" => {
+                        let a = node_arg(3, &nodes)?;
+                        if is_bool {
+                            b.not(a)
+                        } else {
+                            b.bitnot(a)
+                        }
+                    }
+                    "redor" => {
+                        let a = node_arg(3, &nodes)?;
+                        b.nonzero(a)
+                    }
+                    "and" | "or" | "eq" | "slt" | "ult" | "add" | "sub" | "mul" | "sdiv"
+                    | "srem" | "udiv" | "xor" | "sll" | "sra" => {
+                        let x = node_arg(3, &nodes)?;
+                        let y = node_arg(4, &nodes)?;
+                        match (op, is_bool) {
+                            ("and", true) => b.and(x, y),
+                            ("or", true) => b.or(x, y),
+                            ("and", false) => b.bitand(x, y),
+                            ("or", false) => b.bitor(x, y),
+                            ("eq", _) => b.eq(x, y),
+                            ("slt", _) => b.slt(x, y),
+                            ("ult", _) => b.ult(x, y),
+                            ("add", _) => b.add(x, y),
+                            ("sub", _) => b.sub(x, y),
+                            ("mul", _) => b.mul(x, y),
+                            ("sdiv", _) => b.sdiv(x, y),
+                            ("srem", _) => b.srem(x, y),
+                            ("udiv", _) => b.udiv(x, y),
+                            ("xor", _) => b.bitxor(x, y),
+                            ("sll", _) => b.shl(x, y),
+                            ("sra", _) => b.ashr(x, y),
+                            _ => unreachable!(),
+                        }
+                    }
+                    "ite" => {
+                        let c = node_arg(3, &nodes)?;
+                        let t = node_arg(4, &nodes)?;
+                        let e = node_arg(5, &nodes)?;
+                        b.ite(c, t, e)
+                    }
+                    other => return Err(err(line_no, &format!("unsupported op `{other}`"))),
+                };
+                nodes.insert(id, node);
+            }
+        }
+    }
+
+    let builder = builder.ok_or_else(|| "btor2: no bitvec sort declared".to_string())?;
+    let property = property.ok_or_else(|| "btor2: no bad property".to_string())?;
+    Ok(ParsedBtor2 {
+        dag: builder.into_dag(),
+        inputs,
+        property,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::{WordBuilder, WordConfig};
+
+    /// A small but representative DAG: arithmetic, comparison, mux, slice.
+    fn sample() -> (WordDag, Vec<(String, NodeId)>, NodeId) {
+        let mut b = WordBuilder::new(8, WordConfig::off());
+        let x = b.input();
+        let y = b.input();
+        let three = b.const_bv(3);
+        let product = b.mul(x, three);
+        let sum = b.add(product, y);
+        let c = b.slt(x, y);
+        let picked = b.ite(c, sum, product);
+        let low = b.slice(picked, 3, 0);
+        let quotient = b.udiv(low, y);
+        let limit = b.const_bv(100);
+        let property = b.slt(quotient, limit);
+        let inputs = vec![("x".to_string(), x), ("y".to_string(), y)];
+        (b.into_dag(), inputs, property)
+    }
+
+    #[test]
+    fn btor2_round_trips_through_the_parser() {
+        let (dag, inputs, property) = sample();
+        let text = btor2(&dag, &inputs, property);
+        let parsed = parse_btor2(&text).expect("parses");
+        assert_eq!(parsed.dag.width(), dag.width());
+        assert_eq!(parsed.inputs.len(), inputs.len());
+        assert_eq!(parsed.inputs[0].0.as_deref(), Some("x"));
+        // Differential oracle: both DAGs evaluate identically. The parsed
+        // property is the claim itself (the parser strips the bad-negation).
+        for xv in [-120i64, -1, 0, 3, 77] {
+            for yv in [-5i64, 0, 1, 13] {
+                assert_eq!(
+                    dag.eval(property, &[xv, yv]),
+                    parsed.dag.eval(parsed.property, &[xv, yv]),
+                    "x={xv} y={yv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn btor2_format_is_pinned() {
+        // External-format pin: the exact text for a tiny formula. Breaking
+        // this means breaking consumers like btormc.
+        let mut b = WordBuilder::new(4, WordConfig::off());
+        let x = b.input();
+        let one = b.const_bv(1);
+        let sum = b.add(x, one);
+        let property = b.eq(sum, x);
+        let text = btor2(&b.into_dag(), &[("x".to_string(), x)], property);
+        let expected = "\
+1 sort bitvec 4
+2 sort bitvec 1
+3 input 1 x
+4 constd 1 1
+5 add 1 3 4
+6 eq 2 3 5
+7 not 2 6
+8 bad 7
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn smtlib2_format_is_pinned() {
+        let mut b = WordBuilder::new(4, WordConfig::off());
+        let x = b.input();
+        let one = b.const_bv(1);
+        let sum = b.add(x, one);
+        let property = b.eq(sum, x);
+        let text = smtlib2(&b.into_dag(), &[("x".to_string(), x)], property);
+        let expected = "\
+(set-logic QF_BV)
+(declare-const |x| (_ BitVec 4))
+(define-fun n1 () (_ BitVec 4) (_ bv1 4))
+(define-fun n2 () (_ BitVec 4) (bvadd |x| n1))
+(define-fun n3 () Bool (= |x| n2))
+(assert (not n3))
+(check-sat)
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn bound_nodes_dump_as_transparent_aliases() {
+        use crate::grouped::GroupId;
+        let mut b = WordBuilder::new(8, WordConfig::off());
+        let x = b.input();
+        let one = b.const_bv(1);
+        let sum = b.add(x, one);
+        b.set_group(Some(GroupId(0)));
+        let bound = b.bind_bv(sum);
+        b.set_group(None);
+        let zero = b.const_bv(0);
+        let property = b.eq(bound, zero);
+        let dag = b.into_dag();
+        let smt = smtlib2(&dag, &[("x".to_string(), x)], property);
+        // No separate definition for the bound node: the equality references
+        // the sum directly.
+        assert!(!smt.contains(&format!("n{}", bound.0)), "{smt}");
+        let btor = btor2(&dag, &[("x".to_string(), x)], property);
+        let parsed = parse_btor2(&btor).expect("parses");
+        for xv in [-1i64, 0, 255] {
+            assert_eq!(
+                dag.eval(property, &[xv]),
+                parsed.dag.eval(parsed.property, &[xv])
+            );
+        }
+    }
+
+    #[test]
+    fn negative_constants_print_unsigned() {
+        let mut b = WordBuilder::new(8, WordConfig::off());
+        let x = b.input();
+        let minus_one = b.const_bv(-1);
+        let property = b.eq(x, minus_one);
+        let dag = b.into_dag();
+        let btor = btor2(&dag, &[("x".to_string(), x)], property);
+        assert!(btor.contains("constd 1 255"), "{btor}");
+        let smt = smtlib2(&dag, &[("x".to_string(), x)], property);
+        assert!(smt.contains("(_ bv255 8)"), "{smt}");
+        // And the parser reads the unsigned spelling back to the same value.
+        let parsed = parse_btor2(&btor).expect("parses");
+        assert_eq!(parsed.dag.eval(parsed.property, &[-1]), 1);
+        assert_eq!(parsed.dag.eval(parsed.property, &[1]), 0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_btor2("1 sort array 4").is_err());
+        assert!(parse_btor2("garbage").is_err());
+        assert!(parse_btor2("1 sort bitvec 8\n2 add 1 5 6").is_err());
+        assert!(parse_btor2("").is_err());
+    }
+}

@@ -33,6 +33,18 @@ impl BitVec {
     pub fn sign_bit(&self) -> Lit {
         *self.bits.last().expect("bit-vectors are never empty")
     }
+
+    /// Assembles a bit-vector from literals, least-significant bit first.
+    /// The word-level lowering uses this to build truncated and re-extended
+    /// vectors around narrowed arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits(bits: Vec<Lit>) -> BitVec {
+        assert!(!bits.is_empty(), "bit-vectors are never empty");
+        BitVec { bits }
+    }
 }
 
 /// One hash-consed gate: the output literal plus the clause group its
@@ -240,6 +252,13 @@ impl Encoder {
             self.emit(vec![!x, y]);
             self.emit(vec![x, !y]);
         }
+    }
+
+    /// Asserts that two literals are equal (two binary clauses in the
+    /// current group).
+    pub fn assert_bit_equal(&mut self, a: Lit, b: Lit) {
+        self.emit(vec![!a, b]);
+        self.emit(vec![a, !b]);
     }
 
     // ----- single-bit gates (Tseitin) -------------------------------------
@@ -563,6 +582,14 @@ impl Encoder {
     pub fn bv_srem(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
         let (_, r) = self.bv_sdivrem(a, b);
         r
+    }
+
+    /// Unsigned division. Division by zero yields all-ones, the SMT-LIB
+    /// `bvudiv` convention, which the restoring divider implements for free
+    /// (every trial subtraction of zero succeeds).
+    pub fn bv_udiv(&mut self, a: &BitVec, b: &BitVec) -> BitVec {
+        let (q, _) = self.bv_udivrem(a, b);
+        q
     }
 
     fn bv_abs(&mut self, a: &BitVec) -> BitVec {

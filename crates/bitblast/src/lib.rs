@@ -13,7 +13,14 @@
 //! * [`GroupedCnf`] / [`GroupId`] — every emitted clause records which program
 //!   statement (clause group) it came from, which is exactly the information
 //!   the paper's clause-grouping reduction (Sec. 3.4) needs to attach one
-//!   selector variable per statement.
+//!   selector variable per statement;
+//! * [`word`] — a BTOR2-flavored word-level DAG that sits *above* the
+//!   encoder: constant folding, ite flattening, cross-frame CSE and interval
+//!   narrowing all run before any gate exists, and only the surviving nodes
+//!   are bit-blasted ([`word::WordDag::lower`]);
+//! * [`dump`] — BTOR2 and SMT-LIB2 serializers for the word-level DAG, used
+//!   as a differential oracle (round-trip parsing + concrete evaluation) and
+//!   for shipping trace formulas to external solvers.
 //!
 //! # Examples
 //!
@@ -41,8 +48,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dump;
 mod encoder;
 mod grouped;
+pub mod word;
 
 pub use encoder::{BitVec, Encoder, EncoderStats};
 pub use grouped::{GroupId, GroupedCnf};

@@ -52,5 +52,6 @@ pub use interp::{run_program, ExecOutcome, InterpConfig, Violation, ViolationKin
 pub use reduce::{ddmin, shrink_scalar};
 pub use slice::{backward_slice, slice_program, SliceCriterion, SliceResult};
 pub use symbolic::{
-    encode_program, EncodeConfig, EncodeError, EncodeStats, Spec, StmtGroup, SymbolicTrace,
+    encode_program, word_trace, EncodeConfig, EncodeError, EncodeStats, Spec, StmtGroup,
+    SymbolicTrace, WordTrace,
 };

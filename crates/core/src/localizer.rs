@@ -166,6 +166,19 @@ pub struct LocalizerStats {
     /// formula. Like the formula itself this is paid once per localizer; the
     /// recorded value is carried by every report of that localizer.
     pub simplify_ms: u128,
+    /// Word-level IR nodes the symbolic encoder materialized before
+    /// bit-blasting (a property of the shared trace, like
+    /// [`LocalizerStats::encode_gates_cached`]).
+    pub word_nodes: u64,
+    /// Word-level node requests answered by constant folding or an algebraic
+    /// rewrite instead of a new node.
+    pub word_nodes_folded: u64,
+    /// Word-level node requests shared through hash-consing across
+    /// statements and unroll frames.
+    pub word_cse_hits: u64,
+    /// Total bits the word-level interval analysis shaved off narrowed
+    /// arithmetic during bit-blasting.
+    pub bits_narrowed: u64,
 }
 
 /// The complete result of localizing one failing execution.
@@ -832,6 +845,10 @@ impl Localizer {
             clauses_subsumed: prepared.simplify_stats.clauses_subsumed,
             vars_eliminated: prepared.simplify_stats.vars_eliminated,
             simplify_ms: prepared.simplify_ms,
+            word_nodes: self.trace.stats.word_nodes,
+            word_nodes_folded: self.trace.stats.word_nodes_folded,
+            word_cse_hits: self.trace.stats.word_cse_hits,
+            bits_narrowed: self.trace.stats.bits_narrowed,
             ..LocalizerStats::default()
         };
 

@@ -133,6 +133,7 @@ impl Job {
         });
         h.write_u8(u8::from(o.portfolio));
         h.write_u8(u8::from(o.gate_cache));
+        h.write_u8(u8::from(o.word_passes));
         h.write_u8(u8::from(o.simplify));
         h.write_usize(o.trusted_lines.len());
         for line in &o.trusted_lines {
@@ -151,6 +152,7 @@ impl Job {
                 max_inline_depth: o.max_inline_depth,
                 concretize: Vec::new(),
                 gate_cache: o.gate_cache,
+                word_passes: o.word_passes,
             },
             strategy: o.strategy,
             max_suspect_sets: o.max_suspect_sets,
@@ -204,6 +206,8 @@ pub struct JobOptions {
     pub portfolio: bool,
     /// Hash-cons structurally identical gates while bit-blasting.
     pub gate_cache: bool,
+    /// Run the word-level simplification passes before bit-blasting.
+    pub word_passes: bool,
     /// Preprocess the prepared hard clauses (selector-aware simplification).
     pub simplify: bool,
     /// Line numbers that must never be blamed.
@@ -224,6 +228,7 @@ impl Default for JobOptions {
             strategy: base.strategy,
             portfolio: base.portfolio,
             gate_cache: base.encode.gate_cache,
+            word_passes: base.encode.word_passes,
             simplify: base.simplify,
             trusted_lines: Vec::new(),
         }
@@ -345,6 +350,7 @@ fn job_fields(job: &Job, pairs: &mut Vec<(String, Json)>) {
     );
     push(pairs, "portfolio", Json::Bool(o.portfolio));
     push(pairs, "gate_cache", Json::Bool(o.gate_cache));
+    push(pairs, "word_passes", Json::Bool(o.word_passes));
     push(pairs, "simplify", Json::Bool(o.simplify));
     push(
         pairs,
@@ -477,6 +483,11 @@ fn parse_job(value: &Json) -> Result<Job, ProtocolError> {
             .as_bool()
             .ok_or_else(|| bad("gate_cache must be a boolean"))?;
     }
+    if let Some(v) = value.get("word_passes") {
+        options.word_passes = v
+            .as_bool()
+            .ok_or_else(|| bad("word_passes must be a boolean"))?;
+    }
     if let Some(v) = value.get("simplify") {
         options.simplify = v
             .as_bool()
@@ -606,6 +617,10 @@ fn stats_to_json(stats: &LocalizerStats) -> Json {
         ("clauses_subsumed", Json::from(stats.clauses_subsumed)),
         ("vars_eliminated", Json::from(stats.vars_eliminated)),
         ("simplify_ms", Json::from(stats.simplify_ms)),
+        ("word_nodes", Json::from(stats.word_nodes)),
+        ("word_nodes_folded", Json::from(stats.word_nodes_folded)),
+        ("word_cse_hits", Json::from(stats.word_cse_hits)),
+        ("bits_narrowed", Json::from(stats.bits_narrowed)),
     ])
 }
 

@@ -91,6 +91,10 @@ struct LastJob {
     vars_eliminated: u64,
     clauses_subsumed: u64,
     simplify_ms: u128,
+    /// Word-level pre-bit-blast counters of the served localizer.
+    word_nodes_folded: u64,
+    word_cse_hits: u64,
+    bits_narrowed: u64,
 }
 
 /// Which queued operation a job performs.
@@ -144,6 +148,10 @@ struct ServerState {
     total_gates_cached: AtomicU64,
     total_vars_eliminated: AtomicU64,
     total_clauses_subsumed: AtomicU64,
+    /// Word-level pre-bit-blast totals over all solved jobs.
+    total_word_nodes_folded: AtomicU64,
+    total_word_cse_hits: AtomicU64,
+    total_bits_narrowed: AtomicU64,
     last_job: Mutex<Option<LastJob>>,
     /// Number of live connection threads, with a condvar for shutdown to
     /// wait on (connection threads are detached, never joined).
@@ -203,6 +211,9 @@ impl ServerState {
                 ("vars_eliminated", Json::from(last.vars_eliminated)),
                 ("clauses_subsumed", Json::from(last.clauses_subsumed)),
                 ("simplify_ms", Json::from(last.simplify_ms)),
+                ("word_nodes_folded", Json::from(last.word_nodes_folded)),
+                ("word_cse_hits", Json::from(last.word_cse_hits)),
+                ("bits_narrowed", Json::from(last.bits_narrowed)),
             ]),
         };
         Json::obj(vec![
@@ -285,6 +296,18 @@ impl ServerState {
                     (
                         "clauses_subsumed",
                         Json::from(self.total_clauses_subsumed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "word_nodes_folded",
+                        Json::from(self.total_word_nodes_folded.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "word_cse_hits",
+                        Json::from(self.total_word_cse_hits.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "bits_narrowed",
+                        Json::from(self.total_bits_narrowed.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -546,6 +569,10 @@ impl ServerState {
                         merged.clauses_subsumed = report.stats.clauses_subsumed;
                         merged.vars_eliminated = report.stats.vars_eliminated;
                         merged.simplify_ms = report.stats.simplify_ms;
+                        merged.word_nodes = report.stats.word_nodes;
+                        merged.word_nodes_folded = report.stats.word_nodes_folded;
+                        merged.word_cse_hits = report.stats.word_cse_hits;
+                        merged.bits_narrowed = report.stats.bits_narrowed;
                     }
                     self.batch_requests.fetch_add(1, Ordering::Relaxed);
                     ("ranked", ranked_to_json(&ranked), merged)
@@ -617,6 +644,12 @@ impl ServerState {
                 .fetch_add(stats.vars_eliminated, Ordering::Relaxed);
             self.total_clauses_subsumed
                 .fetch_add(stats.clauses_subsumed, Ordering::Relaxed);
+            self.total_word_nodes_folded
+                .fetch_add(stats.word_nodes_folded, Ordering::Relaxed);
+            self.total_word_cse_hits
+                .fetch_add(stats.word_cse_hits, Ordering::Relaxed);
+            self.total_bits_narrowed
+                .fetch_add(stats.bits_narrowed, Ordering::Relaxed);
         }
         *self.last_job.lock().expect("last_job poisoned") = Some(LastJob {
             op,
@@ -631,6 +664,9 @@ impl ServerState {
             vars_eliminated: stats.vars_eliminated,
             clauses_subsumed: stats.clauses_subsumed,
             simplify_ms: stats.simplify_ms,
+            word_nodes_folded: stats.word_nodes_folded,
+            word_cse_hits: stats.word_cse_hits,
+            bits_narrowed: stats.bits_narrowed,
         });
 
         let mut pairs = vec![
@@ -777,6 +813,9 @@ impl Server {
             total_gates_cached: AtomicU64::new(0),
             total_vars_eliminated: AtomicU64::new(0),
             total_clauses_subsumed: AtomicU64::new(0),
+            total_word_nodes_folded: AtomicU64::new(0),
+            total_word_cse_hits: AtomicU64::new(0),
+            total_bits_narrowed: AtomicU64::new(0),
             last_job: Mutex::new(None),
             connections: Mutex::new(0),
             connections_done: Condvar::new(),
