@@ -5,12 +5,16 @@
 //! `BENCH_service.json`.
 //!
 //! Usage: `cargo run -p bench --bin loadgen --release [output.json]
-//! [--samples N] [--quick]`
+//! [--samples N] [--quick] [--chaos]`
 //!
 //! * `--samples N` — warm rounds each client plays over the program set
 //!   (every round touches every program once).
 //! * `--quick` — CI smoke mode: fewer clients and a smaller program set,
 //!   enough to exercise daemon, cache, queue and client end to end.
+//! * `--chaos` — run only the fault-injection scenario: a daemon with
+//!   deterministic injected worker panics/stalls/delays plus abusive
+//!   raw-socket clients, asserting a goodput floor and byte-identical
+//!   canonical reports for every successfully answered job.
 //!
 //! The headline number is the **cold/warm ratio**: a cold request pays
 //! parse → typecheck → unroll → bit-blast → selector-template construction
@@ -28,15 +32,20 @@
 //! edited version is a brand-new cache key, so each step pays a full cold
 //! build. The ratio of the two chains is the value of delta preparation.
 
-use service::{Client, Job, JobSpec, Json, Server, ServiceConfig};
+use service::protocol::canonicalize;
+use service::{
+    Client, ClientConfig, ClientError, FaultConfig, FaultPlan, Job, JobSpec, Json, Server,
+    ServiceConfig,
+};
 use siemens::{tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-fn parse_args() -> (String, usize, bool) {
+fn parse_args() -> (String, usize, bool, bool) {
     let mut output = "BENCH_service.json".to_string();
     let mut samples = 5usize;
     let mut quick = false;
+    let mut chaos_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,13 +57,16 @@ fn parse_args() -> (String, usize, bool) {
                     .expect("--samples needs a positive integer");
             }
             "--quick" => quick = true,
+            "--chaos" => chaos_only = true,
             other if other.starts_with("--") => {
-                panic!("unknown flag {other:?}; usage: [output.json] [--samples N] [--quick]")
+                panic!(
+                    "unknown flag {other:?}; usage: [output.json] [--samples N] [--quick] [--chaos]"
+                )
             }
             other => output = other.to_string(),
         }
     }
-    (output, samples, quick)
+    (output, samples, quick, chaos_only)
 }
 
 /// A family of distinct small faulty programs (each constant delta yields a
@@ -235,8 +247,361 @@ fn edit_stream_client(
     }
 }
 
+/// One measured overload run: `clients` synchronous clients hammering one
+/// pre-warmed program against a deliberately undersized daemon.
+struct OverloadOutcome {
+    requests: usize,
+    ok: usize,
+    /// `overloaded` rejections (admission control shed the job).
+    shed: usize,
+    /// `deadline_exceeded` answers (the deadline died in the queue).
+    expired: usize,
+    ok_p50_ms: f64,
+    ok_p99_ms: f64,
+    /// p99 over *every* answer, sheds included — the client-visible worst
+    /// case. Shed answers return in microseconds, which is the point.
+    answer_p99_ms: f64,
+    wall_s: f64,
+}
+
+impl OverloadOutcome {
+    fn to_json(&self) -> Json {
+        let round3 = |v: f64| Json::Float((v * 1e3).round() / 1e3);
+        Json::obj(vec![
+            ("requests", Json::from(self.requests)),
+            ("ok", Json::from(self.ok)),
+            ("shed", Json::from(self.shed)),
+            ("expired", Json::from(self.expired)),
+            (
+                "shed_rate",
+                Json::Float(
+                    ((self.shed + self.expired) as f64 / self.requests.max(1) as f64 * 1e4).round()
+                        / 1e4,
+                ),
+            ),
+            ("ok_p50_ms", round3(self.ok_p50_ms)),
+            ("ok_p99_ms", round3(self.ok_p99_ms)),
+            ("answer_p99_ms", round3(self.answer_p99_ms)),
+            ("wall_s", round3(self.wall_s)),
+        ])
+    }
+}
+
+/// Drives one warm program at 2x worker capacity (4 synchronous clients per
+/// worker, so roughly two jobs are always waiting per running one) and
+/// measures what the daemon does with the excess. With a server-side
+/// default deadline the admission controller sheds (`overloaded` in
+/// microseconds); without one the queue blocks the reader and every
+/// request eventually completes, at the price of fat tail latency.
+fn overload_run(
+    job: &Job,
+    clients: usize,
+    per_client: usize,
+    deadline_ms: Option<u64>,
+) -> OverloadOutcome {
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 2,
+        default_deadline_ms: deadline_ms,
+        ..ServiceConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.local_addr();
+    {
+        // Warm the prepared entry so every measured request is solve-only.
+        let mut client = Client::connect(addr).expect("connects");
+        client.localize(job.clone()).expect("overload warm build");
+    }
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let job = job.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                let mut ok_ms: Vec<f64> = Vec::with_capacity(per_client);
+                let mut answer_ms: Vec<f64> = Vec::with_capacity(per_client);
+                let (mut shed, mut expired) = (0usize, 0usize);
+                for _ in 0..per_client {
+                    let t = Instant::now();
+                    let result = client.localize(job.clone());
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    answer_ms.push(ms);
+                    match result {
+                        Ok(_) => ok_ms.push(ms),
+                        Err(err) if err.kind() == Some("overloaded") => shed += 1,
+                        Err(err) if err.kind() == Some("deadline_exceeded") => expired += 1,
+                        Err(err) => panic!("unexpected overload error: {err}"),
+                    }
+                }
+                (ok_ms, answer_ms, shed, expired)
+            })
+        })
+        .collect();
+    let mut ok_ms: Vec<f64> = Vec::new();
+    let mut answer_ms: Vec<f64> = Vec::new();
+    let (mut shed, mut expired) = (0usize, 0usize);
+    for handle in handles {
+        let (o, a, s, e) = handle.join().expect("overload client panicked");
+        ok_ms.extend(o);
+        answer_ms.extend(a);
+        shed += s;
+        expired += e;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    server.shutdown();
+    let sort = |v: &mut Vec<f64>| v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    sort(&mut ok_ms);
+    sort(&mut answer_ms);
+    OverloadOutcome {
+        requests: answer_ms.len(),
+        ok: ok_ms.len(),
+        shed,
+        expired,
+        ok_p50_ms: if ok_ms.is_empty() {
+            0.0
+        } else {
+            percentile(&ok_ms, 0.50)
+        },
+        ok_p99_ms: if ok_ms.is_empty() {
+            0.0
+        } else {
+            percentile(&ok_ms, 0.99)
+        },
+        answer_p99_ms: percentile(&answer_ms, 0.99),
+        wall_s,
+    }
+}
+
+/// The chaos scenario: a daemon with a seeded [`FaultPlan`] (worker
+/// panics, pickup stalls, solve delays, build panics) plus four abusive
+/// raw-socket clients (garbage line, truncated request, oversized line,
+/// slow trickler), all while retrying good clients demand byte-identical
+/// canonical answers for their unaffected jobs. Asserts the goodput floor
+/// and that no fault killed a worker or wedged the daemon.
+fn chaos_run(quick: bool) -> Json {
+    let variants: Vec<Job> = (0..if quick { 3 } else { 5 })
+        .map(|d| minic_job(d as i64 + 1))
+        .collect();
+
+    // Fault-free canonical answers, from a pristine daemon.
+    let mut expected: Vec<String> = Vec::new();
+    {
+        let server = Server::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .expect("clean daemon starts");
+        let mut client = Client::connect(server.local_addr()).expect("connects");
+        for job in &variants {
+            let outcome = client.localize(job.clone()).expect("clean localize");
+            expected.push(canonicalize(&outcome.body).to_string());
+        }
+        server.shutdown();
+    }
+
+    let plan = Arc::new(FaultPlan::new(FaultConfig {
+        seed: 2011,
+        stall_period: 5,
+        stall_ms: 30,
+        panic_period: 7,
+        delay_period: 3,
+        delay_ms: 20,
+        build_panic_period: 4,
+    }));
+    let server = Server::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 4,
+        max_request_bytes: 1 << 16,
+        read_timeout_ms: Some(250),
+        write_timeout_ms: Some(250),
+        fault_plan: Some(Arc::clone(&plan)),
+        ..ServiceConfig::default()
+    })
+    .expect("chaos daemon starts");
+    let addr = server.local_addr();
+
+    // Abusive clients: each mode violates the protocol a different way.
+    // None of them may wedge a connection thread or take the daemon down.
+    let abusers: Vec<_> = (0..4u8)
+        .map(|mode| {
+            std::thread::spawn(move || {
+                use std::io::{Read, Write};
+                for _ in 0..3 {
+                    let Ok(mut socket) = std::net::TcpStream::connect(addr) else {
+                        continue;
+                    };
+                    let _ = socket.set_read_timeout(Some(Duration::from_millis(600)));
+                    match mode {
+                        // Garbage that is not JSON.
+                        0 => drop(socket.write_all(b"this is not json\n")),
+                        // A request cut off mid-object, then a hard close.
+                        1 => drop(socket.write_all(b"{\"op\":\"localize\",\"progr")),
+                        // A line far past max_request_bytes.
+                        2 => {
+                            let _ = socket.write_all(&vec![b'x'; 1 << 17]);
+                            let _ = socket.write_all(b"\n");
+                        }
+                        // A trickler: half a request, then silence past the
+                        // server's read timeout.
+                        _ => {
+                            let _ = socket.write_all(b"{\"op\"");
+                            std::thread::sleep(Duration::from_millis(400));
+                            let _ = socket.write_all(b":\"health\",\"id\":1}\n");
+                        }
+                    }
+                    // Drain whatever the server answers (or the reset).
+                    let mut sink = [0u8; 512];
+                    while matches!(socket.read(&mut sink), Ok(n) if n > 0) {}
+                }
+            })
+        })
+        .collect();
+
+    // Good clients: retry transport failures and sheds, never accept a
+    // wrong answer.
+    let rounds: usize = if quick { 4 } else { 10 };
+    let good_clients = 4usize;
+    let goods: Vec<_> = (0..good_clients)
+        .map(|c| {
+            let variants = variants.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with(
+                    addr,
+                    ClientConfig {
+                        connect_timeout: Some(Duration::from_secs(5)),
+                        request_timeout: Some(Duration::from_secs(30)),
+                        retries: 4,
+                        retry_base: Duration::from_millis(20),
+                        seed: c as u64,
+                    },
+                )
+                .expect("connects");
+                let (mut sent, mut ok, mut failed) = (0usize, 0usize, 0usize);
+                for _ in 0..rounds {
+                    for (i, job) in variants.iter().enumerate() {
+                        sent += 1;
+                        match client.localize(job.clone()) {
+                            Ok(outcome) => {
+                                assert_eq!(
+                                    canonicalize(&outcome.body).to_string(),
+                                    expected[i],
+                                    "chaos corrupted an unaffected job's answer"
+                                );
+                                ok += 1;
+                            }
+                            // Structured, known failure classes only: an
+                            // injected panic surfaces as internal_error, an
+                            // exhausted retry budget as Io. Anything else
+                            // is a robustness bug.
+                            Err(ClientError::Io(_)) => failed += 1,
+                            Err(err)
+                                if matches!(
+                                    err.kind(),
+                                    Some("internal_error")
+                                        | Some("overloaded")
+                                        | Some("deadline_exceeded")
+                                ) =>
+                            {
+                                failed += 1
+                            }
+                            Err(err) => panic!("unexpected chaos error: {err}"),
+                        }
+                    }
+                }
+                (sent, ok, failed)
+            })
+        })
+        .collect();
+
+    let (mut sent, mut ok, mut failed) = (0usize, 0usize, 0usize);
+    for handle in goods {
+        let (s, o, f) = handle.join().expect("good chaos client panicked");
+        sent += s;
+        ok += o;
+        failed += f;
+    }
+    for handle in abusers {
+        handle.join().expect("abusive chaos client panicked");
+    }
+
+    let (stalls, panics, delays, build_panics) = plan.injected();
+    assert!(
+        plan.injected_total() > 0,
+        "the chaos run injected no faults at all — the scenario is vacuous"
+    );
+    let goodput = ok as f64 / sent.max(1) as f64;
+    assert!(
+        goodput >= 0.5,
+        "goodput {goodput:.3} fell below the 0.5 floor ({ok}/{sent} ok)"
+    );
+
+    // The daemon must still be fully alive after the storm.
+    let mut client = Client::connect(addr).expect("connects after chaos");
+    client.health().expect("health after chaos");
+    let stats = client.stats().expect("stats after chaos");
+    let worker_panics = stats
+        .get("robustness")
+        .and_then(|r| r.get("worker_panics"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let poisoned = stats
+        .get("cache")
+        .and_then(|c| c.get("poisoned"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let shed = stats
+        .get("queue")
+        .and_then(|q| q.get("shed"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    server.shutdown();
+
+    Json::obj(vec![
+        ("clients", Json::from(good_clients)),
+        ("abusers", Json::from(4u64)),
+        ("rounds", Json::from(rounds)),
+        ("requests", Json::from(sent)),
+        ("ok", Json::from(ok)),
+        ("failed", Json::from(failed)),
+        ("goodput", Json::Float((goodput * 1e4).round() / 1e4)),
+        ("byte_identical_ok_responses", Json::Bool(true)),
+        (
+            "faults_injected",
+            Json::obj(vec![
+                ("stalls", Json::from(stalls)),
+                ("worker_panics", Json::from(panics)),
+                ("delays", Json::from(delays)),
+                ("build_panics", Json::from(build_panics)),
+            ]),
+        ),
+        (
+            "server",
+            Json::obj(vec![
+                ("worker_panics", Json::from(worker_panics)),
+                ("cache_slots_poisoned", Json::from(poisoned)),
+                ("jobs_shed", Json::from(shed)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
-    let (output, samples, quick) = parse_args();
+    let (output, samples, quick, chaos_only) = parse_args();
+    if chaos_only {
+        eprintln!("chaos-only mode: seeded fault injection + abusive clients");
+        let chaos = chaos_run(quick);
+        let report = Json::obj(vec![
+            ("benchmark", Json::str("localization_service_chaos")),
+            ("quick", Json::Bool(quick)),
+            ("chaos", chaos),
+        ]);
+        let pretty = report.pretty();
+        std::fs::write(&output, &pretty).expect("write benchmark json");
+        eprintln!("wrote {output}");
+        println!("{pretty}");
+        return;
+    }
     let clients = if quick { 2 } else { 4 };
     let minic_variants = if quick { 2 } else { 6 };
 
@@ -405,6 +770,29 @@ fn main() {
          first-request latencies (total {cold_total:.3}ms)"
     );
 
+    // --- overload phase: 2x-capacity load, with vs without admission -----
+    let overload_clients = if quick { 6 } else { 8 };
+    let overload_per_client = if quick { 3 } else { 8 };
+    let overload_job = tcas_job();
+    eprintln!("overload: {overload_clients} clients x {overload_per_client} requests, 2 workers");
+    let with_admission = overload_run(
+        &overload_job,
+        overload_clients,
+        overload_per_client,
+        Some(300),
+    );
+    let without_admission =
+        overload_run(&overload_job, overload_clients, overload_per_client, None);
+    assert_eq!(
+        without_admission.shed + without_admission.expired,
+        0,
+        "unbudgeted jobs must never be shed — backpressure blocks instead"
+    );
+
+    // --- chaos phase ------------------------------------------------------
+    eprintln!("chaos: seeded fault injection + abusive clients");
+    let chaos = chaos_run(quick);
+
     let report = Json::obj(vec![
         ("benchmark", Json::str("localization_service_loadgen")),
         (
@@ -520,6 +908,19 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "overload",
+            Json::obj(vec![
+                ("workers", Json::from(2u64)),
+                ("queue_capacity", Json::from(2u64)),
+                ("clients", Json::from(overload_clients)),
+                ("requests_per_client", Json::from(overload_per_client)),
+                ("deadline_ms", Json::from(300u64)),
+                ("with_admission", with_admission.to_json()),
+                ("without_admission", without_admission.to_json()),
+            ]),
+        ),
+        ("chaos", chaos),
         ("queue", queue),
         ("solver", solver),
         ("formula", formula),

@@ -30,6 +30,21 @@ pub enum ViolationKind {
     BadCall,
 }
 
+impl ViolationKind {
+    /// A stable machine-readable label for this kind, suitable for wire
+    /// protocols and logs (`snake_case`, never reworded — unlike the
+    /// human-oriented `Display` text).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::AssertionFailure => "assertion_failure",
+            ViolationKind::ArrayBounds => "array_bounds",
+            ViolationKind::AssumptionFailure => "assumption_failure",
+            ViolationKind::StepLimit => "step_limit",
+            ViolationKind::BadCall => "bad_call",
+        }
+    }
+}
+
 impl fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

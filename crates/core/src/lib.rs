@@ -103,5 +103,6 @@ pub use localizer::{
     LocalizerStats, Suspect,
 };
 pub use loops::{localize_faulty_iteration, LoopReport};
+pub use maxsat::Budget;
 pub use ranking::{rank_localizations, RankedLine, RankedReport};
 pub use repair::{suggest_repairs, Repair, RepairConfig, RepairKind};

@@ -17,7 +17,7 @@
 
 use bitblast::GroupId;
 use bmc::{encode_program, EncodeConfig, EncodeError, Spec, SymbolicTrace};
-use maxsat::{MaxSatInstance, MaxSatSolver, SoftId, Strategy};
+use maxsat::{Budget, MaxSatInstance, MaxSatResult, MaxSatSolver, SoftId, Strategy};
 use minic::ast::Line;
 use minic::delta::{classify_edit, reachable_functions, segment_program, EditClass, LineMap};
 use minic::Program;
@@ -190,6 +190,13 @@ pub struct LocalizationReport {
     pub suspect_lines: Vec<Line>,
     /// Statistics of the run.
     pub stats: LocalizerStats,
+    /// `true` if the enumeration ran to its natural end (every CoMSS up to
+    /// the configured limit is a *proven* canonical optimum). `false` when a
+    /// [`Budget`] expired mid-run: the reported suspects are still genuine
+    /// (every completed rank is the canonical optimum, and a final anytime
+    /// rank — if present — carries a cost that upper-bounds that rank's true
+    /// optimum), but later ranks may be missing.
+    pub complete: bool,
 }
 
 impl LocalizationReport {
@@ -225,6 +232,7 @@ impl LocalizationReport {
                 .collect(),
             suspect_lines: self.suspect_lines.iter().map(|&l| map.remap(l)).collect(),
             stats: self.stats,
+            complete: self.complete,
         }
     }
 
@@ -778,11 +786,33 @@ impl Localizer {
         failing_input: &[i64],
         cost_hints: Option<&[u64]>,
     ) -> Result<LocalizationReport, LocalizeError> {
+        self.localize_budgeted(failing_input, cost_hints, Budget::UNLIMITED)
+    }
+
+    /// [`Localizer::localize_seeded`] under a resource [`Budget`].
+    ///
+    /// The budget bounds the *whole* suspect enumeration, not each MAX-SAT
+    /// call: the deadline is checked between the prepare and solve phases and
+    /// before each rank, and travels into every solve so a rank in flight
+    /// gives up at the solver's next restart boundary. Expiry is never an
+    /// error — the report comes back with [`LocalizationReport::complete`]
+    /// `false` and whatever ranks were proven (plus at most one anytime rank
+    /// whose cost upper-bounds that rank's true optimum).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Localizer::localize`].
+    pub fn localize_budgeted(
+        &self,
+        failing_input: &[i64],
+        cost_hints: Option<&[u64]>,
+        budget: Budget,
+    ) -> Result<LocalizationReport, LocalizeError> {
         // The input-independent template is built once per localizer (first
         // call pays, every later call — from any thread — reuses it) and
         // cloned into the per-test base instance.
         let (prepared, prepare_ms) = self.prepared_timed();
-        self.localize_with(prepared, failing_input, prepare_ms, cost_hints)
+        self.localize_with(prepared, failing_input, prepare_ms, cost_hints, budget)
     }
 
     /// Extends a model of the *prepared* (possibly simplified) formula back
@@ -805,6 +835,7 @@ impl Localizer {
         failing_input: &[i64],
         prepare_ms: u128,
         cost_hints: Option<&[u64]>,
+        budget: Budget,
     ) -> Result<LocalizationReport, LocalizeError> {
         let selectors: &[Selector] = &prepared.selectors;
         let template = prepared.template.clone();
@@ -835,6 +866,7 @@ impl Localizer {
             self.config.strategy
         };
         let mut solver = MaxSatSolver::new(strategy);
+        solver.set_budget(budget);
         let mut stats = LocalizerStats {
             soft_clauses: selectors.iter().filter(|s| !s.trusted).count(),
             hard_clauses: base.num_hard(),
@@ -853,6 +885,7 @@ impl Localizer {
         };
 
         let mut suspects: Vec<Suspect> = Vec::new();
+        let mut complete = true;
         // Selectors still allowed to be blamed.
         let mut active: Vec<usize> = (0..selectors.len())
             .filter(|&i| !selectors[i].trusted)
@@ -861,6 +894,14 @@ impl Localizer {
         let mut blocking: Vec<Vec<Lit>> = Vec::new();
 
         for rank in 0..self.config.max_suspect_sets {
+            // The deadline may already be gone — because prepare ate it, or
+            // because the previous rank barely squeaked in. Skipping the solve
+            // outright (rather than letting it expire at the first restart)
+            // keeps the worst-case overshoot at one SAT restart interval.
+            if budget.deadline_expired() {
+                complete = false;
+                break;
+            }
             let mut instance = base.clone();
             for clause in &blocking {
                 instance.add_hard(clause.clone());
@@ -879,8 +920,20 @@ impl Localizer {
             let solver_stats = solver.stats();
             stats.reduce_dbs += solver_stats.reduce_dbs;
             stats.arena_bytes = stats.arena_bytes.max(solver_stats.arena_bytes);
-            let Some(solution) = result.into_optimum() else {
-                break; // Hard part unsatisfiable: no more suspects.
+            let (solution, proven) = match result {
+                MaxSatResult::Optimum(solution) => (solution, true),
+                // Budget ran out mid-solve but an incumbent existed: keep it
+                // as a final, unproven rank (its cost upper-bounds this
+                // rank's true optimum) and stop enumerating — later ranks
+                // would be built on an unproven blocking clause.
+                MaxSatResult::Anytime(solution) => (solution, false),
+                MaxSatResult::Expired => {
+                    complete = false; // Ran dry with nothing to show for it.
+                    break;
+                }
+                MaxSatResult::HardUnsat => {
+                    break; // Hard part unsatisfiable: no more suspects.
+                }
             };
             if solution.falsified.is_empty() {
                 break; // Everything satisfiable: nothing (left) to blame.
@@ -908,6 +961,10 @@ impl Localizer {
                 rank,
                 cost: solution.cost,
             });
+            if !proven {
+                complete = false;
+                break;
+            }
             // Block this CoMSS: (λ₁ ∨ … ∨ λ_k) becomes hard, and those
             // selectors leave the soft set (Algorithm 1, lines 13–14).
             blocking.push(blamed.iter().map(|&i| selectors[i].lit).collect());
@@ -928,6 +985,7 @@ impl Localizer {
             suspects,
             suspect_lines,
             stats,
+            complete,
         })
     }
 
@@ -970,6 +1028,25 @@ impl Localizer {
         &self,
         failing_inputs: &[Vec<i64>],
     ) -> Result<crate::ranking::RankedReport, LocalizeError> {
+        self.localize_batch_budgeted(failing_inputs, Budget::UNLIMITED)
+    }
+
+    /// [`Localizer::localize_batch`] under a resource [`Budget`].
+    ///
+    /// The budget is *shared*: one wall-clock deadline bounds the whole
+    /// batch (every per-test enumeration checks it), while the conflict cap
+    /// applies per test (each test owns its solvers). Tests that miss the
+    /// deadline come back with [`LocalizationReport::complete`] `false` and
+    /// are merged like any other report.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Localizer::localize_batch`].
+    pub fn localize_batch_budgeted(
+        &self,
+        failing_inputs: &[Vec<i64>],
+        budget: Budget,
+    ) -> Result<crate::ranking::RankedReport, LocalizeError> {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Mutex;
 
@@ -993,7 +1070,7 @@ impl Localizer {
         if workers <= 1 {
             let mut per_test = Vec::with_capacity(failing_inputs.len());
             for input in failing_inputs {
-                per_test.push(self.localize(input)?);
+                per_test.push(self.localize_budgeted(input, None, budget)?);
             }
             return Ok(crate::ranking::RankedReport::from_reports(per_test));
         }
@@ -1011,7 +1088,7 @@ impl Localizer {
                     let Some(input) = failing_inputs.get(i) else {
                         break;
                     };
-                    let result = self.localize(input);
+                    let result = self.localize_budgeted(input, None, budget);
                     *slots[i].lock().expect("batch slot poisoned") = Some(result);
                 });
             }
@@ -1084,6 +1161,46 @@ mod tests {
         // The first (minimum-cost) suspect is a single line.
         assert_eq!(report.suspects[0].lines.len(), 1);
         assert_eq!(report.suspects[0].cost, 1);
+    }
+
+    #[test]
+    fn unbudgeted_reports_are_complete_and_budget_expiry_is_not_an_error() {
+        let program = motivating_example();
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap();
+        let exact = localizer.localize(&[1]).unwrap();
+        assert!(exact.complete);
+
+        // An already-expired deadline: the enumeration must come back
+        // immediately, incomplete, with every reported rank (if any) costing
+        // at least its exact counterpart — never hang or error.
+        let expired = Budget::with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let partial = localizer.localize_budgeted(&[1], None, expired).unwrap();
+        assert!(!partial.complete, "{partial:?}");
+        assert!(partial.suspects.len() <= exact.suspects.len());
+        for (got, want) in partial.suspects.iter().zip(&exact.suspects) {
+            assert!(got.cost >= want.cost, "anytime cost must upper-bound");
+        }
+
+        // Lifting the budget on the same localizer restores the exact run
+        // (the prepared formula is shared state; expiry must not corrupt it).
+        let again = localizer
+            .localize_budgeted(&[1], None, Budget::UNLIMITED)
+            .unwrap();
+        assert!(again.complete);
+        assert_eq!(again.suspects, exact.suspects);
+        assert_eq!(again.suspect_lines, exact.suspect_lines);
+    }
+
+    #[test]
+    fn generous_budget_reproduces_the_exact_report() {
+        let program = motivating_example();
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config8()).unwrap();
+        let exact = localizer.localize(&[1]).unwrap();
+        let generous = Budget::with_timeout(std::time::Duration::from_secs(3600));
+        let budgeted = localizer.localize_budgeted(&[1], None, generous).unwrap();
+        assert!(budgeted.complete);
+        assert_eq!(budgeted.suspects, exact.suspects);
+        assert_eq!(budgeted.suspect_lines, exact.suspect_lines);
     }
 
     #[test]

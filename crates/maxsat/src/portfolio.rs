@@ -40,13 +40,21 @@
 //! assert_eq!(solution.cost, 3);
 //! ```
 
+use crate::budget::Budget;
 use crate::instance::MaxSatInstance;
-use crate::solve::{MaxSatResult, MaxSatSolution, MaxSatSolver, MaxSatStats, Strategy};
+use crate::solve::{
+    anytime_result, MaxSatResult, MaxSatSolution, MaxSatSolver, MaxSatStats, Strategy,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Shared state of one portfolio race: the incumbent (best known) solution,
-/// a lock-free upper bound on the optimum cost, and a cancellation flag.
+/// a lock-free upper bound on the optimum cost, a cancellation flag, and the
+/// solve's [`Budget`].
+///
+/// The context doubles as the solve's **cancel token**: workers stop at the
+/// union of "externally cancelled" ([`RaceContext::cancel`]) and "budget
+/// exhausted" (deadline or conflict cap, polled at SAT restart boundaries).
 #[derive(Debug, Default)]
 pub struct RaceContext {
     cancel: AtomicBool,
@@ -59,6 +67,9 @@ pub struct RaceContext {
     /// every genuine (higher-cost) model for the whole race.
     has_incumbent: AtomicBool,
     incumbent: Mutex<Option<MaxSatSolution>>,
+    /// Budget for the solve in flight; read once per SAT call, so a Mutex is
+    /// cheap enough (an `Instant` cannot live in an atomic).
+    budget: Mutex<Budget>,
 }
 
 impl RaceContext {
@@ -69,7 +80,19 @@ impl RaceContext {
             best_cost: AtomicU64::new(u64::MAX),
             has_incumbent: AtomicBool::new(false),
             incumbent: Mutex::new(None),
+            budget: Mutex::new(Budget::UNLIMITED),
         }
+    }
+
+    /// Installs the budget for the next solve. Call between
+    /// [`RaceContext::reset`] and the start of the race, never mid-flight.
+    pub fn set_budget(&self, budget: Budget) {
+        *self.budget.lock().expect("race mutex poisoned") = budget;
+    }
+
+    /// The budget of the solve in flight.
+    pub fn budget(&self) -> Budget {
+        *self.budget.lock().expect("race mutex poisoned")
     }
 
     /// Signals every worker to abort at its next cancellation point.
@@ -92,6 +115,7 @@ impl RaceContext {
         self.best_cost.store(u64::MAX, Ordering::Release);
         self.has_incumbent.store(false, Ordering::Release);
         *self.incumbent.lock().expect("race mutex poisoned") = None;
+        *self.budget.lock().expect("race mutex poisoned") = Budget::UNLIMITED;
     }
 
     /// `true` once [`RaceContext::cancel`] has been called.
@@ -205,6 +229,9 @@ pub struct PortfolioSolver {
     /// Reused across races; reset between jobs, shared by the workers of the
     /// job in flight.
     context: RaceContext,
+    /// Budget installed into the context at the start of every race (the
+    /// context's own copy is cleared by the between-jobs reset).
+    budget: Budget,
 }
 
 impl Default for PortfolioSolver {
@@ -243,12 +270,20 @@ impl PortfolioSolver {
         PortfolioSolver {
             strategies,
             context: RaceContext::new(),
+            budget: Budget::UNLIMITED,
         }
     }
 
     /// The strategies this portfolio races.
     pub fn strategies(&self) -> &[Strategy] {
         &self.strategies
+    }
+
+    /// Installs the [`Budget`] applied to every subsequent solve. On expiry
+    /// the race returns an anytime result built from the shared incumbent
+    /// (see [`MaxSatResult::Anytime`]) instead of an error.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Solves the instance to optimality.
@@ -287,6 +322,7 @@ impl PortfolioSolver {
     /// no workers, no shared state.
     fn solve_inline(&self, instance: &MaxSatInstance) -> PortfolioOutcome {
         let mut solver = MaxSatSolver::new(self.strategies[0]);
+        solver.set_budget(self.budget);
         let result = solver.solve(instance);
         PortfolioOutcome {
             result,
@@ -330,6 +366,7 @@ impl PortfolioSolver {
         // Reuse the context across sequential jobs: clear the previous
         // job's cancellation flag and incumbent before the workers start.
         self.context.reset();
+        self.context.set_budget(self.budget);
         if let Some(cost) = seed_cost.filter(|&c| c != u64::MAX) {
             self.context.seed_bound(cost);
         }
@@ -368,10 +405,21 @@ impl PortfolioSolver {
             }
         });
 
-        let (winner, result, winner_stats) = finish
-            .into_inner()
-            .expect("finish mutex poisoned")
-            .expect("cancellation only happens after a winner is recorded");
+        let (winner, result, winner_stats) =
+            match finish.into_inner().expect("finish mutex poisoned") {
+                Some(decided) => decided,
+                // No worker crossed the line: every one was cut short by an
+                // external [`RaceContext::cancel`] before reaching a definitive
+                // answer (budget expiry never lands here — an expiring worker
+                // converts the shared incumbent into an anytime result and wins
+                // the race with it). Fall back to that same incumbent so an
+                // external cancellation still yields the best model found.
+                None => (
+                    self.strategies[0],
+                    anytime_result(instance, &self.context),
+                    MaxSatStats::default(),
+                ),
+            };
         for worker in &mut workers {
             worker.won = worker.strategy == winner;
         }
@@ -605,6 +653,34 @@ mod tests {
             falsified: vec![],
         }));
         assert_eq!(race.best_cost(), 5);
+    }
+
+    #[test]
+    fn budgeted_race_with_an_expired_deadline_never_hangs_or_panics() {
+        // Both workers' first SAT call is refused by the spent deadline; an
+        // expiring worker converts the (absent) incumbent into Expired and
+        // still "wins", so the no-winner expect can never fire on expiry.
+        let inst = chain_instance(10);
+        let mut solver = PortfolioSolver::default();
+        solver.set_budget(Budget::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        let outcome = solver.race(&inst);
+        assert!(!outcome.result.is_complete());
+        // The budget is sticky on the portfolio but cleared per-race on the
+        // context; lifting it restores exact solving on the same solver.
+        solver.set_budget(Budget::UNLIMITED);
+        let solution = solver.race(&inst).result.into_optimum().expect("optimum");
+        assert_eq!(solution.cost, 1);
+    }
+
+    #[test]
+    fn race_context_reset_clears_the_budget() {
+        let race = RaceContext::new();
+        race.set_budget(Budget::with_timeout(std::time::Duration::from_secs(1)));
+        assert!(!race.budget().is_unlimited());
+        race.reset();
+        assert!(race.budget().is_unlimited());
     }
 
     #[test]

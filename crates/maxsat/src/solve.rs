@@ -22,6 +22,7 @@
 //! strategies and across different CNF representations of the same
 //! projection (hash-consed or not, preprocessed or not).
 
+use crate::budget::Budget;
 use crate::encodings::{encode_exactly_one, GeneralizedTotalizer, PAIRWISE_AT_MOST_ONE_MAX};
 use crate::instance::{MaxSatInstance, SoftId};
 use crate::portfolio::{PortfolioSolver, RaceContext};
@@ -68,30 +69,71 @@ impl MaxSatSolution {
 pub enum MaxSatResult {
     /// The hard clauses are satisfiable; an optimal solution is attached.
     Optimum(MaxSatSolution),
+    /// The solve's [`Budget`] expired (or it was cancelled) before
+    /// optimality was proven, but an incumbent model was found: an
+    /// **anytime result**. The attached solution is a genuine model of the
+    /// hard clauses and its `cost` is a valid *upper bound* on the optimum —
+    /// refined to the canonical representative at that cost, exactly like a
+    /// proven optimum would be.
+    Anytime(MaxSatSolution),
+    /// The solve's [`Budget`] expired (or it was cancelled) before any model
+    /// of the hard clauses was found; nothing can be reported.
+    Expired,
     /// The hard clauses alone are unsatisfiable; no assignment exists.
     HardUnsat,
 }
 
 impl MaxSatResult {
-    /// Returns the solution, or `None` for [`MaxSatResult::HardUnsat`].
+    /// Returns the *proven-optimal* solution; `None` for every other
+    /// outcome, including an anytime result (use [`MaxSatResult::solution`]
+    /// to accept those too).
     pub fn optimum(&self) -> Option<&MaxSatSolution> {
         match self {
             MaxSatResult::Optimum(sol) => Some(sol),
-            MaxSatResult::HardUnsat => None,
+            _ => None,
         }
     }
 
-    /// Consumes the result and returns the solution, or `None`.
+    /// Consumes the result and returns the proven-optimal solution, or
+    /// `None`.
     pub fn into_optimum(self) -> Option<MaxSatSolution> {
         match self {
             MaxSatResult::Optimum(sol) => Some(sol),
-            MaxSatResult::HardUnsat => None,
+            _ => None,
+        }
+    }
+
+    /// Returns whatever solution is attached — a proven optimum or an
+    /// anytime incumbent (whose cost is only an upper bound).
+    pub fn solution(&self) -> Option<&MaxSatSolution> {
+        match self {
+            MaxSatResult::Optimum(sol) | MaxSatResult::Anytime(sol) => Some(sol),
+            _ => None,
+        }
+    }
+
+    /// Consumes the result and returns `(solution, complete)`: the attached
+    /// solution plus `true` when it is a proven optimum, `false` when it is
+    /// an anytime upper bound. `None` for [`MaxSatResult::HardUnsat`] and
+    /// [`MaxSatResult::Expired`].
+    pub fn into_solution(self) -> Option<(MaxSatSolution, bool)> {
+        match self {
+            MaxSatResult::Optimum(sol) => Some((sol, true)),
+            MaxSatResult::Anytime(sol) => Some((sol, false)),
+            MaxSatResult::Expired | MaxSatResult::HardUnsat => None,
         }
     }
 
     /// Returns `true` iff the hard part was unsatisfiable.
     pub fn is_hard_unsat(&self) -> bool {
         matches!(self, MaxSatResult::HardUnsat)
+    }
+
+    /// `true` for definitive answers ([`MaxSatResult::Optimum`] and
+    /// [`MaxSatResult::HardUnsat`]); `false` when the budget cut the solve
+    /// short.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, MaxSatResult::Optimum(_) | MaxSatResult::HardUnsat)
     }
 }
 
@@ -174,6 +216,9 @@ pub struct MaxSatSolver {
     /// Trim each Fu–Malik core with one re-solve before relaxing it (see
     /// [`MaxSatSolver::set_core_trimming`]).
     core_trimming: bool,
+    /// Resource limits applied to every solve (see
+    /// [`MaxSatSolver::set_budget`]). Unlimited by default.
+    budget: Budget,
 }
 
 impl Default for MaxSatSolver {
@@ -192,7 +237,19 @@ impl MaxSatSolver {
             bound_hint: None,
             canonical: true,
             core_trimming: true,
+            budget: Budget::UNLIMITED,
         }
+    }
+
+    /// Installs the [`Budget`] (wall-clock deadline and/or conflict cap)
+    /// applied to every subsequent [`MaxSatSolver::solve`] call. With a
+    /// budget in place a solve that runs out returns
+    /// [`MaxSatResult::Anytime`] (the best incumbent found, canonically
+    /// refined, its cost an upper bound on the optimum) or
+    /// [`MaxSatResult::Expired`] when no model was found in time — never an
+    /// error. Pass [`Budget::UNLIMITED`] to restore unbounded solving.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Enables or disables canonical-optimum refinement (default on): among
@@ -232,19 +289,32 @@ impl MaxSatSolver {
         self.stats
     }
 
-    /// Solves the instance to optimality.
+    /// Solves the instance to optimality — or, under a [`Budget`], to the
+    /// best answer the budget allows (see [`MaxSatSolver::set_budget`]).
     pub fn solve(&mut self, instance: &MaxSatInstance) -> MaxSatResult {
         self.stats = MaxSatStats::default();
         let hint = self.bound_hint.take();
         let result = match self.strategy {
-            Strategy::FuMalik => self
-                .solve_fu_malik(instance, None)
+            Strategy::FuMalik | Strategy::LinearSatUnsat if self.budget.is_unlimited() => self
+                .run_single(instance, None)
                 .expect("unraced solve always completes"),
-            Strategy::LinearSatUnsat => self
-                .solve_linear(instance, None)
-                .expect("unraced solve always completes"),
+            Strategy::FuMalik | Strategy::LinearSatUnsat => {
+                // A budgeted single-strategy solve runs against a private
+                // race context: it is the cancel token the SAT calls poll,
+                // and (for LinearSatUnsat) the incumbent store the anytime
+                // fallback reads on expiry.
+                let race = RaceContext::new();
+                race.set_budget(self.budget);
+                match self.run_single(instance, Some(&race)) {
+                    Some(result) => result,
+                    // `None` means a sat call was cut short; nobody can
+                    // cancel a private race, so the cause is the budget.
+                    None => anytime_result(instance, &race),
+                }
+            }
             Strategy::Portfolio => {
                 let portfolio = self.portfolio.get_or_insert_with(PortfolioSolver::default);
+                portfolio.set_budget(self.budget);
                 let outcome = portfolio.solve_seeded(instance, hint);
                 self.stats = outcome.winner_stats;
                 outcome.result
@@ -254,19 +324,39 @@ impl MaxSatSolver {
         result
     }
 
+    /// Runs a non-portfolio strategy, optionally against a race context.
+    fn run_single(
+        &mut self,
+        instance: &MaxSatInstance,
+        race: Option<&RaceContext>,
+    ) -> Option<MaxSatResult> {
+        match self.strategy {
+            Strategy::FuMalik => self.solve_fu_malik(instance, race),
+            Strategy::LinearSatUnsat => self.solve_linear(instance, race),
+            Strategy::Portfolio => unreachable!("a portfolio cannot race itself"),
+        }
+    }
+
     /// Runs this solver's strategy as one worker of a portfolio race.
     /// Returns `None` if the worker was cancelled before reaching a
-    /// definitive answer.
+    /// definitive answer; when the race's *budget* (rather than a rival's
+    /// victory) cut the worker short, it instead converts the shared
+    /// incumbent into an anytime result and competes with that.
     pub(crate) fn solve_racing(
         &mut self,
         instance: &MaxSatInstance,
         race: &RaceContext,
     ) -> Option<MaxSatResult> {
         self.stats = MaxSatStats::default();
-        let result = match self.strategy {
-            Strategy::FuMalik => self.solve_fu_malik(instance, Some(race)),
-            Strategy::LinearSatUnsat => self.solve_linear(instance, Some(race)),
-            Strategy::Portfolio => unreachable!("a portfolio cannot race itself"),
+        let result = match self.run_single(instance, Some(race)) {
+            Some(result) => Some(result),
+            // Cancelled by a rival's victory (or an external cancel): this
+            // worker has nothing to add. The winner — or, for an external
+            // cancel, the portfolio's no-winner fallback — reports.
+            None if race.is_cancelled() => None,
+            // Not cancelled, yet a SAT call gave up: the budget expired.
+            // Turn the shared incumbent into the anytime answer.
+            None => Some(anytime_result(instance, race)),
         };
         if let Some(result) = &result {
             debug_assert!(check_solution(instance, result));
@@ -274,8 +364,8 @@ impl MaxSatSolver {
         result
     }
 
-    /// Dispatches one SAT call, polling the race's cancellation flag at
-    /// restart boundaries when racing.
+    /// Dispatches one SAT call, polling the race's cancellation flag and
+    /// budget (deadline + conflict cap) at restart boundaries when racing.
     fn sat_call(
         solver: &mut Solver,
         assumptions: &[Lit],
@@ -283,7 +373,24 @@ impl MaxSatSolver {
     ) -> Option<SatResult> {
         match race {
             None => Some(solver.solve_assuming(assumptions)),
-            Some(race) => solver.solve_assuming_interruptible(assumptions, race.cancel_flag()),
+            Some(race) => {
+                let budget = race.budget();
+                // The conflict cap bounds this worker's whole run; the SAT
+                // solver's conflict counter is cumulative across its calls,
+                // so the remaining allowance is cap − spent-so-far.
+                let remaining = budget
+                    .conflict_cap
+                    .map(|cap| cap.saturating_sub(solver.stats().conflicts));
+                if remaining == Some(0) || budget.deadline_expired() {
+                    return None;
+                }
+                solver.solve_assuming_budgeted(
+                    assumptions,
+                    Some(race.cancel_flag()),
+                    budget.deadline,
+                    remaining,
+                )
+            }
         }
     }
 
@@ -671,6 +778,25 @@ pub fn solve(instance: &MaxSatInstance, strategy: Strategy) -> MaxSatResult {
     MaxSatSolver::new(strategy).solve(instance)
 }
 
+/// Builds the answer of a solve whose budget ran out (or that was cancelled
+/// externally with no winner): the race's incumbent model — canonically
+/// refined at its own cost, so the reported CoMSS is the unique
+/// representative of that *upper bound* — or [`MaxSatResult::Expired`] when
+/// no model was ever published. The refinement runs unbudgeted on a fresh
+/// solver: it is a bounded greedy walk (one cheap SAT call per soft clause
+/// the witness falsifies, under a totalizer pinning the cost), so honouring
+/// the already-spent deadline would only replace a useful answer with none.
+pub(crate) fn anytime_result(instance: &MaxSatInstance, race: &RaceContext) -> MaxSatResult {
+    match race.incumbent_at_most(u64::MAX) {
+        Some(incumbent) => {
+            let refined = canonical_refine_fresh(instance, incumbent, None)
+                .expect("unraced refinement always completes");
+            MaxSatResult::Anytime(refined)
+        }
+        None => MaxSatResult::Expired,
+    }
+}
+
 /// Canonicalizes a *known-optimal* solution against a fresh solver: hard
 /// clauses plus one assumable satisfaction indicator per soft clause, with a
 /// generalized-totalizer bound pinning the falsified weight at the optimum.
@@ -760,8 +886,11 @@ fn falsified_soft(instance: &MaxSatInstance, model: &[bool]) -> Vec<SoftId> {
 
 fn check_solution(instance: &MaxSatInstance, result: &MaxSatResult) -> bool {
     match result {
-        MaxSatResult::HardUnsat => true,
-        MaxSatResult::Optimum(sol) => {
+        MaxSatResult::HardUnsat | MaxSatResult::Expired => true,
+        // An anytime solution is held to the same internal-consistency bar
+        // as a proven optimum: a genuine model whose recorded cost equals
+        // the weight of its falsified set. Only *optimality* is unproven.
+        MaxSatResult::Optimum(sol) | MaxSatResult::Anytime(sol) => {
             let recomputed: u64 = sol
                 .falsified
                 .iter()
@@ -1045,6 +1174,81 @@ mod tests {
                 "{inst:?}"
             );
         }
+    }
+
+    #[test]
+    fn expired_budget_without_a_model_returns_expired() {
+        // A deadline already in the past stops the very first SAT call, so
+        // neither strategy can find any model: the budgeted solve must
+        // report Expired — never panic, never fabricate a solution.
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(1);
+        inst.add_soft(vec![lit(1)], 1);
+        inst.add_soft(vec![lit(-1)], 1);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        for strategy in [Strategy::FuMalik, Strategy::LinearSatUnsat] {
+            let mut solver = MaxSatSolver::new(strategy);
+            solver.set_budget(Budget::with_deadline(past));
+            let result = solver.solve(&inst);
+            assert_eq!(result, MaxSatResult::Expired, "strategy {strategy:?}");
+            assert!(!result.is_complete());
+            assert!(result.solution().is_none());
+            // Lifting the budget restores the exact answer.
+            solver.set_budget(Budget::UNLIMITED);
+            assert_eq!(solver.solve(&inst).into_optimum().expect("optimum").cost, 1);
+        }
+    }
+
+    #[test]
+    fn zero_conflict_cap_is_an_exhausted_budget() {
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(1);
+        inst.add_soft(vec![lit(1)], 1);
+        inst.add_soft(vec![lit(-1)], 1);
+        let mut solver = MaxSatSolver::new(Strategy::FuMalik);
+        solver.set_budget(Budget {
+            deadline: None,
+            conflict_cap: Some(0),
+        });
+        assert_eq!(solver.solve(&inst), MaxSatResult::Expired);
+    }
+
+    #[test]
+    fn expiry_with_an_incumbent_returns_a_refined_anytime_upper_bound() {
+        // Softs: x1 (w1), x2 (w1), (!x1 | !x2) (w5). True optimum: cost 1.
+        // A genuine but suboptimal model (x1 = x2 = true, cost 5) is
+        // published as the race incumbent; when the budget then expires
+        // before the first SAT call, the worker must hand back exactly that
+        // incumbent as an Anytime result, canonically refined at its own
+        // cost — a valid upper bound on the optimum.
+        let mut inst = MaxSatInstance::new();
+        inst.ensure_vars(2);
+        inst.add_soft(vec![lit(1)], 1);
+        inst.add_soft(vec![lit(2)], 1);
+        inst.add_soft(vec![lit(-1), lit(-2)], 5);
+        let race = RaceContext::new();
+        race.publish(&MaxSatSolution {
+            cost: 5,
+            model: vec![true, true],
+            falsified: vec![SoftId(2)],
+        });
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        race.set_budget(Budget::with_deadline(past));
+        let result = MaxSatSolver::new(Strategy::FuMalik)
+            .solve_racing(&inst, &race)
+            .expect("budget expiry yields an answer, not a race loss");
+        let (solution, complete) = result.into_solution().expect("anytime incumbent");
+        assert!(!complete);
+        assert_eq!(solution.cost, 5);
+        let true_optimum = solve(&inst, Strategy::FuMalik)
+            .into_optimum()
+            .expect("satisfiable")
+            .cost;
+        assert!(
+            solution.cost >= true_optimum,
+            "anytime cost is an upper bound"
+        );
+        assert_eq!(solution.falsified, vec![SoftId(2)]);
     }
 
     #[test]

@@ -878,7 +878,7 @@ impl Solver {
     /// returns a subset of `assumptions` that is inconsistent with the clause
     /// database (empty if the database is unsatisfiable on its own).
     pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SatResult {
-        self.solve_bounded(assumptions, None)
+        self.solve_bounded(assumptions, None, None, None)
             .expect("uninterruptible solve always completes")
     }
 
@@ -892,13 +892,31 @@ impl Solver {
         assumptions: &[Lit],
         interrupt: &std::sync::atomic::AtomicBool,
     ) -> Option<SatResult> {
-        self.solve_bounded(assumptions, Some(interrupt))
+        self.solve_bounded(assumptions, Some(interrupt), None, None)
+    }
+
+    /// Like [`Solver::solve_assuming_interruptible`], but additionally gives
+    /// up once `deadline` has passed or more than `max_conflicts` conflicts
+    /// have been spent *in this call*. All three limits are polled at restart
+    /// boundaries (every few hundred conflicts), so overshoot is bounded by
+    /// one restart interval. `None` means the call was cut short; the solver
+    /// keeps its learnt clauses and can resume later.
+    pub fn solve_assuming_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        interrupt: Option<&std::sync::atomic::AtomicBool>,
+        deadline: Option<std::time::Instant>,
+        max_conflicts: Option<u64>,
+    ) -> Option<SatResult> {
+        self.solve_bounded(assumptions, interrupt, deadline, max_conflicts)
     }
 
     fn solve_bounded(
         &mut self,
         assumptions: &[Lit],
         interrupt: Option<&std::sync::atomic::AtomicBool>,
+        deadline: Option<std::time::Instant>,
+        max_conflicts: Option<u64>,
     ) -> Option<SatResult> {
         self.stats.solves += 1;
         self.model.clear();
@@ -913,10 +931,23 @@ impl Solver {
             .reduce_base
             .unwrap_or_else(|| (self.clauses.len() / 3).max(100));
 
+        let conflicts_at_entry = self.stats.conflicts;
         let mut restarts = 0u64;
         let status = loop {
             if let Some(flag) = interrupt {
                 if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    self.cancel_until(0);
+                    return None;
+                }
+            }
+            if let Some(deadline) = deadline {
+                if std::time::Instant::now() >= deadline {
+                    self.cancel_until(0);
+                    return None;
+                }
+            }
+            if let Some(cap) = max_conflicts {
+                if self.stats.conflicts - conflicts_at_entry >= cap {
                     self.cancel_until(0);
                     return None;
                 }
@@ -1310,5 +1341,45 @@ mod tests {
                 "dropping selector {drop} must restore satisfiability"
             );
         }
+    }
+
+    /// Budgeted solving gives up (returning `None`) once the per-call
+    /// conflict cap or the wall-clock deadline is hit, and the solver stays
+    /// usable afterwards: lifting the budget completes the solve.
+    #[test]
+    fn budgeted_solve_gives_up_and_can_resume() {
+        fn pigeonhole(solver: &mut Solver, pigeons: usize, holes: usize) {
+            let vars: Vec<Vec<Var>> = (0..pigeons)
+                .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+                .collect();
+            for row in &vars {
+                solver.add_clause(row.iter().map(|v| v.positive()));
+            }
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    for (a, b) in vars[p1].iter().zip(&vars[p2]) {
+                        solver.add_clause([a.negative(), b.negative()]);
+                    }
+                }
+            }
+        }
+        // A conflict cap of zero trips at the very first restart boundary.
+        let mut solver = Solver::new();
+        pigeonhole(&mut solver, 7, 6);
+        assert_eq!(
+            solver.solve_assuming_budgeted(&[], None, None, Some(0)),
+            None
+        );
+        // An already-expired deadline does the same.
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(
+            solver.solve_assuming_budgeted(&[], None, Some(past), None),
+            None
+        );
+        // With the budget lifted the same solver finishes the proof.
+        assert_eq!(
+            solver.solve_assuming_budgeted(&[], None, None, None),
+            Some(SatResult::Unsat)
+        );
     }
 }

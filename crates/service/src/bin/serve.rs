@@ -3,19 +3,25 @@
 //! ```text
 //! Usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N]
 //!              [--cache-shards N] [--queue-capacity N]
+//!              [--default-deadline-ms MS] [--max-deadline-ms MS]
+//!              [--conflict-cap N] [--max-request-bytes N]
+//!              [--read-timeout-ms MS] [--write-timeout-ms MS]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7911`), prints the bound address on stdout and
 //! serves until a client sends `{"op":"shutdown"}`, then drains every
 //! accepted job and exits. See the `service` crate docs and the README's
-//! "Running the localization service" section for the wire protocol.
+//! "Running the localization service" and "Operating under overload"
+//! sections for the wire protocol and the budget/robustness knobs.
 
 use service::{Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
-         [--cache-shards N] [--queue-capacity N]"
+         [--cache-shards N] [--queue-capacity N] [--default-deadline-ms MS] \
+         [--max-deadline-ms MS] [--conflict-cap N] [--max-request-bytes N] \
+         [--read-timeout-ms MS] [--write-timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -23,6 +29,19 @@ fn usage() -> ! {
 fn parse_count(value: Option<String>, flag: &str) -> usize {
     match value
         .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        Some(n) => n,
+        None => {
+            eprintln!("{flag} needs a positive integer");
+            usage();
+        }
+    }
+}
+
+fn parse_u64(value: Option<String>, flag: &str) -> u64 {
+    match value
+        .and_then(|v| v.parse::<u64>().ok())
         .filter(|&n| n >= 1)
     {
         Some(n) => n,
@@ -52,6 +71,24 @@ fn main() {
             "--cache-shards" => config.cache_shards = parse_count(args.next(), "--cache-shards"),
             "--queue-capacity" => {
                 config.queue_capacity = parse_count(args.next(), "--queue-capacity");
+            }
+            "--default-deadline-ms" => {
+                config.default_deadline_ms = Some(parse_u64(args.next(), "--default-deadline-ms"));
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline_ms = Some(parse_u64(args.next(), "--max-deadline-ms"));
+            }
+            "--conflict-cap" => {
+                config.conflict_cap = Some(parse_u64(args.next(), "--conflict-cap"));
+            }
+            "--max-request-bytes" => {
+                config.max_request_bytes = parse_count(args.next(), "--max-request-bytes");
+            }
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = Some(parse_u64(args.next(), "--read-timeout-ms"));
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = Some(parse_u64(args.next(), "--write-timeout-ms"));
             }
             _ => usage(),
         }

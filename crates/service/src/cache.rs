@@ -155,6 +155,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to make room.
     pub evictions: u64,
+    /// Builds that panicked (the poisoned slot is evicted and the panic is
+    /// converted into an error response; the worker survives).
+    pub poisoned: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -180,6 +183,7 @@ pub struct PreparedCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 impl PreparedCache {
@@ -200,6 +204,7 @@ impl PreparedCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
         }
     }
 
@@ -294,7 +299,20 @@ impl PreparedCache {
         // with actual work — but any waiter may run the closure if it wins
         // the OnceLock race, so pass the same builder through for safety:
         // whoever runs it, it runs at most once per slot.
-        let result = slot.get_or_init(|| build().map(Arc::new)).clone();
+        //
+        // A *panicking* build poisons the std `Once` under the slot, which
+        // makes every waiter's `get_or_init` unwind as well. Catch that
+        // here: convert it into an ordinary build error (so workers answer
+        // their clients and live on) and fall through to the eviction below
+        // — a poisoned slot must never squat in the cache, or the key would
+        // panic every caller forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slot.get_or_init(|| build().map(Arc::new)).clone()
+        }))
+        .unwrap_or_else(|_| {
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+            Err("internal error: prepared-formula build panicked".to_string())
+        });
 
         // A failed build must not squat in the cache: drop the slot (only
         // if it is still ours — a later rebuild may have replaced it).
@@ -311,6 +329,7 @@ impl PreparedCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -523,6 +542,40 @@ mod tests {
         // Peeks never count as hits or misses.
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (0, 3));
+    }
+
+    #[test]
+    fn panicking_build_poisons_nothing_and_the_key_recovers() {
+        // A build that panics must not take the worker (caller) down, must
+        // not leave a poisoned slot behind (which would panic every future
+        // caller of the key), and must leave the key rebuildable. A herd is
+        // the hard case: the waiters block on the slot whose builder
+        // panics, so std's Once poisoning unwinds them too — all of them
+        // must come back with errors, not aborts.
+        let cache = Arc::new(PreparedCache::new(4, 1));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let (result, _) = cache.get_or_build(11, || {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("injected build fault");
+                    });
+                    result
+                })
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().expect("caller must survive the panic");
+            assert!(result.unwrap_err().contains("panicked"));
+        }
+        assert_eq!(cache.stats().entries, 0, "poisoned slot was evicted");
+        assert!(cache.stats().poisoned >= 1);
+        // The key is immediately buildable again — and this time it works.
+        let (result, hit) = cache.get_or_build(11, || build_localizer("x + 1"));
+        assert!(!hit);
+        assert!(result.is_ok());
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

@@ -9,12 +9,26 @@
 //! For concurrency, open one client per thread — the daemon handles any
 //! number of connections, and its worker pool (not the connection count)
 //! bounds the CPU actually used.
+//!
+//! # Robustness
+//!
+//! [`Client::connect_with`] takes a [`ClientConfig`] with a connect
+//! timeout, a per-request timeout (applied as socket read/write timeouts)
+//! and a retry budget. Every protocol operation is **idempotent** — the
+//! solver is deterministic and the daemon's cache key ignores request
+//! identity — so a transport failure (connection reset, timeout,
+//! truncated response) or an `overloaded` shed is safely retried with
+//! jittered exponential backoff: the connection is re-established and the
+//! request re-sent. The jitter stream is seeded, so test runs stay
+//! reproducible.
 
 use crate::json::Json;
 use crate::protocol::{encode_request, Envelope, Job, Request};
+use prng::SplitMix64;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Errors a client call can produce.
 #[derive(Debug)]
@@ -23,8 +37,25 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The response line was not valid protocol JSON.
     Protocol(String),
-    /// The daemon answered `ok: false` with this message.
-    Server(String),
+    /// The daemon answered `ok: false`.
+    Server {
+        /// Machine-readable error class (`overloaded`, `deadline_exceeded`,
+        /// `parse_error`, `internal_error`, …); `"unknown"` for responses
+        /// from daemons predating the field.
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// The machine-readable error kind, if the daemon reported one.
+    pub fn kind(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -32,7 +63,7 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
         }
     }
 }
@@ -42,6 +73,38 @@ impl std::error::Error for ClientError {}
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> ClientError {
         ClientError::Io(e)
+    }
+}
+
+/// Transport knobs of a [`Client`]. The default has no timeouts and no
+/// retries — exactly the pre-robustness behaviour.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each socket read/write while waiting for a response. A slow
+    /// or wedged daemon surfaces as [`ClientError::Io`] with
+    /// `WouldBlock`/`TimedOut` instead of hanging the caller forever.
+    pub request_timeout: Option<Duration>,
+    /// How many times a failed idempotent request is retried (0 = never).
+    /// Transport errors reconnect first; `overloaded` sheds just back off.
+    pub retries: u32,
+    /// Base of the exponential backoff: attempt `n` sleeps
+    /// `retry_base * 2^n` plus a uniform jitter of up to one `retry_base`.
+    pub retry_base: Duration,
+    /// Seed of the jitter stream (deterministic backoff in tests).
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: None,
+            request_timeout: None,
+            retries: 0,
+            retry_base: Duration::from_millis(50),
+            seed: 0,
+        }
     }
 }
 
@@ -85,35 +148,89 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// The resolved address, kept for retry reconnects.
+    addr: SocketAddr,
+    config: ClientConfig,
+    jitter: SplitMix64,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon with default transport knobs (no timeouts, no
+    /// retries).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a daemon with explicit timeouts and retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including connect timeout).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".to_string()))?;
+        let (reader, writer) = Self::open(addr, &config)?;
+        let jitter = SplitMix64::seed_from_u64(config.seed);
         Ok(Client {
             reader,
-            writer: stream,
+            writer,
             next_id: 1,
+            addr,
+            config,
+            jitter,
         })
     }
 
-    /// Sends one request and reads the matching response object.
-    fn call(&mut self, request: Request) -> Result<Json, ClientError> {
+    fn open(
+        addr: SocketAddr,
+        config: &ClientConfig,
+    ) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+        let stream = match config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&addr, timeout)?,
+            None => TcpStream::connect(addr)?,
+        };
+        stream.set_read_timeout(config.request_timeout)?;
+        stream.set_write_timeout(config.request_timeout)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok((reader, stream))
+    }
+
+    /// Drops the (possibly broken) connection and dials a fresh one.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (reader, writer) = Self::open(self.addr, &self.config)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// Sends one request and reads the matching response object, without
+    /// retrying.
+    fn call_once(&mut self, request: &Request) -> Result<Json, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let line = encode_request(&Envelope { id, request });
+        let line = encode_request(&Envelope {
+            id,
+            request: request.clone(),
+        });
         self.writer.write_all(format!("{line}\n").as_bytes())?;
         let mut response = String::new();
         if self.reader.read_line(&mut response)? == 0 {
-            return Err(ClientError::Protocol(
-                "connection closed before a response arrived".to_string(),
-            ));
+            // A truncated exchange is a transport failure (the daemon died,
+            // or a middlebox cut the connection) — classified as Io so the
+            // retry loop treats it like any other broken pipe.
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a response arrived",
+            )));
         }
         let value =
             Json::parse(response.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
@@ -124,16 +241,54 @@ impl Client {
         }
         match value.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(value),
-            Some(false) => Err(ClientError::Server(
-                value
+            Some(false) => Err(ClientError::Server {
+                kind: value
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                message: value
                     .get("error")
                     .and_then(Json::as_str)
                     .unwrap_or("unknown server error")
                     .to_string(),
-            )),
+            }),
             None => Err(ClientError::Protocol(format!(
                 "response has no ok field: {value}"
             ))),
+        }
+    }
+
+    /// [`Client::call_once`] plus the retry loop for idempotent requests:
+    /// transport failures reconnect and resend, `overloaded` sheds back
+    /// off and resend, everything else (and an exhausted budget) returns
+    /// the error.
+    fn call(&mut self, request: Request) -> Result<Json, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self.call_once(&request);
+            let (err, reconnect) = match result {
+                Ok(value) => return Ok(value),
+                Err(err @ ClientError::Io(_)) => (err, true),
+                Err(err) if err.kind() == Some("overloaded") => (err, false),
+                Err(err) => return Err(err),
+            };
+            if attempt >= self.config.retries {
+                return Err(err);
+            }
+            let base = self.config.retry_base;
+            let jitter_ms = if base.as_millis() == 0 {
+                0
+            } else {
+                self.jitter.gen_range(0..=base.as_millis() as u64)
+            };
+            std::thread::sleep(
+                base * 2u32.saturating_pow(attempt) + Duration::from_millis(jitter_ms),
+            );
+            if reconnect {
+                self.reconnect()?;
+            }
+            attempt += 1;
         }
     }
 
@@ -169,7 +324,8 @@ impl Client {
     /// # Errors
     ///
     /// [`ClientError::Server`] carries daemon-side failures (parse, type,
-    /// encode or localization errors) verbatim.
+    /// encode or localization errors) verbatim, with a machine-readable
+    /// `kind`.
     pub fn localize(&mut self, job: Job) -> Result<Outcome, ClientError> {
         let value = self.call(Request::Localize(job))?;
         Self::outcome(value, "report")
@@ -241,12 +397,13 @@ impl Client {
     }
 
     /// Asks the daemon to drain and exit. The daemon acknowledges, then
-    /// closes this connection.
+    /// closes this connection. Never retried (a retry would race the
+    /// daemon's own teardown of this connection).
     ///
     /// # Errors
     ///
     /// Fails only on transport or protocol errors.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.call(Request::Shutdown).map(|_| ())
+        self.call_once(&Request::Shutdown).map(|_| ())
     }
 }

@@ -74,14 +74,16 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod json;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use cache::{CacheStats, PreparedCache, PreparedEntry};
-pub use client::{Client, ClientError, Outcome, ReviseOutcome};
+pub use client::{Client, ClientConfig, ClientError, Outcome, ReviseOutcome};
+pub use faults::{FaultConfig, FaultPlan};
 pub use json::{Json, JsonError};
 pub use protocol::{Envelope, Job, JobOptions, JobSpec, ProtocolError, Request};
-pub use queue::{JobQueue, PushError};
+pub use queue::{JobQueue, PushError, TryPushError};
 pub use server::{Server, ServiceConfig};

@@ -46,8 +46,17 @@
 //! and `"solved"` (`false` when the answer was served by remapping the
 //! remembered pre-edit report instead of re-running MAX-SAT).
 //!
-//! Failures are `{"id":…,"ok":false,"error":"…"}`. The `id` is an opaque
-//! client-chosen correlation token echoed back verbatim.
+//! Failures are `{"id":…,"ok":false,"kind":"…","error":"…"}` — `kind` is a
+//! small machine-readable vocabulary (`parse_error`, `type_error`,
+//! `encode_error`, `step_budget_exhausted`, `overloaded`,
+//! `deadline_exceeded`, `request_too_large`, `shutting_down`,
+//! `internal_error`, …), `error` the human-readable message. The `id` is an
+//! opaque client-chosen correlation token echoed back verbatim.
+//!
+//! Jobs may carry `"deadline_ms"`, a wall-clock budget measured from
+//! admission: the daemon sheds the job (`kind":"overloaded"`) instead of
+//! queueing it past its deadline, and a solve that outlives the budget
+//! returns the best report found so far marked `"complete":false`.
 //!
 //! Everything here is pure data transformation (no I/O), shared by the
 //! server, the blocking client, the tests and the load generator — both
@@ -79,6 +88,14 @@ pub struct Job {
     pub inputs: Vec<Vec<i64>>,
     /// Encoding and solver knobs.
     pub options: JobOptions,
+    /// Per-job wall-clock budget in milliseconds, measured from admission.
+    /// `None` asks for the server's default (which may be "unlimited"). A
+    /// budgeted job is never queued past its deadline (the daemon sheds it
+    /// with an `overloaded` error instead) and a solve that outlives it
+    /// comes back as an *anytime* report marked `"complete":false` rather
+    /// than an error. Deliberately **not** part of [`Job::cache_key`]: the
+    /// prepared localizer is deadline-independent.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Job {
@@ -95,6 +112,7 @@ impl Job {
             spec,
             inputs,
             options: JobOptions::default(),
+            deadline_ms: None,
         }
     }
 
@@ -362,6 +380,9 @@ fn job_fields(job: &Job, pairs: &mut Vec<(String, Json)>) {
                 .collect(),
         ),
     );
+    if let Some(deadline_ms) = job.deadline_ms {
+        push(pairs, "deadline_ms", Json::from(deadline_ms));
+    }
 }
 
 /// Serializes a request envelope to its wire line (no trailing newline).
@@ -507,12 +528,21 @@ fn parse_job(value: &Json) -> Result<Job, ProtocolError> {
             .collect::<Result<Vec<u32>, ProtocolError>>()?;
     }
 
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| bad("deadline_ms must be a non-negative integer"))?,
+        ),
+    };
+
     Ok(Job {
         program,
         entry,
         spec,
         inputs,
         options,
+        deadline_ms,
     })
 }
 
@@ -642,6 +672,10 @@ pub fn report_to_json(report: &LocalizationReport) -> Json {
             ),
         ),
         ("stats", stats_to_json(&report.stats)),
+        // `complete` is semantic content, not timing: canonicalize() keeps
+        // it, so an anytime report can never be byte-identical to the exact
+        // one unless it actually reproduced the full enumeration.
+        ("complete", Json::Bool(report.complete)),
     ])
 }
 
@@ -721,6 +755,11 @@ mod tests {
                 inputs: vec![vec![5]],
                 ..sample_job()
             }),
+            Request::Localize(Job {
+                inputs: vec![vec![5]],
+                deadline_ms: Some(1500),
+                ..sample_job()
+            }),
             // prev_key beyond i64::MAX: cache keys are avalanche-mixed u64s,
             // so the wire must carry all 64 bits losslessly.
             Request::Revise {
@@ -788,6 +827,12 @@ mod tests {
         let mut other_inputs = job.clone();
         other_inputs.inputs = vec![vec![99]];
         assert_eq!(other_inputs.cache_key(&program), base);
+
+        // Neither is the deadline: the prepared localizer is budget-blind,
+        // so a budgeted retry of the same job hits the same entry.
+        let mut budgeted = job.clone();
+        budgeted.deadline_ms = Some(250);
+        assert_eq!(budgeted.cache_key(&program), base);
 
         // Any option, entry or spec change must change the key.
         let mut width = job.clone();

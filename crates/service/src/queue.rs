@@ -27,6 +27,16 @@ impl std::fmt::Display for PushError {
 
 impl std::error::Error for PushError {}
 
+/// Error returned by [`JobQueue::try_push`], carrying the rejected item
+/// back so the caller can answer its client instead of dropping it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue was at capacity; admission control should shed the job.
+    Full(T),
+    /// The queue was closed; the daemon is shutting down.
+    Closed(T),
+}
+
 #[derive(Debug)]
 struct QueueState<T> {
     items: VecDeque<T>,
@@ -87,6 +97,30 @@ impl<T> JobQueue<T> {
         }
         if state.closed {
             return Err(PushError);
+        }
+        state.items.push_back(item);
+        state.enqueued += 1;
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues an item **without blocking**: a full queue is an immediate
+    /// [`TryPushError::Full`] instead of backpressure. Deadline-carrying
+    /// jobs go through this path — blocking a connection thread on a
+    /// saturated queue could hold the job past its own deadline, so the
+    /// daemon sheds it (an `overloaded` error) and lets the client retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`TryPushError`].
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
         }
         state.items.push_back(item);
         state.enqueued += 1;
@@ -236,6 +270,22 @@ mod tests {
         assert_eq!(queue.pop(), Some(1));
         assert_eq!(queue.pop(), None);
         assert_eq!(queue.enqueued(), 2);
+    }
+
+    #[test]
+    fn try_push_never_blocks() {
+        let queue = JobQueue::new(1);
+        assert_eq!(queue.try_push(1u64), Ok(()));
+        // Saturated: the reject returns the item, and nothing was enqueued.
+        assert_eq!(queue.try_push(2), Err(TryPushError::Full(2)));
+        assert_eq!(queue.enqueued(), 1);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.try_push(3), Ok(()));
+        queue.close();
+        assert_eq!(queue.try_push(4), Err(TryPushError::Closed(4)));
+        // The item accepted before the close still drains.
+        assert_eq!(queue.pop(), Some(3));
+        assert_eq!(queue.pop(), None);
     }
 
     #[test]

@@ -29,18 +29,20 @@
 //!   request is ever dropped without a response.
 
 use crate::cache::{PreparedCache, PreparedEntry};
+use crate::faults::FaultPlan;
 use crate::json::Json;
 use crate::protocol::{parse_request, ranked_to_json, report_to_json, Envelope, Job, Request};
-use crate::queue::JobQueue;
-use bugassist::{LocalizationReport, Localizer};
+use crate::queue::{JobQueue, TryPushError};
+use bugassist::{Budget, LocalizationReport, Localizer};
 use minic::ast::Line;
 use minic::{EditClass, LineMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
 #[derive(Clone, Debug)]
@@ -55,6 +57,30 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Bound of the job queue; pushes beyond it block (backpressure).
     pub queue_capacity: usize,
+    /// Deadline applied to jobs that don't carry their own `deadline_ms`.
+    /// `None` (the default) keeps such jobs unbudgeted — the legacy
+    /// blocking-backpressure behaviour.
+    pub default_deadline_ms: Option<u64>,
+    /// Upper clamp on any job's deadline; a client asking for more gets
+    /// this much. `None` = no clamp.
+    pub max_deadline_ms: Option<u64>,
+    /// Conflict cap handed to every budgeted solve (per MAX-SAT strategy
+    /// worker). `None` = unlimited.
+    pub conflict_cap: Option<u64>,
+    /// Maximum accepted request-line length in bytes; longer lines get a
+    /// structured `request_too_large` error and the connection is closed.
+    /// Jobs ship whole programs inline, so the default (1 MiB) is generous.
+    pub max_request_bytes: usize,
+    /// Socket read timeout per connection. `None` (default) lets idle
+    /// clients sit forever; set it to bound how long a wedged or trickling
+    /// client can pin a connection thread.
+    pub read_timeout_ms: Option<u64>,
+    /// Socket write timeout per connection: bounds how long a client that
+    /// stopped draining its socket can block a response write.
+    pub write_timeout_ms: Option<u64>,
+    /// Deterministic fault-injection plan (chaos testing). Hooks are free
+    /// unless the `faults` cargo feature is enabled; see [`crate::faults`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +94,13 @@ impl Default for ServiceConfig {
             cache_capacity: 64,
             cache_shards: 8,
             queue_capacity: 2 * workers,
+            default_deadline_ms: None,
+            max_deadline_ms: None,
+            conflict_cap: None,
+            max_request_bytes: 1 << 20,
+            read_timeout_ms: None,
+            write_timeout_ms: None,
+            fault_plan: None,
         }
     }
 }
@@ -118,6 +151,11 @@ struct QueuedJob {
     id: u64,
     kind: JobKind,
     job: Job,
+    /// Absolute wall-clock deadline (admission time + effective
+    /// `deadline_ms`), `None` for unbudgeted jobs. Checked again at
+    /// dequeue: a job whose deadline passed while queued is answered with
+    /// `deadline_exceeded` instead of solved.
+    deadline: Option<Instant>,
     reply: mpsc::Sender<String>,
 }
 
@@ -131,6 +169,24 @@ struct ServerState {
     /// with a throwaway connection.
     local_addr: SocketAddr,
     workers: usize,
+    /// Budget / robustness knobs, copied from the [`ServiceConfig`].
+    default_deadline_ms: Option<u64>,
+    max_deadline_ms: Option<u64>,
+    conflict_cap: Option<u64>,
+    max_request_bytes: usize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
+    /// EWMA of job execution wall-clock (milliseconds), feeding the
+    /// admission controller's queue-wait estimate.
+    avg_exec_ms: AtomicU64,
+    /// Deadline jobs rejected at admission (queue full, or the estimated
+    /// queue wait already exceeded the job's whole budget).
+    jobs_shed: AtomicU64,
+    /// Jobs whose deadline expired while queued (answered, not solved).
+    jobs_expired: AtomicU64,
+    /// Worker panics converted into `internal_error` responses.
+    worker_panics: AtomicU64,
     localize_requests: AtomicU64,
     revise_requests: AtomicU64,
     /// Revise requests whose delta-prepare reused the pre-edit bit-blast
@@ -172,14 +228,41 @@ impl ServerState {
         let _ = TcpStream::connect(self.local_addr);
     }
 
-    fn error_line(&self, id: u64, message: impl std::fmt::Display) -> String {
+    fn error_line(&self, id: u64, kind: &'static str, message: impl std::fmt::Display) -> String {
         self.error_responses.fetch_add(1, Ordering::Relaxed);
         Json::obj(vec![
             ("id", Json::from(id)),
             ("ok", Json::Bool(false)),
+            ("kind", Json::str(kind)),
             ("error", Json::str(message.to_string())),
         ])
         .to_string()
+    }
+
+    /// The machine-readable `kind` of a prepared-cache build error. Builds
+    /// run behind a single-flight slot and can only report a `String`, so
+    /// every build error is prefixed at its source (`parse error: …`,
+    /// `type error: …`, `encode error: …`, `internal error: …`) and
+    /// classified here — the one place the mapping lives.
+    fn build_error_kind(message: &str) -> &'static str {
+        if message.starts_with("parse error") {
+            "parse_error"
+        } else if message.starts_with("type error") {
+            "type_error"
+        } else if message.starts_with("encode error") {
+            "encode_error"
+        } else if message.starts_with("internal error") {
+            "internal_error"
+        } else {
+            "error"
+        }
+    }
+
+    fn localize_error_kind(error: &bugassist::LocalizeError) -> &'static str {
+        match error {
+            bugassist::LocalizeError::Encode(_) => "encode_error",
+            bugassist::LocalizeError::ArityMismatch { .. } => "arity_mismatch",
+        }
     }
 
     fn health_line(&self, id: u64) -> String {
@@ -256,6 +339,7 @@ impl ServerState {
                     ("hits", Json::from(cache.hits)),
                     ("misses", Json::from(cache.misses)),
                     ("evictions", Json::from(cache.evictions)),
+                    ("poisoned", Json::from(cache.poisoned)),
                     ("entries", Json::from(cache.entries)),
                     ("capacity", Json::from(self.cache.capacity())),
                     ("shards", Json::from(self.cache.shard_count())),
@@ -267,7 +351,23 @@ impl ServerState {
                     ("capacity", Json::from(self.queue.capacity())),
                     ("depth", Json::from(self.queue.depth())),
                     ("enqueued", Json::from(self.queue.enqueued())),
+                    ("shed", Json::from(self.jobs_shed.load(Ordering::Relaxed))),
+                    (
+                        "expired",
+                        Json::from(self.jobs_expired.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "avg_exec_ms",
+                        Json::from(self.avg_exec_ms.load(Ordering::Relaxed)),
+                    ),
                 ]),
+            ),
+            (
+                "robustness",
+                Json::obj(vec![(
+                    "worker_panics",
+                    Json::from(self.worker_panics.load(Ordering::Relaxed)),
+                )]),
             ),
             (
                 "solver",
@@ -318,6 +418,9 @@ impl ServerState {
 
     /// The cold build: typecheck, encode, warm, package as a cache entry.
     fn build_entry(&self, job: &Job, program: &minic::Program) -> Result<PreparedEntry, String> {
+        if let Some(faults) = &self.faults {
+            faults.build_start();
+        }
         // Typecheck belongs to the build, not the hot path: a cache hit
         // means a structurally identical AST already checked clean.
         if let Some(first) = minic::check_program(program).first() {
@@ -519,6 +622,9 @@ impl ServerState {
 
     /// Executes one queued job and returns its response line.
     fn execute(&self, queued: &QueuedJob) -> String {
+        if let Some(faults) = &self.faults {
+            faults.execute_start();
+        }
         let op: &'static str = match queued.kind {
             JobKind::Localize => "localize",
             JobKind::Batch => "batch",
@@ -526,8 +632,36 @@ impl ServerState {
         };
         let program = match minic::parse_program(&queued.job.program) {
             Ok(program) => program,
-            Err(e) => return self.error_line(queued.id, format!("parse error: {e}")),
+            Err(e) => {
+                return self.error_line(queued.id, "parse_error", format!("parse error: {e}"))
+            }
         };
+        // Concrete pre-flight: run each failing input through the cheap
+        // interpreter before paying the symbolic encoding. Any genuine
+        // violation (assertion, bounds, wrong return) proceeds — that is
+        // the bug being localized — but a *step-budget* stop means a
+        // runaway loop or recursion the encoder would choke on just as
+        // badly, so it surfaces as a structured error instead.
+        let interp_config = bmc::InterpConfig {
+            width: queued.job.options.width,
+            ..bmc::InterpConfig::default()
+        };
+        for input in &queued.job.inputs {
+            let outcome = bmc::run_program(&program, &queued.job.entry, input, &[], interp_config);
+            if let Some(violation) = outcome.violation {
+                if violation.kind == bmc::ViolationKind::StepLimit {
+                    return self.error_line(
+                        queued.id,
+                        "step_budget_exhausted",
+                        format!(
+                            "input {:?} exhausted the interpreter step budget \
+                             ({} steps) at {}: the program likely diverges",
+                            input, interp_config.max_steps, violation.line
+                        ),
+                    );
+                }
+            }
+        }
         let key = queued.job.cache_key(&program);
         // The pre-edit entry, for revisions: the delta source and the
         // warm-start seed donor.
@@ -539,22 +673,40 @@ impl ServerState {
             JobKind::Revise { .. } => {
                 match self.revised_entry(&queued.job, &program, key, prev.as_ref()) {
                     Ok(found) => found,
-                    Err(message) => return self.error_line(queued.id, message),
+                    Err(message) => {
+                        return self.error_line(
+                            queued.id,
+                            Self::build_error_kind(&message),
+                            message,
+                        )
+                    }
                 }
             }
             _ => match self.prepared_entry(&queued.job, &program, key) {
                 Ok((entry, hit, build_ms)) => (entry, hit, build_ms, "-", false, None),
-                Err(message) => return self.error_line(queued.id, message),
+                Err(message) => {
+                    return self.error_line(queued.id, Self::build_error_kind(&message), message)
+                }
             },
         };
         let cache: &'static str = if hit { "hit" } else { "miss" };
         // `false` when a revise served a remembered (possibly remapped)
         // report instead of running the MAX-SAT enumeration.
         let mut solved = true;
+        // The job's remaining budget: whatever is left of its wall-clock
+        // deadline (build time already counted — the deadline is absolute)
+        // plus the server-wide conflict cap.
+        let budget = Budget {
+            deadline: queued.deadline,
+            conflict_cap: self.conflict_cap,
+        };
 
         let (payload_key, payload, stats) = match queued.kind {
-            JobKind::Batch => match entry.localizer.localize_batch(&queued.job.inputs) {
-                Err(e) => return self.error_line(queued.id, e),
+            JobKind::Batch => match entry
+                .localizer
+                .localize_batch_budgeted(&queued.job.inputs, budget)
+            {
+                Err(e) => return self.error_line(queued.id, Self::localize_error_kind(&e), e),
                 Ok(ranked) => {
                     let mut merged = bugassist::LocalizerStats::default();
                     for report in &ranked.per_test {
@@ -605,13 +757,26 @@ impl ServerState {
                             }
                             _ => None,
                         };
-                        match entry.localizer.localize_seeded(input, seeds.as_deref()) {
-                            Err(e) => return self.error_line(queued.id, e),
+                        match entry
+                            .localizer
+                            .localize_budgeted(input, seeds.as_deref(), budget)
+                        {
+                            Err(e) => {
+                                return self.error_line(queued.id, Self::localize_error_kind(&e), e)
+                            }
                             Ok(report) => report,
                         }
                     }
                 };
-                entry.record_report(input, &report);
+                // Never remember an anytime report: the report cache feeds
+                // solve-skipping replays and revise remaps, which must only
+                // ever reproduce *proven* enumerations. An incomplete
+                // report cached here could be replayed verbatim for a later
+                // unbudgeted request of the same input — silently serving a
+                // truncated answer with no deadline in sight.
+                if report.complete {
+                    entry.record_report(input, &report);
+                }
                 let stats = report.stats;
                 match queued.kind {
                     JobKind::Revise { .. } => {
@@ -709,39 +874,187 @@ impl Drop for ConnectionGuard<'_> {
     }
 }
 
-/// Pushes one job through the bounded queue (blocking on backpressure) and
-/// waits for the worker pool's response line.
+/// Admits one job to the bounded queue and waits for the worker pool's
+/// response line.
+///
+/// Two admission regimes, chosen by whether the job has an effective
+/// deadline (its own `deadline_ms`, else the server default, clamped to the
+/// server max):
+///
+/// * **No deadline** — the legacy backpressure path: a full queue blocks
+///   this connection thread (and, through TCP, the client) until a slot
+///   frees.
+/// * **Deadline** — the job must *never* block the reader. If the queue is
+///   full, or the estimated queue wait (depth × average execution time ÷
+///   workers) already eats the whole budget, the job is **shed** with a
+///   structured `overloaded` error — the client learns immediately and can
+///   retry elsewhere/later, instead of waiting out a deadline that the
+///   daemon already knows it will miss.
 fn enqueue_and_wait(state: &ServerState, id: u64, kind: JobKind, job: Job) -> String {
+    let deadline_ms = match (
+        job.deadline_ms.or(state.default_deadline_ms),
+        state.max_deadline_ms,
+    ) {
+        (Some(requested), Some(max)) => Some(requested.min(max)),
+        (requested, _) => requested,
+    };
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let (reply, receive) = mpsc::channel();
     let queued = QueuedJob {
         id,
         kind,
         job,
+        deadline,
         reply,
     };
-    match state.queue.push(queued) {
-        Err(_) => state.error_line(id, "server is shutting down"),
+    let pushed = match deadline_ms {
+        None => state
+            .queue
+            .push(queued)
+            .map_err(|_| state.error_line(id, "shutting_down", "server is shutting down")),
+        Some(budget_ms) => {
+            let est_wait_ms = (state.queue.depth() as u64)
+                .saturating_mul(state.avg_exec_ms.load(Ordering::Relaxed))
+                / state.workers.max(1) as u64;
+            if est_wait_ms >= budget_ms.max(1) {
+                state.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                Err(state.error_line(
+                    id,
+                    "overloaded",
+                    format!(
+                        "estimated queue wait {est_wait_ms}ms exceeds the job's \
+                         {budget_ms}ms deadline; shedding"
+                    ),
+                ))
+            } else {
+                state.queue.try_push(queued).map_err(|e| match e {
+                    TryPushError::Full(_) => {
+                        state.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                        state.error_line(
+                            id,
+                            "overloaded",
+                            "job queue is full; shedding instead of queueing past the deadline",
+                        )
+                    }
+                    TryPushError::Closed(_) => {
+                        state.error_line(id, "shutting_down", "server is shutting down")
+                    }
+                })
+            }
+        }
+    };
+    match pushed {
+        Err(response) => response,
         Ok(()) => receive
             .recv()
-            .unwrap_or_else(|_| state.error_line(id, "worker terminated")),
+            .unwrap_or_else(|_| state.error_line(id, "internal_error", "worker terminated")),
+    }
+}
+
+/// One inbound request line, read under a byte cap.
+enum LineRead {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// The line exceeded the cap before its `\n` arrived. The rest of the
+    /// connection's input stream is unframed garbage, so the caller answers
+    /// `request_too_large` and closes.
+    TooLong,
+    /// The line's bytes were not UTF-8.
+    BadUtf8,
+    /// EOF, read timeout, or I/O error: drop the connection.
+    Closed,
+}
+
+/// Reads one `\n`-terminated line, giving up as soon as more than `cap`
+/// bytes accumulate without a terminator. Unlike `BufRead::lines`, a
+/// client that streams an endless (or merely huge) line can only ever make
+/// the server buffer `cap + BufReader-chunk` bytes.
+fn read_capped_line<R: BufRead>(reader: &mut R, cap: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Err(_) => return LineRead::Closed,
+            Ok([]) if buf.is_empty() => return LineRead::Closed,
+            // EOF mid-line: surface the partial line (parity with
+            // `BufRead::lines`); the response write will fail harmlessly
+            // if the peer is really gone.
+            Ok([]) => break,
+            Ok(chunk) => chunk,
+        };
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
+        if buf.len() > cap {
+            return LineRead::TooLong;
+        }
+    }
+    if buf.len() > cap {
+        return LineRead::TooLong;
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => LineRead::Line(line),
+        Err(_) => LineRead::BadUtf8,
     }
 }
 
 fn handle_connection(state: &ServerState, stream: TcpStream, conn_id: u64) {
     let _guard = ConnectionGuard { state, conn_id };
+    // Socket timeouts bound how long a wedged peer can pin this thread:
+    // a trickling writer trips the read timeout, a non-draining reader
+    // trips the write timeout; either way the connection is dropped.
+    let _ = stream.set_read_timeout(state.read_timeout);
+    let _ = stream.set_write_timeout(state.write_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let line = match read_capped_line(&mut reader, state.max_request_bytes) {
+            LineRead::Closed => break,
+            LineRead::TooLong => {
+                // The tail of the oversized line is still in flight, so
+                // this connection's framing is unrecoverable: answer once,
+                // then close.
+                let response = state.error_line(
+                    0,
+                    "request_too_large",
+                    format!(
+                        "request line exceeds the {}-byte limit",
+                        state.max_request_bytes
+                    ),
+                );
+                let _ = writer.write_all(format!("{response}\n").as_bytes());
+                break;
+            }
+            LineRead::BadUtf8 => {
+                let response =
+                    state.error_line(0, "parse_error", "request line is not valid UTF-8");
+                if writer
+                    .write_all(format!("{response}\n").as_bytes())
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
         let mut stop_after_reply = false;
         let response = match parse_request(&line) {
-            Err(e) => state.error_line(0, e),
+            Err(e) => state.error_line(0, "parse_error", e),
             Ok(Envelope { id, request }) => match request {
                 Request::Health => state.health_line(id),
                 Request::Stats => state.stats_line(id),
@@ -802,6 +1115,17 @@ impl Server {
             shutdown: AtomicBool::new(false),
             local_addr,
             workers,
+            default_deadline_ms: config.default_deadline_ms,
+            max_deadline_ms: config.max_deadline_ms,
+            conflict_cap: config.conflict_cap,
+            max_request_bytes: config.max_request_bytes,
+            read_timeout: config.read_timeout_ms.map(Duration::from_millis),
+            write_timeout: config.write_timeout_ms.map(Duration::from_millis),
+            faults: config.fault_plan.clone(),
+            avg_exec_ms: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            jobs_expired: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             localize_requests: AtomicU64::new(0),
             revise_requests: AtomicU64::new(0),
             revise_reuses: AtomicU64::new(0),
@@ -831,7 +1155,63 @@ impl Server {
                         // Drains the queue even after close: every accepted
                         // job gets a response before the pool exits.
                         while let Some(job) = state.queue.pop() {
-                            let response = state.execute(&job);
+                            if let Some(faults) = &state.faults {
+                                faults.worker_pickup();
+                            }
+                            // A deadline that expired while the job sat in
+                            // the queue: answer, don't solve. The client's
+                            // budget is already gone — spending solver time
+                            // on it would only delay jobs that can still
+                            // make theirs.
+                            let response = if job
+                                .deadline
+                                .is_some_and(|deadline| Instant::now() >= deadline)
+                            {
+                                state.jobs_expired.fetch_add(1, Ordering::Relaxed);
+                                state.error_line(
+                                    job.id,
+                                    "deadline_exceeded",
+                                    "deadline expired while the job was queued",
+                                )
+                            } else {
+                                let started = Instant::now();
+                                // A panicking job (a solver bug, or an
+                                // injected fault) must cost exactly one
+                                // response, never the worker thread: catch
+                                // the unwind, answer with a structured
+                                // `internal_error`, keep serving. Poisoned
+                                // cache slots are evicted by the cache's own
+                                // catch_unwind (see `cache::get_or_build`).
+                                let outcome =
+                                    catch_unwind(AssertUnwindSafe(|| state.execute(&job)));
+                                let exec_ms = started.elapsed().as_millis() as u64;
+                                // EWMA (3:1 old:new) feeding the admission
+                                // controller's queue-wait estimate. Races
+                                // between workers just blend samples.
+                                let old = state.avg_exec_ms.load(Ordering::Relaxed);
+                                let avg = if old == 0 {
+                                    exec_ms
+                                } else {
+                                    (3 * old + exec_ms) / 4
+                                };
+                                state.avg_exec_ms.store(avg, Ordering::Relaxed);
+                                match outcome {
+                                    Ok(response) => response,
+                                    Err(panic) => {
+                                        state.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                        let message = panic
+                                            .downcast_ref::<&str>()
+                                            .map(|s| s.to_string())
+                                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                                            .unwrap_or_else(|| "unknown panic".to_string());
+                                        state.error_line(
+                                            job.id,
+                                            "internal_error",
+                                            format!("job execution panicked: {message}"),
+                                        )
+                                    }
+                                }
+                            };
                             // A disconnected client is not an error.
                             let _ = job.reply.send(response);
                         }

@@ -452,7 +452,8 @@ fn revise_reports_cold_build_errors_verbatim() {
     let broken = edit_job(edit_base_src().replace("return a - 1;", "return nosuchvar;"));
     let err = client.revise(broken, cold.key).expect_err("must fail");
     assert!(
-        matches!(&err, ClientError::Server(m) if m.contains("type error")),
+        matches!(&err, ClientError::Server { kind, message }
+            if kind == "type_error" && message.contains("type error")),
         "{err:?}"
     );
 
@@ -484,7 +485,10 @@ fn health_stats_and_error_paths() {
     // A garbage program is a server-side error, not a hang or a crash.
     let garbage = Job::new("int main( {", "main", JobSpec::Assertions, vec![vec![1]]);
     let err = client.localize(garbage).expect_err("must fail");
-    assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+    assert!(
+        matches!(&err, ClientError::Server { kind, .. } if kind == "parse_error"),
+        "{err:?}"
+    );
 
     // An arity mismatch travels back as an error string too.
     let wrong_arity = Job::new(
@@ -494,7 +498,10 @@ fn health_stats_and_error_paths() {
         vec![vec![1, 2]],
     );
     let err = client.localize(wrong_arity).expect_err("must fail");
-    assert!(matches!(err, ClientError::Server(_)), "{err:?}");
+    assert!(
+        matches!(&err, ClientError::Server { kind, .. } if kind == "arity_mismatch"),
+        "{err:?}"
+    );
 
     // The connection survives errors; a good job still works, and the stats
     // endpoint surfaces the per-request solver counters of that job.
@@ -662,4 +669,233 @@ fn shutdown_op_drains_and_stops_the_daemon() {
             assert!(late.health().is_err(), "daemon must be gone");
         }
     }
+}
+
+#[test]
+fn budgeted_job_returns_anytime_or_exact_and_never_pollutes_the_replay_cache() {
+    let (inputs, golden) = tcas_failing_vectors();
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    // Warm the prepared entry with a different failing input, so the
+    // budgeted request below spends its deadline on the solve, not the
+    // bit-blast build.
+    let warm = tcas_job(vec![inputs[1].clone()], golden);
+    client.localize(warm).expect("warm build");
+
+    let exact_job = tcas_job(vec![inputs[0].clone()], golden);
+    let expected = expected_canonical(&exact_job);
+    let exact_suspects = Json::parse(&expected)
+        .expect("expected parses")
+        .get("suspects")
+        .and_then(Json::as_arr)
+        .expect("exact suspects")
+        .len();
+
+    let mut budgeted = exact_job.clone();
+    budgeted.deadline_ms = Some(25);
+    match client.localize(budgeted) {
+        Ok(out) => {
+            let complete = out
+                .body
+                .get("complete")
+                .and_then(Json::as_bool)
+                .expect("report carries the complete flag");
+            if complete {
+                // The deadline was generous enough after all: the answer
+                // must be the exact canonical report, bit for bit.
+                assert_eq!(canonical(&out.body), expected);
+            } else {
+                // A cut enumeration reports a prefix: never more ranks
+                // than the optimum run found.
+                let suspects = out
+                    .body
+                    .get("suspects")
+                    .and_then(Json::as_arr)
+                    .expect("suspects")
+                    .len();
+                assert!(
+                    suspects <= exact_suspects,
+                    "anytime run reported {suspects} ranks, exact run {exact_suspects}"
+                );
+            }
+        }
+        // The deadline may expire while the job is queued; that is a
+        // structured answer, not a hang.
+        Err(err) => assert_eq!(err.kind(), Some("deadline_exceeded"), "{err:?}"),
+    }
+
+    // Regression: the cut solve must not have left a truncated report in
+    // the replay cache — an unbudgeted request of the same input returns
+    // the exact canonical report.
+    let full = client.localize(exact_job).expect("full localize");
+    assert_eq!(canonical(&full.body), expected);
+    assert_eq!(
+        full.body.get("complete").and_then(Json::as_bool),
+        Some(true)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_with_a_structured_error() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        max_request_bytes: 1024,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connects");
+    stream.write_all(&vec![b'x'; 8192]).expect("writes");
+    stream.write_all(b"\n").expect("writes");
+    let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reads");
+    let response = Json::parse(line.trim_end()).expect("response parses");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        response.get("kind").and_then(Json::as_str),
+        Some("request_too_large")
+    );
+    // The oversized line destroyed the connection's framing, so the server
+    // answers once and closes. Closing with unread bytes in the receive
+    // buffer makes the kernel send RST, so the client sees either a clean
+    // EOF or a connection reset — never more data.
+    let mut rest = Vec::new();
+    match reader.read_to_end(&mut rest) {
+        Ok(n) => assert_eq!(n, 0, "connection must be closed after rejection"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_sheds_budgeted_jobs_instead_of_blocking() {
+    let (inputs, golden) = tcas_failing_vectors();
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    let mut job = tcas_job(vec![inputs[0].clone()], golden);
+    // A generous deadline opts the job into admission control without ever
+    // expiring mid-test.
+    job.deadline_ms = Some(120_000);
+    let expected = expected_canonical(&job);
+
+    // Four no-retry clients race one worker and one queue slot: the first
+    // two win, the rest must be shed immediately with `overloaded`.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let job = job.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                client.localize(job)
+            })
+        })
+        .collect();
+    // A fifth client retries with backoff: the shed is transient, so it
+    // must eventually get the real answer.
+    let retrying = {
+        let job = job.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect_with(
+                addr,
+                service::ClientConfig {
+                    retries: 12,
+                    retry_base: std::time::Duration::from_millis(100),
+                    seed: 42,
+                    ..service::ClientConfig::default()
+                },
+            )
+            .expect("connects");
+            client.localize(job)
+        })
+    };
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for handle in handles {
+        match handle.join().expect("client thread must not panic") {
+            Ok(out) => {
+                assert_eq!(canonical(&out.body), expected);
+                ok += 1;
+            }
+            Err(err) => {
+                assert_eq!(err.kind(), Some("overloaded"), "{err:?}");
+                shed += 1;
+            }
+        }
+    }
+    assert_eq!(ok + shed, 4);
+    assert!(ok >= 1, "at least the first admitted job completes");
+    let out = retrying
+        .join()
+        .expect("retry thread must not panic")
+        .expect("retries ride out the overload");
+    assert_eq!(canonical(&out.body), expected);
+
+    let mut client = Client::connect(addr).expect("connects");
+    let stats = client.stats().expect("stats");
+    let stats_shed = stats
+        .get("queue")
+        .and_then(|q| q.get("shed"))
+        .and_then(Json::as_u64)
+        .expect("queue.shed");
+    assert!(
+        stats_shed >= shed,
+        "stats undercount sheds: {stats_shed} < {shed}"
+    );
+    server.shutdown();
+}
+
+#[cfg(feature = "faults")]
+#[test]
+fn injected_worker_panics_become_structured_errors_and_the_worker_survives() {
+    use service::{FaultConfig, FaultPlan};
+    let plan = Arc::new(FaultPlan::new(FaultConfig {
+        seed: 11,
+        panic_period: 2,
+        ..FaultConfig::default()
+    }));
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        fault_plan: Some(Arc::clone(&plan)),
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    let job = mutated_minic_job(1);
+    let expected = expected_canonical(&job);
+    let mut oks = 0;
+    let mut panics = 0;
+    for _ in 0..4 {
+        match client.localize(job.clone()) {
+            Ok(out) => {
+                // Jobs the fault missed are answered byte-identically to a
+                // fault-free daemon.
+                assert_eq!(canonical(&out.body), expected);
+                oks += 1;
+            }
+            Err(err) => {
+                assert_eq!(err.kind(), Some("internal_error"), "{err:?}");
+                panics += 1;
+            }
+        }
+    }
+    assert_eq!(
+        (oks, panics),
+        (2, 2),
+        "a period-2 panic fault fires on exactly alternate executes"
+    );
+    assert_eq!(plan.injected().1, 2);
+    // The single worker caught both panics and is still serving.
+    client.health().expect("daemon alive after worker panics");
+    server.shutdown();
 }
