@@ -5,7 +5,7 @@
 //! `BENCH_service.json`.
 //!
 //! Usage: `cargo run -p bench --bin loadgen --release [output.json]
-//! [--samples N] [--quick] [--chaos]`
+//! [--samples N] [--quick] [--chaos] [--restart]`
 //!
 //! * `--samples N` — warm rounds each client plays over the program set
 //!   (every round touches every program once).
@@ -15,6 +15,11 @@
 //!   deterministic injected worker panics/stalls/delays plus abusive
 //!   raw-socket clients, asserting a goodput floor and byte-identical
 //!   canonical reports for every successfully answered job.
+//! * `--restart` — run only the restart-recovery scenario: one daemon
+//!   lifetime builds cold and writes through to a persistent store, a
+//!   second lifetime on the same directory restores on boot and must serve
+//!   every first request without a rebuild, byte-identically, at a
+//!   >1.5x speedup over the cold builds.
 //!
 //! The headline number is the **cold/warm ratio**: a cold request pays
 //! parse → typecheck → unroll → bit-blast → selector-template construction
@@ -41,11 +46,12 @@ use siemens::{tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn parse_args() -> (String, usize, bool, bool) {
+fn parse_args() -> (String, usize, bool, bool, bool) {
     let mut output = "BENCH_service.json".to_string();
     let mut samples = 5usize;
     let mut quick = false;
     let mut chaos_only = false;
+    let mut restart_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -58,15 +64,17 @@ fn parse_args() -> (String, usize, bool, bool) {
             }
             "--quick" => quick = true,
             "--chaos" => chaos_only = true,
+            "--restart" => restart_only = true,
             other if other.starts_with("--") => {
                 panic!(
-                    "unknown flag {other:?}; usage: [output.json] [--samples N] [--quick] [--chaos]"
+                    "unknown flag {other:?}; usage: [output.json] [--samples N] \
+                     [--quick] [--chaos] [--restart]"
                 )
             }
             other => output = other.to_string(),
         }
     }
-    (output, samples, quick, chaos_only)
+    (output, samples, quick, chaos_only, restart_only)
 }
 
 /// A family of distinct small faulty programs (each constant delta yields a
@@ -586,8 +594,137 @@ fn chaos_run(quick: bool) -> Json {
     ])
 }
 
+/// The restart-recovery scenario: a first daemon lifetime builds the
+/// program set cold and writes the prepared formulas through to a
+/// persistent store directory; a second lifetime on the same directory
+/// restores them on boot. Asserts that every first post-restart request is
+/// served from the restored store (a cache hit, zero rebuild milliseconds),
+/// that its report is byte-identical to the cold lifetime's, and that the
+/// disk-warm total beats the cold total by more than 1.5x.
+fn restart_run(quick: bool) -> Json {
+    let store_dir =
+        std::env::temp_dir().join(format!("bugassist-loadgen-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_config = || ServiceConfig {
+        workers: 2,
+        store_dir: Some(store_dir.to_string_lossy().into_owned()),
+        ..ServiceConfig::default()
+    };
+    let mut jobs: Vec<Job> = vec![wide_minic_job(if quick { 40 } else { 120 })];
+    jobs.extend((0..if quick { 2 } else { 4 }).map(|d| minic_job(d as i64 + 1)));
+    if !quick {
+        jobs.push(tcas_job());
+    }
+
+    // Lifetime A: cold builds, asynchronous write-through.
+    let server = Server::start(store_config()).expect("first daemon starts");
+    let mut expected: Vec<String> = Vec::with_capacity(jobs.len());
+    let mut cold_ms: Vec<f64> = Vec::with_capacity(jobs.len());
+    {
+        let mut client = Client::connect(server.local_addr()).expect("connects");
+        for job in &jobs {
+            let started = Instant::now();
+            let outcome = client.localize(job.clone()).expect("cold localize");
+            cold_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(outcome.tier, "built", "first lifetime builds cold");
+            expected.push(canonicalize(&outcome.body).to_string());
+        }
+        // The writer thread persists off the request path; wait until every
+        // program's record has landed before shutting the daemon down.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = client.stats().expect("stats");
+            let writes = stats
+                .get("store")
+                .and_then(|s| s.get("writes"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            if writes >= jobs.len() as u64 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "write-through stalled: {stats}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    server.shutdown();
+
+    // Lifetime B: restore-on-boot, then first requests with no rebuild.
+    let server = Server::start(store_config()).expect("second daemon starts");
+    let mut client = Client::connect(server.local_addr()).expect("reconnects");
+    let stats = client.stats().expect("stats");
+    let store_section = stats.get("store").expect("store section").clone();
+    let restored = store_section
+        .get("restored_entries")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let restore_ms = store_section
+        .get("restore_ms")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert_eq!(
+        restored,
+        jobs.len() as u64,
+        "restore-on-boot must recover every persisted record: {stats}"
+    );
+    let mut disk_warm_ms: Vec<f64> = Vec::with_capacity(jobs.len());
+    for (job, expected) in jobs.iter().zip(&expected) {
+        let started = Instant::now();
+        let outcome = client.localize(job.clone()).expect("post-restart localize");
+        disk_warm_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            outcome.cache_hit && outcome.tier == "memory",
+            "the first post-restart request must be served from the restored \
+             store, not rebuilt (cache_hit {}, tier {})",
+            outcome.cache_hit,
+            outcome.tier
+        );
+        assert_eq!(outcome.build_ms, 0, "no rebuild after restart");
+        assert_eq!(
+            &canonicalize(&outcome.body).to_string(),
+            expected,
+            "post-restart report must be byte-identical to the cold one"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let cold_total: f64 = cold_ms.iter().sum();
+    let disk_warm_total: f64 = disk_warm_ms.iter().sum();
+    let speedup = cold_total / disk_warm_total;
+    assert!(
+        speedup > 1.5,
+        "disk-warm restart (total {disk_warm_total:.3}ms) must beat cold \
+         builds (total {cold_total:.3}ms) by more than 1.5x, got {speedup:.3}x"
+    );
+    let round3 = |v: f64| Json::Float((v * 1e3).round() / 1e3);
+    Json::obj(vec![
+        ("programs", Json::from(jobs.len())),
+        ("restore_ms", Json::from(restore_ms)),
+        ("restored_entries", Json::from(restored)),
+        ("cold_total_ms", round3(cold_total)),
+        ("disk_warm_total_ms", round3(disk_warm_total)),
+        ("disk_warm_vs_cold_speedup", round3(speedup)),
+        ("byte_identical_reports", Json::Bool(true)),
+        ("store_counters_at_boot", store_section),
+    ])
+}
+
 fn main() {
-    let (output, samples, quick, chaos_only) = parse_args();
+    let (output, samples, quick, chaos_only, restart_only) = parse_args();
+    if restart_only {
+        eprintln!("restart-only mode: persistent store recovery across a daemon restart");
+        let persistence = restart_run(quick);
+        let report = Json::obj(vec![
+            ("benchmark", Json::str("localization_service_restart")),
+            ("quick", Json::Bool(quick)),
+            ("persistence", persistence),
+        ]);
+        let pretty = report.pretty();
+        std::fs::write(&output, &pretty).expect("write benchmark json");
+        eprintln!("wrote {output}");
+        println!("{pretty}");
+        return;
+    }
     if chaos_only {
         eprintln!("chaos-only mode: seeded fault injection + abusive clients");
         let chaos = chaos_run(quick);
@@ -793,6 +930,10 @@ fn main() {
     eprintln!("chaos: seeded fault injection + abusive clients");
     let chaos = chaos_run(quick);
 
+    // --- persistence phase: restart recovery from the disk tier ----------
+    eprintln!("persistence: restart recovery from the disk-backed store");
+    let persistence = restart_run(quick);
+
     let report = Json::obj(vec![
         ("benchmark", Json::str("localization_service_loadgen")),
         (
@@ -921,6 +1062,7 @@ fn main() {
             ]),
         ),
         ("chaos", chaos),
+        ("persistence", persistence),
         ("queue", queue),
         ("solver", solver),
         ("formula", formula),

@@ -45,6 +45,28 @@ impl BitVec {
         assert!(!bits.is_empty(), "bit-vectors are never empty");
         BitVec { bits }
     }
+
+    /// Appends this bit-vector to `w` for the persistent prepared-formula
+    /// store: width, then each literal's [`Lit::code`] LSB first.
+    pub fn encode(&self, w: &mut sat::bytes::ByteWriter) {
+        w.write_usize(self.bits.len());
+        for lit in &self.bits {
+            w.write_usize(lit.code());
+        }
+    }
+
+    /// Reads back a bit-vector written by [`BitVec::encode`].
+    pub fn decode(r: &mut sat::bytes::ByteReader<'_>) -> Result<BitVec, sat::bytes::DecodeError> {
+        let width = r.read_len(8)?;
+        if width == 0 {
+            return Err(sat::bytes::DecodeError::new("empty bit-vector"));
+        }
+        let mut bits = Vec::with_capacity(width);
+        for _ in 0..width {
+            bits.push(Lit::from_code(r.read_usize()?));
+        }
+        Ok(BitVec { bits })
+    }
 }
 
 /// One hash-consed gate: the output literal plus the clause group its

@@ -219,6 +219,111 @@ impl SymbolicTrace {
         lines.dedup();
         lines
     }
+
+    /// Appends this trace to `w` for the persistent prepared-formula store
+    /// (see [`sat::bytes`]): grouped CNF, group provenance, inputs, return
+    /// value, property literal, width and encode statistics.
+    pub fn encode_bytes(&self, w: &mut sat::bytes::ByteWriter) {
+        self.cnf.encode(w);
+        w.write_usize(self.groups.len());
+        for group in &self.groups {
+            w.write_usize(group.id.index());
+            w.write_u32(group.line.0);
+            w.write_str(&group.function);
+            match group.unwinding {
+                None => w.write_u64(0),
+                Some(u) => w.write_u64(1 + u as u64),
+            }
+        }
+        w.write_usize(self.inputs.len());
+        for (name, bv) in &self.inputs {
+            w.write_str(name);
+            bv.encode(w);
+        }
+        match &self.return_value {
+            None => w.write_u8(0),
+            Some(bv) => {
+                w.write_u8(1);
+                bv.encode(w);
+            }
+        }
+        w.write_usize(self.property.code());
+        w.write_usize(self.width);
+        let s = &self.stats;
+        w.write_usize(s.assignments);
+        w.write_usize(s.variables);
+        w.write_usize(s.clauses);
+        w.write_usize(s.groups);
+        w.write_u64(s.gates_cached);
+        w.write_u64(s.gates_emitted);
+        w.write_u64(s.gates_folded);
+        w.write_u64(s.word_nodes);
+        w.write_u64(s.word_nodes_folded);
+        w.write_u64(s.word_cse_hits);
+        w.write_u64(s.bits_narrowed);
+    }
+
+    /// Reads back a trace written by [`SymbolicTrace::encode_bytes`].
+    pub fn decode_bytes(
+        r: &mut sat::bytes::ByteReader<'_>,
+    ) -> Result<SymbolicTrace, sat::bytes::DecodeError> {
+        use sat::bytes::DecodeError;
+        let cnf = GroupedCnf::decode(r)?;
+        let num_groups = r.read_len(8)?;
+        let mut groups = Vec::with_capacity(num_groups);
+        for _ in 0..num_groups {
+            let id = GroupId(r.read_usize()?);
+            let line = Line(r.read_u32()?);
+            let function = r.read_str()?.to_string();
+            let unwinding = match r.read_u64()? {
+                0 => None,
+                u => Some(
+                    usize::try_from(u - 1).map_err(|_| DecodeError::new("unwinding overflow"))?,
+                ),
+            };
+            groups.push(StmtGroup {
+                id,
+                line,
+                function,
+                unwinding,
+            });
+        }
+        let num_inputs = r.read_len(8)?;
+        let mut inputs = Vec::with_capacity(num_inputs);
+        for _ in 0..num_inputs {
+            let name = r.read_str()?.to_string();
+            inputs.push((name, BitVec::decode(r)?));
+        }
+        let return_value = match r.read_u8()? {
+            0 => None,
+            1 => Some(BitVec::decode(r)?),
+            t => return Err(DecodeError::new(format!("bad return-value tag {t}"))),
+        };
+        let property = Lit::from_code(r.read_usize()?);
+        let width = r.read_usize()?;
+        let stats = EncodeStats {
+            assignments: r.read_usize()?,
+            variables: r.read_usize()?,
+            clauses: r.read_usize()?,
+            groups: r.read_usize()?,
+            gates_cached: r.read_u64()?,
+            gates_emitted: r.read_u64()?,
+            gates_folded: r.read_u64()?,
+            word_nodes: r.read_u64()?,
+            word_nodes_folded: r.read_u64()?,
+            word_cse_hits: r.read_u64()?,
+            bits_narrowed: r.read_u64()?,
+        };
+        Ok(SymbolicTrace {
+            cnf,
+            groups,
+            inputs,
+            return_value,
+            property,
+            width,
+            stats,
+        })
+    }
 }
 
 /// A word-level trace formula: the program's unrolled semantics as a

@@ -100,7 +100,7 @@ mod repair;
 
 pub use localizer::{
     DeltaPrepare, Granularity, LocalizationReport, LocalizeError, Localizer, LocalizerConfig,
-    LocalizerStats, Suspect,
+    LocalizerStats, PreparedTemplate, Suspect,
 };
 pub use loops::{localize_faulty_iteration, LoopReport};
 pub use maxsat::Budget;

@@ -314,6 +314,115 @@ struct PreparedFormula {
     reconstruction: sat::ModelReconstruction,
 }
 
+/// One selector row of a [`PreparedTemplate`]:
+/// `(lit, lines, unwindings, weight)`.
+type TemplateSelector = (Lit, Vec<Line>, Vec<Option<usize>>, u64);
+
+/// A portable snapshot of a warm localizer's prepared formula — the
+/// simplified selector-relaxed template, the selector map and the model
+/// reconstruction — detached from the in-process [`Localizer`] so the
+/// service's persistent store (`crates/store`) can write it to disk and
+/// rebuild a warm-from-birth localizer on restart.
+///
+/// The snapshot deliberately omits the trusted-line flags: they are
+/// recomputed from the restoring configuration (exactly like the relabel
+/// reuse path), so a stale trusted set can never be resurrected from disk.
+///
+/// Obtain one with [`Localizer::export_prepared`]; turn it back into a warm
+/// localizer with [`Localizer::from_restored`]; serialize it with
+/// [`PreparedTemplate::encode`] / [`PreparedTemplate::decode`].
+#[derive(Clone, Debug)]
+pub struct PreparedTemplate {
+    /// `(lit, lines, unwindings, weight)` per selector, in template order.
+    selectors: Vec<TemplateSelector>,
+    hard: sat::CnfFormula,
+    num_vars: usize,
+    hard_clauses_pre_simplify: usize,
+    simplify_stats: sat::SimplifyStats,
+    simplify_ms: u128,
+    reconstruction: sat::ModelReconstruction,
+}
+
+impl PreparedTemplate {
+    /// Appends this template to `w` (see [`sat::bytes`]).
+    pub fn encode(&self, w: &mut sat::bytes::ByteWriter) {
+        w.write_usize(self.selectors.len());
+        for (lit, lines, unwindings, weight) in &self.selectors {
+            w.write_usize(lit.code());
+            w.write_usize(lines.len());
+            for line in lines {
+                w.write_u32(line.0);
+            }
+            w.write_usize(unwindings.len());
+            for unwinding in unwindings {
+                match unwinding {
+                    None => w.write_u64(0),
+                    Some(u) => w.write_u64(1 + *u as u64),
+                }
+            }
+            w.write_u64(*weight);
+        }
+        self.hard.encode(w);
+        w.write_usize(self.num_vars);
+        w.write_usize(self.hard_clauses_pre_simplify);
+        self.simplify_stats.encode(w);
+        w.write_u64(self.simplify_ms.min(u64::MAX as u128) as u64);
+        self.reconstruction.encode(w);
+    }
+
+    /// Reads back a template written by [`PreparedTemplate::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sat::bytes::DecodeError`] on truncated or malformed input.
+    pub fn decode(
+        r: &mut sat::bytes::ByteReader<'_>,
+    ) -> Result<PreparedTemplate, sat::bytes::DecodeError> {
+        use sat::bytes::DecodeError;
+        let num_selectors = r.read_len(8)?;
+        let mut selectors = Vec::with_capacity(num_selectors);
+        for _ in 0..num_selectors {
+            let lit = Lit::from_code(r.read_usize()?);
+            let num_lines = r.read_len(4)?;
+            let mut lines = Vec::with_capacity(num_lines);
+            for _ in 0..num_lines {
+                lines.push(Line(r.read_u32()?));
+            }
+            let num_unwindings = r.read_len(8)?;
+            let mut unwindings = Vec::with_capacity(num_unwindings);
+            for _ in 0..num_unwindings {
+                unwindings.push(match r.read_u64()? {
+                    0 => None,
+                    u => Some(
+                        usize::try_from(u - 1)
+                            .map_err(|_| DecodeError::new("unwinding overflow"))?,
+                    ),
+                });
+            }
+            let weight = r.read_u64()?;
+            selectors.push((lit, lines, unwindings, weight));
+        }
+        let hard = sat::CnfFormula::decode(r)?;
+        let num_vars = r.read_usize()?;
+        if num_vars < hard.num_vars() {
+            return Err(DecodeError::new("template var count below hard formula's"));
+        }
+        let hard_clauses_pre_simplify = r.read_usize()?;
+        let simplify_stats = sat::SimplifyStats::decode(r)?;
+        let simplify_ms = u128::from(r.read_u64()?);
+        let reconstruction = sat::ModelReconstruction::decode(r)?;
+        Ok(PreparedTemplate {
+            selectors,
+            hard,
+            num_vars,
+            hard_clauses_pre_simplify,
+            simplify_stats,
+            simplify_ms,
+            reconstruction,
+        })
+    }
+}
+
 /// How [`Localizer::reprepare`] obtained the localizer for an edited
 /// program — the delta-preparation outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -595,6 +704,77 @@ impl Localizer {
     /// preparation cost entirely.
     pub fn warm(&self) -> u128 {
         self.prepared_timed().1
+    }
+
+    /// Snapshots the prepared formula for the persistent store, or `None`
+    /// when this localizer has never been warmed (there is nothing worth
+    /// persisting — the snapshot would have to pay the preparation cost it
+    /// exists to avoid).
+    pub fn export_prepared(&self) -> Option<PreparedTemplate> {
+        let prepared = self.prepared.get()?;
+        Some(PreparedTemplate {
+            selectors: prepared
+                .selectors
+                .iter()
+                .map(|s| (s.lit, s.lines.clone(), s.unwindings.clone(), s.weight))
+                .collect(),
+            hard: prepared.template.hard().clone(),
+            num_vars: prepared.template.num_vars(),
+            hard_clauses_pre_simplify: prepared.hard_clauses_pre_simplify,
+            simplify_stats: prepared.simplify_stats,
+            simplify_ms: prepared.simplify_ms,
+            reconstruction: prepared.reconstruction.clone(),
+        })
+    }
+
+    /// Rebuilds a warm-from-birth localizer from a persisted snapshot: the
+    /// trace and template are taken verbatim (exactly what [`Localizer::new`]
+    /// plus [`Localizer::warm`] would have produced for the same program and
+    /// options), while the trusted-line flags are recomputed from `config` —
+    /// mirroring the relabel reuse path — so the persisted bytes never
+    /// override the caller's current trusted set.
+    ///
+    /// The caller is responsible for only pairing a snapshot with the trace
+    /// and options it was exported under; the service keys store records by
+    /// program AST hash and an options fingerprint to enforce this.
+    pub fn from_restored(
+        trace: SymbolicTrace,
+        template: PreparedTemplate,
+        entry: &str,
+        spec: &Spec,
+        config: &LocalizerConfig,
+        program_lines: usize,
+    ) -> Localizer {
+        let selectors = template
+            .selectors
+            .into_iter()
+            .map(|(lit, lines, unwindings, weight)| Selector {
+                lit,
+                trusted: lines.iter().any(|l| config.trusted_lines.contains(l)),
+                lines,
+                unwindings,
+                weight,
+            })
+            .collect();
+        let mut instance = MaxSatInstance::from_hard(template.hard);
+        instance.ensure_vars(template.num_vars);
+        let prepared = OnceLock::new();
+        let _ = prepared.set(PreparedFormula {
+            selectors,
+            template: instance,
+            hard_clauses_pre_simplify: template.hard_clauses_pre_simplify,
+            simplify_stats: template.simplify_stats,
+            simplify_ms: template.simplify_ms,
+            reconstruction: template.reconstruction,
+        });
+        Localizer {
+            trace,
+            config: config.clone(),
+            entry: entry.to_string(),
+            spec: spec.clone(),
+            program_lines,
+            prepared,
+        }
     }
 
     /// The cached prepared formula, plus the wall-clock milliseconds *this*

@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arena;
+pub mod bytes;
 mod cnf;
 pub mod dimacs;
 mod heap;

@@ -50,6 +50,7 @@
 //! assert!(cnf.eval(&model));
 //! ```
 
+use crate::bytes::{ByteReader, ByteWriter, DecodeError};
 use crate::cnf::CnfFormula;
 use crate::types::{LBool, Lit, Var};
 use std::collections::VecDeque;
@@ -194,6 +195,100 @@ impl ModelReconstruction {
                 }
             }
         }
+    }
+
+    /// Appends this reconstruction map to `w` for the persistent
+    /// prepared-formula store (see [`crate::bytes`]).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.write_usize(self.steps.len());
+        for step in &self.steps {
+            match step {
+                RecStep::Fixed { var, value } => {
+                    w.write_u8(0);
+                    w.write_usize(var.index());
+                    w.write_u8(u8::from(*value));
+                }
+                RecStep::Eliminated { var, clauses } => {
+                    w.write_u8(1);
+                    w.write_usize(var.index());
+                    w.write_usize(clauses.len());
+                    for clause in clauses {
+                        w.write_usize(clause.len());
+                        for lit in clause {
+                            w.write_usize(lit.code());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads back a map written by [`ModelReconstruction::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<ModelReconstruction, DecodeError> {
+        let len = r.read_len(2)?;
+        let mut steps = Vec::with_capacity(len);
+        for _ in 0..len {
+            let tag = r.read_u8()?;
+            let var = Var::from_index(r.read_usize()?);
+            match tag {
+                0 => {
+                    let value = match r.read_u8()? {
+                        0 => false,
+                        1 => true,
+                        b => return Err(DecodeError::new(format!("bad bool byte {b}"))),
+                    };
+                    steps.push(RecStep::Fixed { var, value });
+                }
+                1 => {
+                    let num_clauses = r.read_len(8)?;
+                    let mut clauses = Vec::with_capacity(num_clauses);
+                    for _ in 0..num_clauses {
+                        let num_lits = r.read_len(8)?;
+                        let mut lits = Vec::with_capacity(num_lits);
+                        for _ in 0..num_lits {
+                            lits.push(Lit::from_code(r.read_usize()?));
+                        }
+                        clauses.push(lits);
+                    }
+                    steps.push(RecStep::Eliminated { var, clauses });
+                }
+                t => return Err(DecodeError::new(format!("bad reconstruction tag {t}"))),
+            }
+        }
+        Ok(ModelReconstruction { steps })
+    }
+}
+
+impl SimplifyStats {
+    /// Appends these counters to `w` for the persistent prepared-formula
+    /// store (see [`crate::bytes`]).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.write_usize(self.clauses_before);
+        w.write_usize(self.clauses_after);
+        w.write_usize(self.literals_before);
+        w.write_usize(self.literals_after);
+        w.write_u64(self.units_fixed);
+        w.write_u64(self.tautologies_removed);
+        w.write_u64(self.duplicate_lits_removed);
+        w.write_u64(self.clauses_subsumed);
+        w.write_u64(self.lits_strengthened);
+        w.write_u64(self.vars_eliminated);
+    }
+
+    /// Reads back counters written by [`SimplifyStats::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<SimplifyStats, DecodeError> {
+        Ok(SimplifyStats {
+            clauses_before: r.read_usize()?,
+            clauses_after: r.read_usize()?,
+            literals_before: r.read_usize()?,
+            literals_after: r.read_usize()?,
+            units_fixed: r.read_u64()?,
+            tautologies_removed: r.read_u64()?,
+            duplicate_lits_removed: r.read_u64()?,
+            clauses_subsumed: r.read_u64()?,
+            lits_strengthened: r.read_u64()?,
+            vars_eliminated: r.read_u64()?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //!              [--default-deadline-ms MS] [--max-deadline-ms MS]
 //!              [--conflict-cap N] [--max-request-bytes N]
 //!              [--read-timeout-ms MS] [--write-timeout-ms MS]
+//!              [--store-dir DIR]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7911`), prints the bound address on stdout and
@@ -21,7 +22,7 @@ fn usage() -> ! {
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
          [--cache-shards N] [--queue-capacity N] [--default-deadline-ms MS] \
          [--max-deadline-ms MS] [--conflict-cap N] [--max-request-bytes N] \
-         [--read-timeout-ms MS] [--write-timeout-ms MS]"
+         [--read-timeout-ms MS] [--write-timeout-ms MS] [--store-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -90,6 +91,10 @@ fn main() {
             "--write-timeout-ms" => {
                 config.write_timeout_ms = Some(parse_u64(args.next(), "--write-timeout-ms"));
             }
+            "--store-dir" => match args.next() {
+                Some(dir) => config.store_dir = Some(dir),
+                None => usage(),
+            },
             _ => usage(),
         }
     }

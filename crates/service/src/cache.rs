@@ -52,6 +52,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// most recent report's costs (warm-start seeds for a future revision).
 #[derive(Debug)]
 pub struct PreparedEntry {
+    /// The MinC source text the entry's job carried — kept verbatim so the
+    /// persistent store can serialize the entry without a pretty-printer
+    /// (the AST has none) and re-parse it on restore.
+    pub source: String,
     /// The parsed program this entry was built from.
     pub program: Program,
     /// Per-function fingerprints + line traces of [`PreparedEntry::program`],
@@ -100,6 +104,7 @@ impl PreparedEntry {
         localizer: Arc<Localizer>,
     ) -> PreparedEntry {
         PreparedEntry {
+            source: job.program.clone(),
             segments,
             program,
             entry: job.entry.clone(),
@@ -321,6 +326,56 @@ impl PreparedCache {
             entries.retain(|e| e.key != key || !Arc::ptr_eq(&e.slot, &slot));
         }
         (result, hit)
+    }
+
+    /// Inserts an already-built entry under `key` — the restore-on-boot
+    /// path, which decodes warm entries from the persistent store before any
+    /// request arrives. Counts neither a hit nor a miss (no request asked),
+    /// but does evict LRU entries when the shard is full, exactly like a
+    /// built insert. A key that is already resident is left untouched: a
+    /// live entry (possibly serving requests) always beats a restored one.
+    pub fn insert(&self, key: u64, entry: Arc<PreparedEntry>) {
+        let tick = self.next_tick();
+        let mut entries = self.shard(key).lock().expect("cache shard poisoned");
+        if entries.iter().any(|e| e.key == key) {
+            return;
+        }
+        if entries.len() >= self.per_shard_capacity {
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("full shard is non-empty");
+            entries.swap_remove(lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot: Slot = Arc::new(OnceLock::new());
+        let _ = slot.set(Ok(entry));
+        entries.push(Entry {
+            key,
+            last_used: tick,
+            slot,
+        });
+    }
+
+    /// Snapshots every *completed, successful* entry — the
+    /// snapshot-on-shutdown path. Pending builds and failed slots are
+    /// skipped (an in-flight build at shutdown has no one left to wait for
+    /// it; errors are never persisted). Sorted by key so snapshot order is
+    /// deterministic.
+    pub fn entries(&self) -> Vec<(u64, Arc<PreparedEntry>)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let entries = shard.lock().expect("cache shard poisoned");
+            for entry in entries.iter() {
+                if let Some(Ok(prepared)) = entry.slot.get() {
+                    all.push((entry.key, Arc::clone(prepared)));
+                }
+            }
+        }
+        all.sort_by_key(|&(key, _)| key);
+        all
     }
 
     /// Hit/miss/eviction/occupancy counters since startup.
@@ -590,6 +645,48 @@ mod tests {
         assert!(!hit);
         assert!(result.is_ok());
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn insert_preloads_and_the_first_request_hits() {
+        let cache = PreparedCache::new(4, 2);
+        let entry = Arc::new(build_localizer("x + 1").unwrap());
+        cache.insert(5, Arc::clone(&entry));
+        // Preloading is invisible in hit/miss counters…
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 1));
+        // …but the first request finds it warm and never builds.
+        let (result, hit) = cache.get_or_build(5, || unreachable!("preloaded"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&entry, &result.unwrap()));
+    }
+
+    #[test]
+    fn insert_never_replaces_a_live_entry() {
+        let cache = PreparedCache::new(4, 1);
+        let (live, _) = cache.get_or_build(5, || build_localizer("x + 1"));
+        let live = live.unwrap();
+        cache.insert(5, Arc::new(build_localizer("x + 2").unwrap()));
+        let (after, hit) = cache.get_or_build(5, || unreachable!("cached"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&live, &after.unwrap()), "live entry wins");
+    }
+
+    #[test]
+    fn entries_snapshots_only_successful_completions() {
+        let cache = PreparedCache::new(4, 2);
+        cache
+            .get_or_build(2, || build_localizer("x + 2"))
+            .0
+            .unwrap();
+        cache
+            .get_or_build(1, || build_localizer("x + 1"))
+            .0
+            .unwrap();
+        let _ = cache.get_or_build(3, || Err("boom".to_string()));
+        let snapshot = cache.entries();
+        let keys: Vec<u64> = snapshot.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2], "sorted, failures excluded");
     }
 
     #[test]

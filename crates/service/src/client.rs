@@ -113,6 +113,10 @@ impl Default for ClientConfig {
 pub struct Outcome {
     /// Whether the daemon served the job from its prepared-formula cache.
     pub cache_hit: bool,
+    /// Which tier satisfied the preparation: `"memory"` (the in-memory
+    /// cache), `"store"` (the persistent disk tier) or `"built"` (a cold
+    /// build); `"unknown"` for daemons predating the field.
+    pub tier: String,
     /// Milliseconds the daemon spent building the prepared localizer for
     /// this request (0 on a cache hit).
     pub build_ms: u64,
@@ -302,6 +306,11 @@ impl Client {
                 )))
             }
         };
+        let tier = value
+            .get("tier")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
         let build_ms = value.get("build_ms").and_then(Json::as_u64).unwrap_or(0);
         let key = value
             .get("key")
@@ -313,6 +322,7 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol(format!("missing {payload_key}: {value}")))?;
         Ok(Outcome {
             cache_hit,
+            tier,
             build_ms,
             key,
             body,
@@ -394,6 +404,21 @@ impl Client {
     /// Fails only on transport or protocol errors.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         self.call(Request::Stats)
+    }
+
+    /// The same counters in Prometheus text exposition format, ready to
+    /// relay to a scraper.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on transport or protocol errors.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let value = self.call(Request::Metrics)?;
+        value
+            .get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol(format!("metrics without text: {value}")))
     }
 
     /// Asks the daemon to drain and exit. The daemon acknowledges, then

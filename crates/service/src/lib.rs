@@ -24,8 +24,13 @@
 //!   [`cache::PreparedEntry`]s (warmed [`bugassist::Localizer`]s plus the
 //!   program's diffable AST segments and remembered reports) behind `Arc`,
 //!   shared lock-free by concurrent requests for the same program;
+//! * [`persist`] — the codec between [`cache::PreparedEntry`] and the
+//!   opaque CRC-checked records of the `store` crate, giving the cache a
+//!   disk-backed second tier that survives daemon restarts (write-through
+//!   is asynchronous, restore-on-boot is best-effort, corruption degrades
+//!   to a miss);
 //! * [`server`] — `TcpListener` + fixed worker-thread pool + graceful
-//!   drain-then-exit shutdown;
+//!   drain-then-exit shutdown (with store snapshot);
 //! * [`client`] — the blocking client library used by the tests and the
 //!   `loadgen` benchmark.
 //!
@@ -76,6 +81,7 @@ pub mod cache;
 pub mod client;
 pub mod faults;
 pub mod json;
+pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod server;

@@ -1,7 +1,7 @@
 //! The newline-delimited JSON wire protocol of the localization service.
 //!
 //! One request per line, one response per line, both single JSON objects.
-//! Six operations:
+//! Seven operations:
 //!
 //! | `op`        | payload                                  | response payload      |
 //! |-------------|------------------------------------------|-----------------------|
@@ -9,7 +9,8 @@
 //! | `revise`    | a [`Job`] + `prev_key` of the pre-edit cache entry | `report`, `key`, `delta`, `reused` |
 //! | `batch`     | a [`Job`] with any number of inputs      | `ranked`, `key`       |
 //! | `health`    | —                                        | `status`, `uptime_ms` |
-//! | `stats`     | —                                        | cache/queue/solver counters |
+//! | `stats`     | —                                        | cache/queue/solver/store counters |
+//! | `metrics`   | —                                        | `text`: the same counters as Prometheus text exposition |
 //! | `shutdown`  | —                                        | acknowledgement; daemon drains and exits |
 //!
 //! `localize`/`batch`/`revise` responses carry `key` — the cache key of the
@@ -125,6 +126,49 @@ impl Job {
     pub fn cache_key(&self, program: &minic::Program) -> u64 {
         let mut h = StableHasher::new();
         minic::hash_program(&mut h, program);
+        h.write_str(&self.entry);
+        match self.spec {
+            JobSpec::Assertions => h.write_u8(1),
+            JobSpec::ReturnEquals(v) => {
+                h.write_u8(2);
+                h.write_i64(v);
+            }
+        }
+        let o = &self.options;
+        h.write_usize(o.width);
+        h.write_usize(o.unwind);
+        h.write_usize(o.max_inline_depth);
+        h.write_u8(match o.granularity {
+            Granularity::Line => 1,
+            Granularity::StatementInstance => 2,
+        });
+        h.write_u8(u8::from(o.loop_weighting));
+        h.write_u64(o.base_weight);
+        h.write_usize(o.max_suspect_sets);
+        h.write_u8(match o.strategy {
+            Strategy::FuMalik => 1,
+            Strategy::LinearSatUnsat => 2,
+            Strategy::Portfolio => 3,
+        });
+        h.write_u8(u8::from(o.portfolio));
+        h.write_u8(u8::from(o.gate_cache));
+        h.write_u8(u8::from(o.word_passes));
+        h.write_u8(u8::from(o.simplify));
+        h.write_usize(o.trusted_lines.len());
+        for line in &o.trusted_lines {
+            h.write_u64(u64::from(*line));
+        }
+        h.finish()
+    }
+
+    /// A stable fingerprint of everything in the cache key *except* the
+    /// program: entry, spec and every option. Persistent store records are
+    /// keyed by [`Job::cache_key`] and stamped with this fingerprint, so a
+    /// record written under one set of options can never satisfy a lookup
+    /// made under another even across hashing-scheme changes — the lookup
+    /// degrades to a corrupt-record miss instead.
+    pub fn options_fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
         h.write_str(&self.entry);
         match self.spec {
             JobSpec::Assertions => h.write_u8(1),
@@ -282,6 +326,8 @@ pub enum Request {
     Health,
     /// Cache / queue / solver counters; never queued.
     Stats,
+    /// The same counters in Prometheus text exposition format; never queued.
+    Metrics,
     /// Drain and stop the daemon.
     Shutdown,
 }
@@ -295,6 +341,7 @@ impl Request {
             Request::Batch(_) => "batch",
             Request::Health => "health",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
@@ -397,7 +444,7 @@ pub fn encode_request(envelope: &Envelope) -> String {
             job_fields(job, &mut pairs);
             pairs.push(("prev_key".to_string(), Json::from(*prev_key)));
         }
-        Request::Health | Request::Stats | Request::Shutdown => {}
+        Request::Health | Request::Stats | Request::Metrics | Request::Shutdown => {}
     }
     Json::Obj(pairs).to_string()
 }
@@ -591,6 +638,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtocolError> {
         "batch" => Request::Batch(parse_job(&value)?),
         "health" => Request::Health,
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => return Err(bad(format!("unknown op {other:?}"))),
     };
@@ -772,6 +820,7 @@ mod tests {
             Request::Batch(sample_job()),
             Request::Health,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ] {
             let envelope = Envelope { id: 42, request };
@@ -845,6 +894,39 @@ mod tests {
         unwind.options.unwind += 1;
         for changed in [&width, &spec, &gran, &unwind] {
             assert_ne!(changed.cache_key(&program), base);
+        }
+    }
+
+    #[test]
+    fn options_fingerprint_ignores_program_but_not_options() {
+        let job = sample_job();
+        let base = job.options_fingerprint();
+
+        // A different program, same options: same fingerprint (the program
+        // is covered by the store key, not the fingerprint).
+        let mut other_program = job.clone();
+        other_program.program = "int main(int x) { return x; }".to_string();
+        assert_eq!(other_program.options_fingerprint(), base);
+
+        // Inputs and deadline are not part of the prepared formula either.
+        let mut other_inputs = job.clone();
+        other_inputs.inputs = vec![vec![99]];
+        other_inputs.deadline_ms = Some(100);
+        assert_eq!(other_inputs.options_fingerprint(), base);
+
+        // Entry, spec and every option change the fingerprint.
+        let mut entry = job.clone();
+        entry.entry = "other".to_string();
+        let mut spec = job.clone();
+        spec.spec = JobSpec::Assertions;
+        let mut width = job.clone();
+        width.options.width = 16;
+        let mut simplify = job.clone();
+        simplify.options.simplify = !simplify.options.simplify;
+        let mut trusted = job.clone();
+        trusted.options.trusted_lines = vec![];
+        for changed in [&entry, &spec, &width, &simplify, &trusted] {
+            assert_ne!(changed.options_fingerprint(), base);
         }
     }
 

@@ -31,6 +31,7 @@
 use crate::cache::{PreparedCache, PreparedEntry};
 use crate::faults::FaultPlan;
 use crate::json::Json;
+use crate::persist;
 use crate::protocol::{parse_request, ranked_to_json, report_to_json, Envelope, Job, Request};
 use crate::queue::{JobQueue, TryPushError};
 use bugassist::{Budget, LocalizationReport, Localizer};
@@ -81,6 +82,12 @@ pub struct ServiceConfig {
     /// Deterministic fault-injection plan (chaos testing). Hooks are free
     /// unless the `faults` cargo feature is enabled; see [`crate::faults`].
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Directory of the persistent prepared-formula store (`crates/store`).
+    /// `None` (the default) disables the disk tier entirely. When set, the
+    /// daemon restores every valid record into the in-memory cache on boot,
+    /// writes fresh builds through asynchronously, and snapshots the cache
+    /// back to the store on graceful shutdown.
+    pub store_dir: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +108,7 @@ impl Default for ServiceConfig {
             read_timeout_ms: None,
             write_timeout_ms: None,
             fault_plan: None,
+            store_dir: None,
         }
     }
 }
@@ -159,9 +167,21 @@ struct QueuedJob {
     reply: mpsc::Sender<String>,
 }
 
+/// What the write-through channel carries: the cache key and the freshly
+/// built entry (encoding happens on the writer thread, off the request
+/// path).
+type StoreWrite = (u64, Arc<PreparedEntry>);
+
 #[derive(Debug)]
 struct ServerState {
     cache: PreparedCache,
+    /// The disk-backed second cache tier; `None` when no `store_dir` was
+    /// configured.
+    store: Option<Arc<store::Store>>,
+    /// Feeds freshly built entries to the asynchronous write-through
+    /// thread. Shutdown `take()`s (and drops) the sender so the writer
+    /// drains its backlog and exits.
+    store_writer: Mutex<Option<mpsc::Sender<StoreWrite>>>,
     queue: JobQueue<QueuedJob>,
     started: Instant,
     shutdown: AtomicBool,
@@ -279,6 +299,7 @@ impl ServerState {
 
     fn stats_line(&self, id: u64) -> String {
         let cache = self.cache.stats();
+        let store = self.store.as_ref().map(|s| s.stats()).unwrap_or_default();
         let last_job = match &*self.last_job.lock().expect("last_job poisoned") {
             None => Json::Null,
             Some(last) => Json::obj(vec![
@@ -304,6 +325,7 @@ impl ServerState {
             ("ok", Json::Bool(true)),
             ("op", Json::str("stats")),
             ("uptime_ms", Json::from(self.started.elapsed().as_millis())),
+            ("version", Json::str(env!("CARGO_PKG_VERSION"))),
             (
                 "requests",
                 Json::obj(vec![
@@ -411,7 +433,243 @@ impl ServerState {
                     ),
                 ]),
             ),
+            (
+                "store",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.store.is_some())),
+                    ("hits", Json::from(store.hits)),
+                    ("misses", Json::from(store.misses)),
+                    ("writes", Json::from(store.writes)),
+                    ("write_errors", Json::from(store.write_errors)),
+                    ("corrupt_records", Json::from(store.corrupt_records)),
+                    ("restore_ms", Json::from(store.restore_ms)),
+                    ("restored_entries", Json::from(store.restored_entries)),
+                ]),
+            ),
             ("last_job", last_job),
+        ])
+        .to_string()
+    }
+
+    /// The same counters as [`ServerState::stats_line`], rendered in the
+    /// Prometheus text exposition format (one `# TYPE` line per metric,
+    /// `_total`-suffixed counters, unsuffixed gauges) and shipped back as
+    /// the response's `text` field. The `store` family reads all zeros when
+    /// no store is configured.
+    fn metrics_line(&self, id: u64) -> String {
+        use std::fmt::Write as _;
+        fn metric(out: &mut String, name: &str, kind: &str, value: u64) {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let cache = self.cache.stats();
+        let store = self.store.as_ref().map(|s| s.stats()).unwrap_or_default();
+        let mut text = String::new();
+        let _ = writeln!(text, "# TYPE bugassist_build_info gauge");
+        let _ = writeln!(
+            text,
+            "bugassist_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        );
+        let _ = writeln!(text, "# TYPE bugassist_uptime_seconds gauge");
+        let _ = writeln!(
+            text,
+            "bugassist_uptime_seconds {:.3}",
+            self.started.elapsed().as_millis() as f64 / 1000.0
+        );
+        let _ = writeln!(text, "# TYPE bugassist_requests_total counter");
+        for (op, count) in [
+            ("localize", &self.localize_requests),
+            ("revise", &self.revise_requests),
+            ("batch", &self.batch_requests),
+        ] {
+            let _ = writeln!(
+                text,
+                "bugassist_requests_total{{op=\"{op}\"}} {}",
+                count.load(Ordering::Relaxed)
+            );
+        }
+        for (name, counter) in [
+            ("bugassist_error_responses_total", &self.error_responses),
+            ("bugassist_revise_reuses_total", &self.revise_reuses),
+            (
+                "bugassist_revise_solve_skips_total",
+                &self.revise_solve_skips,
+            ),
+        ] {
+            metric(&mut text, name, "counter", counter.load(Ordering::Relaxed));
+        }
+        // Queue family.
+        metric(
+            &mut text,
+            "bugassist_queue_depth",
+            "gauge",
+            self.queue.depth() as u64,
+        );
+        metric(
+            &mut text,
+            "bugassist_queue_capacity",
+            "gauge",
+            self.queue.capacity() as u64,
+        );
+        metric(
+            &mut text,
+            "bugassist_queue_enqueued_total",
+            "counter",
+            self.queue.enqueued(),
+        );
+        metric(
+            &mut text,
+            "bugassist_jobs_shed_total",
+            "counter",
+            self.jobs_shed.load(Ordering::Relaxed),
+        );
+        metric(
+            &mut text,
+            "bugassist_jobs_expired_total",
+            "counter",
+            self.jobs_expired.load(Ordering::Relaxed),
+        );
+        metric(
+            &mut text,
+            "bugassist_queue_avg_exec_ms",
+            "gauge",
+            self.avg_exec_ms.load(Ordering::Relaxed),
+        );
+        // Cache family (the in-memory tier).
+        metric(
+            &mut text,
+            "bugassist_cache_hits_total",
+            "counter",
+            cache.hits,
+        );
+        metric(
+            &mut text,
+            "bugassist_cache_misses_total",
+            "counter",
+            cache.misses,
+        );
+        metric(
+            &mut text,
+            "bugassist_cache_evictions_total",
+            "counter",
+            cache.evictions,
+        );
+        metric(
+            &mut text,
+            "bugassist_cache_poisoned_total",
+            "counter",
+            cache.poisoned,
+        );
+        metric(
+            &mut text,
+            "bugassist_cache_entries",
+            "gauge",
+            cache.entries as u64,
+        );
+        metric(
+            &mut text,
+            "bugassist_cache_capacity",
+            "gauge",
+            self.cache.capacity() as u64,
+        );
+        // Robustness family.
+        metric(
+            &mut text,
+            "bugassist_worker_panics_total",
+            "counter",
+            self.worker_panics.load(Ordering::Relaxed),
+        );
+        // Solver family.
+        metric(
+            &mut text,
+            "bugassist_solver_reduce_dbs_total",
+            "counter",
+            self.total_reduce_dbs.load(Ordering::Relaxed),
+        );
+        metric(
+            &mut text,
+            "bugassist_solver_arena_bytes_peak",
+            "gauge",
+            self.arena_bytes_peak.load(Ordering::Relaxed),
+        );
+        // Formula-diet family.
+        for (name, counter) in [
+            (
+                "bugassist_formula_gates_cached_total",
+                &self.total_gates_cached,
+            ),
+            (
+                "bugassist_formula_vars_eliminated_total",
+                &self.total_vars_eliminated,
+            ),
+            (
+                "bugassist_formula_clauses_subsumed_total",
+                &self.total_clauses_subsumed,
+            ),
+            (
+                "bugassist_formula_word_nodes_folded_total",
+                &self.total_word_nodes_folded,
+            ),
+            (
+                "bugassist_formula_word_cse_hits_total",
+                &self.total_word_cse_hits,
+            ),
+            (
+                "bugassist_formula_bits_narrowed_total",
+                &self.total_bits_narrowed,
+            ),
+        ] {
+            metric(&mut text, name, "counter", counter.load(Ordering::Relaxed));
+        }
+        // Store family (the disk tier).
+        metric(
+            &mut text,
+            "bugassist_store_hits_total",
+            "counter",
+            store.hits,
+        );
+        metric(
+            &mut text,
+            "bugassist_store_misses_total",
+            "counter",
+            store.misses,
+        );
+        metric(
+            &mut text,
+            "bugassist_store_writes_total",
+            "counter",
+            store.writes,
+        );
+        metric(
+            &mut text,
+            "bugassist_store_write_errors_total",
+            "counter",
+            store.write_errors,
+        );
+        metric(
+            &mut text,
+            "bugassist_store_corrupt_records_total",
+            "counter",
+            store.corrupt_records,
+        );
+        metric(
+            &mut text,
+            "bugassist_store_restore_milliseconds",
+            "gauge",
+            store.restore_ms,
+        );
+        metric(
+            &mut text,
+            "bugassist_store_restored_entries",
+            "gauge",
+            store.restored_entries,
+        );
+        Json::obj(vec![
+            ("id", Json::from(id)),
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("metrics")),
+            ("text", Json::str(text)),
         ])
         .to_string()
     }
@@ -443,23 +701,44 @@ impl ServerState {
         ))
     }
 
-    /// Fetches the prepared entry for a job, building and warming it on a
-    /// miss. Returns the entry, whether it was a hit, and the build
-    /// wall-clock milliseconds (0 on a hit).
+    /// Fetches the prepared entry for a job: the in-memory cache first,
+    /// then (on a miss) the persistent store, and only then a cold build.
+    /// Returns the entry, whether it was an in-memory hit, the build
+    /// wall-clock milliseconds (0 unless a cold build ran), and the tier
+    /// that produced the entry (`"memory"`, `"store"` or `"built"`).
     fn prepared_entry(
         &self,
         job: &Job,
         program: &minic::Program,
         key: u64,
-    ) -> Result<(Arc<PreparedEntry>, bool, u128), String> {
+    ) -> Result<(Arc<PreparedEntry>, bool, u128, &'static str), String> {
         let mut build_ms = 0u128;
+        let mut tier: &'static str = "built";
         let (result, hit) = self.cache.get_or_build(key, || {
+            // Tier 2: a record written through by an earlier build —
+            // possibly of a previous daemon process. Any payload that fails
+            // to decode (or decodes to the wrong key/fingerprint) is a
+            // corrupt record: count it, delete it, fall through to the cold
+            // build. Never an error, never stale data.
+            if let Some(store) = &self.store {
+                let fingerprint = job.options_fingerprint();
+                if let Some(payload) = store.load(key, fingerprint) {
+                    match persist::decode_entry(&payload) {
+                        Ok((k, f, entry)) if k == key && f == fingerprint => {
+                            tier = "store";
+                            return Ok(entry);
+                        }
+                        _ => store.note_corrupt(key),
+                    }
+                }
+            }
             let started = Instant::now();
             let built = self.build_entry(job, program);
             build_ms = started.elapsed().as_millis();
             built
         });
-        result.map(|entry| (entry, hit, build_ms))
+        let tier = if hit { "memory" } else { tier };
+        result.map(|entry| (entry, hit, build_ms, tier))
     }
 
     /// A pre-edit report that can be served for this revision *without
@@ -669,10 +948,16 @@ impl ServerState {
             JobKind::Revise { prev_key } => self.cache.lookup(prev_key),
             _ => None,
         };
-        let (entry, hit, build_ms, delta, reused, mut remapped) = match queued.kind {
+        let (entry, hit, build_ms, delta, reused, mut remapped, tier) = match queued.kind {
             JobKind::Revise { .. } => {
+                // The revise path deliberately skips the store consult: its
+                // delta machinery wants the *pre-edit* in-memory entry, and
+                // a cold fallback build answers identically anyway.
                 match self.revised_entry(&queued.job, &program, key, prev.as_ref()) {
-                    Ok(found) => found,
+                    Ok((entry, hit, build_ms, delta, reused, remapped)) => {
+                        let tier = if hit { "memory" } else { "built" };
+                        (entry, hit, build_ms, delta, reused, remapped, tier)
+                    }
                     Err(message) => {
                         return self.error_line(
                             queued.id,
@@ -683,12 +968,22 @@ impl ServerState {
                 }
             }
             _ => match self.prepared_entry(&queued.job, &program, key) {
-                Ok((entry, hit, build_ms)) => (entry, hit, build_ms, "-", false, None),
+                Ok((entry, hit, build_ms, tier)) => (entry, hit, build_ms, "-", false, None, tier),
                 Err(message) => {
                     return self.error_line(queued.id, Self::build_error_kind(&message), message)
                 }
             },
         };
+        // Asynchronous write-through: a freshly built entry (never one that
+        // was served from memory or from the store itself) goes to the
+        // writer thread; the request path never touches the disk. Failed or
+        // panicked builds return above, so only successful entries can ever
+        // be persisted.
+        if tier == "built" {
+            if let Some(tx) = &*self.store_writer.lock().expect("store_writer poisoned") {
+                let _ = tx.send((key, Arc::clone(&entry)));
+            }
+        }
         let cache: &'static str = if hit { "hit" } else { "miss" };
         // `false` when a revise served a remembered (possibly remapped)
         // report instead of running the MAX-SAT enumeration.
@@ -839,6 +1134,9 @@ impl ServerState {
             ("ok", Json::Bool(true)),
             ("op", Json::str(op)),
             ("cache", Json::str(cache)),
+            // Which tier satisfied the preparation: "memory", "store" (the
+            // disk tier; restart-warm) or "built" (a cold build).
+            ("tier", Json::str(tier)),
             ("build_ms", Json::from(build_ms)),
             // The prepared entry's key: clients chain it into the next
             // revise's prev_key.
@@ -1058,6 +1356,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream, conn_id: u64) {
             Ok(Envelope { id, request }) => match request {
                 Request::Health => state.health_line(id),
                 Request::Stats => state.stats_line(id),
+                Request::Metrics => state.metrics_line(id),
                 Request::Shutdown => {
                     state.begin_shutdown();
                     stop_after_reply = true;
@@ -1095,6 +1394,8 @@ pub struct Server {
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// The asynchronous write-through thread, when a store is configured.
+    store_writer: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -1103,13 +1404,20 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, or the failure to create the store
+    /// directory when `store_dir` is configured.
     pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let store = match &config.store_dir {
+            None => None,
+            Some(dir) => Some(Arc::new(store::Store::open(dir)?)),
+        };
         let state = Arc::new(ServerState {
             cache: PreparedCache::new(config.cache_capacity, config.cache_shards),
+            store: store.clone(),
+            store_writer: Mutex::new(None),
             queue: JobQueue::new(config.queue_capacity),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -1144,6 +1452,45 @@ impl Server {
             connections: Mutex::new(0),
             connections_done: Condvar::new(),
             streams: Mutex::new(Vec::new()),
+        });
+
+        // Restore-on-boot: best-effort preload of every valid record into
+        // the in-memory cache, so the first request after a restart is a
+        // plain cache hit — no rebuild, no bit-blast, byte-identical
+        // reports. Corrupt or undecodable records are counted and deleted;
+        // nothing on this path can fail the boot.
+        if let Some(store) = &store {
+            let restore_started = Instant::now();
+            let mut restored = 0u64;
+            for (key, fingerprint, payload) in store.scan() {
+                match persist::decode_entry(&payload) {
+                    Ok((k, f, entry)) if k == key && f == fingerprint => {
+                        state.cache.insert(key, Arc::new(entry));
+                        restored += 1;
+                    }
+                    _ => store.note_corrupt(key),
+                }
+            }
+            store.note_restore(restore_started.elapsed().as_millis() as u64, restored);
+        }
+
+        // The write-through thread: serializes and persists entries off the
+        // request path. Save errors are counted by the store, never
+        // surfaced to a client.
+        let store_writer_handle = store.as_ref().map(|store| {
+            let store = Arc::clone(store);
+            let (tx, rx) = mpsc::channel::<(u64, Arc<PreparedEntry>)>();
+            *state.store_writer.lock().expect("store_writer poisoned") = Some(tx);
+            std::thread::Builder::new()
+                .name("service-store-writer".to_string())
+                .spawn(move || {
+                    while let Ok((key, entry)) = rx.recv() {
+                        if let Some(payload) = persist::encode_entry(&entry) {
+                            let _ = store.save(key, persist::entry_fingerprint(&entry), &payload);
+                        }
+                    }
+                })
+                .expect("spawn store writer")
         });
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
@@ -1270,6 +1617,7 @@ impl Server {
             local_addr,
             acceptor: Some(acceptor),
             workers: worker_handles,
+            store_writer: store_writer_handle,
         })
     }
 
@@ -1299,6 +1647,25 @@ impl Server {
         // way around, or in-flight requests would lose their responses.
         for worker in self.workers.drain(..) {
             worker.join().expect("worker panicked");
+        }
+        // Snapshot-on-shutdown: the workers are drained, so the cache is
+        // quiescent. Push every completed entry through the writer (saves
+        // are idempotent — an entry written through earlier is rewritten
+        // byte-identically), then hang up the channel so the writer drains
+        // its backlog and exits.
+        let writer_tx = self
+            .state
+            .store_writer
+            .lock()
+            .expect("store_writer poisoned")
+            .take();
+        if let Some(tx) = writer_tx {
+            for (key, entry) in self.state.cache.entries() {
+                let _ = tx.send((key, entry));
+            }
+        }
+        if let Some(writer) = self.store_writer.take() {
+            writer.join().expect("store writer panicked");
         }
         for (_, stream) in self.state.streams.lock().expect("streams poisoned").iter() {
             let _ = stream.shutdown(Shutdown::Both);
