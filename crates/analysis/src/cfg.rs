@@ -1,0 +1,606 @@
+//! Per-function control-flow graphs over the MinC AST.
+//!
+//! Statements are lowered into [`Point`]s grouped into basic [`Block`]s with
+//! explicit successor/predecessor edges. Structured control flow keeps the
+//! lowering simple: an `if` ends the current block with a [`PointKind::Branch`]
+//! whose first successor is the then-edge and second the else-edge; a `while`
+//! gets a dedicated header block so the back edge has a unique target; a
+//! `return` edges straight to the synthetic exit block. Statements following a
+//! `return` land in a fresh block with no predecessors, which is exactly what
+//! the reachability-based lint wants to see.
+//!
+//! Dominators (and postdominators, by running the same algorithm on the
+//! reversed graph) use the Cooper–Harvey–Kennedy iterative scheme over
+//! reverse-postorder numbers; dominance frontiers follow the classic
+//! two-predecessor walk. Control dependence is read off the *postdominance*
+//! frontier: a block is control dependent on every branch in its
+//! postdominance frontier.
+
+use minic::{Expr, Function, LValue, Line, Stmt, Type};
+
+/// What a single CFG point does. Owned clones of the AST pieces so the graph
+/// has no lifetime ties to the program it was built from.
+#[derive(Clone, Debug)]
+pub enum PointKind {
+    /// A declaration, possibly initialized.
+    Decl {
+        /// Declared name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer, when present.
+        init: Option<Expr>,
+    },
+    /// An assignment through a scalar or array lvalue.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// The condition of an `if` or `while`; always the last point of its
+    /// block. Successor 0 is the true edge, successor 1 the false edge.
+    Branch {
+        /// The branch condition.
+        cond: Expr,
+        /// Whether this is a loop header (`while`) or a plain `if`.
+        is_loop: bool,
+    },
+    /// An `assert` statement.
+    Assert {
+        /// Asserted condition.
+        cond: Expr,
+    },
+    /// An `assume` statement.
+    Assume {
+        /// Assumed condition.
+        cond: Expr,
+    },
+    /// A `return`, possibly with a value; edges to the exit block.
+    Return {
+        /// Returned expression, when present.
+        value: Option<Expr>,
+    },
+    /// An expression statement (bare call).
+    Expr {
+        /// The evaluated expression.
+        expr: Expr,
+    },
+}
+
+/// One lowered statement occurrence inside a basic block.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Source line of the originating statement.
+    pub line: Line,
+    /// What the point does.
+    pub kind: PointKind,
+}
+
+impl Point {
+    /// Every expression evaluated at this point, in evaluation order.
+    pub fn exprs(&self) -> Vec<&Expr> {
+        match &self.kind {
+            PointKind::Decl { init, .. } => init.iter().collect(),
+            PointKind::Assign { target, value } => {
+                let mut out = Vec::new();
+                if let LValue::Index(_, idx) = target {
+                    out.push(&**idx);
+                }
+                out.push(value);
+                out
+            }
+            PointKind::Branch { cond, .. }
+            | PointKind::Assert { cond }
+            | PointKind::Assume { cond } => vec![cond],
+            PointKind::Return { value } => value.iter().collect(),
+            PointKind::Expr { expr } => vec![expr],
+        }
+    }
+
+    /// Variable names read at this point (array names included).
+    pub fn reads(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for expr in self.exprs() {
+            out.extend(expr.read_vars());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The scalar variable this point defines, if any.
+    pub fn defines(&self) -> Option<&str> {
+        match &self.kind {
+            PointKind::Decl { name, ty, .. } if ty.is_scalar() => Some(name),
+            PointKind::Assign {
+                target: LValue::Var(name),
+                ..
+            } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// A basic block: a run of points plus its edges.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// The points of the block, in execution order.
+    pub points: Vec<Point>,
+    /// Successor block ids. For a block ending in a branch, index 0 is the
+    /// true edge and index 1 the false edge.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids (computed after construction).
+    pub preds: Vec<usize>,
+}
+
+/// A per-function control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// The blocks; `entry` and `exit` index into this vector.
+    pub blocks: Vec<Block>,
+    /// Entry block id (holds the first statements of the body).
+    pub entry: usize,
+    /// Synthetic exit block id (no points; every `return` edges here).
+    pub exit: usize,
+    /// Global point id of `blocks[b].points[i]`, as `point_base[b] + i`.
+    pub point_base: Vec<usize>,
+    /// Total number of points across all blocks.
+    pub num_points: usize,
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    exit: usize,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.blocks[from].succs.push(to);
+    }
+
+    /// Lowers `stmts` starting in `current`; returns the live continuation
+    /// block, or `None` when every path through `stmts` returned.
+    fn lower(&mut self, stmts: &[Stmt], mut current: usize) -> Option<usize> {
+        let mut live = true;
+        for stmt in stmts {
+            if !live {
+                // Code after a return: give it a fresh, predecessor-less
+                // block so reachability analysis flags it.
+                current = self.new_block();
+                live = true;
+            }
+            match stmt {
+                Stmt::Decl {
+                    name,
+                    ty,
+                    init,
+                    line,
+                } => self.blocks[current].points.push(Point {
+                    line: *line,
+                    kind: PointKind::Decl {
+                        name: name.clone(),
+                        ty: *ty,
+                        init: init.clone(),
+                    },
+                }),
+                Stmt::Assign {
+                    target,
+                    value,
+                    line,
+                } => self.blocks[current].points.push(Point {
+                    line: *line,
+                    kind: PointKind::Assign {
+                        target: target.clone(),
+                        value: value.clone(),
+                    },
+                }),
+                Stmt::Assert { cond, line } => self.blocks[current].points.push(Point {
+                    line: *line,
+                    kind: PointKind::Assert { cond: cond.clone() },
+                }),
+                Stmt::Assume { cond, line } => self.blocks[current].points.push(Point {
+                    line: *line,
+                    kind: PointKind::Assume { cond: cond.clone() },
+                }),
+                Stmt::ExprStmt { expr, line } => self.blocks[current].points.push(Point {
+                    line: *line,
+                    kind: PointKind::Expr { expr: expr.clone() },
+                }),
+                Stmt::Return { value, line } => {
+                    self.blocks[current].points.push(Point {
+                        line: *line,
+                        kind: PointKind::Return {
+                            value: value.clone(),
+                        },
+                    });
+                    let exit = self.exit;
+                    self.edge(current, exit);
+                    live = false;
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    line,
+                } => {
+                    self.blocks[current].points.push(Point {
+                        line: *line,
+                        kind: PointKind::Branch {
+                            cond: cond.clone(),
+                            is_loop: false,
+                        },
+                    });
+                    let then_entry = self.new_block();
+                    let else_entry = self.new_block();
+                    self.edge(current, then_entry);
+                    self.edge(current, else_entry);
+                    let then_end = self.lower(then_branch, then_entry);
+                    let else_end = self.lower(else_branch, else_entry);
+                    match (then_end, else_end) {
+                        (None, None) => live = false,
+                        _ => {
+                            let join = self.new_block();
+                            if let Some(t) = then_end {
+                                self.edge(t, join);
+                            }
+                            if let Some(e) = else_end {
+                                self.edge(e, join);
+                            }
+                            current = join;
+                        }
+                    }
+                }
+                Stmt::While { cond, body, line } => {
+                    let header = self.new_block();
+                    self.edge(current, header);
+                    self.blocks[header].points.push(Point {
+                        line: *line,
+                        kind: PointKind::Branch {
+                            cond: cond.clone(),
+                            is_loop: true,
+                        },
+                    });
+                    let body_entry = self.new_block();
+                    let after = self.new_block();
+                    self.edge(header, body_entry);
+                    self.edge(header, after);
+                    if let Some(body_end) = self.lower(body, body_entry) {
+                        self.edge(body_end, header);
+                    }
+                    current = after;
+                }
+            }
+        }
+        live.then_some(current)
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG for one function body.
+    pub fn build(function: &Function) -> Cfg {
+        let mut b = Builder {
+            blocks: Vec::new(),
+            exit: 0,
+        };
+        let entry = b.new_block();
+        let exit = b.new_block();
+        b.exit = exit;
+        if let Some(end) = b.lower(&function.body, entry) {
+            b.edge(end, exit);
+        }
+        let mut blocks = b.blocks;
+        for from in 0..blocks.len() {
+            for i in 0..blocks[from].succs.len() {
+                let to = blocks[from].succs[i];
+                blocks[to].preds.push(from);
+            }
+        }
+        let mut point_base = Vec::with_capacity(blocks.len());
+        let mut num_points = 0;
+        for block in &blocks {
+            point_base.push(num_points);
+            num_points += block.points.len();
+        }
+        Cfg {
+            blocks,
+            entry,
+            exit,
+            point_base,
+            num_points,
+        }
+    }
+
+    /// Global id of point `i` of block `b`.
+    pub fn point_id(&self, block: usize, index: usize) -> usize {
+        self.point_base[block] + index
+    }
+
+    /// The `(block, index)` pair of a global point id.
+    pub fn point_location(&self, id: usize) -> (usize, usize) {
+        // Last block whose base is <= id; empty blocks share their base with
+        // the following block, so skip back over them.
+        let mut block = self.point_base.partition_point(|&base| base <= id) - 1;
+        while self.blocks[block].points.is_empty() {
+            block -= 1;
+        }
+        (block, id - self.point_base[block])
+    }
+
+    /// The point with global id `id`.
+    pub fn point(&self, id: usize) -> &Point {
+        let (block, index) = self.point_location(id);
+        &self.blocks[block].points[index]
+    }
+
+    /// Iterates `(block, global point id, point)` in block order.
+    pub fn iter_points(&self) -> impl Iterator<Item = (usize, usize, &Point)> {
+        self.blocks.iter().enumerate().flat_map(move |(b, block)| {
+            block
+                .points
+                .iter()
+                .enumerate()
+                .map(move |(i, p)| (b, self.point_base[b] + i, p))
+        })
+    }
+
+    /// Blocks reachable from the entry along CFG edges.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Dominator tree and dominance frontiers from the entry.
+    pub fn dominators(&self) -> Doms {
+        let succs: Vec<Vec<usize>> = self.blocks.iter().map(|b| b.succs.clone()).collect();
+        let preds: Vec<Vec<usize>> = self.blocks.iter().map(|b| b.preds.clone()).collect();
+        Doms::compute(self.blocks.len(), self.entry, &succs, &preds)
+    }
+
+    /// Postdominator tree and postdominance frontiers, computed by running
+    /// the dominator algorithm on the reversed graph from the exit. The
+    /// postdominance frontier of a block is exactly the set of branches the
+    /// block is control dependent on.
+    pub fn postdominators(&self) -> Doms {
+        let succs: Vec<Vec<usize>> = self.blocks.iter().map(|b| b.preds.clone()).collect();
+        let preds: Vec<Vec<usize>> = self.blocks.iter().map(|b| b.succs.clone()).collect();
+        Doms::compute(self.blocks.len(), self.exit, &succs, &preds)
+    }
+}
+
+/// A dominator (or postdominator) tree with its dominance frontiers.
+#[derive(Clone, Debug)]
+pub struct Doms {
+    /// Immediate dominator of each block; `None` for the root and for
+    /// blocks unreachable from it.
+    pub idom: Vec<Option<usize>>,
+    /// Dominance frontier of each block.
+    pub frontier: Vec<Vec<usize>>,
+    /// Reverse-postorder number of each block (`usize::MAX` if unreachable).
+    pub rpo_number: Vec<usize>,
+}
+
+impl Doms {
+    /// Cooper–Harvey–Kennedy iterative dominators over an explicit edge
+    /// list. `succs`/`preds` are with respect to the direction being
+    /// solved (pass the reversed graph to get postdominators).
+    fn compute(n: usize, root: usize, succs: &[Vec<usize>], preds: &[Vec<usize>]) -> Doms {
+        // Reverse postorder via iterative DFS.
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unseen, 1 = open, 2 = done
+        let mut stack = vec![(root, 0usize)];
+        state[root] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b].len() {
+                let s = succs[b][*i];
+                *i += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_number[b] = i;
+        }
+
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        idom[root] = Some(root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &preds[b] {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_number, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom[root] = None;
+
+        let mut frontier: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in 0..n {
+            if rpo_number[b] == usize::MAX || preds[b].len() < 2 {
+                continue;
+            }
+            for &p in &preds[b] {
+                if rpo_number[p] == usize::MAX {
+                    continue;
+                }
+                let mut runner = p;
+                while Some(runner) != idom[b] && runner != b {
+                    if !frontier[runner].contains(&b) {
+                        frontier[runner].push(b);
+                    }
+                    match idom[runner] {
+                        Some(next) if next != runner => runner = next,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        Doms {
+            idom,
+            frontier,
+            rpo_number,
+        }
+    }
+
+    /// Depth of a block in the (post)dominator tree; 0 for the root or for
+    /// unreachable blocks.
+    pub fn depth(&self, mut block: usize) -> usize {
+        let mut d = 0;
+        while let Some(parent) = self.idom[block] {
+            d += 1;
+            block = parent;
+            if d > self.idom.len() {
+                break; // cycle guard; cannot happen on a well-formed tree
+            }
+        }
+        d
+    }
+}
+
+fn intersect(idom: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo[a] > rpo[b] {
+            a = idom[a].unwrap_or(a);
+        }
+        while rpo[b] > rpo[a] {
+            b = idom[b].unwrap_or(b);
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_for(source: &str) -> Cfg {
+        let program = minic::parse_program(source).unwrap();
+        Cfg::build(program.function("main").unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block_plus_exit() {
+        let cfg = cfg_for("int main(int x) {\nint y = x + 1;\nreturn y;\n}");
+        assert_eq!(cfg.blocks[cfg.entry].points.len(), 2);
+        assert!(cfg.blocks[cfg.exit].points.is_empty());
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_produces_diamond_with_true_then_false_edges() {
+        let cfg = cfg_for(
+            "int main(int x) {\nint y = 0;\nif (x > 0) {\ny = 1;\n} else {\ny = 2;\n}\nreturn y;\n}",
+        );
+        let entry = &cfg.blocks[cfg.entry];
+        assert!(matches!(
+            entry.points.last().unwrap().kind,
+            PointKind::Branch { is_loop: false, .. }
+        ));
+        assert_eq!(entry.succs.len(), 2);
+        let then_b = entry.succs[0];
+        let else_b = entry.succs[1];
+        // Both arms join, and the join block holds the return.
+        assert_eq!(cfg.blocks[then_b].succs, cfg.blocks[else_b].succs);
+        let join = cfg.blocks[then_b].succs[0];
+        assert!(matches!(
+            cfg.blocks[join].points[0].kind,
+            PointKind::Return { .. }
+        ));
+    }
+
+    #[test]
+    fn while_gets_header_with_back_edge() {
+        let cfg = cfg_for("int main(int x) {\nint i = 0;\nwhile (i < x) {\ni = i + 1;\n}\nreturn i;\n}");
+        let header = cfg.blocks[cfg.entry].succs[0];
+        assert!(matches!(
+            cfg.blocks[header].points[0].kind,
+            PointKind::Branch { is_loop: true, .. }
+        ));
+        let body = cfg.blocks[header].succs[0];
+        assert_eq!(cfg.blocks[body].succs, vec![header], "back edge");
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let cfg = cfg_for("int main(int x) {\nreturn x;\nint y = 1;\nreturn y;\n}");
+        let reach = cfg.reachable();
+        let dead: Vec<u32> = cfg
+            .iter_points()
+            .filter(|(b, _, _)| !reach[*b])
+            .map(|(_, _, p)| p.line.number())
+            .collect();
+        assert!(dead.contains(&3), "line 3 is unreachable: {dead:?}");
+    }
+
+    #[test]
+    fn dominators_of_a_diamond() {
+        let cfg = cfg_for(
+            "int main(int x) {\nint y = 0;\nif (x > 0) {\ny = 1;\n} else {\ny = 2;\n}\nreturn y;\n}",
+        );
+        let doms = cfg.dominators();
+        let entry = cfg.entry;
+        let then_b = cfg.blocks[entry].succs[0];
+        let else_b = cfg.blocks[entry].succs[1];
+        let join = cfg.blocks[then_b].succs[0];
+        assert_eq!(doms.idom[then_b], Some(entry));
+        assert_eq!(doms.idom[else_b], Some(entry));
+        assert_eq!(doms.idom[join], Some(entry), "join is not dominated by an arm");
+        // Both arms have the join in their dominance frontier.
+        assert!(doms.frontier[then_b].contains(&join));
+        assert!(doms.frontier[else_b].contains(&join));
+    }
+
+    #[test]
+    fn control_dependence_via_postdominance_frontier() {
+        let cfg = cfg_for(
+            "int main(int x) {\nint y = 0;\nif (x > 0) {\ny = 1;\n} else {\ny = 2;\n}\nreturn y;\n}",
+        );
+        let pdoms = cfg.postdominators();
+        let entry = cfg.entry;
+        let then_b = cfg.blocks[entry].succs[0];
+        let else_b = cfg.blocks[entry].succs[1];
+        // Both arms are control dependent on the branch block (the entry).
+        assert_eq!(pdoms.frontier[then_b], vec![entry]);
+        assert_eq!(pdoms.frontier[else_b], vec![entry]);
+        // The join is not control dependent on anything.
+        let join = cfg.blocks[then_b].succs[0];
+        assert!(pdoms.frontier[join].is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! A generic worklist dataflow engine over [`Cfg`]s.
+//!
+//! Analyses supply a join-semilattice ([`Lattice`]) and a per-block transfer
+//! function; the engine iterates to a fixpoint in reverse postorder (forward
+//! analyses) or postorder (backward analyses). Termination is the analysis'
+//! responsibility: the lattice must have finite ascending chains, or the
+//! transfer function must widen (as the interval analysis does).
+
+use crate::cfg::Cfg;
+
+/// Direction a dataflow analysis runs in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// A join-semilattice of dataflow facts.
+pub trait Lattice: Clone {
+    /// Joins `other` into `self`; returns `true` when `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+}
+
+/// Input and output fact of one block, per the analysis direction: for a
+/// forward analysis `input` holds at block entry and `output` at block exit;
+/// for a backward analysis `input` holds at block exit and `output` at entry.
+#[derive(Clone, Debug)]
+pub struct BlockFacts<L> {
+    /// Fact at the block's input boundary.
+    pub input: L,
+    /// Fact at the block's output boundary (after the transfer function).
+    pub output: L,
+}
+
+/// Runs a worklist fixpoint over `cfg`.
+///
+/// `boundary` is the fact entering the graph (at the entry block for forward
+/// analyses, the exit block for backward ones); `bottom` seeds every other
+/// boundary. `transfer(block, input)` computes the block's output fact.
+pub fn solve<L, F>(
+    cfg: &Cfg,
+    direction: Direction,
+    boundary: L,
+    bottom: L,
+    mut transfer: F,
+) -> Vec<BlockFacts<L>>
+where
+    L: Lattice,
+    F: FnMut(usize, &L) -> L,
+{
+    let n = cfg.blocks.len();
+    let start = match direction {
+        Direction::Forward => cfg.entry,
+        Direction::Backward => cfg.exit,
+    };
+    let mut facts: Vec<BlockFacts<L>> = (0..n)
+        .map(|b| {
+            let input = if b == start {
+                boundary.clone()
+            } else {
+                bottom.clone()
+            };
+            BlockFacts {
+                output: transfer(b, &input),
+                input,
+            }
+        })
+        .collect();
+
+    let mut in_worklist = vec![true; n];
+    let mut worklist: Vec<usize> = (0..n).collect();
+    while let Some(b) = worklist.pop() {
+        in_worklist[b] = false;
+        let sources: &[usize] = match direction {
+            Direction::Forward => &cfg.blocks[b].preds,
+            Direction::Backward => &cfg.blocks[b].succs,
+        };
+        let mut input = if b == start {
+            boundary.clone()
+        } else {
+            bottom.clone()
+        };
+        for &s in sources {
+            input.join_with(&facts[s].output);
+        }
+        let input_changed = facts[b].input.join_with(&input);
+        if !input_changed {
+            // Input unchanged: the stored output was computed from this
+            // same input and is still consistent.
+            continue;
+        }
+        let output = transfer(b, &facts[b].input);
+        let changed = facts[b].output.join_with(&output);
+        if changed {
+            let targets: Vec<usize> = match direction {
+                Direction::Forward => cfg.blocks[b].succs.clone(),
+                Direction::Backward => cfg.blocks[b].preds.clone(),
+            };
+            for t in targets {
+                if !in_worklist[t] {
+                    in_worklist[t] = true;
+                    worklist.push(t);
+                }
+            }
+        }
+    }
+    facts
+}

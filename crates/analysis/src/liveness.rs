@@ -1,0 +1,133 @@
+//! Live-variable analysis (backward may-analysis) over a [`Cfg`].
+//!
+//! A variable is live at a point when some path from the point reads it
+//! before redefining it. Globals are kept live at the function exit (their
+//! values escape to callers and later calls), so a store to a global is
+//! never reported dead by [`dead_stores`]; array stores are skipped too
+//! because element-wise kill tracking is not worth the precision here.
+
+use crate::cfg::{Cfg, PointKind};
+use crate::dataflow::{solve, Direction, Lattice};
+use minic::Line;
+use std::collections::BTreeSet;
+
+/// A set of live variable names.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LiveSet(pub BTreeSet<String>);
+
+impl Lattice for LiveSet {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().cloned());
+        self.0.len() != before
+    }
+}
+
+/// The result of liveness: the live-out set of every point.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Live variables *after* each point, indexed by global point id.
+    pub live_out: Vec<BTreeSet<String>>,
+}
+
+/// Runs live-variable analysis. `escaping` names variables that must stay
+/// live at the function exit (globals).
+pub fn liveness(cfg: &Cfg, escaping: &BTreeSet<String>) -> Liveness {
+    let transfer_block = |block: usize, input: &LiveSet| {
+        let mut live = input.clone();
+        for point in cfg.blocks[block].points.iter().rev() {
+            if let Some(def) = point.defines() {
+                live.0.remove(def);
+            }
+            live.0.extend(point.reads());
+        }
+        live
+    };
+    let facts = solve(
+        cfg,
+        Direction::Backward,
+        LiveSet(escaping.clone()),
+        LiveSet::default(),
+        transfer_block,
+    );
+
+    let mut live_out = vec![BTreeSet::new(); cfg.num_points];
+    for (block, block_facts) in facts.iter().enumerate() {
+        // For a backward analysis the block's `input` fact holds at the
+        // block *exit*; walk the points in reverse to per-point facts.
+        let mut live = block_facts.input.clone();
+        for (i, point) in cfg.blocks[block].points.iter().enumerate().rev() {
+            live_out[cfg.point_id(block, i)] = live.0.clone();
+            if let Some(def) = point.defines() {
+                live.0.remove(def);
+            }
+            live.0.extend(point.reads());
+        }
+    }
+    Liveness { live_out }
+}
+
+/// Lines holding a store to a local scalar that no path ever reads again.
+/// Only reachable points are reported (unreachable code gets its own lint).
+pub fn dead_stores(cfg: &Cfg, live: &Liveness, escaping: &BTreeSet<String>) -> Vec<(Line, String)> {
+    let reachable = cfg.reachable();
+    let mut out = Vec::new();
+    for (block, id, point) in cfg.iter_points() {
+        if !reachable[block] {
+            continue;
+        }
+        let defines_value = match &point.kind {
+            PointKind::Decl { init, .. } => init.is_some(),
+            PointKind::Assign { .. } => true,
+            _ => false,
+        };
+        if !defines_value {
+            continue;
+        }
+        if let Some(var) = point.defines() {
+            if !escaping.contains(var) && !live.live_out[id].contains(var) {
+                out.push((point.line, var.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyse(source: &str) -> (Cfg, Liveness, BTreeSet<String>) {
+        let program = minic::parse_program(source).unwrap();
+        let function = program.function("main").unwrap();
+        let cfg = Cfg::build(function);
+        let escaping: BTreeSet<String> = program.globals.iter().map(|g| g.name.clone()).collect();
+        let live = liveness(&cfg, &escaping);
+        (cfg, live, escaping)
+    }
+
+    #[test]
+    fn overwritten_initializer_is_a_dead_store() {
+        let (cfg, live, escaping) =
+            analyse("int main(int x) {\nint y = 7;\ny = x + 1;\nreturn y;\n}");
+        let dead = dead_stores(&cfg, &live, &escaping);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].0.number(), 2);
+        assert_eq!(dead[0].1, "y");
+    }
+
+    #[test]
+    fn loop_carried_variable_is_live() {
+        let (cfg, live, escaping) = analyse(
+            "int main(int x) {\nint i = 0;\nwhile (i < x) {\ni = i + 1;\n}\nreturn i;\n}",
+        );
+        assert!(dead_stores(&cfg, &live, &escaping).is_empty());
+    }
+
+    #[test]
+    fn global_stores_escape() {
+        let (cfg, live, escaping) =
+            analyse("int g;\nint main(int x) {\ng = x;\nreturn x;\n}");
+        assert!(dead_stores(&cfg, &live, &escaping).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Reaching definitions and def-use chains over a [`Cfg`].
+//!
+//! The domain maps each scalar variable to the set of definitions that may
+//! reach a point: explicit definition points, the synthetic entry definition
+//! (parameters, globals, anything defined outside the function), and the
+//! synthetic *uninitialized* definition produced by a scalar declaration
+//! with no initializer. A read whose reaching set contains [`Def::Uninit`]
+//! is a possibly-uninitialized read; a read whose set is exactly
+//! `{Uninit}` is definitely uninitialized on every path.
+
+use crate::cfg::{Cfg, PointKind};
+use crate::dataflow::{solve, Direction, Lattice};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One definition of a variable, as seen by reaching-definitions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Def {
+    /// Defined before the function runs (parameter, global, external).
+    Entry,
+    /// Declared without an initializer: reading this is reading garbage.
+    Uninit,
+    /// Defined by the point with this global id.
+    Point(usize),
+}
+
+/// The reaching-definitions environment: variable name to reaching defs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReachEnv {
+    /// Reaching definition sets, by variable name.
+    pub defs: BTreeMap<String, BTreeSet<Def>>,
+}
+
+impl Lattice for ReachEnv {
+    fn join_with(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (var, defs) in &other.defs {
+            let entry = self.defs.entry(var.clone()).or_default();
+            for d in defs {
+                changed |= entry.insert(*d);
+            }
+        }
+        changed
+    }
+}
+
+/// One variable read together with the definitions reaching it.
+#[derive(Clone, Debug)]
+pub struct UseSite {
+    /// Global point id of the reading point.
+    pub point: usize,
+    /// The variable read.
+    pub var: String,
+    /// Definitions that may reach the read (empty for untracked names).
+    pub reaching: BTreeSet<Def>,
+}
+
+/// The result of the reaching-definitions analysis.
+#[derive(Clone, Debug)]
+pub struct Reaching {
+    /// Every scalar-variable read, with its reaching definition set.
+    pub uses: Vec<UseSite>,
+    /// Def-use chains: definition point id to the point ids that read it.
+    pub def_uses: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+fn apply_point(env: &mut ReachEnv, id: usize, kind: &PointKind) {
+    match kind {
+        PointKind::Decl { name, ty, init } if ty.is_scalar() => {
+            let def = if init.is_some() {
+                Def::Point(id)
+            } else {
+                Def::Uninit
+            };
+            env.defs.insert(name.clone(), BTreeSet::from([def]));
+        }
+        PointKind::Assign {
+            target: minic::LValue::Var(name),
+            ..
+        } => {
+            env.defs
+                .insert(name.clone(), BTreeSet::from([Def::Point(id)]));
+        }
+        _ => {}
+    }
+}
+
+/// Runs reaching definitions over `cfg`. `initialized` names the variables
+/// defined before the function body runs (parameters and globals); they
+/// carry the [`Def::Entry`] definition at the entry boundary.
+pub fn reaching(cfg: &Cfg, initialized: &BTreeSet<String>) -> Reaching {
+    let boundary = ReachEnv {
+        defs: initialized
+            .iter()
+            .map(|v| (v.clone(), BTreeSet::from([Def::Entry])))
+            .collect(),
+    };
+    let facts = solve(
+        cfg,
+        Direction::Forward,
+        boundary,
+        ReachEnv::default(),
+        |block, input| {
+            let mut env = input.clone();
+            for (i, point) in cfg.blocks[block].points.iter().enumerate() {
+                apply_point(&mut env, cfg.point_id(block, i), &point.kind);
+            }
+            env
+        },
+    );
+
+    let mut uses = Vec::new();
+    let mut def_uses: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (block, block_facts) in facts.iter().enumerate() {
+        let mut env = block_facts.input.clone();
+        for (i, point) in cfg.blocks[block].points.iter().enumerate() {
+            let id = cfg.point_id(block, i);
+            for var in point.reads() {
+                let reaching = env.defs.get(&var).cloned().unwrap_or_default();
+                for def in &reaching {
+                    if let Def::Point(d) = def {
+                        def_uses.entry(*d).or_default().insert(id);
+                    }
+                }
+                uses.push(UseSite {
+                    point: id,
+                    var,
+                    reaching,
+                });
+            }
+            apply_point(&mut env, id, &point.kind);
+        }
+    }
+    Reaching { uses, def_uses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyse(source: &str) -> (Cfg, Reaching) {
+        let program = minic::parse_program(source).unwrap();
+        let function = program.function("main").unwrap();
+        let cfg = Cfg::build(function);
+        let mut initialized: BTreeSet<String> =
+            function.params.iter().map(|(n, _)| n.clone()).collect();
+        initialized.extend(program.globals.iter().map(|g| g.name.clone()));
+        let reaching = reaching(&cfg, &initialized);
+        (cfg, reaching)
+    }
+
+    #[test]
+    fn params_reach_their_uses() {
+        let (cfg, r) = analyse("int main(int x) {\nint y = x + 1;\nreturn y;\n}");
+        let x_use = r.uses.iter().find(|u| u.var == "x").unwrap();
+        assert_eq!(x_use.reaching, BTreeSet::from([Def::Entry]));
+        let y_use = r.uses.iter().find(|u| u.var == "y").unwrap();
+        assert_eq!(y_use.reaching.len(), 1);
+        assert!(matches!(y_use.reaching.first(), Some(Def::Point(_))));
+        let def = match y_use.reaching.first() {
+            Some(Def::Point(d)) => *d,
+            _ => unreachable!(),
+        };
+        assert!(r.def_uses[&def].contains(&y_use.point));
+        assert_eq!(cfg.point(def).line.number(), 2);
+    }
+
+    #[test]
+    fn branch_merges_definitions() {
+        let (_, r) = analyse(
+            "int main(int x) {\nint y = 0;\nif (x > 0) {\ny = 1;\n}\nreturn y;\n}",
+        );
+        let y_read = r.uses.iter().rfind(|u| u.var == "y").unwrap();
+        assert_eq!(y_read.reaching.len(), 2, "both defs reach the return");
+    }
+
+    #[test]
+    fn uninit_decl_reaches_reads() {
+        let (_, r) = analyse("int main(int x) {\nint y;\nif (x > 0) {\ny = 1;\n}\nreturn y;\n}");
+        let y_read = r.uses.iter().rfind(|u| u.var == "y").unwrap();
+        assert!(y_read.reaching.contains(&Def::Uninit), "{:?}", y_read);
+        assert_eq!(y_read.reaching.len(), 2);
+    }
+
+    #[test]
+    fn definitely_uninitialized_read() {
+        let (_, r) = analyse("int main(int x) {\nint y;\nreturn y;\n}");
+        let y_read = r.uses.iter().find(|u| u.var == "y").unwrap();
+        assert_eq!(y_read.reaching, BTreeSet::from([Def::Uninit]));
+    }
+}

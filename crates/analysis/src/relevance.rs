@@ -1,0 +1,375 @@
+//! Static backward relevance from the failing property.
+//!
+//! This is the pruning analysis behind `LocalizerConfig::static_prune`: a
+//! line *not* in the relevant set provably cannot influence the property
+//! (assertions, implicit array-bounds assertions, assumptions, loop-exit
+//! conditions, or the entry function's return value under a golden-output
+//! spec), so its soft selector can be asserted hard for free — the line can
+//! never appear in any CoMSS.
+//!
+//! The closure mirrors `bmc::slice::backward_slice` — data dependences
+//! through qualified variables, return-value relevance, conservative
+//! parameter binding — but computes control dependence on the CFG via the
+//! postdominance frontier instead of syntactic nesting, and keeps strictly
+//! more seeds:
+//!
+//! * `assume` lines (relaxing a value feeding an assumption changes the
+//!   feasible-path set);
+//! * `while` condition lines and their variables (loop conditions feed the
+//!   encoder's unwinding assumptions);
+//! * every line containing a call (the call-site group carries the
+//!   argument-binding clauses, which feed whatever the callee does).
+//!
+//! The superset relationship to the dynamic slice is pinned by a corpus
+//! cross-check test; the pruning-soundness invariant is pinned by the
+//! byte-identical-report property tests in the workspace root.
+
+use crate::cfg::{Cfg, PointKind};
+use minic::ast::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What relevance is computed with respect to (matches
+/// `bmc::SliceCriterion`, re-declared here to keep this crate independent
+/// of the encoder).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Criterion {
+    /// All `assert` statements plus implicit array-bounds assertions.
+    Assertions,
+    /// The value returned by the entry function.
+    ReturnValue,
+}
+
+/// The result of the relevance analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relevance {
+    /// Source lines that may influence the property, sorted.
+    pub relevant_lines: Vec<Line>,
+    /// Qualified variables (`function::name`, `::name` for globals) that
+    /// may influence the property, sorted.
+    pub relevant_vars: Vec<String>,
+}
+
+impl Relevance {
+    /// `true` when `line` may influence the property.
+    pub fn contains_line(&self, line: Line) -> bool {
+        self.relevant_lines.binary_search(&line).is_ok()
+    }
+}
+
+fn qualify(program: &Program, function: &str, var: &str) -> String {
+    if program.global(var).is_some() {
+        format!("::{var}")
+    } else {
+        format!("{function}::{var}")
+    }
+}
+
+fn mark_calls(expr: &Expr, return_relevant: &mut BTreeSet<String>) {
+    expr.walk(&mut |e| {
+        if let Expr::Call(name, _) = e {
+            return_relevant.insert(name.clone());
+        }
+    });
+}
+
+struct FnGraph {
+    cfg: Cfg,
+    /// Direct controlling branch blocks of each block (its postdominance
+    /// frontier); transitivity comes from the global fixpoint.
+    controls: Vec<Vec<usize>>,
+}
+
+impl FnGraph {
+    fn build(function: &Function) -> FnGraph {
+        let cfg = Cfg::build(function);
+        let pdoms = cfg.postdominators();
+        let controls = pdoms.frontier.clone();
+        FnGraph { cfg, controls }
+    }
+}
+
+/// Computes the set of lines and variables that may influence the property.
+pub fn relevance(program: &Program, entry: &str, criterion: Criterion) -> Relevance {
+    let mut relevant_vars: BTreeSet<String> = BTreeSet::new();
+    let mut relevant_lines: BTreeSet<Line> = BTreeSet::new();
+    let mut return_relevant: BTreeSet<String> = BTreeSet::new();
+
+    let graphs: BTreeMap<&str, FnGraph> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), FnGraph::build(f)))
+        .collect();
+
+    // ---- Seeds -----------------------------------------------------------
+    for function in &program.functions {
+        let graph = &graphs[function.name.as_str()];
+        for (_, _, point) in graph.cfg.iter_points() {
+            let seed_with_reads = |relevant_vars: &mut BTreeSet<String>,
+                                       relevant_lines: &mut BTreeSet<Line>| {
+                relevant_lines.insert(point.line);
+                for v in point.reads() {
+                    relevant_vars.insert(qualify(program, &function.name, &v));
+                }
+            };
+            match &point.kind {
+                PointKind::Assert { cond } | PointKind::Assume { cond } => {
+                    seed_with_reads(&mut relevant_vars, &mut relevant_lines);
+                    mark_calls(cond, &mut return_relevant);
+                }
+                // Loop conditions feed the encoder's unwinding assumptions.
+                PointKind::Branch { cond, is_loop: true } => {
+                    seed_with_reads(&mut relevant_vars, &mut relevant_lines);
+                    mark_calls(cond, &mut return_relevant);
+                }
+                // Array element stores carry implicit bounds assertions.
+                PointKind::Assign {
+                    target: LValue::Index(_, idx),
+                    ..
+                } => {
+                    relevant_lines.insert(point.line);
+                    for v in idx.read_vars() {
+                        relevant_vars.insert(qualify(program, &function.name, &v));
+                    }
+                }
+                PointKind::Return { value: Some(e) }
+                    if criterion == Criterion::ReturnValue && function.name == entry =>
+                {
+                    seed_with_reads(&mut relevant_vars, &mut relevant_lines);
+                    mark_calls(e, &mut return_relevant);
+                }
+                _ => {}
+            }
+            for expr in point.exprs() {
+                expr.walk(&mut |sub| {
+                    // Implicit bounds assertions from array reads.
+                    if let Expr::Index(_, idx) = sub {
+                        relevant_lines.insert(point.line);
+                        for v in idx.read_vars() {
+                            relevant_vars.insert(qualify(program, &function.name, &v));
+                        }
+                    }
+                    // Call-site groups carry the argument-binding clauses.
+                    if matches!(sub, Expr::Call(..)) {
+                        relevant_lines.insert(point.line);
+                    }
+                });
+            }
+        }
+    }
+
+    // ---- Fixpoint over data, control and interprocedural dependences -----
+    loop {
+        let before = (
+            relevant_vars.len(),
+            relevant_lines.len(),
+            return_relevant.len(),
+        );
+        for function in &program.functions {
+            let graph = &graphs[function.name.as_str()];
+            propagate(
+                program,
+                function,
+                graph,
+                &mut relevant_vars,
+                &mut relevant_lines,
+                &mut return_relevant,
+            );
+        }
+        let after = (
+            relevant_vars.len(),
+            relevant_lines.len(),
+            return_relevant.len(),
+        );
+        if before == after {
+            break;
+        }
+    }
+
+    Relevance {
+        relevant_lines: relevant_lines.into_iter().collect(),
+        relevant_vars: relevant_vars.into_iter().collect(),
+    }
+}
+
+fn propagate(
+    program: &Program,
+    function: &Function,
+    graph: &FnGraph,
+    relevant_vars: &mut BTreeSet<String>,
+    relevant_lines: &mut BTreeSet<Line>,
+    return_relevant: &mut BTreeSet<String>,
+) {
+    let is_return_relevant = return_relevant.contains(&function.name);
+    for (block, _, point) in graph.cfg.iter_points() {
+        match &point.kind {
+            // Data dependences: a definition of a relevant variable pulls
+            // in everything its right-hand side reads.
+            PointKind::Assign { target, value } => {
+                let target_q = qualify(program, &function.name, target.name());
+                if relevant_vars.contains(&target_q) {
+                    relevant_lines.insert(point.line);
+                    for v in value.read_vars() {
+                        relevant_vars.insert(qualify(program, &function.name, &v));
+                    }
+                    if let LValue::Index(_, idx) = target {
+                        for v in idx.read_vars() {
+                            relevant_vars.insert(qualify(program, &function.name, &v));
+                        }
+                    }
+                    mark_calls(value, return_relevant);
+                }
+            }
+            PointKind::Decl {
+                name,
+                init: Some(init),
+                ..
+            } => {
+                let target_q = qualify(program, &function.name, name);
+                if relevant_vars.contains(&target_q) {
+                    relevant_lines.insert(point.line);
+                    for v in init.read_vars() {
+                        relevant_vars.insert(qualify(program, &function.name, &v));
+                    }
+                    mark_calls(init, return_relevant);
+                }
+            }
+            // Return-value relevance.
+            PointKind::Return { value: Some(e) } if is_return_relevant => {
+                relevant_lines.insert(point.line);
+                for v in e.read_vars() {
+                    relevant_vars.insert(qualify(program, &function.name, &v));
+                }
+                mark_calls(e, return_relevant);
+            }
+            _ => {}
+        }
+
+        // Parameter binding: a relevant callee parameter (or a relevant
+        // callee return) makes every argument variable relevant here.
+        for expr in point.exprs() {
+            expr.walk(&mut |e| {
+                if let Expr::Call(callee_name, args) = e {
+                    if let Some(callee) = program.function(callee_name) {
+                        let any_param_relevant = callee
+                            .params
+                            .iter()
+                            .any(|(p, _)| relevant_vars.contains(&qualify(program, callee_name, p)));
+                        if any_param_relevant || return_relevant.contains(callee_name) {
+                            relevant_lines.insert(point.line);
+                            for arg in args {
+                                for v in arg.read_vars() {
+                                    relevant_vars.insert(qualify(program, &function.name, &v));
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Control dependence via the postdominance frontier: a relevant
+        // point makes the branches it is control dependent on relevant.
+        if relevant_lines.contains(&point.line) {
+            for &ctrl in &graph.controls[block] {
+                if let Some(branch) = graph.cfg.blocks[ctrl].points.last() {
+                    if let PointKind::Branch { cond, .. } = &branch.kind {
+                        relevant_lines.insert(branch.line);
+                        for v in cond.read_vars() {
+                            relevant_vars.insert(qualify(program, &function.name, &v));
+                        }
+                        mark_calls(cond, return_relevant);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Statement lines the localizer may treat as trusted under `static_prune`:
+/// every statement line that is *not* in the relevant set.
+pub fn prunable_lines(program: &Program, entry: &str, criterion: Criterion) -> Vec<Line> {
+    let relevant = relevance(program, entry, criterion);
+    program
+        .statement_lines()
+        .into_iter()
+        .filter(|line| !relevant.contains_line(*line))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(source: &str, criterion: Criterion) -> Relevance {
+        let program = minic::parse_program(source).unwrap();
+        relevance(&program, "main", criterion)
+    }
+
+    #[test]
+    fn irrelevant_assignments_are_pruned() {
+        let r = lines(
+            "int main(int x) {\nint a = x + 1;\nint b = x * 99;\nint c = b + 1;\nassert(a < 10);\nreturn a;\n}",
+            Criterion::Assertions,
+        );
+        assert!(r.contains_line(Line(2)));
+        assert!(!r.contains_line(Line(3)));
+        assert!(!r.contains_line(Line(4)));
+        assert!(r.contains_line(Line(5)));
+        // The entry's return is irrelevant under the assertion criterion.
+        assert!(!r.contains_line(Line(6)));
+    }
+
+    #[test]
+    fn control_dependence_through_the_frontier() {
+        let r = lines(
+            "int main(int x, int flag) {\nint y = 0;\nif (flag > 0) {\ny = x;\n}\nassert(y < 10);\nreturn y;\n}",
+            Criterion::Assertions,
+        );
+        assert!(r.contains_line(Line(3)), "guarding branch is relevant");
+        assert!(r.contains_line(Line(4)));
+        assert!(r.relevant_vars.contains(&"main::flag".to_string()));
+    }
+
+    #[test]
+    fn assume_and_while_lines_are_always_kept() {
+        let r = lines(
+            "int main(int x) {\nint i = 0;\nint junk = x * 2;\nassume(x > 0);\nwhile (i < 3) {\ni = i + 1;\n}\nassert(i <= 3);\nreturn i;\n}",
+            Criterion::Assertions,
+        );
+        assert!(r.contains_line(Line(4)), "assume seeded");
+        assert!(r.contains_line(Line(5)), "while seeded");
+        assert!(!r.contains_line(Line(3)), "junk still prunable");
+    }
+
+    #[test]
+    fn call_lines_are_always_kept() {
+        let r = lines(
+            "int helper(int v) {\nreturn v + 1;\n}\nint main(int x) {\nint a = helper(x);\nassert(x < 10);\nreturn a;\n}",
+            Criterion::Assertions,
+        );
+        assert!(r.contains_line(Line(5)), "call line kept for soundness");
+    }
+
+    #[test]
+    fn return_value_criterion_keeps_the_return_chain() {
+        let r = lines(
+            "int main(int x) {\nint kept = x + 1;\nint dropped = x - 1;\nreturn kept;\n}",
+            Criterion::ReturnValue,
+        );
+        assert!(r.contains_line(Line(2)));
+        assert!(!r.contains_line(Line(3)));
+        assert!(r.contains_line(Line(4)));
+    }
+
+    #[test]
+    fn prunable_lines_complement_the_relevant_set() {
+        let program = minic::parse_program(
+            "int main(int x) {\nint a = x + 1;\nint b = x * 99;\nassert(a < 10);\nreturn a;\n}",
+        )
+        .unwrap();
+        let pruned = prunable_lines(&program, "main", Criterion::Assertions);
+        assert!(pruned.contains(&Line(3)));
+        assert!(!pruned.contains(&Line(2)));
+        assert!(!pruned.contains(&Line(4)));
+    }
+}

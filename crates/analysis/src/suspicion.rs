@@ -1,0 +1,216 @@
+//! Static suspiciousness priors for weighted MAX-SAT localization.
+//!
+//! BugAssist's uniform soft weights treat every statement as equally
+//! suspect; this module computes a cheap static prior per source line so
+//! `LocalizerConfig::static_priors` can hand the MAX-SAT solver a weighted
+//! instance where *less* suspicious lines cost more to blame. Three
+//! ingredients, all deterministic:
+//!
+//! * **def-use proximity** — lines whose values flow into the property in
+//!   few def-use hops score high (the paper's intuition that the fault is
+//!   near the failing assertion);
+//! * **branch depth** — lines nested under more branches score slightly
+//!   higher (conditional code is where LocFaults-style reasoning finds
+//!   path-specific faults);
+//! * **interval anomaly** — lines the interval analysis flags (a provably
+//!   constant condition) get a bonus: provably-degenerate control flow is
+//!   suspicious in a program that is known to fail.
+//!
+//! Scores map to weights as `base + (MAX_SCORE - score)`: the most
+//! suspicious line costs exactly `base` to blame, the least suspicious
+//! `base + MAX_SCORE`.
+
+use crate::cfg::{Cfg, PointKind};
+use crate::intervals::intervals;
+use crate::reaching::{reaching, Def};
+use crate::relevance::Criterion;
+use minic::ast::*;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Maximum achievable [`Suspiciousness::score`]; weights span
+/// `base ..= base + MAX_SCORE`.
+pub const MAX_SCORE: u64 = 11;
+
+const PROXIMITY_CAP: u64 = 6;
+const DEPTH_CAP: u64 = 3;
+const ANOMALY_BONUS: u64 = 2;
+
+/// Per-line static suspiciousness scores.
+#[derive(Clone, Debug, Default)]
+pub struct Suspiciousness {
+    scores: BTreeMap<Line, u64>,
+}
+
+impl Suspiciousness {
+    /// The score of `line` (0 when nothing is known about it).
+    pub fn score(&self, line: Line) -> u64 {
+        self.scores.get(&line).copied().unwrap_or(0)
+    }
+
+    /// The soft-clause weight of `line` for a given base weight: high
+    /// suspicion means a *cheap* clause to falsify.
+    pub fn weight(&self, line: Line, base: u64) -> u64 {
+        base + (MAX_SCORE - self.score(line).min(MAX_SCORE))
+    }
+
+    /// Remaps every scored line through `f` (dropping lines mapped to
+    /// `None`), for revise-style line-shifted programs.
+    pub fn remap(&self, f: impl Fn(Line) -> Option<Line>) -> Suspiciousness {
+        Suspiciousness {
+            scores: self
+                .scores
+                .iter()
+                .filter_map(|(line, score)| f(*line).map(|l| (l, *score)))
+                .collect(),
+        }
+    }
+}
+
+/// Computes the per-line suspiciousness prior for `program`.
+pub fn suspiciousness(program: &Program, entry: &str, criterion: Criterion) -> Suspiciousness {
+    let globals: BTreeSet<String> = program.globals.iter().map(|g| g.name.clone()).collect();
+    let global_list: Vec<String> = globals.iter().cloned().collect();
+    let mut scores: BTreeMap<Line, u64> = BTreeMap::new();
+
+    for function in &program.functions {
+        let cfg = Cfg::build(function);
+        let mut initialized: BTreeSet<String> =
+            function.params.iter().map(|(n, _)| n.clone()).collect();
+        initialized.extend(globals.iter().cloned());
+        let reach = reaching(&cfg, &initialized);
+        let iv = intervals(&cfg, &global_list);
+
+        // Backward BFS over def-use edges from the criterion points.
+        let mut dist: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for (_, id, point) in cfg.iter_points() {
+            let is_criterion = match (&point.kind, criterion) {
+                (PointKind::Assert { .. }, Criterion::Assertions) => true,
+                (PointKind::Assume { .. }, Criterion::Assertions) => true,
+                (PointKind::Return { value: Some(_) }, Criterion::ReturnValue) => {
+                    function.name == entry
+                }
+                _ => false,
+            };
+            if is_criterion {
+                dist.insert(id, 0);
+                queue.push_back(id);
+            }
+        }
+        // use_defs indexed per use point for the BFS step.
+        let mut defs_of_use: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for site in &reach.uses {
+            for def in &site.reaching {
+                if let Def::Point(d) = def {
+                    defs_of_use.entry(site.point).or_default().push(*d);
+                }
+            }
+        }
+        while let Some(p) = queue.pop_front() {
+            let next = dist[&p] + 1;
+            if let Some(defs) = defs_of_use.get(&p) {
+                for &d in defs {
+                    if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(d) {
+                        e.insert(next);
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+
+        let pdoms = cfg.postdominators();
+        // Branch depth: number of transitive control-dependence ancestors.
+        let mut cd_depth = vec![0u64; cfg.blocks.len()];
+        for (b, depth) in cd_depth.iter_mut().enumerate() {
+            let mut seen = BTreeSet::new();
+            let mut stack: Vec<usize> = pdoms.frontier[b].clone();
+            while let Some(c) = stack.pop() {
+                if seen.insert(c) {
+                    stack.extend(pdoms.frontier[c].iter().copied());
+                }
+            }
+            *depth = (seen.len() as u64).min(DEPTH_CAP);
+        }
+
+        let anomalies: BTreeSet<Line> = iv.anomaly_lines.iter().copied().collect();
+        for (block, id, point) in cfg.iter_points() {
+            let proximity = dist
+                .get(&id)
+                .map(|d| PROXIMITY_CAP.saturating_sub(*d))
+                .unwrap_or(0);
+            let depth = cd_depth[block];
+            let anomaly = if anomalies.contains(&point.line) {
+                ANOMALY_BONUS
+            } else {
+                0
+            };
+            let score = proximity + depth + anomaly;
+            let entry = scores.entry(point.line).or_insert(0);
+            *entry = (*entry).max(score);
+        }
+    }
+    Suspiciousness { scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_feeding_the_assertion_score_higher() {
+        let program = minic::parse_program(
+            "int main(int x) {\nint a = x + 1;\nint b = x * 99;\nint c = b + 1;\nassert(a < 10);\nreturn a;\n}",
+        )
+        .unwrap();
+        let s = suspiciousness(&program, "main", Criterion::Assertions);
+        assert!(
+            s.score(Line(2)) > s.score(Line(3)),
+            "def feeding assert ({}) beats unrelated def ({})",
+            s.score(Line(2)),
+            s.score(Line(3))
+        );
+        assert_eq!(s.score(Line(5)), PROXIMITY_CAP, "assertion line itself");
+    }
+
+    #[test]
+    fn weights_invert_scores_over_the_base() {
+        let program = minic::parse_program(
+            "int main(int x) {\nint a = x + 1;\nassert(a < 10);\nreturn a;\n}",
+        )
+        .unwrap();
+        let s = suspiciousness(&program, "main", Criterion::Assertions);
+        // Most suspicious line costs least to blame.
+        assert!(s.weight(Line(2), 10) < s.weight(Line(4), 10));
+        assert!(s.weight(Line(2), 10) >= 10);
+    }
+
+    #[test]
+    fn constant_branch_gets_the_anomaly_bonus() {
+        let program = minic::parse_program(
+            "int main(int x) {\nint flag = 0;\nif (flag > 0) {\nx = 1;\n}\nassert(x < 10);\nreturn x;\n}",
+        )
+        .unwrap();
+        let s = suspiciousness(&program, "main", Criterion::Assertions);
+        let base = suspiciousness(
+            &minic::parse_program(
+                "int main(int x) {\nint flag = x;\nif (flag > 0) {\nx = 1;\n}\nassert(x < 10);\nreturn x;\n}",
+            )
+            .unwrap(),
+            "main",
+            Criterion::Assertions,
+        );
+        assert!(s.score(Line(3)) > base.score(Line(3)), "anomaly bonus applies");
+    }
+
+    #[test]
+    fn remap_shifts_lines() {
+        let program = minic::parse_program(
+            "int main(int x) {\nint a = x + 1;\nassert(a < 10);\nreturn a;\n}",
+        )
+        .unwrap();
+        let s = suspiciousness(&program, "main", Criterion::Assertions);
+        let shifted = s.remap(|l| Some(Line(l.number() + 10)));
+        assert_eq!(shifted.score(Line(12)), s.score(Line(2)));
+        assert_eq!(shifted.score(Line(2)), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Differential test: the lint pass versus `minic::check_program`, over a
+//! seeded corpus of mutated programs.
+//!
+//! The lint pass *aggregates* the typechecker — every type/scope rejection
+//! must reappear as a `type`-kind error diagnostic on the same line, and a
+//! program the typechecker accepts must produce no `type`-kind diagnostic
+//! at all. The corpus mixes semantics-preserving-typed mutations (constant
+//! bumps, operator swaps, condition negations) with scope-breaking ones
+//! (assignments rewritten to reference an undefined variable), so both
+//! directions of the equivalence are exercised.
+
+use analysis::{lint_program, DiagnosticKind, Severity};
+use minic::ast::Expr;
+use minic::{apply_mutation, constant_sites, operator_sites, BinOp, Mutation, Program};
+
+const BASES: &[&str] = &[
+    "int main(int x) {\nint y = x + 2;\nint z = y * 3;\nassert(z != 12);\nreturn z;\n}",
+    "int main(int x, int y) {\nint s = 0;\nint i = 0;\nwhile (i < 4) {\ns = s + x;\ni = i + 1;\n}\nif (s > y) {\ns = s - y;\n}\nreturn s;\n}",
+    "int helper(int a) {\nreturn a * 2;\n}\nint main(int x) {\nint h = helper(x);\nassert(h != 6);\nreturn h + 1;\n}",
+];
+
+/// All mutations of a program this test considers: every constant bumped
+/// by +1, every operator swapped, and every assignment's value replaced by
+/// a reference to a variable that does not exist (the ill-typed half of
+/// the corpus).
+fn mutants(base: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    for site in constant_sites(base) {
+        let m = Mutation::BumpConstant {
+            line: site.line,
+            occurrence: site.occurrence,
+            delta: 1,
+        };
+        if let Ok(p) = apply_mutation(base, &m) {
+            out.push(p);
+        }
+    }
+    for site in operator_sites(base) {
+        let new_op = if site.op == BinOp::Add {
+            BinOp::Sub
+        } else {
+            BinOp::Add
+        };
+        let m = Mutation::ReplaceOperator {
+            line: site.line,
+            occurrence: site.occurrence,
+            new_op,
+        };
+        if let Ok(p) = apply_mutation(base, &m) {
+            out.push(p);
+        }
+    }
+    for site in constant_sites(base) {
+        let m = Mutation::ReplaceAssignValue {
+            line: site.line,
+            value: Expr::var("no_such_variable"),
+        };
+        if let Ok(p) = apply_mutation(base, &m) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[test]
+fn lint_agrees_with_the_typechecker_over_the_mutated_corpus() {
+    let mut typed = 0usize;
+    let mut rejected = 0usize;
+    for base_src in BASES {
+        let base = minic::parse_program(base_src).expect("base parses");
+        for program in std::iter::once(base.clone()).chain(mutants(&base)) {
+            let errors = minic::check_program(&program);
+            let diags = lint_program(&program, 16);
+            let type_diags: Vec<_> = diags
+                .iter()
+                .filter(|d| d.kind == DiagnosticKind::Type)
+                .collect();
+            if errors.is_empty() {
+                typed += 1;
+                assert!(
+                    type_diags.is_empty(),
+                    "lint invented a type error the checker never raised: {type_diags:?}"
+                );
+            } else {
+                rejected += 1;
+                // Every rejection reappears: same line, same message,
+                // error severity.
+                for error in &errors {
+                    assert!(
+                        type_diags.iter().any(|d| {
+                            d.line == error.line
+                                && d.message == error.message
+                                && d.severity == Severity::Error
+                        }),
+                        "checker rejection lost by lint: {error:?} not in {type_diags:?}"
+                    );
+                }
+            }
+            // Determinism: linting twice is byte-identical, and the output
+            // order is the documented (line, kind, message) sort.
+            assert_eq!(diags, lint_program(&program, 16));
+            let mut sorted = diags.clone();
+            sorted.sort_by(|a, b| {
+                (a.line, a.kind, a.message.as_str()).cmp(&(b.line, b.kind, b.message.as_str()))
+            });
+            assert_eq!(diags, sorted, "diagnostics are not sorted");
+        }
+    }
+    assert!(typed >= 10, "corpus too small: {typed} typed programs");
+    assert!(rejected >= 3, "corpus too small: {rejected} rejected programs");
+}
+
+#[test]
+fn tcas_versions_lint_without_type_diagnostics() {
+    // The whole injected-fault benchmark family stays well-typed, and the
+    // lint gate (definite uninit reads) never fires on it — the service
+    // must keep serving the paper's corpus with the gate enabled.
+    for version in siemens::tcas_versions() {
+        let program = version.build(siemens::TCAS_SOURCE);
+        let diags = lint_program(&program, 16);
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "tcas {} tripped the lint gate: {:?}",
+            version.name,
+            diags
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-check: the static relevance analysis must be a *superset* of the
+//! dynamic backward slice — a line the slice keeps can never be pruned —
+//! over the TCAS and Siemens corpus, under both criteria. On straight-line
+//! programs (no branches, loops, calls or assumes) the two must agree
+//! exactly.
+
+use analysis::{relevance, Criterion};
+use bmc::{backward_slice, SliceCriterion};
+use minic::ast::Line;
+use minic::Program;
+
+fn check_superset(program: &Program, entry: &str, label: &str) {
+    for (criterion, slice_criterion) in [
+        (Criterion::Assertions, SliceCriterion::Assertions),
+        (Criterion::ReturnValue, SliceCriterion::ReturnValue),
+    ] {
+        let slice = backward_slice(program, entry, slice_criterion);
+        let rel = relevance(program, entry, criterion);
+        let missing: Vec<Line> = slice
+            .relevant_lines
+            .iter()
+            .filter(|l| !rel.contains_line(**l))
+            .copied()
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "{label} ({criterion:?}): static relevance lost slice lines {missing:?}"
+        );
+        // Variable sets too: every slice-relevant variable stays relevant.
+        let missing_vars: Vec<&String> = slice
+            .relevant_vars
+            .iter()
+            .filter(|v| !rel.relevant_vars.contains(v))
+            .collect();
+        assert!(
+            missing_vars.is_empty(),
+            "{label} ({criterion:?}): static relevance lost slice vars {missing_vars:?}"
+        );
+    }
+}
+
+#[test]
+fn tcas_relevance_is_a_superset_of_the_slice() {
+    check_superset(&siemens::tcas_program(), siemens::TCAS_ENTRY, "tcas base");
+    for version in siemens::tcas_versions() {
+        let faulty = version.build(siemens::TCAS_SOURCE);
+        check_superset(
+            &faulty,
+            siemens::TCAS_ENTRY,
+            &format!("tcas {}", version.name),
+        );
+    }
+}
+
+#[test]
+fn siemens_benchmarks_relevance_is_a_superset_of_the_slice() {
+    for bench in siemens::table3_benchmarks() {
+        check_superset(&bench.program(), bench.entry, bench.name);
+        check_superset(
+            &bench.faulty_program(),
+            bench.entry,
+            &format!("{} (faulty)", bench.name),
+        );
+    }
+}
+
+/// Generates a random straight-line program: declarations and assignments
+/// over a few variables, one assertion at the end. No control flow, calls
+/// or assumes, so slice and relevance must agree exactly.
+fn random_straight_line(rng: &mut prng::SplitMix64, stmts: usize) -> String {
+    let vars = ["a", "b", "c", "d"];
+    let mut src = String::from("int main(int x, int y) {\n");
+    for v in &vars {
+        src.push_str(&format!("int {v} = {};\n", rng.gen_range(0i64..8)));
+    }
+    for _ in 0..stmts {
+        let target = vars[rng.gen_range(0usize..vars.len())];
+        let lhs = match rng.gen_range(0usize..6) {
+            0 => "x".to_string(),
+            1 => "y".to_string(),
+            n => vars[n - 2].to_string(),
+        };
+        let rhs = match rng.gen_range(0usize..6) {
+            0 => "x".to_string(),
+            1 => "y".to_string(),
+            n => vars[n - 2].to_string(),
+        };
+        let op = ["+", "-", "*"][rng.gen_range(0usize..3)];
+        src.push_str(&format!("{target} = {lhs} {op} {rhs};\n"));
+    }
+    let asserted = vars[rng.gen_range(0usize..vars.len())];
+    src.push_str(&format!("assert({asserted} != 7);\nreturn {asserted};\n}}\n"));
+    src
+}
+
+#[test]
+fn straight_line_programs_agree_exactly() {
+    let mut rng = prng::SplitMix64::seed_from_u64(0x51_1CE5);
+    for round in 0..50 {
+        let src = random_straight_line(&mut rng, 6 + (round % 7));
+        let program = minic::parse_program(&src).unwrap();
+        for (criterion, slice_criterion) in [
+            (Criterion::Assertions, SliceCriterion::Assertions),
+            (Criterion::ReturnValue, SliceCriterion::ReturnValue),
+        ] {
+            let slice = backward_slice(&program, "main", slice_criterion);
+            let rel = relevance(&program, "main", criterion);
+            assert_eq!(
+                slice.relevant_lines, rel.relevant_lines,
+                "round {round} ({criterion:?}) diverged on:\n{src}"
+            );
+        }
+    }
+}

@@ -888,6 +888,9 @@ fn main() {
         formula.get("vars_eliminated").and_then(Json::as_u64) > Some(0),
         "the CNF simplifier eliminated nothing across the whole run: {formula:?}"
     );
+    // Static-analysis totals (soft selectors hardened by the relevance
+    // prune, lint warnings observed) across every solved job of the run.
+    let analysis = stats.get("analysis").expect("analysis section").clone();
     server.shutdown();
 
     // The edit loop's reason to exist: re-localizing after an edit through
@@ -1066,6 +1069,7 @@ fn main() {
         ("queue", queue),
         ("solver", solver),
         ("formula", formula),
+        ("analysis", analysis),
     ]);
     let pretty = report.pretty();
     std::fs::write(&output, &pretty).expect("write benchmark json");

@@ -188,6 +188,53 @@ fn main() {
         )
     };
 
+    // --- static relevance prune: soft clauses before/after hardening -------
+    // Runs in every mode (including CI's `--samples 1` quick mode) and
+    // *asserted*: the prune must harden at least one TCAS selector, and the
+    // instance-size arithmetic must balance exactly — a silently disabled
+    // (or unsound) prune fails the build.
+    let prune = {
+        let on_config = localizer_config(Strategy::FuMalik, false);
+        let mut off_config = localizer_config(Strategy::FuMalik, false);
+        off_config.static_prune = false;
+        let on = Localizer::new(&faulty, TCAS_ENTRY, &spec, &on_config).expect("TCAS encodes");
+        let off = Localizer::new(&faulty, TCAS_ENTRY, &spec, &off_config).expect("TCAS encodes");
+        let on_report = on.localize(probe).expect("localization succeeds");
+        let off_report = off.localize(probe).expect("localization succeeds");
+        assert!(
+            on_report.stats.lines_pruned > 0,
+            "static prune hardened no TCAS selectors: {:?}",
+            on_report.stats
+        );
+        assert_eq!(
+            on_report.stats.soft_clauses + on_report.stats.lines_pruned as usize,
+            off_report.stats.soft_clauses,
+            "prune arithmetic does not balance on TCAS"
+        );
+        assert_eq!(
+            (&on_report.suspects, &on_report.suspect_lines),
+            (&off_report.suspects, &off_report.suspect_lines),
+            "pruning changed the TCAS report"
+        );
+        for (label, value) in [
+            ("lines_pruned", on_report.stats.lines_pruned),
+            ("soft_clauses_pruned", on_report.stats.soft_clauses as u64),
+            ("soft_clauses_unpruned", off_report.stats.soft_clauses as u64),
+            ("prune_ms", on_report.stats.prune_ms as u64),
+        ] {
+            group.counter(label, value);
+        }
+        format!(
+            "  \"static_prune\": {{\n    \"lines_pruned\": {},\n    \"soft_clauses_pruned\": {},\n    \"soft_clauses_unpruned\": {},\n    \"soft_reduction\": {:.3},\n    \"prune_ms\": {},\n    \"lint_warnings\": {}\n  }},",
+            on_report.stats.lines_pruned,
+            on_report.stats.soft_clauses,
+            off_report.stats.soft_clauses,
+            1.0 - on_report.stats.soft_clauses as f64 / off_report.stats.soft_clauses as f64,
+            on_report.stats.prune_ms,
+            on_report.stats.lint_warnings,
+        )
+    };
+
     // --- single-extraction comparison: each strategy and the portfolio -----
     let mut strategy_ms: Vec<(String, f64)> = Vec::new();
     for (label, strategy, portfolio) in [
@@ -252,7 +299,7 @@ fn main() {
         .map(|(label, ms)| format!("    \"{label}_ms\": {ms:.3}"))
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"tcas_v1_localization\",\n  \"pool\": {{\"size\": 300, \"seed\": 2011}},\n  \"encode\": {{\"width\": 16, \"unwind\": 6}},\n  \"max_suspect_sets\": 4,\n  \"samples_per_measurement\": {samples},\n  \"hardware_threads\": {hardware_threads},\n  \"portfolio_mode\": \"{}\",\n{diet}\n{word}\n  \"single_extraction\": {{\n{}\n  }},\n  \"forced_race_chain120_ms\": {forced_race_ms:.3},\n  \"fu_malik_chain120_solver\": {{\n    \"sat_calls\": {},\n    \"conflicts\": {},\n    \"reduce_dbs\": {},\n    \"removed_learnts\": {},\n    \"arena_bytes\": {}\n  }},\n  \"batch\": {{\n    \"failing_tests\": {},\n    \"sequential_loop_ms\": {sequential_ms:.3},\n    \"localize_batch_ms\": {batched_ms:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"tcas_v1_localization\",\n  \"pool\": {{\"size\": 300, \"seed\": 2011}},\n  \"encode\": {{\"width\": 16, \"unwind\": 6}},\n  \"max_suspect_sets\": 4,\n  \"samples_per_measurement\": {samples},\n  \"hardware_threads\": {hardware_threads},\n  \"portfolio_mode\": \"{}\",\n{diet}\n{word}\n{prune}\n  \"single_extraction\": {{\n{}\n  }},\n  \"forced_race_chain120_ms\": {forced_race_ms:.3},\n  \"fu_malik_chain120_solver\": {{\n    \"sat_calls\": {},\n    \"conflicts\": {},\n    \"reduce_dbs\": {},\n    \"removed_learnts\": {},\n    \"arena_bytes\": {}\n  }},\n  \"batch\": {{\n    \"failing_tests\": {},\n    \"sequential_loop_ms\": {sequential_ms:.3},\n    \"localize_batch_ms\": {batched_ms:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
         if hardware_threads >= 2 {
             "threaded_race"
         } else {

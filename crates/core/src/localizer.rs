@@ -22,7 +22,7 @@ use minic::ast::Line;
 use minic::delta::{classify_edit, reachable_functions, segment_program, EditClass, LineMap};
 use minic::Program;
 use sat::Lit;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -78,6 +78,21 @@ pub struct LocalizerConfig {
     /// and per-test hard units still mean what they meant. Disable to get
     /// the raw bit-blasted formula.
     pub simplify: bool,
+    /// Run the static backward-relevance analysis ([`analysis::relevance`])
+    /// and treat every statically-irrelevant line like a trusted line —
+    /// its selector is asserted hard, shrinking the soft set before any
+    /// MAX-SAT work (default `true`). Sound by construction: a pruned line
+    /// provably cannot influence the property, so it can never appear in
+    /// any CoMSS and the report is byte-identical with pruning on or off
+    /// (only the instance-size counters differ).
+    pub static_prune: bool,
+    /// Weight soft clauses by the static suspiciousness prior
+    /// ([`analysis::suspiciousness`]): lines close to the failing property
+    /// in def-use hops, deeper in control dependence, or flagged by the
+    /// interval analysis become *cheaper* to blame (default `false` — the
+    /// weighted instance can legitimately reorder equal-cost suspects, so
+    /// it is opt-in and part of the cache key).
+    pub static_priors: bool,
 }
 
 impl Default for LocalizerConfig {
@@ -92,6 +107,8 @@ impl Default for LocalizerConfig {
             trusted_lines: Vec::new(),
             portfolio: false,
             simplify: true,
+            static_prune: true,
+            static_priors: false,
         }
     }
 }
@@ -179,6 +196,18 @@ pub struct LocalizerStats {
     /// Total bits the word-level interval analysis shaved off narrowed
     /// arithmetic during bit-blasting.
     pub bits_narrowed: u64,
+    /// Distinct non-trusted statement lines whose selectors the static
+    /// relevance analysis hardened ([`LocalizerConfig::static_prune`]) —
+    /// lines that provably cannot appear in any CoMSS.
+    pub lines_pruned: u64,
+    /// Wall-clock milliseconds the static analyses (relevance, priors,
+    /// lint) took. Paid once in [`Localizer::new`] and carried by every
+    /// report of that localizer, like [`LocalizerStats::simplify_ms`].
+    pub prune_ms: u128,
+    /// Warning-severity diagnostics the MinC lint pass found in the
+    /// program (computed alongside the pruning analysis; 0 when both
+    /// static options are off).
+    pub lint_warnings: u64,
 }
 
 /// The complete result of localizing one failing execution.
@@ -288,6 +317,10 @@ struct Selector {
     unwindings: Vec<Option<usize>>,
     weight: u64,
     trusted: bool,
+    /// Statically irrelevant: asserted hard like a trusted line, but
+    /// tracked separately so [`LocalizerStats::lines_pruned`] counts only
+    /// the analysis's contribution and the user's trusted set stays intact.
+    pruned: bool,
 }
 
 /// The input-independent part of the extended trace formula. Building it
@@ -517,9 +550,64 @@ pub struct Localizer {
     entry: String,
     spec: Spec,
     program_lines: usize,
+    /// Statically-irrelevant statement lines (sorted), computed in
+    /// [`Localizer::new`] when [`LocalizerConfig::static_prune`] is on.
+    pruned_lines: Vec<Line>,
+    /// Static suspiciousness prior, computed when
+    /// [`LocalizerConfig::static_priors`] is on.
+    priors: Option<analysis::Suspiciousness>,
+    /// Warning-severity lint diagnostics found in the program.
+    lint_warnings: u64,
+    /// Milliseconds the static analyses took.
+    prune_ms: u128,
     /// The input-independent extended trace formula, built lazily on first
     /// use and shared by every subsequent `localize` call (and thread).
     prepared: OnceLock<PreparedFormula>,
+}
+
+/// The analysis criterion a [`Spec`] localizes against.
+fn criterion_of_spec(spec: &Spec) -> analysis::Criterion {
+    match spec {
+        Spec::Assertions => analysis::Criterion::Assertions,
+        // `ReturnEquals` checks the assertions *and* the golden output; the
+        // `ReturnValue` criterion seeds both (assertion seeds are
+        // unconditional in the relevance analysis).
+        Spec::ReturnEquals(_) => analysis::Criterion::ReturnValue,
+    }
+}
+
+/// The static-analysis bundle [`Localizer::new`] and
+/// [`Localizer::from_restored`] compute: prunable lines, priors, lint
+/// warning count and the time all of it took.
+fn analyze_program(
+    program: &Program,
+    entry: &str,
+    spec: &Spec,
+    config: &LocalizerConfig,
+) -> (Vec<Line>, Option<analysis::Suspiciousness>, u64, u128) {
+    if !config.static_prune && !config.static_priors {
+        return (Vec::new(), None, 0, 0);
+    }
+    let started = Instant::now();
+    let criterion = criterion_of_spec(spec);
+    let pruned_lines = if config.static_prune {
+        analysis::prunable_lines(program, entry, criterion)
+    } else {
+        Vec::new()
+    };
+    let priors = config
+        .static_priors
+        .then(|| analysis::suspiciousness(program, entry, criterion));
+    let lint_warnings = analysis::lint_program(program, config.encode.width)
+        .iter()
+        .filter(|d| d.severity == analysis::Severity::Warning)
+        .count() as u64;
+    (
+        pruned_lines,
+        priors,
+        lint_warnings,
+        started.elapsed().as_millis(),
+    )
 }
 
 impl Localizer {
@@ -535,12 +623,18 @@ impl Localizer {
         config: &LocalizerConfig,
     ) -> Result<Localizer, LocalizeError> {
         let trace = encode_program(program, entry, spec, &config.encode)?;
+        let (pruned_lines, priors, lint_warnings, prune_ms) =
+            analyze_program(program, entry, spec, config);
         Ok(Localizer {
             trace,
             config: config.clone(),
             entry: entry.to_string(),
             spec: spec.clone(),
             program_lines: program.statement_lines().len(),
+            pruned_lines,
+            priors,
+            lint_warnings,
+            prune_ms,
             prepared: OnceLock::new(),
         })
     }
@@ -564,6 +658,8 @@ impl Localizer {
             && a.base_weight == b.base_weight
             && a.portfolio == b.portfolio
             && a.simplify == b.simplify
+            && a.static_prune == b.static_prune
+            && a.static_priors == b.static_priors
     }
 
     /// Delta preparation: builds a localizer for `new_program` — an edited
@@ -662,6 +758,12 @@ impl Localizer {
         for group in &mut trace.groups {
             group.line = map.remap(group.line);
         }
+        // A pure line shift (or dead-function edit) leaves the analysis
+        // result intact modulo line labels — relevance and priors are
+        // structural — so the pruned set and the prior scores are remapped
+        // like the blame lines, never recomputed.
+        let pruned_lines: Vec<Line> = self.pruned_lines.iter().map(|&l| map.remap(l)).collect();
+        let priors = self.priors.as_ref().map(|p| p.remap(|l| Some(map.remap(l))));
         let prepared = OnceLock::new();
         if let Some(old) = self.prepared.get() {
             let selectors = old
@@ -672,6 +774,8 @@ impl Localizer {
                     Selector {
                         lit: s.lit,
                         trusted: lines.iter().any(|l| config.trusted_lines.contains(l)),
+                        pruned: !lines.is_empty()
+                            && lines.iter().all(|l| pruned_lines.binary_search(l).is_ok()),
                         lines,
                         unwindings: s.unwindings.clone(),
                         weight: s.weight,
@@ -693,6 +797,10 @@ impl Localizer {
             entry: self.entry.clone(),
             spec: self.spec.clone(),
             program_lines: new_program.statement_lines().len(),
+            pruned_lines,
+            priors,
+            lint_warnings: self.lint_warnings,
+            prune_ms: self.prune_ms,
             prepared,
         }
     }
@@ -730,9 +838,12 @@ impl Localizer {
     /// Rebuilds a warm-from-birth localizer from a persisted snapshot: the
     /// trace and template are taken verbatim (exactly what [`Localizer::new`]
     /// plus [`Localizer::warm`] would have produced for the same program and
-    /// options), while the trusted-line flags are recomputed from `config` —
-    /// mirroring the relabel reuse path — so the persisted bytes never
-    /// override the caller's current trusted set.
+    /// options), while the trusted-line flags — and the static-analysis
+    /// results behind [`LocalizerConfig::static_prune`] and
+    /// [`LocalizerConfig::static_priors`], which are cheap and never
+    /// persisted — are recomputed from `program` and `config`, mirroring
+    /// the relabel reuse path, so the persisted bytes never override the
+    /// caller's current trusted or pruned sets.
     ///
     /// The caller is responsible for only pairing a snapshot with the trace
     /// and options it was exported under; the service keys store records by
@@ -743,14 +854,18 @@ impl Localizer {
         entry: &str,
         spec: &Spec,
         config: &LocalizerConfig,
-        program_lines: usize,
+        program: &Program,
     ) -> Localizer {
+        let (pruned_lines, priors, lint_warnings, prune_ms) =
+            analyze_program(program, entry, spec, config);
         let selectors = template
             .selectors
             .into_iter()
             .map(|(lit, lines, unwindings, weight)| Selector {
                 lit,
                 trusted: lines.iter().any(|l| config.trusted_lines.contains(l)),
+                pruned: !lines.is_empty()
+                    && lines.iter().all(|l| pruned_lines.binary_search(l).is_ok()),
                 lines,
                 unwindings,
                 weight,
@@ -772,7 +887,11 @@ impl Localizer {
             config: config.clone(),
             entry: entry.to_string(),
             spec: spec.clone(),
-            program_lines,
+            program_lines: program.statement_lines().len(),
+            pruned_lines,
+            priors,
+            lint_warnings,
+            prune_ms,
             prepared,
         }
     }
@@ -799,6 +918,21 @@ impl Localizer {
         self.program_lines
     }
 
+    /// `true` when the static relevance analysis proved `line` cannot
+    /// influence the property.
+    fn line_pruned(&self, line: Line) -> bool {
+        self.pruned_lines.binary_search(&line).is_ok()
+    }
+
+    /// The soft weight of a selector for `line`, given the granularity
+    /// weight `base` — the prior surcharge stacks on top of loop weighting.
+    fn selector_weight(&self, line: Line, base: u64) -> u64 {
+        match &self.priors {
+            Some(priors) => priors.weight(line, base),
+            None => base,
+        }
+    }
+
     /// Builds the selector set according to the configured granularity.
     fn build_selectors(&self, instance: &mut MaxSatInstance) -> Vec<Selector> {
         let unwind = self.config.encode.unwind as u64;
@@ -815,8 +949,9 @@ impl Localizer {
                         lit,
                         lines: vec![line],
                         unwindings: vec![None],
-                        weight: self.config.base_weight,
+                        weight: self.selector_weight(line, self.config.base_weight),
                         trusted: self.config.trusted_lines.contains(&line),
+                        pruned: self.line_pruned(line),
                     });
                     let _ = groups;
                 }
@@ -837,8 +972,9 @@ impl Localizer {
                         lit,
                         lines: vec![group.line],
                         unwindings: vec![group.unwinding],
-                        weight,
+                        weight: self.selector_weight(group.line, weight),
                         trusted: self.config.trusted_lines.contains(&group.line),
+                        pruned: self.line_pruned(group.line),
                     });
                 }
             }
@@ -1033,9 +1169,11 @@ impl Localizer {
         }
         // p : the violated assertion must hold — hard.
         base.add_hard(vec![self.trace.property]);
-        // Trusted statements can never be switched off.
+        // Trusted statements can never be switched off — and neither can
+        // statically-pruned ones, which provably cannot influence the
+        // property, so hardening them only shrinks the soft set.
         for selector in selectors {
-            if selector.trusted {
+            if selector.trusted || selector.pruned {
                 base.add_hard(vec![selector.lit]);
             }
         }
@@ -1047,9 +1185,17 @@ impl Localizer {
         };
         let mut solver = MaxSatSolver::new(strategy);
         solver.set_budget(budget);
+        let pruned_lines: BTreeSet<Line> = selectors
+            .iter()
+            .filter(|s| s.pruned && !s.trusted)
+            .flat_map(|s| s.lines.iter().copied())
+            .collect();
         let mut stats = LocalizerStats {
-            soft_clauses: selectors.iter().filter(|s| !s.trusted).count(),
+            soft_clauses: selectors.iter().filter(|s| !s.trusted && !s.pruned).count(),
             hard_clauses: base.num_hard(),
+            lines_pruned: pruned_lines.len() as u64,
+            prune_ms: self.prune_ms,
+            lint_warnings: self.lint_warnings,
             variables: base.num_vars(),
             prepare_ms,
             encode_gates_cached: self.trace.stats.gates_cached,
@@ -1068,7 +1214,7 @@ impl Localizer {
         let mut complete = true;
         // Selectors still allowed to be blamed.
         let mut active: Vec<usize> = (0..selectors.len())
-            .filter(|&i| !selectors[i].trusted)
+            .filter(|&i| !selectors[i].trusted && !selectors[i].pruned)
             .collect();
         // Blocking clauses accumulated so far (hard).
         let mut blocking: Vec<Vec<Lit>> = Vec::new();
@@ -1764,6 +1910,119 @@ mod tests {
             "trusted line blamed: {report:?}"
         );
         assert!(report.blames_line(Line(4)) || report.blames_line(Line(5)));
+    }
+
+    #[test]
+    fn static_prune_shrinks_the_instance_without_changing_the_report() {
+        // Lines 3 and 4 cannot influence the return value; pruning hardens
+        // their selectors, the soft set shrinks, and the report stays
+        // byte-identical (modulo the instance-size counters).
+        let program = parse_program(
+            "int main(int x) {\nint y = x + 2;\nint junk = x * 3;\nint junk2 = junk + 1;\nreturn y;\n}",
+        )
+        .unwrap();
+        let mut off = config8();
+        off.static_prune = false;
+        let pruned = Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config8()).unwrap();
+        let raw = Localizer::new(&program, "main", &Spec::ReturnEquals(4), &off).unwrap();
+        let (a, b) = (pruned.localize(&[3]).unwrap(), raw.localize(&[3]).unwrap());
+        assert_eq!(a.suspects, b.suspects);
+        assert_eq!(a.suspect_lines, b.suspect_lines);
+        assert_eq!(a.complete, b.complete);
+        assert!(a.stats.lines_pruned >= 2, "{:?}", a.stats);
+        assert_eq!(b.stats.lines_pruned, 0);
+        assert_eq!(
+            a.stats.soft_clauses + a.stats.lines_pruned as usize,
+            b.stats.soft_clauses
+        );
+        assert!(!a.blames_line(Line(3)) && !a.blames_line(Line(4)));
+    }
+
+    #[test]
+    fn pruned_trusted_overlap_counts_as_trusted() {
+        // A line both trusted and pruned is hardened once and attributed to
+        // the trusted set, not the pruning counter.
+        let program = parse_program(
+            "int main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}",
+        )
+        .unwrap();
+        let mut config = config8();
+        config.trusted_lines = vec![Line(3)];
+        let localizer =
+            Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        let report = localizer.localize(&[3]).unwrap();
+        assert_eq!(report.stats.lines_pruned, 0, "{:?}", report.stats);
+        assert!(!report.blames_line(Line(3)));
+    }
+
+    #[test]
+    fn static_priors_weighted_run_still_blames_the_fault() {
+        let program = motivating_example();
+        let mut config = config8();
+        config.static_priors = true;
+        let localizer = Localizer::new(&program, "testme", &Spec::Assertions, &config).unwrap();
+        let report = localizer.localize(&[1]).unwrap();
+        assert!(report.blames_line(Line(6)), "report: {report:?}");
+        assert!(report.blames_line(Line(3)), "report: {report:?}");
+        // The weighted instance pays more than base weight for rank 0 only
+        // if the cheapest CoMSS is off the most-suspicious line; either way
+        // the cost reflects the prior weights, not the uniform base.
+        assert!(report.suspects[0].cost >= 1);
+    }
+
+    #[test]
+    fn static_options_gate_delta_reuse() {
+        let program = parse_program("int main(int x) {\nint y = x + 2;\nreturn y;\n}").unwrap();
+        let config = config8();
+        let old = Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        let mut no_prune = config.clone();
+        no_prune.static_prune = false;
+        let (_, delta) = old
+            .reprepare(&program, &program, "main", &Spec::ReturnEquals(4), &no_prune)
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::RebuiltConfig);
+        let mut priors = config.clone();
+        priors.static_priors = true;
+        let (_, delta) = old
+            .reprepare(&program, &program, "main", &Spec::ReturnEquals(4), &priors)
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::RebuiltConfig);
+    }
+
+    #[test]
+    fn reprepare_line_shift_remaps_the_pruned_set() {
+        // Blank line on top: the junk statement moves 3 -> 4, and the
+        // relabeled localizer must keep pruning it at its new coordinate.
+        let old_program = parse_program(
+            "int main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}",
+        )
+        .unwrap();
+        let new_program = parse_program(
+            "\nint main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}",
+        )
+        .unwrap();
+        let config = config8();
+        let old = Localizer::new(&old_program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        old.warm();
+        let before = old.localize(&[3]).unwrap();
+        assert!(before.stats.lines_pruned >= 1);
+        let (revised, delta) = old
+            .reprepare(
+                &old_program,
+                &new_program,
+                "main",
+                &Spec::ReturnEquals(4),
+                &config,
+            )
+            .unwrap();
+        assert_eq!(delta, DeltaPrepare::Relabeled);
+        assert_eq!(revised.warm(), 0);
+        let after = revised.localize(&[3]).unwrap();
+        assert_eq!(after.stats.lines_pruned, before.stats.lines_pruned);
+        let cold = Localizer::new(&new_program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        let expected = cold.localize(&[3]).unwrap();
+        assert_eq!(after.suspects, expected.suspects);
+        assert_eq!(after.stats.lines_pruned, expected.stats.lines_pruned);
     }
 
     #[test]

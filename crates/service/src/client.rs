@@ -384,6 +384,26 @@ impl Client {
         })
     }
 
+    /// Lints a program without encoding it: returns the daemon's
+    /// structured diagnostics array (objects with `line`, `kind`,
+    /// `severity`, `message`), sorted by line. `width` is the encoding
+    /// width the truncation lint checks literals against.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with kind `parse_error` when the program
+    /// does not parse; transport and protocol errors as usual.
+    pub fn analyze(&mut self, program: impl Into<String>, width: usize) -> Result<Json, ClientError> {
+        let value = self.call(Request::Analyze {
+            program: program.into(),
+            width,
+        })?;
+        value
+            .get("diagnostics")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol(format!("analyze without diagnostics: {value}")))
+    }
+
     /// Liveness probe; returns the daemon's uptime in milliseconds.
     ///
     /// # Errors

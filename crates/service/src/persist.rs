@@ -31,8 +31,9 @@ use std::sync::Arc;
 /// Version byte of the payload layout inside a store record. Bumping
 /// [`store::FORMAT_VERSION`] invalidates records wholesale at the framing
 /// layer; this byte exists so a payload-only layout change can do the same
-/// without a store format bump.
-pub const PAYLOAD_VERSION: u8 = 1;
+/// without a store format bump. Version 2 added the `static_prune` /
+/// `static_priors` option bytes.
+pub const PAYLOAD_VERSION: u8 = 2;
 
 /// Serializes a warm prepared entry into a store payload, or `None` when
 /// the entry's localizer was never warmed (nothing worth persisting).
@@ -69,6 +70,8 @@ pub fn encode_entry(entry: &PreparedEntry) -> Option<Vec<u8>> {
     w.write_u8(u8::from(o.gate_cache));
     w.write_u8(u8::from(o.word_passes));
     w.write_u8(u8::from(o.simplify));
+    w.write_u8(u8::from(o.static_prune));
+    w.write_u8(u8::from(o.static_priors));
     w.write_usize(o.trusted_lines.len());
     for line in &o.trusted_lines {
         w.write_u32(*line);
@@ -144,6 +147,8 @@ pub fn decode_entry(payload: &[u8]) -> Result<(u64, u64, PreparedEntry), DecodeE
     let gate_cache = decode_bool(&mut r, "gate_cache")?;
     let word_passes = decode_bool(&mut r, "word_passes")?;
     let simplify = decode_bool(&mut r, "simplify")?;
+    let static_prune = decode_bool(&mut r, "static_prune")?;
+    let static_priors = decode_bool(&mut r, "static_priors")?;
     let num_trusted = r.read_len(4)?;
     let mut trusted_lines = Vec::with_capacity(num_trusted);
     for _ in 0..num_trusted {
@@ -162,6 +167,8 @@ pub fn decode_entry(payload: &[u8]) -> Result<(u64, u64, PreparedEntry), DecodeE
         gate_cache,
         word_passes,
         simplify,
+        static_prune,
+        static_priors,
         trusted_lines,
     };
     let trace = bmc::SymbolicTrace::decode_bytes(&mut r)?;
@@ -185,7 +192,7 @@ pub fn decode_entry(payload: &[u8]) -> Result<(u64, u64, PreparedEntry), DecodeE
         &job.entry,
         &job.bmc_spec(),
         &job.localizer_config(),
-        program.statement_lines().len(),
+        &program,
     );
     let entry = PreparedEntry::new(program, &job, Arc::new(localizer));
     Ok((key, fingerprint, entry))

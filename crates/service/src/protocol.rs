@@ -1,13 +1,14 @@
 //! The newline-delimited JSON wire protocol of the localization service.
 //!
 //! One request per line, one response per line, both single JSON objects.
-//! Seven operations:
+//! Eight operations:
 //!
 //! | `op`        | payload                                  | response payload      |
 //! |-------------|------------------------------------------|-----------------------|
 //! | `localize`  | a [`Job`] with exactly one failing input | `report`, `key`       |
 //! | `revise`    | a [`Job`] + `prev_key` of the pre-edit cache entry | `report`, `key`, `delta`, `reused` |
 //! | `batch`     | a [`Job`] with any number of inputs      | `ranked`, `key`       |
+//! | `analyze`   | `program` (+ optional `width`)           | `diagnostics`: the static lint findings |
 //! | `health`    | —                                        | `status`, `uptime_ms` |
 //! | `stats`     | —                                        | cache/queue/solver/store counters |
 //! | `metrics`   | —                                        | `text`: the same counters as Prometheus text exposition |
@@ -154,6 +155,8 @@ impl Job {
         h.write_u8(u8::from(o.gate_cache));
         h.write_u8(u8::from(o.word_passes));
         h.write_u8(u8::from(o.simplify));
+        h.write_u8(u8::from(o.static_prune));
+        h.write_u8(u8::from(o.static_priors));
         h.write_usize(o.trusted_lines.len());
         for line in &o.trusted_lines {
             h.write_u64(u64::from(*line));
@@ -197,6 +200,8 @@ impl Job {
         h.write_u8(u8::from(o.gate_cache));
         h.write_u8(u8::from(o.word_passes));
         h.write_u8(u8::from(o.simplify));
+        h.write_u8(u8::from(o.static_prune));
+        h.write_u8(u8::from(o.static_priors));
         h.write_usize(o.trusted_lines.len());
         for line in &o.trusted_lines {
             h.write_u64(u64::from(*line));
@@ -224,6 +229,8 @@ impl Job {
             trusted_lines: o.trusted_lines.iter().map(|&l| Line(l)).collect(),
             portfolio: o.portfolio,
             simplify: o.simplify,
+            static_prune: o.static_prune,
+            static_priors: o.static_priors,
         }
     }
 
@@ -272,6 +279,10 @@ pub struct JobOptions {
     pub word_passes: bool,
     /// Preprocess the prepared hard clauses (selector-aware simplification).
     pub simplify: bool,
+    /// Harden selectors of statically-irrelevant lines before solving.
+    pub static_prune: bool,
+    /// Weight soft clauses by the static suspiciousness prior.
+    pub static_priors: bool,
     /// Line numbers that must never be blamed.
     pub trusted_lines: Vec<u32>,
 }
@@ -292,6 +303,8 @@ impl Default for JobOptions {
             gate_cache: base.encode.gate_cache,
             word_passes: base.encode.word_passes,
             simplify: base.simplify,
+            static_prune: base.static_prune,
+            static_priors: base.static_priors,
             trusted_lines: Vec::new(),
         }
     }
@@ -322,6 +335,14 @@ pub enum Request {
     },
     /// Localize every input of a job and merge into a frequency ranking.
     Batch(Job),
+    /// Run the static lint pass over a program and return its structured
+    /// diagnostics without encoding or solving anything; never queued.
+    Analyze {
+        /// MinC source text to lint.
+        program: String,
+        /// Encoding width the truncation lint checks constants against.
+        width: usize,
+    },
     /// Liveness probe; never queued.
     Health,
     /// Cache / queue / solver counters; never queued.
@@ -339,6 +360,7 @@ impl Request {
             Request::Localize(_) => "localize",
             Request::Revise { .. } => "revise",
             Request::Batch(_) => "batch",
+            Request::Analyze { .. } => "analyze",
             Request::Health => "health",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
@@ -417,6 +439,8 @@ fn job_fields(job: &Job, pairs: &mut Vec<(String, Json)>) {
     push(pairs, "gate_cache", Json::Bool(o.gate_cache));
     push(pairs, "word_passes", Json::Bool(o.word_passes));
     push(pairs, "simplify", Json::Bool(o.simplify));
+    push(pairs, "static_prune", Json::Bool(o.static_prune));
+    push(pairs, "static_priors", Json::Bool(o.static_priors));
     push(
         pairs,
         "trusted_lines",
@@ -443,6 +467,10 @@ pub fn encode_request(envelope: &Envelope) -> String {
         Request::Revise { job, prev_key } => {
             job_fields(job, &mut pairs);
             pairs.push(("prev_key".to_string(), Json::from(*prev_key)));
+        }
+        Request::Analyze { program, width } => {
+            pairs.push(("program".to_string(), Json::str(program.clone())));
+            pairs.push(("width".to_string(), Json::from(*width)));
         }
         Request::Health | Request::Stats | Request::Metrics | Request::Shutdown => {}
     }
@@ -561,6 +589,16 @@ fn parse_job(value: &Json) -> Result<Job, ProtocolError> {
             .as_bool()
             .ok_or_else(|| bad("simplify must be a boolean"))?;
     }
+    if let Some(v) = value.get("static_prune") {
+        options.static_prune = v
+            .as_bool()
+            .ok_or_else(|| bad("static_prune must be a boolean"))?;
+    }
+    if let Some(v) = value.get("static_priors") {
+        options.static_priors = v
+            .as_bool()
+            .ok_or_else(|| bad("static_priors must be a boolean"))?;
+    }
     if let Some(v) = value.get("trusted_lines") {
         let lines = v
             .as_arr()
@@ -636,6 +674,18 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtocolError> {
             Request::Revise { job, prev_key }
         }
         "batch" => Request::Batch(parse_job(&value)?),
+        "analyze" => {
+            let program = value
+                .get("program")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing string field program"))?
+                .to_string();
+            let width = match value.get("width") {
+                None => JobOptions::default().width,
+                Some(v) => parse_usize(v, "width")?,
+            };
+            Request::Analyze { program, width }
+        }
         "health" => Request::Health,
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
@@ -699,6 +749,9 @@ fn stats_to_json(stats: &LocalizerStats) -> Json {
         ("word_nodes_folded", Json::from(stats.word_nodes_folded)),
         ("word_cse_hits", Json::from(stats.word_cse_hits)),
         ("bits_narrowed", Json::from(stats.bits_narrowed)),
+        ("lines_pruned", Json::from(stats.lines_pruned)),
+        ("prune_ms", Json::from(stats.prune_ms)),
+        ("lint_warnings", Json::from(stats.lint_warnings)),
     ])
 }
 
@@ -755,8 +808,8 @@ pub fn ranked_to_json(ranked: &RankedReport) -> Json {
 }
 
 /// Rewrites a report/ranked JSON tree with every timing field (`elapsed_ms`,
-/// `prepare_ms`, `simplify_ms`) zeroed, leaving all semantic content
-/// intact. Serializing
+/// `prepare_ms`, `simplify_ms`, `prune_ms`) zeroed, leaving all semantic
+/// content intact. Serializing
 /// the result gives a *canonical* byte string: two runs of the same job —
 /// through the daemon or directly through [`bugassist::Localizer`] — must
 /// produce identical canonical bytes, which is exactly what the service
@@ -767,7 +820,8 @@ pub fn canonicalize(value: &Json) -> Json {
             pairs
                 .iter()
                 .map(|(k, v)| {
-                    if k == "elapsed_ms" || k == "prepare_ms" || k == "simplify_ms" {
+                    if k == "elapsed_ms" || k == "prepare_ms" || k == "simplify_ms" || k == "prune_ms"
+                    {
                         (k.clone(), Json::Int(0))
                     } else {
                         (k.clone(), canonicalize(v))
@@ -818,6 +872,10 @@ mod tests {
                 prev_key: u64::MAX - 12345,
             },
             Request::Batch(sample_job()),
+            Request::Analyze {
+                program: "int main(int x) {\nint y;\nreturn y;\n}".to_string(),
+                width: 16,
+            },
             Request::Health,
             Request::Stats,
             Request::Metrics,
@@ -892,7 +950,11 @@ mod tests {
         gran.options.granularity = Granularity::StatementInstance;
         let mut unwind = job.clone();
         unwind.options.unwind += 1;
-        for changed in [&width, &spec, &gran, &unwind] {
+        let mut prune = job.clone();
+        prune.options.static_prune = !prune.options.static_prune;
+        let mut priors = job.clone();
+        priors.options.static_priors = !priors.options.static_priors;
+        for changed in [&width, &spec, &gran, &unwind, &prune, &priors] {
             assert_ne!(changed.cache_key(&program), base);
         }
     }
@@ -925,7 +987,11 @@ mod tests {
         simplify.options.simplify = !simplify.options.simplify;
         let mut trusted = job.clone();
         trusted.options.trusted_lines = vec![];
-        for changed in [&entry, &spec, &width, &simplify, &trusted] {
+        let mut prune = job.clone();
+        prune.options.static_prune = !prune.options.static_prune;
+        let mut priors = job.clone();
+        priors.options.static_priors = !priors.options.static_priors;
+        for changed in [&entry, &spec, &width, &simplify, &trusted, &prune, &priors] {
             assert_ne!(changed.options_fingerprint(), base);
         }
     }
@@ -933,13 +999,13 @@ mod tests {
     #[test]
     fn canonicalize_zeroes_only_timing() {
         let value = Json::parse(
-            r#"{"stats":{"elapsed_ms":12,"prepare_ms":3,"maxsat_calls":2},"nested":[{"prepare_ms":9}]}"#,
+            r#"{"stats":{"elapsed_ms":12,"prepare_ms":3,"prune_ms":7,"maxsat_calls":2,"lines_pruned":4},"nested":[{"prepare_ms":9}]}"#,
         )
         .unwrap();
         let canonical = canonicalize(&value);
         assert_eq!(
             canonical.to_string(),
-            r#"{"stats":{"elapsed_ms":0,"prepare_ms":0,"maxsat_calls":2},"nested":[{"prepare_ms":0}]}"#
+            r#"{"stats":{"elapsed_ms":0,"prepare_ms":0,"prune_ms":0,"maxsat_calls":2,"lines_pruned":4},"nested":[{"prepare_ms":0}]}"#
         );
     }
 

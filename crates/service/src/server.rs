@@ -136,6 +136,10 @@ struct LastJob {
     word_nodes_folded: u64,
     word_cse_hits: u64,
     bits_narrowed: u64,
+    /// Static-analysis counters of the served localizer.
+    lines_pruned: u64,
+    prune_ms: u128,
+    lint_warnings: u64,
 }
 
 /// Which queued operation a job performs.
@@ -228,6 +232,11 @@ struct ServerState {
     total_word_nodes_folded: AtomicU64,
     total_word_cse_hits: AtomicU64,
     total_bits_narrowed: AtomicU64,
+    /// Static-analysis totals: `analyze` requests answered, soft selectors
+    /// hardened by the relevance prune, lint warnings observed.
+    analyze_requests: AtomicU64,
+    total_lines_pruned: AtomicU64,
+    total_lint_warnings: AtomicU64,
     last_job: Mutex<Option<LastJob>>,
     /// Number of live connection threads, with a condvar for shutdown to
     /// wait on (connection threads are detached, never joined).
@@ -262,13 +271,16 @@ impl ServerState {
     /// The machine-readable `kind` of a prepared-cache build error. Builds
     /// run behind a single-flight slot and can only report a `String`, so
     /// every build error is prefixed at its source (`parse error: …`,
-    /// `type error: …`, `encode error: …`, `internal error: …`) and
-    /// classified here — the one place the mapping lives.
+    /// `type error: …`, `lint error: …`, `encode error: …`,
+    /// `internal error: …`) and classified here — the one place the
+    /// mapping lives.
     fn build_error_kind(message: &str) -> &'static str {
         if message.starts_with("parse error") {
             "parse_error"
         } else if message.starts_with("type error") {
             "type_error"
+        } else if message.starts_with("lint error") {
+            "lint_error"
         } else if message.starts_with("encode error") {
             "encode_error"
         } else if message.starts_with("internal error") {
@@ -318,6 +330,9 @@ impl ServerState {
                 ("word_nodes_folded", Json::from(last.word_nodes_folded)),
                 ("word_cse_hits", Json::from(last.word_cse_hits)),
                 ("bits_narrowed", Json::from(last.bits_narrowed)),
+                ("lines_pruned", Json::from(last.lines_pruned)),
+                ("prune_ms", Json::from(last.prune_ms)),
+                ("lint_warnings", Json::from(last.lint_warnings)),
             ]),
         };
         Json::obj(vec![
@@ -430,6 +445,23 @@ impl ServerState {
                     (
                         "bits_narrowed",
                         Json::from(self.total_bits_narrowed.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "analysis",
+                Json::obj(vec![
+                    (
+                        "analyze_requests",
+                        Json::from(self.analyze_requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "lines_pruned",
+                        Json::from(self.total_lines_pruned.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "lint_warnings",
+                        Json::from(self.total_lint_warnings.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),
@@ -622,6 +654,20 @@ impl ServerState {
         ] {
             metric(&mut text, name, "counter", counter.load(Ordering::Relaxed));
         }
+        // Static-analysis family.
+        for (name, counter) in [
+            ("bugassist_analysis_requests_total", &self.analyze_requests),
+            (
+                "bugassist_analysis_lines_pruned_total",
+                &self.total_lines_pruned,
+            ),
+            (
+                "bugassist_analysis_lint_warnings_total",
+                &self.total_lint_warnings,
+            ),
+        ] {
+            metric(&mut text, name, "counter", counter.load(Ordering::Relaxed));
+        }
         // Store family (the disk tier).
         metric(
             &mut text,
@@ -674,6 +720,46 @@ impl ServerState {
         .to_string()
     }
 
+    /// Answers the `analyze` op: parse, lint, ship the structured
+    /// diagnostics. Runs inline on the connection thread (like `health`
+    /// and `stats`) — linting is pure dataflow over the AST, orders of
+    /// magnitude cheaper than any encoding, so it never queues behind
+    /// localization jobs.
+    fn analyze_line(&self, id: u64, program: &str, width: usize) -> String {
+        let program = match minic::parse_program(program) {
+            Ok(program) => program,
+            Err(e) => return self.error_line(id, "parse_error", format!("parse error: {e}")),
+        };
+        self.analyze_requests.fetch_add(1, Ordering::Relaxed);
+        let diagnostics = analysis::lint_program(&program, width);
+        self.total_lint_warnings.fetch_add(
+            diagnostics
+                .iter()
+                .filter(|d| d.severity == analysis::Severity::Warning)
+                .count() as u64,
+            Ordering::Relaxed,
+        );
+        let items: Vec<Json> = diagnostics
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("line", Json::from(u64::from(d.line.number()))),
+                    ("kind", Json::str(d.kind.as_str())),
+                    ("severity", Json::str(d.severity.as_str())),
+                    ("message", Json::str(d.message.clone())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("id", Json::from(id)),
+            ("ok", Json::Bool(true)),
+            ("op", Json::str("analyze")),
+            ("width", Json::from(width)),
+            ("diagnostics", Json::Arr(items)),
+        ])
+        .to_string()
+    }
+
     /// The cold build: typecheck, encode, warm, package as a cache entry.
     fn build_entry(&self, job: &Job, program: &minic::Program) -> Result<PreparedEntry, String> {
         if let Some(faults) = &self.faults {
@@ -683,6 +769,19 @@ impl ServerState {
         // means a structurally identical AST already checked clean.
         if let Some(first) = minic::check_program(program).first() {
             return Err(format!("type error: {first}"));
+        }
+        // Lint gate: a hard dataflow diagnostic (a read that *every*
+        // execution leaves undefined) makes the symbolic encoding
+        // meaningless, so it fails the build exactly like a type error
+        // would — before any bit-blasting is paid. Type-kind errors were
+        // already surfaced above; warnings never block.
+        if let Some(first) = analysis::lint_program(program, job.options.width)
+            .iter()
+            .find(|d| {
+                d.severity == analysis::Severity::Error && d.kind != analysis::DiagnosticKind::Type
+            })
+        {
+            return Err(format!("lint error: {first}"));
         }
         let localizer = Localizer::new(
             program,
@@ -1110,6 +1209,10 @@ impl ServerState {
                 .fetch_add(stats.word_cse_hits, Ordering::Relaxed);
             self.total_bits_narrowed
                 .fetch_add(stats.bits_narrowed, Ordering::Relaxed);
+            self.total_lines_pruned
+                .fetch_add(stats.lines_pruned, Ordering::Relaxed);
+            self.total_lint_warnings
+                .fetch_add(stats.lint_warnings, Ordering::Relaxed);
         }
         *self.last_job.lock().expect("last_job poisoned") = Some(LastJob {
             op,
@@ -1127,6 +1230,9 @@ impl ServerState {
             word_nodes_folded: stats.word_nodes_folded,
             word_cse_hits: stats.word_cse_hits,
             bits_narrowed: stats.bits_narrowed,
+            lines_pruned: stats.lines_pruned,
+            prune_ms: stats.prune_ms,
+            lint_warnings: stats.lint_warnings,
         });
 
         let mut pairs = vec![
@@ -1357,6 +1463,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream, conn_id: u64) {
                 Request::Health => state.health_line(id),
                 Request::Stats => state.stats_line(id),
                 Request::Metrics => state.metrics_line(id),
+                Request::Analyze { program, width } => state.analyze_line(id, &program, width),
                 Request::Shutdown => {
                     state.begin_shutdown();
                     stop_after_reply = true;
@@ -1448,6 +1555,9 @@ impl Server {
             total_word_nodes_folded: AtomicU64::new(0),
             total_word_cse_hits: AtomicU64::new(0),
             total_bits_narrowed: AtomicU64::new(0),
+            analyze_requests: AtomicU64::new(0),
+            total_lines_pruned: AtomicU64::new(0),
+            total_lint_warnings: AtomicU64::new(0),
             last_job: Mutex::new(None),
             connections: Mutex::new(0),
             connections_done: Condvar::new(),

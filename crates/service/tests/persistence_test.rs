@@ -299,6 +299,9 @@ fn metrics_exposition_is_valid_prometheus_text() {
         "bugassist_cache_misses_total 1",
         "bugassist_worker_panics_total 0",
         "bugassist_formula_gates_cached_total",
+        "bugassist_analysis_requests_total",
+        "bugassist_analysis_lines_pruned_total",
+        "bugassist_analysis_lint_warnings_total",
         "bugassist_store_writes_total",
         "bugassist_build_info{version=",
     ] {

@@ -899,3 +899,119 @@ fn injected_worker_panics_become_structured_errors_and_the_worker_survives() {
     client.health().expect("daemon alive after worker panics");
     server.shutdown();
 }
+
+/// A program exercising every dataflow lint at width 8: an uninitialized
+/// read (warning-grade: `u` is assigned on one branch), a dead store,
+/// unreachable code, a constant branch and a truncated constant.
+const LINT_WITNESS: &str = "int main(int x) {\nint u;\nint dead = 5;\ndead = x;\nif (0 > 1) {\nu = 300;\n}\nreturn u + x;\n}";
+
+#[test]
+fn analyze_op_returns_all_five_dataflow_lint_kinds() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+
+    let diags = client.analyze(LINT_WITNESS, 8).expect("analyze");
+    let Json::Arr(items) = &diags else {
+        panic!("diagnostics is not an array: {diags}");
+    };
+    let kinds: Vec<&str> = items
+        .iter()
+        .map(|d| d.get("kind").and_then(Json::as_str).expect("kind"))
+        .collect();
+    for kind in [
+        "uninit_read",
+        "dead_store",
+        "unreachable",
+        "constant_branch",
+        "truncation",
+    ] {
+        assert!(kinds.contains(&kind), "missing {kind} in {diags}");
+    }
+    // Every diagnostic is fully structured, and lines come back sorted.
+    let mut last_line = 0;
+    for d in items {
+        let line = d.get("line").and_then(Json::as_u64).expect("line");
+        assert!(line >= last_line, "diagnostics unsorted: {diags}");
+        last_line = line;
+        for field in ["severity", "message"] {
+            assert!(d.get(field).and_then(Json::as_str).is_some(), "{diags}");
+        }
+    }
+    // An unparsable program is a structured parse error, not a hang.
+    let err = client.analyze("int main( {", 8).expect_err("parse fails");
+    assert_eq!(err.kind(), Some("parse_error"), "{err:?}");
+
+    // The analyze counter made it to the stats endpoint.
+    let stats = client.stats().expect("stats");
+    let analyzed = stats
+        .get("analysis")
+        .and_then(|a| a.get("analyze_requests"))
+        .and_then(Json::as_u64)
+        .expect("analysis.analyze_requests");
+    assert_eq!(analyzed, 1, "parse failures are not analyze requests");
+    server.shutdown();
+}
+
+#[test]
+fn definite_uninit_read_fails_the_build_with_lint_error() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    // `y` is read by every execution but never written: the encoding would
+    // be meaningless, so the build fails fast instead of solving garbage.
+    let job = Job::new(
+        "int main(int x) {\nint y;\nreturn y;\n}",
+        "main",
+        JobSpec::ReturnEquals(4),
+        vec![vec![3]],
+    );
+    let err = client.localize(job).expect_err("lint gate fires");
+    assert_eq!(err.kind(), Some("lint_error"), "{err:?}");
+    server.shutdown();
+}
+
+#[test]
+fn static_prune_counters_surface_in_stats() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    // Line 3 computes `w`, which the returned value never depends on: the
+    // relevance prune hardens its selector, and the dead store is counted
+    // as a lint warning.
+    let job = Job::new(
+        "int main(int x) {\nint y = x + 2;\nint w = x * 3;\nreturn y;\n}",
+        "main",
+        JobSpec::ReturnEquals(4),
+        vec![vec![3]],
+    );
+    client.localize(job).expect("localizes");
+    let stats = client.stats().expect("stats");
+    let analysis = stats.get("analysis").expect("analysis section");
+    let pruned = analysis
+        .get("lines_pruned")
+        .and_then(Json::as_u64)
+        .expect("lines_pruned");
+    let warnings = analysis
+        .get("lint_warnings")
+        .and_then(Json::as_u64)
+        .expect("lint_warnings");
+    assert!(pruned > 0, "the irrelevant line was pruned: {stats}");
+    assert!(warnings > 0, "the dead store was counted: {stats}");
+    // The per-job counters ride along on last_job too.
+    let last = stats.get("last_job").expect("last_job");
+    assert!(
+        last.get("lines_pruned").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "{stats}"
+    );
+    server.shutdown();
+}
