@@ -547,7 +547,8 @@ mod tests {
 
     #[test]
     fn while_gets_header_with_back_edge() {
-        let cfg = cfg_for("int main(int x) {\nint i = 0;\nwhile (i < x) {\ni = i + 1;\n}\nreturn i;\n}");
+        let cfg =
+            cfg_for("int main(int x) {\nint i = 0;\nwhile (i < x) {\ni = i + 1;\n}\nreturn i;\n}");
         let header = cfg.blocks[cfg.entry].succs[0];
         assert!(matches!(
             cfg.blocks[header].points[0].kind,
@@ -581,7 +582,11 @@ mod tests {
         let join = cfg.blocks[then_b].succs[0];
         assert_eq!(doms.idom[then_b], Some(entry));
         assert_eq!(doms.idom[else_b], Some(entry));
-        assert_eq!(doms.idom[join], Some(entry), "join is not dominated by an arm");
+        assert_eq!(
+            doms.idom[join],
+            Some(entry),
+            "join is not dominated by an arm"
+        );
         // Both arms have the join in their dominance frontier.
         assert!(doms.frontier[then_b].contains(&join));
         assert!(doms.frontier[else_b].contains(&join));

@@ -190,7 +190,12 @@ fn eval_binary(op: BinOp, a: Interval, b: Interval) -> Interval {
             }
             .clamp()
         }
-        BinOp::Div | BinOp::Rem | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl
+        BinOp::Div
+        | BinOp::Rem
+        | BinOp::BitAnd
+        | BinOp::BitOr
+        | BinOp::BitXor
+        | BinOp::Shl
         | BinOp::Shr => match (a.as_constant(), b.as_constant()) {
             (Some(x), Some(y)) => {
                 let v = match op {
@@ -491,9 +496,8 @@ mod tests {
 
     #[test]
     fn constant_false_branch_is_flagged_and_pruned() {
-        let (cfg, iv) = analyse(
-            "int main(int x) {\nint dead = 0;\nif (dead > 0) {\nx = 1;\n}\nreturn x;\n}",
-        );
+        let (cfg, iv) =
+            analyse("int main(int x) {\nint dead = 0;\nif (dead > 0) {\nx = 1;\n}\nreturn x;\n}");
         assert_eq!(iv.constant_conds.len(), 1);
         assert!(!iv.constant_conds[0].value);
         assert_eq!(iv.constant_conds[0].line.number(), 3);
@@ -509,9 +513,8 @@ mod tests {
 
     #[test]
     fn loops_terminate_via_widening() {
-        let (_, iv) = analyse(
-            "int main(int x) {\nint i = 0;\nwhile (i < x) {\ni = i + 1;\n}\nreturn i;\n}",
-        );
+        let (_, iv) =
+            analyse("int main(int x) {\nint i = 0;\nwhile (i < x) {\ni = i + 1;\n}\nreturn i;\n}");
         assert!(iv.constant_conds.is_empty(), "{:?}", iv.constant_conds);
     }
 

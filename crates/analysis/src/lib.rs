@@ -3,26 +3,26 @@
 //! Everything the localizer can learn about a program *before* spending a
 //! single gate on symbolic encoding:
 //!
-//! * [`cfg`] — per-function control-flow graphs (basic blocks, edges,
+//! * [`mod@cfg`] — per-function control-flow graphs (basic blocks, edges,
 //!   Cooper–Harvey–Kennedy dominators/postdominators, dominance frontiers);
 //! * [`dataflow`] — a generic worklist engine over join-semilattices,
 //!   forward or backward;
-//! * [`reaching`] — reaching definitions and def-use chains (powers the
+//! * [`mod@reaching`] — reaching definitions and def-use chains (powers the
 //!   uninitialized-read lint and the def-use proximity prior);
-//! * [`liveness`] — live variables (powers the dead-store lint);
-//! * [`intervals`] — conditional constant propagation with interval
+//! * [`mod@liveness`] — live variables (powers the dead-store lint);
+//! * [`mod@intervals`] — conditional constant propagation with interval
 //!   domains and widening (powers the constant-branch/unreachable lints
 //!   and the anomaly prior);
-//! * [`relevance`] — static backward relevance from the failing property
+//! * [`mod@relevance`] — static backward relevance from the failing property
 //!   (powers `LocalizerConfig::static_prune`: statically-irrelevant lines
 //!   become hard constraints for free, shrinking the CoMSS search space);
-//! * [`suspicion`] — per-line suspiciousness priors for weighted MAX-SAT
+//! * [`mod@suspicion`] — per-line suspiciousness priors for weighted MAX-SAT
 //!   (`LocalizerConfig::static_priors`);
-//! * [`lint`] — the structured diagnostic pass surfaced by the service's
+//! * [`mod@lint`] — the structured diagnostic pass surfaced by the service's
 //!   `analyze` op and run in its build path.
 //!
 //! The load-bearing invariant, pinned by cross-check and property tests:
-//! **a line pruned by [`relevance`] can never appear in any CoMSS** — the
+//! **a line pruned by [`mod@relevance`] can never appear in any CoMSS** — the
 //! relevant set is a superset of `bmc::slice::backward_slice`'s, and
 //! localization reports are byte-identical with pruning on or off.
 

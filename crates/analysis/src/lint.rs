@@ -309,8 +309,7 @@ mod tests {
 
     #[test]
     fn possible_uninit_read_is_a_warning() {
-        let diags =
-            lint("int main(int x) {\nint y;\nif (x > 0) {\ny = 1;\n}\nreturn y;\n}");
+        let diags = lint("int main(int x) {\nint y;\nif (x > 0) {\ny = 1;\n}\nreturn y;\n}");
         let uninit: Vec<_> = diags
             .iter()
             .filter(|d| d.kind == DiagnosticKind::UninitRead)
@@ -349,8 +348,7 @@ mod tests {
 
     #[test]
     fn wide_widths_do_not_flag_truncation() {
-        let program =
-            minic::parse_program("int main(int x) {\nreturn x + 300;\n}").unwrap();
+        let program = minic::parse_program("int main(int x) {\nreturn x + 300;\n}").unwrap();
         assert!(lint_program(&program, 64)
             .iter()
             .all(|d| d.kind != DiagnosticKind::Truncation));

@@ -118,16 +118,14 @@ mod tests {
 
     #[test]
     fn loop_carried_variable_is_live() {
-        let (cfg, live, escaping) = analyse(
-            "int main(int x) {\nint i = 0;\nwhile (i < x) {\ni = i + 1;\n}\nreturn i;\n}",
-        );
+        let (cfg, live, escaping) =
+            analyse("int main(int x) {\nint i = 0;\nwhile (i < x) {\ni = i + 1;\n}\nreturn i;\n}");
         assert!(dead_stores(&cfg, &live, &escaping).is_empty());
     }
 
     #[test]
     fn global_stores_escape() {
-        let (cfg, live, escaping) =
-            analyse("int g;\nint main(int x) {\ng = x;\nreturn x;\n}");
+        let (cfg, live, escaping) = analyse("int g;\nint main(int x) {\ng = x;\nreturn x;\n}");
         assert!(dead_stores(&cfg, &live, &escaping).is_empty());
     }
 }

@@ -166,9 +166,8 @@ mod tests {
 
     #[test]
     fn branch_merges_definitions() {
-        let (_, r) = analyse(
-            "int main(int x) {\nint y = 0;\nif (x > 0) {\ny = 1;\n}\nreturn y;\n}",
-        );
+        let (_, r) =
+            analyse("int main(int x) {\nint y = 0;\nif (x > 0) {\ny = 1;\n}\nreturn y;\n}");
         let y_read = r.uses.iter().rfind(|u| u.var == "y").unwrap();
         assert_eq!(y_read.reaching.len(), 2, "both defs reach the return");
     }

@@ -104,20 +104,23 @@ pub fn relevance(program: &Program, entry: &str, criterion: Criterion) -> Releva
     for function in &program.functions {
         let graph = &graphs[function.name.as_str()];
         for (_, _, point) in graph.cfg.iter_points() {
-            let seed_with_reads = |relevant_vars: &mut BTreeSet<String>,
-                                       relevant_lines: &mut BTreeSet<Line>| {
-                relevant_lines.insert(point.line);
-                for v in point.reads() {
-                    relevant_vars.insert(qualify(program, &function.name, &v));
-                }
-            };
+            let seed_with_reads =
+                |relevant_vars: &mut BTreeSet<String>, relevant_lines: &mut BTreeSet<Line>| {
+                    relevant_lines.insert(point.line);
+                    for v in point.reads() {
+                        relevant_vars.insert(qualify(program, &function.name, &v));
+                    }
+                };
             match &point.kind {
                 PointKind::Assert { cond } | PointKind::Assume { cond } => {
                     seed_with_reads(&mut relevant_vars, &mut relevant_lines);
                     mark_calls(cond, &mut return_relevant);
                 }
                 // Loop conditions feed the encoder's unwinding assumptions.
-                PointKind::Branch { cond, is_loop: true } => {
+                PointKind::Branch {
+                    cond,
+                    is_loop: true,
+                } => {
                     seed_with_reads(&mut relevant_vars, &mut relevant_lines);
                     mark_calls(cond, &mut return_relevant);
                 }
@@ -250,10 +253,9 @@ fn propagate(
             expr.walk(&mut |e| {
                 if let Expr::Call(callee_name, args) = e {
                     if let Some(callee) = program.function(callee_name) {
-                        let any_param_relevant = callee
-                            .params
-                            .iter()
-                            .any(|(p, _)| relevant_vars.contains(&qualify(program, callee_name, p)));
+                        let any_param_relevant = callee.params.iter().any(|(p, _)| {
+                            relevant_vars.contains(&qualify(program, callee_name, p))
+                        });
                         if any_param_relevant || return_relevant.contains(callee_name) {
                             relevant_lines.insert(point.line);
                             for arg in args {

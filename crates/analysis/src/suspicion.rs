@@ -199,7 +199,10 @@ mod tests {
             "main",
             Criterion::Assertions,
         );
-        assert!(s.score(Line(3)) > base.score(Line(3)), "anomaly bonus applies");
+        assert!(
+            s.score(Line(3)) > base.score(Line(3)),
+            "anomaly bonus applies"
+        );
     }
 
     #[test]

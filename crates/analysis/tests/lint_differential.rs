@@ -107,7 +107,10 @@ fn lint_agrees_with_the_typechecker_over_the_mutated_corpus() {
         }
     }
     assert!(typed >= 10, "corpus too small: {typed} typed programs");
-    assert!(rejected >= 3, "corpus too small: {rejected} rejected programs");
+    assert!(
+        rejected >= 3,
+        "corpus too small: {rejected} rejected programs"
+    );
 }
 
 #[test]

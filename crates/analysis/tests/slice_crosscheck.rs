@@ -89,7 +89,9 @@ fn random_straight_line(rng: &mut prng::SplitMix64, stmts: usize) -> String {
         src.push_str(&format!("{target} = {lhs} {op} {rhs};\n"));
     }
     let asserted = vars[rng.gen_range(0usize..vars.len())];
-    src.push_str(&format!("assert({asserted} != 7);\nreturn {asserted};\n}}\n"));
+    src.push_str(&format!(
+        "assert({asserted} != 7);\nreturn {asserted};\n}}\n"
+    ));
     src
 }
 

@@ -5,7 +5,8 @@
 //! `BENCH_service.json`.
 //!
 //! Usage: `cargo run -p bench --bin loadgen --release [output.json]
-//! [--samples N] [--quick] [--chaos] [--restart]`
+//! [--samples N] [--quick] [--chaos] [--restart] [--chaos-kill]
+//! [--replicas N]`
 //!
 //! * `--samples N` — warm rounds each client plays over the program set
 //!   (every round touches every program once).
@@ -20,6 +21,14 @@
 //!   second lifetime on the same directory restores on boot and must serve
 //!   every first request without a rebuild, byte-identically, at a
 //!   >1.5x speedup over the cold builds.
+//! * `--chaos-kill` — run only the fleet scenario: `--replicas N` daemons
+//!   (own store dirs) behind a rendezvous-routing [`service::FleetClient`];
+//!   one replica is crashed abruptly mid-stream. Asserts fleet goodput
+//!   ≥ 0.90, byte-identical reports versus a single reference daemon, and
+//!   that the restarted replica's first repeat request answers from its
+//!   store (`tier:"store"`). Records fleet throughput, failover latency
+//!   and restart recovery time.
+//! * `--replicas N` — fleet size of the chaos-kill scenario (default 3).
 //!
 //! The headline number is the **cold/warm ratio**: a cold request pays
 //! parse → typecheck → unroll → bit-blast → selector-template construction
@@ -37,44 +46,67 @@
 //! edited version is a brand-new cache key, so each step pays a full cold
 //! build. The ratio of the two chains is the value of delta preparation.
 
+use service::fleet::routing_key;
 use service::protocol::canonicalize;
 use service::{
-    Client, ClientConfig, ClientError, FaultConfig, FaultPlan, Job, JobSpec, Json, Server,
-    ServiceConfig,
+    Client, ClientConfig, ClientError, FaultConfig, FaultPlan, FleetClient, FleetConfig, Job,
+    JobSpec, Json, Server, ServiceConfig,
 };
 use siemens::{tcas_trusted_lines, tcas_versions, TCAS_ENTRY, TCAS_SOURCE};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn parse_args() -> (String, usize, bool, bool, bool) {
-    let mut output = "BENCH_service.json".to_string();
-    let mut samples = 5usize;
-    let mut quick = false;
-    let mut chaos_only = false;
-    let mut restart_only = false;
+struct Args {
+    output: String,
+    samples: usize,
+    quick: bool,
+    chaos_only: bool,
+    restart_only: bool,
+    chaos_kill_only: bool,
+    replicas: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        output: "BENCH_service.json".to_string(),
+        samples: 5,
+        quick: false,
+        chaos_only: false,
+        restart_only: false,
+        chaos_kill_only: false,
+        replicas: 3,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--samples" => {
-                samples = args
+                parsed.samples = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n >= 1)
                     .expect("--samples needs a positive integer");
             }
-            "--quick" => quick = true,
-            "--chaos" => chaos_only = true,
-            "--restart" => restart_only = true,
+            "--quick" => parsed.quick = true,
+            "--chaos" => parsed.chaos_only = true,
+            "--restart" => parsed.restart_only = true,
+            "--chaos-kill" => parsed.chaos_kill_only = true,
+            "--replicas" => {
+                parsed.replicas = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 2)
+                    .expect("--replicas needs an integer >= 2");
+            }
             other if other.starts_with("--") => {
                 panic!(
                     "unknown flag {other:?}; usage: [output.json] [--samples N] \
-                     [--quick] [--chaos] [--restart]"
+                     [--quick] [--chaos] [--restart] [--chaos-kill] [--replicas N]"
                 )
             }
-            other => output = other.to_string(),
+            other => parsed.output = other.to_string(),
         }
     }
-    (output, samples, quick, chaos_only, restart_only)
+    parsed
 }
 
 /// A family of distinct small faulty programs (each constant delta yields a
@@ -415,6 +447,7 @@ fn chaos_run(quick: bool) -> Json {
         delay_period: 3,
         delay_ms: 20,
         build_panic_period: 4,
+        crash_after_executes: 0,
     }));
     let server = Server::start(ServiceConfig {
         workers: 2,
@@ -709,8 +742,273 @@ fn restart_run(quick: bool) -> Json {
     ])
 }
 
+/// The fleet chaos-kill scenario: `replicas` daemons (each with its own
+/// store directory) behind rendezvous-routing [`FleetClient`]s, one replica
+/// crashed abruptly once a third of the request stream has completed.
+/// Asserts the 0.90 goodput floor, byte-identical reports versus a single
+/// reference daemon, at least one recorded failover, and that the restarted
+/// replica's first repeat request is served from its store (`tier:"store"`,
+/// with lazy restore). Records throughput, failover latency and restart
+/// recovery time.
+fn fleet_run(quick: bool, replicas: usize) -> Json {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let programs = if quick { 4 } else { 10 };
+    let jobs: Vec<Job> = (0..programs).map(|d| minic_job(d as i64 + 50)).collect();
+
+    // Reference answers from one pristine single daemon: whatever the fleet
+    // does, every delivered report must match these bytes.
+    let mut expected: Vec<String> = Vec::with_capacity(jobs.len());
+    {
+        let server = Server::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .expect("reference daemon starts");
+        let mut client = Client::connect(server.local_addr()).expect("connects");
+        for job in &jobs {
+            let outcome = client.localize(job.clone()).expect("reference localize");
+            expected.push(canonicalize(&outcome.body).to_string());
+        }
+        server.shutdown();
+    }
+    let expected = Arc::new(expected);
+    let jobs = Arc::new(jobs);
+
+    // The fleet: every replica owns its own store directory.
+    let dirs: Vec<std::path::PathBuf> = (0..replicas)
+        .map(|i| {
+            let dir = std::env::temp_dir().join(format!(
+                "bugassist-loadgen-fleet-{}-{i}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        })
+        .collect();
+    let replica_config = |i: usize, addr: String, restore_on_boot: bool| ServiceConfig {
+        addr,
+        workers: 2,
+        store_dir: Some(dirs[i].to_string_lossy().into_owned()),
+        restore_on_boot,
+        ..ServiceConfig::default()
+    };
+    let mut servers: Vec<Option<Server>> = (0..replicas)
+        .map(|i| {
+            Some(
+                Server::start(replica_config(i, "127.0.0.1:0".to_string(), true))
+                    .expect("replica starts"),
+            )
+        })
+        .collect();
+    let addrs: Vec<String> = servers
+        .iter()
+        .map(|s| s.as_ref().unwrap().local_addr().to_string())
+        .collect();
+    let fleet_config = |seed: u64| FleetConfig {
+        replicas: addrs.clone(),
+        down_cooldown: Duration::from_millis(250),
+        backoff_base: Duration::from_millis(10),
+        seed,
+        ..FleetConfig::default()
+    };
+
+    // Warm pass: land every program on its home replica, byte-identically,
+    // and pick the victim (job 0's home). Its asynchronous write-through
+    // must finish before the crash so the restart has records to serve.
+    let mut warm = FleetClient::new(fleet_config(0));
+    for (job, want) in jobs.iter().zip(expected.iter()) {
+        let outcome = warm.localize(job.clone()).expect("warm fleet localize");
+        assert_eq!(&canonicalize(&outcome.body).to_string(), want);
+    }
+    let victim = warm.home_of(routing_key(&jobs[0]));
+    let victim_homed = jobs
+        .iter()
+        .filter(|job| warm.home_of(routing_key(job)) == victim)
+        .count() as u64;
+    {
+        let mut health = Client::connect(addrs[victim].as_str()).expect("connects");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let report = health.health_report().expect("health");
+            let writes = report
+                .get("store")
+                .and_then(|s| s.get("writes"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            if writes >= victim_homed {
+                break;
+            }
+            assert!(Instant::now() < deadline, "write-through stalled: {report}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    // The measured stream, with the kill mid-way: `clients` fleet clients
+    // play `rounds` rounds over the program set; once a third of the
+    // requests have completed, the victim is crashed abruptly (no drain,
+    // no snapshot) under the survivors' feet.
+    let clients = if quick { 2 } else { 4 };
+    let rounds = if quick { 4 } else { 10 };
+    let total = clients * rounds * jobs.len();
+    let completed = Arc::new(AtomicUsize::new(0));
+    let stream_started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let jobs = Arc::clone(&jobs);
+            let expected = Arc::clone(&expected);
+            let completed = Arc::clone(&completed);
+            let config = fleet_config(c as u64 + 1);
+            std::thread::spawn(move || {
+                let mut fleet = FleetClient::new(config);
+                let (mut sent, mut ok, mut failed) = (0usize, 0usize, 0usize);
+                for _ in 0..rounds {
+                    for (i, job) in jobs.iter().enumerate() {
+                        sent += 1;
+                        match fleet.localize(job.clone()) {
+                            Ok(outcome) => {
+                                assert_eq!(
+                                    canonicalize(&outcome.body).to_string(),
+                                    expected[i],
+                                    "fleet delivered a non-identical report"
+                                );
+                                ok += 1;
+                            }
+                            Err(_) => failed += 1,
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                (sent, ok, failed, fleet.stats().failovers)
+            })
+        })
+        .collect();
+    while completed.load(Ordering::Relaxed) < total / 3 {
+        assert!(
+            stream_started.elapsed() < Duration::from_secs(120),
+            "fleet stream stalled before the kill"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let killed_at_requests = completed.load(Ordering::Relaxed);
+    servers[victim].take().expect("victim running").crash();
+    let (mut sent, mut ok, mut failed, mut failovers) = (0usize, 0usize, 0usize, 0u64);
+    for handle in handles {
+        let (s, o, f, fo) = handle.join().expect("fleet client panicked");
+        sent += s;
+        ok += o;
+        failed += f;
+        failovers += fo;
+    }
+    let wall_s = stream_started.elapsed().as_secs_f64();
+    let goodput = ok as f64 / sent.max(1) as f64;
+    assert!(
+        goodput >= 0.90,
+        "fleet goodput {goodput:.3} fell below the 0.90 floor ({ok}/{sent} ok)"
+    );
+    assert!(
+        failovers >= 1,
+        "killing a home replica mid-stream must record failovers"
+    );
+
+    // Failover latency, isolated: a fresh client whose first attempt lands
+    // on the dead home and must discover the failure and re-route.
+    let failover_latency_ms = {
+        let mut probe = FleetClient::new(fleet_config(99));
+        let started = Instant::now();
+        let outcome = probe.localize(jobs[0].clone()).expect("failover answers");
+        assert_eq!(&canonicalize(&outcome.body).to_string(), &expected[0]);
+        started.elapsed().as_secs_f64() * 1e3
+    };
+
+    // Restart recovery: the victim comes back on its old address and store
+    // directory with lazy restore; its first repeat request must answer
+    // from the disk tier, byte-identically — no rebuild.
+    let restart_started = Instant::now();
+    let restarted = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match Server::start(replica_config(victim, addrs[victim].clone(), false)) {
+                Ok(server) => break server,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => panic!("victim restart failed: {e}"),
+            }
+        }
+    };
+    let first_repeat_tier = {
+        let mut direct = Client::connect(addrs[victim].as_str()).expect("reconnects");
+        let outcome = direct.localize(jobs[0].clone()).expect("restarted answers");
+        assert_eq!(
+            outcome.tier, "store",
+            "restarted replica must serve its first repeat request from the store"
+        );
+        assert_eq!(&canonicalize(&outcome.body).to_string(), &expected[0]);
+        outcome.tier
+    };
+    let restart_recovery_ms = restart_started.elapsed().as_secs_f64() * 1e3;
+
+    restarted.shutdown();
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let round3 = |v: f64| Json::Float((v * 1e3).round() / 1e3);
+    Json::obj(vec![
+        ("replicas", Json::from(replicas)),
+        ("programs", Json::from(jobs.len())),
+        ("clients", Json::from(clients)),
+        ("rounds", Json::from(rounds)),
+        ("requests", Json::from(sent)),
+        ("ok", Json::from(ok)),
+        ("failed", Json::from(failed)),
+        ("goodput", Json::Float((goodput * 1e4).round() / 1e4)),
+        ("killed_replica", Json::from(victim)),
+        ("killed_at_requests", Json::from(killed_at_requests)),
+        ("failovers", Json::from(failovers)),
+        ("byte_identical_reports", Json::Bool(true)),
+        ("throughput_rps", round3(sent as f64 / wall_s)),
+        ("failover_latency_ms", round3(failover_latency_ms)),
+        (
+            "restart",
+            Json::obj(vec![
+                ("recovery_ms", round3(restart_recovery_ms)),
+                ("first_repeat_tier", Json::str(first_repeat_tier)),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
-    let (output, samples, quick, chaos_only, restart_only) = parse_args();
+    let Args {
+        output,
+        samples,
+        quick,
+        chaos_only,
+        restart_only,
+        chaos_kill_only,
+        replicas,
+    } = parse_args();
+    if chaos_kill_only {
+        eprintln!("chaos-kill mode: {replicas}-replica fleet, one replica crashed mid-stream");
+        let fleet = fleet_run(quick, replicas);
+        let report = Json::obj(vec![
+            ("benchmark", Json::str("localization_service_fleet")),
+            ("quick", Json::Bool(quick)),
+            ("fleet", fleet),
+        ]);
+        let pretty = report.pretty();
+        std::fs::write(&output, &pretty).expect("write benchmark json");
+        eprintln!("wrote {output}");
+        println!("{pretty}");
+        return;
+    }
     if restart_only {
         eprintln!("restart-only mode: persistent store recovery across a daemon restart");
         let persistence = restart_run(quick);
@@ -937,6 +1235,10 @@ fn main() {
     eprintln!("persistence: restart recovery from the disk-backed store");
     let persistence = restart_run(quick);
 
+    // --- fleet phase: chaos-kill across replicas --------------------------
+    eprintln!("fleet: {replicas}-replica chaos-kill with failover and warm restart");
+    let fleet = fleet_run(quick, replicas);
+
     let report = Json::obj(vec![
         ("benchmark", Json::str("localization_service_loadgen")),
         (
@@ -1066,6 +1368,7 @@ fn main() {
         ),
         ("chaos", chaos),
         ("persistence", persistence),
+        ("fleet", fleet),
         ("queue", queue),
         ("solver", solver),
         ("formula", formula),

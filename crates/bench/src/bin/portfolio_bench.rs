@@ -219,7 +219,10 @@ fn main() {
         for (label, value) in [
             ("lines_pruned", on_report.stats.lines_pruned),
             ("soft_clauses_pruned", on_report.stats.soft_clauses as u64),
-            ("soft_clauses_unpruned", off_report.stats.soft_clauses as u64),
+            (
+                "soft_clauses_unpruned",
+                off_report.stats.soft_clauses as u64,
+            ),
             ("prune_ms", on_report.stats.prune_ms as u64),
         ] {
             group.counter(label, value);

@@ -78,7 +78,7 @@ pub struct LocalizerConfig {
     /// and per-test hard units still mean what they meant. Disable to get
     /// the raw bit-blasted formula.
     pub simplify: bool,
-    /// Run the static backward-relevance analysis ([`analysis::relevance`])
+    /// Run the static backward-relevance analysis ([`analysis::relevance()`])
     /// and treat every statically-irrelevant line like a trusted line —
     /// its selector is asserted hard, shrinking the soft set before any
     /// MAX-SAT work (default `true`). Sound by construction: a pruned line
@@ -763,7 +763,10 @@ impl Localizer {
         // structural — so the pruned set and the prior scores are remapped
         // like the blame lines, never recomputed.
         let pruned_lines: Vec<Line> = self.pruned_lines.iter().map(|&l| map.remap(l)).collect();
-        let priors = self.priors.as_ref().map(|p| p.remap(|l| Some(map.remap(l))));
+        let priors = self
+            .priors
+            .as_ref()
+            .map(|p| p.remap(|l| Some(map.remap(l))));
         let prepared = OnceLock::new();
         if let Some(old) = self.prepared.get() {
             let selectors = old
@@ -1942,14 +1945,12 @@ mod tests {
     fn pruned_trusted_overlap_counts_as_trusted() {
         // A line both trusted and pruned is hardened once and attributed to
         // the trusted set, not the pruning counter.
-        let program = parse_program(
-            "int main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}",
-        )
-        .unwrap();
+        let program =
+            parse_program("int main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}")
+                .unwrap();
         let mut config = config8();
         config.trusted_lines = vec![Line(3)];
-        let localizer =
-            Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).unwrap();
+        let localizer = Localizer::new(&program, "main", &Spec::ReturnEquals(4), &config).unwrap();
         let report = localizer.localize(&[3]).unwrap();
         assert_eq!(report.stats.lines_pruned, 0, "{:?}", report.stats);
         assert!(!report.blames_line(Line(3)));
@@ -1978,7 +1979,13 @@ mod tests {
         let mut no_prune = config.clone();
         no_prune.static_prune = false;
         let (_, delta) = old
-            .reprepare(&program, &program, "main", &Spec::ReturnEquals(4), &no_prune)
+            .reprepare(
+                &program,
+                &program,
+                "main",
+                &Spec::ReturnEquals(4),
+                &no_prune,
+            )
             .unwrap();
         assert_eq!(delta, DeltaPrepare::RebuiltConfig);
         let mut priors = config.clone();
@@ -1993,14 +2000,12 @@ mod tests {
     fn reprepare_line_shift_remaps_the_pruned_set() {
         // Blank line on top: the junk statement moves 3 -> 4, and the
         // relabeled localizer must keep pruning it at its new coordinate.
-        let old_program = parse_program(
-            "int main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}",
-        )
-        .unwrap();
-        let new_program = parse_program(
-            "\nint main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}",
-        )
-        .unwrap();
+        let old_program =
+            parse_program("int main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}")
+                .unwrap();
+        let new_program =
+            parse_program("\nint main(int x) {\nint y = x + 2;\nint junk = x * 3;\nreturn y;\n}")
+                .unwrap();
         let config = config8();
         let old = Localizer::new(&old_program, "main", &Spec::ReturnEquals(4), &config).unwrap();
         old.warm();

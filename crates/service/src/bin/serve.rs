@@ -6,14 +6,21 @@
 //!              [--default-deadline-ms MS] [--max-deadline-ms MS]
 //!              [--conflict-cap N] [--max-request-bytes N]
 //!              [--read-timeout-ms MS] [--write-timeout-ms MS]
-//!              [--store-dir DIR]
+//!              [--store-dir DIR] [--no-restore]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7911`), prints the bound address on stdout and
 //! serves until a client sends `{"op":"shutdown"}`, then drains every
 //! accepted job and exits. See the `service` crate docs and the README's
-//! "Running the localization service" and "Operating under overload"
-//! sections for the wire protocol and the budget/robustness knobs.
+//! "Running the localization service", "Operating under overload" and
+//! "Running a fleet" sections for the wire protocol and the
+//! budget/robustness knobs.
+//!
+//! `--no-restore` skips the eager restore-on-boot scan of `--store-dir`:
+//! the disk tier is consulted lazily per request instead (first repeat
+//! request answers with `tier:"store"`), trading first-hit latency for an
+//! instant boot. Each replica of a fleet needs its **own** `--store-dir`;
+//! a directory already owned by a live daemon is refused at startup.
 
 use service::{Server, ServiceConfig};
 
@@ -22,7 +29,8 @@ fn usage() -> ! {
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache-capacity N] \
          [--cache-shards N] [--queue-capacity N] [--default-deadline-ms MS] \
          [--max-deadline-ms MS] [--conflict-cap N] [--max-request-bytes N] \
-         [--read-timeout-ms MS] [--write-timeout-ms MS] [--store-dir DIR]"
+         [--read-timeout-ms MS] [--write-timeout-ms MS] [--store-dir DIR] \
+         [--no-restore]"
     );
     std::process::exit(2);
 }
@@ -95,6 +103,7 @@ fn main() {
                 Some(dir) => config.store_dir = Some(dir),
                 None => usage(),
             },
+            "--no-restore" => config.restore_on_boot = false,
             _ => usage(),
         }
     }

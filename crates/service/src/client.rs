@@ -28,7 +28,7 @@ use prng::SplitMix64;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Errors a client call can produce.
 #[derive(Debug)]
@@ -46,13 +46,26 @@ pub enum ClientError {
         /// Human-readable message.
         message: String,
     },
+    /// The retry loop ran out of the *job's own* `deadline_ms` budget:
+    /// sleeping out the next backoff would blow past the deadline, so the
+    /// client gives up early instead of delivering a late answer. Carries
+    /// the last underlying failure for diagnosis.
+    DeadlineExceeded {
+        /// The last transport/shed error the retry loop was backing off
+        /// from, rendered.
+        last_error: String,
+    },
 }
 
 impl ClientError {
-    /// The machine-readable error kind, if the daemon reported one.
+    /// The machine-readable error kind, if one applies. Client-side
+    /// deadline exhaustion reports the same `deadline_exceeded` kind the
+    /// daemon uses for jobs that expired in its queue — callers classify
+    /// both the same way.
     pub fn kind(&self) -> Option<&str> {
         match self {
             ClientError::Server { kind, .. } => Some(kind),
+            ClientError::DeadlineExceeded { .. } => Some("deadline_exceeded"),
             _ => None,
         }
     }
@@ -64,6 +77,11 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
+            ClientError::DeadlineExceeded { last_error } => write!(
+                f,
+                "deadline exceeded: retry budget exhausted by the job's own \
+                 deadline_ms (last error: {last_error})"
+            ),
         }
     }
 }
@@ -267,7 +285,22 @@ impl Client {
     /// transport failures reconnect and resend, `overloaded` sheds back
     /// off and resend, everything else (and an exhausted budget) returns
     /// the error.
+    ///
+    /// A job that carries its own `deadline_ms` additionally caps the
+    /// retry loop's **total wall time**: when the next backoff sleep would
+    /// land past the deadline, the loop stops with a client-side
+    /// [`ClientError::DeadlineExceeded`] instead of retrying an answer the
+    /// caller can no longer use. (Without the cap, `retries` exponential
+    /// backoffs against a down daemon could block for far longer than the
+    /// job's whole budget.)
     fn call(&mut self, request: Request) -> Result<Json, ClientError> {
+        let budget = match &request {
+            Request::Localize(job) | Request::Batch(job) | Request::Revise { job, .. } => {
+                job.deadline_ms.map(Duration::from_millis)
+            }
+            _ => None,
+        };
+        let started = Instant::now();
         let mut attempt = 0u32;
         loop {
             let result = self.call_once(&request);
@@ -286,9 +319,15 @@ impl Client {
             } else {
                 self.jitter.gen_range(0..=base.as_millis() as u64)
             };
-            std::thread::sleep(
-                base * 2u32.saturating_pow(attempt) + Duration::from_millis(jitter_ms),
-            );
+            let backoff = base * 2u32.saturating_pow(attempt) + Duration::from_millis(jitter_ms);
+            if let Some(budget) = budget {
+                if started.elapsed() + backoff >= budget {
+                    return Err(ClientError::DeadlineExceeded {
+                        last_error: err.to_string(),
+                    });
+                }
+            }
+            std::thread::sleep(backoff);
             if reconnect {
                 self.reconnect()?;
             }
@@ -393,7 +432,11 @@ impl Client {
     ///
     /// [`ClientError::Server`] with kind `parse_error` when the program
     /// does not parse; transport and protocol errors as usual.
-    pub fn analyze(&mut self, program: impl Into<String>, width: usize) -> Result<Json, ClientError> {
+    pub fn analyze(
+        &mut self,
+        program: impl Into<String>,
+        width: usize,
+    ) -> Result<Json, ClientError> {
         let value = self.call(Request::Analyze {
             program: program.into(),
             width,
@@ -415,6 +458,18 @@ impl Client {
             .get("uptime_ms")
             .and_then(Json::as_u64)
             .ok_or_else(|| ClientError::Protocol(format!("health without uptime_ms: {value}")))
+    }
+
+    /// The full `health` response object: liveness plus the load signals a
+    /// fleet router reads to avoid struggling replicas — `queue_depth`,
+    /// `queue_capacity`, `active_lanes`, `shed`, `expired`, `shed_rate`
+    /// and the `store` restore/write status.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on transport or protocol errors.
+    pub fn health_report(&mut self) -> Result<Json, ClientError> {
+        self.call(Request::Health)
     }
 
     /// The daemon's cache/queue/solver counters, as raw JSON.

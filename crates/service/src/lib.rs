@@ -17,8 +17,9 @@
 //!   `localize`, `revise`, `batch`, `health`, `stats`, `shutdown`, plus the
 //!   stable job [cache key](protocol::Job::cache_key) built on
 //!   [`minic::ast_hash()`](minic::ast_hash());
-//! * [`queue`] — a bounded `Mutex` + `Condvar` MPMC job queue; a full
-//!   queue blocks the connection thread, so overload turns into TCP
+//! * [`queue`] — a bounded `Mutex` + `Condvar` MPMC job queue with
+//!   per-client deficit-round-robin lanes; a lane at its fair share blocks
+//!   (or sheds) only that client, so overload turns into per-tenant TCP
 //!   backpressure instead of unbounded buffering;
 //! * [`cache`] — the sharded LRU [`cache::PreparedCache`] of
 //!   [`cache::PreparedEntry`]s (warmed [`bugassist::Localizer`]s plus the
@@ -32,7 +33,10 @@
 //! * [`server`] — `TcpListener` + fixed worker-thread pool + graceful
 //!   drain-then-exit shutdown (with store snapshot);
 //! * [`client`] — the blocking client library used by the tests and the
-//!   `loadgen` benchmark.
+//!   `loadgen` benchmark;
+//! * [`fleet`] — rendezvous-hash routing of jobs across N replicas with
+//!   health probing and transparent failover, so the service survives a
+//!   replica dying mid-stream with byte-identical answers.
 //!
 //! The `revise` op is what turns the daemon into an **interactive-loop
 //! backend**: a client that edits its program re-submits with the previous
@@ -80,6 +84,7 @@
 pub mod cache;
 pub mod client;
 pub mod faults;
+pub mod fleet;
 pub mod json;
 pub mod persist;
 pub mod protocol;
@@ -89,6 +94,7 @@ pub mod server;
 pub use cache::{CacheStats, PreparedCache, PreparedEntry};
 pub use client::{Client, ClientConfig, ClientError, Outcome, ReviseOutcome};
 pub use faults::{FaultConfig, FaultPlan};
+pub use fleet::{FleetClient, FleetConfig, FleetStats};
 pub use json::{Json, JsonError};
 pub use protocol::{Envelope, Job, JobOptions, JobSpec, ProtocolError, Request};
 pub use queue::{JobQueue, PushError, TryPushError};

@@ -98,6 +98,13 @@ pub struct Job {
     /// than an error. Deliberately **not** part of [`Job::cache_key`]: the
     /// prepared localizer is deadline-independent.
     pub deadline_ms: Option<u64>,
+    /// Optional client identity for per-client fair queuing: jobs sharing a
+    /// `client_id` share one queue lane; unidentified traffic shares the
+    /// default lane. Like `deadline_ms`, deliberately **not** part of
+    /// [`Job::cache_key`] or [`Job::options_fingerprint`] — who asked has
+    /// no bearing on the answer, so replicas stay byte-identical and cache
+    /// entries are shared across clients.
+    pub client_id: Option<String>,
 }
 
 impl Job {
@@ -115,6 +122,7 @@ impl Job {
             inputs,
             options: JobOptions::default(),
             deadline_ms: None,
+            client_id: None,
         }
     }
 
@@ -454,6 +462,9 @@ fn job_fields(job: &Job, pairs: &mut Vec<(String, Json)>) {
     if let Some(deadline_ms) = job.deadline_ms {
         push(pairs, "deadline_ms", Json::from(deadline_ms));
     }
+    if let Some(client_id) = &job.client_id {
+        push(pairs, "client_id", Json::str(client_id.clone()));
+    }
 }
 
 /// Serializes a request envelope to its wire line (no trailing newline).
@@ -621,6 +632,15 @@ fn parse_job(value: &Json) -> Result<Job, ProtocolError> {
         ),
     };
 
+    let client_id = match value.get("client_id") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| bad("client_id must be a string"))?
+                .to_string(),
+        ),
+    };
+
     Ok(Job {
         program,
         entry,
@@ -628,6 +648,7 @@ fn parse_job(value: &Json) -> Result<Job, ProtocolError> {
         inputs,
         options,
         deadline_ms,
+        client_id,
     })
 }
 
@@ -820,7 +841,10 @@ pub fn canonicalize(value: &Json) -> Json {
             pairs
                 .iter()
                 .map(|(k, v)| {
-                    if k == "elapsed_ms" || k == "prepare_ms" || k == "simplify_ms" || k == "prune_ms"
+                    if k == "elapsed_ms"
+                        || k == "prepare_ms"
+                        || k == "simplify_ms"
+                        || k == "prune_ms"
                     {
                         (k.clone(), Json::Int(0))
                     } else {
@@ -860,6 +884,7 @@ mod tests {
             Request::Localize(Job {
                 inputs: vec![vec![5]],
                 deadline_ms: Some(1500),
+                client_id: Some("tenant-a".to_string()),
                 ..sample_job()
             }),
             // prev_key beyond i64::MAX: cache keys are avalanche-mixed u64s,
@@ -940,6 +965,13 @@ mod tests {
         let mut budgeted = job.clone();
         budgeted.deadline_ms = Some(250);
         assert_eq!(budgeted.cache_key(&program), base);
+
+        // Nor the client identity: who asked has no bearing on the answer,
+        // so every tenant (and every fleet replica) shares one entry.
+        let mut identified = job.clone();
+        identified.client_id = Some("tenant-a".to_string());
+        assert_eq!(identified.cache_key(&program), base);
+        assert_eq!(identified.options_fingerprint(), job.options_fingerprint());
 
         // Any option, entry or spec change must change the key.
         let mut width = job.clone();

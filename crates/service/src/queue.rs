@@ -1,19 +1,46 @@
-//! A bounded blocking MPMC queue built on `Mutex` + `Condvar`.
+//! A bounded blocking MPMC queue with per-client fair-queuing lanes.
 //!
 //! The daemon's connection threads are the producers (one push per
 //! localize/batch request) and the fixed worker pool is the consumer side.
-//! The queue is **bounded**: when `capacity` jobs are already waiting,
-//! [`JobQueue::push`] blocks the connection thread, which in turn stops
-//! reading from its socket — backpressure propagates to the client through
-//! TCP instead of letting an aggressive load spike buffer unbounded work in
-//! memory.
+//! The queue is **bounded**: when a lane is at its fair share (or the queue
+//! is at total capacity), [`JobQueue::push`] blocks the connection thread,
+//! which in turn stops reading from its socket — backpressure propagates to
+//! the client through TCP instead of letting an aggressive load spike
+//! buffer unbounded work in memory.
+//!
+//! # Fair queuing
+//!
+//! Items are tagged with a *lane* (the requesting `client_id`; unidentified
+//! traffic shares the [`DEFAULT_LANE`]). Consumers drain lanes with
+//! **deficit round-robin**: a cursor walks the active lanes, each visit
+//! credits the lane one quantum of deficit and dequeues while the deficit
+//! covers the per-item cost. All jobs cost one unit here, so the schedule
+//! degenerates to strict round-robin across lanes — one job per lane per
+//! pass — but the deficit bookkeeping is kept so weighted lanes or sized
+//! jobs are a constant away. A lane that drains empty is removed (and its
+//! deficit forfeited, the classic DRR rule that stops an idle lane from
+//! banking priority).
+//!
+//! Admission is fair-share bounded: with `n` active lanes each lane may
+//! hold at most `max(1, capacity / n)` items. A single greedy client
+//! therefore saturates only *its own* lane — its excess traffic blocks or
+//! sheds — while polite clients' lanes stay shallow and keep their latency.
+//! With one lane (the pre-fair-queuing regime) the share equals the whole
+//! capacity, so single-tenant behavior is unchanged.
 //!
 //! Shutdown is cooperative: [`JobQueue::close`] wakes every blocked thread;
-//! producers get [`PushError`], consumers drain the remaining items and
-//! then receive `None`.
+//! producers get [`PushError`], consumers drain the remaining items across
+//! all lanes (still in round-robin order) and then receive `None`.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+/// Lane shared by all requests that carry no `client_id`.
+pub const DEFAULT_LANE: &str = "";
+
+/// DRR quantum credited per lane visit. Every item costs one unit, so one
+/// quantum buys exactly one dequeue per pass.
+const QUANTUM: u64 = 1;
 
 /// Error returned by [`JobQueue::push`] once the queue is closed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,21 +58,73 @@ impl std::error::Error for PushError {}
 /// back so the caller can answer its client instead of dropping it.
 #[derive(Debug, PartialEq, Eq)]
 pub enum TryPushError<T> {
-    /// The queue was at capacity; admission control should shed the job.
+    /// The lane (or the whole queue) was at capacity; admission control
+    /// should shed the job.
     Full(T),
     /// The queue was closed; the daemon is shutting down.
     Closed(T),
 }
 
 #[derive(Debug)]
-struct QueueState<T> {
+struct Lane<T> {
+    id: String,
     items: VecDeque<T>,
+    deficit: u64,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    /// Active (non-empty) lanes, in creation order. Invariant: every lane
+    /// in this vector holds at least one item — a lane that drains is
+    /// removed on the spot, so `lanes.len()` *is* the active-lane count.
+    lanes: Vec<Lane<T>>,
+    /// DRR cursor: index of the lane the next pop visits.
+    cursor: usize,
+    /// Total items across all lanes.
+    total: usize,
     closed: bool,
     /// Total number of items ever accepted (for the stats endpoint).
     enqueued: u64,
 }
 
-/// A bounded blocking multi-producer multi-consumer queue.
+impl<T> QueueState<T> {
+    fn lane_index(&self, lane: &str) -> Option<usize> {
+        self.lanes.iter().position(|l| l.id == lane)
+    }
+
+    /// Fair-share bound for `lane`, counting it as active even if it has
+    /// no items yet (a first push must not see an inflated share).
+    fn fair_share(&self, lane: &str, capacity: usize) -> usize {
+        let active = self.lanes.len() + usize::from(self.lane_index(lane).is_none());
+        (capacity / active.max(1)).max(1)
+    }
+
+    fn lane_depth(&self, lane: &str) -> usize {
+        self.lane_index(lane)
+            .map_or(0, |i| self.lanes[i].items.len())
+    }
+
+    /// `true` while `lane` may not accept another item.
+    fn lane_full(&self, lane: &str, capacity: usize) -> bool {
+        self.total >= capacity || self.lane_depth(lane) >= self.fair_share(lane, capacity)
+    }
+
+    fn accept(&mut self, lane: &str, item: T) {
+        match self.lane_index(lane) {
+            Some(i) => self.lanes[i].items.push_back(item),
+            None => self.lanes.push(Lane {
+                id: lane.to_string(),
+                items: VecDeque::from([item]),
+                deficit: 0,
+            }),
+        }
+        self.total += 1;
+        self.enqueued += 1;
+    }
+}
+
+/// A bounded blocking multi-producer multi-consumer queue with per-lane
+/// deficit-round-robin scheduling (see the module docs).
 #[derive(Debug)]
 pub struct JobQueue<T> {
     state: Mutex<QueueState<T>>,
@@ -59,7 +138,9 @@ impl<T> JobQueue<T> {
     pub fn new(capacity: usize) -> JobQueue<T> {
         JobQueue {
             state: Mutex::new(QueueState {
-                items: VecDeque::new(),
+                lanes: Vec::new(),
+                cursor: 0,
+                total: 0,
                 closed: false,
                 enqueued: 0,
             }),
@@ -69,14 +150,38 @@ impl<T> JobQueue<T> {
         }
     }
 
-    /// The maximum number of waiting items.
+    /// The maximum number of waiting items across all lanes.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Number of items currently waiting.
+    /// Number of items currently waiting, summed over lanes.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        self.state.lock().expect("queue poisoned").total
+    }
+
+    /// Number of items waiting in one lane.
+    pub fn lane_depth(&self, lane: &str) -> usize {
+        self.state.lock().expect("queue poisoned").lane_depth(lane)
+    }
+
+    /// Number of lanes that currently hold at least one item.
+    pub fn active_lanes(&self) -> usize {
+        self.state.lock().expect("queue poisoned").lanes.len()
+    }
+
+    /// Depth of the deepest lane (0 when idle) — the fairness headline:
+    /// under a single-client flood this approaches the flooder's fair
+    /// share, not the whole capacity.
+    pub fn max_lane_depth(&self) -> usize {
+        let state = self.state.lock().expect("queue poisoned");
+        state.lanes.iter().map(|l| l.items.len()).max().unwrap_or(0)
+    }
+
+    /// Current fair-share bound per lane: `max(1, capacity / active_lanes)`.
+    pub fn fair_share(&self) -> usize {
+        let state = self.state.lock().expect("queue poisoned");
+        (self.capacity / state.lanes.len().max(1)).max(1)
     }
 
     /// Total number of items ever accepted.
@@ -84,60 +189,108 @@ impl<T> JobQueue<T> {
         self.state.lock().expect("queue poisoned").enqueued
     }
 
-    /// Enqueues an item, blocking while the queue is full (backpressure).
+    /// Enqueues an item on the [`DEFAULT_LANE`], blocking while that lane
+    /// is at its fair share (backpressure).
     ///
     /// # Errors
     ///
     /// Returns [`PushError`] (with the item lost) if the queue was closed
     /// before space became available.
     pub fn push(&self, item: T) -> Result<(), PushError> {
+        self.push_lane(DEFAULT_LANE, item)
+    }
+
+    /// Enqueues an item on `lane`, blocking while the lane is at its fair
+    /// share or the queue at total capacity (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] (with the item lost) if the queue was closed
+    /// before space became available.
+    pub fn push_lane(&self, lane: &str, item: T) -> Result<(), PushError> {
         let mut state = self.state.lock().expect("queue poisoned");
-        while state.items.len() >= self.capacity && !state.closed {
+        while state.lane_full(lane, self.capacity) && !state.closed {
             state = self.not_full.wait(state).expect("queue poisoned");
         }
         if state.closed {
             return Err(PushError);
         }
-        state.items.push_back(item);
-        state.enqueued += 1;
+        state.accept(lane, item);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Enqueues an item **without blocking**: a full queue is an immediate
-    /// [`TryPushError::Full`] instead of backpressure. Deadline-carrying
-    /// jobs go through this path — blocking a connection thread on a
-    /// saturated queue could hold the job past its own deadline, so the
-    /// daemon sheds it (an `overloaded` error) and lets the client retry.
+    /// Enqueues on the [`DEFAULT_LANE`] **without blocking**: a full lane
+    /// is an immediate [`TryPushError::Full`] instead of backpressure.
+    /// Deadline-carrying jobs go through this path — blocking a connection
+    /// thread on a saturated queue could hold the job past its own
+    /// deadline, so the daemon sheds it (an `overloaded` error) and lets
+    /// the client retry.
     ///
     /// # Errors
     ///
     /// Returns the item back inside [`TryPushError`].
     pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        self.try_push_lane(DEFAULT_LANE, item)
+    }
+
+    /// Enqueues on `lane` **without blocking**; see [`JobQueue::try_push`].
+    /// Fair-share shedding is what isolates tenants: the reject fires when
+    /// *this lane* is over its share, so a greedy client is shed while
+    /// polite lanes keep accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`TryPushError`].
+    pub fn try_push_lane(&self, lane: &str, item: T) -> Result<(), TryPushError<T>> {
         let mut state = self.state.lock().expect("queue poisoned");
         if state.closed {
             return Err(TryPushError::Closed(item));
         }
-        if state.items.len() >= self.capacity {
+        if state.lane_full(lane, self.capacity) {
             return Err(TryPushError::Full(item));
         }
-        state.items.push_back(item);
-        state.enqueued += 1;
+        state.accept(lane, item);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Dequeues an item, blocking while the queue is empty. Returns `None`
-    /// only once the queue is closed **and** fully drained, so no accepted
-    /// job is ever dropped during a graceful shutdown.
+    /// Dequeues the next item in deficit-round-robin order, blocking while
+    /// the queue is empty. Returns `None` only once the queue is closed
+    /// **and** fully drained (across every lane), so no accepted job is
+    /// ever dropped during a graceful shutdown.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = state.items.pop_front() {
+            if state.total > 0 {
+                // Every lane in the vector is non-empty, so the cursor's
+                // lane is always servable: credit a quantum, take one item.
+                let i = state.cursor % state.lanes.len();
+                let lane = &mut state.lanes[i];
+                lane.deficit += QUANTUM;
+                let item = lane.items.pop_front().expect("active lane non-empty");
+                lane.deficit -= 1; // unit cost per job
+                if lane.items.is_empty() {
+                    // DRR empty-lane rule: the lane leaves the schedule and
+                    // forfeits its residual deficit. The cursor stays put —
+                    // the removal shifts the next lane into this slot.
+                    state.lanes.remove(i);
+                    if state.lanes.is_empty() {
+                        state.cursor = 0;
+                    } else {
+                        state.cursor = i % state.lanes.len();
+                    }
+                } else {
+                    state.cursor = (i + 1) % state.lanes.len();
+                }
+                state.total -= 1;
                 drop(state);
-                self.not_full.notify_one();
+                // Freed space may unblock pushers on several different
+                // lanes (a drained lane raises every other lane's fair
+                // share), so the single-waiter wake-up is not enough.
+                self.not_full.notify_all();
                 return Some(item);
             }
             if state.closed {
@@ -152,7 +305,7 @@ impl<T> JobQueue<T> {
     ///
     /// Shutdown-under-backpressure invariant (regression-pinned by
     /// `closing_a_saturated_queue_unblocks_every_pusher`): the wake-up must
-    /// cover **both** condvars. Producers blocked on a *full* queue wait on
+    /// cover **both** condvars. Producers blocked on a *full* lane wait on
     /// `not_full`; if close only notified `not_empty`, those connection
     /// threads would sleep forever — no consumer ever pops once the workers
     /// start exiting, so nothing else would wake them and shutdown would
@@ -329,5 +482,112 @@ mod tests {
         assert_eq!(received.load(Ordering::Relaxed), n);
         assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
         assert_eq!(queue.enqueued(), n);
+    }
+
+    #[test]
+    fn drr_interleaves_lanes_one_job_per_pass() {
+        let queue = JobQueue::new(16);
+        // Lane "a" floods first; "b" and "c" each queue one job later.
+        for i in 0..3 {
+            queue.try_push_lane("a", ("a", i)).unwrap();
+        }
+        queue.try_push_lane("b", ("b", 0)).unwrap();
+        queue.try_push_lane("c", ("c", 0)).unwrap();
+        assert_eq!(queue.active_lanes(), 3);
+        assert_eq!(queue.max_lane_depth(), 3);
+        // Round-robin: the late-arriving polite lanes are served after one
+        // "a" job each pass, not after the whole "a" backlog.
+        let order: Vec<_> = (0..5).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(
+            order,
+            vec![("a", 0), ("b", 0), ("c", 0), ("a", 1), ("a", 2)]
+        );
+        assert_eq!(queue.active_lanes(), 0);
+    }
+
+    #[test]
+    fn fair_share_sheds_the_greedy_lane_only() {
+        let queue = JobQueue::new(8);
+        // Four active lanes => fair share is 8 / 4 = 2 per lane.
+        for lane in ["greedy", "p1", "p2", "p3"] {
+            queue.try_push_lane(lane, lane).unwrap();
+        }
+        assert_eq!(queue.fair_share(), 2);
+        assert_eq!(queue.try_push_lane("greedy", "greedy"), Ok(()));
+        // The greedy lane is now at its share: its next push sheds...
+        assert_eq!(
+            queue.try_push_lane("greedy", "greedy"),
+            Err(TryPushError::Full("greedy"))
+        );
+        // ...while the polite lanes still have room.
+        assert_eq!(queue.try_push_lane("p1", "p1"), Ok(()));
+        assert_eq!(queue.lane_depth("greedy"), 2);
+        assert_eq!(queue.lane_depth("p1"), 2);
+    }
+
+    #[test]
+    fn a_single_lane_keeps_the_whole_capacity() {
+        // Single-tenant regression: with only the default lane active, the
+        // fair share equals the full capacity — fair queuing must not
+        // shrink the pre-lane queue's admission.
+        let queue = JobQueue::new(4);
+        for i in 0..4 {
+            assert_eq!(queue.try_push(i), Ok(()));
+        }
+        assert_eq!(queue.fair_share(), 4);
+        assert_eq!(queue.try_push(9), Err(TryPushError::Full(9)));
+    }
+
+    #[test]
+    fn draining_a_lane_raises_the_other_lanes_shares() {
+        let queue = JobQueue::new(4);
+        queue.try_push_lane("a", "a0").unwrap();
+        queue.try_push_lane("b", "b0").unwrap();
+        // Two lanes: share 2, so "a" can hold one more but not three.
+        queue.try_push_lane("a", "a1").unwrap();
+        assert_eq!(
+            queue.try_push_lane("a", "a2"),
+            Err(TryPushError::Full("a2"))
+        );
+        // Drain "b" entirely; "a" becomes the only lane and its share
+        // grows back to the whole capacity.
+        assert_eq!(queue.pop(), Some("a0"));
+        assert_eq!(queue.pop(), Some("b0"));
+        assert_eq!(queue.active_lanes(), 1);
+        assert_eq!(queue.try_push_lane("a", "a2"), Ok(()));
+        assert_eq!(queue.try_push_lane("a", "a3"), Ok(()));
+        assert_eq!(queue.try_push_lane("a", "a4"), Ok(()));
+        assert_eq!(queue.lane_depth("a"), 4);
+    }
+
+    #[test]
+    fn close_drains_every_lane_then_returns_none() {
+        // Satellite regression: a shutdown with multiple populated lanes
+        // must deliver every accepted job across all lanes (still in DRR
+        // order) before consumers see None, and blocked pushers on any
+        // lane must wake with PushError.
+        let queue = Arc::new(JobQueue::new(6));
+        for lane in ["a", "b", "c"] {
+            queue.try_push_lane(lane, format!("{lane}0")).unwrap();
+            queue.try_push_lane(lane, format!("{lane}1")).unwrap();
+        }
+        // All three lanes are at their fair share (6 / 3 = 2): a pusher on
+        // each lane blocks, and close must unblock every one of them.
+        let blocked: Vec<_> = ["a", "b", "c"]
+            .into_iter()
+            .map(|lane| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || queue.push_lane(lane, format!("{lane}X")))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        queue.close();
+        for pusher in blocked {
+            assert_eq!(pusher.join().unwrap(), Err(PushError));
+        }
+        let drained: Vec<_> = std::iter::from_fn(|| queue.pop()).collect();
+        assert_eq!(drained, vec!["a0", "b0", "c0", "a1", "b1", "c1"]);
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.enqueued(), 6);
     }
 }

@@ -88,6 +88,12 @@ pub struct ServiceConfig {
     /// writes fresh builds through asynchronously, and snapshots the cache
     /// back to the store on graceful shutdown.
     pub store_dir: Option<String>,
+    /// Whether boot eagerly restores every store record into the in-memory
+    /// cache (the default). With `false` the disk tier is consulted lazily,
+    /// per request — a restarted replica's first hit for a previously-seen
+    /// program then answers with `tier:"store"`, which is what the fleet
+    /// chaos scenario pins; large stores also boot faster this way.
+    pub restore_on_boot: bool,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +115,7 @@ impl Default for ServiceConfig {
             write_timeout_ms: None,
             fault_plan: None,
             store_dir: None,
+            restore_on_boot: true,
         }
     }
 }
@@ -209,6 +216,10 @@ struct ServerState {
     jobs_shed: AtomicU64,
     /// Jobs whose deadline expired while queued (answered, not solved).
     jobs_expired: AtomicU64,
+    /// Set by [`ServerState::crash_abrupt`]: an injected replica crash.
+    /// A crashed daemon must not snapshot its cache on [`Server::wait`] —
+    /// a real crash gets no goodbye write.
+    crashed: AtomicBool,
     /// Worker panics converted into `internal_error` responses.
     worker_panics: AtomicU64,
     localize_requests: AtomicU64,
@@ -257,6 +268,32 @@ impl ServerState {
         let _ = TcpStream::connect(self.local_addr);
     }
 
+    /// An injected replica crash: like [`ServerState::begin_shutdown`] but
+    /// *abrupt* — every open connection is severed immediately (clients see
+    /// a reset mid-request, exactly what a killed process looks like from
+    /// the wire) and no graceful snapshot will follow. The store's lock
+    /// file is released explicitly because in-process chaos tests restart
+    /// the "crashed" replica under the same PID: a real crash leaves a
+    /// stale lock that the restart breaks via its dead PID, which a
+    /// same-process test cannot simulate.
+    fn crash_abrupt(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // Hang up the write-through channel without the cache snapshot.
+        self.store_writer
+            .lock()
+            .expect("store_writer poisoned")
+            .take();
+        for (_, stream) in self.streams.lock().expect("streams poisoned").iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(store) = &self.store {
+            store.unlock();
+        }
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
     fn error_line(&self, id: u64, kind: &'static str, message: impl std::fmt::Display) -> String {
         self.error_responses.fetch_add(1, Ordering::Relaxed);
         Json::obj(vec![
@@ -297,7 +334,21 @@ impl ServerState {
         }
     }
 
+    /// The `health` wire response. Beyond liveness it carries the load
+    /// signals a fleet router needs to avoid a struggling replica — queue
+    /// depth/capacity, active fair-queue lanes, shed/expired totals and the
+    /// shed *rate* (sheds per admission attempt) — plus the store tier's
+    /// status so a restarted replica can be seen coming back warm. The
+    /// shape is pinned by `health_reports_queue_shed_and_store_status`.
     fn health_line(&self, id: u64) -> String {
+        let shed = self.jobs_shed.load(Ordering::Relaxed);
+        let attempts = self.queue.enqueued() + shed;
+        let shed_rate = if attempts == 0 {
+            0.0
+        } else {
+            shed as f64 / attempts as f64
+        };
+        let store = self.store.as_ref().map(|s| s.stats()).unwrap_or_default();
         Json::obj(vec![
             ("id", Json::from(id)),
             ("ok", Json::Bool(true)),
@@ -305,6 +356,24 @@ impl ServerState {
             ("status", Json::str("ok")),
             ("uptime_ms", Json::from(self.started.elapsed().as_millis())),
             ("workers", Json::from(self.workers)),
+            ("queue_depth", Json::from(self.queue.depth())),
+            ("queue_capacity", Json::from(self.queue.capacity())),
+            ("active_lanes", Json::from(self.queue.active_lanes())),
+            ("shed", Json::from(shed)),
+            (
+                "expired",
+                Json::from(self.jobs_expired.load(Ordering::Relaxed)),
+            ),
+            ("shed_rate", Json::Float(shed_rate)),
+            (
+                "store",
+                Json::obj(vec![
+                    ("enabled", Json::Bool(self.store.is_some())),
+                    ("restored_entries", Json::from(store.restored_entries)),
+                    ("restore_ms", Json::from(store.restore_ms)),
+                    ("writes", Json::from(store.writes)),
+                ]),
+            ),
         ])
         .to_string()
     }
@@ -397,6 +466,9 @@ impl ServerState {
                         "avg_exec_ms",
                         Json::from(self.avg_exec_ms.load(Ordering::Relaxed)),
                     ),
+                    ("active_lanes", Json::from(self.queue.active_lanes())),
+                    ("max_lane_depth", Json::from(self.queue.max_lane_depth())),
+                    ("fair_share", Json::from(self.queue.fair_share())),
                 ]),
             ),
             (
@@ -567,6 +639,25 @@ impl ServerState {
             "bugassist_queue_avg_exec_ms",
             "gauge",
             self.avg_exec_ms.load(Ordering::Relaxed),
+        );
+        // Fair-queue family (per-client DRR lanes).
+        metric(
+            &mut text,
+            "bugassist_fair_queue_active_lanes",
+            "gauge",
+            self.queue.active_lanes() as u64,
+        );
+        metric(
+            &mut text,
+            "bugassist_fair_queue_max_lane_depth",
+            "gauge",
+            self.queue.max_lane_depth() as u64,
+        );
+        metric(
+            &mut text,
+            "bugassist_fair_queue_fair_share",
+            "gauge",
+            self.queue.fair_share() as u64,
         );
         // Cache family (the in-memory tier).
         metric(
@@ -1303,6 +1394,9 @@ fn enqueue_and_wait(state: &ServerState, id: u64, kind: JobKind, job: Job) -> St
         (requested, _) => requested,
     };
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    // Fair-queue lane: jobs sharing a client_id share a lane; anonymous
+    // traffic shares the default lane. (See `queue` module docs.)
+    let lane = job.client_id.clone().unwrap_or_default();
     let (reply, receive) = mpsc::channel();
     let queued = QueuedJob {
         id,
@@ -1314,10 +1408,18 @@ fn enqueue_and_wait(state: &ServerState, id: u64, kind: JobKind, job: Job) -> St
     let pushed = match deadline_ms {
         None => state
             .queue
-            .push(queued)
+            .push_lane(&lane, queued)
             .map_err(|_| state.error_line(id, "shutting_down", "server is shutting down")),
         Some(budget_ms) => {
-            let est_wait_ms = (state.queue.depth() as u64)
+            // Under DRR every active lane is served once per pass, so a job
+            // joining a lane with `d` waiting jobs sits behind roughly
+            // `d × active_lanes` pops — never more than the whole queue.
+            // With one lane this degrades to the plain depth estimate.
+            let lane_depth = state.queue.lane_depth(&lane) as u64;
+            let active_lanes = state.queue.active_lanes().max(1) as u64;
+            let est_jobs_ahead =
+                (lane_depth.saturating_mul(active_lanes)).min(state.queue.depth() as u64);
+            let est_wait_ms = est_jobs_ahead
                 .saturating_mul(state.avg_exec_ms.load(Ordering::Relaxed))
                 / state.workers.max(1) as u64;
             if est_wait_ms >= budget_ms.max(1) {
@@ -1331,19 +1433,22 @@ fn enqueue_and_wait(state: &ServerState, id: u64, kind: JobKind, job: Job) -> St
                     ),
                 ))
             } else {
-                state.queue.try_push(queued).map_err(|e| match e {
-                    TryPushError::Full(_) => {
-                        state.jobs_shed.fetch_add(1, Ordering::Relaxed);
-                        state.error_line(
-                            id,
-                            "overloaded",
-                            "job queue is full; shedding instead of queueing past the deadline",
-                        )
-                    }
-                    TryPushError::Closed(_) => {
-                        state.error_line(id, "shutting_down", "server is shutting down")
-                    }
-                })
+                state
+                    .queue
+                    .try_push_lane(&lane, queued)
+                    .map_err(|e| match e {
+                        TryPushError::Full(_) => {
+                            state.jobs_shed.fetch_add(1, Ordering::Relaxed);
+                            state.error_line(
+                                id,
+                                "overloaded",
+                                "job queue is full; shedding instead of queueing past the deadline",
+                            )
+                        }
+                        TryPushError::Closed(_) => {
+                            state.error_line(id, "shutting_down", "server is shutting down")
+                        }
+                    })
             }
         }
     };
@@ -1540,6 +1645,7 @@ impl Server {
             avg_exec_ms: AtomicU64::new(0),
             jobs_shed: AtomicU64::new(0),
             jobs_expired: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
             worker_panics: AtomicU64::new(0),
             localize_requests: AtomicU64::new(0),
             revise_requests: AtomicU64::new(0),
@@ -1568,8 +1674,10 @@ impl Server {
         // the in-memory cache, so the first request after a restart is a
         // plain cache hit — no rebuild, no bit-blast, byte-identical
         // reports. Corrupt or undecodable records are counted and deleted;
-        // nothing on this path can fail the boot.
-        if let Some(store) = &store {
+        // nothing on this path can fail the boot. Gated by
+        // `restore_on_boot`: with it off, the disk tier is consulted
+        // lazily per request instead (`tier:"store"` answers).
+        if let Some(store) = store.as_ref().filter(|_| config.restore_on_boot) {
             let restore_started = Instant::now();
             let mut restored = 0u64;
             for (key, fingerprint, payload) in store.scan() {
@@ -1671,6 +1779,16 @@ impl Server {
                             };
                             // A disconnected client is not an error.
                             let _ = job.reply.send(response);
+                            // Injected replica crash: once the configured
+                            // execution count is reached, this replica
+                            // "dies" abruptly — connections severed, no
+                            // snapshot. Exactly one worker pulls the
+                            // trigger (one-shot CAS inside the hook).
+                            if let Some(faults) = &state.faults {
+                                if faults.crash_check() {
+                                    state.crash_abrupt();
+                                }
+                            }
                         }
                     })
                     .expect("spawn worker")
@@ -1769,13 +1887,24 @@ impl Server {
             .lock()
             .expect("store_writer poisoned")
             .take();
+        // A crashed replica gets no goodbye snapshot (crash_abrupt already
+        // dropped the sender); only a graceful shutdown writes one.
         if let Some(tx) = writer_tx {
-            for (key, entry) in self.state.cache.entries() {
-                let _ = tx.send((key, entry));
+            if !self.state.crashed.load(Ordering::SeqCst) {
+                for (key, entry) in self.state.cache.entries() {
+                    let _ = tx.send((key, entry));
+                }
             }
         }
         if let Some(writer) = self.store_writer.take() {
             writer.join().expect("store writer panicked");
+        }
+        // The writer has drained; release the store-directory lock so a
+        // successor process (or an in-process restart in tests) can claim
+        // the directory. Detached connection threads may briefly outlive
+        // this, but they never touch the store.
+        if let Some(store) = &self.state.store {
+            store.unlock();
         }
         for (_, stream) in self.state.streams.lock().expect("streams poisoned").iter() {
             let _ = stream.shutdown(Shutdown::Both);
@@ -1794,6 +1923,20 @@ impl Server {
     /// Graceful shutdown: [`Server::trigger_shutdown`] + [`Server::wait`].
     pub fn shutdown(self) {
         self.trigger_shutdown();
+        self.wait();
+    }
+
+    /// Kills the replica the way a crashed process would look from the
+    /// wire: every open connection is severed immediately (in-flight
+    /// requests see a reset, not a response) and **no** cache snapshot is
+    /// written — only what the asynchronous write-through already persisted
+    /// survives, which is exactly the durability a real crash leaves
+    /// behind. The threads are then joined so the harness can restart a
+    /// replica on the same store directory. Chaos harnesses use this (or
+    /// the `crash_after_executes` fault) to kill one fleet replica
+    /// mid-stream.
+    pub fn crash(self) {
+        self.state.crash_abrupt();
         self.wait();
     }
 }

@@ -1,0 +1,237 @@
+//! End-to-end tests of fleet-level robustness: rendezvous routing across
+//! replicas, transparent failover when a replica crashes mid-stream with
+//! byte-identical answers, warm restart through the persistent store, and
+//! the one-live-owner-per-`--store-dir` startup guard.
+
+use service::fleet::routing_key;
+use service::{Client, FleetClient, FleetConfig, Job, JobSpec, Json, Server, ServiceConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A self-deleting scratch directory for one replica's store files.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "bugassist-fleet-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> String {
+        self.0.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A family of distinct tiny faulty programs: each `delta` is its own
+/// program, cache entry and routing key, with a deterministic answer.
+fn fleet_job(delta: i64) -> Job {
+    let source = format!("int main(int x) {{\nint y = x + {delta};\nint z = y * 2;\nreturn z;\n}}");
+    Job::new(source, "main", JobSpec::ReturnEquals(0), vec![vec![3]])
+}
+
+fn canonical(body: &Json) -> String {
+    service::protocol::canonicalize(body).to_string()
+}
+
+fn replica_config(dir: &TempDir) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        store_dir: Some(dir.path()),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Polls one replica's `health` report until its store has persisted at
+/// least `writes` records (write-through is asynchronous).
+fn wait_for_store_writes(addr: &str, writes: u64) {
+    let mut client = Client::connect(addr).expect("connects for health polling");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = client.health_report().expect("health");
+        let done = report
+            .get("store")
+            .and_then(|s| s.get("writes"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("health.store.writes missing: {report}"));
+        if done >= writes {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "write-through never persisted {writes} records: {report}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Rebinds a just-crashed replica's address, retrying briefly: the old
+/// listener is closed before `crash()` returns, but the kernel may lag.
+fn restart_replica(config: ServiceConfig) -> Server {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match Server::start(config.clone()) {
+            Ok(server) => return server,
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("replica restart failed: {e}"),
+        }
+    }
+}
+
+/// The chaos-kill acceptance scenario, in-process: three replicas, one
+/// crashed mid-stream. Every job still gets an answer byte-identical to a
+/// single reference daemon's, the fleet records the failovers, and the
+/// restarted replica comes back warm through its store (`tier:"store"` on
+/// the first repeat request, with `restore_on_boot: false`).
+#[test]
+fn fleet_survives_a_replica_crash_with_byte_identical_answers() {
+    let jobs: Vec<Job> = (1..=8).map(fleet_job).collect();
+
+    // Reference: one plain daemon, no store, answers recorded.
+    let reference = Server::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("reference daemon");
+    let expected: Vec<String> = {
+        let mut client = Client::connect(reference.local_addr()).expect("connects");
+        jobs.iter()
+            .map(|job| canonical(&client.localize(job.clone()).expect("reference answer").body))
+            .collect()
+    };
+    reference.shutdown();
+
+    // The fleet: three replicas, each with its own store directory.
+    let dirs: Vec<TempDir> = (0..3)
+        .map(|i| TempDir::new(&format!("chaos-{i}")))
+        .collect();
+    let mut servers: Vec<Option<Server>> = dirs
+        .iter()
+        .map(|dir| Some(Server::start(replica_config(dir)).expect("replica starts")))
+        .collect();
+    let addrs: Vec<String> = servers
+        .iter()
+        .map(|s| s.as_ref().unwrap().local_addr().to_string())
+        .collect();
+    let mut fleet = FleetClient::new(FleetConfig {
+        replicas: addrs.clone(),
+        down_cooldown: Duration::from_millis(200),
+        backoff_base: Duration::from_millis(5),
+        ..FleetConfig::default()
+    });
+
+    // Phase 1: the whole stream lands on its home replicas, byte-identical.
+    for (job, want) in jobs.iter().zip(&expected) {
+        let out = fleet.localize(job.clone()).expect("fleet answers");
+        assert_eq!(&canonical(&out.body), want, "fleet answer diverges");
+    }
+    assert_eq!(fleet.stats().failovers, 0, "healthy fleet never fails over");
+
+    // The victim is job 0's home. Let its asynchronous write-through land
+    // before the crash so the restart below has something to recover.
+    let victim = fleet.home_of(routing_key(&jobs[0]));
+    let victim_jobs: Vec<&Job> = jobs
+        .iter()
+        .filter(|job| fleet.home_of(routing_key(job)) == victim)
+        .collect();
+    assert!(!victim_jobs.is_empty());
+    wait_for_store_writes(&addrs[victim], victim_jobs.len() as u64);
+
+    // Chaos: abrupt crash (no graceful drain, no store snapshot).
+    servers[victim].take().expect("victim running").crash();
+
+    // Phase 2: the same stream again. Jobs homed on the victim fail over
+    // to the next replica in hash order; answers stay byte-identical
+    // because every replica computes the same deterministic report.
+    for (job, want) in jobs.iter().zip(&expected) {
+        let out = fleet
+            .localize(job.clone())
+            .expect("fleet survives the crash");
+        assert_eq!(&canonical(&out.body), want, "failover answer diverges");
+    }
+    assert!(
+        fleet.stats().failovers >= 1,
+        "crashing a home replica must record failovers: {:?}",
+        fleet.stats()
+    );
+    assert_eq!(fleet.stats().delivered, 2 * jobs.len() as u64);
+
+    // Probing sees two replicas up and the victim down.
+    let reports = fleet.probe();
+    assert!(reports[victim].is_none(), "crashed replica must not answer");
+    assert_eq!(fleet.replicas_up(), 2);
+
+    // Restart the victim on its old address and store directory. Lazy
+    // restore (`restore_on_boot: false`) pins the disk tier: the first
+    // repeat request must answer from the store, not a rebuild.
+    let restarted = restart_replica(ServiceConfig {
+        addr: addrs[victim].clone(),
+        restore_on_boot: false,
+        ..replica_config(&dirs[victim])
+    });
+    {
+        let mut direct = Client::connect(restarted.local_addr()).expect("connects");
+        let out = direct
+            .localize(victim_jobs[0].clone())
+            .expect("restarted replica answers");
+        assert_eq!(
+            out.tier, "store",
+            "first repeat request after restart must come back warm from the store"
+        );
+        assert_eq!(&canonical(&out.body), &expected[0], "warm answer diverges");
+    }
+
+    // The fleet re-admits it: the next probe clears the down mark and a
+    // victim-homed job routes home again.
+    let reports = fleet.probe();
+    assert!(reports.iter().all(Option::is_some), "all replicas answer");
+    assert_eq!(fleet.replicas_up(), 3);
+    let served_before = fleet.stats().served_by[victim];
+    let out = fleet.localize(victim_jobs[0].clone()).expect("routes home");
+    assert_eq!(&canonical(&out.body), &expected[0]);
+    assert_eq!(
+        fleet.stats().served_by[victim],
+        served_before + 1,
+        "re-admitted replica serves its own keys again"
+    );
+
+    restarted.shutdown();
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+}
+
+/// Satellite 1: two replicas pointed at the same `--store-dir` is an
+/// operator error the second replica must refuse at startup with a
+/// structured message, and a graceful shutdown releases the directory.
+#[test]
+fn a_second_replica_on_the_same_store_dir_is_refused_at_startup() {
+    let dir = TempDir::new("shared-store");
+
+    let first = Server::start(replica_config(&dir)).expect("first replica owns the dir");
+    let err = Server::start(replica_config(&dir))
+        .expect_err("second replica on the same store dir must be refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    let message = err.to_string();
+    assert!(
+        message.contains("locked by live process") && message.contains("--store-dir"),
+        "startup error must name the hazard and the fix: {message}"
+    );
+
+    // Graceful shutdown releases the lock; the directory is reusable.
+    first.shutdown();
+    let second = Server::start(replica_config(&dir)).expect("dir reusable after shutdown");
+    second.shutdown();
+}

@@ -254,16 +254,9 @@ fn corrupt_records_degrade_to_clean_boot_misses() {
     server.shutdown();
 }
 
-#[test]
-fn metrics_exposition_is_valid_prometheus_text() {
-    let dir = TempDir::new("metrics");
-    let server = Server::start(store_config(&dir)).expect("daemon");
-    let mut client = Client::connect(server.local_addr()).expect("connects");
-    client.localize(minic_job(2)).expect("one request");
-    let text = client.metrics().expect("metrics");
-
-    // Structural validity: every line is a `# TYPE` comment or a
-    // `name[{labels}] value` sample whose name a `# TYPE` declared.
+/// Structural validity: every line is a `# TYPE` comment or a
+/// `name[{labels}] value` sample whose name a `# TYPE` declared.
+fn assert_valid_prometheus(text: &str) {
     let mut declared = Vec::new();
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -291,11 +284,24 @@ fn metrics_exposition_is_valid_prometheus_text() {
         );
         assert!(value.parse::<f64>().is_ok(), "unparsable value in {line:?}");
     }
+}
+
+#[test]
+fn metrics_exposition_is_valid_prometheus_text() {
+    let dir = TempDir::new("metrics");
+    let server = Server::start(store_config(&dir)).expect("daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    client.localize(minic_job(2)).expect("one request");
+    let text = client.metrics().expect("metrics");
+    assert_valid_prometheus(&text);
 
     // Coverage: one representative metric per required family.
     for family in [
         "bugassist_requests_total{op=\"localize\"} 1",
         "bugassist_queue_depth",
+        "bugassist_fair_queue_active_lanes",
+        "bugassist_fair_queue_max_lane_depth",
+        "bugassist_fair_queue_fair_share",
         "bugassist_cache_misses_total 1",
         "bugassist_worker_panics_total 0",
         "bugassist_formula_gates_cached_total",
@@ -306,6 +312,39 @@ fn metrics_exposition_is_valid_prometheus_text() {
         "bugassist_build_info{version=",
     ] {
         assert!(text.contains(family), "metrics lack {family:?}:\n{text}");
+    }
+    server.shutdown();
+}
+
+/// The fleet client's own exposition goes through the same structural
+/// validator: a chaos harness scrapes it next to the per-replica text.
+#[test]
+fn fleet_metrics_exposition_is_valid_prometheus_text() {
+    let dir = TempDir::new("fleet-metrics");
+    let server = Server::start(store_config(&dir)).expect("daemon");
+    let addr = server.local_addr().to_string();
+    let mut fleet = service::FleetClient::new(service::FleetConfig {
+        replicas: vec![addr],
+        ..service::FleetConfig::default()
+    });
+    fleet.localize(minic_job(3)).expect("fleet serves");
+    fleet.probe();
+    let text = fleet.metrics_text();
+    assert_valid_prometheus(&text);
+
+    for family in [
+        "bugassist_fleet_replicas 1",
+        "bugassist_fleet_replicas_up 1",
+        "bugassist_fleet_requests_total 1",
+        "bugassist_fleet_delivered_total 1",
+        "bugassist_fleet_failovers_total 0",
+        "bugassist_fleet_down_marks_total 0",
+        "bugassist_fleet_served_total{replica=",
+    ] {
+        assert!(
+            text.contains(family),
+            "fleet metrics lack {family:?}:\n{text}"
+        );
     }
     server.shutdown();
 }

@@ -1015,3 +1015,191 @@ fn static_prune_counters_surface_in_stats() {
     );
     server.shutdown();
 }
+
+/// The `health` wire shape is a contract: fleet routers and operators
+/// parse it, so the exact key set (and the `store` sub-object's) is
+/// pinned here. Adding a field is an API change that must edit this test.
+#[test]
+fn health_reports_queue_shed_and_store_status() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(server.local_addr()).expect("connects");
+    client.localize(mutated_minic_job(1)).expect("localizes");
+
+    let report = client.health_report().expect("health");
+    let keys: Vec<&str> = report
+        .as_obj()
+        .expect("health is an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys,
+        [
+            "id",
+            "ok",
+            "op",
+            "status",
+            "uptime_ms",
+            "workers",
+            "queue_depth",
+            "queue_capacity",
+            "active_lanes",
+            "shed",
+            "expired",
+            "shed_rate",
+            "store",
+        ],
+        "health key set changed — update the fleet/router consumers first"
+    );
+    let store_keys: Vec<&str> = report
+        .get("store")
+        .and_then(Json::as_obj)
+        .expect("health.store is an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        store_keys,
+        ["enabled", "restored_entries", "restore_ms", "writes"]
+    );
+
+    // Value sanity on a freshly started storeless daemon.
+    assert_eq!(report.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(report.get("workers").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("queue_capacity").and_then(Json::as_u64), Some(4));
+    assert_eq!(report.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(report.get("active_lanes").and_then(Json::as_u64), Some(0));
+    assert_eq!(report.get("shed").and_then(Json::as_u64), Some(0));
+    assert_eq!(report.get("expired").and_then(Json::as_u64), Some(0));
+    assert_eq!(report.get("shed_rate").and_then(Json::as_f64), Some(0.0));
+    let store = report.get("store").expect("store");
+    assert_eq!(store.get("enabled").and_then(Json::as_bool), Some(false));
+    assert_eq!(store.get("writes").and_then(Json::as_u64), Some(0));
+    server.shutdown();
+}
+
+/// The client's retry backoff must respect the job's own `deadline_ms`:
+/// retrying past the point where the answer could still arrive in budget
+/// only burns the caller's time. Against a daemon that hangs up on every
+/// attempt, an uncapped 8-retry schedule at 100 ms base would sleep ~25 s;
+/// the cap surfaces `deadline_exceeded` within the job's ~250 ms budget.
+#[test]
+fn client_retries_never_outlive_the_jobs_own_deadline() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+    let addr = listener.local_addr().expect("addr");
+    // Accept and instantly hang up, forever: every attempt is a transport
+    // error. The thread dies with the test process.
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            drop(conn);
+        }
+    });
+
+    let mut client = Client::connect_with(
+        addr,
+        service::ClientConfig {
+            retries: 8,
+            retry_base: std::time::Duration::from_millis(100),
+            seed: 7,
+            ..service::ClientConfig::default()
+        },
+    )
+    .expect("connects");
+    let mut job = mutated_minic_job(1);
+    job.deadline_ms = Some(250);
+    let started = std::time::Instant::now();
+    let err = client.localize(job).expect_err("no daemon ever answers");
+    let elapsed = started.elapsed();
+    assert_eq!(err.kind(), Some("deadline_exceeded"), "{err:?}");
+    assert!(
+        matches!(&err, ClientError::DeadlineExceeded { last_error } if !last_error.is_empty()),
+        "{err:?}"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "retry loop blew past the deadline: {elapsed:?}"
+    );
+}
+
+/// Fair-queuing regression: one greedy tenant flooding distinct cold-build
+/// jobs from six connections cannot shed or starve three polite tenants on
+/// their own lanes. Polite jobs must all succeed (zero sheds) with a
+/// bounded p99, whatever happens to the greedy lane.
+#[test]
+fn a_greedy_client_cannot_shed_or_starve_the_polite_ones() {
+    let server = Server::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 16,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // The greedy tenant: six connections sharing one client_id, every job
+    // a distinct program (a cold build), re-submitting the moment each
+    // response lands. Sheds hit only this lane and must say `overloaded`.
+    let greedy: Vec<_> = (0..6)
+        .map(|t: i64| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                let mut sheds = 0u64;
+                for i in 0..6 {
+                    let mut job = mutated_minic_job(1000 + t * 6 + i);
+                    job.client_id = Some("greedy".to_string());
+                    job.deadline_ms = Some(120_000);
+                    match client.localize(job) {
+                        Ok(_) => {}
+                        Err(err) => {
+                            assert_eq!(err.kind(), Some("overloaded"), "{err:?}");
+                            sheds += 1;
+                        }
+                    }
+                }
+                sheds
+            })
+        })
+        .collect();
+
+    // Three polite tenants: one sequential connection each on their own
+    // lane (first job a cold build, the rest cache hits).
+    let polite: Vec<_> = (0..3)
+        .map(|p: i64| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                let mut latencies = Vec::new();
+                for _ in 0..12 {
+                    let mut job = mutated_minic_job(-(10 + p));
+                    job.client_id = Some(format!("polite-{p}"));
+                    job.deadline_ms = Some(120_000);
+                    let started = std::time::Instant::now();
+                    client
+                        .localize(job)
+                        .expect("polite jobs are never shed under a greedy flood");
+                    latencies.push(started.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<std::time::Duration> = polite
+        .into_iter()
+        .flat_map(|h| h.join().expect("polite thread must not panic"))
+        .collect();
+    let greedy_sheds: u64 = greedy
+        .into_iter()
+        .map(|h| h.join().expect("greedy thread must not panic"))
+        .sum();
+    latencies.sort();
+    let p99 = latencies[(latencies.len() * 99).div_ceil(100) - 1];
+    assert!(
+        p99 < std::time::Duration::from_secs(2),
+        "polite p99 {p99:?} under greedy flood (greedy sheds: {greedy_sheds})"
+    );
+    server.shutdown();
+}

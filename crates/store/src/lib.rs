@@ -41,6 +41,15 @@
 //!   litter, which `scan` ignores.
 //! * **The store never blocks correctness.** Callers treat every operation
 //!   as best-effort: a failed write loses warmth, not answers.
+//! * **One live owner per directory.** Two daemons pointed at one store
+//!   directory could race each other's temp-file+rename writes (same
+//!   pid ⇒ same temp name) and double-restore, so [`Store::open`] takes an
+//!   exclusive dot-prefixed lock file recording the owner's PID. A second
+//!   opener gets a structured [`std::io::ErrorKind::AddrInUse`] error
+//!   naming the live owner; a lock left behind by a **dead** process
+//!   (crash without cleanup) is detected via `/proc/<pid>` and broken
+//!   automatically. [`Store::unlock`] (idempotent, also run on drop)
+//!   releases the directory for a successor.
 //!
 //! # Examples
 //!
@@ -61,7 +70,7 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Record file magic ("bgastore").
 const MAGIC: [u8; 8] = *b"bgastore";
@@ -75,6 +84,10 @@ const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 
 /// Suffix of record files.
 const RECORD_EXT: &str = "rec";
+
+/// Name of the per-directory ownership lock file (dot-prefixed so `scan`
+/// ignores it like any temp litter). Contains the owner's PID in ASCII.
+const LOCK_FILE: &str = ".lock";
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) lookup table, built at compile
 /// time — the workspace is std-only, so the checksum is hand-rolled.
@@ -134,6 +147,10 @@ pub struct StoreStats {
 /// worker threads and an async write-through thread.
 pub struct Store {
     dir: PathBuf,
+    /// `true` while this instance owns the directory's lock file. Cleared
+    /// by the first [`Store::unlock`] so a late second call (or the drop)
+    /// can never delete a successor's lock.
+    locked: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
@@ -153,16 +170,23 @@ impl fmt::Debug for Store {
 }
 
 impl Store {
-    /// Opens (creating if necessary) the store directory.
+    /// Opens (creating if necessary) the store directory and takes its
+    /// exclusive ownership lock.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error if the directory cannot be created.
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created, or a structured [`io::ErrorKind::AddrInUse`] error naming
+    /// the live owner when another process (or another replica in this
+    /// process) already holds the directory. A lock file left behind by a
+    /// dead PID is broken automatically, not reported.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        Store::acquire_lock(&dir)?;
         Ok(Store {
             dir,
+            locked: AtomicBool::new(true),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -176,6 +200,70 @@ impl Store {
     /// The directory records live in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// `true` while `pid` names a running process. Uses `/proc/<pid>` on
+    /// Linux; on systems without procfs the answer degrades to "alive"
+    /// (conservative: an unbreakable stale lock beats two live owners).
+    fn pid_alive(pid: u32) -> bool {
+        let proc_root = Path::new("/proc");
+        !proc_root.exists() || proc_root.join(pid.to_string()).exists()
+    }
+
+    /// Creates the lock file exclusively, breaking at most one stale lock
+    /// (a lock whose recorded PID is dead, or whose content is garbage —
+    /// e.g. a torn write from a crash).
+    fn acquire_lock(dir: &Path) -> io::Result<()> {
+        let path = dir.join(LOCK_FILE);
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    file.write_all(std::process::id().to_string().as_bytes())?;
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists && attempt == 0 => {
+                    let owner = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match owner {
+                        Some(pid) if Store::pid_alive(pid) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!(
+                                    "store directory {} is locked by live process {pid}; \
+                                     each replica needs its own --store-dir",
+                                    dir.display()
+                                ),
+                            ));
+                        }
+                        // Dead owner or unreadable lock: break it and retry
+                        // the exclusive create once. The retry (not a plain
+                        // write) keeps the break race-safe: if another
+                        // opener breaks and re-creates first, this one
+                        // loses the create_new and errors out above.
+                        _ => {
+                            let _ = fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second create_new attempt returns either way")
+    }
+
+    /// Releases the directory's ownership lock so a successor daemon can
+    /// open it. Idempotent — the first call wins, later calls (including
+    /// the implicit one on drop) are no-ops, so a lingering handle can
+    /// never delete the lock a restarted replica just took.
+    pub fn unlock(&self) {
+        if self.locked.swap(false, Ordering::SeqCst) {
+            let _ = fs::remove_file(self.dir.join(LOCK_FILE));
+        }
     }
 
     fn record_path(&self, key: u64) -> PathBuf {
@@ -371,6 +459,12 @@ impl Store {
     }
 }
 
+impl Drop for Store {
+    fn drop(&mut self) {
+        self.unlock();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +612,56 @@ mod tests {
         store.note_corrupt(4);
         assert!(!store.record_path(4).exists());
         assert_eq!(store.stats().corrupt_records, 1);
+    }
+
+    #[test]
+    fn second_open_of_a_locked_dir_is_a_structured_error() {
+        // The shared---store-dir hazard: two replicas pointed at one
+        // directory would race temp-file+rename writes (same PID, same
+        // temp name). The second opener must fail up front, with an error
+        // that names the live owner — not corrupt records later.
+        let tmp = TempDir::new("lock");
+        let first = Store::open(&tmp.0).unwrap();
+        let second = Store::open(&tmp.0).expect_err("second owner must be rejected");
+        assert_eq!(second.kind(), io::ErrorKind::AddrInUse);
+        let message = second.to_string();
+        assert!(message.contains("locked by live process"), "{message}");
+        assert!(
+            message.contains(&std::process::id().to_string()),
+            "{message}"
+        );
+        // Releasing the lock (here via drop) frees the directory.
+        drop(first);
+        Store::open(&tmp.0).expect("released directory reopens");
+    }
+
+    #[test]
+    fn stale_lock_of_a_dead_process_is_broken() {
+        let tmp = TempDir::new("stalelock");
+        fs::create_dir_all(&tmp.0).unwrap();
+        // A PID nobody can be running under (far beyond Linux's pid_max),
+        // as a crashed former owner would leave behind.
+        fs::write(tmp.0.join(LOCK_FILE), b"3999999999").unwrap();
+        let store = Store::open(&tmp.0).expect("stale lock must be broken");
+        drop(store);
+        // Garbage lock content (a torn write) is also stale.
+        fs::write(tmp.0.join(LOCK_FILE), b"not a pid").unwrap();
+        Store::open(&tmp.0).expect("garbage lock must be broken");
+    }
+
+    #[test]
+    fn unlock_is_idempotent_and_never_steals_a_successors_lock() {
+        let tmp = TempDir::new("unlock");
+        let first = Store::open(&tmp.0).unwrap();
+        first.unlock();
+        first.unlock(); // no-op
+        let successor = Store::open(&tmp.0).expect("unlocked directory reopens");
+        // The lingering first handle (drop included) must not delete the
+        // successor's lock out from under it.
+        drop(first);
+        assert!(tmp.0.join(LOCK_FILE).exists(), "successor keeps its lock");
+        drop(successor);
+        assert!(!tmp.0.join(LOCK_FILE).exists(), "owner's drop releases");
     }
 
     #[test]

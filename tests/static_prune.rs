@@ -55,10 +55,7 @@ fn reports_are_identical_with_pruning_on_and_off() {
     for round in 0..6 {
         let src = random_straight_line(&mut rng, 5 + (round % 4));
         let program = minic::parse_program(&src).expect("generated program parses");
-        let input = vec![
-            rng.gen_range(0i64..16),
-            rng.gen_range(0i64..16),
-        ];
+        let input = vec![rng.gen_range(0i64..16), rng.gen_range(0i64..16)];
         for width in [8usize, 16] {
             // The concrete return value at this width; demanding one more
             // makes `input` a failing test with a real localization answer.
